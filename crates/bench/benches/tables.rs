@@ -1,0 +1,40 @@
+//! `cargo bench -p poir-bench --bench tables` — regenerates every table and
+//! figure of the paper at a reduced scale (set `POIR_BENCH_SCALE` to change;
+//! the `reproduce` binary runs the full DESIGN.md §4 sizes).
+
+use poir_bench::{fig1_points, fig2_points, fig3_sweep, print, run_all, RunConfig};
+use poir_inquery::StopWords;
+
+fn main() {
+    let scale: f64 = std::env::var("POIR_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let cfg = RunConfig { scale, top_k: 100 };
+    eprintln!("# tables bench at scale {scale} (POIR_BENCH_SCALE to override)");
+    let start = std::time::Instant::now();
+    let results = run_all(&cfg);
+    println!("{}", print::table1(&results));
+    println!("{}", print::table2(&results));
+    println!("{}", print::table3(&results));
+    println!("{}", print::table4(&results));
+    println!("{}", print::table5(&results));
+    println!("{}", print::table6(&results));
+    println!("{}", print::effectiveness(&results));
+
+    let legal = results.iter().find(|r| r.label == "Legal").expect("legal ran");
+    println!("{}", print::fig1(&legal.label, &fig1_points(&legal.record_sizes)));
+
+    let scaled = poir_collections::legal().scale(cfg.scale);
+    let collection = poir_collections::SyntheticCollection::new(scaled.spec.clone());
+    let (index, _) = poir_bench::build_index(&collection);
+    let qs2 = &legal.query_sets[1];
+    println!(
+        "{}",
+        print::fig2(&qs2.label, &fig2_points(&index, &qs2.queries, &StopWords::default()))
+    );
+
+    let sweep = fig3_sweep(&poir_collections::tipster(), &cfg, 8);
+    println!("{}", print::fig3("TIPSTER Query Set 1", &sweep));
+    eprintln!("# tables bench finished in {:?}", start.elapsed());
+}

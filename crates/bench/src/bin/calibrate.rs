@@ -1,0 +1,36 @@
+//! Prints collection-shape calibration data: record counts, small-record
+//! fraction, and pool population for each paper collection at a given
+//! scale. Used to tune DESIGN.md §4's generator parameters.
+
+use poir_bench::{build_index, RunConfig};
+use poir_collections::SyntheticCollection;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let cfg = RunConfig { scale, top_k: 100 };
+    for paper in poir_collections::paper_collections() {
+        let scaled = paper.clone().scale(cfg.scale);
+        let collection = SyntheticCollection::new(scaled.spec.clone());
+        let start = std::time::Instant::now();
+        let (index, raw) = build_index(&collection);
+        let small = index.fraction_at_most(12);
+        let large = index.records.iter().filter(|(_, r)| r.len() > 4096).count();
+        let medium = index.records.len()
+            - large
+            - index.records.iter().filter(|(_, r)| r.len() <= 12).count();
+        let largest = index.record_sizes().into_iter().max().unwrap_or(0);
+        println!(
+            "{:<10} docs {:>7} raw {:>9} KB records {:>8} small% {:>5.1} medium {:>7} large {:>5} largest {:>9} B index {:>8} KB build {:?}",
+            scaled.spec.name,
+            scaled.spec.num_docs,
+            raw / 1024,
+            index.records.len(),
+            small * 100.0,
+            medium,
+            large,
+            largest,
+            index.total_record_bytes() / 1024,
+            start.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Reproduces every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p poir-bench --bin reproduce -- all
+//! cargo run --release -p poir-bench --bin reproduce -- table3 table5 --scale 0.25
+//! ```
+//!
+//! Targets: `table1` `table2` `table3` `table4` `table5` `table6`
+//! `fig1` `fig2` `fig3` `effectiveness` `all`.
+//!
+//! `--scale F` shrinks every collection's document count by `F`
+//! (default 1.0 = the DESIGN.md §4 sizes).
+
+use std::collections::BTreeSet;
+
+use poir_bench::{fig1_points, fig2_points, fig3_sweep, print, run_all, RunConfig};
+use poir_inquery::StopWords;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    let mut scale = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive number"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce [table1..table6 fig1..fig3 effectiveness all] [--scale F]"
+                );
+                return;
+            }
+            t => {
+                targets.insert(t.to_string());
+            }
+        }
+        i += 1;
+    }
+    if targets.is_empty() || targets.contains("all") {
+        targets = ["table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2",
+            "fig3", "effectiveness"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let cfg = RunConfig { scale, top_k: 100 };
+    eprintln!(
+        "# reproducing {:?} at scale {scale} (this generates, indexes, and queries all four collections)",
+        targets
+    );
+
+    let needs_suite = targets.iter().any(|t| t != "fig3");
+    let results = if needs_suite { run_all(&cfg) } else { Vec::new() };
+
+    for t in &targets {
+        match t.as_str() {
+            "table1" => println!("{}", print::table1(&results)),
+            "table2" => println!("{}", print::table2(&results)),
+            "table3" => println!("{}", print::table3(&results)),
+            "table4" => println!("{}", print::table4(&results)),
+            "table5" => println!("{}", print::table5(&results)),
+            "table6" => println!("{}", print::table6(&results)),
+            "effectiveness" => println!("{}", print::effectiveness(&results)),
+            "fig1" => {
+                // The paper plots Figure 1 for the Legal collection.
+                let legal = results
+                    .iter()
+                    .find(|r| r.label == "Legal")
+                    .unwrap_or_else(|| die("fig1 needs the Legal collection"));
+                println!("{}", print::fig1(&legal.label, &fig1_points(&legal.record_sizes)));
+            }
+            "fig2" => {
+                // The paper plots Figure 2 for Legal Query Set 2.
+                let legal = results
+                    .iter()
+                    .find(|r| r.label == "Legal")
+                    .unwrap_or_else(|| die("fig2 needs the Legal collection"));
+                let qs2 = &legal.query_sets[1];
+                // Rebuild the index cheaply for record sizes: reuse stored sizes
+                // via the suite's own fig2 pathway.
+                let scaled = poir_collections::legal().scale(cfg.scale);
+                let collection = poir_collections::SyntheticCollection::new(scaled.spec.clone());
+                let (index, _) = poir_bench::build_index(&collection);
+                let points = fig2_points(&index, &qs2.queries, &StopWords::default());
+                println!("{}", print::fig2(&qs2.label, &points));
+            }
+            "fig3" => {
+                // The paper sweeps the TIPSTER large-object buffer.
+                let sweep = fig3_sweep(&poir_collections::tipster(), &cfg, 10);
+                println!("{}", print::fig3("TIPSTER Query Set 1", &sweep));
+            }
+            other => eprintln!("# unknown target {other:?} skipped"),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}

@@ -1,0 +1,80 @@
+//! Batch-mode query processing with TREC-format output.
+//!
+//! ```text
+//! cargo run --release -p poir-bench --bin trec_run -- legal 2 /tmp/out --scale 0.1
+//! ```
+//!
+//! Processes a collection's query set "in batch mode" (Section 4.2) on the
+//! Mneme-cached configuration and writes `run.txt` (TREC run format) and
+//! `qrels.txt` (relevance judgments) to the output directory — files any
+//! standard IR evaluation tool (e.g. `trec_eval`) can consume.
+
+use poir_bench::{build_index, paper_device, RunConfig};
+use poir_collections::{generate_queries, judgments_for, SyntheticCollection};
+use poir_core::{BackendKind, Engine};
+use poir_inquery::{trec, ScoredDoc, StopWords};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: trec_run <cacm|legal|tipster1|tipster> <query-set-number> <out-dir> [--scale F]");
+        std::process::exit(2);
+    }
+    let paper = match args[0].as_str() {
+        "cacm" => poir_collections::cacm(),
+        "legal" => poir_collections::legal(),
+        "tipster1" => poir_collections::tipster1(),
+        "tipster" => poir_collections::tipster(),
+        other => {
+            eprintln!("unknown collection {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let qs_no: usize = args[1].parse().unwrap_or(1);
+    let out_dir = std::path::PathBuf::from(&args[2]);
+    let scale: f64 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let cfg = RunConfig { scale, top_k: 1000 };
+
+    let scaled = paper.clone().scale(cfg.scale);
+    let qs_spec = scaled
+        .query_sets
+        .get(qs_no.saturating_sub(1))
+        .unwrap_or_else(|| {
+            eprintln!("{} has {} query sets", scaled.spec.name, scaled.query_sets.len());
+            std::process::exit(2);
+        });
+    eprintln!("indexing {} ({} docs) ...", scaled.spec.name, scaled.spec.num_docs);
+    let collection = SyntheticCollection::new(scaled.spec.clone());
+    let (index, _) = build_index(&collection);
+    let docs = index.documents.clone();
+    let device = paper_device();
+    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
+        .expect("engine build");
+
+    let queries = generate_queries(&collection, qs_spec);
+    let tag = format!("poir-{}", qs_spec.name.replace(' ', "-"));
+    let mut run = String::new();
+    let mut qrels = String::new();
+    for (i, q) in queries.iter().enumerate() {
+        let qid = format!("{}", i + 1);
+        let ranked = engine.query(&q.text, cfg.top_k).expect("query");
+        let scored: Vec<ScoredDoc> =
+            ranked.iter().map(|r| ScoredDoc { doc: r.doc, score: r.score }).collect();
+        run.push_str(&trec::format_run(&qid, &scored, &docs, &tag));
+        qrels.push_str(&trec::format_qrels(&qid, &judgments_for(&collection, q), &docs));
+    }
+    std::fs::create_dir_all(&out_dir).expect("output directory");
+    std::fs::write(out_dir.join("run.txt"), &run).expect("write run");
+    std::fs::write(out_dir.join("qrels.txt"), &qrels).expect("write qrels");
+    eprintln!(
+        "wrote {} run lines and qrels for {} queries to {}",
+        run.lines().count(),
+        queries.len(),
+        out_dir.display()
+    );
+}

@@ -1,0 +1,323 @@
+//! Benchmark harness reproducing the paper's evaluation (Section 4).
+//!
+//! [`run_collection`] performs the full measurement procedure for one
+//! collection: generate the synthetic stand-in, build the index once, load
+//! it into all three storage configurations, and process every query set
+//! against each — capturing the raw data behind Tables 1 and 3-6.
+//! [`fig1_points`], [`fig2_points`], and [`fig3_sweep`] produce the
+//! figures; the [`mod@print`] module renders everything in the paper's layout.
+//!
+//! The `reproduce` binary drives the whole suite:
+//! `cargo run --release -p poir-bench --bin reproduce -- all`.
+
+pub mod print;
+
+use std::sync::Arc;
+
+use poir_collections::{
+    generate_queries, judgments_for, GeneratedQuery, PaperCollection, SyntheticCollection,
+};
+use poir_core::{BackendKind, BufferSizes, Engine, QuerySetReport};
+use poir_inquery::{Index, IndexBuilder, StopWords};
+use poir_storage::{CostModel, Device, DeviceConfig};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Collection scale factor (1.0 = the DESIGN.md §4 sizes).
+    pub scale: f64,
+    /// Documents retrieved per query.
+    pub top_k: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { scale: 1.0, top_k: 100 }
+    }
+}
+
+/// A fresh simulated device with the paper-platform configuration.
+pub fn paper_device() -> Arc<Device> {
+    Device::new(DeviceConfig {
+        block_size: 8192,
+        // The ULTRIX buffer cache was a handful of Mbytes against multi-
+        // hundred-Mbyte collections; our collections are scaled ~10-20x
+        // down (DESIGN.md §4), so the simulated cache scales with them:
+        // 128 blocks = 1 MB.
+        os_cache_blocks: 128,
+        cost_model: CostModel::default(),
+    })
+}
+
+/// Generates and indexes a collection, returning the index and the total
+/// raw text size in bytes.
+pub fn build_index(collection: &SyntheticCollection) -> (Index, u64) {
+    let mut builder = IndexBuilder::new(StopWords::default());
+    let mut raw_bytes = 0u64;
+    for doc in collection.documents() {
+        raw_bytes += doc.text.len() as u64;
+        builder.add_document(&doc.name, &doc.text);
+    }
+    (builder.finish(), raw_bytes)
+}
+
+/// Results of one query set across the three configurations.
+#[derive(Debug)]
+pub struct QuerySetResults {
+    /// Query set label ("Legal QS2").
+    pub label: String,
+    /// The generated queries.
+    pub queries: Vec<GeneratedQuery>,
+    /// Reports in [`BackendKind::all`] order: B-tree, Mneme no-cache,
+    /// Mneme cache.
+    pub reports: [QuerySetReport; 3],
+    /// Mean average precision (identical across configurations — the
+    /// ranking component is fixed; computed once on the cached engine).
+    pub mean_avg_precision: f64,
+}
+
+/// Results of one collection across the three configurations.
+#[derive(Debug)]
+pub struct CollectionResults {
+    /// Collection label.
+    pub label: String,
+    /// Documents indexed.
+    pub num_docs: usize,
+    /// Raw collection text size in Kbytes (Table 1 "Collection Size").
+    pub collection_kbytes: u64,
+    /// Number of inverted records (Table 1 "# of Records").
+    pub record_count: usize,
+    /// Record sizes in bytes (Figure 1 / pool population data).
+    pub record_sizes: Vec<usize>,
+    /// B-tree file size in Kbytes (Table 1).
+    pub btree_kbytes: u64,
+    /// Mneme file size in Kbytes (Table 1).
+    pub mneme_kbytes: u64,
+    /// The Table 2 buffer sizes used by the cached configuration.
+    pub buffer_sizes: BufferSizes,
+    /// Per-query-set measurements.
+    pub query_sets: Vec<QuerySetResults>,
+}
+
+/// Runs the full paper procedure for one collection.
+pub fn run_collection(paper: &PaperCollection, cfg: &RunConfig) -> CollectionResults {
+    let scaled = paper.clone().scale(cfg.scale);
+    let collection = SyntheticCollection::new(scaled.spec.clone());
+    let (index, raw_bytes) = build_index(&collection);
+    let record_sizes = index.record_sizes();
+    let record_count = index.records.len();
+
+    // One engine per configuration, each on its own device so the I/O
+    // counters are independent (the paper ran the versions separately).
+    let mut engines: Vec<Engine> = BackendKind::all()
+        .into_iter()
+        .map(|backend| {
+            let device = paper_device();
+            Engine::build(&device, backend, index.clone(), StopWords::default())
+                .expect("engine build")
+        })
+        .collect();
+    let btree_kbytes = engines[0].store_file_size().expect("btree size") / 1024;
+    let mneme_kbytes = engines[2].store_file_size().expect("mneme size") / 1024;
+    let buffer_sizes = engines[2].paper_buffer_sizes().expect("buffer sizes");
+
+    let mut query_sets = Vec::with_capacity(scaled.query_sets.len());
+    for qs_spec in &scaled.query_sets {
+        let queries = generate_queries(&collection, qs_spec);
+        let texts: Vec<&str> = queries.iter().map(|q| q.text.as_str()).collect();
+        let reports: Vec<QuerySetReport> = engines
+            .iter_mut()
+            .map(|e| e.run_query_set(&texts, cfg.top_k).expect("query set run"))
+            .collect();
+        let reports: [QuerySetReport; 3] =
+            reports.try_into().expect("three configurations");
+        // Effectiveness (identical across configurations by construction).
+        let mut aps = Vec::with_capacity(queries.len());
+        for q in &queries {
+            let ranked = engines[2].query(&q.text, cfg.top_k).expect("query");
+            let scored: Vec<poir_inquery::ScoredDoc> = ranked
+                .iter()
+                .map(|r| poir_inquery::ScoredDoc { doc: r.doc, score: r.score })
+                .collect();
+            aps.push(judgments_for(&collection, q).average_precision(&scored));
+        }
+        query_sets.push(QuerySetResults {
+            label: qs_spec.name.clone(),
+            queries,
+            reports,
+            mean_avg_precision: poir_inquery::metrics::mean(&aps),
+        });
+    }
+
+    CollectionResults {
+        label: scaled.spec.name.clone(),
+        num_docs: scaled.spec.num_docs,
+        collection_kbytes: raw_bytes / 1024,
+        record_count,
+        record_sizes,
+        btree_kbytes,
+        mneme_kbytes,
+        buffer_sizes,
+        query_sets,
+    }
+}
+
+/// Figure 1: cumulative distribution of inverted-list sizes, as
+/// `(size, % of records ≤ size, % of file bytes in records ≤ size)`.
+pub fn fig1_points(record_sizes: &[usize]) -> Vec<(usize, f64, f64)> {
+    let mut sorted = record_sizes.to_vec();
+    sorted.sort_unstable();
+    let total_records = sorted.len().max(1) as f64;
+    let total_bytes: u64 = sorted.iter().map(|&s| s as u64).sum();
+    let mut points = Vec::new();
+    let mut size = 1usize;
+    let mut idx = 0usize;
+    let mut bytes_so_far = 0u64;
+    let max = sorted.last().copied().unwrap_or(1);
+    while size <= max * 2 {
+        while idx < sorted.len() && sorted[idx] <= size {
+            bytes_so_far += sorted[idx] as u64;
+            idx += 1;
+        }
+        points.push((
+            size,
+            100.0 * idx as f64 / total_records,
+            100.0 * bytes_so_far as f64 / total_bytes.max(1) as f64,
+        ));
+        size *= 2;
+    }
+    points
+}
+
+/// Figure 2: frequency of use of different inverted-list record sizes for
+/// one query set, as `(record size in bytes, number of uses)` pairs (one
+/// per distinct term used).
+pub fn fig2_points(
+    index: &Index,
+    queries: &[GeneratedQuery],
+    stop: &StopWords,
+) -> Vec<(usize, u32)> {
+    use std::collections::HashMap;
+    let mut uses: HashMap<poir_inquery::TermId, u32> = HashMap::new();
+    for q in queries {
+        let Ok(parsed) = poir_inquery::parse_query(&q.text, stop) else { continue };
+        for term in parsed.leaf_terms() {
+            if let Some(id) = index.dictionary.lookup(term) {
+                *uses.entry(id).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut points: Vec<(usize, u32)> = uses
+        .into_iter()
+        .map(|(id, n)| (index.records[id.0 as usize].1.len(), n))
+        .collect();
+    points.sort_unstable();
+    points
+}
+
+/// Figure 3: large-object buffer hit rate over a range of buffer sizes for
+/// one collection + query set. Returns `(large buffer bytes, hit rate)`.
+pub fn fig3_sweep(
+    paper: &PaperCollection,
+    cfg: &RunConfig,
+    points: usize,
+) -> Vec<(usize, f64)> {
+    let scaled = paper.clone().scale(cfg.scale);
+    let collection = SyntheticCollection::new(scaled.spec.clone());
+    let (index, _) = build_index(&collection);
+    let device = paper_device();
+    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
+        .expect("engine build");
+    let base = engine.paper_buffer_sizes().expect("buffer sizes");
+    let queries = generate_queries(&collection, &scaled.query_sets[0]);
+    let texts: Vec<&str> = queries.iter().map(|q| q.text.as_str()).collect();
+    // Sweep the large buffer from a fraction of one large object to several
+    // times the heuristic size, holding small/medium at their Table 2 sizes.
+    let max = base.large * 2;
+    let mut out = Vec::with_capacity(points);
+    for i in 1..=points {
+        let large = max * i / points;
+        engine
+            .set_buffer_sizes(BufferSizes { small: base.small, medium: base.medium, large })
+            .expect("buffer resize");
+        let report = engine.run_query_set(&texts, cfg.top_k).expect("sweep run");
+        let stats = report.buffer_stats.expect("mneme stats");
+        out.push((large, stats[2].hit_rate()));
+    }
+    out
+}
+
+/// Convenience: run every paper collection.
+pub fn run_all(cfg: &RunConfig) -> Vec<CollectionResults> {
+    poir_collections::paper_collections().iter().map(|p| run_collection(p, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig { scale: 0.02, top_k: 20 }
+    }
+
+    #[test]
+    fn cacm_run_produces_consistent_results() {
+        let results = run_collection(&poir_collections::cacm(), &quick_cfg());
+        assert_eq!(results.query_sets.len(), 3);
+        assert!(results.record_count > 100);
+        assert_eq!(results.record_sizes.len(), results.record_count);
+        assert!(results.btree_kbytes > 0);
+        assert!(results.mneme_kbytes > 0);
+        for qs in &results.query_sets {
+            assert_eq!(qs.reports[0].queries, 50);
+            // Identical lookup counts across configurations.
+            assert_eq!(qs.reports[0].record_lookups, qs.reports[1].record_lookups);
+            assert_eq!(qs.reports[1].record_lookups, qs.reports[2].record_lookups);
+        }
+    }
+
+    #[test]
+    fn fig1_points_are_monotone_and_reach_100() {
+        let sizes = vec![4usize, 8, 8, 100, 5000, 5000, 200_000];
+        let points = fig1_points(&sizes);
+        assert!(points.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].2 <= w[1].2));
+        let last = points.last().unwrap();
+        assert!((last.1 - 100.0).abs() < 1e-9);
+        assert!((last.2 - 100.0).abs() < 1e-9);
+        // Small records dominate counts but not bytes.
+        let at_16 = points.iter().find(|p| p.0 == 16).unwrap();
+        assert!(at_16.1 > 40.0);
+        assert!(at_16.2 < 1.0);
+    }
+
+    #[test]
+    fn fig2_reflects_query_usage() {
+        let collection =
+            SyntheticCollection::new(poir_collections::CollectionSpec::tiny(3));
+        let (index, _) = build_index(&collection);
+        let spec = poir_collections::QuerySetSpec {
+            name: "t".into(),
+            style: poir_collections::QueryStyle::NaturalLanguage,
+            num_queries: 20,
+            mean_terms: 6,
+            reuse_rate: 0.5,
+            seed: 4,
+        };
+        let queries = generate_queries(&collection, &spec);
+        let points = fig2_points(&index, &queries, &StopWords::default());
+        assert!(!points.is_empty());
+        // Repetition must show up as multi-use terms.
+        assert!(points.iter().any(|&(_, uses)| uses > 1));
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn fig3_sweep_hit_rate_grows_with_buffer() {
+        let sweep = fig3_sweep(&poir_collections::cacm(), &quick_cfg(), 4);
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep.windows(2).all(|w| w[0].0 < w[1].0));
+        let first = sweep.first().unwrap().1;
+        let last = sweep.last().unwrap().1;
+        assert!(last >= first, "hit rate must not fall as the buffer grows");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the B-tree keyed-file package.
+
+use std::fmt;
+
+/// Errors surfaced by B-tree operations.
+#[derive(Debug)]
+pub enum BTreeError {
+    /// The file content is corrupt or from an incompatible version.
+    Corrupt(String),
+    /// A record was too large to place even after splitting a leaf.
+    RecordTooLarge { key: u32, len: usize },
+    /// An error from the storage substrate.
+    Storage(poir_storage::StorageError),
+}
+
+impl fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BTreeError::Corrupt(msg) => write!(f, "corrupt b-tree file: {msg}"),
+            BTreeError::RecordTooLarge { key, len } => {
+                write!(f, "record for key {key} of {len} bytes cannot be placed")
+            }
+            BTreeError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BTreeError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<poir_storage::StorageError> for BTreeError {
+    fn from(e: poir_storage::StorageError) -> Self {
+        BTreeError::Storage(e)
+    }
+}
+
+/// Result alias for B-tree operations.
+pub type Result<T> = std::result::Result<T, BTreeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(BTreeError::Corrupt("x".into()).to_string().contains('x'));
+        let e = BTreeError::RecordTooLarge { key: 5, len: 100 };
+        assert!(e.to_string().contains('5') && e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn storage_conversion() {
+        let e: BTreeError = poir_storage::StorageError::UnknownFile(1).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

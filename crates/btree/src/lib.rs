@@ -1,0 +1,23 @@
+//! # The baseline: INQUERY's custom B-tree keyed-file package
+//!
+//! A re-implementation of the "custom B-tree package" that originally
+//! provided INQUERY's inverted file index support (Brown, Callan, Moss &
+//! Croft, EDBT 1994, Section 3.1): a keyed file mapping term ids to
+//! variable-length inverted-list records, with fixed-size pages equal to the
+//! disk transfer block, overflow chains for large records, and —
+//! faithfully — only "limited and unsophisticated caching of index nodes,
+//! such that every record lookup requires more than one disk access"
+//! (Section 4.3).
+//!
+//! This crate is the *comparison baseline* for the paper's experiments. Its
+//! replacement, the Mneme-backed inverted file, lives in `poir-core`.
+
+pub mod error;
+pub mod node_cache;
+pub mod page;
+pub mod tree;
+
+pub use error::{BTreeError, Result};
+pub use node_cache::NodeCache;
+pub use page::DEFAULT_PAGE_SIZE;
+pub use tree::{BTreeConfig, BTreeFile};

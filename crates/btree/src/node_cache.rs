@@ -1,0 +1,173 @@
+//! The baseline's limited, unsophisticated node cache.
+//!
+//! "The B-tree version does limited and unsophisticated caching of index
+//! nodes, such that every record lookup requires more than one disk access.
+//! This problem gets worse as the file grows and the height of the index
+//! tree increases." (Section 4.3)
+//!
+//! Only internal (index) pages are cached: the root is pinned and a small
+//! FIFO of recently read internal pages is kept. Leaves and overflow pages
+//! are never cached — exactly the behaviour that makes the baseline issue
+//! more than one file access per lookup.
+
+use std::collections::HashMap;
+
+use crate::page::PageId;
+
+/// Default number of non-root internal pages retained.
+pub const DEFAULT_CACHE_NODES: usize = 8;
+
+/// A root-pinned FIFO cache of internal page bytes.
+#[derive(Debug)]
+pub struct NodeCache {
+    root_id: PageId,
+    root: Option<Vec<u8>>,
+    capacity: usize,
+    map: HashMap<PageId, Vec<u8>>,
+    fifo: std::collections::VecDeque<PageId>,
+}
+
+impl NodeCache {
+    /// Creates a cache retaining the root plus up to `capacity` other
+    /// internal pages.
+    pub fn new(capacity: usize) -> Self {
+        NodeCache {
+            root_id: crate::page::NIL_PAGE,
+            root: None,
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            fifo: std::collections::VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Declares which page is the root (pinning it once cached).
+    pub fn set_root_id(&mut self, id: PageId) {
+        if self.root_id != id {
+            self.root_id = id;
+            self.root = None;
+        }
+    }
+
+    /// Fetches a cached page.
+    pub fn get(&self, id: PageId) -> Option<&[u8]> {
+        if id == self.root_id {
+            return self.root.as_deref();
+        }
+        self.map.get(&id).map(Vec::as_slice)
+    }
+
+    /// Caches an internal page's bytes.
+    pub fn put(&mut self, id: PageId, bytes: Vec<u8>) {
+        if id == self.root_id {
+            self.root = Some(bytes);
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(id) {
+            e.insert(bytes);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            if let Some(victim) = self.fifo.pop_front() {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(id, bytes);
+        self.fifo.push_back(id);
+    }
+
+    /// Drops a page (called when it is rewritten).
+    pub fn invalidate(&mut self, id: PageId) {
+        if id == self.root_id {
+            self.root = None;
+        }
+        if self.map.remove(&id).is_some() {
+            self.fifo.retain(|&p| p != id);
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.map.clear();
+        self.fifo.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_pinned() {
+        let mut c = NodeCache::new(2);
+        c.set_root_id(1);
+        c.put(1, vec![1]);
+        for id in 10..20 {
+            c.put(id, vec![id as u8]);
+        }
+        assert_eq!(c.get(1), Some(&[1u8][..]), "root survives any pressure");
+        assert_eq!(c.map.len(), 2);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut c = NodeCache::new(2);
+        c.set_root_id(1);
+        c.put(10, vec![10]);
+        c.put(11, vec![11]);
+        c.put(12, vec![12]); // evicts 10
+        assert!(c.get(10).is_none());
+        assert!(c.get(11).is_some());
+        assert!(c.get(12).is_some());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = NodeCache::new(4);
+        c.set_root_id(1);
+        c.put(1, vec![1]);
+        c.put(10, vec![10]);
+        c.invalidate(10);
+        assert!(c.get(10).is_none());
+        c.invalidate(1);
+        assert!(c.get(1).is_none());
+        c.put(1, vec![2]);
+        c.clear();
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn changing_root_unpins_old_root() {
+        let mut c = NodeCache::new(2);
+        c.set_root_id(1);
+        c.put(1, vec![1]);
+        c.set_root_id(2);
+        assert!(c.get(2).is_none());
+        c.put(2, vec![2]);
+        assert_eq!(c.get(2), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn zero_capacity_caches_only_root() {
+        let mut c = NodeCache::new(0);
+        c.set_root_id(1);
+        c.put(1, vec![1]);
+        c.put(5, vec![5]);
+        assert!(c.get(1).is_some());
+        assert!(c.get(5).is_none());
+    }
+
+    #[test]
+    fn reput_updates_in_place() {
+        let mut c = NodeCache::new(2);
+        c.put(10, vec![1]);
+        c.put(10, vec![2]);
+        assert_eq!(c.get(10), Some(&[2u8][..]));
+        c.put(11, vec![3]);
+        c.put(12, vec![4]); // evicts 10 (single FIFO entry)
+        assert!(c.get(10).is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the B-tree keyed file must match `std::collections::BTreeMap`
+//! under arbitrary insert/replace/delete/lookup sequences, for several page
+//! sizes, and scans must return exactly the model's sorted contents.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use poir_btree::{BTreeConfig, BTreeFile};
+use poir_storage::{CostModel, Device, DeviceConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u16, len: u16 },
+    Delete { key: u16 },
+    Lookup { key: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u16>(), 0u16..2048).prop_map(|(key, len)| Op::Insert { key: key % 300, len }),
+        2 => any::<u16>().prop_map(|key| Op::Delete { key: key % 300 }),
+        3 => any::<u16>().prop_map(|key| Op::Lookup { key: key % 300 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn btree_matches_btreemap_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        page_size in prop_oneof![Just(256usize), Just(512), Just(1024)],
+        reopen_at in 0usize..120,
+    ) {
+        let dev = Device::new(DeviceConfig {
+            block_size: 512,
+            os_cache_blocks: 16,
+            cost_model: CostModel::free(),
+        });
+        let handle = dev.create_file();
+        let mut tree = BTreeFile::create(
+            handle.clone(),
+            BTreeConfig { page_size, cache_nodes: 2 },
+        ).unwrap();
+        let mut model: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+        let mut fill = 0u8;
+
+        for (i, op) in ops.iter().enumerate() {
+            if i == reopen_at {
+                tree.flush().unwrap();
+                tree = BTreeFile::open(handle.clone(), 2).unwrap();
+            }
+            match *op {
+                Op::Insert { key, len } => {
+                    fill = fill.wrapping_add(1);
+                    let value = vec![fill; len as usize];
+                    tree.insert(key as u32, &value).unwrap();
+                    model.insert(key as u32, value);
+                }
+                Op::Delete { key } => {
+                    let deleted = tree.delete(key as u32).unwrap();
+                    prop_assert_eq!(deleted, model.remove(&(key as u32)).is_some());
+                }
+                Op::Lookup { key } => {
+                    prop_assert_eq!(
+                        tree.lookup(key as u32).unwrap(),
+                        model.get(&(key as u32)).cloned()
+                    );
+                }
+            }
+            prop_assert_eq!(tree.record_count(), model.len() as u64);
+        }
+        // Full scan equals the model.
+        let scanned = tree.scan().unwrap();
+        let expected: Vec<(u32, Vec<u8>)> =
+            model.iter().map(|(k, v)| (*k, v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn bulk_build_round_trips_any_sorted_input(
+        keys in proptest::collection::btree_set(any::<u32>(), 0..400),
+        page_size in prop_oneof![Just(256usize), Just(1024), Just(8192)],
+    ) {
+        let dev = Device::with_defaults();
+        let pairs: Vec<(u32, Vec<u8>)> = keys
+            .iter()
+            .map(|&k| (k, k.to_le_bytes().repeat((k % 97) as usize + 1)))
+            .collect();
+        let mut tree = BTreeFile::bulk_build(
+            dev.create_file(),
+            BTreeConfig { page_size, cache_nodes: 4 },
+            pairs.clone(),
+        ).unwrap();
+        prop_assert_eq!(tree.record_count(), pairs.len() as u64);
+        for (k, v) in &pairs {
+            prop_assert_eq!(&tree.lookup(*k).unwrap().unwrap(), v);
+        }
+        prop_assert_eq!(tree.scan().unwrap(), pairs);
+    }
+}

@@ -1,0 +1,162 @@
+//! Behavioural tests of the B-tree keyed file, including the baseline's
+//! characteristic I/O pattern (more than one access per lookup).
+
+use std::sync::Arc;
+
+use poir_btree::{BTreeConfig, BTreeFile};
+use poir_storage::{CostModel, Device, DeviceConfig};
+
+fn device() -> Arc<Device> {
+    Device::new(DeviceConfig {
+        block_size: 512,
+        os_cache_blocks: 32,
+        cost_model: CostModel::free(),
+    })
+}
+
+fn config() -> BTreeConfig {
+    BTreeConfig { page_size: 512, cache_nodes: 4 }
+}
+
+#[test]
+fn insert_then_lookup_small_records() {
+    let dev = device();
+    let mut t = BTreeFile::create(dev.create_file(), config()).unwrap();
+    for k in (0..500u32).rev() {
+        t.insert(k, format!("record-{k}").as_bytes()).unwrap();
+    }
+    assert_eq!(t.record_count(), 500);
+    for k in 0..500u32 {
+        assert_eq!(t.lookup(k).unwrap().unwrap(), format!("record-{k}").as_bytes());
+    }
+    assert_eq!(t.lookup(1000).unwrap(), None);
+    assert!(t.height() > 1, "500 records must split a 512-byte page");
+}
+
+#[test]
+fn large_records_use_overflow_chains() {
+    let dev = device();
+    let mut t = BTreeFile::create(dev.create_file(), config()).unwrap();
+    let big = vec![0xCD; 10_000]; // ~20 overflow pages at 512 B/page
+    t.insert(7, &big).unwrap();
+    t.insert(8, b"small").unwrap();
+    assert_eq!(t.lookup(7).unwrap().unwrap(), big);
+    assert_eq!(t.lookup(8).unwrap().unwrap(), b"small");
+}
+
+#[test]
+fn replace_existing_record() {
+    let dev = device();
+    let mut t = BTreeFile::create(dev.create_file(), config()).unwrap();
+    t.insert(1, b"first").unwrap();
+    t.insert(1, b"second version").unwrap();
+    assert_eq!(t.record_count(), 1);
+    assert_eq!(t.lookup(1).unwrap().unwrap(), b"second version");
+    // Replace with an overflow-sized record and back.
+    t.insert(1, &vec![1u8; 5000]).unwrap();
+    assert_eq!(t.lookup(1).unwrap().unwrap(), vec![1u8; 5000]);
+    t.insert(1, b"small again").unwrap();
+    assert_eq!(t.lookup(1).unwrap().unwrap(), b"small again");
+}
+
+#[test]
+fn delete_removes_records() {
+    let dev = device();
+    let mut t = BTreeFile::create(dev.create_file(), config()).unwrap();
+    for k in 0..100u32 {
+        t.insert(k, &[k as u8; 10]).unwrap();
+    }
+    assert!(t.delete(50).unwrap());
+    assert!(!t.delete(50).unwrap());
+    assert_eq!(t.lookup(50).unwrap(), None);
+    assert_eq!(t.lookup(49).unwrap().unwrap(), [49u8; 10]);
+    assert_eq!(t.record_count(), 99);
+}
+
+#[test]
+fn bulk_build_equals_incremental_inserts() {
+    let dev = device();
+    let pairs: Vec<(u32, Vec<u8>)> =
+        (0..300u32).map(|k| (k * 3, vec![(k % 251) as u8; (k % 40) as usize])).collect();
+    let mut bulk =
+        BTreeFile::bulk_build(dev.create_file(), config(), pairs.clone()).unwrap();
+    let mut incr = BTreeFile::create(dev.create_file(), config()).unwrap();
+    for (k, v) in &pairs {
+        incr.insert(*k, v).unwrap();
+    }
+    assert_eq!(bulk.record_count(), incr.record_count());
+    for (k, v) in &pairs {
+        assert_eq!(&bulk.lookup(*k).unwrap().unwrap(), v);
+        assert_eq!(&incr.lookup(*k).unwrap().unwrap(), v);
+    }
+    assert_eq!(bulk.scan().unwrap(), pairs);
+}
+
+#[test]
+fn tree_survives_reopen() {
+    let dev = device();
+    let handle = dev.create_file();
+    {
+        let mut t = BTreeFile::create(handle.clone(), config()).unwrap();
+        for k in 0..200u32 {
+            t.insert(k, format!("v{k}").as_bytes()).unwrap();
+        }
+        t.flush().unwrap();
+    }
+    let mut t = BTreeFile::open(handle, 4).unwrap();
+    assert_eq!(t.record_count(), 200);
+    for k in 0..200u32 {
+        assert_eq!(t.lookup(k).unwrap().unwrap(), format!("v{k}").as_bytes());
+    }
+}
+
+#[test]
+fn lookups_need_more_than_one_access_as_the_tree_grows() {
+    // The paper's Table 5: the B-tree baseline averages 1.44-3.09 file
+    // accesses per record lookup because only index nodes are cached.
+    let dev = device();
+    let pairs: Vec<(u32, Vec<u8>)> = (0..3000u32).map(|k| (k, vec![7u8; 30])).collect();
+    let mut t = BTreeFile::bulk_build(dev.create_file(), config(), pairs).unwrap();
+    assert!(t.height() >= 3);
+    let before = dev.stats().snapshot();
+    let lookups = 500u64;
+    for k in 0..lookups as u32 {
+        t.lookup(k * 6 % 3000).unwrap();
+    }
+    let delta = dev.stats().snapshot().since(&before);
+    let a = delta.file_accesses as f64 / lookups as f64;
+    assert!(a > 1.0, "A = {a} must exceed 1 access per lookup");
+    assert!(a <= t.height() as f64, "A = {a} cannot exceed the tree height");
+}
+
+#[test]
+fn scan_returns_key_order() {
+    let dev = device();
+    let mut t = BTreeFile::create(dev.create_file(), config()).unwrap();
+    for k in [5u32, 1, 9, 3, 7] {
+        t.insert(k, &k.to_le_bytes()).unwrap();
+    }
+    let scanned = t.scan().unwrap();
+    let keys: Vec<u32> = scanned.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+}
+
+#[test]
+fn empty_tree_behaviour() {
+    let dev = device();
+    let mut t = BTreeFile::create(dev.create_file(), config()).unwrap();
+    assert_eq!(t.lookup(0).unwrap(), None);
+    assert!(!t.delete(0).unwrap());
+    assert_eq!(t.record_count(), 0);
+    assert_eq!(t.scan().unwrap(), vec![]);
+    assert!(!t.contains(5).unwrap());
+}
+
+#[test]
+fn empty_value_round_trips() {
+    let dev = device();
+    let mut t = BTreeFile::create(dev.create_file(), config()).unwrap();
+    t.insert(3, b"").unwrap();
+    assert_eq!(t.lookup(3).unwrap().unwrap(), Vec::<u8>::new());
+    assert!(t.contains(3).unwrap());
+}

@@ -1,0 +1,185 @@
+//! The paper's four collections and seven query sets, scaled.
+//!
+//! Table 1 of the paper:
+//!
+//! | Collection | Docs    | Size (KB) | Records |
+//! |------------|---------|-----------|---------|
+//! | CACM       | 3,204   | 2,136     | 5,944   |
+//! | Legal      | 11,953  | 290,529   | 142,721 |
+//! | TIPSTER 1  | 510,887 | 1,225,712 | 627,078 |
+//! | TIPSTER    | 742,358 | 2,103,574 | 846,331 |
+//!
+//! CACM and Legal keep their document counts (Legal documents are shortened
+//! ~8×); the TIPSTER collections are scaled down ~13× in document count so
+//! a full reproduction run completes in minutes rather than days. TIPSTER 1
+//! shares TIPSTER's seed and configuration, so — as in the paper — it *is*
+//! a prefix of TIPSTER and "uses the same query set". See DESIGN.md §4 for
+//! the substitution rationale.
+
+use crate::generator::CollectionSpec;
+use crate::queries::{QuerySetSpec, QueryStyle};
+
+/// A paper collection with its query sets.
+#[derive(Debug, Clone)]
+pub struct PaperCollection {
+    /// The collection parameters.
+    pub spec: CollectionSpec,
+    /// The query sets evaluated against it, in the paper's order.
+    pub query_sets: Vec<QuerySetSpec>,
+}
+
+impl PaperCollection {
+    /// Scales the document count by `factor` (for quick runs and tests).
+    /// Query sets and per-document sizes are unchanged.
+    pub fn scale(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.spec.num_docs = ((self.spec.num_docs as f64 * factor) as usize)
+            .max(self.spec.num_topics * 2);
+        self
+    }
+}
+
+fn qs(name: &str, style: QueryStyle, mean_terms: usize, seed: u64) -> QuerySetSpec {
+    QuerySetSpec {
+        name: name.into(),
+        style,
+        num_queries: 50,
+        mean_terms,
+        reuse_rate: 0.35,
+        seed,
+    }
+}
+
+/// CACM: 3,204 short abstracts; three representations of the same 50
+/// queries (boolean, boolean, words + phrases).
+pub fn cacm() -> PaperCollection {
+    PaperCollection {
+        spec: CollectionSpec {
+            name: "CACM".into(),
+            num_docs: 3_204,
+            mean_doc_len: 90,
+            vocab_size: 3_000,
+            zipf_s: 1.0,
+            num_topics: 50,
+            topic_mix: 0.15,
+            terms_per_topic: 10,
+            rare_rate: 0.011,
+            rare_pool: 1 << 26,
+            seed: 0xCAC3,
+        },
+        query_sets: vec![
+            qs("CACM QS1", QueryStyle::BooleanAnd, 5, 101),
+            qs("CACM QS2", QueryStyle::BooleanOrAnd, 5, 101),
+            qs("CACM QS3", QueryStyle::PhraseEnriched, 7, 101),
+        ],
+    }
+}
+
+/// Legal: 11,953 case descriptions (documents shortened ~8× from the
+/// private collection's 24 KB average); a supplied natural-language set and
+/// a weighted/phrase-enriched refinement of it.
+pub fn legal() -> PaperCollection {
+    PaperCollection {
+        spec: CollectionSpec {
+            name: "Legal".into(),
+            num_docs: 11_953,
+            mean_doc_len: 450,
+            vocab_size: 75_000,
+            zipf_s: 1.0,
+            num_topics: 50,
+            topic_mix: 0.12,
+            terms_per_topic: 12,
+            rare_rate: 0.013,
+            rare_pool: 1 << 26,
+            seed: 0x1E6A1,
+        },
+        query_sets: vec![
+            qs("Legal QS1", QueryStyle::NaturalLanguage, 8, 201),
+            qs("Legal QS2", QueryStyle::WeightedEnriched, 12, 201),
+        ],
+    }
+}
+
+/// TIPSTER: news articles; long automatic queries from topics 51-100.
+pub fn tipster() -> PaperCollection {
+    PaperCollection {
+        spec: CollectionSpec {
+            name: "TIPSTER".into(),
+            num_docs: 60_000,
+            mean_doc_len: 300,
+            vocab_size: 250_000,
+            zipf_s: 1.0,
+            num_topics: 50,
+            topic_mix: 0.10,
+            terms_per_topic: 15,
+            rare_rate: 0.014,
+            rare_pool: 1 << 26,
+            seed: 0x7197,
+        },
+        query_sets: vec![qs("TIPSTER QS1", QueryStyle::NaturalLanguage, 25, 301)],
+    }
+}
+
+/// TIPSTER 1: part 1 of TIPSTER — the same configuration and seed with
+/// fewer documents, evaluated with the same query set.
+pub fn tipster1() -> PaperCollection {
+    let mut c = tipster();
+    c.spec.name = "TIPSTER 1".into();
+    c.spec.num_docs = 40_000;
+    c.query_sets = vec![QuerySetSpec { name: "TIPSTER 1 QS1".into(), ..c.query_sets[0].clone() }];
+    c
+}
+
+/// All four collections in the paper's Table 1 order.
+pub fn all() -> Vec<PaperCollection> {
+    vec![cacm(), legal(), tipster1(), tipster()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticCollection;
+
+    #[test]
+    fn paper_document_counts() {
+        assert_eq!(cacm().spec.num_docs, 3_204);
+        assert_eq!(legal().spec.num_docs, 11_953);
+        assert!(tipster1().spec.num_docs < tipster().spec.num_docs);
+        assert_eq!(all().len(), 4);
+    }
+
+    #[test]
+    fn cacm_sets_share_term_selection() {
+        let sets = cacm().query_sets;
+        assert_eq!(sets[0].seed, sets[1].seed);
+        assert_eq!(sets[0].seed, sets[2].seed);
+        assert_ne!(sets[0].style, sets[1].style);
+    }
+
+    #[test]
+    fn tipster1_is_a_prefix_of_tipster() {
+        let small = SyntheticCollection::new(tipster1().scale(0.01).spec);
+        let big = SyntheticCollection::new(tipster().scale(0.01).spec);
+        // Same seed + config → identical shared-prefix documents.
+        for i in 0..50 {
+            assert_eq!(small.document(i).text, big.document(i).text);
+        }
+        assert_eq!(
+            tipster1().query_sets[0].seed,
+            tipster().query_sets[0].seed,
+            "TIPSTER 1 uses the same query set"
+        );
+    }
+
+    #[test]
+    fn scaling_shrinks_document_count_only() {
+        let full = legal();
+        let scaled = legal().scale(0.1);
+        assert_eq!(scaled.spec.num_docs, 1_195);
+        assert_eq!(scaled.spec.mean_doc_len, full.spec.mean_doc_len);
+        assert_eq!(scaled.query_sets.len(), full.query_sets.len());
+        // Scaling never drops below two docs per topic.
+        let tiny = legal().scale(1e-9);
+        assert_eq!(tiny.spec.num_docs, tiny.spec.num_topics * 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Query-set generation.
+//!
+//! The paper's query sets "are designed to evaluate an IR system's recall
+//! and precision and are representative of queries that would be asked by
+//! real users" (Section 4.2), and Section 2 observes "significant
+//! repetition of the terms used from query to query" — from iterative query
+//! refinement and from specialised collections. The generator reproduces
+//! both properties: query terms come mostly from the query's topic (so
+//! relevant documents exist), and a sliding reuse pool re-injects terms
+//! from earlier queries at a configurable rate (so the caching behaviour of
+//! Tables 5-6 has something to cache).
+//!
+//! Term *selection* depends only on the collection and the spec seed; the
+//! [`QueryStyle`] controls formatting. This mirrors the paper's CACM sets:
+//! "different boolean representations of the same 50 queries".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::SyntheticCollection;
+use crate::words::word;
+
+/// How the selected terms are rendered into INQUERY query syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStyle {
+    /// `#and(t1 t2 ...)` — CACM query set 1.
+    BooleanAnd,
+    /// `#and(#or(t1 t2) #or(t3 t4) ...)` — CACM query set 2.
+    BooleanOrAnd,
+    /// Bare terms (implicit `#sum`) — natural-language sets.
+    NaturalLanguage,
+    /// `#sum(terms ... #phrase(a b))` — manually selected words and
+    /// phrases (CACM query set 3).
+    PhraseEnriched,
+    /// `#wsum(w t ... )` with phrases — Legal query set 2 ("supplementing
+    /// the first query set with dictionary terms, phrases, and weights").
+    WeightedEnriched,
+}
+
+/// Parameters of one query set.
+#[derive(Debug, Clone)]
+pub struct QuerySetSpec {
+    /// Display label, e.g. "Legal QS2".
+    pub name: String,
+    /// Rendering style.
+    pub style: QueryStyle,
+    /// Number of queries.
+    pub num_queries: usize,
+    /// Mean number of terms per query.
+    pub mean_terms: usize,
+    /// Probability that a term is re-drawn from earlier queries.
+    pub reuse_rate: f64,
+    /// Seed for term selection. Sets sharing a seed select the same terms.
+    pub seed: u64,
+}
+
+/// One generated query.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// INQUERY query text.
+    pub text: String,
+    /// The topic the query targets (drives relevance judgments).
+    pub topic: usize,
+}
+
+/// Generates the query set described by `spec` against `collection`.
+pub fn generate(collection: &SyntheticCollection, spec: &QuerySetSpec) -> Vec<GeneratedQuery> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let num_topics = collection.spec().num_topics;
+    let mut reuse_pool: Vec<usize> = Vec::new();
+    let mut queries = Vec::with_capacity(spec.num_queries);
+    for q in 0..spec.num_queries {
+        let topic = q % num_topics;
+        let topic_terms = collection.topic_terms(topic);
+        let count = rng.gen_range((spec.mean_terms / 2).max(2)..=spec.mean_terms * 3 / 2);
+        let mut ranks: Vec<usize> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let rank = if !reuse_pool.is_empty() && rng.gen::<f64>() < spec.reuse_rate {
+                reuse_pool[rng.gen_range(0..reuse_pool.len())]
+            } else if rng.gen::<f64>() < 0.65 {
+                topic_terms[rng.gen_range(0..topic_terms.len())]
+            } else if rng.gen::<f64>() < 0.6 {
+                // A common content word (high document frequency): these
+                // are the accesses to the big inverted lists that dominate
+                // Figure 2 and populate the large-object buffer.
+                rng.gen_range(8..512.min(collection.spec().vocab_size))
+            } else if rng.gen::<f64>() < 0.1 {
+                // A very rare word that actually occurs in the collection
+                // (a name or code from some document): its one-or-two-entry
+                // record lives in the small object pool. "The small
+                // inverted lists are accessed rarely" (Figure 2).
+                let doc = rng.gen_range(0..collection.spec().num_docs);
+                let rare = collection.rare_ranks_in(doc);
+                if rare.is_empty() {
+                    rng.gen_range(16..collection.spec().vocab_size / 4)
+                } else {
+                    rare[rng.gen_range(0..rare.len())]
+                }
+            } else {
+                // An off-topic mid-frequency term, as refinement introduces.
+                rng.gen_range(16..collection.spec().vocab_size / 4)
+            };
+            if !ranks.contains(&rank) {
+                ranks.push(rank);
+            }
+        }
+        reuse_pool.extend(&ranks);
+        if reuse_pool.len() > 200 {
+            let excess = reuse_pool.len() - 200;
+            reuse_pool.drain(0..excess);
+        }
+        let terms: Vec<String> = ranks.iter().map(|&r| word(r)).collect();
+        queries.push(GeneratedQuery { text: render(&terms, spec.style, &mut rng), topic });
+    }
+    queries
+}
+
+fn render(terms: &[String], style: QueryStyle, rng: &mut StdRng) -> String {
+    match style {
+        QueryStyle::BooleanAnd => format!("#and({})", terms.join(" ")),
+        QueryStyle::BooleanOrAnd => {
+            let groups: Vec<String> = terms
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        format!("#or({} {})", pair[0], pair[1])
+                    } else {
+                        pair[0].clone()
+                    }
+                })
+                .collect();
+            format!("#and({})", groups.join(" "))
+        }
+        QueryStyle::NaturalLanguage => terms.join(" "),
+        QueryStyle::PhraseEnriched => {
+            let mut parts: Vec<String> = terms.to_vec();
+            if terms.len() >= 2 {
+                let a = rng.gen_range(0..terms.len());
+                let mut b = rng.gen_range(0..terms.len());
+                if a == b {
+                    b = (b + 1) % terms.len();
+                }
+                parts.push(format!("#phrase({} {})", terms[a], terms[b]));
+            }
+            format!("#sum({})", parts.join(" "))
+        }
+        QueryStyle::WeightedEnriched => {
+            let mut parts: Vec<String> = terms
+                .iter()
+                .map(|t| format!("{} {}", rng.gen_range(1..=5), t))
+                .collect();
+            if terms.len() >= 2 {
+                parts.push(format!("2 #phrase({} {})", terms[0], terms[1]));
+            }
+            format!("#wsum({})", parts.join(" "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CollectionSpec;
+    use poir_inquery::{parse_query, StopWords};
+    use std::collections::HashSet;
+
+    fn collection() -> SyntheticCollection {
+        SyntheticCollection::new(CollectionSpec::tiny(3))
+    }
+
+    fn spec(style: QueryStyle, seed: u64) -> QuerySetSpec {
+        QuerySetSpec {
+            name: "test".into(),
+            style,
+            num_queries: 30,
+            mean_terms: 6,
+            reuse_rate: 0.3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn all_styles_produce_parsable_queries() {
+        let c = collection();
+        let stop = StopWords::default();
+        for style in [
+            QueryStyle::BooleanAnd,
+            QueryStyle::BooleanOrAnd,
+            QueryStyle::NaturalLanguage,
+            QueryStyle::PhraseEnriched,
+            QueryStyle::WeightedEnriched,
+        ] {
+            for q in generate(&c, &spec(style, 77)) {
+                parse_query(&q.text, &stop)
+                    .unwrap_or_else(|e| panic!("style {style:?}: {} → {e}", q.text));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_selects_same_terms_across_styles() {
+        let c = collection();
+        let and_set = generate(&c, &spec(QueryStyle::BooleanAnd, 9));
+        let nl_set = generate(&c, &spec(QueryStyle::NaturalLanguage, 9));
+        // Same underlying terms: strip the boolean syntax and compare.
+        for (a, n) in and_set.iter().zip(nl_set.iter()) {
+            let stripped: String =
+                a.text.replace("#and(", "").replace(')', "");
+            assert_eq!(stripped.split_whitespace().collect::<Vec<_>>(),
+                n.text.split_whitespace().collect::<Vec<_>>());
+            assert_eq!(a.topic, n.topic);
+        }
+    }
+
+    #[test]
+    fn terms_repeat_across_queries() {
+        let c = collection();
+        let queries = generate(&c, &spec(QueryStyle::NaturalLanguage, 5));
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut repeats = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            for t in q.text.split_whitespace() {
+                total += 1;
+                if !seen.insert(t.to_string()) {
+                    repeats += 1;
+                }
+            }
+        }
+        let rate = repeats as f64 / total as f64;
+        assert!(rate > 0.25, "cross-query repetition rate {rate} too low");
+    }
+
+    #[test]
+    fn queries_cycle_through_topics() {
+        let c = collection();
+        let queries = generate(&c, &spec(QueryStyle::NaturalLanguage, 5));
+        assert_eq!(queries[0].topic, 0);
+        assert_eq!(queries[10].topic, 0, "10 topics in the tiny spec");
+        assert_eq!(queries[3].topic, 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = collection();
+        let a = generate(&c, &spec(QueryStyle::WeightedEnriched, 5));
+        let b = generate(&c, &spec(QueryStyle::WeightedEnriched, 5));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.text, y.text);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Synthetic relevance judgments.
+//!
+//! "A relevance file lists the documents that should have been retrieved
+//! for each query and is required for determining recall and precision."
+//! (Section 4.2). For synthetic collections the ground truth is known by
+//! construction: a query generated for topic *t* is satisfied by the
+//! documents of topic *t* (they are the ones salted with the topic's
+//! characteristic terms).
+
+use poir_inquery::{DocId, Judgments};
+
+use crate::generator::SyntheticCollection;
+use crate::queries::GeneratedQuery;
+
+/// Maximum relevant documents listed per query (real relevance files list
+/// a bounded judged set, not every topical document).
+pub const MAX_RELEVANT: usize = 200;
+
+/// Judgments for one generated query.
+pub fn judgments_for(collection: &SyntheticCollection, query: &GeneratedQuery) -> Judgments {
+    Judgments::new(
+        collection.docs_of_topic(query.topic, MAX_RELEVANT).into_iter().map(DocId),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CollectionSpec;
+    use crate::queries::{generate, QuerySetSpec, QueryStyle};
+
+    #[test]
+    fn judgments_match_topic_membership() {
+        let c = SyntheticCollection::new(CollectionSpec::tiny(4));
+        let spec = QuerySetSpec {
+            name: "t".into(),
+            style: QueryStyle::NaturalLanguage,
+            num_queries: 5,
+            mean_terms: 4,
+            reuse_rate: 0.0,
+            seed: 8,
+        };
+        for q in generate(&c, &spec) {
+            let j = judgments_for(&c, &q);
+            assert!(!j.is_empty());
+            for d in c.docs_of_topic(q.topic, 10) {
+                assert!(j.is_relevant(DocId(d)));
+            }
+            let other = (q.topic + 1) % c.spec().num_topics;
+            for d in c.docs_of_topic(other, 10) {
+                assert!(!j.is_relevant(DocId(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn judged_set_is_bounded() {
+        let c = SyntheticCollection::new(CollectionSpec::tiny(4));
+        let q = GeneratedQuery { text: "ignored".into(), topic: 0 };
+        assert!(judgments_for(&c, &q).len() <= MAX_RELEVANT);
+    }
+}

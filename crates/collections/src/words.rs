@@ -1,0 +1,64 @@
+//! Deterministic pseudo-word synthesis.
+//!
+//! Each vocabulary rank maps bijectively to a pronounceable word built from
+//! consonant-vowel syllables, so the same rank always yields the same term
+//! in documents, queries, and relevance judgments. Words have at least two
+//! syllables (four characters), start with a consonant, and avoid the vowel
+//! `e`, which keeps them clear of the analyzer's stop-word list and its
+//! minimum-length filter.
+
+const CONSONANTS: &[u8] = b"bcdfghjklmnprstvwz";
+const VOWELS: &[u8] = b"aiou";
+
+/// Number of distinct syllables.
+const SYLLABLES: usize = CONSONANTS.len() * VOWELS.len(); // 72
+
+/// Returns the unique word for vocabulary `rank`.
+pub fn word(rank: usize) -> String {
+    // Offset so every word has at least two syllables.
+    let mut n = rank + SYLLABLES;
+    let mut syllables = Vec::with_capacity(4);
+    while n > 0 {
+        syllables.push(n % SYLLABLES);
+        n /= SYLLABLES;
+    }
+    let mut out = String::with_capacity(syllables.len() * 2);
+    for &s in syllables.iter().rev() {
+        out.push(CONSONANTS[s / VOWELS.len()] as char);
+        out.push(VOWELS[s % VOWELS.len()] as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_unique_and_deterministic() {
+        let mut seen = HashSet::new();
+        for rank in 0..100_000 {
+            let w = word(rank);
+            assert_eq!(w, word(rank));
+            assert!(seen.insert(w.clone()), "duplicate word {w} at rank {rank}");
+        }
+    }
+
+    #[test]
+    fn words_survive_the_analyzer() {
+        let stop = poir_inquery::StopWords::default();
+        for rank in [0usize, 1, 71, 72, 5183, 5184, 999_999] {
+            let w = word(rank);
+            assert!(w.len() >= 4, "{w} too short");
+            let toks = poir_inquery::text::terms(&w, &stop);
+            assert_eq!(toks, vec![w.clone()], "analyzer must keep {w} intact");
+        }
+    }
+
+    #[test]
+    fn low_ranks_are_short_high_ranks_longer() {
+        assert_eq!(word(0).len(), 4);
+        assert!(word(10_000_000).len() > word(0).len());
+    }
+}

@@ -1,0 +1,520 @@
+//! The integrated system: INQUERY over a pluggable inverted-file backend.
+//!
+//! [`Engine`] wires together the hash dictionary, document table, belief
+//! functions, query processor, and one of the three storage configurations
+//! the paper compares (Section 4):
+//!
+//! * [`BackendKind::BTree`] — the original custom B-tree package,
+//! * [`BackendKind::MnemeNoCache`] — Mneme with zero-capacity buffers
+//!   ("no user space main memory caching of inverted list records"),
+//! * [`BackendKind::MnemeCache`] — Mneme with the Table 2 buffer sizes.
+//!
+//! [`Engine::run_query_set`] reproduces the paper's measurement procedure:
+//! purge the simulated OS cache (the "chill file"), process the whole query
+//! set in batch mode, and report wall-clock, system + I/O time, and the
+//! Table 5 I/O statistics.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use poir_btree::BTreeConfig;
+use poir_inquery::query::daat;
+use poir_inquery::{
+    BeliefParams, Dictionary, DocId, DocTable, Evaluator, Index, InvertedFileStore, StopWords,
+};
+use poir_mneme::BufferStats;
+use poir_storage::{Device, FileHandle, IoSnapshot, SimTime};
+
+use crate::btree_store::BTreeInvertedFile;
+use crate::buffer_sizing::{paper_heuristic, BufferSizes};
+use crate::error::{CoreError, Result};
+use crate::mneme_store::{MnemeInvertedFile, MnemeOptions};
+
+/// The three storage configurations of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Custom B-tree keyed file (the baseline).
+    BTree,
+    /// Mneme persistent object store, no record caching.
+    MnemeNoCache,
+    /// Mneme with the Table 2 per-pool buffer sizes.
+    MnemeCache,
+}
+
+impl BackendKind {
+    /// Display label used in the reproduction tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::BTree => "B-Tree",
+            BackendKind::MnemeNoCache => "Mneme, No Cache",
+            BackendKind::MnemeCache => "Mneme, Cache",
+        }
+    }
+
+    /// All three configurations in the paper's column order.
+    pub fn all() -> [BackendKind; 3] {
+        [BackendKind::BTree, BackendKind::MnemeNoCache, BackendKind::MnemeCache]
+    }
+}
+
+enum StoreImpl {
+    BTree(BTreeInvertedFile),
+    Mneme(MnemeInvertedFile),
+}
+
+impl StoreImpl {
+    fn as_store(&mut self) -> &mut dyn InvertedFileStore {
+        match self {
+            StoreImpl::BTree(s) => s,
+            StoreImpl::Mneme(s) => s,
+        }
+    }
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedResult {
+    /// Ordinal document id.
+    pub doc: DocId,
+    /// External document name.
+    pub name: String,
+    /// Final belief.
+    pub score: f64,
+}
+
+/// Measurements from processing one query set — the raw data behind
+/// Tables 3, 4, 5, and 6.
+#[derive(Debug, Clone)]
+pub struct QuerySetReport {
+    /// Number of queries processed.
+    pub queries: usize,
+    /// Real (host) time spent in parsing, evaluation, and ranking.
+    pub engine_time: Duration,
+    /// Simulated system CPU + I/O time (Table 4).
+    pub sys_io_time: SimTime,
+    /// I/O counter deltas for the run (Table 5's raw data).
+    pub io: IoSnapshot,
+    /// Inverted-record lookups performed.
+    pub record_lookups: u64,
+    /// Per-pool buffer stats (Table 6) — Mneme backends only.
+    pub buffer_stats: Option<[BufferStats; 3]>,
+}
+
+impl QuerySetReport {
+    /// Simulated wall-clock seconds: engine time plus system + I/O time
+    /// (Table 3).
+    pub fn wall_clock_secs(&self) -> f64 {
+        self.engine_time.as_secs_f64() + self.sys_io_time.as_secs_f64()
+    }
+
+    /// Table 5 column "I": blocks actually read from disk.
+    pub fn io_inputs(&self) -> u64 {
+        self.io.io_inputs
+    }
+
+    /// Table 5 column "A": average file accesses per record lookup.
+    pub fn accesses_per_lookup(&self) -> f64 {
+        if self.record_lookups == 0 {
+            0.0
+        } else {
+            self.io.file_accesses as f64 / self.record_lookups as f64
+        }
+    }
+
+    /// Table 5 column "B": total Kbytes read from the files.
+    pub fn kbytes_read(&self) -> u64 {
+        self.io.kbytes_read()
+    }
+}
+
+/// The integrated IR system.
+pub struct Engine {
+    device: Arc<Device>,
+    backend: BackendKind,
+    dict: Dictionary,
+    docs: DocTable,
+    stop: StopWords,
+    params: BeliefParams,
+    store: StoreImpl,
+    store_handle: FileHandle,
+    reserve_enabled: bool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("backend", &self.backend.label())
+            .field("terms", &self.dict.len())
+            .field("docs", &self.docs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Loads a finished [`Index`] into a fresh inverted file of the chosen
+    /// backend on `device`.
+    pub fn build(
+        device: &Arc<Device>,
+        backend: BackendKind,
+        index: Index,
+        stop: StopWords,
+    ) -> Result<Engine> {
+        let Index { mut dictionary, documents, records } = index;
+        let store_handle = device.create_file();
+        let store = match backend {
+            BackendKind::BTree => StoreImpl::BTree(BTreeInvertedFile::build(
+                store_handle.clone(),
+                BTreeConfig::default(),
+                &records,
+                &mut dictionary,
+            )?),
+            BackendKind::MnemeNoCache | BackendKind::MnemeCache => {
+                let mut store = MnemeInvertedFile::build(
+                    store_handle.clone(),
+                    MnemeOptions::default(),
+                    &records,
+                    &mut dictionary,
+                )?;
+                if backend == BackendKind::MnemeCache {
+                    let sizes = paper_heuristic(store.largest_record(), 8192);
+                    store.attach_buffers(sizes)?;
+                }
+                StoreImpl::Mneme(store)
+            }
+        };
+        Ok(Engine {
+            device: Arc::clone(device),
+            backend,
+            dict: dictionary,
+            docs: documents,
+            stop,
+            params: BeliefParams::default(),
+            store,
+            store_handle,
+            reserve_enabled: true,
+        })
+    }
+
+    /// Enables or disables the pre-evaluation reservation pass (on by
+    /// default; the off setting exists for the ablation study).
+    pub fn set_reservation_enabled(&mut self, enabled: bool) {
+        self.reserve_enabled = enabled;
+    }
+
+    /// The active backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The hash dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The document table.
+    pub fn documents(&self) -> &DocTable {
+        &self.docs
+    }
+
+    /// The simulated device everything runs on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// The handle of the inverted-file store (for reopening).
+    pub fn store_handle(&self) -> &FileHandle {
+        &self.store_handle
+    }
+
+    /// Size of the inverted file on disk (Table 1's size columns).
+    pub fn store_file_size(&mut self) -> Result<u64> {
+        match &mut self.store {
+            StoreImpl::BTree(s) => Ok(s.file_size()),
+            StoreImpl::Mneme(s) => s.file_size(),
+        }
+    }
+
+    /// Overrides the Mneme buffer sizes (Figure 3's sweep). Errors on the
+    /// B-tree backend.
+    pub fn set_buffer_sizes(&mut self, sizes: BufferSizes) -> Result<()> {
+        match &mut self.store {
+            StoreImpl::Mneme(s) => s.attach_buffers(sizes),
+            StoreImpl::BTree(_) => Err(CoreError::Unsupported("buffer sizing on the B-tree backend")),
+        }
+    }
+
+    /// The Table 2 buffer sizes this collection would use.
+    pub fn paper_buffer_sizes(&self) -> Result<BufferSizes> {
+        match &self.store {
+            StoreImpl::Mneme(s) => Ok(paper_heuristic(s.largest_record(), 8192)),
+            StoreImpl::BTree(_) => Err(CoreError::Unsupported("buffer sizing on the B-tree backend")),
+        }
+    }
+
+    /// Parses and runs one query, returning the top `k` documents.
+    pub fn query(&mut self, text: &str, k: usize) -> Result<Vec<RankedResult>> {
+        let parsed = poir_inquery::parse_query(text, &self.stop)?;
+        let store = self.store.as_store();
+        let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
+        if self.reserve_enabled {
+            ev.reserve(&parsed);
+        }
+        let ranked = ev.rank(&parsed, k);
+        ev.release_reservations();
+        let ranked = ranked?;
+        Ok(ranked
+            .into_iter()
+            .map(|s| RankedResult {
+                doc: s.doc,
+                name: self.docs.info(s.doc).name.clone(),
+                score: s.score,
+            })
+            .collect())
+    }
+
+    /// Explains the belief `text` assigns to one document, node by node.
+    pub fn explain(
+        &mut self,
+        text: &str,
+        doc: DocId,
+    ) -> Result<poir_inquery::query::Explanation> {
+        let parsed = poir_inquery::parse_query(text, &self.stop)?;
+        let store = self.store.as_store();
+        let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
+        Ok(ev.explain(&parsed, doc)?)
+    }
+
+    /// Runs a bag-of-words query document-at-a-time (the Section 3.1
+    /// extension). Errors when the query is not a flat `#sum`/`#wsum`.
+    pub fn query_daat(&mut self, text: &str, k: usize) -> Result<Vec<RankedResult>> {
+        let parsed = poir_inquery::parse_query(text, &self.stop)?;
+        let bag = daat::flatten_bag(&parsed)
+            .ok_or(CoreError::Unsupported("document-at-a-time on structured queries"))?;
+        let store = self.store.as_store();
+        let ranked = daat::rank_daat(store, &self.dict, &self.docs, self.params, &bag, k)?;
+        Ok(ranked
+            .into_iter()
+            .map(|s| RankedResult {
+                doc: s.doc,
+                name: self.docs.info(s.doc).name.clone(),
+                score: s.score,
+            })
+            .collect())
+    }
+
+    /// Processes a query set in batch mode, reproducing the paper's
+    /// measurement procedure (Section 4.2): chill the OS cache, process all
+    /// queries, report times and I/O statistics.
+    pub fn run_query_set<S: AsRef<str>>(
+        &mut self,
+        queries: &[S],
+        k: usize,
+    ) -> Result<QuerySetReport> {
+        // Parse outside the timed region is NOT what the paper does —
+        // "timing was begun just before query processing started" — parsing
+        // is part of query processing, so it stays inside.
+        self.device.chill();
+        if let StoreImpl::Mneme(s) = &mut self.store {
+            s.reset_buffer_stats();
+        }
+        let lookups_before = self.store.as_store().record_lookups();
+        let io_before = self.device.stats().snapshot();
+        let start = Instant::now();
+        for q in queries {
+            let parsed = poir_inquery::parse_query(q.as_ref(), &self.stop)?;
+            let store = self.store.as_store();
+            let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
+            if self.reserve_enabled {
+                ev.reserve(&parsed);
+            }
+            let result = ev.rank(&parsed, k);
+            ev.release_reservations();
+            result?;
+        }
+        let engine_time = start.elapsed();
+        let io = self.device.stats().snapshot().since(&io_before);
+        let record_lookups = self.store.as_store().record_lookups() - lookups_before;
+        let buffer_stats = match &self.store {
+            StoreImpl::Mneme(s) => Some(s.buffer_stats()?),
+            StoreImpl::BTree(_) => None,
+        };
+        Ok(QuerySetReport {
+            queries: queries.len(),
+            engine_time,
+            sys_io_time: self.device.cost_model().charge(&io),
+            io,
+            record_lookups,
+            buffer_stats,
+        })
+    }
+
+    /// Incrementally adds a document to the collection — the dynamic-update
+    /// service the paper's conclusions call for, enabled by the object
+    /// store (Mneme backends only; the archival B-tree configuration
+    /// requires re-indexing, as in the original INQUERY).
+    pub fn add_document(&mut self, name: &str, text: &str) -> Result<DocId> {
+        let StoreImpl::Mneme(store) = &mut self.store else {
+            return Err(CoreError::Unsupported("incremental update on the B-tree backend"));
+        };
+        let raw_tokens =
+            text.split(|c: char| !c.is_ascii_alphanumeric()).filter(|t| !t.is_empty()).count();
+        let doc = self.docs.push(name.to_string(), raw_tokens as u32);
+        let mut by_term: std::collections::HashMap<String, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (token, pos) in poir_inquery::tokenize(text, &self.stop) {
+            by_term.entry(token).or_default().push(pos);
+        }
+        for (token, positions) in by_term {
+            let tf = positions.len() as u32;
+            let posting = poir_inquery::Posting { doc, tf, positions };
+            match self.dict.lookup(&token) {
+                Some(id) => {
+                    let store_ref = self.dict.entry(id).store_ref;
+                    let bytes = store.fetch(store_ref)?;
+                    let mut record = poir_inquery::InvertedRecord::decode(&bytes)
+                        .ok_or_else(|| CoreError::Inquery(poir_inquery::InqueryError::BadRecord(
+                            format!("record for {token:?}"),
+                        )))?;
+                    record.cf += tf as u64;
+                    record.max_tf = record.max_tf.max(tf);
+                    record.postings.push(posting);
+                    let new_ref = store.update_record(store_ref, &record.encode())?;
+                    let entry = self.dict.entry_mut(id);
+                    entry.store_ref = new_ref;
+                    entry.df += 1;
+                    entry.cf += tf as u64;
+                }
+                None => {
+                    let record = poir_inquery::InvertedRecord::from_postings(vec![posting]);
+                    let store_ref = store.insert_record(&record.encode())?;
+                    let id = self.dict.intern(&token);
+                    let entry = self.dict.entry_mut(id);
+                    entry.store_ref = store_ref;
+                    entry.df = 1;
+                    entry.cf = tf as u64;
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Incrementally removes a document, given its original text (the
+    /// deletion side of dynamic update; leaves holes that [`poir_mneme::gc`]
+    /// reclaims). Mneme backends only.
+    pub fn remove_document(&mut self, doc: DocId, text: &str) -> Result<()> {
+        let StoreImpl::Mneme(store) = &mut self.store else {
+            return Err(CoreError::Unsupported("incremental update on the B-tree backend"));
+        };
+        let mut terms: Vec<String> =
+            poir_inquery::tokenize(text, &self.stop).map(|(t, _)| t).collect();
+        terms.sort_unstable();
+        terms.dedup();
+        for token in terms {
+            let Some(id) = self.dict.lookup(&token) else { continue };
+            let store_ref = self.dict.entry(id).store_ref;
+            let bytes = store.fetch(store_ref)?;
+            let Some(mut record) = poir_inquery::InvertedRecord::decode(&bytes) else {
+                continue;
+            };
+            let Ok(i) = record.postings.binary_search_by_key(&doc, |p| p.doc) else {
+                continue;
+            };
+            let removed = record.postings.remove(i);
+            record.cf = record.cf.saturating_sub(removed.tf as u64);
+            record.max_tf = record.postings.iter().map(|p| p.tf).max().unwrap_or(0);
+            let new_ref = store.update_record(store_ref, &record.encode())?;
+            let entry = self.dict.entry_mut(id);
+            entry.store_ref = new_ref;
+            entry.df = entry.df.saturating_sub(1);
+            entry.cf = entry.cf.saturating_sub(removed.tf as u64);
+        }
+        Ok(())
+    }
+
+    /// Flushes the inverted file and writes the dictionary + document table
+    /// + engine metadata to `meta`.
+    pub fn save(&mut self, meta: &FileHandle) -> Result<()> {
+        match &mut self.store {
+            StoreImpl::BTree(s) => s.flush()?,
+            StoreImpl::Mneme(s) => s.flush()?,
+        }
+        let dict_bytes = self.dict.to_bytes();
+        let docs_bytes = self.docs.to_bytes();
+        let largest = match &self.store {
+            StoreImpl::Mneme(s) => s.largest_record() as u64,
+            StoreImpl::BTree(_) => 0,
+        };
+        let mut out = Vec::with_capacity(32 + dict_bytes.len() + docs_bytes.len());
+        out.extend_from_slice(b"IQME");
+        out.push(match self.backend {
+            BackendKind::BTree => 1,
+            BackendKind::MnemeNoCache => 2,
+            BackendKind::MnemeCache => 3,
+        });
+        out.extend_from_slice(&largest.to_le_bytes());
+        out.extend_from_slice(&(dict_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&dict_bytes);
+        out.extend_from_slice(&docs_bytes);
+        meta.truncate(0)?;
+        meta.write(0, &out)?;
+        meta.sync()?;
+        Ok(())
+    }
+
+    /// Reopens an engine saved by [`Engine::save`]: metadata, dictionary,
+    /// and document table are loaded into memory ("resides entirely in main
+    /// memory during query processing"), then the store file is opened.
+    pub fn open(
+        device: &Arc<Device>,
+        store_handle: FileHandle,
+        meta: &FileHandle,
+        stop: StopWords,
+    ) -> Result<Engine> {
+        let bytes = meta.read(0, meta.len()? as usize)?;
+        let corrupt = || {
+            CoreError::Inquery(poir_inquery::InqueryError::BadRecord(
+                "engine metadata corrupt".into(),
+            ))
+        };
+        if bytes.len() < 21 || &bytes[0..4] != b"IQME" {
+            return Err(corrupt());
+        }
+        let backend = match bytes[4] {
+            1 => BackendKind::BTree,
+            2 => BackendKind::MnemeNoCache,
+            3 => BackendKind::MnemeCache,
+            _ => return Err(corrupt()),
+        };
+        let largest = u64::from_le_bytes(bytes[5..13].try_into().unwrap()) as usize;
+        let dict_len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
+        if bytes.len() < 21 + dict_len {
+            return Err(corrupt());
+        }
+        let dict = Dictionary::from_bytes(&bytes[21..21 + dict_len]).ok_or_else(corrupt)?;
+        let docs = DocTable::from_bytes(&bytes[21 + dict_len..]).ok_or_else(corrupt)?;
+        let store = match backend {
+            BackendKind::BTree => StoreImpl::BTree(BTreeInvertedFile::open(
+                store_handle.clone(),
+                poir_btree::node_cache::DEFAULT_CACHE_NODES,
+            )?),
+            BackendKind::MnemeNoCache | BackendKind::MnemeCache => {
+                let mut s = MnemeInvertedFile::open(store_handle.clone(), largest)?;
+                if backend == BackendKind::MnemeCache {
+                    s.attach_buffers(paper_heuristic(largest, 8192))?;
+                }
+                StoreImpl::Mneme(s)
+            }
+        };
+        Ok(Engine {
+            device: Arc::clone(device),
+            backend,
+            dict,
+            docs,
+            stop,
+            params: BeliefParams::default(),
+            store,
+            store_handle,
+            reserve_enabled: true,
+        })
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the integration layer.
+
+use std::fmt;
+
+/// Errors surfaced while building or serving an inverted file.
+#[derive(Debug)]
+pub enum CoreError {
+    /// From the Mneme persistent object store.
+    Mneme(poir_mneme::MnemeError),
+    /// From the baseline B-tree package.
+    BTree(poir_btree::BTreeError),
+    /// From the IR engine (parsing, record decoding).
+    Inquery(poir_inquery::InqueryError),
+    /// From the storage substrate.
+    Storage(poir_storage::StorageError),
+    /// The requested operation is not supported by the active backend
+    /// (e.g. incremental update on the B-tree baseline).
+    Unsupported(&'static str),
+    /// A term reference did not resolve (dictionary/store mismatch).
+    DanglingRef(u64),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Mneme(e) => write!(f, "mneme: {e}"),
+            CoreError::BTree(e) => write!(f, "b-tree: {e}"),
+            CoreError::Inquery(e) => write!(f, "inquery: {e}"),
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Unsupported(what) => write!(f, "unsupported by this backend: {what}"),
+            CoreError::DanglingRef(r) => write!(f, "dangling store reference {r:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Mneme(e) => Some(e),
+            CoreError::BTree(e) => Some(e),
+            CoreError::Inquery(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<poir_mneme::MnemeError> for CoreError {
+    fn from(e: poir_mneme::MnemeError) -> Self {
+        CoreError::Mneme(e)
+    }
+}
+
+impl From<poir_btree::BTreeError> for CoreError {
+    fn from(e: poir_btree::BTreeError) -> Self {
+        CoreError::BTree(e)
+    }
+}
+
+impl From<poir_inquery::InqueryError> for CoreError {
+    fn from(e: poir_inquery::InqueryError) -> Self {
+        CoreError::Inquery(e)
+    }
+}
+
+impl From<poir_storage::StorageError> for CoreError {
+    fn from(e: poir_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<CoreError> for poir_inquery::InqueryError {
+    fn from(e: CoreError) -> Self {
+        poir_inquery::InqueryError::Store(Box::new(e))
+    }
+}
+
+/// Result alias for the integration layer.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = poir_mneme::MnemeError::IdSpaceExhausted.into();
+        assert!(e.to_string().contains("mneme"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = poir_storage::StorageError::UnknownFile(2).into();
+        assert!(e.to_string().contains("storage"));
+        assert!(CoreError::Unsupported("updates").to_string().contains("updates"));
+        assert!(CoreError::DanglingRef(0xAB).to_string().contains("0xab"));
+        let iq: poir_inquery::InqueryError = CoreError::Unsupported("x").into();
+        assert!(matches!(iq, poir_inquery::InqueryError::Store(_)));
+    }
+}

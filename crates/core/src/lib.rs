@@ -1,0 +1,33 @@
+//! # The integrated system: INQUERY + Mneme
+//!
+//! This crate is the paper's primary contribution (Brown, Callan, Moss &
+//! Croft, EDBT 1994, Section 3.3): the INQUERY retrieval engine with its
+//! inverted file index served either by the original custom B-tree package
+//! or by the Mneme persistent object store.
+//!
+//! * [`btree_store`] — the [`BTreeInvertedFile`] baseline adaptor,
+//! * [`mneme_store`] — the [`MnemeInvertedFile`] with the three-group
+//!   object partition (≤12 B → small pool; >4 KB → own segment; rest packed
+//!   into 8 KB segments) and per-pool buffers,
+//! * [`buffer_sizing`] — the Table 2 buffer-size heuristics,
+//! * [`engine`] — the [`Engine`] facade: build/open an index, run queries,
+//!   measure query sets the way the paper does, and (extension) add or
+//!   remove documents incrementally through the object store,
+//! * [`chunked`] — large inverted lists broken into linked chunk objects
+//!   via inter-object references (the paper's future-work item enabling
+//!   incremental retrieval).
+
+pub mod btree_store;
+pub mod buffer_sizing;
+pub mod chunked;
+pub mod engine;
+pub mod error;
+pub mod mneme_store;
+pub mod multi_file;
+
+pub use btree_store::BTreeInvertedFile;
+pub use buffer_sizing::{paper_heuristic, BufferSizes};
+pub use engine::{BackendKind, Engine, QuerySetReport, RankedResult};
+pub use error::{CoreError, Result};
+pub use mneme_store::{pool_for, pool_for_with, MnemeInvertedFile, MnemeOptions, LARGE_MIN, SMALL_MAX};
+pub use multi_file::{MultiFileInvertedFile, MultiFileOptions};

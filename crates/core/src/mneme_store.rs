@@ -1,0 +1,417 @@
+//! The paper's contribution: inverted records in the Mneme object store.
+//!
+//! "The Mneme version of the inverted index was created by allocating an
+//! object for each inverted list record in the B-tree file. The Mneme
+//! identifier assigned to the object was stored in the INQUERY hash
+//! dictionary entry for the associated term." (Section 3.3)
+//!
+//! The three-group partition of Section 3.3:
+//!
+//! * lists of **≤ 12 bytes** (≈50% of all lists) → the small object pool,
+//!   16-byte slots, one whole logical segment per 4 Kbyte physical segment;
+//! * lists **larger than 4 Kbytes** → the large object pool, one object per
+//!   physical segment;
+//! * the rest → the medium object pool, packed into 8 Kbyte segments
+//!   (tuned to the disk I/O block size).
+//!
+//! Each pool attaches to a separate LRU buffer so "the global buffer space
+//! \[is\] divided between the object pools based on expected access patterns
+//! and memory requirements"; the query processor reserves already-resident
+//! objects before evaluation.
+
+use poir_inquery::{Dictionary, InvertedFileStore, TermId};
+use poir_mneme::{
+    LruBuffer, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig,
+};
+use poir_storage::FileHandle;
+
+use crate::buffer_sizing::BufferSizes;
+use crate::error::{CoreError, Result};
+
+/// Pool id of the small object pool.
+pub const SMALL_POOL: PoolId = PoolId(0);
+/// Pool id of the medium object pool.
+pub const MEDIUM_POOL: PoolId = PoolId(1);
+/// Pool id of the large object pool.
+pub const LARGE_POOL: PoolId = PoolId(2);
+
+/// Largest record placed in the small pool ("12 bytes or less").
+pub const SMALL_MAX: usize = 12;
+/// Records strictly larger than this go to the large pool ("larger than
+/// 4 Kbytes").
+pub const LARGE_MIN: usize = 4096;
+
+/// Build-time options for the Mneme inverted file.
+#[derive(Debug, Clone)]
+pub struct MnemeOptions {
+    /// Medium-pool physical segment size ("based on the disk I/O block
+    /// size").
+    pub medium_segment: usize,
+    /// Location-table directory buckets (0 = derive from record count).
+    pub num_buckets: u32,
+}
+
+impl Default for MnemeOptions {
+    fn default() -> Self {
+        MnemeOptions { medium_segment: 8192, num_buckets: 0 }
+    }
+}
+
+/// Which pool a record of `len` bytes belongs to, with the paper's 4 KB
+/// medium/large boundary.
+pub fn pool_for(len: usize) -> PoolId {
+    pool_for_with(len, LARGE_MIN)
+}
+
+/// Which pool a record of `len` bytes belongs to, with an explicit
+/// medium/large boundary.
+pub fn pool_for_with(len: usize, large_min: usize) -> PoolId {
+    if len <= SMALL_MAX {
+        SMALL_POOL
+    } else if len > large_min {
+        LARGE_POOL
+    } else {
+        MEDIUM_POOL
+    }
+}
+
+fn pool_configs(medium_segment: usize) -> Vec<PoolConfig> {
+    vec![
+        PoolConfig { id: SMALL_POOL, kind: PoolKindConfig::Small },
+        PoolConfig {
+            id: MEDIUM_POOL,
+            kind: PoolKindConfig::Packed { segment_size: medium_segment as u32 },
+        },
+        PoolConfig { id: LARGE_POOL, kind: PoolKindConfig::SegmentPerObject { embedded_refs: false } },
+    ]
+}
+
+/// The Mneme-backed inverted file.
+pub struct MnemeInvertedFile {
+    file: MnemeFile,
+    lookups: u64,
+    largest_record: usize,
+    /// Records above this size go to the large pool. Usually [`LARGE_MIN`];
+    /// lower when the medium segment is too small to hold 4 KB objects
+    /// (segment-size ablations).
+    large_min: usize,
+}
+
+impl std::fmt::Debug for MnemeInvertedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MnemeInvertedFile")
+            .field("lookups", &self.lookups)
+            .field("largest_record", &self.largest_record)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MnemeInvertedFile {
+    /// Loads the index records into a fresh Mneme file, partitioning them
+    /// into the three pools and depositing each object id in the dictionary.
+    pub fn build(
+        handle: FileHandle,
+        options: MnemeOptions,
+        records: &[(TermId, Vec<u8>)],
+        dict: &mut Dictionary,
+    ) -> Result<Self> {
+        let num_buckets = if options.num_buckets > 0 {
+            options.num_buckets
+        } else {
+            // Aim for ~64 logical segments per bucket; records/255 lsegs.
+            ((records.len() as u32 / 255 / 64) + 1).next_power_of_two().max(16)
+        };
+        let mut file = MnemeFile::create(handle, &pool_configs(options.medium_segment), num_buckets)?;
+        // The medium pool cannot hold objects beyond its segment payload;
+        // shrink the boundary when an ablation uses tiny segments.
+        let large_min = LARGE_MIN.min(options.medium_segment - 28);
+        let mut largest = 0usize;
+        for (term, bytes) in records {
+            largest = largest.max(bytes.len());
+            let id = file.create_object(pool_for_with(bytes.len(), large_min), bytes)?;
+            dict.entry_mut(*term).store_ref = id.raw() as u64;
+        }
+        file.flush()?;
+        Ok(MnemeInvertedFile { file, lookups: 0, largest_record: largest, large_min })
+    }
+
+    /// Opens an existing Mneme inverted file. `largest_record` (persisted by
+    /// the engine alongside the dictionary) drives buffer sizing.
+    pub fn open(handle: FileHandle, largest_record: usize) -> Result<Self> {
+        let file = MnemeFile::open(handle)?;
+        let large_min = file
+            .pool_max_object_len(MEDIUM_POOL)?
+            .map_or(LARGE_MIN, |m| LARGE_MIN.min(m));
+        Ok(MnemeInvertedFile { file, lookups: 0, largest_record, large_min })
+    }
+
+    /// Size in bytes of the collection's largest inverted record.
+    pub fn largest_record(&self) -> usize {
+        self.largest_record
+    }
+
+    /// Attaches per-pool LRU buffers of the given capacities (zeros = the
+    /// "Mneme, no cache" configuration).
+    pub fn attach_buffers(&mut self, sizes: BufferSizes) -> Result<()> {
+        self.file.attach_buffer(SMALL_POOL, Box::new(LruBuffer::new(sizes.small)))?;
+        self.file.attach_buffer(MEDIUM_POOL, Box::new(LruBuffer::new(sizes.medium)))?;
+        self.file.attach_buffer(LARGE_POOL, Box::new(LruBuffer::new(sizes.large)))?;
+        Ok(())
+    }
+
+    /// Per-pool buffer reference/hit statistics (Table 6), ordered small,
+    /// medium, large.
+    pub fn buffer_stats(&self) -> Result<[poir_mneme::BufferStats; 3]> {
+        Ok([
+            self.file.buffer_stats(SMALL_POOL)?,
+            self.file.buffer_stats(MEDIUM_POOL)?,
+            self.file.buffer_stats(LARGE_POOL)?,
+        ])
+    }
+
+    /// Resets the buffer statistics (between query sets).
+    pub fn reset_buffer_stats(&mut self) {
+        self.file.reset_buffer_stats();
+    }
+
+    /// Total file size in bytes (Table 1's "Mneme Size").
+    pub fn file_size(&self) -> Result<u64> {
+        Ok(self.file.file_size()?)
+    }
+
+    /// Bytes of permanently cached auxiliary (location) tables.
+    pub fn aux_table_bytes(&self) -> u64 {
+        self.file.aux_table_bytes()
+    }
+
+    /// Flushes all dirty state.
+    pub fn flush(&mut self) -> Result<()> {
+        Ok(self.file.flush()?)
+    }
+
+    /// Direct access to the underlying Mneme file (ablations, GC).
+    pub fn mneme(&mut self) -> &mut MnemeFile {
+        &mut self.file
+    }
+
+    fn object_id(store_ref: u64) -> Result<ObjectId> {
+        ObjectId::from_raw(store_ref as u32).ok_or(CoreError::DanglingRef(store_ref))
+    }
+
+    /// Replaces a record, migrating it between pools when its new size
+    /// crosses a pool boundary. Returns the (possibly new) store reference
+    /// the dictionary must hold.
+    pub fn update_record(&mut self, store_ref: u64, bytes: &[u8]) -> Result<u64> {
+        let id = Self::object_id(store_ref)?;
+        let current = self.file.pool_of(id)?;
+        let target = pool_for_with(bytes.len(), self.large_min);
+        if current == target {
+            self.file.update(id, bytes)?;
+            return Ok(store_ref);
+        }
+        self.file.delete(id)?;
+        let new_id = self.file.create_object(target, bytes)?;
+        Ok(new_id.raw() as u64)
+    }
+
+    /// Inserts a brand-new record (a term first seen by an incremental
+    /// document addition), returning its store reference.
+    pub fn insert_record(&mut self, bytes: &[u8]) -> Result<u64> {
+        let id = self.file.create_object(pool_for_with(bytes.len(), self.large_min), bytes)?;
+        Ok(id.raw() as u64)
+    }
+
+    /// Deletes a record.
+    pub fn delete_record(&mut self, store_ref: u64) -> Result<()> {
+        let id = Self::object_id(store_ref)?;
+        self.file.delete(id)?;
+        Ok(())
+    }
+}
+
+impl InvertedFileStore for MnemeInvertedFile {
+    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
+        self.lookups += 1;
+        let id = Self::object_id(store_ref)?;
+        Ok(self.file.get(id).map_err(CoreError::from)?)
+    }
+
+    fn reserve(&mut self, store_refs: &[u64]) {
+        let ids: Vec<ObjectId> =
+            store_refs.iter().filter_map(|&r| ObjectId::from_raw(r as u32)).collect();
+        self.file.reserve(&ids);
+    }
+
+    fn release_reservations(&mut self) {
+        self.file.release_reservations();
+    }
+
+    fn record_lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poir_storage::Device;
+
+    fn sample_records() -> (Dictionary, Vec<(TermId, Vec<u8>)>) {
+        let mut dict = Dictionary::new();
+        let mut records = Vec::new();
+        for i in 0..400u32 {
+            let id = dict.intern(&format!("term{i}"));
+            // Mix of small (≤12), medium, and large (>4096) records.
+            let len = match i % 4 {
+                0 => i as usize % 13,
+                1 | 2 => 100 + (i as usize * 7) % 3000,
+                _ => 5000 + (i as usize * 31) % 20_000,
+            };
+            records.push((id, vec![(i % 251) as u8; len]));
+        }
+        (dict, records)
+    }
+
+    #[test]
+    fn partition_rules_match_the_paper() {
+        assert_eq!(pool_for(0), SMALL_POOL);
+        assert_eq!(pool_for(12), SMALL_POOL);
+        assert_eq!(pool_for(13), MEDIUM_POOL);
+        assert_eq!(pool_for(4096), MEDIUM_POOL);
+        assert_eq!(pool_for(4097), LARGE_POOL);
+        assert_eq!(pool_for(2_000_000), LARGE_POOL);
+    }
+
+    #[test]
+    fn build_then_fetch_every_record() {
+        let dev = Device::with_defaults();
+        let (mut dict, records) = sample_records();
+        let mut store = MnemeInvertedFile::build(
+            dev.create_file(),
+            MnemeOptions::default(),
+            &records,
+            &mut dict,
+        )
+        .unwrap();
+        for (term, bytes) in &records {
+            let r = dict.entry(*term).store_ref;
+            assert_eq!(&store.fetch(r).unwrap(), bytes);
+        }
+        assert_eq!(store.record_lookups(), 400);
+        assert!(store.largest_record() >= 5000);
+    }
+
+    #[test]
+    fn records_land_in_their_pools() {
+        let dev = Device::with_defaults();
+        let (mut dict, records) = sample_records();
+        let mut store = MnemeInvertedFile::build(
+            dev.create_file(),
+            MnemeOptions::default(),
+            &records,
+            &mut dict,
+        )
+        .unwrap();
+        for (term, bytes) in &records {
+            let id = ObjectId::from_raw(dict.entry(*term).store_ref as u32).unwrap();
+            assert_eq!(store.mneme().pool_of(id).unwrap(), pool_for(bytes.len()));
+        }
+    }
+
+    #[test]
+    fn caching_hits_on_repeated_fetches() {
+        let dev = Device::with_defaults();
+        let (mut dict, records) = sample_records();
+        let handle = dev.create_file();
+        let largest;
+        {
+            let store =
+                MnemeInvertedFile::build(handle.clone(), MnemeOptions::default(), &records, &mut dict)
+                    .unwrap();
+            largest = store.largest_record();
+        }
+        let mut store = MnemeInvertedFile::open(handle, largest).unwrap();
+        store.attach_buffers(crate::buffer_sizing::paper_heuristic(largest, 8192)).unwrap();
+        let some_large = records.iter().find(|(_, b)| b.len() > LARGE_MIN).unwrap();
+        let r = dict.entry(some_large.0).store_ref;
+        store.fetch(r).unwrap();
+        store.fetch(r).unwrap();
+        store.fetch(r).unwrap();
+        let [_, _, large] = store.buffer_stats().unwrap();
+        assert_eq!(large.refs, 3);
+        assert_eq!(large.hits, 2);
+        store.reset_buffer_stats();
+        assert_eq!(store.buffer_stats().unwrap()[2].refs, 0);
+    }
+
+    #[test]
+    fn update_within_pool_keeps_the_reference() {
+        let dev = Device::with_defaults();
+        let (mut dict, records) = sample_records();
+        let mut store =
+            MnemeInvertedFile::build(dev.create_file(), MnemeOptions::default(), &records, &mut dict)
+                .unwrap();
+        let (term, _) = records.iter().find(|(_, b)| b.len() > 100 && b.len() < 4000).unwrap();
+        let r = dict.entry(*term).store_ref;
+        let new_bytes = vec![9u8; 200];
+        let r2 = store.update_record(r, &new_bytes).unwrap();
+        assert_eq!(r, r2);
+        assert_eq!(store.fetch(r2).unwrap(), new_bytes);
+    }
+
+    #[test]
+    fn update_across_pools_migrates() {
+        let dev = Device::with_defaults();
+        let (mut dict, records) = sample_records();
+        let mut store =
+            MnemeInvertedFile::build(dev.create_file(), MnemeOptions::default(), &records, &mut dict)
+                .unwrap();
+        let (term, _) = records.iter().find(|(_, b)| b.len() <= 12).unwrap();
+        let r = dict.entry(*term).store_ref;
+        // A small record grows past the small pool's 12-byte limit.
+        let grown = vec![5u8; 500];
+        let r2 = store.update_record(r, &grown).unwrap();
+        assert_ne!(r, r2, "cross-pool growth must produce a new object");
+        assert_eq!(store.fetch(r2).unwrap(), grown);
+        assert!(store.fetch(r).is_err(), "old object was deleted");
+        // And back down into the small pool.
+        let shrunk = vec![1u8; 4];
+        let r3 = store.update_record(r2, &shrunk).unwrap();
+        assert_ne!(r2, r3);
+        assert_eq!(store.fetch(r3).unwrap(), shrunk);
+    }
+
+    #[test]
+    fn insert_and_delete_records() {
+        let dev = Device::with_defaults();
+        let (mut dict, records) = sample_records();
+        let mut store =
+            MnemeInvertedFile::build(dev.create_file(), MnemeOptions::default(), &records, &mut dict)
+                .unwrap();
+        let r = store.insert_record(&[3u8; 50]).unwrap();
+        assert_eq!(store.fetch(r).unwrap(), vec![3u8; 50]);
+        store.delete_record(r).unwrap();
+        assert!(store.fetch(r).is_err());
+    }
+
+    #[test]
+    fn reopen_after_flush() {
+        let dev = Device::with_defaults();
+        let handle = dev.create_file();
+        let (mut dict, records) = sample_records();
+        let largest;
+        {
+            let mut store =
+                MnemeInvertedFile::build(handle.clone(), MnemeOptions::default(), &records, &mut dict)
+                    .unwrap();
+            largest = store.largest_record();
+            store.flush().unwrap();
+        }
+        let mut store = MnemeInvertedFile::open(handle, largest).unwrap();
+        for (term, bytes) in records.iter().rev().take(30) {
+            assert_eq!(&store.fetch(dict.entry(*term).store_ref).unwrap(), bytes);
+        }
+        assert!(store.file_size().unwrap() > 0);
+        assert!(store.aux_table_bytes() > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Engine-level integration tests: the three storage configurations must
+//! agree on retrieval results while exhibiting the paper's distinct I/O
+//! profiles.
+
+use std::sync::Arc;
+
+use poir_core::{BackendKind, Engine};
+use poir_inquery::{Index, IndexBuilder, StopWords};
+use poir_storage::{CostModel, Device, DeviceConfig};
+
+fn build_index(num_docs: usize) -> Index {
+    let mut b = IndexBuilder::new(StopWords::default());
+    // Deterministic pseudo-corpus with skewed term frequencies and some
+    // topical repetition so different operators have work to do.
+    for d in 0..num_docs {
+        let mut text = String::new();
+        for t in 0..60 {
+            let rank = (d * 31 + t * 17) % 211; // common terms
+            text.push_str(&format!("w{rank} "));
+            if (d + t) % 7 == 0 {
+                text.push_str(&format!("rare{d} ", d = d % 37));
+            }
+        }
+        if d % 5 == 0 {
+            text.push_str("object store performance ");
+        }
+        b.add_document(&format!("DOC-{d:04}"), &text);
+    }
+    b.finish()
+}
+
+fn device() -> Arc<Device> {
+    Device::new(DeviceConfig {
+        block_size: 8192,
+        os_cache_blocks: 128,
+        cost_model: CostModel::default(),
+    })
+}
+
+fn engines(num_docs: usize) -> Vec<Engine> {
+    BackendKind::all()
+        .into_iter()
+        .map(|backend| {
+            let dev = device();
+            Engine::build(&dev, backend, build_index(num_docs), StopWords::default()).unwrap()
+        })
+        .collect()
+}
+
+const QUERIES: &[&str] = &[
+    "w3 w17 w50",
+    "#and(w3 w17)",
+    "#or(w100 rare5)",
+    "#wsum(3 w7 1 w9 2 rare11)",
+    "#phrase(object store)",
+    "#and(#or(w1 w2) #not(w3))",
+    "#uw10(object performance)",
+    "#max(w5 w6 w7)",
+];
+
+#[test]
+fn all_backends_return_identical_rankings() {
+    let mut engines = engines(150);
+    for q in QUERIES {
+        let mut results = engines.iter_mut().map(|e| e.query(q, 20).unwrap());
+        let reference = results.next().unwrap();
+        for r in results {
+            assert_eq!(r.len(), reference.len(), "query {q}");
+            for (a, b) in reference.iter().zip(r.iter()) {
+                assert_eq!(a.doc, b.doc, "query {q}");
+                assert_eq!(a.name, b.name, "query {q}");
+                assert!((a.score - b.score).abs() < 1e-12, "query {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mneme_needs_fewer_accesses_per_lookup_than_btree() {
+    let mut engines = engines(400);
+    let queries: Vec<String> =
+        (0..40).map(|i| format!("w{} w{} w{}", i * 5 % 211, i * 7 % 211, i * 11 % 211)).collect();
+    let reports: Vec<_> =
+        engines.iter_mut().map(|e| e.run_query_set(&queries, 10).unwrap()).collect();
+    let (btree, nocache, cache) = (&reports[0], &reports[1], &reports[2]);
+    // Table 5's shape: the B-tree needs > 1 access per lookup; plain Mneme
+    // is close to 1; cached Mneme drops below the no-cache version.
+    assert!(
+        btree.accesses_per_lookup() > 1.0,
+        "B-tree A = {}",
+        btree.accesses_per_lookup()
+    );
+    assert!(
+        nocache.accesses_per_lookup() < btree.accesses_per_lookup(),
+        "Mneme no-cache A = {} must beat B-tree {}",
+        nocache.accesses_per_lookup(),
+        btree.accesses_per_lookup()
+    );
+    assert!(
+        cache.accesses_per_lookup() < nocache.accesses_per_lookup(),
+        "cache A = {} must beat no-cache {}",
+        cache.accesses_per_lookup(),
+        nocache.accesses_per_lookup()
+    );
+    // And caching reduces bytes read.
+    assert!(cache.kbytes_read() <= nocache.kbytes_read());
+    // Simulated system + I/O time follows the same order.
+    assert!(cache.sys_io_time <= nocache.sys_io_time);
+    // Lookup counts are identical across configurations.
+    assert_eq!(btree.record_lookups, nocache.record_lookups);
+    assert_eq!(btree.record_lookups, cache.record_lookups);
+}
+
+#[test]
+fn buffer_stats_present_only_for_mneme() {
+    let mut engines = engines(100);
+    let queries = vec!["w1 w2 w3"; 5];
+    let reports: Vec<_> =
+        engines.iter_mut().map(|e| e.run_query_set(&queries, 10).unwrap()).collect();
+    assert!(reports[0].buffer_stats.is_none());
+    assert!(reports[1].buffer_stats.is_some());
+    let stats = reports[2].buffer_stats.unwrap();
+    let total_refs: u64 = stats.iter().map(|s| s.refs).sum();
+    assert_eq!(total_refs, reports[2].record_lookups, "every lookup is a buffer ref");
+    // Repeated identical queries must produce cache hits.
+    assert!(stats.iter().map(|s| s.hits).sum::<u64>() > 0);
+}
+
+#[test]
+fn repeated_queries_hit_the_record_cache() {
+    let dev = device();
+    let mut engine =
+        Engine::build(&dev, BackendKind::MnemeCache, build_index(200), StopWords::default())
+            .unwrap();
+    let queries = vec!["w10 w20 w30"; 10];
+    let report = engine.run_query_set(&queries, 10).unwrap();
+    let stats = report.buffer_stats.unwrap();
+    let refs: u64 = stats.iter().map(|s| s.refs).sum();
+    let hits: u64 = stats.iter().map(|s| s.hits).sum();
+    // 10 identical queries: everything after the first pass hits.
+    assert_eq!(refs, 30);
+    assert!(hits >= 27, "hits {hits} of {refs}");
+}
+
+#[test]
+fn save_and_reopen_round_trips() {
+    let dev = device();
+    for backend in BackendKind::all() {
+        let mut engine =
+            Engine::build(&dev, backend, build_index(80), StopWords::default()).unwrap();
+        let expected = engine.query("w3 w17 object", 10).unwrap();
+        let meta = dev.create_file();
+        engine.save(&meta).unwrap();
+        let store_handle = engine.store_handle().clone();
+        drop(engine);
+        let mut reopened =
+            Engine::open(&dev, store_handle, &meta, StopWords::default()).unwrap();
+        assert_eq!(reopened.backend(), backend);
+        let got = reopened.query("w3 w17 object", 10).unwrap();
+        assert_eq!(expected, got, "backend {}", backend.label());
+    }
+}
+
+#[test]
+fn incremental_add_makes_documents_findable() {
+    let dev = device();
+    let mut engine =
+        Engine::build(&dev, BackendKind::MnemeCache, build_index(50), StopWords::default())
+            .unwrap();
+    assert!(engine.query("zyzzyva", 5).unwrap().is_empty());
+    let doc =
+        engine.add_document("NEW-0001", "the zyzzyva weevil object store").unwrap();
+    let hits = engine.query("zyzzyva", 5).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].doc, doc);
+    assert_eq!(hits[0].name, "NEW-0001");
+    // Existing terms got the new document appended.
+    let hits = engine.query("#phrase(object store)", 100).unwrap();
+    assert!(hits.iter().any(|h| h.doc == doc));
+    // Statistics were maintained.
+    let id = engine.dictionary().lookup("zyzzyva").unwrap();
+    assert_eq!(engine.dictionary().entry(id).df, 1);
+}
+
+#[test]
+fn incremental_add_matches_full_reindex_scores() {
+    // Build A: 60 docs indexed in batch. Build B: 50 docs + 10 added
+    // incrementally. Rankings must agree.
+    let dev = device();
+    let full = build_index(60);
+    let mut batch =
+        Engine::build(&dev, BackendKind::MnemeCache, full, StopWords::default()).unwrap();
+
+    let partial = build_index(50);
+    let mut incremental =
+        Engine::build(&dev, BackendKind::MnemeCache, partial, StopWords::default()).unwrap();
+    // Regenerate documents 50..60 exactly as build_index does.
+    for d in 50..60 {
+        let mut text = String::new();
+        for t in 0..60 {
+            let rank = (d * 31 + t * 17) % 211;
+            text.push_str(&format!("w{rank} "));
+            if (d + t) % 7 == 0 {
+                text.push_str(&format!("rare{d} ", d = d % 37));
+            }
+        }
+        if d % 5 == 0 {
+            text.push_str("object store performance ");
+        }
+        incremental.add_document(&format!("DOC-{d:04}"), &text).unwrap();
+    }
+    for q in QUERIES {
+        let a = batch.query(q, 15).unwrap();
+        let b = incremental.query(q, 15).unwrap();
+        assert_eq!(a.len(), b.len(), "query {q}");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.doc, y.doc, "query {q}");
+            assert!((x.score - y.score).abs() < 1e-12, "query {q}");
+        }
+    }
+}
+
+#[test]
+fn remove_document_hides_it_from_results() {
+    let dev = device();
+    let mut engine =
+        Engine::build(&dev, BackendKind::MnemeCache, build_index(50), StopWords::default())
+            .unwrap();
+    let text = "unique removable document text zanzibar";
+    let doc = engine.add_document("TEMP-1", text).unwrap();
+    assert_eq!(engine.query("zanzibar", 5).unwrap().len(), 1);
+    engine.remove_document(doc, text).unwrap();
+    assert!(engine.query("zanzibar", 5).unwrap().is_empty());
+}
+
+#[test]
+fn btree_backend_rejects_updates() {
+    let dev = device();
+    let mut engine =
+        Engine::build(&dev, BackendKind::BTree, build_index(30), StopWords::default()).unwrap();
+    assert!(engine.add_document("X", "some text").is_err());
+    assert!(engine.set_buffer_sizes(poir_core::BufferSizes::NONE).is_err());
+    assert!(engine.paper_buffer_sizes().is_err());
+}
+
+#[test]
+fn daat_agrees_with_taat_through_the_engine() {
+    let dev = device();
+    let mut engine =
+        Engine::build(&dev, BackendKind::MnemeCache, build_index(120), StopWords::default())
+            .unwrap();
+    let taat = engine.query("w3 w17 w50 rare5", 15).unwrap();
+    let daat = engine.query_daat("w3 w17 w50 rare5", 15).unwrap();
+    assert_eq!(taat.len(), daat.len());
+    for (a, b) in taat.iter().zip(daat.iter()) {
+        assert_eq!(a.doc, b.doc);
+        assert!((a.score - b.score).abs() < 1e-9);
+    }
+    // Structured queries are rejected by the DAAT path.
+    assert!(engine.query_daat("#and(w1 w2)", 5).is_err());
+}
+
+#[test]
+fn store_file_sizes_are_reported() {
+    let mut engines = engines(100);
+    for e in &mut engines {
+        let size = e.store_file_size().unwrap();
+        assert!(size > 8192, "{}: {size}", e.backend().label());
+    }
+}

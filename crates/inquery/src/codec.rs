@@ -1,0 +1,169 @@
+//! Variable-byte integer coding for compressed inverted records.
+//!
+//! INQUERY stores each inverted record "as a vector of integers in a
+//! compressed format. The average compression rate for the four collections
+//! ... is about 60%." (Section 3.1). Document ids and positions are
+//! delta-encoded and every integer is variable-byte coded: seven payload
+//! bits per byte, high bit set on the final byte. Small, frequent values —
+//! deltas of dense posting lists, term frequencies of 1 — take one byte.
+
+/// Appends `value` to `out` in variable-byte form.
+#[inline]
+pub fn encode_vbyte(mut value: u32, out: &mut Vec<u8>) {
+    loop {
+        let low = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(low | 0x80);
+            return;
+        }
+        out.push(low);
+    }
+}
+
+/// Decodes one variable-byte integer starting at `pos`, advancing `pos`.
+/// Returns `None` on truncated input.
+#[inline]
+pub fn decode_vbyte(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut value: u32 = 0;
+    let mut shift = 0;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        value |= ((b & 0x7F) as u32) << shift;
+        if b & 0x80 != 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift >= 35 {
+            return None; // would overflow u32: corrupt input
+        }
+    }
+}
+
+/// Encodes a strictly ascending sequence as vbyte-coded deltas (first value
+/// absolute, then gaps).
+pub fn encode_ascending(values: &[u32], out: &mut Vec<u8>) {
+    let mut prev = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 {
+            encode_vbyte(v, out);
+        } else {
+            debug_assert!(v > prev, "sequence must be strictly ascending");
+            encode_vbyte(v - prev, out);
+        }
+        prev = v;
+    }
+}
+
+/// Decodes `count` delta-coded values written by [`encode_ascending`].
+pub fn decode_ascending(bytes: &[u8], pos: &mut usize, count: usize) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(count);
+    let mut prev = 0u32;
+    for i in 0..count {
+        let v = decode_vbyte(bytes, pos)?;
+        prev = if i == 0 { v } else { prev.checked_add(v)? };
+        out.push(prev);
+    }
+    Some(out)
+}
+
+/// Number of bytes `value` occupies in vbyte form.
+#[inline]
+pub fn vbyte_len(value: u32) -> usize {
+    match value {
+        0..=0x7F => 1,
+        0x80..=0x3FFF => 2,
+        0x4000..=0x1F_FFFF => 3,
+        0x20_0000..=0xFFF_FFFF => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_values_round_trip() {
+        for v in [0u32, 1, 127, 128, 300, 16_383, 16_384, 1 << 20, u32::MAX] {
+            let mut buf = Vec::new();
+            encode_vbyte(v, &mut buf);
+            assert_eq!(buf.len(), vbyte_len(v), "length of {v}");
+            let mut pos = 0;
+            assert_eq!(decode_vbyte(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn streams_round_trip() {
+        let values = vec![5u32, 0, 127, 128, 99999, 1, u32::MAX, 42];
+        let mut buf = Vec::new();
+        for &v in &values {
+            encode_vbyte(v, &mut buf);
+        }
+        let mut pos = 0;
+        let decoded: Vec<u32> =
+            (0..values.len()).map(|_| decode_vbyte(&buf, &mut pos).unwrap()).collect();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let mut buf = Vec::new();
+        encode_vbyte(1_000_000, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_vbyte(&buf[..buf.len() - 1], &mut pos), None);
+        let mut pos = 0;
+        assert_eq!(decode_vbyte(&[], &mut pos), None);
+    }
+
+    #[test]
+    fn corrupt_overlong_encoding_is_rejected() {
+        // Six continuation bytes would exceed 32 bits.
+        let bad = [0x7F, 0x7F, 0x7F, 0x7F, 0x7F, 0xFF];
+        let mut pos = 0;
+        assert_eq!(decode_vbyte(&bad, &mut pos), None);
+    }
+
+    #[test]
+    fn ascending_delta_round_trip() {
+        let values = vec![3u32, 4, 10, 1000, 1001, 500_000];
+        let mut buf = Vec::new();
+        encode_ascending(&values, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_ascending(&buf, &mut pos, values.len()), Some(values));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn dense_sequences_compress_well() {
+        let values: Vec<u32> = (1000..2000).collect();
+        let mut buf = Vec::new();
+        encode_ascending(&values, &mut buf);
+        // 999 gaps of 1 at one byte each + 2 bytes for the first value.
+        assert_eq!(buf.len(), 999 + 2);
+        // Versus 4 bytes per raw u32: 75% compression.
+        assert!(buf.len() < values.len() * 4, "compressed must beat raw u32s");
+    }
+
+    #[test]
+    fn empty_ascending_sequence() {
+        let mut buf = Vec::new();
+        encode_ascending(&[], &mut buf);
+        assert!(buf.is_empty());
+        let mut pos = 0;
+        assert_eq!(decode_ascending(&buf, &mut pos, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn ascending_overflow_gap_is_corrupt() {
+        // A delta that would push the running value past u32::MAX.
+        let mut buf = Vec::new();
+        encode_vbyte(u32::MAX, &mut buf);
+        encode_vbyte(10, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_ascending(&buf, &mut pos, 2), None);
+    }
+}

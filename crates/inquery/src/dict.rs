@@ -1,0 +1,351 @@
+//! The open-chaining hash dictionary.
+//!
+//! "INQUERY uses an open-chaining hash dictionary to map text strings
+//! (words) to unique integers called term ids. The hash dictionary also
+//! stores summary statistics for each string and resides entirely in main
+//! memory during query processing." (Section 3.1)
+//!
+//! After integration with Mneme, "the Mneme identifier assigned to the
+//! object was stored in the INQUERY hash dictionary entry for the
+//! associated term" (Section 3.3) — the opaque [`TermEntry::store_ref`]
+//! field, which each inverted-file backend interprets its own way.
+
+use std::fmt;
+
+/// A term's unique integer id — the B-tree key and the dictionary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// Summary statistics and storage reference for one term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TermEntry {
+    /// Collection frequency: total occurrences across all documents.
+    pub cf: u64,
+    /// Document frequency: number of documents containing the term.
+    pub df: u32,
+    /// Opaque reference into the inverted-file store (term id for the
+    /// B-tree backend; a Mneme object id for the Mneme backend).
+    pub store_ref: u64,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone)]
+struct Slot {
+    str_off: u32,
+    str_len: u16,
+    next: u32,
+    entry: TermEntry,
+}
+
+/// Open-chaining hash dictionary: term string → [`TermId`] + [`TermEntry`].
+#[derive(Clone)]
+pub struct Dictionary {
+    buckets: Vec<u32>,
+    slots: Vec<Slot>,
+    arena: Vec<u8>,
+}
+
+impl fmt::Debug for Dictionary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dictionary")
+            .field("terms", &self.slots.len())
+            .field("buckets", &self.buckets.len())
+            .field("arena_bytes", &self.arena.len())
+            .finish()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary { buckets: vec![NIL; 1024], slots: Vec::new(), arena: Vec::new() }
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the dictionary holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn bucket_of(&self, term: &str) -> usize {
+        (fnv1a(term.as_bytes()) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn slot_term(&self, slot: &Slot) -> &str {
+        let start = slot.str_off as usize;
+        // The arena only ever receives validated UTF-8 strings.
+        std::str::from_utf8(&self.arena[start..start + slot.str_len as usize])
+            .expect("arena holds valid utf-8")
+    }
+
+    /// Looks up a term's id.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        let mut cur = self.buckets[self.bucket_of(term)];
+        while cur != NIL {
+            let slot = &self.slots[cur as usize];
+            if self.slot_term(slot) == term {
+                return Some(TermId(cur));
+            }
+            cur = slot.next;
+        }
+        None
+    }
+
+    /// Returns the id for `term`, inserting it with zeroed statistics if
+    /// absent.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(id) = self.lookup(term) {
+            return id;
+        }
+        assert!(term.len() <= u16::MAX as usize, "term too long");
+        if self.slots.len() >= self.buckets.len() {
+            self.grow();
+        }
+        let bucket = self.bucket_of(term);
+        let id = self.slots.len() as u32;
+        let str_off = self.arena.len() as u32;
+        self.arena.extend_from_slice(term.as_bytes());
+        self.slots.push(Slot {
+            str_off,
+            str_len: term.len() as u16,
+            next: self.buckets[bucket],
+            entry: TermEntry::default(),
+        });
+        self.buckets[bucket] = id;
+        TermId(id)
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        self.buckets = vec![NIL; new_len];
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.next = NIL;
+            let _ = i;
+        }
+        // Rebuild chains (bucket_of borrows immutably, so compute first).
+        for i in 0..self.slots.len() {
+            let term_hash = {
+                let slot = &self.slots[i];
+                let start = slot.str_off as usize;
+                fnv1a(&self.arena[start..start + slot.str_len as usize])
+            };
+            let bucket = (term_hash as usize) & (new_len - 1);
+            self.slots[i].next = self.buckets[bucket];
+            self.buckets[bucket] = i as u32;
+        }
+    }
+
+    /// The term string of `id`.
+    pub fn term(&self, id: TermId) -> &str {
+        self.slot_term(&self.slots[id.0 as usize])
+    }
+
+    /// Read access to a term's statistics.
+    pub fn entry(&self, id: TermId) -> &TermEntry {
+        &self.slots[id.0 as usize].entry
+    }
+
+    /// Mutable access to a term's statistics.
+    pub fn entry_mut(&mut self, id: TermId) -> &mut TermEntry {
+        &mut self.slots[id.0 as usize].entry
+    }
+
+    /// Iterates `(id, term, entry)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, &TermEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), self.slot_term(s), &s.entry))
+    }
+
+    /// Serializes the dictionary (buckets are rebuilt on load).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.arena.len() + self.slots.len() * 26);
+        out.extend_from_slice(b"IQDC");
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.arena.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.arena);
+        for slot in &self.slots {
+            out.extend_from_slice(&slot.str_off.to_le_bytes());
+            out.extend_from_slice(&slot.str_len.to_le_bytes());
+            out.extend_from_slice(&slot.entry.cf.to_le_bytes());
+            out.extend_from_slice(&slot.entry.df.to_le_bytes());
+            out.extend_from_slice(&slot.entry.store_ref.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a dictionary written by [`Dictionary::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 14 || &bytes[0..4] != b"IQDC" {
+            return None;
+        }
+        let count = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+        let arena_len = u32::from_le_bytes(bytes[10..14].try_into().unwrap()) as usize;
+        let arena_end = 14 + arena_len;
+        if bytes.len() < arena_end + count * 26 {
+            return None;
+        }
+        let arena = bytes[14..arena_end].to_vec();
+        let mut dict = Dictionary {
+            buckets: vec![NIL; (count.max(512) * 2).next_power_of_two()],
+            slots: Vec::with_capacity(count),
+            arena,
+        };
+        let mut pos = arena_end;
+        for _ in 0..count {
+            let e = &bytes[pos..pos + 26];
+            let str_off = u32::from_le_bytes(e[0..4].try_into().unwrap());
+            let str_len = u16::from_le_bytes(e[4..6].try_into().unwrap());
+            if str_off as usize + str_len as usize > dict.arena.len() {
+                return None;
+            }
+            std::str::from_utf8(
+                &dict.arena[str_off as usize..str_off as usize + str_len as usize],
+            )
+            .ok()?;
+            dict.slots.push(Slot {
+                str_off,
+                str_len,
+                next: NIL,
+                entry: TermEntry {
+                    cf: u64::from_le_bytes(e[6..14].try_into().unwrap()),
+                    df: u32::from_le_bytes(e[14..18].try_into().unwrap()),
+                    store_ref: u64::from_le_bytes(e[18..26].try_into().unwrap()),
+                },
+            });
+            pos += 26;
+        }
+        // Rebuild hash chains.
+        for i in 0..dict.slots.len() {
+            let bucket = {
+                let slot = &dict.slots[i];
+                let start = slot.str_off as usize;
+                (fnv1a(&dict.arena[start..start + slot.str_len as usize]) as usize)
+                    & (dict.buckets.len() - 1)
+            };
+            dict.slots[i].next = dict.buckets[bucket];
+            dict.buckets[bucket] = i as u32;
+        }
+        Some(dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_sequential_ids() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("alpha"), TermId(0));
+        assert_eq!(d.intern("beta"), TermId(1));
+        assert_eq!(d.intern("alpha"), TermId(0), "re-intern returns the same id");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.term(TermId(1)), "beta");
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        let mut d = Dictionary::new();
+        d.intern("present");
+        assert_eq!(d.lookup("absent"), None);
+        assert!(d.lookup("present").is_some());
+    }
+
+    #[test]
+    fn statistics_are_mutable() {
+        let mut d = Dictionary::new();
+        let id = d.intern("term");
+        d.entry_mut(id).cf = 42;
+        d.entry_mut(id).df = 7;
+        d.entry_mut(id).store_ref = 0xDEADBEEF;
+        assert_eq!(d.entry(id).cf, 42);
+        assert_eq!(d.entry(id).df, 7);
+        assert_eq!(d.entry(id).store_ref, 0xDEADBEEF);
+    }
+
+    #[test]
+    fn growth_preserves_all_terms() {
+        let mut d = Dictionary::new();
+        let n = 10_000;
+        for i in 0..n {
+            let id = d.intern(&format!("term-{i}"));
+            d.entry_mut(id).cf = i as u64;
+        }
+        assert_eq!(d.len(), n);
+        for i in 0..n {
+            let id = d.lookup(&format!("term-{i}")).expect("term survives growth");
+            assert_eq!(d.entry(id).cf, i as u64);
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut d = Dictionary::new();
+        for i in 0..500 {
+            let id = d.intern(&format!("word{i}"));
+            d.entry_mut(id).cf = i as u64 * 3;
+            d.entry_mut(id).df = i as u32;
+            d.entry_mut(id).store_ref = i as u64 | (1 << 40);
+        }
+        let bytes = d.to_bytes();
+        let d2 = Dictionary::from_bytes(&bytes).unwrap();
+        assert_eq!(d2.len(), d.len());
+        for (id, term, entry) in d.iter() {
+            assert_eq!(d2.lookup(term), Some(id));
+            assert_eq!(d2.entry(id), entry);
+            assert_eq!(d2.term(id), term);
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(Dictionary::from_bytes(b"").is_none());
+        assert!(Dictionary::from_bytes(b"NOPE00000000000000").is_none());
+        // Truncated entry table.
+        let mut d = Dictionary::new();
+        d.intern("x");
+        let bytes = d.to_bytes();
+        assert!(Dictionary::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn iter_visits_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern("c");
+        d.intern("a");
+        d.intern("b");
+        let terms: Vec<&str> = d.iter().map(|(_, t, _)| t).collect();
+        assert_eq!(terms, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn unicode_terms_are_preserved() {
+        let mut d = Dictionary::new();
+        let id = d.intern("café");
+        let d2 = Dictionary::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(d2.lookup("café"), Some(id));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the INQUERY engine.
+
+use std::fmt;
+
+/// Errors surfaced by indexing and query processing.
+#[derive(Debug)]
+pub enum InqueryError {
+    /// The query text could not be parsed; carries a human-readable reason
+    /// and the byte offset where parsing failed.
+    Parse { message: String, offset: usize },
+    /// An inverted record failed to decode (storage corruption).
+    BadRecord(String),
+    /// The inverted-file store failed.
+    Store(Box<dyn std::error::Error + Send + Sync>),
+}
+
+impl fmt::Display for InqueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InqueryError::Parse { message, offset } => {
+                write!(f, "query parse error at byte {offset}: {message}")
+            }
+            InqueryError::BadRecord(msg) => write!(f, "bad inverted record: {msg}"),
+            InqueryError::Store(e) => write!(f, "inverted-file store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InqueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InqueryError::Store(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, InqueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = InqueryError::Parse { message: "unbalanced paren".into(), offset: 17 };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("unbalanced"));
+        assert!(InqueryError::BadRecord("short".into()).to_string().contains("short"));
+    }
+
+    #[test]
+    fn store_errors_expose_source() {
+        let inner = std::io::Error::other("disk gone");
+        let e = InqueryError::Store(Box::new(inner));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("disk gone"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Batch index creation.
+//!
+//! "Creation occurs once when a document collection is first indexed by the
+//! IR system, although it may be considered a special case of modification
+//! where a number of document additions are batched together. ... Indexing a
+//! large collection can be very expensive because it is dominated by a
+//! sorting problem, where the inverted list entries for every term
+//! appearance in the collection are sorted by term identifier and document
+//! identifier." (Section 2)
+//!
+//! [`IndexBuilder`] accumulates postings per term while documents stream
+//! in; [`IndexBuilder::finish`] performs the term-id sort and emits the
+//! compressed records together with the populated hash dictionary and
+//! document table. The result is backend-agnostic: the same [`Index`] is
+//! loaded into the B-tree file or the Mneme store.
+
+use std::collections::HashMap;
+
+use crate::belief::CollectionStats;
+use crate::codec::encode_vbyte;
+use crate::dict::{Dictionary, TermId};
+use crate::documents::DocTable;
+use crate::postings::DocId;
+use crate::text::{tokenize, StopWords};
+
+/// Per-term accumulation state: postings arrive in ascending document order
+/// and are kept *already compressed*, so building a multi-million-token
+/// collection costs roughly its compressed index size in memory.
+#[derive(Default)]
+struct TermAccumulator {
+    /// Delta/vbyte-coded `(doc-gap, tf, position-gaps)` stream — exactly the
+    /// body of the final record.
+    body: Vec<u8>,
+    last_doc: u32,
+    df: u32,
+    max_tf: u32,
+}
+
+/// Streaming index builder.
+pub struct IndexBuilder {
+    stop: StopWords,
+    dict: Dictionary,
+    docs: DocTable,
+    postings: Vec<TermAccumulator>,
+    /// Scratch: per-document term → positions map, reused across documents.
+    scratch: HashMap<TermId, Vec<u32>>,
+}
+
+impl IndexBuilder {
+    /// Creates a builder using the given stop-word list.
+    pub fn new(stop: StopWords) -> Self {
+        IndexBuilder {
+            stop,
+            dict: Dictionary::new(),
+            docs: DocTable::new(),
+            postings: Vec::new(),
+            scratch: HashMap::new(),
+        }
+    }
+
+    /// Number of documents added so far.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Tokenizes and indexes one document, returning its ordinal id.
+    pub fn add_document(&mut self, name: &str, text: &str) -> DocId {
+        // Token count before stop-word removal approximates document length
+        // (positions already index the raw token stream).
+        let raw_tokens =
+            text.split(|c: char| !c.is_ascii_alphanumeric()).filter(|t| !t.is_empty()).count();
+        let doc = self.docs.push(name.to_string(), raw_tokens as u32);
+        // Gather per-term positions for this document.
+        self.scratch.clear();
+        for (token, pos) in tokenize(text, &self.stop) {
+            let id = self.dict.intern(&token);
+            if id.0 as usize >= self.postings.len() {
+                self.postings.resize_with(id.0 as usize + 1, TermAccumulator::default);
+            }
+            self.scratch.entry(id).or_default().push(pos);
+        }
+        for (&term, positions) in &self.scratch {
+            let tf = positions.len() as u32;
+            let entry = self.dict.entry_mut(term);
+            entry.df += 1;
+            entry.cf += tf as u64;
+            let acc = &mut self.postings[term.0 as usize];
+            // Append this document's compressed posting: doc gap (absolute
+            // for the first posting), tf, then position gaps.
+            let gap = if acc.df == 0 { doc.0 } else { doc.0 - acc.last_doc };
+            encode_vbyte(gap, &mut acc.body);
+            encode_vbyte(tf, &mut acc.body);
+            let mut prev = 0u32;
+            for (j, &p) in positions.iter().enumerate() {
+                encode_vbyte(if j == 0 { p } else { p - prev }, &mut acc.body);
+                prev = p;
+            }
+            acc.last_doc = doc.0;
+            acc.df += 1;
+            acc.max_tf = acc.max_tf.max(tf);
+        }
+        doc
+    }
+
+    /// Sorts, compresses, and emits the finished index.
+    pub fn finish(self) -> Index {
+        let IndexBuilder { dict, docs, postings, .. } = self;
+        // The sort the paper says dominates index construction is implicit
+        // here: accumulators are already ordered by term identifier, and
+        // postings within each record arrived in document-id order.
+        let records: Vec<(TermId, Vec<u8>)> = postings
+            .into_iter()
+            .enumerate()
+            .map(|(i, acc)| {
+                let term = TermId(i as u32);
+                let cf = dict.entry(term).cf;
+                let mut record = Vec::with_capacity(8 + acc.body.len());
+                encode_vbyte(acc.df, &mut record);
+                encode_vbyte(cf.min(u32::MAX as u64) as u32, &mut record);
+                encode_vbyte(acc.max_tf, &mut record);
+                record.extend_from_slice(&acc.body);
+                (term, record)
+            })
+            .collect();
+        debug_assert!(records.windows(2).all(|w| w[0].0 < w[1].0));
+        Index { dictionary: dict, documents: docs, records }
+    }
+}
+
+/// A finished, backend-agnostic index.
+#[derive(Clone)]
+pub struct Index {
+    /// The populated hash dictionary (term → id, statistics).
+    pub dictionary: Dictionary,
+    /// The document table.
+    pub documents: DocTable,
+    /// Compressed inverted records, sorted by term id.
+    pub records: Vec<(TermId, Vec<u8>)>,
+}
+
+impl Index {
+    /// Collection statistics for the belief functions.
+    pub fn collection_stats(&self) -> CollectionStats {
+        CollectionStats {
+            num_docs: self.documents.len() as u32,
+            avg_doc_len: self.documents.avg_len(),
+        }
+    }
+
+    /// Sizes of every inverted record in bytes — the data behind Figure 1.
+    pub fn record_sizes(&self) -> Vec<usize> {
+        self.records.iter().map(|(_, r)| r.len()).collect()
+    }
+
+    /// Total bytes of compressed inverted records.
+    pub fn total_record_bytes(&self) -> u64 {
+        self.records.iter().map(|(_, r)| r.len() as u64).sum()
+    }
+
+    /// Fraction of records no larger than `threshold` bytes (the paper's
+    /// "approximately 50% of the inverted lists are 12 bytes or less").
+    pub fn fraction_at_most(&self, threshold: usize) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let n = self.records.iter().filter(|(_, r)| r.len() <= threshold).count();
+        n as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postings::InvertedRecord;
+
+    fn tiny_index() -> Index {
+        let mut b = IndexBuilder::new(StopWords::default());
+        b.add_document("D0", "the quick brown fox jumps over the lazy dog");
+        b.add_document("D1", "the quick red fox");
+        b.add_document("D2", "dogs and foxes and dogs again dog dog");
+        b.finish()
+    }
+
+    #[test]
+    fn dictionary_statistics_are_correct() {
+        let idx = tiny_index();
+        let fox = idx.dictionary.lookup("fox").unwrap();
+        assert_eq!(idx.dictionary.entry(fox).df, 2);
+        assert_eq!(idx.dictionary.entry(fox).cf, 2);
+        let dog = idx.dictionary.lookup("dog").unwrap();
+        assert_eq!(idx.dictionary.entry(dog).df, 2, "dog in D0 and D2");
+        assert_eq!(idx.dictionary.entry(dog).cf, 3, "1 in D0 + 2 in D2 (no stemming: dogs is distinct)");
+        assert!(idx.dictionary.lookup("the").is_none(), "stop words are not indexed");
+    }
+
+    #[test]
+    fn records_decode_with_correct_postings() {
+        let idx = tiny_index();
+        let quick = idx.dictionary.lookup("quick").unwrap();
+        let (_, bytes) = idx.records.iter().find(|(t, _)| *t == quick).unwrap();
+        let rec = InvertedRecord::decode(bytes).unwrap();
+        assert_eq!(rec.df(), 2);
+        assert_eq!(rec.postings[0].doc, DocId(0));
+        assert_eq!(rec.postings[0].positions, vec![1]);
+        assert_eq!(rec.postings[1].doc, DocId(1));
+    }
+
+    #[test]
+    fn records_are_sorted_by_term_id() {
+        let idx = tiny_index();
+        assert!(idx.records.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(idx.records.len(), idx.dictionary.len());
+    }
+
+    #[test]
+    fn document_table_lengths() {
+        let idx = tiny_index();
+        assert_eq!(idx.documents.len(), 3);
+        assert_eq!(idx.documents.info(DocId(0)).len, 9);
+        assert_eq!(idx.documents.info(DocId(0)).name, "D0");
+        let stats = idx.collection_stats();
+        assert_eq!(stats.num_docs, 3);
+        assert!(stats.avg_doc_len > 0.0);
+    }
+
+    #[test]
+    fn size_helpers() {
+        let idx = tiny_index();
+        let sizes = idx.record_sizes();
+        assert_eq!(sizes.len(), idx.records.len());
+        assert_eq!(sizes.iter().map(|&s| s as u64).sum::<u64>(), idx.total_record_bytes());
+        assert_eq!(idx.fraction_at_most(usize::MAX), 1.0);
+        assert_eq!(idx.fraction_at_most(0), 0.0);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let idx = IndexBuilder::new(StopWords::default()).finish();
+        assert_eq!(idx.records.len(), 0);
+        assert_eq!(idx.fraction_at_most(12), 0.0);
+        assert_eq!(idx.collection_stats().num_docs, 0);
+    }
+
+    #[test]
+    fn repeated_document_terms_make_one_posting() {
+        let mut b = IndexBuilder::new(StopWords::none());
+        b.add_document("D0", "echo echo echo");
+        let idx = b.finish();
+        let echo = idx.dictionary.lookup("echo").unwrap();
+        let rec = InvertedRecord::decode(&idx.records[echo.0 as usize].1).unwrap();
+        assert_eq!(rec.df(), 1);
+        assert_eq!(rec.postings[0].tf, 3);
+        assert_eq!(rec.postings[0].positions, vec![0, 1, 2]);
+    }
+}

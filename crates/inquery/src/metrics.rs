@@ -1,0 +1,175 @@
+//! Recall / precision evaluation.
+//!
+//! "Traditionally, IR system performance has been measured in terms of
+//! recall and precision. ... A relevance file lists the documents that
+//! should have been retrieved for each query and is required for
+//! determining recall and precision." (Sections 4, 4.2). The paper fixes
+//! effectiveness across the compared systems and measures time — but the
+//! query sets "are designed to evaluate an IR system's recall and
+//! precision", so the harness reports both.
+
+use std::collections::HashSet;
+
+use crate::postings::DocId;
+use crate::query::eval::ScoredDoc;
+
+/// Relevance judgments for one query.
+#[derive(Debug, Clone, Default)]
+pub struct Judgments {
+    relevant: HashSet<DocId>,
+}
+
+impl Judgments {
+    /// Builds judgments from the relevant document ids.
+    pub fn new(relevant: impl IntoIterator<Item = DocId>) -> Self {
+        Judgments { relevant: relevant.into_iter().collect() }
+    }
+
+    /// Number of relevant documents.
+    pub fn len(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// Whether no documents are relevant.
+    pub fn is_empty(&self) -> bool {
+        self.relevant.is_empty()
+    }
+
+    /// Whether `doc` is judged relevant.
+    pub fn is_relevant(&self, doc: DocId) -> bool {
+        self.relevant.contains(&doc)
+    }
+
+    /// Precision at cutoff `k`: fraction of the top `k` that are relevant.
+    pub fn precision_at(&self, ranked: &[ScoredDoc], k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let hits = ranked.iter().take(k).filter(|s| self.is_relevant(s.doc)).count();
+        hits as f64 / k as f64
+    }
+
+    /// Recall at cutoff `k`: fraction of relevant documents in the top `k`.
+    pub fn recall_at(&self, ranked: &[ScoredDoc], k: usize) -> f64 {
+        if self.relevant.is_empty() {
+            return 0.0;
+        }
+        let hits = ranked.iter().take(k).filter(|s| self.is_relevant(s.doc)).count();
+        hits as f64 / self.relevant.len() as f64
+    }
+
+    /// Non-interpolated average precision over the full ranking.
+    pub fn average_precision(&self, ranked: &[ScoredDoc]) -> f64 {
+        if self.relevant.is_empty() {
+            return 0.0;
+        }
+        let mut hits = 0usize;
+        let mut sum = 0.0;
+        for (i, s) in ranked.iter().enumerate() {
+            if self.is_relevant(s.doc) {
+                hits += 1;
+                sum += hits as f64 / (i + 1) as f64;
+            }
+        }
+        sum / self.relevant.len() as f64
+    }
+
+    /// Interpolated precision at the 11 standard recall points (0.0, 0.1,
+    /// ..., 1.0).
+    pub fn interpolated_11pt(&self, ranked: &[ScoredDoc]) -> [f64; 11] {
+        let mut out = [0.0f64; 11];
+        if self.relevant.is_empty() {
+            return out;
+        }
+        // precision/recall after each rank position.
+        let mut points: Vec<(f64, f64)> = Vec::new(); // (recall, precision)
+        let mut hits = 0usize;
+        for (i, s) in ranked.iter().enumerate() {
+            if self.is_relevant(s.doc) {
+                hits += 1;
+                points.push((
+                    hits as f64 / self.relevant.len() as f64,
+                    hits as f64 / (i + 1) as f64,
+                ));
+            }
+        }
+        for (level, slot) in out.iter_mut().enumerate() {
+            let r = level as f64 / 10.0;
+            *slot = points
+                .iter()
+                .filter(|&&(recall, _)| recall >= r - 1e-12)
+                .map(|&(_, p)| p)
+                .fold(0.0, f64::max);
+        }
+        out
+    }
+}
+
+/// Mean of a metric across queries (e.g. mean average precision).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(docs: &[u32]) -> Vec<ScoredDoc> {
+        docs.iter()
+            .enumerate()
+            .map(|(i, &d)| ScoredDoc { doc: DocId(d), score: 1.0 - i as f64 * 0.01 })
+            .collect()
+    }
+
+    #[test]
+    fn precision_and_recall_at_cutoffs() {
+        let j = Judgments::new([DocId(1), DocId(3), DocId(9)]);
+        let r = ranked(&[1, 2, 3, 4, 5]);
+        assert_eq!(j.precision_at(&r, 1), 1.0);
+        assert_eq!(j.precision_at(&r, 2), 0.5);
+        assert!((j.precision_at(&r, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((j.recall_at(&r, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((j.recall_at(&r, 5) - 2.0 / 3.0).abs() < 1e-12, "doc 9 never retrieved");
+        assert_eq!(j.precision_at(&r, 0), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        let j = Judgments::new([DocId(1), DocId(2)]);
+        assert_eq!(j.average_precision(&ranked(&[1, 2, 3])), 1.0);
+        // Relevant docs at ranks 2 and 4: AP = (1/2 + 2/4)/2 = 0.5.
+        assert!((j.average_precision(&ranked(&[0, 1, 3, 2])) - 0.5).abs() < 1e-12);
+        assert_eq!(j.average_precision(&ranked(&[5, 6])), 0.0);
+    }
+
+    #[test]
+    fn eleven_point_interpolation_is_monotone_nonincreasing() {
+        let j = Judgments::new([DocId(0), DocId(2), DocId(4), DocId(6)]);
+        let pts = j.interpolated_11pt(&ranked(&[0, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(pts[0], 1.0, "interpolated precision at recall 0");
+        for w in pts.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "interpolation must be non-increasing: {pts:?}");
+        }
+        assert!(pts[10] > 0.0, "full recall was reached");
+    }
+
+    #[test]
+    fn empty_judgments_are_all_zero() {
+        let j = Judgments::new([]);
+        let r = ranked(&[1, 2, 3]);
+        assert!(j.is_empty());
+        assert_eq!(j.recall_at(&r, 3), 0.0);
+        assert_eq!(j.average_precision(&r), 0.0);
+        assert_eq!(j.interpolated_11pt(&r), [0.0; 11]);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[0.25, 0.75]) - 0.5).abs() < 1e-12);
+    }
+}

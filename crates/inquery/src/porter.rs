@@ -1,0 +1,354 @@
+//! The Porter stemming algorithm (Porter, *An algorithm for suffix
+//! stripping*, Program 14(3), 1980).
+//!
+//! INQUERY normalised word forms before dictionary lookup so that "index",
+//! "indexes", and "indexing" share one inverted record. Stemming is opt-in
+//! here (see [`crate::text::StopWords::with_stemming`]) because the paper's
+//! storage comparison does not depend on it — but a production deployment
+//! of the engine would enable it, and the record-size distribution it
+//! produces is slightly more head-heavy (fewer, larger records).
+//!
+//! This is a faithful implementation of the original five-step algorithm
+//! over ASCII lower-case words.
+
+/// Stems one lower-case ASCII word. Words shorter than three characters are
+/// returned unchanged, as in Porter's reference implementation.
+///
+/// ```
+/// assert_eq!(poir_inquery::porter::stem("retrieval"), "retriev");
+/// assert_eq!(poir_inquery::porter::stem("indexing"), poir_inquery::porter::stem("indexes"));
+/// ```
+pub fn stem(word: &str) -> String {
+    let mut w: Vec<u8> = word.bytes().collect();
+    if w.len() <= 2 {
+        return word.to_string();
+    }
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's *m*: the number of vowel-consonant sequences in `w[..len]`.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip the initial consonant run.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Vowel run.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Consonant run → one VC block.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// Ends with a double consonant.
+fn double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// Ends consonant-vowel-consonant, where the final consonant is not w, x,
+/// or y.
+fn cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// If the word ends in `suffix` and the stem before it has measure > `min_m`,
+/// replace the suffix with `replacement` and return true.
+fn replace_if(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_m: usize) -> bool {
+    if ends_with(w, suffix) {
+        let stem_len = w.len() - suffix.len();
+        if measure(w, stem_len) > min_m {
+            w.truncate(stem_len);
+            w.extend_from_slice(replacement.as_bytes());
+        }
+        return true; // suffix matched (even if m-condition blocked the rewrite)
+    }
+    false
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") || ends_with(w, "ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "s") && !ends_with(w, "ss") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        if measure(w, w.len() - 3) > 0 {
+            w.truncate(w.len() - 1);
+        }
+        return;
+    }
+    let stripped = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if stripped {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if double_consonant(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if(w, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suffix, replacement) in RULES {
+        if replace_if(w, suffix, replacement, 0) {
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" is special: the preceding letter must be s or t.
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0
+            && matches!(w[stem_len - 1], b's' | b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for suffix in SUFFIXES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && double_consonant(w) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Examples from Porter's paper, plus common IR vocabulary.
+    #[test]
+    fn canonical_examples() {
+        for (word, expected) in [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ] {
+            assert_eq!(stem(word), expected, "stem({word:?})");
+        }
+    }
+
+    #[test]
+    fn ir_vocabulary_conflates() {
+        assert_eq!(stem("indexing"), stem("indexes"));
+        assert_eq!(stem("retrieval"), "retriev");
+        assert_eq!(stem("retrieves"), "retriev");
+        assert_eq!(stem("querying"), stem("queries"));
+        assert_eq!(stem("stored"), stem("storing"));
+    }
+
+    #[test]
+    fn short_words_are_untouched() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("by"), "by");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_for_common_words() {
+        for w in ["retrieval", "indexing", "performance", "management", "probabilistic"] {
+            let once = stem(w);
+            let twice = stem(&once);
+            // Porter is not idempotent in general, but stems must at least
+            // stay stable for this vocabulary (guards regressions).
+            assert_eq!(stem(&twice), twice, "{w} unstable");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The structured query representation.
+//!
+//! "As queries are parsed by INQUERY, a tree is constructed that represents
+//! the query in an internal form." (Section 3.3). The node set covers the
+//! INQUERY operators exercised by the paper's query sets: boolean
+//! (`#and`/`#or`/`#not`), probabilistic (`#sum`/`#wsum`/`#max`), and
+//! proximity (`#phrase`, `#uwN`) operators over terms.
+
+/// A node of the internal query tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryNode {
+    /// A single index term (already analyzer-normalised).
+    Term(String),
+    /// `#and(...)`: product of child beliefs.
+    And(Vec<QueryNode>),
+    /// `#or(...)`: probabilistic or of child beliefs.
+    Or(Vec<QueryNode>),
+    /// `#not(...)`: complement of the child belief.
+    Not(Box<QueryNode>),
+    /// `#sum(...)`: mean of child beliefs (the natural-language default).
+    Sum(Vec<QueryNode>),
+    /// `#wsum(w1 c1 w2 c2 ...)`: weighted mean of child beliefs.
+    WSum(Vec<(f64, QueryNode)>),
+    /// `#max(...)`: maximum child belief.
+    Max(Vec<QueryNode>),
+    /// `#phrase(t1 t2 ...)`: terms in adjacent positions, scored as a
+    /// synthetic term.
+    Phrase(Vec<String>),
+    /// `#uwN(t1 t2 ...)`: all terms within an unordered window of `size`
+    /// word positions.
+    Window { size: u32, terms: Vec<String> },
+}
+
+impl QueryNode {
+    /// Collects every leaf term in the tree (including phrase/window
+    /// members), in first-appearance order — the pre-evaluation scan used
+    /// to reserve resident objects (Section 3.3).
+    pub fn leaf_terms(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            QueryNode::Term(t) => out.push(t),
+            QueryNode::And(c) | QueryNode::Or(c) | QueryNode::Sum(c) | QueryNode::Max(c) => {
+                for child in c {
+                    child.collect_terms(out);
+                }
+            }
+            QueryNode::Not(c) => c.collect_terms(out),
+            QueryNode::WSum(c) => {
+                for (_, child) in c {
+                    child.collect_terms(out);
+                }
+            }
+            QueryNode::Phrase(terms) | QueryNode::Window { terms, .. } => {
+                out.extend(terms.iter().map(String::as_str));
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            QueryNode::Term(_) => 0,
+            QueryNode::And(c) | QueryNode::Or(c) | QueryNode::Sum(c) | QueryNode::Max(c) => {
+                c.iter().map(QueryNode::node_count).sum()
+            }
+            QueryNode::Not(c) => c.node_count(),
+            QueryNode::WSum(c) => c.iter().map(|(_, n)| n.node_count()).sum(),
+            QueryNode::Phrase(t) | QueryNode::Window { terms: t, .. } => t.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_terms_cover_all_node_kinds() {
+        let q = QueryNode::Sum(vec![
+            QueryNode::Term("alpha".into()),
+            QueryNode::And(vec![
+                QueryNode::Term("beta".into()),
+                QueryNode::Not(Box::new(QueryNode::Term("gamma".into()))),
+            ]),
+            QueryNode::WSum(vec![(2.0, QueryNode::Term("delta".into()))]),
+            QueryNode::Phrase(vec!["eps".into(), "zeta".into()]),
+            QueryNode::Window { size: 5, terms: vec!["eta".into()] },
+            QueryNode::Or(vec![QueryNode::Max(vec![QueryNode::Term("theta".into())])]),
+        ]);
+        assert_eq!(
+            q.leaf_terms(),
+            vec!["alpha", "beta", "gamma", "delta", "eps", "zeta", "eta", "theta"]
+        );
+        assert_eq!(q.node_count(), 16);
+    }
+
+    #[test]
+    fn term_node_is_its_own_leaf() {
+        let q = QueryNode::Term("solo".into());
+        assert_eq!(q.leaf_terms(), vec!["solo"]);
+        assert_eq!(q.node_count(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Document-at-a-time evaluation — the paper's scalability extension.
+//!
+//! "A 'document-at-a-time' approach, which gathered all of the evidence for
+//! one document before proceeding to the next, might scale better to large
+//! collections. However, it would be cumbersome with the current custom
+//! B-tree package." (Section 3.1)
+//!
+//! With records fetched through the store abstraction this mode is no
+//! longer cumbersome: all query-term records are opened as streaming
+//! [`PostingsCursor`]s and merged by document id, holding only one decoded
+//! posting per term instead of whole accumulator maps. It applies to
+//! bag-of-words queries (`#sum`/`#wsum` over terms), which is what the
+//! paper's natural-language query sets produce.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::belief::{BeliefParams, CollectionStats};
+use crate::dict::Dictionary;
+use crate::documents::DocTable;
+use crate::error::{InqueryError, Result};
+use crate::postings::{DocId, Posting, PostingsCursor};
+use crate::query::ast::QueryNode;
+use crate::query::eval::ScoredDoc;
+use crate::store::InvertedFileStore;
+
+/// Flattens a query into `(weight, term)` pairs if it is a bag-of-words
+/// query (a bare term, `#sum` of terms, or `#wsum` of terms).
+pub fn flatten_bag(query: &QueryNode) -> Option<Vec<(f64, String)>> {
+    match query {
+        QueryNode::Term(t) => Some(vec![(1.0, t.clone())]),
+        QueryNode::Sum(children) => children
+            .iter()
+            .map(|c| match c {
+                QueryNode::Term(t) => Some((1.0, t.clone())),
+                _ => None,
+            })
+            .collect(),
+        QueryNode::WSum(children) => children
+            .iter()
+            .map(|(w, c)| match c {
+                QueryNode::Term(t) => Some((*w, t.clone())),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+/// Ranks a bag-of-words query document-at-a-time. Produces exactly the
+/// same scores as the term-at-a-time evaluator on the same query.
+pub fn rank_daat<S: InvertedFileStore + ?Sized>(
+    store: &mut S,
+    dict: &Dictionary,
+    docs: &DocTable,
+    params: BeliefParams,
+    terms: &[(f64, String)],
+    k: usize,
+) -> Result<Vec<ScoredDoc>> {
+    let stats = CollectionStats { num_docs: docs.len() as u32, avg_doc_len: docs.avg_len() };
+    // Fetch every term's record bytes (one store lookup per term, as in
+    // term-at-a-time — the access pattern the storage layer sees is the
+    // same; what changes is evaluation memory). Unknown terms contribute
+    // the default belief to every document, exactly as in term-at-a-time,
+    // so their weight stays in the normalisation.
+    let mut weights = Vec::new();
+    let mut buffers = Vec::new();
+    let mut unknown_weight = 0.0f64;
+    for (w, term) in terms {
+        let Some(id) = dict.lookup(term) else {
+            unknown_weight += *w;
+            continue;
+        };
+        let bytes = store.fetch(dict.entry(id).store_ref)?;
+        weights.push(*w);
+        buffers.push(bytes);
+    }
+    let mut cursors = Vec::with_capacity(buffers.len());
+    let mut dfs = Vec::with_capacity(buffers.len());
+    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    let mut current: Vec<Option<Posting>> = Vec::with_capacity(buffers.len());
+    for (i, bytes) in buffers.iter().enumerate() {
+        let (mut cursor, df, _cf, _max_tf) = PostingsCursor::open(bytes)
+            .ok_or_else(|| InqueryError::BadRecord("cursor open failed".into()))?;
+        dfs.push(df);
+        let head = cursor.next();
+        if let Some(p) = &head {
+            heap.push(Reverse((p.doc.0, i)));
+        }
+        current.push(head);
+        cursors.push(cursor);
+    }
+    let total_weight: f64 = weights.iter().sum::<f64>() + unknown_weight;
+    if total_weight == 0.0 || weights.is_empty() {
+        return Ok(Vec::new());
+    }
+    // The belief a term contributes when absent from the document.
+    let default = params.default_belief;
+    // Gather all evidence for one document before moving to the next.
+    let mut results: Vec<ScoredDoc> = Vec::new();
+    while let Some(&Reverse((doc_raw, _))) = heap.peek() {
+        let doc = DocId(doc_raw);
+        let doc_len = docs.info(doc).len;
+        let mut weighted_sum = 0.0;
+        let mut consumed = Vec::new();
+        // Pop every term positioned at this document.
+        while let Some(&Reverse((d, i))) = heap.peek() {
+            if d != doc_raw {
+                break;
+            }
+            heap.pop();
+            consumed.push(i);
+            let posting = current[i].take().expect("heap entries have postings");
+            let belief = params.term_belief(posting.tf, doc_len, dfs[i], &stats);
+            weighted_sum += weights[i] * belief;
+        }
+        // Terms absent from this document contribute the default belief.
+        let absent_weight: f64 =
+            total_weight - consumed.iter().map(|&i| weights[i]).sum::<f64>();
+        weighted_sum += absent_weight * default;
+        results.push(ScoredDoc { doc, score: weighted_sum / total_weight });
+        // Advance consumed cursors.
+        for i in consumed {
+            let next = cursors[i].next();
+            if let Some(p) = &next {
+                heap.push(Reverse((p.doc.0, i)));
+            }
+            current[i] = next;
+        }
+    }
+    results.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.doc.cmp(&b.doc))
+    });
+    results.truncate(k);
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::query::eval::Evaluator;
+    use crate::query::parser::parse_query;
+    use crate::store::MemoryStore;
+    use crate::text::StopWords;
+
+    fn corpus() -> (MemoryStore, Dictionary, DocTable, StopWords) {
+        let stop = StopWords::default();
+        let mut b = IndexBuilder::new(stop.clone());
+        b.add_document("D0", "alpha beta gamma alpha");
+        b.add_document("D1", "beta beta delta");
+        b.add_document("D2", "alpha delta epsilon beta");
+        b.add_document("D3", "zeta eta theta");
+        let idx = b.finish();
+        let mut store = MemoryStore::new();
+        let mut dict = idx.dictionary;
+        for (term, bytes) in idx.records {
+            let r = store.add(bytes);
+            dict.entry_mut(term).store_ref = r;
+        }
+        (store, dict, idx.documents, stop)
+    }
+
+    #[test]
+    fn flatten_accepts_bags_and_rejects_structure() {
+        let stop = StopWords::default();
+        let bag = parse_query("alpha beta gamma", &stop).unwrap();
+        assert_eq!(flatten_bag(&bag).unwrap().len(), 3);
+        let weighted = parse_query("#wsum(2 alpha 1 beta)", &stop).unwrap();
+        let flat = flatten_bag(&weighted).unwrap();
+        assert_eq!(flat[0], (2.0, "alpha".into()));
+        let single = parse_query("alpha", &stop).unwrap();
+        assert_eq!(flatten_bag(&single).unwrap(), vec![(1.0, "alpha".into())]);
+        let structured = parse_query("#and(alpha beta)", &stop).unwrap();
+        assert!(flatten_bag(&structured).is_none());
+        let nested = parse_query("#sum(alpha #and(beta gamma))", &stop).unwrap();
+        assert!(flatten_bag(&nested).is_none());
+    }
+
+    #[test]
+    fn daat_matches_taat_scores() {
+        let (mut store, dict, docs, stop) = corpus();
+        for query in [
+            "alpha beta delta",
+            "#wsum(3 alpha 1 beta 2 epsilon)",
+            "alpha",
+            // Unknown terms must dilute DAAT exactly as they dilute TAAT.
+            "alpha unknownword beta",
+            "#wsum(1 alpha 5 missingterm)",
+        ] {
+            let q = parse_query(query, &stop).unwrap();
+            let taat = {
+                let mut ev =
+                    Evaluator::new(&mut store, &dict, &docs, &stop, BeliefParams::default());
+                ev.rank(&q, 10).unwrap()
+            };
+            let bag = flatten_bag(&q).unwrap();
+            let daat =
+                rank_daat(&mut store, &dict, &docs, BeliefParams::default(), &bag, 10).unwrap();
+            assert_eq!(taat.len(), daat.len(), "query {query:?}");
+            for (a, b) in taat.iter().zip(daat.iter()) {
+                assert_eq!(a.doc, b.doc, "query {query:?}");
+                assert!((a.score - b.score).abs() < 1e-9, "query {query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn daat_handles_unknown_terms() {
+        let (mut store, dict, docs, stop) = corpus();
+        let ranked = rank_daat(
+            &mut store,
+            &dict,
+            &docs,
+            BeliefParams::default(),
+            &[(1.0, "unknown".into()), (1.0, "alpha".into())],
+            10,
+        )
+        .unwrap();
+        assert!(!ranked.is_empty());
+        // Every ranked doc contains alpha.
+        for s in &ranked {
+            assert!([0u32, 2].contains(&s.doc.0));
+        }
+        let stop2 = stop;
+        let _ = stop2;
+    }
+
+    #[test]
+    fn daat_empty_query_returns_nothing() {
+        let (mut store, dict, docs, _stop) = corpus();
+        let ranked =
+            rank_daat(&mut store, &dict, &docs, BeliefParams::default(), &[], 10).unwrap();
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn daat_respects_k() {
+        let (mut store, dict, docs, _stop) = corpus();
+        let ranked = rank_daat(
+            &mut store,
+            &dict,
+            &docs,
+            BeliefParams::default(),
+            &[(1.0, "beta".into())],
+            2,
+        )
+        .unwrap();
+        assert_eq!(ranked.len(), 2);
+    }
+}

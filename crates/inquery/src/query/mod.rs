@@ -1,0 +1,13 @@
+//! The query subsystem: parsing and evaluation of structured queries.
+
+pub mod ast;
+pub mod daat;
+pub mod eval;
+pub mod explain;
+pub mod parser;
+
+pub use ast::QueryNode;
+pub use daat::{flatten_bag, rank_daat};
+pub use eval::{Evaluator, ScoreList, ScoredDoc};
+pub use explain::Explanation;
+pub use parser::parse_query;

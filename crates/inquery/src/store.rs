@@ -1,0 +1,109 @@
+//! The inverted-file store abstraction.
+//!
+//! INQUERY's query processor only needs one operation from its index
+//! subsystem: fetch the complete record for a term ("it reads the complete
+//! record for one term, and merges the evidence", Section 3.1). The
+//! [`InvertedFileStore`] trait captures exactly that boundary — the
+//! subsystem the paper swaps between a custom B-tree package and the Mneme
+//! persistent object store (both implementations live in `poir-core`).
+//!
+//! The store is addressed by the opaque `store_ref` each backend deposited
+//! in the hash dictionary at index-build time (Section 3.3).
+
+use crate::error::Result;
+
+/// A pluggable inverted-file backend.
+pub trait InvertedFileStore {
+    /// Fetches the encoded inverted record behind `store_ref`.
+    fn fetch(&mut self, store_ref: u64) -> Result<Vec<u8>>;
+
+    /// Pre-evaluation reservation pass: pin whatever is already resident
+    /// for the given references (Section 3.3's query-tree scan). The
+    /// default implementation does nothing.
+    fn reserve(&mut self, _store_refs: &[u64]) {}
+
+    /// Releases reservations placed by [`InvertedFileStore::reserve`].
+    fn release_reservations(&mut self) {}
+
+    /// Number of record fetches served so far (the denominator of the
+    /// paper's "A" statistic).
+    fn record_lookups(&self) -> u64;
+}
+
+/// A trivial memory-resident store, used by unit tests and as the indexing
+/// staging area.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    records: Vec<Vec<u8>>,
+    lookups: u64,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a record, returning the reference to hand to the dictionary.
+    pub fn add(&mut self, record: Vec<u8>) -> u64 {
+        self.records.push(record);
+        (self.records.len() - 1) as u64
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl InvertedFileStore for MemoryStore {
+    fn fetch(&mut self, store_ref: u64) -> Result<Vec<u8>> {
+        self.lookups += 1;
+        self.records
+            .get(store_ref as usize)
+            .cloned()
+            .ok_or_else(|| crate::error::InqueryError::BadRecord(format!(
+                "no record at reference {store_ref}"
+            )))
+    }
+
+    fn record_lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_store_round_trips() {
+        let mut s = MemoryStore::new();
+        let a = s.add(vec![1, 2, 3]);
+        let b = s.add(vec![4]);
+        assert_eq!(s.fetch(a).unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.fetch(b).unwrap(), vec![4]);
+        assert_eq!(s.record_lookups(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn missing_reference_is_an_error() {
+        let mut s = MemoryStore::new();
+        assert!(s.fetch(0).is_err());
+        assert_eq!(s.record_lookups(), 1, "failed fetches still count as lookups");
+    }
+
+    #[test]
+    fn default_reservation_hooks_are_noops() {
+        let mut s = MemoryStore::new();
+        s.reserve(&[1, 2, 3]);
+        s.release_reservations();
+        assert!(s.is_empty());
+    }
+}

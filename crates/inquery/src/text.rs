@@ -1,0 +1,200 @@
+//! Tokenization and stop words.
+//!
+//! Documents and queries pass through the same analyzer so query terms match
+//! index terms. The analyzer lower-cases ASCII, splits on anything that is
+//! not alphanumeric, and drops pure digits longer than a year-like token as
+//! well as single characters — a simplification of INQUERY's document
+//! parsing that preserves the statistical properties the paper's evaluation
+//! depends on (Zipf-distributed vocabulary, stop-word removal).
+//!
+//! "A stop words file lists words that are not worth indexing on because
+//! they occur so frequently or are not significantly meaningful."
+//! (Section 4.2)
+
+use std::collections::HashSet;
+
+/// The default stop-word list (a standard short English list of the kind
+/// shipped with IR systems of the era).
+pub const DEFAULT_STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as",
+    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
+    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
+    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "more", "most", "my",
+    "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "them", "then", "there", "these", "they", "this", "those", "through", "to",
+    "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your",
+];
+
+/// The analysis configuration: a compiled stop-word set plus an optional
+/// stemming flag. Threaded through the indexer, the query parser, and the
+/// evaluator so documents and queries always normalise identically.
+#[derive(Debug, Clone)]
+pub struct StopWords {
+    words: HashSet<String>,
+    stemming: bool,
+}
+
+impl Default for StopWords {
+    fn default() -> Self {
+        StopWords::new(DEFAULT_STOP_WORDS.iter().copied())
+    }
+}
+
+impl StopWords {
+    /// Builds a stop-word set from an iterator of words.
+    pub fn new<'a>(words: impl IntoIterator<Item = &'a str>) -> Self {
+        StopWords {
+            words: words.into_iter().map(|w| w.to_ascii_lowercase()).collect(),
+            stemming: false,
+        }
+    }
+
+    /// An empty set (index everything).
+    pub fn none() -> Self {
+        StopWords { words: HashSet::new(), stemming: false }
+    }
+
+    /// Enables Porter stemming (see [`crate::porter`]) after stop-word
+    /// removal. Indexes and queries must use the same setting.
+    pub fn with_stemming(mut self) -> Self {
+        self.stemming = true;
+        self
+    }
+
+    /// Whether stemming is enabled.
+    pub fn stemming(&self) -> bool {
+        self.stemming
+    }
+
+    /// Normalises one already-lower-cased word: `None` if it is a stop word
+    /// or noise, the (possibly stemmed) index term otherwise.
+    pub fn index_form(&self, word: &str) -> Option<String> {
+        if word.len() < 2 || self.contains(word) {
+            return None;
+        }
+        if word.chars().all(|c| c.is_ascii_digit()) && word.len() > 4 {
+            return None;
+        }
+        Some(if self.stemming { crate::porter::stem(word) } else { word.to_string() })
+    }
+
+    /// Whether `word` (already lower-cased) is a stop word.
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Number of stop words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Splits `text` into lower-cased index terms, reporting each term's
+/// position (token offset *after* stop-word removal is NOT applied to
+/// positions — positions count all word tokens, so phrase adjacency is
+/// preserved across removed stop words exactly as INQUERY records
+/// "locations within each document").
+pub fn tokenize<'a>(text: &'a str, stop: &'a StopWords) -> impl Iterator<Item = (String, u32)> + 'a {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .enumerate()
+        .filter_map(move |(pos, raw)| {
+            let token = raw.to_ascii_lowercase();
+            stop.index_form(&token).map(|term| (term, pos as u32))
+        })
+}
+
+/// Convenience: tokenize and collect just the terms.
+pub fn terms(text: &str, stop: &StopWords) -> Vec<String> {
+    tokenize(text, stop).map(|(t, _)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        let stop = StopWords::none();
+        let toks = terms("Hello, World! FOO-bar baz42", &stop);
+        assert_eq!(toks, vec!["hello", "world", "foo", "bar", "baz42"]);
+    }
+
+    #[test]
+    fn stop_words_are_dropped_but_positions_advance() {
+        let stop = StopWords::default();
+        let toks: Vec<(String, u32)> =
+            tokenize("the cat sat on the mat", &stop).collect();
+        assert_eq!(
+            toks,
+            vec![("cat".into(), 1), ("sat".into(), 2), ("mat".into(), 5)],
+            "positions must count removed stop words"
+        );
+    }
+
+    #[test]
+    fn single_characters_and_long_numbers_are_dropped() {
+        let stop = StopWords::none();
+        assert_eq!(terms("a b c xy 1 12 1234 12345 123456", &stop),
+            vec!["xy", "12", "1234"]);
+    }
+
+    #[test]
+    fn default_stop_list_is_loaded() {
+        let stop = StopWords::default();
+        assert!(stop.contains("the"));
+        assert!(stop.contains("The".to_ascii_lowercase().as_str()));
+        assert!(!stop.contains("retrieval"));
+        assert!(!stop.is_empty());
+        assert_eq!(stop.len(), DEFAULT_STOP_WORDS.len());
+    }
+
+    #[test]
+    fn custom_stop_words() {
+        let stop = StopWords::new(["foo", "BAR"]);
+        assert_eq!(terms("foo bar baz", &stop), vec!["baz"]);
+    }
+
+    #[test]
+    fn empty_text_yields_nothing() {
+        let stop = StopWords::default();
+        assert!(terms("", &stop).is_empty());
+        assert!(terms("...!!!", &stop).is_empty());
+    }
+
+    #[test]
+    fn stemming_conflates_word_forms() {
+        let stop = StopWords::default().with_stemming();
+        assert!(stop.stemming());
+        let toks = terms("indexing indexes index", &stop);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], toks[1]);
+        assert_eq!(toks[1], toks[2]);
+        // Stop words are removed before stemming.
+        assert!(terms("the they them", &stop).is_empty());
+        // Positions still track the raw token stream.
+        let with_pos: Vec<(String, u32)> =
+            tokenize("the retrieval of stored records", &stop).collect();
+        assert_eq!(with_pos.len(), 3);
+        assert_eq!(with_pos[0].1, 1);
+        assert_eq!(with_pos[1].1, 3);
+    }
+
+    #[test]
+    fn index_form_matches_tokenize() {
+        let stop = StopWords::default().with_stemming();
+        assert_eq!(stop.index_form("retrieval"), Some("retriev".into()));
+        assert_eq!(stop.index_form("the"), None);
+        assert_eq!(stop.index_form("x"), None);
+        assert_eq!(stop.index_form("123456"), None);
+        assert_eq!(stop.index_form("1234"), Some("1234".into()));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the IR engine: codec round-trips, parser robustness,
+//! belief-combination invariants, and ranking determinism.
+
+use proptest::prelude::*;
+
+use poir_inquery::{
+    parse_query, porter, BeliefParams, DocId, Evaluator, IndexBuilder, InvertedRecord,
+    MemoryStore, Posting, QueryNode, StopWords,
+};
+
+fn posting_strategy() -> impl Strategy<Value = Vec<Posting>> {
+    // Ascending doc ids with 1..=4 ascending positions each.
+    proptest::collection::btree_set(0u32..100_000, 0..60).prop_flat_map(|docs| {
+        let docs: Vec<u32> = docs.into_iter().collect();
+        proptest::collection::vec(proptest::collection::btree_set(0u32..10_000, 1..5), docs.len())
+            .prop_map(move |pos_sets| {
+                docs.iter()
+                    .zip(pos_sets)
+                    .map(|(&doc, positions)| {
+                        let positions: Vec<u32> = positions.into_iter().collect();
+                        Posting { doc: DocId(doc), tf: positions.len() as u32, positions }
+                    })
+                    .collect()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inverted_records_round_trip(postings in posting_strategy()) {
+        let record = InvertedRecord::from_postings(postings);
+        let bytes = record.encode();
+        prop_assert_eq!(InvertedRecord::decode(&bytes), Some(record.clone()));
+        // Header-only decode agrees.
+        let (df, cf, max_tf) = InvertedRecord::decode_header(&bytes).unwrap();
+        prop_assert_eq!(df, record.df());
+        prop_assert_eq!(cf, record.cf.min(u32::MAX as u64));
+        prop_assert_eq!(max_tf, record.max_tf);
+    }
+
+    #[test]
+    fn record_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = InvertedRecord::decode(&bytes); // may be None, must not panic
+        let _ = InvertedRecord::decode_header(&bytes);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,120}") {
+        let stop = StopWords::default();
+        let _ = parse_query(&input, &stop); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn parser_accepts_generated_well_formed_queries(
+        words in proptest::collection::vec("[a-z]{3,8}", 1..8),
+        op in 0usize..4,
+    ) {
+        let stop = StopWords::none();
+        let body = words.join(" ");
+        let query = match op {
+            0 => body.clone(),
+            1 => format!("#and({body})"),
+            2 => format!("#or({body})"),
+            _ => format!("#max({body})"),
+        };
+        let parsed = parse_query(&query, &stop).unwrap();
+        let mut leaves = parsed.leaf_terms();
+        leaves.sort_unstable();
+        leaves.dedup();
+        let mut expected: Vec<&str> = words.iter().map(String::as_str).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(leaves, expected);
+    }
+
+    #[test]
+    fn belief_combinators_obey_bounds(
+        beliefs in proptest::collection::vec(0.0f64..=1.0, 1..6),
+        weights in proptest::collection::vec(0.01f64..10.0, 6),
+    ) {
+        let min = beliefs.iter().copied().fold(1.0, f64::min);
+        let max = beliefs.iter().copied().fold(0.0, f64::max);
+        let and = BeliefParams::and(beliefs.iter().copied());
+        let or = BeliefParams::or(beliefs.iter().copied());
+        let sum = BeliefParams::sum(&beliefs);
+        let weighted: Vec<(f64, f64)> =
+            weights.iter().copied().zip(beliefs.iter().copied()).collect();
+        let wsum = BeliefParams::wsum(&weighted);
+        prop_assert!(and <= min + 1e-12, "#and must not exceed its weakest child");
+        prop_assert!(or >= max - 1e-12, "#or must dominate its strongest child");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&and));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&or));
+        prop_assert!(sum >= min - 1e-12 && sum <= max + 1e-12, "mean stays inside the hull");
+        prop_assert!(wsum >= min - 1e-12 && wsum <= max + 1e-12);
+        prop_assert_eq!(BeliefParams::max(beliefs.iter().copied()), max);
+    }
+
+    #[test]
+    fn term_beliefs_are_probabilities(
+        tf in 0u32..10_000,
+        doc_len in 1u32..100_000,
+        df in 0u32..5_000,
+        num_docs in 1u32..5_000,
+    ) {
+        let stats = poir_inquery::CollectionStats {
+            num_docs,
+            avg_doc_len: 120.0,
+        };
+        let b = BeliefParams::default().term_belief(tf, doc_len, df.min(num_docs), &stats);
+        prop_assert!((0.0..=1.0).contains(&b), "belief {b}");
+        if tf > 0 && df > 0 && df.min(num_docs) < num_docs {
+            prop_assert!(b >= 0.4, "present terms never score below the default");
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_deterministic(
+        docs in proptest::collection::vec("[a-z]{3,6}( [a-z]{3,6}){2,10}", 2..12),
+        query_words in proptest::collection::vec("[a-z]{3,6}", 1..4),
+    ) {
+        let stop = StopWords::none();
+        let mut builder = IndexBuilder::new(stop.clone());
+        for (i, text) in docs.iter().enumerate() {
+            builder.add_document(&format!("D{i}"), text);
+        }
+        let idx = builder.finish();
+        let mut store = MemoryStore::new();
+        let mut dict = idx.dictionary;
+        for (term, bytes) in idx.records {
+            let r = store.add(bytes);
+            dict.entry_mut(term).store_ref = r;
+        }
+        let query = QueryNode::Sum(
+            query_words.iter().map(|w| QueryNode::Term(w.clone())).collect(),
+        );
+        let run = |store: &mut MemoryStore| {
+            let mut ev = Evaluator::new(store, &dict, &idx.documents, &stop, BeliefParams::default());
+            ev.rank(&query, 100).unwrap()
+        };
+        let a = run(&mut store);
+        let b = run(&mut store);
+        prop_assert_eq!(&a, &b, "ranking must be deterministic");
+        for w in a.windows(2) {
+            prop_assert!(
+                w[0].score > w[1].score
+                    || (w[0].score == w[1].score && w[0].doc < w[1].doc),
+                "descending score with doc-id tie-break"
+            );
+        }
+        for s in &a {
+            prop_assert!((0.0..=1.0).contains(&s.score));
+        }
+    }
+
+    #[test]
+    fn stemmer_never_panics_and_stays_ascii(word in "[a-z]{0,30}") {
+        let stemmed = porter::stem(&word);
+        prop_assert!(stemmed.len() <= word.len().max(1) + 1);
+        prop_assert!(stemmed.bytes().all(|b| b.is_ascii_lowercase()) || stemmed.is_empty());
+    }
+
+    #[test]
+    fn stemmed_and_unstemmed_indexes_agree_on_exact_words(
+        words in proptest::collection::vec("[a-z]{4,9}", 3..10),
+    ) {
+        // Any document word, queried in its exact surface form, must be
+        // findable under both analyzers (stemming maps query and document
+        // occurrences identically).
+        for stop in [StopWords::none(), StopWords::none().with_stemming()] {
+            let mut builder = IndexBuilder::new(stop.clone());
+            builder.add_document("D0", &words.join(" "));
+            let idx = builder.finish();
+            for w in &words {
+                if let Some(term) = stop.index_form(w) {
+                    prop_assert!(
+                        idx.dictionary.lookup(&term).is_some(),
+                        "word {w} (term {term}) missing under stemming={}",
+                        stop.stemming()
+                    );
+                }
+            }
+        }
+    }
+}

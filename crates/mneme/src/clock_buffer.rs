@@ -1,0 +1,316 @@
+//! A second buffer policy: the clock (second-chance) algorithm.
+//!
+//! The paper stresses that buffers are *extensible*: "Buffers may be
+//! defined by supplying a number of standard buffer operations ... How
+//! these operations are implemented determines the policies used to manage
+//! the buffer" (Section 3.2), and its conclusions invite "investigat\[ing\]
+//! other store and buffer organizations". [`ClockBuffer`] is exactly such
+//! an alternative organization: it implements the same [`Buffer`] trait as
+//! [`crate::LruBuffer`] with the classic clock approximation of LRU —
+//! cheaper bookkeeping per hit (one flag set instead of a list splice) in
+//! exchange for coarser recency information.
+//!
+//! The `ablations` bench compares the two policies' hit rates on a real
+//! query-set trace.
+
+use std::collections::HashMap;
+
+use crate::buffer::{Buffer, BufferStats};
+use crate::segment::{SegmentAddr, SegmentImage};
+
+struct Frame {
+    addr: SegmentAddr,
+    image: SegmentImage,
+    referenced: bool,
+    pinned: bool,
+}
+
+/// Byte-capacity clock (second-chance) buffer.
+pub struct ClockBuffer {
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<SegmentAddr, usize>,
+    hand: usize,
+    resident_bytes: usize,
+    stats: BufferStats,
+}
+
+impl std::fmt::Debug for ClockBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClockBuffer")
+            .field("capacity", &self.capacity)
+            .field("resident_segments", &self.frames.len())
+            .field("resident_bytes", &self.resident_bytes)
+            .finish()
+    }
+}
+
+impl ClockBuffer {
+    /// Creates a buffer of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        ClockBuffer {
+            capacity,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            resident_bytes: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    fn remove_frame(&mut self, idx: usize) -> (SegmentAddr, SegmentImage) {
+        let frame = self.frames.swap_remove(idx);
+        self.map.remove(&frame.addr);
+        self.resident_bytes -= frame.image.len();
+        // The frame that swapped into `idx` needs its map entry fixed.
+        if idx < self.frames.len() {
+            let moved = self.frames[idx].addr;
+            self.map.insert(moved, idx);
+        }
+        if self.hand >= self.frames.len() {
+            self.hand = 0;
+        }
+        (frame.addr, frame.image)
+    }
+
+    /// Sweeps the clock hand, evicting unreferenced, unpinned frames until
+    /// within capacity. `protect` (the newcomer) is evicted only as a last
+    /// resort.
+    fn enforce_capacity(&mut self, protect: SegmentAddr) -> Vec<(SegmentAddr, SegmentImage)> {
+        let mut evicted = Vec::new();
+        let mut sweeps_without_progress = 0usize;
+        while self.resident_bytes > self.capacity && !self.frames.is_empty() {
+            if sweeps_without_progress > 2 * self.frames.len() {
+                // Everything else is pinned: bounce the newcomer if allowed.
+                if let Some(&idx) = self.map.get(&protect) {
+                    if !self.frames[idx].pinned {
+                        evicted.push(self.remove_frame(idx));
+                    }
+                }
+                break;
+            }
+            let idx = self.hand;
+            let frame = &mut self.frames[idx];
+            if frame.pinned || frame.addr == protect {
+                self.hand = (self.hand + 1) % self.frames.len();
+                sweeps_without_progress += 1;
+                continue;
+            }
+            if frame.referenced {
+                // Second chance.
+                frame.referenced = false;
+                self.hand = (self.hand + 1) % self.frames.len();
+                sweeps_without_progress += 1;
+                continue;
+            }
+            evicted.push(self.remove_frame(idx));
+            sweeps_without_progress = 0;
+        }
+        evicted
+    }
+}
+
+impl Buffer for ClockBuffer {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lookup(&mut self, addr: SegmentAddr) -> Option<&mut SegmentImage> {
+        let idx = *self.map.get(&addr)?;
+        self.frames[idx].referenced = true;
+        Some(&mut self.frames[idx].image)
+    }
+
+    fn is_resident(&self, addr: SegmentAddr) -> bool {
+        self.map.contains_key(&addr)
+    }
+
+    fn insert(&mut self, addr: SegmentAddr, image: SegmentImage) -> Vec<(SegmentAddr, SegmentImage)> {
+        if let Some(&idx) = self.map.get(&addr) {
+            let old_len = self.frames[idx].image.len();
+            self.resident_bytes = self.resident_bytes - old_len + image.len();
+            self.frames[idx].image = image;
+            self.frames[idx].referenced = true;
+            return self.enforce_capacity(addr);
+        }
+        self.resident_bytes += image.len();
+        self.map.insert(addr, self.frames.len());
+        self.frames.push(Frame { addr, image, referenced: true, pinned: false });
+        self.enforce_capacity(addr)
+    }
+
+    fn remove(&mut self, addr: SegmentAddr) -> Option<SegmentImage> {
+        let idx = *self.map.get(&addr)?;
+        Some(self.remove_frame(idx).1)
+    }
+
+    fn reserve(&mut self, addr: SegmentAddr) -> bool {
+        match self.map.get(&addr) {
+            Some(&idx) => {
+                self.frames[idx].pinned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn release_reservations(&mut self) {
+        for f in &mut self.frames {
+            f.pinned = false;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<(SegmentAddr, SegmentImage)> {
+        let mut out = Vec::with_capacity(self.frames.len());
+        while !self.frames.is_empty() {
+            out.push(self.remove_frame(0));
+        }
+        out
+    }
+
+    fn record_ref(&mut self, hit: bool) {
+        self.stats.refs += 1;
+        if hit {
+            self.stats.hits += 1;
+        }
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(offset: u64) -> SegmentAddr {
+        SegmentAddr { offset, len: 0 }
+    }
+
+    fn image(len: usize, fill: u8) -> SegmentImage {
+        SegmentImage::from_disk(vec![fill; len])
+    }
+
+    #[test]
+    fn basic_residency_and_lookup() {
+        let mut b = ClockBuffer::new(100);
+        b.insert(addr(0), image(10, 1));
+        assert!(b.lookup(addr(0)).is_some());
+        assert!(b.lookup(addr(1)).is_none());
+        assert_eq!(b.resident_bytes(), 10);
+        assert_eq!(b.capacity(), 100);
+    }
+
+    #[test]
+    fn second_chance_protects_referenced_frames() {
+        let mut b = ClockBuffer::new(30);
+        b.insert(addr(0), image(10, 0));
+        b.insert(addr(1), image(10, 1));
+        b.insert(addr(2), image(10, 2));
+        // Reference 0 and 2; 1 is the eviction candidate.
+        b.lookup(addr(0));
+        b.lookup(addr(2));
+        // Frame 1's referenced bit was set by insertion; sweep clears bits,
+        // so insert twice to force a real choice.
+        let evicted = b.insert(addr(3), image(10, 3));
+        assert_eq!(evicted.len(), 1);
+        // Whichever was evicted, recently re-referenced frames survive at
+        // least one sweep: 0 or 2 may lose their bit but frame 1 (never
+        // re-referenced after insert) must go first or second.
+        let survivors: Vec<bool> =
+            [0u64, 1, 2].iter().map(|&o| b.is_resident(addr(o))).collect();
+        assert_eq!(survivors.iter().filter(|&&s| s).count(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut b = ClockBuffer::new(0);
+        let evicted = b.insert(addr(0), image(10, 0));
+        assert_eq!(evicted.len(), 1);
+        assert!(!b.is_resident(addr(0)));
+        assert_eq!(b.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn pinned_frames_survive() {
+        let mut b = ClockBuffer::new(20);
+        b.insert(addr(0), image(10, 0));
+        b.insert(addr(1), image(10, 1));
+        assert!(b.reserve(addr(0)));
+        let evicted = b.insert(addr(2), image(10, 2));
+        assert!(b.is_resident(addr(0)), "pinned frame must survive");
+        assert!(!evicted.iter().any(|(a, _)| *a == addr(0)));
+        b.release_reservations();
+        // Now it can be evicted again.
+        for i in 3..10 {
+            b.insert(addr(i), image(10, i as u8));
+        }
+        assert!(b.resident_bytes() <= 20);
+    }
+
+    #[test]
+    fn drain_and_remove() {
+        let mut b = ClockBuffer::new(100);
+        for i in 0..5 {
+            b.insert(addr(i), image(10, i as u8));
+        }
+        assert_eq!(b.remove(addr(2)).unwrap().bytes()[0], 2);
+        assert!(b.remove(addr(2)).is_none());
+        let drained = b.drain();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(b.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = ClockBuffer::new(10);
+        b.record_ref(true);
+        b.record_ref(false);
+        assert_eq!(b.stats(), BufferStats { refs: 2, hits: 1 });
+        b.reset_stats();
+        assert_eq!(b.stats().refs, 0);
+    }
+
+    #[test]
+    fn works_as_a_mneme_pool_buffer() {
+        use crate::pool::{PoolConfig, PoolKindConfig};
+        use crate::{MnemeFile, PoolId};
+        let dev = poir_storage::Device::with_defaults();
+        let handle = dev.create_file();
+        let mut ids = Vec::new();
+        {
+            let mut f = MnemeFile::create(
+                handle.clone(),
+                &[PoolConfig {
+                    id: PoolId(0),
+                    kind: PoolKindConfig::SegmentPerObject { embedded_refs: false },
+                }],
+                8,
+            )
+            .unwrap();
+            for i in 0..10u32 {
+                ids.push(f.create_object(PoolId(0), &vec![i as u8; 5000]).unwrap());
+            }
+            f.flush().unwrap();
+        }
+        let mut f = MnemeFile::open(handle).unwrap();
+        f.attach_buffer(PoolId(0), Box::new(ClockBuffer::new(1 << 20))).unwrap();
+        for _ in 0..3 {
+            for id in &ids {
+                f.get(*id).unwrap();
+            }
+        }
+        let stats = f.buffer_stats(PoolId(0)).unwrap();
+        assert_eq!(stats.refs, 30);
+        assert_eq!(stats.hits, 20, "all repeat passes hit under clock too");
+    }
+}

@@ -1,0 +1,824 @@
+//! A Mneme file: objects, pools, physical segments, and location tables.
+//!
+//! "Objects are grouped into files supported by the operating system. An
+//! object's identifier is unique only within the object's file." (Section
+//! 3.2). A [`MnemeFile`] owns:
+//!
+//! * the pool set it was created with (persisted in the header),
+//! * one segment buffer per pool ("Each object pool was attached to a
+//!   separate buffer, allowing the global buffer space to be divided
+//!   between the object pools", Section 3.3),
+//! * the multi-level location tables ([`crate::table`]), loaded lazily and
+//!   then retained — the paper's permanently-cached auxiliary tables,
+//! * the id allocator handing out logical segments to pools.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! [ header block (8 KB) ][ physical segments ... ][ directory ][ buckets ]
+//! ```
+//!
+//! The header records where the data region ends and where the serialized
+//! location tables begin. Tables are rewritten at every [`MnemeFile::flush`];
+//! between flushes the on-disk tables may be stale (see [`crate::recovery`]
+//! for the redo-log extension that closes this window).
+//!
+//! ```
+//! use poir_mneme::{MnemeFile, PoolConfig, PoolId, PoolKindConfig};
+//! use poir_storage::Device;
+//!
+//! let device = Device::with_defaults();
+//! let pools = [PoolConfig {
+//!     id: PoolId(0),
+//!     kind: PoolKindConfig::Packed { segment_size: 8192 },
+//! }];
+//! let mut file = MnemeFile::create(device.create_file(), &pools, 16).unwrap();
+//! let id = file.create_object(PoolId(0), b"a chunk of contiguous bytes").unwrap();
+//! assert_eq!(file.get(id).unwrap(), b"a chunk of contiguous bytes");
+//! file.flush().unwrap();
+//! ```
+
+use poir_storage::FileHandle;
+
+use crate::buffer::{Buffer, BufferStats, LruBuffer};
+use crate::error::{MnemeError, Result};
+use crate::id::{LogicalSegment, ObjectId, PoolId, MAX_LOGICAL_SEGMENTS, SLOTS_PER_SEGMENT};
+use crate::pool::{AppendOutcome, LocateResult, Pool, PoolConfig};
+use crate::segment::{SegmentAddr, SegmentImage};
+use crate::table::LocationTable;
+
+const MAGIC: &[u8; 4] = b"MNEM";
+const VERSION: u16 = 1;
+/// The header occupies one full device block so data segments start aligned.
+const HEADER_LEN: u64 = 8192;
+/// Byte offset where pool configurations begin within the header.
+const POOLS_OFFSET: usize = 40;
+/// Bytes per on-disk directory entry: bucket offset (u64) + length (u32).
+const DIR_ENTRY_LEN: usize = 12;
+
+struct PoolState {
+    pool: Box<dyn Pool>,
+    buffer: Box<dyn Buffer>,
+    current_lseg: Option<LogicalSegment>,
+    next_slot: u32,
+    building: Option<(SegmentAddr, SegmentImage)>,
+}
+
+/// One Mneme file holding objects in pools.
+pub struct MnemeFile {
+    handle: FileHandle,
+    configs: Vec<PoolConfig>,
+    pools: Vec<PoolState>,
+    table: LocationTable,
+    /// Per-bucket on-disk location `(offset, len)`; empty lengths mean the
+    /// bucket has never been written.
+    directory: Vec<(u64, u32)>,
+    data_end: u64,
+    next_lseg: u32,
+    /// Whether there are logical changes not yet committed by a flush.
+    dirty: bool,
+    /// Bytes occupied by the serialized location tables at the last flush —
+    /// the "auxiliary table" size (about 512 Kbytes for TIPSTER).
+    aux_bytes: u64,
+    /// Payload bytes orphaned by relocating updates and deletions.
+    garbage_bytes: u64,
+}
+
+impl std::fmt::Debug for MnemeFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MnemeFile")
+            .field("pools", &self.pools.len())
+            .field("data_end", &self.data_end)
+            .field("next_lseg", &self.next_lseg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MnemeFile {
+    /// Creates a new Mneme file with the given pools on `handle` (which must
+    /// be empty). `num_buckets` sizes the location-table directory.
+    pub fn create(handle: FileHandle, configs: &[PoolConfig], num_buckets: u32) -> Result<Self> {
+        assert!(!configs.is_empty(), "a Mneme file needs at least one pool");
+        assert!(num_buckets > 0, "at least one directory bucket is required");
+        assert!(
+            POOLS_OFFSET + configs.len() * 8 <= HEADER_LEN as usize,
+            "too many pools for the header block"
+        );
+        for (i, c) in configs.iter().enumerate() {
+            for other in &configs[..i] {
+                assert_ne!(c.id, other.id, "pool ids must be unique");
+            }
+        }
+        let mut file = MnemeFile {
+            handle,
+            configs: configs.to_vec(),
+            pools: configs.iter().map(Self::fresh_pool_state).collect(),
+            table: LocationTable::new_empty(num_buckets),
+            directory: vec![(0, 0); num_buckets as usize],
+            data_end: HEADER_LEN,
+            next_lseg: 0,
+            dirty: true,
+            aux_bytes: 0,
+            garbage_bytes: 0,
+        };
+        file.write_header()?;
+        Ok(file)
+    }
+
+    /// Opens an existing Mneme file, reconstructing its pools from the
+    /// header. Reads the header and directory eagerly; location-table
+    /// buckets load on first touch and stay resident.
+    pub fn open(handle: FileHandle) -> Result<Self> {
+        let header = handle.read(0, HEADER_LEN as usize)?;
+        if &header[0..4] != MAGIC {
+            return Err(MnemeError::Corrupt("bad magic".into()));
+        }
+        let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(MnemeError::Corrupt(format!("unsupported version {version}")));
+        }
+        let num_pools = u16::from_le_bytes(header[6..8].try_into().unwrap()) as usize;
+        let data_end = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let next_lseg = u32::from_le_bytes(header[16..20].try_into().unwrap());
+        let num_buckets = u32::from_le_bytes(header[20..24].try_into().unwrap());
+        let dir_offset = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        let dir_len = u32::from_le_bytes(header[32..36].try_into().unwrap());
+        if num_buckets == 0 || num_pools == 0 {
+            return Err(MnemeError::Corrupt("empty pool set or directory".into()));
+        }
+        let mut configs = Vec::with_capacity(num_pools);
+        for i in 0..num_pools {
+            let start = POOLS_OFFSET + i * 8;
+            let raw: [u8; 8] = header[start..start + 8].try_into().unwrap();
+            configs.push(
+                PoolConfig::decode(&raw)
+                    .ok_or_else(|| MnemeError::Corrupt(format!("bad pool config {i}")))?,
+            );
+        }
+        let directory = if dir_offset == 0 {
+            vec![(0u64, 0u32); num_buckets as usize]
+        } else {
+            if dir_len as usize != num_buckets as usize * DIR_ENTRY_LEN {
+                return Err(MnemeError::Corrupt("directory length mismatch".into()));
+            }
+            let raw = handle.read(dir_offset, dir_len as usize)?;
+            raw.chunks_exact(DIR_ENTRY_LEN)
+                .map(|c| {
+                    (
+                        u64::from_le_bytes(c[0..8].try_into().unwrap()),
+                        u32::from_le_bytes(c[8..12].try_into().unwrap()),
+                    )
+                })
+                .collect()
+        };
+        let aux_bytes = directory_bytes(num_buckets)
+            + directory.iter().map(|&(_, len)| len as u64).sum::<u64>();
+        Ok(MnemeFile {
+            handle,
+            pools: configs.iter().map(Self::fresh_pool_state).collect(),
+            configs,
+            table: LocationTable::new_unloaded(num_buckets),
+            directory,
+            data_end,
+            next_lseg,
+            dirty: false,
+            aux_bytes,
+            garbage_bytes: 0,
+        })
+    }
+
+    fn fresh_pool_state(config: &PoolConfig) -> PoolState {
+        PoolState {
+            pool: config.build(),
+            // Pools start with a zero-capacity buffer: nothing is cached
+            // across accesses until a sized buffer is attached.
+            buffer: Box::new(LruBuffer::new(0)),
+            current_lseg: None,
+            next_slot: SLOTS_PER_SEGMENT,
+            building: None,
+        }
+    }
+
+    /// The pool ids configured in this file, in declaration order.
+    pub fn pool_ids(&self) -> Vec<PoolId> {
+        self.pools.iter().map(|p| p.pool.id()).collect()
+    }
+
+    /// Largest object accepted by `pool`, if bounded.
+    pub fn pool_max_object_len(&self, pool: PoolId) -> Result<Option<usize>> {
+        Ok(self.pools[self.pool_index(pool)?].pool.max_object_len())
+    }
+
+    fn pool_index(&self, pool: PoolId) -> Result<usize> {
+        self.pools
+            .iter()
+            .position(|p| p.pool.id() == pool)
+            .ok_or(MnemeError::NoSuchPool(pool))
+    }
+
+    fn write_header(&mut self) -> Result<()> {
+        self.write_header_with_directory(0, 0)
+    }
+
+    /// Writes the complete header in a single block write — the commit
+    /// point of a flush. A zero `dir_offset` means "no tables on disk".
+    fn write_header_with_directory(&mut self, dir_offset: u64, dir_len: u32) -> Result<()> {
+        let mut header = vec![0u8; HEADER_LEN as usize];
+        header[0..4].copy_from_slice(MAGIC);
+        header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        header[6..8].copy_from_slice(&(self.configs.len() as u16).to_le_bytes());
+        header[8..16].copy_from_slice(&self.data_end.to_le_bytes());
+        header[16..20].copy_from_slice(&self.next_lseg.to_le_bytes());
+        header[20..24].copy_from_slice(&self.table.num_buckets().to_le_bytes());
+        header[24..32].copy_from_slice(&dir_offset.to_le_bytes());
+        header[32..36].copy_from_slice(&dir_len.to_le_bytes());
+        for (i, c) in self.configs.iter().enumerate() {
+            let start = POOLS_OFFSET + i * 8;
+            header[start..start + 8].copy_from_slice(&c.encode());
+        }
+        self.handle.write(0, &header)?;
+        Ok(())
+    }
+
+    /// Allocates file space for a new physical segment. Segments append at
+    /// `data_end`; flushed location tables live *before* `data_end` (the
+    /// table region is copy-on-write — each flush writes a fresh region and
+    /// bumps `data_end` past it), so appends never clobber valid tables.
+    fn allocate_segment(&mut self, len: usize) -> Result<SegmentAddr> {
+        let addr = SegmentAddr { offset: self.data_end, len: len as u32 };
+        self.data_end += len as u64;
+        Ok(addr)
+    }
+
+    /// Reads every not-yet-resident location bucket into memory.
+    fn load_all_buckets(&mut self) -> Result<()> {
+        for bucket in self.table.unloaded_buckets() {
+            let (offset, len) = self.directory[bucket as usize];
+            if len == 0 {
+                self.table.load_bucket(bucket, &0u32.to_le_bytes())?;
+            } else {
+                let bytes = self.handle.read(offset, len as usize)?;
+                self.table.load_bucket(bucket, &bytes)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_bucket_loaded(&mut self, lseg: LogicalSegment) -> Result<()> {
+        let bucket = self.table.bucket_of(lseg);
+        if self.table.is_loaded(bucket) {
+            return Ok(());
+        }
+        let (offset, len) = self.directory[bucket as usize];
+        if len == 0 {
+            // Never written: install an empty bucket.
+            self.table.load_bucket(bucket, &0u32.to_le_bytes())?;
+        } else {
+            let bytes = self.handle.read(offset, len as usize)?;
+            self.table.load_bucket(bucket, &bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Allocates the next object id for `pool`, starting a new logical
+    /// segment when the current one is exhausted.
+    fn allocate_id(&mut self, pool_idx: usize) -> Result<ObjectId> {
+        if self.pools[pool_idx].current_lseg.is_none()
+            || self.pools[pool_idx].next_slot >= SLOTS_PER_SEGMENT
+        {
+            if self.next_lseg >= MAX_LOGICAL_SEGMENTS {
+                return Err(MnemeError::IdSpaceExhausted);
+            }
+            let lseg = LogicalSegment(self.next_lseg);
+            self.next_lseg += 1;
+            let pool_id = self.pools[pool_idx].pool.id();
+            self.ensure_bucket_loaded(lseg)?;
+            self.table.entry_mut(lseg, pool_id)?;
+            let ps = &mut self.pools[pool_idx];
+            ps.current_lseg = Some(lseg);
+            ps.next_slot = 0;
+        }
+        let ps = &mut self.pools[pool_idx];
+        let id = ObjectId::new(ps.current_lseg.unwrap(), ps.next_slot as u8);
+        ps.next_slot += 1;
+        Ok(id)
+    }
+
+    fn save_segment(handle: &FileHandle, addr: SegmentAddr, image: &mut SegmentImage) -> Result<()> {
+        debug_assert_eq!(image.len(), addr.len as usize);
+        handle.write(addr.offset, image.bytes())?;
+        image.mark_clean();
+        Ok(())
+    }
+
+    fn save_evicted(
+        handle: &FileHandle,
+        evicted: Vec<(SegmentAddr, SegmentImage)>,
+    ) -> Result<()> {
+        for (addr, mut image) in evicted {
+            if image.is_dirty() {
+                Self::save_segment(handle, addr, &mut image)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals a pool's building segment: it becomes a regular segment served
+    /// through the pool's buffer (written out when evicted or flushed).
+    fn seal_building(&mut self, pool_idx: usize) -> Result<()> {
+        let ps = &mut self.pools[pool_idx];
+        if let Some((addr, image)) = ps.building.take() {
+            let evicted = ps.buffer.insert(addr, image);
+            Self::save_evicted(&self.handle, evicted)?;
+        }
+        Ok(())
+    }
+
+    /// Creates a new object with `data` in `pool`, returning its id.
+    pub fn create_object(&mut self, pool: PoolId, data: &[u8]) -> Result<ObjectId> {
+        self.dirty = true;
+        let pool_idx = self.pool_index(pool)?;
+        if let Some(max) = self.pools[pool_idx].pool.max_object_len() {
+            if data.len() > max {
+                return Err(MnemeError::ObjectTooLarge { len: data.len(), max });
+            }
+        }
+        let id = self.allocate_id(pool_idx)?;
+        let addr = loop {
+            if self.pools[pool_idx].building.is_none() {
+                let image = self.pools[pool_idx].pool.new_segment(id, data.len());
+                let addr = self.allocate_segment(image.len())?;
+                self.pools[pool_idx].building = Some((addr, image));
+            }
+            let ps = &mut self.pools[pool_idx];
+            let (addr, image) = ps.building.as_mut().unwrap();
+            match ps.pool.try_append(image, id, data) {
+                AppendOutcome::Appended => break *addr,
+                AppendOutcome::Full => self.seal_building(pool_idx)?,
+            }
+        };
+        self.ensure_bucket_loaded(id.segment())?;
+        let entry = self.table.entry_mut(id.segment(), pool)?;
+        entry.push_run(id.slot(), addr);
+        Ok(id)
+    }
+
+    /// The id the next [`MnemeFile::create_object`] call for `pool` will
+    /// return, or `None` when a fresh logical segment will be started.
+    pub(crate) fn next_id_hint(&self, pool: PoolId) -> Result<Option<ObjectId>> {
+        let ps = &self.pools[self.pool_index(pool)?];
+        Ok(match ps.current_lseg {
+            Some(lseg) if ps.next_slot < SLOTS_PER_SEGMENT => {
+                Some(ObjectId::new(lseg, ps.next_slot as u8))
+            }
+            _ => None,
+        })
+    }
+
+    /// Moves `pool`'s allocation cursor so the next created object receives
+    /// exactly `id`. Used by log replay ([`crate::recovery`]) to reproduce
+    /// the pre-crash id sequence. The current building segment is sealed
+    /// because objects before the cursor may already live on disk.
+    pub(crate) fn force_allocation_cursor(&mut self, pool: PoolId, id: ObjectId) -> Result<()> {
+        let pool_idx = self.pool_index(pool)?;
+        self.seal_building(pool_idx)?;
+        self.ensure_bucket_loaded(id.segment())?;
+        self.table.entry_mut(id.segment(), pool)?;
+        self.next_lseg = self.next_lseg.max(id.segment().0 + 1);
+        let ps = &mut self.pools[pool_idx];
+        ps.current_lseg = Some(id.segment());
+        ps.next_slot = id.slot() as u32;
+        Ok(())
+    }
+
+    /// Resolves an object id to its pool and physical segment.
+    fn resolve(&mut self, id: ObjectId) -> Result<(usize, SegmentAddr)> {
+        self.ensure_bucket_loaded(id.segment())?;
+        let entry = self
+            .table
+            .entry(id.segment())?
+            .ok_or(MnemeError::NoSuchObject(id))?;
+        let pool_id = entry.pool;
+        let addr = entry.segment_for(id.slot()).ok_or(MnemeError::NoSuchObject(id))?;
+        Ok((self.pool_index(pool_id)?, addr))
+    }
+
+    /// Runs `f` against the segment at `addr`, serving it from the pool's
+    /// building segment, its buffer, or the file (in that order). One object
+    /// reference is recorded against the pool's buffer.
+    fn with_segment<R>(
+        &mut self,
+        pool_idx: usize,
+        addr: SegmentAddr,
+        f: impl FnOnce(&dyn Pool, &mut SegmentImage) -> R,
+    ) -> Result<R> {
+        let handle = self.handle.clone();
+        let ps = &mut self.pools[pool_idx];
+        if let Some((baddr, image)) = ps.building.as_mut() {
+            if *baddr == addr {
+                ps.buffer.record_ref(true);
+                return Ok(f(ps.pool.as_ref(), image));
+            }
+        }
+        if ps.buffer.is_resident(addr) {
+            ps.buffer.record_ref(true);
+            let image = ps.buffer.lookup(addr).expect("resident segment");
+            return Ok(f(ps.pool.as_ref(), image));
+        }
+        ps.buffer.record_ref(false);
+        let mut image = SegmentImage::from_disk(handle.read(addr.offset, addr.len as usize)?);
+        let result = f(ps.pool.as_ref(), &mut image);
+        let evicted = ps.buffer.insert(addr, image);
+        Self::save_evicted(&handle, evicted)?;
+        Ok(result)
+    }
+
+    /// Reads an object's payload.
+    pub fn get(&mut self, id: ObjectId) -> Result<Vec<u8>> {
+        let (pool_idx, addr) = self.resolve(id)?;
+        self.with_segment(pool_idx, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
+            LocateResult::Found(r) => Ok(seg.bytes()[r].to_vec()),
+            LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+            LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+        })?
+    }
+
+    /// Reads an object's payload length without copying the payload.
+    pub fn object_len(&mut self, id: ObjectId) -> Result<usize> {
+        let (pool_idx, addr) = self.resolve(id)?;
+        self.with_segment(pool_idx, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
+            LocateResult::Found(r) => Ok(r.len()),
+            LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+            LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+        })?
+    }
+
+    /// The pool an object belongs to.
+    pub fn pool_of(&mut self, id: ObjectId) -> Result<PoolId> {
+        self.ensure_bucket_loaded(id.segment())?;
+        Ok(self
+            .table
+            .entry(id.segment())?
+            .ok_or(MnemeError::NoSuchObject(id))?
+            .pool)
+    }
+
+    /// Overwrites an object's payload. Updates happen in place when the new
+    /// payload fits; otherwise the object is relocated to a fresh physical
+    /// segment and recorded as a location-table exception.
+    pub fn update(&mut self, id: ObjectId, data: &[u8]) -> Result<()> {
+        self.dirty = true;
+        let (pool_idx, addr) = self.resolve(id)?;
+        if let Some(max) = self.pools[pool_idx].pool.max_object_len() {
+            if data.len() > max {
+                return Err(MnemeError::ObjectTooLarge { len: data.len(), max });
+            }
+        }
+        let in_place = self.with_segment(pool_idx, addr, |pool, seg| {
+            match pool.locate(seg.bytes(), id) {
+                LocateResult::Found(_) => Ok(pool.try_update_in_place(seg, id, data)),
+                LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+                LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+            }
+        })??;
+        if in_place {
+            return Ok(());
+        }
+        // Relocate: tombstone the old copy, then write a fresh single-object
+        // segment and shadow the slot with an exception entry.
+        let old_len = self.with_segment(pool_idx, addr, |pool, seg| {
+            let len = match pool.locate(seg.bytes(), id) {
+                LocateResult::Found(r) => r.len(),
+                _ => 0,
+            };
+            pool.delete(seg, id);
+            len
+        })?;
+        self.garbage_bytes += old_len as u64;
+        let ps = &mut self.pools[pool_idx];
+        let mut image = ps.pool.new_segment(id, data.len());
+        let outcome = ps.pool.try_append(&mut image, id, data);
+        debug_assert_eq!(outcome, AppendOutcome::Appended, "fresh segment must accept its object");
+        let new_addr = self.allocate_segment(image.len())?;
+        let ps = &mut self.pools[pool_idx];
+        let evicted = ps.buffer.insert(new_addr, image);
+        Self::save_evicted(&self.handle, evicted)?;
+        let pool_id = ps.pool.id();
+        self.ensure_bucket_loaded(id.segment())?;
+        self.table.entry_mut(id.segment(), pool_id)?.set_exception(id.slot(), new_addr);
+        Ok(())
+    }
+
+    /// Deletes an object. The slot is tombstoned; space is reclaimed by
+    /// compaction (see [`crate::gc`]).
+    pub fn delete(&mut self, id: ObjectId) -> Result<()> {
+        self.dirty = true;
+        let (pool_idx, addr) = self.resolve(id)?;
+        let freed = self.with_segment(pool_idx, addr, |pool, seg| {
+            match pool.locate(seg.bytes(), id) {
+                LocateResult::Found(r) => {
+                    let len = r.len();
+                    pool.delete(seg, id);
+                    Ok(len)
+                }
+                LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+                LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+            }
+        })??;
+        self.garbage_bytes += freed as u64;
+        Ok(())
+    }
+
+    /// Pins the segments of any of `ids` that are already resident, so query
+    /// evaluation cannot evict them — the paper's pre-evaluation query-tree
+    /// reservation pass. Non-resident objects are *not* faulted in.
+    pub fn reserve(&mut self, ids: &[ObjectId]) {
+        for &id in ids {
+            // Never perform I/O here: if the bucket is unloaded the segment
+            // cannot be resident either.
+            if !self.table.is_loaded(self.table.bucket_of(id.segment())) {
+                continue;
+            }
+            let Ok(Some(entry)) = self.table.entry(id.segment()) else { continue };
+            let pool_id = entry.pool;
+            let Some(addr) = entry.segment_for(id.slot()) else { continue };
+            let Ok(pool_idx) = self.pool_index(pool_id) else { continue };
+            self.pools[pool_idx].buffer.reserve(addr);
+        }
+    }
+
+    /// Releases every reservation placed by [`MnemeFile::reserve`].
+    pub fn release_reservations(&mut self) {
+        for ps in &mut self.pools {
+            ps.buffer.release_reservations();
+        }
+    }
+
+    /// Attaches a buffer to a pool, replacing (and saving the contents of)
+    /// the previous one.
+    pub fn attach_buffer(&mut self, pool: PoolId, buffer: Box<dyn Buffer>) -> Result<()> {
+        let pool_idx = self.pool_index(pool)?;
+        let mut old = std::mem::replace(&mut self.pools[pool_idx].buffer, buffer);
+        Self::save_evicted(&self.handle, old.drain())?;
+        Ok(())
+    }
+
+    /// Reference/hit counters of a pool's buffer (Table 6).
+    pub fn buffer_stats(&self, pool: PoolId) -> Result<BufferStats> {
+        Ok(self.pools[self.pool_index(pool)?].buffer.stats())
+    }
+
+    /// Resets every pool buffer's counters.
+    pub fn reset_buffer_stats(&mut self) {
+        for ps in &mut self.pools {
+            ps.buffer.reset_stats();
+        }
+    }
+
+    /// Writes all dirty state (building segments, buffered segments,
+    /// location tables, header) to the file and truncates it to its exact
+    /// size. Buffers are cold afterwards.
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        for pool_idx in 0..self.pools.len() {
+            // Seal building segments by writing them directly; they stay
+            // retrievable through their registered location runs.
+            let ps = &mut self.pools[pool_idx];
+            if let Some((addr, mut image)) = ps.building.take() {
+                Self::save_segment(&self.handle, addr, &mut image)?;
+            }
+            let drained = self.pools[pool_idx].buffer.drain();
+            Self::save_evicted(&self.handle, drained)?;
+        }
+        // Every bucket must be resident to rewrite the tables. The table
+        // region is copy-on-write: it is appended after the data and
+        // `data_end` moves past it, so the previous generation of tables
+        // stays readable until this flush's header write commits the new
+        // one (crashes mid-flush recover against the old generation).
+        self.load_all_buckets()?;
+        let num_buckets = self.table.num_buckets();
+        let dir_offset = self.data_end;
+        let dir_len = num_buckets as usize * DIR_ENTRY_LEN;
+        let mut bucket_blobs = Vec::with_capacity(num_buckets as usize);
+        let mut cursor = dir_offset + dir_len as u64;
+        let mut directory_bytes_out = Vec::with_capacity(dir_len);
+        for b in 0..num_buckets {
+            let blob = self.table.serialize_bucket(b);
+            directory_bytes_out.extend_from_slice(&cursor.to_le_bytes());
+            directory_bytes_out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            self.directory[b as usize] = (cursor, blob.len() as u32);
+            cursor += blob.len() as u64;
+            bucket_blobs.push(blob);
+        }
+        self.handle.write(dir_offset, &directory_bytes_out)?;
+        let mut offset = dir_offset + dir_len as u64;
+        for blob in &bucket_blobs {
+            self.handle.write(offset, blob)?;
+            offset += blob.len() as u64;
+        }
+        self.aux_bytes = offset - dir_offset;
+        self.handle.truncate(offset)?;
+        // Future appends go after the tables; commit via one header write.
+        self.data_end = offset;
+        self.write_header_with_directory(dir_offset, dir_len as u32)?;
+        self.handle.sync()?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Total size of the file in bytes (Table 1's "Mneme Size" column).
+    pub fn file_size(&self) -> Result<u64> {
+        Ok(self.handle.len()?)
+    }
+
+    /// Bytes of serialized location tables at the last flush.
+    pub fn aux_table_bytes(&self) -> u64 {
+        self.aux_bytes
+    }
+
+    /// Payload bytes orphaned by updates/deletes since open.
+    pub fn garbage_bytes(&self) -> u64 {
+        self.garbage_bytes
+    }
+
+    /// The storage handle backing this file.
+    pub fn handle(&self) -> &FileHandle {
+        &self.handle
+    }
+
+    /// Summary statistics of the file's current state.
+    pub fn stats(&mut self) -> Result<FileStats> {
+        let inventory = self.segment_inventory()?;
+        let mut per_pool: Vec<PoolStats> = self
+            .pool_ids()
+            .into_iter()
+            .map(|id| PoolStats { pool: id, segments: 0, live_objects: 0, payload_bytes: 0 })
+            .collect();
+        for (pool_id, addr) in inventory {
+            let live = self.segment_live_objects(pool_id, addr)?;
+            if let Some(ps) = per_pool.iter_mut().find(|p| p.pool == pool_id) {
+                ps.segments += 1;
+                ps.live_objects += live.len() as u64;
+                ps.payload_bytes += live.iter().map(|(_, r)| r.len() as u64).sum::<u64>();
+            }
+        }
+        Ok(FileStats {
+            file_bytes: self.file_size()?,
+            aux_table_bytes: self.aux_bytes,
+            garbage_bytes: self.garbage_bytes,
+            pools: per_pool,
+        })
+    }
+
+    /// Outgoing references of an object, as extracted by its pool.
+    pub fn references_of(&mut self, id: ObjectId) -> Result<Vec<u64>> {
+        let (pool_idx, addr) = self.resolve(id)?;
+        self.with_segment(pool_idx, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
+            LocateResult::Found(r) => Ok(pool.references(&seg.bytes()[r])),
+            LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+            LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+        })?
+    }
+
+    /// Enumerates the ids of every live object. Loads all buckets and scans
+    /// every physical segment — intended for validation and GC, not queries.
+    pub fn live_object_ids(&mut self) -> Result<Vec<ObjectId>> {
+        self.load_all_buckets()?;
+        let mut segments: Vec<(PoolId, SegmentAddr)> = Vec::new();
+        for lseg in self.table.loaded_lsegs() {
+            let entry = self.table.entry(lseg)?.expect("listed lseg exists");
+            for addr in entry.segments() {
+                segments.push((entry.pool, addr));
+            }
+        }
+        segments.sort_unstable_by_key(|&(_, a)| a);
+        segments.dedup();
+        let mut out = Vec::new();
+        for (pool_id, addr) in segments {
+            let pool_idx = self.pool_index(pool_id)?;
+            let mut ids = self.with_segment(pool_idx, addr, |pool, seg| {
+                pool.live_objects(seg.bytes()).into_iter().map(|(id, _)| id).collect::<Vec<_>>()
+            })?;
+            // An object relocated by update() is live in its new segment and
+            // tombstoned in the old, so no dedup is needed — but an object
+            // whose exception points elsewhere must not be double-counted if
+            // the old copy was not tombstoned. delete()/update() always
+            // tombstone, so simply collect.
+            out.append(&mut ids);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+}
+
+impl MnemeFile {
+    /// Every `(pool, segment)` pair referenced by the location tables,
+    /// deduplicated. Loads all buckets.
+    pub(crate) fn segment_inventory(&mut self) -> Result<Vec<(PoolId, SegmentAddr)>> {
+        self.load_all_buckets()?;
+        let mut out = Vec::new();
+        for lseg in self.table.loaded_lsegs() {
+            let entry = self.table.entry(lseg)?.expect("listed lseg exists");
+            for addr in entry.segments() {
+                out.push((entry.pool, addr));
+            }
+        }
+        out.sort_unstable_by_key(|&(pool, addr)| (addr, pool));
+        out.dedup();
+        Ok(out)
+    }
+
+    /// The segment-kind byte of the segment at `addr`, straight from disk.
+    pub(crate) fn segment_header_kind(
+        &mut self,
+        addr: SegmentAddr,
+    ) -> Result<Option<crate::segment::SegmentKind>> {
+        let byte = self.handle.read(addr.offset, 1)?;
+        Ok(crate::segment::SegmentKind::from_u8(byte[0]))
+    }
+
+    /// The segment kind pool `pool` writes.
+    pub(crate) fn pool_kind(&self, pool: PoolId) -> Result<crate::segment::SegmentKind> {
+        let config = self
+            .configs
+            .iter()
+            .find(|c| c.id == pool)
+            .ok_or(MnemeError::NoSuchPool(pool))?;
+        Ok(crate::validate::kind_of_config(&config.kind))
+    }
+
+    /// Live objects of the segment at `addr` (which belongs to `pool`).
+    pub(crate) fn segment_live_objects(
+        &mut self,
+        pool: PoolId,
+        addr: SegmentAddr,
+    ) -> Result<Vec<(ObjectId, std::ops::Range<usize>)>> {
+        let pool_idx = self.pool_index(pool)?;
+        self.with_segment(pool_idx, addr, |p, seg| p.live_objects(seg.bytes()))
+    }
+
+    /// Where the tables place `id`, or `None` when unmapped.
+    pub(crate) fn locate_for_validation(&mut self, id: ObjectId) -> Result<Option<SegmentAddr>> {
+        self.ensure_bucket_loaded(id.segment())?;
+        Ok(self.table.entry(id.segment())?.and_then(|e| e.segment_for(id.slot())))
+    }
+
+    /// Looks `id` up inside the specific segment at `addr`.
+    pub(crate) fn locate_in_segment(
+        &mut self,
+        pool: PoolId,
+        addr: SegmentAddr,
+        id: ObjectId,
+    ) -> Result<LocateResult> {
+        let pool_idx = self.pool_index(pool)?;
+        self.with_segment(pool_idx, addr, |p, seg| p.locate(seg.bytes(), id))
+    }
+
+    /// The head object of every run and every exception across all loaded
+    /// logical segments — ids guaranteed to have been allocated.
+    pub(crate) fn run_heads(&mut self) -> Result<Vec<(ObjectId, SegmentAddr)>> {
+        self.load_all_buckets()?;
+        let mut out = Vec::new();
+        for lseg in self.table.loaded_lsegs() {
+            let entry = self.table.entry(lseg)?.expect("listed lseg exists");
+            for &(slot, addr) in entry.runs().iter().chain(entry.exceptions()) {
+                out.push((ObjectId::new(lseg, slot), addr));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Bytes consumed by an on-disk directory of `num_buckets` entries.
+fn directory_bytes(num_buckets: u32) -> u64 {
+    num_buckets as u64 * DIR_ENTRY_LEN as u64
+}
+
+/// Per-pool occupancy summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// The pool.
+    pub pool: PoolId,
+    /// Physical segments the pool owns.
+    pub segments: usize,
+    /// Live objects in those segments.
+    pub live_objects: u64,
+    /// Total live payload bytes.
+    pub payload_bytes: u64,
+}
+
+/// Whole-file occupancy summary (see [`MnemeFile::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStats {
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Bytes of serialized location tables at the last flush.
+    pub aux_table_bytes: u64,
+    /// Payload bytes orphaned by updates/deletes since open.
+    pub garbage_bytes: u64,
+    /// Per-pool breakdown, in declaration order.
+    pub pools: Vec<PoolStats>,
+}

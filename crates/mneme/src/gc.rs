@@ -1,0 +1,149 @@
+//! Offline compaction ("garbage collection of the persistent store").
+//!
+//! Deletions and relocating updates leave tombstoned payloads behind
+//! (tracked by [`MnemeFile::garbage_bytes`]). [`compact`] rewrites a file's
+//! live objects into a fresh file, reclaiming that space. Object ids are
+//! reassigned densely in the new file; the returned [`IdMap`] lets the
+//! application (e.g. the INQUERY hash dictionary, which stores an object id
+//! per term) rebind its references.
+//!
+//! Pools are preserved: every object lands in the pool it came from, so the
+//! paper's small/medium/large clustering survives compaction.
+
+use std::collections::HashMap;
+
+use poir_storage::FileHandle;
+
+use crate::error::Result;
+use crate::file::MnemeFile;
+use crate::id::ObjectId;
+use crate::pool::PoolConfig;
+
+/// Mapping from pre-compaction to post-compaction object ids.
+pub type IdMap = HashMap<ObjectId, ObjectId>;
+
+/// Statistics reported by a compaction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Live objects copied.
+    pub objects_copied: u64,
+    /// Size of the source file in bytes.
+    pub bytes_before: u64,
+    /// Size of the compacted file in bytes.
+    pub bytes_after: u64,
+}
+
+/// Rewrites the live objects of `source` into a new file on `dest`,
+/// preserving pool membership. Returns the new file, the id remapping, and
+/// statistics. `configs` must be the pool set `source` was created with.
+pub fn compact(
+    source: &mut MnemeFile,
+    dest: FileHandle,
+    configs: &[PoolConfig],
+    num_buckets: u32,
+) -> Result<(MnemeFile, IdMap, CompactionStats)> {
+    source.flush()?;
+    let bytes_before = source.file_size()?;
+    let mut out = MnemeFile::create(dest, configs, num_buckets)?;
+    let mut map = IdMap::new();
+    // Copy in id order so each pool's objects stay in their original
+    // relative order (and packed segments refill densely).
+    for old_id in source.live_object_ids()? {
+        let pool = source.pool_of(old_id)?;
+        let payload = source.get(old_id)?;
+        let new_id = out.create_object(pool, &payload)?;
+        map.insert(old_id, new_id);
+    }
+    out.flush()?;
+    let stats = CompactionStats {
+        objects_copied: map.len() as u64,
+        bytes_before,
+        bytes_after: out.file_size()?,
+    };
+    Ok((out, map, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::PoolId;
+    use crate::pool::PoolKindConfig;
+    use poir_storage::Device;
+
+    fn configs() -> Vec<PoolConfig> {
+        vec![
+            PoolConfig { id: PoolId(0), kind: PoolKindConfig::Small },
+            PoolConfig { id: PoolId(1), kind: PoolKindConfig::Packed { segment_size: 512 } },
+            PoolConfig {
+                id: PoolId(2),
+                kind: PoolKindConfig::SegmentPerObject { embedded_refs: false },
+            },
+        ]
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstoned_space() {
+        let dev = Device::with_defaults();
+        let mut file = MnemeFile::create(dev.create_file(), &configs(), 8).unwrap();
+        let mut keep = Vec::new();
+        let mut drop_ids = Vec::new();
+        for i in 0..200u32 {
+            let id = file.create_object(PoolId(1), &[i as u8; 40]).unwrap();
+            if i % 2 == 0 {
+                keep.push((id, i as u8));
+            } else {
+                drop_ids.push(id);
+            }
+        }
+        let big = file.create_object(PoolId(2), &vec![7u8; 20_000]).unwrap();
+        for id in drop_ids {
+            file.delete(id).unwrap();
+        }
+        let (mut out, map, stats) =
+            compact(&mut file, dev.create_file(), &configs(), 8).unwrap();
+        assert_eq!(stats.objects_copied, 101);
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "compaction must shrink the file: {} -> {}",
+            stats.bytes_before,
+            stats.bytes_after
+        );
+        for (old, fill) in keep {
+            let new = map[&old];
+            assert_eq!(out.get(new).unwrap(), vec![fill; 40]);
+            assert_eq!(out.pool_of(new).unwrap(), PoolId(1), "pool preserved");
+        }
+        assert_eq!(out.get(map[&big]).unwrap(), vec![7u8; 20_000]);
+        assert_eq!(out.pool_of(map[&big]).unwrap(), PoolId(2));
+    }
+
+    #[test]
+    fn compacting_an_untouched_file_is_lossless() {
+        let dev = Device::with_defaults();
+        let mut file = MnemeFile::create(dev.create_file(), &configs(), 4).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..50u32 {
+            let pool = PoolId((i % 3) as u8);
+            let data = vec![i as u8; (i as usize % 11) + 1];
+            ids.push((file.create_object(pool, &data).unwrap(), data));
+        }
+        let (mut out, map, stats) =
+            compact(&mut file, dev.create_file(), &configs(), 4).unwrap();
+        assert_eq!(stats.objects_copied, 50);
+        for (old, data) in ids {
+            assert_eq!(out.get(map[&old]).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn compacted_file_reopens() {
+        let dev = Device::with_defaults();
+        let mut file = MnemeFile::create(dev.create_file(), &configs(), 4).unwrap();
+        let id = file.create_object(PoolId(0), b"tiny").unwrap();
+        let dest = dev.create_file();
+        let (out, map, _) = compact(&mut file, dest.clone(), &configs(), 4).unwrap();
+        drop(out);
+        let mut reopened = MnemeFile::open(dest).unwrap();
+        assert_eq!(reopened.get(map[&id]).unwrap(), b"tiny");
+    }
+}

@@ -1,0 +1,375 @@
+//! The medium ("packed") object pool: slotted fixed-size segments.
+//!
+//! "The remaining inverted lists form the third group of objects and were
+//! allocated in a medium object pool. These objects are packed into 8 Kbyte
+//! physical segments. The physical segment size is based on the disk I/O
+//! block size and a desire to keep the segments relatively small so as to
+//! reduce the number of unused objects retrieved with each segment."
+//! (Section 3.3)
+//!
+//! The layout is a classic slotted page: object payloads grow forward from
+//! the header, a table of `(id, offset, len)` entries grows backward from
+//! the segment end. Entries stay sorted by id because the file layer
+//! allocates ids sequentially, so lookup is a binary search.
+
+use std::ops::Range;
+
+use crate::id::{ObjectId, PoolId};
+use crate::pool::{
+    header_count, header_word, set_header_count, set_header_word, write_header, AppendOutcome,
+    LocateResult, Pool, SEGMENT_HEADER_LEN,
+};
+use crate::segment::{SegmentImage, SegmentKind};
+
+/// Bytes per object-table entry: id (4) + offset (4) + length (4).
+const ENTRY_LEN: usize = 12;
+
+/// Length sentinel marking a deleted entry.
+const LEN_DELETED: u32 = u32::MAX;
+
+/// The medium object pool policy.
+#[derive(Debug, Clone)]
+pub struct PackedPool {
+    id: PoolId,
+    segment_size: usize,
+}
+
+impl PackedPool {
+    /// Creates a packed pool writing segments of `segment_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if the segment is too small to hold the header, one table
+    /// entry, and at least one payload byte.
+    pub fn new(id: PoolId, segment_size: usize) -> Self {
+        assert!(
+            segment_size > SEGMENT_HEADER_LEN + ENTRY_LEN,
+            "segment size {segment_size} cannot hold any object"
+        );
+        assert!(segment_size <= u32::MAX as usize, "segment size must fit in 32 bits");
+        PackedPool { id, segment_size }
+    }
+
+    /// The fixed segment size of this pool.
+    pub fn segment_size(&self) -> usize {
+        self.segment_size
+    }
+
+    /// Largest payload that fits in an otherwise empty segment.
+    pub fn max_payload(&self) -> usize {
+        self.segment_size - SEGMENT_HEADER_LEN - ENTRY_LEN
+    }
+
+    fn entry_range(&self, index: usize) -> Range<usize> {
+        let end = self.segment_size - index * ENTRY_LEN;
+        end - ENTRY_LEN..end
+    }
+
+    fn read_entry(&self, seg: &[u8], index: usize) -> (u32, u32, u32) {
+        let r = self.entry_range(index);
+        let e = &seg[r];
+        (
+            u32::from_le_bytes(e[0..4].try_into().unwrap()),
+            u32::from_le_bytes(e[4..8].try_into().unwrap()),
+            u32::from_le_bytes(e[8..12].try_into().unwrap()),
+        )
+    }
+
+    fn write_entry(&self, seg: &mut [u8], index: usize, id: u32, offset: u32, len: u32) {
+        let r = self.entry_range(index);
+        let e = &mut seg[r];
+        e[0..4].copy_from_slice(&id.to_le_bytes());
+        e[4..8].copy_from_slice(&offset.to_le_bytes());
+        e[8..12].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Total number of table entries (live + deleted). Stored as the upper
+    /// 16 bits of nothing — we derive it from the header count plus deleted
+    /// entries is impossible, so we store it in bytes [12..14] of the
+    /// header's reserved area.
+    fn entries(seg: &[u8]) -> usize {
+        u16::from_le_bytes(seg[12..14].try_into().unwrap()) as usize
+    }
+
+    fn set_entries(seg: &mut [u8], n: usize) {
+        seg[12..14].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    /// Binary search over the (id-sorted) entry table.
+    fn find_entry(&self, seg: &[u8], id: ObjectId) -> Option<usize> {
+        let n = Self::entries(seg);
+        let raw = id.raw();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (eid, _, _) = self.read_entry(seg, mid);
+            match eid.cmp(&raw) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+
+    fn free_space(&self, seg: &[u8]) -> usize {
+        let payload_end = header_word(seg) as usize;
+        let table_start = self.segment_size - Self::entries(seg) * ENTRY_LEN;
+        table_start - payload_end
+    }
+}
+
+impl Pool for PackedPool {
+    fn id(&self) -> PoolId {
+        self.id
+    }
+
+    fn kind(&self) -> SegmentKind {
+        SegmentKind::Packed
+    }
+
+    fn max_object_len(&self) -> Option<usize> {
+        Some(self.max_payload())
+    }
+
+    fn new_segment(&self, first: ObjectId, _first_len: usize) -> SegmentImage {
+        let mut bytes = vec![0u8; self.segment_size];
+        write_header(
+            &mut bytes,
+            SegmentKind::Packed,
+            self.id,
+            0,
+            SEGMENT_HEADER_LEN as u32,
+            first,
+        );
+        Self::set_entries(&mut bytes, 0);
+        SegmentImage::new_dirty(bytes)
+    }
+
+    fn try_append(&self, seg: &mut SegmentImage, id: ObjectId, data: &[u8]) -> AppendOutcome {
+        assert!(data.len() <= self.max_payload(), "caller must respect max_object_len");
+        if self.free_space(seg.bytes()) < data.len() + ENTRY_LEN {
+            return AppendOutcome::Full;
+        }
+        let n = Self::entries(seg.bytes());
+        if n > 0 {
+            let (last_id, _, _) = self.read_entry(seg.bytes(), n - 1);
+            assert!(last_id < id.raw(), "objects must be appended in ascending id order");
+        }
+        let bytes = seg.bytes_mut();
+        let offset = header_word(bytes) as usize;
+        bytes[offset..offset + data.len()].copy_from_slice(data);
+        set_header_word(bytes, (offset + data.len()) as u32);
+        self.write_entry(bytes, n, id.raw(), offset as u32, data.len() as u32);
+        Self::set_entries(bytes, n + 1);
+        let count = header_count(bytes) + 1;
+        set_header_count(bytes, count);
+        AppendOutcome::Appended
+    }
+
+    fn locate(&self, seg: &[u8], id: ObjectId) -> LocateResult {
+        match self.find_entry(seg, id) {
+            None => LocateResult::Absent,
+            Some(i) => {
+                let (_, offset, len) = self.read_entry(seg, i);
+                if len == LEN_DELETED {
+                    LocateResult::Deleted
+                } else {
+                    LocateResult::Found(offset as usize..offset as usize + len as usize)
+                }
+            }
+        }
+    }
+
+    fn try_update_in_place(&self, seg: &mut SegmentImage, id: ObjectId, data: &[u8]) -> bool {
+        let Some(i) = self.find_entry(seg.bytes(), id) else { return false };
+        let (eid, offset, len) = self.read_entry(seg.bytes(), i);
+        if len == LEN_DELETED {
+            return false;
+        }
+        if data.len() <= len as usize {
+            // Shrink or same-size: overwrite in place.
+            let bytes = seg.bytes_mut();
+            bytes[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+            self.write_entry(bytes, i, eid, offset, data.len() as u32);
+            return true;
+        }
+        // Grow: relocate within the segment if there is room at the end.
+        if self.free_space(seg.bytes()) >= data.len() {
+            let bytes = seg.bytes_mut();
+            let new_offset = header_word(bytes) as usize;
+            bytes[new_offset..new_offset + data.len()].copy_from_slice(data);
+            set_header_word(bytes, (new_offset + data.len()) as u32);
+            self.write_entry(bytes, i, eid, new_offset as u32, data.len() as u32);
+            return true;
+        }
+        false
+    }
+
+    fn delete(&self, seg: &mut SegmentImage, id: ObjectId) -> bool {
+        let Some(i) = self.find_entry(seg.bytes(), id) else { return false };
+        let (eid, offset, len) = self.read_entry(seg.bytes(), i);
+        if len == LEN_DELETED {
+            return false;
+        }
+        let bytes = seg.bytes_mut();
+        self.write_entry(bytes, i, eid, offset, LEN_DELETED);
+        let count = header_count(bytes) - 1;
+        set_header_count(bytes, count);
+        true
+    }
+
+    fn live_objects(&self, seg: &[u8]) -> Vec<(ObjectId, Range<usize>)> {
+        let n = Self::entries(seg);
+        let mut out = Vec::with_capacity(header_count(seg) as usize);
+        for i in 0..n {
+            let (id, offset, len) = self.read_entry(seg, i);
+            if len != LEN_DELETED {
+                let id = ObjectId::from_raw(id).expect("stored ids are valid");
+                out.push((id, offset as usize..(offset + len) as usize));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::LogicalSegment;
+
+    fn pool() -> PackedPool {
+        PackedPool::new(PoolId(1), 256)
+    }
+
+    fn oid(n: u32) -> ObjectId {
+        ObjectId::new(LogicalSegment(n / 255), (n % 255) as u8)
+    }
+
+    #[test]
+    fn append_locate_round_trip() {
+        let p = pool();
+        let mut seg = p.new_segment(oid(0), 10);
+        assert_eq!(p.try_append(&mut seg, oid(0), b"first"), AppendOutcome::Appended);
+        assert_eq!(p.try_append(&mut seg, oid(1), b"second!"), AppendOutcome::Appended);
+        match p.locate(seg.bytes(), oid(0)) {
+            LocateResult::Found(r) => assert_eq!(&seg.bytes()[r], b"first"),
+            o => panic!("{o:?}"),
+        }
+        match p.locate(seg.bytes(), oid(1)) {
+            LocateResult::Found(r) => assert_eq!(&seg.bytes()[r], b"second!"),
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(p.locate(seg.bytes(), oid(2)), LocateResult::Absent);
+    }
+
+    #[test]
+    fn fills_until_capacity_then_reports_full() {
+        let p = pool();
+        let mut seg = p.new_segment(oid(0), 0);
+        let mut appended = 0u32;
+        loop {
+            let data = [appended as u8; 20];
+            match p.try_append(&mut seg, oid(appended), &data) {
+                AppendOutcome::Appended => appended += 1,
+                AppendOutcome::Full => break,
+            }
+        }
+        // 256 - 16 header = 240; each object costs 20 + 12 = 32 → 7 objects.
+        assert_eq!(appended, 7);
+        assert_eq!(p.live_objects(seg.bytes()).len(), 7);
+        // The segment stays internally consistent after being full.
+        for i in 0..7 {
+            match p.locate(seg.bytes(), oid(i)) {
+                LocateResult::Found(r) => assert_eq!(seg.bytes()[r.start], i as u8),
+                o => panic!("{o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_payload_object_fits_alone() {
+        let p = pool();
+        let mut seg = p.new_segment(oid(0), p.max_payload());
+        let data = vec![7u8; p.max_payload()];
+        assert_eq!(p.try_append(&mut seg, oid(0), &data), AppendOutcome::Appended);
+        assert_eq!(p.try_append(&mut seg, oid(1), b""), AppendOutcome::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending id order")]
+    fn out_of_order_append_is_rejected() {
+        let p = pool();
+        let mut seg = p.new_segment(oid(0), 0);
+        p.try_append(&mut seg, oid(5), b"x");
+        p.try_append(&mut seg, oid(3), b"y");
+    }
+
+    #[test]
+    fn update_shrink_and_grow_in_place() {
+        let p = pool();
+        let mut seg = p.new_segment(oid(0), 0);
+        p.try_append(&mut seg, oid(0), b"abcdef");
+        p.try_append(&mut seg, oid(1), b"tail");
+        // Shrink.
+        assert!(p.try_update_in_place(&mut seg, oid(0), b"ab"));
+        match p.locate(seg.bytes(), oid(0)) {
+            LocateResult::Found(r) => assert_eq!(&seg.bytes()[r], b"ab"),
+            o => panic!("{o:?}"),
+        }
+        // Grow: relocated to payload end within the segment.
+        assert!(p.try_update_in_place(&mut seg, oid(0), b"0123456789"));
+        match p.locate(seg.bytes(), oid(0)) {
+            LocateResult::Found(r) => assert_eq!(&seg.bytes()[r], b"0123456789"),
+            o => panic!("{o:?}"),
+        }
+        // The neighbour is untouched.
+        match p.locate(seg.bytes(), oid(1)) {
+            LocateResult::Found(r) => assert_eq!(&seg.bytes()[r], b"tail"),
+            o => panic!("{o:?}"),
+        }
+        // Grow beyond free space fails.
+        let huge = vec![1u8; p.max_payload()];
+        assert!(!p.try_update_in_place(&mut seg, oid(0), &huge));
+        // Updating an absent object fails.
+        assert!(!p.try_update_in_place(&mut seg, oid(9), b"zz"));
+    }
+
+    #[test]
+    fn delete_hides_object_but_keeps_neighbours() {
+        let p = pool();
+        let mut seg = p.new_segment(oid(0), 0);
+        for i in 0..3 {
+            p.try_append(&mut seg, oid(i), &[i as u8; 8]);
+        }
+        assert!(p.delete(&mut seg, oid(1)));
+        assert!(!p.delete(&mut seg, oid(1)));
+        assert_eq!(p.locate(seg.bytes(), oid(1)), LocateResult::Deleted);
+        assert!(!p.try_update_in_place(&mut seg, oid(1), b"x"), "deleted object not updatable");
+        let live = p.live_objects(seg.bytes());
+        assert_eq!(live.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![oid(0), oid(2)]);
+        assert_eq!(header_count(seg.bytes()), 2);
+    }
+
+    #[test]
+    fn ids_spanning_logical_segments_still_sort() {
+        let p = PackedPool::new(PoolId(1), 4096);
+        let mut seg = p.new_segment(oid(253), 0);
+        // Crosses the boundary between lseg 0 (slots 253,254) and lseg 1.
+        for n in 253..260 {
+            assert_eq!(p.try_append(&mut seg, oid(n), &[n as u8]), AppendOutcome::Appended);
+        }
+        for n in 253..260 {
+            match p.locate(seg.bytes(), oid(n)) {
+                LocateResult::Found(r) => assert_eq!(seg.bytes()[r.start], n as u8),
+                o => panic!("{o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold any object")]
+    fn rejects_degenerate_segment_size() {
+        PackedPool::new(PoolId(1), 20);
+    }
+}

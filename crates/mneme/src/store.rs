@@ -1,0 +1,195 @@
+//! The store: multiple Mneme files under one global id space.
+//!
+//! "Multiple files may be open simultaneously, however, so object
+//! identifiers are mapped to globally unique identifiers when the objects
+//! are accessed. This allows a potentially unlimited number of objects to be
+//! created by allocating a new file when the previous file's object
+//! identifiers have been exhausted. The number of objects that may be
+//! accessed simultaneously is bounded by the number of globally unique
+//! identifiers (currently 2^28)." (Section 3.2)
+//!
+//! A [`Store`] owns a set of open [`MnemeFile`]s, assigns each a
+//! [`FileSlot`], and routes [`GlobalId`] operations to the right file. It
+//! enforces the 2^28 bound on simultaneously accessible objects by capping
+//! the sum of per-file id-space consumption across open files.
+
+use crate::error::{MnemeError, Result};
+use crate::file::MnemeFile;
+use crate::id::{FileSlot, GlobalId, ObjectId, PoolId};
+
+/// Upper bound on simultaneously accessible objects (2^28).
+pub const MAX_GLOBAL_OBJECTS: u64 = 1 << 28;
+
+/// A collection of open Mneme files sharing a global id space.
+pub struct Store {
+    files: Vec<Option<MnemeFile>>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store { files: Vec::new() }
+    }
+
+    /// Number of currently open files.
+    pub fn open_files(&self) -> usize {
+        self.files.iter().flatten().count()
+    }
+
+    /// Registers an open file, returning the slot used to form global ids.
+    pub fn mount(&mut self, file: MnemeFile) -> Result<FileSlot> {
+        if self.files.iter().flatten().count() as u64 * crate::id::MAX_LOGICAL_SEGMENTS as u64
+            >= MAX_GLOBAL_OBJECTS
+        {
+            return Err(MnemeError::GlobalIdsExhausted);
+        }
+        if let Some(free) = self.files.iter().position(Option::is_none) {
+            self.files[free] = Some(file);
+            return Ok(FileSlot(free as u16));
+        }
+        if self.files.len() >= u16::MAX as usize {
+            return Err(MnemeError::GlobalIdsExhausted);
+        }
+        self.files.push(Some(file));
+        Ok(FileSlot((self.files.len() - 1) as u16))
+    }
+
+    /// Unmounts a file (flushing it first) and frees its slot.
+    pub fn unmount(&mut self, slot: FileSlot) -> Result<MnemeFile> {
+        let entry = self
+            .files
+            .get_mut(slot.0 as usize)
+            .ok_or(MnemeError::NoSuchFile(slot.0))?;
+        let mut file = entry.take().ok_or(MnemeError::NoSuchFile(slot.0))?;
+        file.flush()?;
+        Ok(file)
+    }
+
+    /// Borrows the file mounted at `slot`.
+    pub fn file(&mut self, slot: FileSlot) -> Result<&mut MnemeFile> {
+        self.files
+            .get_mut(slot.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(MnemeError::NoSuchFile(slot.0))
+    }
+
+    /// Creates an object in the given file and pool, returning a global id.
+    pub fn create_object(&mut self, slot: FileSlot, pool: PoolId, data: &[u8]) -> Result<GlobalId> {
+        let object = self.file(slot)?.create_object(pool, data)?;
+        Ok(GlobalId { file: slot, object })
+    }
+
+    /// Reads an object by global id.
+    pub fn get(&mut self, id: GlobalId) -> Result<Vec<u8>> {
+        self.file(id.file)?.get(id.object)
+    }
+
+    /// Updates an object by global id.
+    pub fn update(&mut self, id: GlobalId, data: &[u8]) -> Result<()> {
+        self.file(id.file)?.update(id.object, data)
+    }
+
+    /// Deletes an object by global id.
+    pub fn delete(&mut self, id: GlobalId) -> Result<()> {
+        self.file(id.file)?.delete(id.object)
+    }
+
+    /// Follows the references embedded in an object, returning the ids it
+    /// points at (within any mounted file).
+    pub fn references_of(&mut self, id: GlobalId) -> Result<Vec<GlobalId>> {
+        let raw = self.file(id.file)?.references_of(id.object)?;
+        Ok(raw.into_iter().filter_map(GlobalId::unpack).collect())
+    }
+
+    /// Flushes every mounted file.
+    pub fn flush_all(&mut self) -> Result<()> {
+        for file in self.files.iter_mut().flatten() {
+            file.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Resolves a file-local id into a global id for a given slot — the mapping
+/// the paper performs "when the objects are accessed".
+pub fn globalize(slot: FileSlot, object: ObjectId) -> GlobalId {
+    GlobalId { file: slot, object }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PoolConfig, PoolKindConfig};
+    use poir_storage::Device;
+
+    fn new_file(dev: &std::sync::Arc<poir_storage::Device>) -> MnemeFile {
+        let configs = [
+            PoolConfig { id: PoolId(0), kind: PoolKindConfig::Small },
+            PoolConfig { id: PoolId(1), kind: PoolKindConfig::Packed { segment_size: 1024 } },
+        ];
+        MnemeFile::create(dev.create_file(), &configs, 8).unwrap()
+    }
+
+    #[test]
+    fn objects_route_to_their_files() {
+        let dev = Device::with_defaults();
+        let mut store = Store::new();
+        let a = store.mount(new_file(&dev)).unwrap();
+        let b = store.mount(new_file(&dev)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(store.open_files(), 2);
+
+        let ga = store.create_object(a, PoolId(0), b"in file a").unwrap();
+        let gb = store.create_object(b, PoolId(1), b"this one lives in file b").unwrap();
+        assert_eq!(store.get(ga).unwrap(), b"in file a");
+        assert_eq!(store.get(gb).unwrap(), b"this one lives in file b");
+        // Same file-local id space in both files; the slot disambiguates.
+        assert_eq!(ga.object, gb.object);
+    }
+
+    #[test]
+    fn unmount_frees_the_slot_for_reuse() {
+        let dev = Device::with_defaults();
+        let mut store = Store::new();
+        let a = store.mount(new_file(&dev)).unwrap();
+        let _b = store.mount(new_file(&dev)).unwrap();
+        store.unmount(a).unwrap();
+        assert_eq!(store.open_files(), 1);
+        assert!(matches!(store.get(globalize(a, ObjectId::from_raw(0).unwrap())),
+            Err(MnemeError::NoSuchFile(_))));
+        let c = store.mount(new_file(&dev)).unwrap();
+        assert_eq!(c, a, "freed slot is reused");
+    }
+
+    #[test]
+    fn update_and_delete_through_global_ids() {
+        let dev = Device::with_defaults();
+        let mut store = Store::new();
+        let slot = store.mount(new_file(&dev)).unwrap();
+        let id = store.create_object(slot, PoolId(1), b"v1").unwrap();
+        store.update(id, b"version two").unwrap();
+        assert_eq!(store.get(id).unwrap(), b"version two");
+        store.delete(id).unwrap();
+        assert!(matches!(store.get(id), Err(MnemeError::ObjectDeleted(_))));
+    }
+
+    #[test]
+    fn flush_all_persists_mounted_files() {
+        let dev = Device::with_defaults();
+        let mut store = Store::new();
+        let slot = store.mount(new_file(&dev)).unwrap();
+        let id = store.create_object(slot, PoolId(0), b"tiny").unwrap();
+        store.flush_all().unwrap();
+        let file = store.unmount(slot).unwrap();
+        let handle = file.handle().clone();
+        drop(file);
+        let mut reopened = MnemeFile::open(handle).unwrap();
+        assert_eq!(reopened.get(id.object).unwrap(), b"tiny");
+    }
+}

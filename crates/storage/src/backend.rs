@@ -1,0 +1,216 @@
+//! Byte-level backing stores for simulated files.
+//!
+//! A [`ByteStore`] holds the raw contents of one file. Two implementations
+//! are provided:
+//!
+//! * [`InMemoryBackend`] — a growable byte vector. Deterministic and fast;
+//!   used by the benchmark harness so reproduction runs do not depend on the
+//!   host file system.
+//! * [`FileBackend`] — a real operating-system file, used when the store
+//!   must survive process restarts (examples and recovery tests).
+//!
+//! All accounting (caching, block counting, cost charging) happens above
+//! this trait in [`crate::Device`]; backends only move bytes.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::{Result, StorageError};
+
+/// Raw random-access byte storage for a single file.
+pub trait ByteStore: Send {
+    /// Current length of the file in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fills `buf` from `offset`. The full range must be inside the file.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `data` at `offset`, extending the file (zero-filled) if the
+    /// write begins past the current end.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Shrinks or extends the file to exactly `len` bytes.
+    fn truncate(&mut self, len: u64) -> Result<()>;
+
+    /// Forces contents to durable storage (no-op for memory backends).
+    fn sync(&mut self) -> Result<()>;
+}
+
+/// A file held entirely in a byte vector.
+#[derive(Debug, Default)]
+pub struct InMemoryBackend {
+    data: Vec<u8>,
+}
+
+impl InMemoryBackend {
+    /// Creates an empty in-memory file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ByteStore for InMemoryBackend {
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let end = offset + buf.len() as u64;
+        if end > self.data.len() as u64 {
+            return Err(StorageError::OutOfBounds { end, len: self.data.len() as u64 });
+        }
+        let start = offset as usize;
+        buf.copy_from_slice(&self.data[start..start + buf.len()]);
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        let end = (offset as usize).checked_add(data.len()).expect("file size overflow");
+        if end > self.data.len() {
+            self.data.resize(end, 0);
+        }
+        self.data[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.data.resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A file backed by a real operating-system file.
+#[derive(Debug)]
+pub struct FileBackend {
+    file: File,
+    len: u64,
+}
+
+impl FileBackend {
+    /// Opens (creating if absent) the file at `path` for read/write access.
+    pub fn open(path: &Path) -> Result<Self> {
+        // Open-or-create without truncation: reopening must preserve contents.
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileBackend { file, len })
+    }
+}
+
+impl ByteStore for FileBackend {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let end = offset + buf.len() as u64;
+        if end > self.len {
+            return Err(StorageError::OutOfBounds { end, len: self.len });
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)?;
+        self.len = self.len.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.file.set_len(len)?;
+        self.len = len;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn ByteStore) {
+        assert!(store.is_empty());
+        store.write_at(0, b"hello world").unwrap();
+        assert_eq!(store.len(), 11);
+
+        let mut buf = [0u8; 5];
+        store.read_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+
+        // Write past EOF zero-fills the gap.
+        store.write_at(20, b"x").unwrap();
+        assert_eq!(store.len(), 21);
+        let mut gap = [9u8; 4];
+        store.read_at(12, &mut gap).unwrap();
+        assert_eq!(gap, [0, 0, 0, 0]);
+
+        // Overwrite in place.
+        store.write_at(0, b"HELLO").unwrap();
+        let mut head = [0u8; 5];
+        store.read_at(0, &mut head).unwrap();
+        assert_eq!(&head, b"HELLO");
+
+        // Reads past EOF fail.
+        let mut big = [0u8; 2];
+        assert!(matches!(
+            store.read_at(20, &mut big),
+            Err(StorageError::OutOfBounds { end: 22, len: 21 })
+        ));
+
+        store.truncate(5).unwrap();
+        assert_eq!(store.len(), 5);
+        store.truncate(8).unwrap();
+        assert_eq!(store.len(), 8);
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn in_memory_backend_basic_ops() {
+        exercise(&mut InMemoryBackend::new());
+    }
+
+    #[test]
+    fn file_backend_basic_ops() {
+        let dir = std::env::temp_dir().join(format!("poir-backend-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.dat");
+        exercise(&mut FileBackend::open(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("poir-backend2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.dat");
+        {
+            let mut f = FileBackend::open(&path).unwrap();
+            f.write_at(0, b"durable").unwrap();
+            f.sync().unwrap();
+        }
+        {
+            let mut f = FileBackend::open(&path).unwrap();
+            assert_eq!(f.len(), 7);
+            let mut buf = [0u8; 7];
+            f.read_at(0, &mut buf).unwrap();
+            assert_eq!(&buf, b"durable");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,265 @@
+//! Simulated operating-system file-buffer cache.
+//!
+//! ULTRIX cached file blocks in kernel memory; the paper notes that "some
+//! file accesses are satisfied by the Ultrix file system cache" and purges
+//! this cache between runs with a 32 Mbyte chill file. [`OsCache`] models
+//! that cache as an LRU set of `(file, block)` pages with a fixed capacity
+//! in blocks.
+//!
+//! The cache stores only page *identities*, not contents — actual bytes live
+//! in the file backend. Whether a block is present determines whether a read
+//! counts as a disk transfer (an "I/O input") and is charged disk time.
+
+use std::collections::HashMap;
+
+/// Identity of one cached page.
+pub(crate) type PageKey = (u32, u64); // (file id, block number)
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: PageKey,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU set of file blocks.
+#[derive(Debug)]
+pub struct OsCache {
+    capacity: usize,
+    map: HashMap<PageKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl OsCache {
+    /// Creates a cache holding at most `capacity` blocks. A capacity of zero
+    /// disables caching entirely (every access misses).
+    pub fn new(capacity: usize) -> Self {
+        OsCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up a page, promoting it to most-recently-used on a hit.
+    /// Returns whether the page was present, and records a hit or miss.
+    pub fn access(&mut self, key: PageKey) -> bool {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts a page as most-recently-used, evicting the least-recently-used
+    /// page if the cache is full. Inserting an already-present page just
+    /// promotes it. Returns the evicted page, if any.
+    pub fn insert(&mut self, key: PageKey) -> Option<PageKey> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(idx) = self.map.get(&key).copied() {
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let vkey = self.nodes[victim].key;
+            self.unlink(victim);
+            self.map.remove(&vkey);
+            self.free.push(victim);
+            evicted = Some(vkey);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i].key = key;
+                i
+            }
+            None => {
+                self.nodes.push(Node { key, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Removes a page if present (used when a file is truncated or deleted).
+    pub fn invalidate(&mut self, key: PageKey) {
+        if let Some(idx) = self.map.remove(&key) {
+            self.unlink(idx);
+            self.free.push(idx);
+        }
+    }
+
+    /// Drops every cached page — the paper's "chill file" purge. Hit/miss
+    /// statistics are preserved.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = OsCache::new(2);
+        assert!(!c.access((1, 0)));
+        c.insert((1, 0));
+        assert!(c.access((1, 0)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = OsCache::new(2);
+        c.insert((1, 0));
+        c.insert((1, 1));
+        assert!(c.access((1, 0))); // 0 now MRU, 1 is LRU
+        assert_eq!(c.insert((1, 2)), Some((1, 1)));
+        assert!(c.access((1, 0)));
+        assert!(!c.access((1, 1)));
+        assert!(c.access((1, 2)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_promotes_without_eviction() {
+        let mut c = OsCache::new(2);
+        c.insert((1, 0));
+        c.insert((1, 1));
+        assert_eq!(c.insert((1, 0)), None); // promote, nothing evicted
+        assert_eq!(c.insert((1, 2)), Some((1, 1))); // 1 was LRU
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let mut c = OsCache::new(0);
+        assert_eq!(c.insert((1, 0)), None);
+        assert!(!c.access((1, 0)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_purges_pages_like_a_chill_file() {
+        let mut c = OsCache::new(8);
+        for b in 0..8 {
+            c.insert((1, b));
+        }
+        assert_eq!(c.len(), 8);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.access((1, 3)));
+        // Cache still usable after the purge.
+        c.insert((2, 0));
+        assert!(c.access((2, 0)));
+    }
+
+    #[test]
+    fn invalidate_removes_single_page() {
+        let mut c = OsCache::new(4);
+        c.insert((1, 0));
+        c.insert((1, 1));
+        c.invalidate((1, 0));
+        assert!(!c.access((1, 0)));
+        assert!(c.access((1, 1)));
+        c.invalidate((9, 9)); // absent key is a no-op
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let mut c = OsCache::new(2);
+        for b in 0..100 {
+            c.insert((1, b));
+        }
+        // Only ever 2 resident; the node arena must not grow unboundedly.
+        assert_eq!(c.len(), 2);
+        assert!(c.nodes.len() <= 3);
+    }
+}

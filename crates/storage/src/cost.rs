@@ -1,0 +1,176 @@
+//! Cost model converting I/O event counts into simulated elapsed time.
+//!
+//! The paper reports "system cpu time plus time spent waiting for I/O to
+//! complete" (Table 4) as the precise measure of the replaced subsystem.
+//! On the 1993 platform this time is dominated by three activities, each of
+//! which we charge per event:
+//!
+//! * reading an 8 Kbyte block from the SCSI disk (seek + rotation +
+//!   transfer) on an operating-system cache miss,
+//! * executing a read/write system call (user/kernel crossing plus
+//!   file-system lookup work),
+//! * copying requested bytes between the kernel buffer cache and user space.
+//!
+//! Back-solving the paper's own numbers (e.g. TIPSTER, B-tree: 96,352 I/O
+//! inputs and 841 Mbytes copied in 861.75 s) gives roughly 8.5 ms per block
+//! read and a few microseconds per copied Kbyte, consistent with an RZ58-era
+//! disk; the defaults below use those figures. Absolute values only scale
+//! the reported times — the comparisons in Tables 3-5 depend on the event
+//! *counts*, which are exact.
+
+use std::time::Duration;
+
+use crate::stats::IoSnapshot;
+
+/// Simulated time, accumulated in microseconds.
+///
+/// A thin wrapper rather than [`Duration`] so arithmetic on it is explicit
+/// and cheap inside hot accounting paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SimTime {
+    micros: u64,
+}
+
+impl SimTime {
+    /// Zero elapsed time.
+    pub const ZERO: SimTime = SimTime { micros: 0 };
+
+    /// Constructs from a microsecond count.
+    pub fn from_micros(micros: u64) -> Self {
+        SimTime { micros }
+    }
+
+    /// Total microseconds.
+    pub fn as_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Total seconds, as the paper's tables report.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Converts into a std [`Duration`].
+    pub fn to_duration(&self) -> Duration {
+        Duration::from_micros(self.micros)
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime { micros: self.micros + rhs.micros }
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl std::ops::Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime { micros: self.micros.saturating_sub(rhs.micros) }
+    }
+}
+
+/// Per-event costs for the simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of transferring one block from disk into the OS cache.
+    pub block_read_us: u64,
+    /// Cost of writing one block from the OS cache to disk.
+    pub block_write_us: u64,
+    /// Fixed cost of a read or write system call.
+    pub syscall_us: u64,
+    /// Cost of copying one Kbyte between kernel and user space.
+    pub copy_us_per_kb: u64,
+}
+
+impl Default for CostModel {
+    /// Defaults calibrated against the paper's DECstation 5000/240 + RZ58
+    /// figures (see module docs).
+    fn default() -> Self {
+        CostModel {
+            block_read_us: 8_500,
+            block_write_us: 8_500,
+            syscall_us: 120,
+            copy_us_per_kb: 6,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model in which every event is free; useful in unit tests that only
+    /// care about counters.
+    pub fn free() -> Self {
+        CostModel { block_read_us: 0, block_write_us: 0, syscall_us: 0, copy_us_per_kb: 0 }
+    }
+
+    /// Simulated system-CPU + I/O time for the events in `delta`.
+    ///
+    /// This is the quantity Table 4 reports per query set.
+    pub fn charge(&self, delta: &IoSnapshot) -> SimTime {
+        let micros = delta.io_inputs * self.block_read_us
+            + delta.io_outputs * self.block_write_us
+            + (delta.file_accesses + delta.file_writes) * self.syscall_us
+            + ((delta.bytes_read + delta.bytes_written) / 1024) * self.copy_us_per_kb;
+        SimTime::from_micros(micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let a = SimTime::from_micros(1_500_000);
+        let b = SimTime::from_micros(500_000);
+        assert_eq!((a + b).as_secs_f64(), 2.0);
+        assert_eq!((a - b).as_micros(), 1_000_000);
+        assert_eq!((b - a), SimTime::ZERO);
+        let mut c = SimTime::ZERO;
+        c += a;
+        assert_eq!(c, a);
+        assert_eq!(a.to_duration(), Duration::from_micros(1_500_000));
+    }
+
+    #[test]
+    fn charge_sums_each_component() {
+        let m = CostModel { block_read_us: 100, block_write_us: 50, syscall_us: 10, copy_us_per_kb: 1 };
+        let d = IoSnapshot {
+            io_inputs: 2,
+            io_outputs: 1,
+            file_accesses: 3,
+            file_writes: 1,
+            bytes_read: 2048,
+            bytes_written: 1024,
+        };
+        // 2*100 + 1*50 + 4*10 + 3*1 = 293
+        assert_eq!(m.charge(&d).as_micros(), 293);
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let d = IoSnapshot { io_inputs: 10, bytes_read: 1 << 20, file_accesses: 5, ..Default::default() };
+        assert_eq!(CostModel::free().charge(&d), SimTime::ZERO);
+    }
+
+    #[test]
+    fn default_model_matches_paper_magnitude() {
+        // TIPSTER / B-tree row of Table 5: I = 96,352 blocks, B = 841,304 KB.
+        // Paper's Table 4 reports 861.75 s; the default model should land in
+        // the same order of magnitude (hundreds of seconds).
+        let d = IoSnapshot {
+            io_inputs: 96_352,
+            bytes_read: 841_304 * 1024,
+            file_accesses: 60_000,
+            ..Default::default()
+        };
+        let t = CostModel::default().charge(&d).as_secs_f64();
+        assert!(t > 500.0 && t < 1500.0, "simulated time {t} out of expected band");
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by every layer that touches the simulated device.
+
+use std::fmt;
+
+/// Errors surfaced by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The referenced file id was never created or has been removed.
+    UnknownFile(u32),
+    /// A read extended past the end of the file.
+    ///
+    /// Carries `(requested_end, file_len)`.
+    OutOfBounds { end: u64, len: u64 },
+    /// The underlying operating system file failed.
+    Io(std::io::Error),
+    /// Fault injected by a test harness (see [`crate::Device::inject_read_fault_after`]).
+    InjectedFault,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownFile(id) => write!(f, "unknown file id {id}"),
+            StorageError::OutOfBounds { end, len } => {
+                write!(f, "read past end of file: end {end} > len {len}")
+            }
+            StorageError::Io(e) => write!(f, "os i/o error: {e}"),
+            StorageError::InjectedFault => write!(f, "injected storage fault"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenient result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(StorageError::UnknownFile(7).to_string(), "unknown file id 7");
+        assert_eq!(
+            StorageError::OutOfBounds { end: 10, len: 4 }.to_string(),
+            "read past end of file: end 10 > len 4"
+        );
+        assert_eq!(StorageError::InjectedFault.to_string(), "injected storage fault");
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        let e: StorageError = std::io::Error::other("boom").into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,173 @@
+//! I/O event counters matching the paper's Table 5 measurements.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing I/O event counters.
+///
+/// One instance is shared by all [`crate::FileHandle`]s of a
+/// [`crate::Device`]. Counters are atomics so handles can be used from
+/// multiple threads; all reads use relaxed ordering because the counters are
+/// statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Number of blocks actually transferred from the simulated disk
+    /// (operating-system cache misses). Table 5 column "I".
+    io_inputs: AtomicU64,
+    /// Number of blocks written to the simulated disk.
+    io_outputs: AtomicU64,
+    /// Number of read system calls issued by the application.
+    /// Numerator of Table 5 column "A".
+    file_accesses: AtomicU64,
+    /// Number of write system calls issued by the application.
+    file_writes: AtomicU64,
+    /// Total bytes requested by read system calls. Table 5 column "B"
+    /// (reported there in Kbytes).
+    bytes_read: AtomicU64,
+    /// Total bytes passed to write system calls.
+    bytes_written: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.file_accesses.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.file_writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_io_inputs(&self, blocks: u64) {
+        self.io_inputs.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_io_outputs(&self, blocks: u64) {
+        self.io_outputs.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Blocks read from the simulated disk so far.
+    pub fn io_inputs(&self) -> u64 {
+        self.io_inputs.load(Ordering::Relaxed)
+    }
+
+    /// Blocks written to the simulated disk so far.
+    pub fn io_outputs(&self) -> u64 {
+        self.io_outputs.load(Ordering::Relaxed)
+    }
+
+    /// Read system calls issued so far.
+    pub fn file_accesses(&self) -> u64 {
+        self.file_accesses.load(Ordering::Relaxed)
+    }
+
+    /// Write system calls issued so far.
+    pub fn file_writes(&self) -> u64 {
+        self.file_writes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes requested by reads so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Bytes passed to writes so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Captures the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            io_inputs: self.io_inputs(),
+            io_outputs: self.io_outputs(),
+            file_accesses: self.file_accesses(),
+            file_writes: self.file_writes(),
+            bytes_read: self.bytes_read(),
+            bytes_written: self.bytes_written(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], supporting interval deltas.
+///
+/// The reproduction harness snapshots before and after each query set and
+/// reports the difference, exactly as the paper measures per-run statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    pub io_inputs: u64,
+    pub io_outputs: u64,
+    pub file_accesses: u64,
+    pub file_writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+impl IoSnapshot {
+    /// Counter increments between `earlier` and `self`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` was taken after `self`.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        debug_assert!(self.io_inputs >= earlier.io_inputs);
+        IoSnapshot {
+            io_inputs: self.io_inputs - earlier.io_inputs,
+            io_outputs: self.io_outputs - earlier.io_outputs,
+            file_accesses: self.file_accesses - earlier.file_accesses,
+            file_writes: self.file_writes - earlier.file_writes,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+
+    /// Bytes read expressed in whole Kbytes, as Table 5 reports column "B".
+    pub fn kbytes_read(&self) -> u64 {
+        self.bytes_read / 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(100);
+        s.record_read(24);
+        s.record_io_inputs(3);
+        s.record_write(10);
+        s.record_io_outputs(1);
+        assert_eq!(s.file_accesses(), 2);
+        assert_eq!(s.bytes_read(), 124);
+        assert_eq!(s.io_inputs(), 3);
+        assert_eq!(s.file_writes(), 1);
+        assert_eq!(s.bytes_written(), 10);
+        assert_eq!(s.io_outputs(), 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.record_read(2048);
+        let before = s.snapshot();
+        s.record_read(4096);
+        s.record_io_inputs(2);
+        let after = s.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.file_accesses, 1);
+        assert_eq!(d.bytes_read, 4096);
+        assert_eq!(d.io_inputs, 2);
+        assert_eq!(d.kbytes_read(), 4);
+    }
+
+    #[test]
+    fn snapshot_of_fresh_stats_is_zero() {
+        assert_eq!(IoStats::new().snapshot(), IoSnapshot::default());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: the simulated device must behave like a plain byte
+//! vector regardless of block size, cache capacity, or operation order, and
+//! its counters must obey basic accounting invariants.
+
+use proptest::prelude::*;
+
+use poir_storage::{CostModel, Device, DeviceConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: u16, data: Vec<u8> },
+    Read { offset: u16, len: u8 },
+    Truncate { len: u16 },
+    Chill,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..2048, proptest::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(offset, data)| Op::Write { offset, data }),
+        (0u16..2048, any::<u8>()).prop_map(|(offset, len)| Op::Read { offset, len }),
+        (0u16..2048).prop_map(|len| Op::Truncate { len }),
+        Just(Op::Chill),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn device_matches_vec_model(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        block_size in 1usize..64,
+        cache_blocks in 0usize..16,
+    ) {
+        let dev = Device::new(DeviceConfig {
+            block_size,
+            os_cache_blocks: cache_blocks,
+            cost_model: CostModel::free(),
+        });
+        let f = dev.create_file();
+        let mut model: Vec<u8> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Write { offset, data } => {
+                    f.write(offset as u64, &data).unwrap();
+                    let end = offset as usize + data.len();
+                    if end > model.len() {
+                        model.resize(end, 0);
+                    }
+                    model[offset as usize..end].copy_from_slice(&data);
+                }
+                Op::Read { offset, len } => {
+                    let end = offset as usize + len as usize;
+                    let got = f.read(offset as u64, len as usize);
+                    if end <= model.len() {
+                        prop_assert_eq!(got.unwrap(), &model[offset as usize..end]);
+                    } else {
+                        prop_assert!(got.is_err(), "read past EOF must fail");
+                    }
+                }
+                Op::Truncate { len } => {
+                    f.truncate(len as u64).unwrap();
+                    model.resize(len as usize, 0);
+                }
+                Op::Chill => dev.chill(),
+            }
+            prop_assert_eq!(f.len().unwrap(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn io_inputs_never_exceed_blocks_touched(
+        reads in proptest::collection::vec((0u16..512, 1u8..255), 1..40),
+        cache_blocks in 0usize..8,
+    ) {
+        let dev = Device::new(DeviceConfig {
+            block_size: 32,
+            os_cache_blocks: cache_blocks,
+            cost_model: CostModel::free(),
+        });
+        let f = dev.create_file();
+        f.write(0, &vec![0xAB; 1024]).unwrap();
+        dev.chill();
+
+        let mut blocks_touched = 0u64;
+        let before = dev.stats().snapshot();
+        for (offset, len) in reads {
+            let offset = (offset as u64) % 700;
+            let len = (len as usize).min(1024 - offset as usize);
+            if len == 0 { continue; }
+            f.read(offset, len).unwrap();
+            let first = offset / 32;
+            let last = (offset + len as u64 - 1) / 32;
+            blocks_touched += last - first + 1;
+        }
+        let d = dev.stats().snapshot().since(&before);
+        // Every disk input corresponds to a touched block, and with a zero
+        // cache every touched block is a disk input.
+        prop_assert!(d.io_inputs <= blocks_touched);
+        if cache_blocks == 0 {
+            prop_assert_eq!(d.io_inputs, blocks_touched);
+        }
+    }
+
+    #[test]
+    fn bytes_read_equals_requested(
+        lens in proptest::collection::vec(0usize..100, 1..30),
+    ) {
+        let dev = Device::with_defaults();
+        let f = dev.create_file();
+        f.write(0, &[1u8; 128]).unwrap();
+        let before = dev.stats().snapshot();
+        let mut expected = 0u64;
+        for len in &lens {
+            let len = *len % 128;
+            f.read(0, len).unwrap();
+            expected += len as u64;
+        }
+        let d = dev.stats().snapshot().since(&before);
+        prop_assert_eq!(d.bytes_read, expected);
+        prop_assert_eq!(d.file_accesses, lens.len() as u64);
+    }
+}

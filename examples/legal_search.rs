@@ -1,0 +1,102 @@
+//! The paper's Legal scenario: a specialised collection queried in batch,
+//! comparing the three storage configurations.
+//!
+//! ```text
+//! cargo run --release --example legal_search
+//! ```
+//!
+//! Generates a scaled synthetic Legal collection (11,953 case descriptions
+//! at 10% scale), builds all three inverted-file configurations, processes
+//! Legal Query Set 2 against each, and prints the paper's comparison: time,
+//! I/O statistics, buffer hit rates, and retrieval effectiveness.
+
+use poir::collections::{self, generate_queries, judgments_for, SyntheticCollection};
+use poir::core::{BackendKind, Engine};
+use poir::inquery::{IndexBuilder, ScoredDoc, StopWords};
+use poir::storage::{CostModel, Device, DeviceConfig};
+
+fn main() {
+    let paper = collections::legal().scale(0.10);
+    let collection = SyntheticCollection::new(paper.spec.clone());
+    println!(
+        "generating + indexing {} legal case descriptions ...",
+        paper.spec.num_docs
+    );
+    let mut builder = IndexBuilder::new(StopWords::default());
+    for doc in collection.documents() {
+        builder.add_document(&doc.name, &doc.text);
+    }
+    let index = builder.finish();
+    println!(
+        "  {} terms, {} records, {:.1}% of records are 12 bytes or less\n",
+        index.dictionary.len(),
+        index.records.len(),
+        index.fraction_at_most(12) * 100.0
+    );
+
+    let qs2 = &paper.query_sets[1];
+    let queries = generate_queries(&collection, qs2);
+    let texts: Vec<&str> = queries.iter().map(|q| q.text.as_str()).collect();
+    println!("sample query ({}):\n  {}\n", qs2.name, &queries[0].text);
+
+    println!(
+        "{:<18} {:>12} {:>8} {:>8} {:>10}",
+        "Configuration", "sys+I/O (s)", "I", "A", "B (KB)"
+    );
+    let mut effectiveness_printed = false;
+    for backend in BackendKind::all() {
+        let device = Device::new(DeviceConfig {
+            block_size: 8192,
+            os_cache_blocks: 512,
+            cost_model: CostModel::default(),
+        });
+        let mut engine =
+            Engine::build(&device, backend, index.clone(), StopWords::default())
+                .expect("engine build");
+        let report = engine.run_query_set(&texts, 100).expect("query set");
+        println!(
+            "{:<18} {:>12.2} {:>8} {:>8.2} {:>10}",
+            backend.label(),
+            report.sys_io_time.as_secs_f64(),
+            report.io_inputs(),
+            report.accesses_per_lookup(),
+            report.kbytes_read()
+        );
+        if let Some(stats) = report.buffer_stats {
+            for (pool, s) in ["small", "medium", "large"].iter().zip(stats) {
+                if s.refs > 0 {
+                    println!(
+                        "{:<18}   {} buffer: {} refs, {} hits (rate {:.2})",
+                        "",
+                        pool,
+                        s.refs,
+                        s.hits,
+                        s.hit_rate()
+                    );
+                }
+            }
+        }
+        // Effectiveness is identical across configurations; print once.
+        if !effectiveness_printed && backend == BackendKind::MnemeCache {
+            effectiveness_printed = true;
+            let mut aps = Vec::new();
+            let mut p10 = Vec::new();
+            for q in &queries {
+                let ranked = engine.query(&q.text, 100).expect("query");
+                let scored: Vec<ScoredDoc> = ranked
+                    .iter()
+                    .map(|r| ScoredDoc { doc: r.doc, score: r.score })
+                    .collect();
+                let judgments = judgments_for(&collection, q);
+                aps.push(judgments.average_precision(&scored));
+                p10.push(judgments.precision_at(&scored, 10));
+            }
+            println!(
+                "\nretrieval effectiveness over {} queries: MAP {:.3}, P@10 {:.3}\n",
+                queries.len(),
+                poir::inquery::metrics::mean(&aps),
+                poir::inquery::metrics::mean(&p10),
+            );
+        }
+    }
+}

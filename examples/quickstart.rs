@@ -1,0 +1,71 @@
+//! Quickstart: index a handful of documents and search them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds an INQUERY-style index over a small in-memory corpus, loads it
+//! into the Mneme persistent object store (the paper's configuration), and
+//! runs a few structured queries.
+
+use poir::core::{BackendKind, Engine};
+use poir::inquery::{IndexBuilder, StopWords};
+use poir::storage::Device;
+
+fn main() {
+    // 1. Index some documents. The builder tokenizes, removes stop words,
+    //    and produces compressed inverted records.
+    let mut builder = IndexBuilder::new(StopWords::default());
+    let corpus = [
+        ("EDBT94-01", "full text information retrieval with a persistent object store"),
+        ("EDBT94-02", "the inverted file index maps every term to its posting list"),
+        ("EDBT94-03", "mneme groups objects into pools and physical segments"),
+        ("EDBT94-04", "the b-tree package was the custom data management facility"),
+        ("EDBT94-05", "buffer management policies decide which segments stay resident"),
+        ("EDBT94-06", "query processing reads the complete record for one term at a time"),
+        ("EDBT94-07", "persistent object store performance beats the custom package"),
+        ("EDBT94-08", "recall and precision measure retrieval effectiveness"),
+    ];
+    for (name, text) in corpus {
+        builder.add_document(name, text);
+    }
+    let index = builder.finish();
+    println!(
+        "indexed {} documents, {} terms, {} inverted records",
+        index.documents.len(),
+        index.dictionary.len(),
+        index.records.len()
+    );
+
+    // 2. Load the index into an engine. `MnemeCache` is the paper's
+    //    three-pool object store with the Table 2 buffer heuristics.
+    let device = Device::with_defaults();
+    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
+        .expect("engine build");
+
+    // 3. Search. Bare words form a probabilistic #sum query; structured
+    //    operators (#and, #or, #not, #wsum, #phrase, #uwN) compose freely.
+    for query in [
+        "persistent object store",
+        "#and(inverted index)",
+        "#phrase(object store)",
+        "#wsum(3 performance 1 retrieval)",
+        "#uw8(buffer resident)",
+    ] {
+        println!("\nquery: {query}");
+        let results = engine.query(query, 3).expect("query");
+        if results.is_empty() {
+            println!("  (no matching documents)");
+        }
+        for (i, r) in results.iter().enumerate() {
+            println!("  {}. {:<10} belief {:.4}", i + 1, r.name, r.score);
+        }
+    }
+
+    // 4. The store is dynamic: add a document and find it immediately.
+    engine
+        .add_document("EDBT94-09", "dynamic update adds documents without re-indexing")
+        .expect("add document");
+    let results = engine.query("dynamic update", 1).expect("query");
+    println!("\nafter add_document: top hit for 'dynamic update' = {}", results[0].name);
+}

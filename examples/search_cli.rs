@@ -1,0 +1,114 @@
+//! An interactive search shell over a synthetic collection.
+//!
+//! ```text
+//! cargo run --release --example search_cli            # CACM-like corpus
+//! echo "#and(bani caba)" | cargo run --release --example search_cli
+//! ```
+//!
+//! Type INQUERY queries (`word word`, `#and(...)`, `#or(...)`, `#not(...)`,
+//! `#sum`, `#wsum(w t ...)`, `#max`, `#phrase(...)`, `#uwN(...)`); special
+//! commands: `:stats` (store statistics), `:term <word>` (dictionary entry),
+//! `:daat <bag query>` (document-at-a-time), `:explain <doc#> <query>`
+//! (per-node belief breakdown), `:quit`.
+
+use std::io::{BufRead, Write};
+
+use poir::collections::{self, SyntheticCollection};
+use poir::core::{BackendKind, Engine};
+use poir::inquery::{IndexBuilder, StopWords};
+
+fn main() {
+    let paper = collections::cacm().scale(0.5);
+    let collection = SyntheticCollection::new(paper.spec.clone());
+    eprintln!("indexing {} documents ...", paper.spec.num_docs);
+    let mut builder = IndexBuilder::new(StopWords::default());
+    for doc in collection.documents() {
+        builder.add_document(&doc.name, &doc.text);
+    }
+    let index = builder.finish();
+    eprintln!(
+        "ready: {} terms, {} records (try `:term {}` or a bare-word query)",
+        index.dictionary.len(),
+        index.records.len(),
+        index.dictionary.term(poir::inquery::TermId(0)),
+    );
+    let device = poir::storage::Device::with_defaults();
+    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
+        .expect("engine build");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("poir> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":stats" {
+            let snap = engine.device().stats().snapshot();
+            println!(
+                "store: {} KB; device: {} reads, {} disk blocks, {} KB requested",
+                engine.store_file_size().map(|s| s / 1024).unwrap_or(0),
+                snap.file_accesses,
+                snap.io_inputs,
+                snap.kbytes_read()
+            );
+            continue;
+        }
+        if let Some(word) = line.strip_prefix(":term ") {
+            match engine.dictionary().lookup(word.trim()) {
+                Some(id) => {
+                    let e = engine.dictionary().entry(id);
+                    println!(
+                        "term {:?}: id {}, df {}, cf {}, store ref {:#x}",
+                        word.trim(),
+                        id.0,
+                        e.df,
+                        e.cf,
+                        e.store_ref
+                    );
+                }
+                None => println!("term {:?} is not in the dictionary", word.trim()),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(":explain ") {
+            let mut parts = rest.splitn(2, ' ');
+            let doc: Option<u32> = parts.next().and_then(|d| d.parse().ok());
+            match (doc, parts.next()) {
+                (Some(doc), Some(query)) => {
+                    match engine.explain(query, poir::inquery::DocId(doc)) {
+                        Ok(e) => print!("{}", e.render()),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => println!("usage: :explain <doc#> <query>"),
+            }
+            continue;
+        }
+        let started = std::time::Instant::now();
+        let result = if let Some(bag) = line.strip_prefix(":daat ") {
+            engine.query_daat(bag, 10)
+        } else {
+            engine.query(line, 10)
+        };
+        match result {
+            Ok(hits) if hits.is_empty() => println!("no documents match"),
+            Ok(hits) => {
+                for (i, h) in hits.iter().enumerate() {
+                    println!("{:>2}. {:<16} {:.4}", i + 1, h.name, h.score);
+                }
+                println!("({} hits in {:?})", hits.len(), started.elapsed());
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

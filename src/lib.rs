@@ -1,0 +1,43 @@
+//! # poir — Persistent-Object-store Information Retrieval
+//!
+//! A from-scratch Rust reproduction of Brown, Callan, Moss & Croft,
+//! *Supporting Full-Text Information Retrieval with a Persistent Object
+//! Store* (EDBT 1994): the INQUERY probabilistic retrieval engine with its
+//! inverted file index stored either in a custom B-tree keyed file (the
+//! baseline) or in the Mneme persistent object store (the paper's
+//! contribution).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`storage`] — simulated disk, OS file cache, and I/O accounting,
+//! * [`mneme`] — the persistent object store,
+//! * [`btree`] — the baseline B-tree keyed-file package,
+//! * [`inquery`] — the IR engine (dictionary, indexer, query processing),
+//! * [`core`] — the integration layer and [`core::Engine`] facade,
+//! * [`collections`] — synthetic document collections and query sets.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, or start here:
+//!
+//! ```
+//! use poir::core::{BackendKind, Engine};
+//! use poir::inquery::{IndexBuilder, StopWords};
+//! use poir::storage::Device;
+//!
+//! let mut builder = IndexBuilder::new(StopWords::default());
+//! builder.add_document("DOC-1", "full text retrieval with a persistent object store");
+//! builder.add_document("DOC-2", "the custom b-tree package was replaced");
+//! let index = builder.finish();
+//!
+//! let device = Device::with_defaults();
+//! let mut engine = Engine::build(&device, BackendKind::MnemeCache, index,
+//!                                StopWords::default()).unwrap();
+//! let hits = engine.query("#phrase(object store)", 10).unwrap();
+//! assert_eq!(hits[0].name, "DOC-1");
+//! ```
+
+pub use poir_btree as btree;
+pub use poir_collections as collections;
+pub use poir_core as core;
+pub use poir_inquery as inquery;
+pub use poir_mneme as mneme;
+pub use poir_storage as storage;

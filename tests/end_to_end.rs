@@ -1,0 +1,139 @@
+//! End-to-end integration: synthetic collection → index → three storage
+//! configurations → identical retrieval, distinct I/O profiles.
+
+use poir::collections::{self, generate_queries, judgments_for, SyntheticCollection};
+use poir::core::{BackendKind, Engine};
+use poir::inquery::{IndexBuilder, ScoredDoc, StopWords};
+use poir::storage::{CostModel, Device, DeviceConfig};
+
+fn device() -> std::sync::Arc<Device> {
+    Device::new(DeviceConfig {
+        block_size: 8192,
+        os_cache_blocks: 256,
+        cost_model: CostModel::default(),
+    })
+}
+
+fn build(paper: &collections::PaperCollection, scale: f64) -> (SyntheticCollection, poir::inquery::Index) {
+    let scaled = paper.clone().scale(scale);
+    let collection = SyntheticCollection::new(scaled.spec.clone());
+    let mut builder = IndexBuilder::new(StopWords::default());
+    for doc in collection.documents() {
+        builder.add_document(&doc.name, &doc.text);
+    }
+    let index = builder.finish();
+    (collection, index)
+}
+
+#[test]
+fn full_pipeline_cacm_like() {
+    let paper = collections::cacm();
+    let (collection, index) = build(&paper, 0.1);
+    let queries = generate_queries(&collection, &paper.query_sets[0]);
+    let texts: Vec<&str> = queries.iter().map(|q| q.text.as_str()).collect();
+
+    let mut rankings: Vec<Vec<(u32, f64)>> = Vec::new();
+    let mut reports = Vec::new();
+    for backend in BackendKind::all() {
+        let dev = device();
+        let mut engine =
+            Engine::build(&dev, backend, index.clone(), StopWords::default()).unwrap();
+        // Rankings per query.
+        let mut per_backend = Vec::new();
+        for q in &texts {
+            for r in engine.query(q, 10).unwrap() {
+                per_backend.push((r.doc.0, (r.score * 1e12).round()));
+            }
+        }
+        rankings.push(per_backend.into_iter().collect());
+        reports.push(engine.run_query_set(&texts, 10).unwrap());
+    }
+    assert_eq!(rankings[0], rankings[1], "B-tree vs Mneme no-cache rankings");
+    assert_eq!(rankings[1], rankings[2], "Mneme no-cache vs cached rankings");
+
+    // The paper's qualitative results.
+    let a = |i: usize| reports[i].accesses_per_lookup();
+    assert!(a(0) > a(1), "B-tree A {} must exceed plain Mneme {}", a(0), a(1));
+    assert!(a(1) > a(2), "plain Mneme A {} must exceed cached {}", a(1), a(2));
+    assert!(
+        reports[2].sys_io_time <= reports[1].sys_io_time,
+        "caching must not increase simulated system + I/O time"
+    );
+}
+
+#[test]
+fn relevant_documents_are_retrieved() {
+    let paper = collections::legal();
+    let (collection, index) = build(&paper, 0.05);
+    let queries = generate_queries(&collection, &paper.query_sets[0]);
+    let dev = device();
+    let mut engine =
+        Engine::build(&dev, BackendKind::MnemeCache, index, StopWords::default()).unwrap();
+    let mut aps = Vec::new();
+    for q in &queries {
+        let ranked = engine.query(&q.text, 50).unwrap();
+        let scored: Vec<ScoredDoc> =
+            ranked.iter().map(|r| ScoredDoc { doc: r.doc, score: r.score }).collect();
+        aps.push(judgments_for(&collection, q).average_precision(&scored));
+    }
+    let map = poir::inquery::metrics::mean(&aps);
+    assert!(
+        map > 0.3,
+        "topical queries must find their topics' documents (MAP {map})"
+    );
+}
+
+#[test]
+fn record_size_distribution_matches_the_paper() {
+    // "approximately 50% of the inverted lists are 12 bytes or less"
+    let (_, index) = build(&collections::legal(), 0.1);
+    let fraction = index.fraction_at_most(12);
+    assert!(
+        (0.35..0.70).contains(&fraction),
+        "small-record fraction {fraction} out of band"
+    );
+    // And the small records are a negligible share of the file bytes
+    // (Figure 1: "less than 1% of the total file size for the larger
+    // collections and only 5% ... for the smallest").
+    let small_bytes: u64 = index
+        .records
+        .iter()
+        .map(|(_, r)| r.len() as u64)
+        .filter(|&l| l <= 12)
+        .sum();
+    let share = small_bytes as f64 / index.total_record_bytes() as f64;
+    // At this 10% test scale the large lists are still growing, so the
+    // bound is loose; the paper's ≤5% emerges at full scale (the
+    // `reproduce` harness verifies it — see EXPERIMENTS.md).
+    assert!(share < 0.25, "small records hold {share} of file bytes");
+}
+
+#[test]
+fn dictionary_and_store_round_trip_through_bytes() {
+    let (_, index) = build(&collections::cacm(), 0.05);
+    let bytes = index.dictionary.to_bytes();
+    let restored = poir::inquery::Dictionary::from_bytes(&bytes).unwrap();
+    assert_eq!(restored.len(), index.dictionary.len());
+    for (id, term, entry) in index.dictionary.iter().take(500) {
+        assert_eq!(restored.lookup(term), Some(id));
+        assert_eq!(restored.entry(id), entry);
+    }
+    let doc_bytes = index.documents.to_bytes();
+    let docs = poir::inquery::DocTable::from_bytes(&doc_bytes).unwrap();
+    assert_eq!(docs.len(), index.documents.len());
+}
+
+#[test]
+fn chill_file_resets_are_observable() {
+    let (_, index) = build(&collections::cacm(), 0.05);
+    let dev = device();
+    let mut engine =
+        Engine::build(&dev, BackendKind::MnemeNoCache, index, StopWords::default()).unwrap();
+    let queries = vec!["bani caba dani"; 3];
+    let r1 = engine.run_query_set(&queries, 10).unwrap();
+    let r2 = engine.run_query_set(&queries, 10).unwrap();
+    // Each run starts from a chilled OS cache, so the disk-input counts of
+    // identical runs match (the paper's repeatability procedure).
+    assert_eq!(r1.io_inputs(), r2.io_inputs());
+    assert_eq!(r1.kbytes_read(), r2.kbytes_read());
+}
