@@ -39,21 +39,14 @@ fn fetch_trace(
         .iter()
         .filter_map(|q| poir_inquery::parse_query(&q.text, &stop).ok())
         .map(|parsed| {
-            parsed
-                .leaf_terms()
-                .into_iter()
-                .filter_map(|t| index.dictionary.lookup(t))
-                .collect()
+            parsed.leaf_terms().into_iter().filter_map(|t| index.dictionary.lookup(t)).collect()
         })
         .collect()
 }
 
 fn ablation_segment_size() {
     println!("## Ablation 1: medium-pool physical segment size (Legal QS1 fetch trace)");
-    println!(
-        "{:>10} {:>10} {:>8} {:>12} {:>14}",
-        "Segment", "I", "A", "B (KB)", "sys+I/O (s)"
-    );
+    println!("{:>10} {:>10} {:>8} {:>12} {:>14}", "Segment", "I", "A", "B (KB)", "sys+I/O (s)");
     let paper = poir_collections::legal().scale(scale());
     let collection = SyntheticCollection::new(paper.spec.clone());
     let (index, _) = build_index(&collection);
@@ -136,18 +129,12 @@ fn ablation_split_large_buffer() {
         }
         (refs, hits)
     };
-    let mut single: Vec<(usize, Box<dyn Buffer>)> =
-        vec![(0, Box::new(LruBuffer::new(total)))];
+    let mut single: Vec<(usize, Box<dyn Buffer>)> = vec![(0, Box::new(LruBuffer::new(total)))];
     let (refs, hits_single) = replay(&mut single);
-    let mut split: Vec<(usize, Box<dyn Buffer>)> = vec![
-        (0, Box::new(LruBuffer::new(total / 2))),
-        (1, Box::new(LruBuffer::new(total / 2))),
-    ];
+    let mut split: Vec<(usize, Box<dyn Buffer>)> =
+        vec![(0, Box::new(LruBuffer::new(total / 2))), (1, Box::new(LruBuffer::new(total / 2)))];
     let (_, hits_split) = replay(&mut split);
-    println!(
-        "{:>24} {:>8} {:>8} {:>8}",
-        "Configuration", "Refs", "Hits", "Rate"
-    );
+    println!("{:>24} {:>8} {:>8} {:>8}", "Configuration", "Refs", "Hits", "Rate");
     println!(
         "{:>24} {:>8} {:>8} {:>8.3}",
         "single buffer",
@@ -201,15 +188,9 @@ fn ablation_small_pool() {
     let (index, _) = build_index(&collection);
     let smalls: Vec<&Vec<u8>> =
         index.records.iter().map(|(_, r)| r).filter(|r| r.len() <= 12).collect();
-    println!(
-        "(collection: {} records, {} small)",
-        index.records.len(),
-        smalls.len()
-    );
+    println!("(collection: {} records, {} small)", index.records.len(), smalls.len());
     println!("{:>28} {:>14} {:>14}", "Configuration", "File KB", "Aux KB");
-    for (label, with_small_pool) in
-        [("three pools (paper)", true), ("no small pool", false)]
-    {
+    for (label, with_small_pool) in [("three pools (paper)", true), ("no small pool", false)] {
         let device = paper_device();
         let pools = if with_small_pool {
             vec![
@@ -255,15 +236,12 @@ fn ablation_recovery() {
     println!("## Ablation 5: redo-log recovery overhead (read-dominated workload)");
     let device_plain = paper_device();
     let device_rec = paper_device();
-    let pools = vec![
-        PoolConfig { id: PoolId(0), kind: PoolKindConfig::Packed { segment_size: 8192 } },
-    ];
-    let mut plain =
-        MnemeFile::create(device_plain.create_file(), &pools, 16).expect("create");
+    let pools =
+        vec![PoolConfig { id: PoolId(0), kind: PoolKindConfig::Packed { segment_size: 8192 } }];
+    let mut plain = MnemeFile::create(device_plain.create_file(), &pools, 16).expect("create");
     let rec_inner = MnemeFile::create(device_rec.create_file(), &pools, 16).expect("create");
-    let mut rec =
-        poir_mneme::recovery::RecoverableFile::new(rec_inner, device_rec.create_file())
-            .expect("recoverable");
+    let mut rec = poir_mneme::recovery::RecoverableFile::new(rec_inner, device_rec.create_file())
+        .expect("recoverable");
     let payload = vec![7u8; 200];
     let mut plain_ids = Vec::new();
     let mut rec_ids = Vec::new();
@@ -322,12 +300,7 @@ fn ablation_compression() {
         let record = InvertedRecord::decode(bytes).expect("decode");
         compressed += bytes.len() as u64;
         // Uncompressed form: header + (doc, tf) pairs + positions as u32s.
-        raw += 12
-            + record
-                .postings
-                .iter()
-                .map(|p| 8 + 4 * p.positions.len() as u64)
-                .sum::<u64>();
+        raw += 12 + record.postings.iter().map(|p| 8 + 4 * p.positions.len() as u64).sum::<u64>();
     }
     println!(
         "compressed {} KB, raw {} KB, compression rate {:.0}%",

@@ -6,9 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use poir_btree::BTreeConfig;
 use poir_core::{BTreeInvertedFile, MnemeInvertedFile, MnemeOptions};
-use poir_inquery::{
-    codec, Dictionary, DocId, InvertedFileStore, InvertedRecord, Posting, TermId,
-};
+use poir_inquery::{codec, Dictionary, DocId, InvertedFileStore, InvertedRecord, Posting, TermId};
 use poir_mneme::{Buffer, LruBuffer, SegmentAddr, SegmentImage};
 use poir_storage::{CostModel, Device, DeviceConfig};
 
@@ -82,8 +80,7 @@ fn bench_buffer(c: &mut Criterion) {
             i += 1;
             let addr = SegmentAddr { offset: (i % 32) * 8192, len: 8192 };
             if buffer.lookup(addr).is_none() {
-                let evicted =
-                    buffer.insert(addr, SegmentImage::from_disk(vec![0u8; 8192]));
+                let evicted = buffer.insert(addr, SegmentImage::from_disk(vec![0u8; 8192]));
                 black_box(evicted);
             }
         });
@@ -154,6 +151,24 @@ fn bench_backends(c: &mut Criterion) {
             i = (i + 4999) % 20_000;
             black_box(mneme.fetch(dict_m.entry(TermId(i)).store_ref).unwrap())
         });
+    });
+    group.finish();
+
+    // One fetch per reference vs a single coalescing batch over the same
+    // references (206 spread across the whole file).
+    let refs: Vec<u64> =
+        (0..20_000u32).step_by(97).map(|i| dict_m.entry(TermId(i)).store_ref).collect();
+    let mut group = c.benchmark_group("record_fetch");
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    group.bench_function("serial_loop", |b| {
+        b.iter(|| {
+            for &r in &refs {
+                black_box(mneme.fetch(r).unwrap());
+            }
+        });
+    });
+    group.bench_function("fetch_batch", |b| {
+        b.iter(|| black_box(mneme.fetch_batch(&refs)));
     });
     group.finish();
 }

@@ -6,10 +6,8 @@ use poir_bench::{fig1_points, fig2_points, fig3_sweep, print, run_all, RunConfig
 use poir_inquery::StopWords;
 
 fn main() {
-    let scale: f64 = std::env::var("POIR_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.15);
+    let scale: f64 =
+        std::env::var("POIR_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15);
     let cfg = RunConfig { scale, top_k: 100 };
     eprintln!("# tables bench at scale {scale} (POIR_BENCH_SCALE to override)");
     let start = std::time::Instant::now();

@@ -43,11 +43,21 @@ fn main() {
         i += 1;
     }
     if targets.is_empty() || targets.contains("all") {
-        targets = ["table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2",
-            "fig3", "effectiveness"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        targets = [
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "fig1",
+            "fig2",
+            "fig3",
+            "effectiveness",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     let cfg = RunConfig { scale, top_k: 100 };
     eprintln!(

@@ -1,0 +1,209 @@
+//! Query throughput across execution modes on a TIPSTER-shaped collection.
+//!
+//! Runs the same query set four ways on the cached Mneme configuration —
+//! serial, batched prefetch, and parallel on 2 and 4 threads — and writes
+//! `BENCH_throughput.json` with queries-per-second plus the Table 5 I/O
+//! deltas (I = blocks input, A = file accesses per record lookup,
+//! B = Kbytes read) of each mode relative to serial.
+//!
+//! ```text
+//! cargo run --release -p poir-bench --bin throughput -- [--scale F] [--out PATH]
+//! ```
+//!
+//! QPS is measured against simulated wall-clock: real engine time plus the
+//! cost-model charge for the run's device I/O. Parallel runs divide the
+//! device time across threads (each worker drives its own I/O channel), so
+//! the speedup reflects overlapped I/O, not host parallelism.
+
+use poir_bench::paper_device;
+use poir_collections::{generate_queries, tipster, SyntheticCollection};
+use poir_core::{BackendKind, Engine, ExecMode, QuerySetReport, RankedResult};
+use poir_inquery::{Index, IndexBuilder, StopWords};
+
+const TOP_K: usize = 100;
+
+struct ModeResult {
+    name: &'static str,
+    threads: usize,
+    qps: f64,
+    wall_clock_secs: f64,
+    report: QuerySetReport,
+    rankings: Vec<Vec<RankedResult>>,
+}
+
+fn fresh_engine(index: &Index) -> Engine {
+    Engine::build(&paper_device(), BackendKind::MnemeCache, index.clone(), StopWords::default())
+        .expect("engine build")
+}
+
+fn ranking_key(rankings: &[Vec<RankedResult>]) -> Vec<Vec<(u32, u64)>> {
+    rankings.iter().map(|q| q.iter().map(|r| (r.doc.0, r.score.to_bits())).collect()).collect()
+}
+
+fn json_mode(m: &ModeResult, serial: &QuerySetReport) -> String {
+    let r = &m.report;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mode\": \"{}\",\n",
+            "      \"threads\": {},\n",
+            "      \"qps\": {:.3},\n",
+            "      \"wall_clock_secs\": {:.6},\n",
+            "      \"engine_secs\": {:.6},\n",
+            "      \"sys_io_secs\": {:.6},\n",
+            "      \"record_lookups\": {},\n",
+            "      \"io_inputs\": {},\n",
+            "      \"file_accesses\": {},\n",
+            "      \"accesses_per_lookup\": {:.4},\n",
+            "      \"kbytes_read\": {},\n",
+            "      \"delta_vs_serial\": {{\n",
+            "        \"io_inputs\": {},\n",
+            "        \"accesses_per_lookup\": {:.4},\n",
+            "        \"kbytes_read\": {}\n",
+            "      }}\n",
+            "    }}"
+        ),
+        m.name,
+        m.threads,
+        m.qps,
+        m.wall_clock_secs,
+        r.engine_time.as_secs_f64(),
+        r.sys_io_time.as_secs_f64(),
+        r.record_lookups,
+        r.io_inputs(),
+        r.io.file_accesses,
+        r.accesses_per_lookup(),
+        r.kbytes_read(),
+        r.io_inputs() as i64 - serial.io_inputs() as i64,
+        r.accesses_per_lookup() - serial.accesses_per_lookup(),
+        r.kbytes_read() as i64 - serial.kbytes_read() as i64,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.05f64;
+    let mut out_path = "BENCH_throughput.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0.0) {
+                Some(v) => scale = v,
+                None => {
+                    eprintln!("error: --scale needs a positive number");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: throughput [--scale F] [--out PATH] (unknown arg {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let paper = tipster().scale(scale);
+    eprintln!("# generating + indexing {} ({} docs)", paper.spec.name, paper.spec.num_docs);
+    let collection = SyntheticCollection::new(paper.spec.clone());
+    let mut builder = IndexBuilder::new(StopWords::default());
+    for doc in collection.documents() {
+        builder.add_document(&doc.name, &doc.text);
+    }
+    let index = builder.finish();
+    let queries: Vec<String> =
+        generate_queries(&collection, &paper.query_sets[0]).into_iter().map(|q| q.text).collect();
+    eprintln!("# {} queries, top-{TOP_K}", queries.len());
+
+    let mut results: Vec<ModeResult> = Vec::new();
+    for (name, mode) in
+        [("serial", ExecMode::Serial), ("batched_prefetch", ExecMode::BatchedPrefetch)]
+    {
+        let mut engine = fresh_engine(&index);
+        let (report, rankings) =
+            engine.run_query_set_mode(&queries, TOP_K, mode).expect("query set");
+        let wall = report.wall_clock_secs();
+        results.push(ModeResult {
+            name,
+            threads: 1,
+            qps: queries.len() as f64 / wall,
+            wall_clock_secs: wall,
+            report,
+            rankings,
+        });
+    }
+    for (name, threads) in [("parallel_2", 2usize), ("parallel_4", 4usize)] {
+        let mut engine = fresh_engine(&index);
+        let parallel =
+            engine.run_query_set_parallel(&queries, TOP_K, threads).expect("parallel run");
+        results.push(ModeResult {
+            name,
+            threads,
+            qps: parallel.qps(),
+            wall_clock_secs: parallel.wall_clock_secs(),
+            report: parallel.report,
+            rankings: parallel.rankings,
+        });
+    }
+
+    let serial_key = ranking_key(&results[0].rankings);
+    let identical = results.iter().all(|m| ranking_key(&m.rankings) == serial_key);
+    let serial_qps = results[0].qps;
+    let speedup_4 = results.iter().find(|m| m.threads == 4).map_or(0.0, |m| m.qps / serial_qps);
+
+    println!(
+        "{:<18} {:>8} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "mode", "threads", "QPS", "I", "A", "B(KB)", "lookups"
+    );
+    for m in &results {
+        println!(
+            "{:<18} {:>8} {:>12.2} {:>8} {:>8.3} {:>8} {:>8}",
+            m.name,
+            m.threads,
+            m.qps,
+            m.report.io_inputs(),
+            m.report.accesses_per_lookup(),
+            m.report.kbytes_read(),
+            m.report.record_lookups,
+        );
+    }
+    println!("identical rankings across modes: {identical}");
+    println!("parallel_4 speedup over serial: {speedup_4:.2}x");
+
+    let serial_report = results[0].report.clone();
+    let modes_json: Vec<String> = results.iter().map(|m| json_mode(m, &serial_report)).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"collection\": \"{}\",\n",
+            "  \"num_docs\": {},\n",
+            "  \"scale\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"top_k\": {},\n",
+            "  \"identical_rankings\": {},\n",
+            "  \"parallel_4_speedup_vs_serial\": {:.3},\n",
+            "  \"modes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        paper.spec.name,
+        paper.spec.num_docs,
+        scale,
+        queries.len(),
+        TOP_K,
+        identical,
+        speedup_4,
+        modes_json.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    eprintln!("# wrote {out_path}");
+
+    if !identical {
+        eprintln!("ERROR: rankings diverged across execution modes");
+        std::process::exit(1);
+    }
+}

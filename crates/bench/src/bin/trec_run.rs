@@ -41,13 +41,10 @@ fn main() {
     let cfg = RunConfig { scale, top_k: 1000 };
 
     let scaled = paper.clone().scale(cfg.scale);
-    let qs_spec = scaled
-        .query_sets
-        .get(qs_no.saturating_sub(1))
-        .unwrap_or_else(|| {
-            eprintln!("{} has {} query sets", scaled.spec.name, scaled.query_sets.len());
-            std::process::exit(2);
-        });
+    let qs_spec = scaled.query_sets.get(qs_no.saturating_sub(1)).unwrap_or_else(|| {
+        eprintln!("{} has {} query sets", scaled.spec.name, scaled.query_sets.len());
+        std::process::exit(2);
+    });
     eprintln!("indexing {} ({} docs) ...", scaled.spec.name, scaled.spec.num_docs);
     let collection = SyntheticCollection::new(scaled.spec.clone());
     let (index, _) = build_index(&collection);

@@ -129,8 +129,7 @@ pub fn run_collection(paper: &PaperCollection, cfg: &RunConfig) -> CollectionRes
             .iter_mut()
             .map(|e| e.run_query_set(&texts, cfg.top_k).expect("query set run"))
             .collect();
-        let reports: [QuerySetReport; 3] =
-            reports.try_into().expect("three configurations");
+        let reports: [QuerySetReport; 3] = reports.try_into().expect("three configurations");
         // Effectiveness (identical across configurations by construction).
         let mut aps = Vec::with_capacity(queries.len());
         for q in &queries {
@@ -207,21 +206,15 @@ pub fn fig2_points(
             }
         }
     }
-    let mut points: Vec<(usize, u32)> = uses
-        .into_iter()
-        .map(|(id, n)| (index.records[id.0 as usize].1.len(), n))
-        .collect();
+    let mut points: Vec<(usize, u32)> =
+        uses.into_iter().map(|(id, n)| (index.records[id.0 as usize].1.len(), n)).collect();
     points.sort_unstable();
     points
 }
 
 /// Figure 3: large-object buffer hit rate over a range of buffer sizes for
 /// one collection + query set. Returns `(large buffer bytes, hit rate)`.
-pub fn fig3_sweep(
-    paper: &PaperCollection,
-    cfg: &RunConfig,
-    points: usize,
-) -> Vec<(usize, f64)> {
+pub fn fig3_sweep(paper: &PaperCollection, cfg: &RunConfig, points: usize) -> Vec<(usize, f64)> {
     let scaled = paper.clone().scale(cfg.scale);
     let collection = SyntheticCollection::new(scaled.spec.clone());
     let (index, _) = build_index(&collection);
@@ -292,8 +285,7 @@ mod tests {
 
     #[test]
     fn fig2_reflects_query_usage() {
-        let collection =
-            SyntheticCollection::new(poir_collections::CollectionSpec::tiny(3));
+        let collection = SyntheticCollection::new(poir_collections::CollectionSpec::tiny(3));
         let (index, _) = build_index(&collection);
         let spec = poir_collections::QuerySetSpec {
             name: "t".into(),

@@ -17,7 +17,12 @@ pub fn table1(results: &[CollectionResults]) -> String {
         let _ = writeln!(
             out,
             "{:<12} {:>10} {:>15} {:>12} {:>12} {:>12}",
-            r.label, r.num_docs, r.collection_kbytes, r.record_count, r.btree_kbytes, r.mneme_kbytes
+            r.label,
+            r.num_docs,
+            r.collection_kbytes,
+            r.record_count,
+            r.btree_kbytes,
+            r.mneme_kbytes
         );
     }
     out
@@ -27,11 +32,7 @@ pub fn table1(results: &[CollectionResults]) -> String {
 pub fn table2(results: &[CollectionResults]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 2: Mneme buffer sizes. All sizes are in Kbytes.");
-    let _ = writeln!(
-        out,
-        "{:<12} {:>10} {:>10} {:>12}",
-        "Collection", "Small", "Medium", "Large"
-    );
+    let _ = writeln!(out, "{:<12} {:>10} {:>10} {:>12}", "Collection", "Small", "Medium", "Large");
     for r in results {
         let _ = writeln!(
             out,
@@ -53,7 +54,11 @@ fn improvement(btree: f64, cache: f64) -> f64 {
     }
 }
 
-fn time_table(results: &[CollectionResults], title: &str, f: impl Fn(&QuerySetResults, usize) -> f64) -> String {
+fn time_table(
+    results: &[CollectionResults],
+    title: &str,
+    f: impl Fn(&QuerySetResults, usize) -> f64,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let _ = writeln!(
@@ -206,8 +211,7 @@ pub fn fig2(label: &str, points: &[(usize, u32)]) -> String {
     let mut idx = 0usize;
     while idx < points.len() {
         let end = bucket * 2;
-        let slice: Vec<&(usize, u32)> =
-            points[idx..].iter().take_while(|p| p.0 < end).collect();
+        let slice: Vec<&(usize, u32)> = points[idx..].iter().take_while(|p| p.0 < end).collect();
         if !slice.is_empty() {
             let terms = slice.len();
             let uses: u32 = slice.iter().map(|p| p.1).sum();

@@ -208,7 +208,12 @@ impl BTreeFile {
     /// Materialises the record behind leaf entry `i`: the inline payload,
     /// or a single seek + read of its contiguous overflow span (one file
     /// access, as the legacy package fetched large records).
-    fn read_record(&self, leaf: &LeafPage, i: usize, entry: crate::page::LeafEntry) -> Result<Vec<u8>> {
+    fn read_record(
+        &self,
+        leaf: &LeafPage,
+        i: usize,
+        entry: crate::page::LeafEntry,
+    ) -> Result<Vec<u8>> {
         if entry.overflow == NIL_PAGE {
             if entry.inline_len != entry.total_len {
                 return Err(BTreeError::Corrupt(format!(

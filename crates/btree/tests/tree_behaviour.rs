@@ -78,8 +78,7 @@ fn bulk_build_equals_incremental_inserts() {
     let dev = device();
     let pairs: Vec<(u32, Vec<u8>)> =
         (0..300u32).map(|k| (k * 3, vec![(k % 251) as u8; (k % 40) as usize])).collect();
-    let mut bulk =
-        BTreeFile::bulk_build(dev.create_file(), config(), pairs.clone()).unwrap();
+    let mut bulk = BTreeFile::bulk_build(dev.create_file(), config(), pairs.clone()).unwrap();
     let mut incr = BTreeFile::create(dev.create_file(), config()).unwrap();
     for (k, v) in &pairs {
         incr.insert(*k, v).unwrap();

@@ -106,11 +106,7 @@ impl SyntheticCollection {
         let band_hi = (spec.vocab_size / 4).max(band_lo + 1);
         let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7091_c0de);
         let topic_terms = (0..spec.num_topics)
-            .map(|_| {
-                (0..spec.terms_per_topic)
-                    .map(|_| rng.gen_range(band_lo..band_hi))
-                    .collect()
-            })
+            .map(|_| (0..spec.terms_per_topic).map(|_| rng.gen_range(band_lo..band_hi)).collect())
             .collect();
         SyntheticCollection { spec, zipf, topic_terms }
     }
@@ -144,7 +140,8 @@ impl SyntheticCollection {
     /// invoking `f(rank, is_rare)` for every token.
     fn compose(&self, doc_id: usize, mut f: impl FnMut(usize, bool)) {
         assert!(doc_id < self.spec.num_docs);
-        let mut rng = StdRng::seed_from_u64(self.spec.seed.wrapping_add(doc_id as u64 * 2_654_435_761));
+        let mut rng =
+            StdRng::seed_from_u64(self.spec.seed.wrapping_add(doc_id as u64 * 2_654_435_761));
         let topic = self.topic_of(doc_id);
         let terms = &self.topic_terms[topic];
         let len_range = (self.spec.mean_doc_len / 2).max(4)..=self.spec.mean_doc_len * 3 / 2;
@@ -225,17 +222,12 @@ mod tests {
 
     #[test]
     fn topic_terms_appear_more_often_within_their_topic() {
-        let spec = CollectionSpec {
-            topic_mix: 0.3,
-            ..CollectionSpec::tiny(5)
-        };
+        let spec = CollectionSpec { topic_mix: 0.3, ..CollectionSpec::tiny(5) };
         let c = SyntheticCollection::new(spec);
         let topic = 3usize;
         let term = word(c.topic_terms(topic)[0]);
         let count_in = |docs: &[u32]| -> usize {
-            docs.iter()
-                .map(|&d| c.document(d as usize).text.matches(&term).count())
-                .sum()
+            docs.iter().map(|&d| c.document(d as usize).text.matches(&term).count()).sum()
         };
         let on_topic = c.docs_of_topic(topic, 20);
         let off_topic = c.docs_of_topic((topic + 1) % 10, 20);

@@ -33,21 +33,14 @@ impl PaperCollection {
     /// Query sets and per-document sizes are unchanged.
     pub fn scale(mut self, factor: f64) -> Self {
         assert!(factor > 0.0);
-        self.spec.num_docs = ((self.spec.num_docs as f64 * factor) as usize)
-            .max(self.spec.num_topics * 2);
+        self.spec.num_docs =
+            ((self.spec.num_docs as f64 * factor) as usize).max(self.spec.num_topics * 2);
         self
     }
 }
 
 fn qs(name: &str, style: QueryStyle, mean_terms: usize, seed: u64) -> QuerySetSpec {
-    QuerySetSpec {
-        name: name.into(),
-        style,
-        num_queries: 50,
-        mean_terms,
-        reuse_rate: 0.35,
-        seed,
-    }
+    QuerySetSpec { name: name.into(), style, num_queries: 50, mean_terms, reuse_rate: 0.35, seed }
 }
 
 /// CACM: 3,204 short abstracts; three representations of the same 50

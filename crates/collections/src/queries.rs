@@ -145,10 +145,8 @@ fn render(terms: &[String], style: QueryStyle, rng: &mut StdRng) -> String {
             format!("#sum({})", parts.join(" "))
         }
         QueryStyle::WeightedEnriched => {
-            let mut parts: Vec<String> = terms
-                .iter()
-                .map(|t| format!("{} {}", rng.gen_range(1..=5), t))
-                .collect();
+            let mut parts: Vec<String> =
+                terms.iter().map(|t| format!("{} {}", rng.gen_range(1..=5), t)).collect();
             if terms.len() >= 2 {
                 parts.push(format!("2 #phrase({} {})", terms[0], terms[1]));
             }
@@ -204,10 +202,11 @@ mod tests {
         let nl_set = generate(&c, &spec(QueryStyle::NaturalLanguage, 9));
         // Same underlying terms: strip the boolean syntax and compare.
         for (a, n) in and_set.iter().zip(nl_set.iter()) {
-            let stripped: String =
-                a.text.replace("#and(", "").replace(')', "");
-            assert_eq!(stripped.split_whitespace().collect::<Vec<_>>(),
-                n.text.split_whitespace().collect::<Vec<_>>());
+            let stripped: String = a.text.replace("#and(", "").replace(')', "");
+            assert_eq!(
+                stripped.split_whitespace().collect::<Vec<_>>(),
+                n.text.split_whitespace().collect::<Vec<_>>()
+            );
             assert_eq!(a.topic, n.topic);
         }
     }

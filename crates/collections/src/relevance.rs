@@ -18,9 +18,7 @@ pub const MAX_RELEVANT: usize = 200;
 
 /// Judgments for one generated query.
 pub fn judgments_for(collection: &SyntheticCollection, query: &GeneratedQuery) -> Judgments {
-    Judgments::new(
-        collection.docs_of_topic(query.topic, MAX_RELEVANT).into_iter().map(DocId),
-    )
+    Judgments::new(collection.docs_of_topic(query.topic, MAX_RELEVANT).into_iter().map(DocId))
 }
 
 #[cfg(test)]

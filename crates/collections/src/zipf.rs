@@ -223,14 +223,10 @@ mod tests {
         let shallow = PowerLaw::new(1_000_000, 1.0);
         let steep = PowerLaw::new(1_000_000, 1.6);
         let mut rng = StdRng::seed_from_u64(4);
-        let head = |p: &PowerLaw, rng: &mut StdRng| {
-            (0..50_000).filter(|_| p.sample(rng) < 100).count()
-        };
+        let head =
+            |p: &PowerLaw, rng: &mut StdRng| (0..50_000).filter(|_| p.sample(rng) < 100).count();
         let h_shallow = head(&shallow, &mut rng);
         let h_steep = head(&steep, &mut rng);
-        assert!(
-            h_steep > h_shallow,
-            "s=1.6 head {h_steep} must exceed s=1.0 head {h_shallow}"
-        );
+        assert!(h_steep > h_shallow, "s=1.6 head {h_steep} must exceed s=1.0 head {h_shallow}");
     }
 }

@@ -34,11 +34,8 @@ impl BTreeInvertedFile {
         records: &[(TermId, Vec<u8>)],
         dict: &mut Dictionary,
     ) -> Result<Self> {
-        let tree = BTreeFile::bulk_build(
-            handle,
-            config,
-            records.iter().map(|(t, r)| (t.0, r.clone())),
-        )?;
+        let tree =
+            BTreeFile::bulk_build(handle, config, records.iter().map(|(t, r)| (t.0, r.clone())))?;
         for (term, _) in records {
             dict.entry_mut(*term).store_ref = term.0 as u64;
         }

@@ -69,11 +69,7 @@ impl ChunkCursor {
             return Err(CoreError::DanglingRef(root.raw() as u64));
         }
         let total_len = u64::from_le_bytes(payload.try_into().unwrap()) as usize;
-        let chunks = raw_refs
-            .into_iter()
-            .filter_map(GlobalId::unpack)
-            .map(|g| g.object)
-            .collect();
+        let chunks = raw_refs.into_iter().filter_map(GlobalId::unpack).map(|g| g.object).collect();
         Ok(ChunkCursor { chunks, next: 0, total_len })
     }
 
@@ -158,11 +154,7 @@ mod tests {
         let delta = dev.stats().snapshot().since(&before);
         // Far fewer bytes than the whole record: root + one chunk segment
         // (plus location buckets), not 50 KB.
-        assert!(
-            delta.bytes_read < 25_000,
-            "incremental read moved {} bytes",
-            delta.bytes_read
-        );
+        assert!(delta.bytes_read < 25_000, "incremental read moved {} bytes", delta.bytes_read);
     }
 
     #[test]

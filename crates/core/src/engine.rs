@@ -30,6 +30,18 @@ use crate::buffer_sizing::{paper_heuristic, BufferSizes};
 use crate::error::{CoreError, Result};
 use crate::mneme_store::{MnemeInvertedFile, MnemeOptions};
 
+/// How [`Engine::run_query_set_mode`] schedules record I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One store fetch per leaf term during evaluation (the paper's
+    /// original procedure).
+    Serial,
+    /// A prefetch pass hands every leaf term's reference to the store
+    /// before evaluation, so the store can coalesce adjacent segments into
+    /// gathered reads and evaluation fetches become buffer hits.
+    BatchedPrefetch,
+}
+
 /// The three storage configurations of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackendKind {
@@ -126,6 +138,41 @@ impl QuerySetReport {
         self.io.kbytes_read()
     }
 }
+
+/// Measurements and results from a parallel query-set run
+/// (see [`Engine::run_query_set_parallel`]).
+#[derive(Debug, Clone)]
+pub struct ParallelSetReport {
+    /// The usual per-set measurements (I/O counters cover all threads).
+    pub report: QuerySetReport,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Each query's ranking, in query order.
+    pub rankings: Vec<Vec<RankedResult>>,
+}
+
+impl ParallelSetReport {
+    /// Simulated wall-clock seconds: real engine time plus the simulated
+    /// system + I/O time divided across threads — each worker drives its
+    /// own I/O channel, so device time overlaps instead of serializing.
+    pub fn wall_clock_secs(&self) -> f64 {
+        self.report.engine_time.as_secs_f64()
+            + self.report.sys_io_time.as_secs_f64() / self.threads as f64
+    }
+
+    /// Queries per simulated wall-clock second.
+    pub fn qps(&self) -> f64 {
+        let wall = self.wall_clock_secs();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.report.queries as f64 / wall
+        }
+    }
+}
+
+/// One worker thread's output: `(query_index, scored_docs)` pairs.
+type ThreadResults = Vec<(usize, Vec<poir_inquery::ScoredDoc>)>;
 
 /// The integrated IR system.
 pub struct Engine {
@@ -239,7 +286,9 @@ impl Engine {
     pub fn set_buffer_sizes(&mut self, sizes: BufferSizes) -> Result<()> {
         match &mut self.store {
             StoreImpl::Mneme(s) => s.attach_buffers(sizes),
-            StoreImpl::BTree(_) => Err(CoreError::Unsupported("buffer sizing on the B-tree backend")),
+            StoreImpl::BTree(_) => {
+                Err(CoreError::Unsupported("buffer sizing on the B-tree backend"))
+            }
         }
     }
 
@@ -247,7 +296,9 @@ impl Engine {
     pub fn paper_buffer_sizes(&self) -> Result<BufferSizes> {
         match &self.store {
             StoreImpl::Mneme(s) => Ok(paper_heuristic(s.largest_record(), 8192)),
-            StoreImpl::BTree(_) => Err(CoreError::Unsupported("buffer sizing on the B-tree backend")),
+            StoreImpl::BTree(_) => {
+                Err(CoreError::Unsupported("buffer sizing on the B-tree backend"))
+            }
         }
     }
 
@@ -273,11 +324,7 @@ impl Engine {
     }
 
     /// Explains the belief `text` assigns to one document, node by node.
-    pub fn explain(
-        &mut self,
-        text: &str,
-        doc: DocId,
-    ) -> Result<poir_inquery::query::Explanation> {
+    pub fn explain(&mut self, text: &str, doc: DocId) -> Result<poir_inquery::query::Explanation> {
         let parsed = poir_inquery::parse_query(text, &self.stop)?;
         let store = self.store.as_store();
         let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
@@ -310,6 +357,18 @@ impl Engine {
         queries: &[S],
         k: usize,
     ) -> Result<QuerySetReport> {
+        self.run_query_set_mode(queries, k, ExecMode::Serial).map(|(report, _)| report)
+    }
+
+    /// [`Engine::run_query_set`] with an explicit I/O scheduling mode,
+    /// additionally returning each query's ranking (for cross-mode equality
+    /// checks).
+    pub fn run_query_set_mode<S: AsRef<str>>(
+        &mut self,
+        queries: &[S],
+        k: usize,
+        mode: ExecMode,
+    ) -> Result<(QuerySetReport, Vec<Vec<RankedResult>>)> {
         // Parse outside the timed region is NOT what the paper does —
         // "timing was begun just before query processing started" — parsing
         // is part of query processing, so it stays inside.
@@ -319,33 +378,122 @@ impl Engine {
         }
         let lookups_before = self.store.as_store().record_lookups();
         let io_before = self.device.stats().snapshot();
+        let mut rankings = Vec::with_capacity(queries.len());
         let start = Instant::now();
         for q in queries {
             let parsed = poir_inquery::parse_query(q.as_ref(), &self.stop)?;
             let store = self.store.as_store();
             let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
+            if mode == ExecMode::BatchedPrefetch {
+                ev.prefetch(&parsed);
+            }
             if self.reserve_enabled {
                 ev.reserve(&parsed);
             }
             let result = ev.rank(&parsed, k);
             ev.release_reservations();
-            result?;
+            rankings.push(result?);
         }
         let engine_time = start.elapsed();
         let io = self.device.stats().snapshot().since(&io_before);
-        let record_lookups = self.store.as_store().record_lookups() - lookups_before;
+        // Saturating: a caller resetting store counters between runs must
+        // read as "no lookups", not underflow.
+        let record_lookups = self.store.as_store().record_lookups().saturating_sub(lookups_before);
         let buffer_stats = match &self.store {
             StoreImpl::Mneme(s) => Some(s.buffer_stats()?),
             StoreImpl::BTree(_) => None,
         };
-        Ok(QuerySetReport {
+        let report = QuerySetReport {
             queries: queries.len(),
             engine_time,
             sys_io_time: self.device.cost_model().charge(&io),
             io,
             record_lookups,
             buffer_stats,
-        })
+        };
+        let rankings = rankings.into_iter().map(|r| self.to_ranked_results(r)).collect();
+        Ok((report, rankings))
+    }
+
+    fn to_ranked_results(&self, scored: Vec<poir_inquery::ScoredDoc>) -> Vec<RankedResult> {
+        scored
+            .into_iter()
+            .map(|s| RankedResult {
+                doc: s.doc,
+                name: self.docs.info(s.doc).name.clone(),
+                score: s.score,
+            })
+            .collect()
+    }
+
+    /// Processes a query set on `threads` scoped worker threads sharing one
+    /// read-only store view (Mneme backends only — the B-tree store has no
+    /// concurrent read path).
+    ///
+    /// Queries are dealt round-robin across threads; each thread runs the
+    /// batched-prefetch pipeline against [`MnemeInvertedFile::shared_view`],
+    /// whose fetches take `&self` and synchronize on per-pool buffer locks.
+    /// Rankings come back in query order. Timing and I/O statistics are
+    /// measured exactly as in the serial modes;
+    /// [`ParallelSetReport::wall_clock_secs`] divides the simulated I/O time
+    /// across threads (striped I/O channels).
+    pub fn run_query_set_parallel<S: AsRef<str> + Sync>(
+        &mut self,
+        queries: &[S],
+        k: usize,
+        threads: usize,
+    ) -> Result<ParallelSetReport> {
+        let threads = threads.max(1);
+        self.device.chill();
+        let StoreImpl::Mneme(store) = &mut self.store else {
+            return Err(CoreError::Unsupported("parallel query execution on the B-tree backend"));
+        };
+        store.reset_buffer_stats();
+        let store: &MnemeInvertedFile = store;
+        let lookups_before = store.record_lookups();
+        let io_before = self.device.stats().snapshot();
+        let dict = &self.dict;
+        let docs = &self.docs;
+        let stop = &self.stop;
+        let params = self.params;
+        let start = Instant::now();
+        let mut per_thread: Vec<Result<ThreadResults>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut view = store.shared_view();
+                        let mut out = Vec::new();
+                        for qi in (t..queries.len()).step_by(threads) {
+                            let parsed = poir_inquery::parse_query(queries[qi].as_ref(), stop)?;
+                            let mut ev = Evaluator::new(&mut view, dict, docs, stop, params);
+                            ev.prefetch(&parsed);
+                            out.push((qi, ev.rank(&parsed, k)?));
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("query thread panicked")).collect()
+        });
+        let engine_time = start.elapsed();
+        let mut merged: Vec<Vec<poir_inquery::ScoredDoc>> = vec![Vec::new(); queries.len()];
+        for shard in per_thread.drain(..) {
+            for (qi, ranking) in shard? {
+                merged[qi] = ranking;
+            }
+        }
+        let io = self.device.stats().snapshot().since(&io_before);
+        let record_lookups = store.record_lookups().saturating_sub(lookups_before);
+        let report = QuerySetReport {
+            queries: queries.len(),
+            engine_time,
+            sys_io_time: self.device.cost_model().charge(&io),
+            io,
+            record_lookups,
+            buffer_stats: Some(store.buffer_stats()?),
+        };
+        let rankings = merged.into_iter().map(|r| self.to_ranked_results(r)).collect();
+        Ok(ParallelSetReport { report, threads, rankings })
     }
 
     /// Incrementally adds a document to the collection — the dynamic-update
@@ -371,10 +519,12 @@ impl Engine {
                 Some(id) => {
                     let store_ref = self.dict.entry(id).store_ref;
                     let bytes = store.fetch(store_ref)?;
-                    let mut record = poir_inquery::InvertedRecord::decode(&bytes)
-                        .ok_or_else(|| CoreError::Inquery(poir_inquery::InqueryError::BadRecord(
-                            format!("record for {token:?}"),
-                        )))?;
+                    let mut record =
+                        poir_inquery::InvertedRecord::decode(&bytes).ok_or_else(|| {
+                            CoreError::Inquery(poir_inquery::InqueryError::BadRecord(format!(
+                                "record for {token:?}"
+                            )))
+                        })?;
                     record.cf += tf as u64;
                     record.max_tf = record.max_tf.max(tf);
                     record.postings.push(posting);

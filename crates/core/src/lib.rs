@@ -27,7 +27,9 @@ pub mod multi_file;
 
 pub use btree_store::BTreeInvertedFile;
 pub use buffer_sizing::{paper_heuristic, BufferSizes};
-pub use engine::{BackendKind, Engine, QuerySetReport, RankedResult};
+pub use engine::{BackendKind, Engine, ExecMode, ParallelSetReport, QuerySetReport, RankedResult};
 pub use error::{CoreError, Result};
-pub use mneme_store::{pool_for, pool_for_with, MnemeInvertedFile, MnemeOptions, LARGE_MIN, SMALL_MAX};
+pub use mneme_store::{
+    pool_for, pool_for_with, MnemeInvertedFile, MnemeOptions, SharedMnemeView, LARGE_MIN, SMALL_MAX,
+};
 pub use multi_file::{MultiFileInvertedFile, MultiFileOptions};

@@ -19,10 +19,10 @@
 //! and memory requirements"; the query processor reserves already-resident
 //! objects before evaluation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use poir_inquery::{Dictionary, InvertedFileStore, TermId};
-use poir_mneme::{
-    LruBuffer, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig,
-};
+use poir_mneme::{LruBuffer, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig};
 use poir_storage::FileHandle;
 
 use crate::buffer_sizing::BufferSizes;
@@ -82,14 +82,19 @@ fn pool_configs(medium_segment: usize) -> Vec<PoolConfig> {
             id: MEDIUM_POOL,
             kind: PoolKindConfig::Packed { segment_size: medium_segment as u32 },
         },
-        PoolConfig { id: LARGE_POOL, kind: PoolKindConfig::SegmentPerObject { embedded_refs: false } },
+        PoolConfig {
+            id: LARGE_POOL,
+            kind: PoolKindConfig::SegmentPerObject { embedded_refs: false },
+        },
     ]
 }
 
 /// The Mneme-backed inverted file.
 pub struct MnemeInvertedFile {
     file: MnemeFile,
-    lookups: u64,
+    /// Record-lookup counter, shared with every [`SharedMnemeView`] so the
+    /// "A" statistic aggregates across parallel query threads.
+    lookups: AtomicU64,
     largest_record: usize,
     /// Records above this size go to the large pool. Usually [`LARGE_MIN`];
     /// lower when the medium segment is too small to hold 4 KB objects
@@ -121,7 +126,8 @@ impl MnemeInvertedFile {
             // Aim for ~64 logical segments per bucket; records/255 lsegs.
             ((records.len() as u32 / 255 / 64) + 1).next_power_of_two().max(16)
         };
-        let mut file = MnemeFile::create(handle, &pool_configs(options.medium_segment), num_buckets)?;
+        let mut file =
+            MnemeFile::create(handle, &pool_configs(options.medium_segment), num_buckets)?;
         // The medium pool cannot hold objects beyond its segment payload;
         // shrink the boundary when an ablation uses tiny segments.
         let large_min = LARGE_MIN.min(options.medium_segment - 28);
@@ -132,17 +138,21 @@ impl MnemeInvertedFile {
             dict.entry_mut(*term).store_ref = id.raw() as u64;
         }
         file.flush()?;
-        Ok(MnemeInvertedFile { file, lookups: 0, largest_record: largest, large_min })
+        Ok(MnemeInvertedFile {
+            file,
+            lookups: AtomicU64::new(0),
+            largest_record: largest,
+            large_min,
+        })
     }
 
     /// Opens an existing Mneme inverted file. `largest_record` (persisted by
     /// the engine alongside the dictionary) drives buffer sizing.
     pub fn open(handle: FileHandle, largest_record: usize) -> Result<Self> {
         let file = MnemeFile::open(handle)?;
-        let large_min = file
-            .pool_max_object_len(MEDIUM_POOL)?
-            .map_or(LARGE_MIN, |m| LARGE_MIN.min(m));
-        Ok(MnemeInvertedFile { file, lookups: 0, largest_record, large_min })
+        let large_min =
+            file.pool_max_object_len(MEDIUM_POOL)?.map_or(LARGE_MIN, |m| LARGE_MIN.min(m));
+        Ok(MnemeInvertedFile { file, lookups: AtomicU64::new(0), largest_record, large_min })
     }
 
     /// Size in bytes of the collection's largest inverted record.
@@ -170,7 +180,7 @@ impl MnemeInvertedFile {
     }
 
     /// Resets the buffer statistics (between query sets).
-    pub fn reset_buffer_stats(&mut self) {
+    pub fn reset_buffer_stats(&self) {
         self.file.reset_buffer_stats();
     }
 
@@ -229,11 +239,51 @@ impl MnemeInvertedFile {
     }
 }
 
+/// Fetches many records through a shared `MnemeFile`, resolving references
+/// up front and letting the file coalesce adjacent-segment runs into single
+/// gathered reads. One record lookup is counted per reference.
+fn fetch_batch_via(
+    file: &MnemeFile,
+    lookups: &AtomicU64,
+    store_refs: &[u64],
+) -> Vec<poir_inquery::Result<Vec<u8>>> {
+    lookups.fetch_add(store_refs.len() as u64, Ordering::Relaxed);
+    let ids: Vec<Option<ObjectId>> =
+        store_refs.iter().map(|&r| ObjectId::from_raw(r as u32)).collect();
+    let good: Vec<ObjectId> = ids.iter().copied().flatten().collect();
+    let mut fetched = file.get_batch(&good).into_iter();
+    store_refs
+        .iter()
+        .zip(&ids)
+        .map(|(&r, id)| match id {
+            Some(_) => fetched
+                .next()
+                .expect("one result per resolved id")
+                .map_err(|e| CoreError::from(e).into()),
+            None => Err(CoreError::DanglingRef(r).into()),
+        })
+        .collect()
+}
+
+fn prefetch_via(file: &MnemeFile, store_refs: &[u64]) {
+    let ids: Vec<ObjectId> =
+        store_refs.iter().filter_map(|&r| ObjectId::from_raw(r as u32)).collect();
+    file.prefetch(&ids);
+}
+
 impl InvertedFileStore for MnemeInvertedFile {
     fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
-        self.lookups += 1;
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let id = Self::object_id(store_ref)?;
         Ok(self.file.get(id).map_err(CoreError::from)?)
+    }
+
+    fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<poir_inquery::Result<Vec<u8>>> {
+        fetch_batch_via(&self.file, &self.lookups, store_refs)
+    }
+
+    fn prefetch(&mut self, store_refs: &[u64]) {
+        prefetch_via(&self.file, store_refs);
     }
 
     fn reserve(&mut self, store_refs: &[u64]) {
@@ -247,7 +297,53 @@ impl InvertedFileStore for MnemeInvertedFile {
     }
 
     fn record_lookups(&self) -> u64 {
-        self.lookups
+        self.lookups.load(Ordering::Relaxed)
+    }
+}
+
+/// A read-only view of a [`MnemeInvertedFile`] usable from multiple threads
+/// at once: the Mneme read path takes `&self`, so any number of views can
+/// fetch concurrently. Lookup counts feed the owner's shared counter.
+#[derive(Clone, Copy)]
+pub struct SharedMnemeView<'a> {
+    file: &'a MnemeFile,
+    lookups: &'a AtomicU64,
+}
+
+impl MnemeInvertedFile {
+    /// A concurrently usable read-only store view (see [`SharedMnemeView`]).
+    pub fn shared_view(&self) -> SharedMnemeView<'_> {
+        SharedMnemeView { file: &self.file, lookups: &self.lookups }
+    }
+}
+
+impl InvertedFileStore for SharedMnemeView<'_> {
+    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let id = MnemeInvertedFile::object_id(store_ref)?;
+        Ok(self.file.get(id).map_err(CoreError::from)?)
+    }
+
+    fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<poir_inquery::Result<Vec<u8>>> {
+        fetch_batch_via(self.file, self.lookups, store_refs)
+    }
+
+    fn prefetch(&mut self, store_refs: &[u64]) {
+        prefetch_via(self.file, store_refs);
+    }
+
+    fn reserve(&mut self, store_refs: &[u64]) {
+        let ids: Vec<ObjectId> =
+            store_refs.iter().filter_map(|&r| ObjectId::from_raw(r as u32)).collect();
+        self.file.reserve(&ids);
+    }
+
+    fn release_reservations(&mut self) {
+        self.file.release_reservations();
+    }
+
+    fn record_lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
     }
 }
 
@@ -325,9 +421,13 @@ mod tests {
         let handle = dev.create_file();
         let largest;
         {
-            let store =
-                MnemeInvertedFile::build(handle.clone(), MnemeOptions::default(), &records, &mut dict)
-                    .unwrap();
+            let store = MnemeInvertedFile::build(
+                handle.clone(),
+                MnemeOptions::default(),
+                &records,
+                &mut dict,
+            )
+            .unwrap();
             largest = store.largest_record();
         }
         let mut store = MnemeInvertedFile::open(handle, largest).unwrap();
@@ -348,9 +448,13 @@ mod tests {
     fn update_within_pool_keeps_the_reference() {
         let dev = Device::with_defaults();
         let (mut dict, records) = sample_records();
-        let mut store =
-            MnemeInvertedFile::build(dev.create_file(), MnemeOptions::default(), &records, &mut dict)
-                .unwrap();
+        let mut store = MnemeInvertedFile::build(
+            dev.create_file(),
+            MnemeOptions::default(),
+            &records,
+            &mut dict,
+        )
+        .unwrap();
         let (term, _) = records.iter().find(|(_, b)| b.len() > 100 && b.len() < 4000).unwrap();
         let r = dict.entry(*term).store_ref;
         let new_bytes = vec![9u8; 200];
@@ -363,9 +467,13 @@ mod tests {
     fn update_across_pools_migrates() {
         let dev = Device::with_defaults();
         let (mut dict, records) = sample_records();
-        let mut store =
-            MnemeInvertedFile::build(dev.create_file(), MnemeOptions::default(), &records, &mut dict)
-                .unwrap();
+        let mut store = MnemeInvertedFile::build(
+            dev.create_file(),
+            MnemeOptions::default(),
+            &records,
+            &mut dict,
+        )
+        .unwrap();
         let (term, _) = records.iter().find(|(_, b)| b.len() <= 12).unwrap();
         let r = dict.entry(*term).store_ref;
         // A small record grows past the small pool's 12-byte limit.
@@ -385,9 +493,13 @@ mod tests {
     fn insert_and_delete_records() {
         let dev = Device::with_defaults();
         let (mut dict, records) = sample_records();
-        let mut store =
-            MnemeInvertedFile::build(dev.create_file(), MnemeOptions::default(), &records, &mut dict)
-                .unwrap();
+        let mut store = MnemeInvertedFile::build(
+            dev.create_file(),
+            MnemeOptions::default(),
+            &records,
+            &mut dict,
+        )
+        .unwrap();
         let r = store.insert_record(&[3u8; 50]).unwrap();
         assert_eq!(store.fetch(r).unwrap(), vec![3u8; 50]);
         store.delete_record(r).unwrap();
@@ -401,9 +513,13 @@ mod tests {
         let (mut dict, records) = sample_records();
         let largest;
         {
-            let mut store =
-                MnemeInvertedFile::build(handle.clone(), MnemeOptions::default(), &records, &mut dict)
-                    .unwrap();
+            let mut store = MnemeInvertedFile::build(
+                handle.clone(),
+                MnemeOptions::default(),
+                &records,
+                &mut dict,
+            )
+            .unwrap();
             largest = store.largest_record();
             store.flush().unwrap();
         }

@@ -29,7 +29,10 @@ fn pool_configs(medium_segment: usize) -> Vec<PoolConfig> {
             id: MEDIUM_POOL,
             kind: PoolKindConfig::Packed { segment_size: medium_segment as u32 },
         },
-        PoolConfig { id: LARGE_POOL, kind: PoolKindConfig::SegmentPerObject { embedded_refs: false } },
+        PoolConfig {
+            id: LARGE_POOL,
+            kind: PoolKindConfig::SegmentPerObject { embedded_refs: false },
+        },
     ]
 }
 
@@ -193,10 +196,7 @@ impl InvertedFileStore for MultiFileInvertedFile {
     fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
         self.lookups += 1;
         let (slot, object) = Self::resolve(store_ref)?;
-        let file = self
-            .files
-            .get_mut(slot)
-            .ok_or(CoreError::DanglingRef(store_ref))?;
+        let file = self.files.get_mut(slot).ok_or(CoreError::DanglingRef(store_ref))?;
         Ok(file.get(object).map_err(CoreError::from)?)
     }
 
@@ -254,13 +254,9 @@ mod tests {
     fn single_file_when_budget_suffices() {
         let dev = Device::with_defaults();
         let (mut dict, recs) = records(100);
-        let store = MultiFileInvertedFile::build(
-            &dev,
-            MultiFileOptions::default(),
-            &recs,
-            &mut dict,
-        )
-        .unwrap();
+        let store =
+            MultiFileInvertedFile::build(&dev, MultiFileOptions::default(), &recs, &mut dict)
+                .unwrap();
         assert_eq!(store.file_count(), 1);
     }
 
@@ -301,19 +297,11 @@ mod tests {
     fn dangling_refs_error() {
         let dev = Device::with_defaults();
         let (mut dict, recs) = records(10);
-        let mut store = MultiFileInvertedFile::build(
-            &dev,
-            MultiFileOptions::default(),
-            &recs,
-            &mut dict,
-        )
-        .unwrap();
+        let mut store =
+            MultiFileInvertedFile::build(&dev, MultiFileOptions::default(), &recs, &mut dict)
+                .unwrap();
         // A reference into a file slot that does not exist.
-        let bogus = GlobalId {
-            file: FileSlot(9),
-            object: ObjectId::from_raw(0).unwrap(),
-        }
-        .pack();
+        let bogus = GlobalId { file: FileSlot(9), object: ObjectId::from_raw(0).unwrap() }.pack();
         assert!(store.fetch(bogus).is_err());
     }
 }

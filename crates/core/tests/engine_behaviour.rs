@@ -85,11 +85,7 @@ fn mneme_needs_fewer_accesses_per_lookup_than_btree() {
     let (btree, nocache, cache) = (&reports[0], &reports[1], &reports[2]);
     // Table 5's shape: the B-tree needs > 1 access per lookup; plain Mneme
     // is close to 1; cached Mneme drops below the no-cache version.
-    assert!(
-        btree.accesses_per_lookup() > 1.0,
-        "B-tree A = {}",
-        btree.accesses_per_lookup()
-    );
+    assert!(btree.accesses_per_lookup() > 1.0, "B-tree A = {}", btree.accesses_per_lookup());
     assert!(
         nocache.accesses_per_lookup() < btree.accesses_per_lookup(),
         "Mneme no-cache A = {} must beat B-tree {}",
@@ -153,8 +149,7 @@ fn save_and_reopen_round_trips() {
         engine.save(&meta).unwrap();
         let store_handle = engine.store_handle().clone();
         drop(engine);
-        let mut reopened =
-            Engine::open(&dev, store_handle, &meta, StopWords::default()).unwrap();
+        let mut reopened = Engine::open(&dev, store_handle, &meta, StopWords::default()).unwrap();
         assert_eq!(reopened.backend(), backend);
         let got = reopened.query("w3 w17 object", 10).unwrap();
         assert_eq!(expected, got, "backend {}", backend.label());
@@ -168,8 +163,7 @@ fn incremental_add_makes_documents_findable() {
         Engine::build(&dev, BackendKind::MnemeCache, build_index(50), StopWords::default())
             .unwrap();
     assert!(engine.query("zyzzyva", 5).unwrap().is_empty());
-    let doc =
-        engine.add_document("NEW-0001", "the zyzzyva weevil object store").unwrap();
+    let doc = engine.add_document("NEW-0001", "the zyzzyva weevil object store").unwrap();
     let hits = engine.query("zyzzyva", 5).unwrap();
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].doc, doc);

@@ -51,11 +51,8 @@ impl BeliefParams {
         if tf == 0 || df == 0 || stats.num_docs == 0 {
             return self.default_belief;
         }
-        let dl_ratio = if stats.avg_doc_len > 0.0 {
-            doc_len as f64 / stats.avg_doc_len
-        } else {
-            1.0
-        };
+        let dl_ratio =
+            if stats.avg_doc_len > 0.0 { doc_len as f64 / stats.avg_doc_len } else { 1.0 };
         let t = tf as f64 / (tf as f64 + self.tf_base + self.len_factor * dl_ratio);
         let n = stats.num_docs as f64;
         let i = ((n + 0.5) / df as f64).ln() / (n + 1.0).ln();

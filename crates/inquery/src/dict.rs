@@ -172,10 +172,7 @@ impl Dictionary {
 
     /// Iterates `(id, term, entry)` in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, &TermEntry)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (TermId(i as u32), self.slot_term(s), &s.entry))
+        self.slots.iter().enumerate().map(|(i, s)| (TermId(i as u32), self.slot_term(s), &s.entry))
     }
 
     /// Serializes the dictionary (buckets are rebuilt on load).
@@ -221,10 +218,8 @@ impl Dictionary {
             if str_off as usize + str_len as usize > dict.arena.len() {
                 return None;
             }
-            std::str::from_utf8(
-                &dict.arena[str_off as usize..str_off as usize + str_len as usize],
-            )
-            .ok()?;
+            std::str::from_utf8(&dict.arena[str_off as usize..str_off as usize + str_len as usize])
+                .ok()?;
             dict.slots.push(Slot {
                 str_off,
                 str_len,

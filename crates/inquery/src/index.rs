@@ -189,7 +189,11 @@ mod tests {
         assert_eq!(idx.dictionary.entry(fox).cf, 2);
         let dog = idx.dictionary.lookup("dog").unwrap();
         assert_eq!(idx.dictionary.entry(dog).df, 2, "dog in D0 and D2");
-        assert_eq!(idx.dictionary.entry(dog).cf, 3, "1 in D0 + 2 in D2 (no stemming: dogs is distinct)");
+        assert_eq!(
+            idx.dictionary.entry(dog).cf,
+            3,
+            "1 in D0 + 2 in D2 (no stemming: dogs is distinct)"
+        );
         assert!(idx.dictionary.lookup("the").is_none(), "stop words are not indexed");
     }
 

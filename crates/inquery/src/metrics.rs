@@ -87,10 +87,8 @@ impl Judgments {
         for (i, s) in ranked.iter().enumerate() {
             if self.is_relevant(s.doc) {
                 hits += 1;
-                points.push((
-                    hits as f64 / self.relevant.len() as f64,
-                    hits as f64 / (i + 1) as f64,
-                ));
+                points
+                    .push((hits as f64 / self.relevant.len() as f64, hits as f64 / (i + 1) as f64));
             }
         }
         for (level, slot) in out.iter_mut().enumerate() {

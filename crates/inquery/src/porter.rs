@@ -197,16 +197,13 @@ fn step3(w: &mut Vec<u8>) {
 
 fn step4(w: &mut Vec<u8>) {
     const SUFFIXES: &[&str] = &[
-        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
     ];
     // "ion" is special: the preceding letter must be s or t.
     if ends_with(w, "ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;

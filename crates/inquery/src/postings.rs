@@ -276,10 +276,6 @@ mod tests {
         let r = InvertedRecord::from_postings(postings);
         let encoded = r.encode();
         let raw = 1000 * 3 * 4; // doc, tf, position as raw u32s
-        assert!(
-            (encoded.len() as f64) < raw as f64 * 0.45,
-            "{} vs raw {raw}",
-            encoded.len()
-        );
+        assert!((encoded.len() as f64) < raw as f64 * 0.45, "{} vs raw {raw}", encoded.len());
     }
 }

@@ -115,8 +115,7 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
             weighted_sum += weights[i] * belief;
         }
         // Terms absent from this document contribute the default belief.
-        let absent_weight: f64 =
-            total_weight - consumed.iter().map(|&i| weights[i]).sum::<f64>();
+        let absent_weight: f64 = total_weight - consumed.iter().map(|&i| weights[i]).sum::<f64>();
         weighted_sum += absent_weight * default;
         results.push(ScoredDoc { doc, score: weighted_sum / total_weight });
         // Advance consumed cursors.
@@ -129,10 +128,7 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
         }
     }
     results.sort_unstable_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.doc.cmp(&b.doc))
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.doc.cmp(&b.doc))
     });
     results.truncate(k);
     Ok(results)
@@ -232,8 +228,7 @@ mod tests {
     #[test]
     fn daat_empty_query_returns_nothing() {
         let (mut store, dict, docs, _stop) = corpus();
-        let ranked =
-            rank_daat(&mut store, &dict, &docs, BeliefParams::default(), &[], 10).unwrap();
+        let ranked = rank_daat(&mut store, &dict, &docs, BeliefParams::default(), &[], 10).unwrap();
         assert!(ranked.is_empty());
     }
 

@@ -68,18 +68,8 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
         stop: &'a StopWords,
         params: BeliefParams,
     ) -> Self {
-        let stats =
-            CollectionStats { num_docs: docs.len() as u32, avg_doc_len: docs.avg_len() };
-        Evaluator {
-            store,
-            dict,
-            docs,
-            stop,
-            stats,
-            params,
-            records_fetched: 0,
-            bytes_fetched: 0,
-        }
+        let stats = CollectionStats { num_docs: docs.len() as u32, avg_doc_len: docs.avg_len() };
+        Evaluator { store, dict, docs, stop, stats, params, records_fetched: 0, bytes_fetched: 0 }
     }
 
     /// Complete inverted records fetched so far.
@@ -108,6 +98,23 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
     /// Releases reservations placed by [`Evaluator::reserve`].
     pub fn release_reservations(&mut self) {
         self.store.release_reservations();
+    }
+
+    /// The prefetch pass: hand every leaf term's record reference to the
+    /// store in one batch so it can fault them in with coalesced device
+    /// I/O, turning per-term fetches during evaluation into buffer hits.
+    /// References are deduplicated; prefetching is advisory and counts no
+    /// record lookups.
+    pub fn prefetch(&mut self, query: &QueryNode) {
+        let mut refs: Vec<u64> = query
+            .leaf_terms()
+            .into_iter()
+            .filter_map(|t| self.dict.lookup(t))
+            .map(|id| self.dict.entry(id).store_ref)
+            .collect();
+        refs.sort_unstable();
+        refs.dedup();
+        self.store.prefetch(&refs);
     }
 
     fn fetch_record(&mut self, term: &str) -> Result<Option<InvertedRecord>> {
@@ -187,9 +194,7 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
         let entries = record
             .postings
             .iter()
-            .map(|p| {
-                (p.doc, self.params.term_belief(p.tf, self.doc_len(p.doc), df, &self.stats))
-            })
+            .map(|p| (p.doc, self.params.term_belief(p.tf, self.doc_len(p.doc), df, &self.stats)))
             .collect();
         Ok(ScoreList { default, entries })
     }
@@ -246,9 +251,7 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
         let default = self.params.default_belief;
         let entries = doc_tf
             .into_iter()
-            .map(|(doc, tf)| {
-                (doc, self.params.term_belief(tf, self.doc_len(doc), df, &self.stats))
-            })
+            .map(|(doc, tf)| (doc, self.params.term_belief(tf, self.doc_len(doc), df, &self.stats)))
             .collect();
         Ok(ScoreList { default, entries })
     }
@@ -258,13 +261,12 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
     /// sorting problem" (Section 3.1).
     pub fn rank(&mut self, query: &QueryNode, k: usize) -> Result<Vec<ScoredDoc>> {
         let list = self.evaluate(query)?;
-        let mut scored: Vec<ScoredDoc> = list
-            .entries
-            .into_iter()
-            .map(|(doc, score)| ScoredDoc { doc, score })
-            .collect();
+        let mut scored: Vec<ScoredDoc> =
+            list.entries.into_iter().map(|(doc, score)| ScoredDoc { doc, score }).collect();
         scored.sort_unstable_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.doc.cmp(&b.doc))
         });
         scored.truncate(k);
@@ -478,11 +480,8 @@ mod tests {
     #[test]
     fn term_at_a_time_fetches_each_record_once_per_occurrence() {
         let (mut store, dict, docs, stop) = corpus();
-        let q = crate::query::parser::parse_query(
-            "#sum(object #and(object store))",
-            &stop,
-        )
-        .unwrap();
+        let q =
+            crate::query::parser::parse_query("#sum(object #and(object store))", &stop).unwrap();
         let mut ev = Evaluator::new(&mut store, &dict, &docs, &stop, BeliefParams::default());
         ev.rank(&q, 5).unwrap();
         // "object" appears twice in the tree → fetched twice (no caching at

@@ -111,10 +111,7 @@ impl<'a> Parser<'a> {
 
     /// Normalises a raw query word into an index term.
     fn normalise(word: &str) -> String {
-        word.chars()
-            .filter(|c| c.is_ascii_alphanumeric())
-            .map(|c| c.to_ascii_lowercase())
-            .collect()
+        word.chars().filter(|c| c.is_ascii_alphanumeric()).map(|c| c.to_ascii_lowercase()).collect()
     }
 
     fn parse_word_term(&mut self) -> Result<Option<QueryNode>> {
@@ -338,10 +335,7 @@ mod tests {
         let q = parse("#uw5(information retrieval)");
         assert_eq!(
             q,
-            QueryNode::Window {
-                size: 5,
-                terms: vec!["information".into(), "retrieval".into()]
-            }
+            QueryNode::Window { size: 5, terms: vec!["information".into(), "retrieval".into()] }
         );
     }
 

@@ -17,6 +17,26 @@ pub trait InvertedFileStore {
     /// Fetches the encoded inverted record behind `store_ref`.
     fn fetch(&mut self, store_ref: u64) -> Result<Vec<u8>>;
 
+    /// Fetches many records at once, one result per reference.
+    ///
+    /// The default implementation loops over [`InvertedFileStore::fetch`]
+    /// (and therefore counts each reference as a record lookup). Backends
+    /// with physical layout knowledge override this to batch their device
+    /// I/O — the Mneme store coalesces runs of adjacent segments into
+    /// single gathered reads.
+    fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<Result<Vec<u8>>> {
+        store_refs.iter().map(|&r| self.fetch(r)).collect()
+    }
+
+    /// Advisory pre-evaluation prefetch: fault the records behind the given
+    /// references into whatever cache the backend maintains, so subsequent
+    /// [`InvertedFileStore::fetch`] calls are hits. Unlike
+    /// [`InvertedFileStore::fetch_batch`], prefetching does not count
+    /// record lookups (keeping the "A" statistic's denominator comparable
+    /// across execution modes) and swallows errors — the later fetch
+    /// surfaces them. The default implementation does nothing.
+    fn prefetch(&mut self, _store_refs: &[u64]) {}
+
     /// Pre-evaluation reservation pass: pin whatever is already resident
     /// for the given references (Section 3.3's query-tree scan). The
     /// default implementation does nothing.
@@ -64,12 +84,9 @@ impl MemoryStore {
 impl InvertedFileStore for MemoryStore {
     fn fetch(&mut self, store_ref: u64) -> Result<Vec<u8>> {
         self.lookups += 1;
-        self.records
-            .get(store_ref as usize)
-            .cloned()
-            .ok_or_else(|| crate::error::InqueryError::BadRecord(format!(
-                "no record at reference {store_ref}"
-            )))
+        self.records.get(store_ref as usize).cloned().ok_or_else(|| {
+            crate::error::InqueryError::BadRecord(format!("no record at reference {store_ref}"))
+        })
     }
 
     fn record_lookups(&self) -> u64 {
@@ -103,7 +120,21 @@ mod tests {
     fn default_reservation_hooks_are_noops() {
         let mut s = MemoryStore::new();
         s.reserve(&[1, 2, 3]);
+        s.prefetch(&[1, 2, 3]);
         s.release_reservations();
         assert!(s.is_empty());
+        assert_eq!(s.record_lookups(), 0, "prefetch must not count lookups");
+    }
+
+    #[test]
+    fn default_fetch_batch_matches_fetch() {
+        let mut s = MemoryStore::new();
+        let a = s.add(vec![1, 2, 3]);
+        let b = s.add(vec![4]);
+        let results = s.fetch_batch(&[b, a, 99]);
+        assert_eq!(results[0].as_ref().unwrap(), &vec![4]);
+        assert_eq!(results[1].as_ref().unwrap(), &vec![1, 2, 3]);
+        assert!(results[2].is_err());
+        assert_eq!(s.record_lookups(), 3, "default batch counts every reference");
     }
 }

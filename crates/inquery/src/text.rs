@@ -16,16 +16,16 @@ use std::collections::HashSet;
 /// The default stop-word list (a standard short English list of the kind
 /// shipped with IR systems of the era).
 pub const DEFAULT_STOP_WORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as",
-    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
-    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
-    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
-    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "more", "most", "my",
-    "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "out",
-    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
-    "their", "them", "then", "there", "these", "they", "this", "those", "through", "to",
-    "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where",
-    "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your",
+    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as", "at",
+    "be", "because", "been", "before", "being", "below", "between", "both", "but", "by", "can",
+    "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
+    "i", "if", "in", "into", "is", "it", "its", "just", "more", "most", "my", "no", "nor", "not",
+    "now", "of", "off", "on", "once", "only", "or", "other", "our", "out", "over", "own", "same",
+    "she", "should", "so", "some", "such", "than", "that", "the", "their", "them", "then", "there",
+    "these", "they", "this", "those", "through", "to", "too", "under", "until", "up", "very",
+    "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will",
+    "with", "would", "you", "your",
 ];
 
 /// The analysis configuration: a compiled stop-word set plus an optional
@@ -102,7 +102,10 @@ impl StopWords {
 /// positions — positions count all word tokens, so phrase adjacency is
 /// preserved across removed stop words exactly as INQUERY records
 /// "locations within each document").
-pub fn tokenize<'a>(text: &'a str, stop: &'a StopWords) -> impl Iterator<Item = (String, u32)> + 'a {
+pub fn tokenize<'a>(
+    text: &'a str,
+    stop: &'a StopWords,
+) -> impl Iterator<Item = (String, u32)> + 'a {
     text.split(|c: char| !c.is_ascii_alphanumeric())
         .filter(|t| !t.is_empty())
         .enumerate()
@@ -131,8 +134,7 @@ mod tests {
     #[test]
     fn stop_words_are_dropped_but_positions_advance() {
         let stop = StopWords::default();
-        let toks: Vec<(String, u32)> =
-            tokenize("the cat sat on the mat", &stop).collect();
+        let toks: Vec<(String, u32)> = tokenize("the cat sat on the mat", &stop).collect();
         assert_eq!(
             toks,
             vec![("cat".into(), 1), ("sat".into(), 2), ("mat".into(), 5)],
@@ -143,8 +145,7 @@ mod tests {
     #[test]
     fn single_characters_and_long_numbers_are_dropped() {
         let stop = StopWords::none();
-        assert_eq!(terms("a b c xy 1 12 1234 12345 123456", &stop),
-            vec!["xy", "12", "1234"]);
+        assert_eq!(terms("a b c xy 1 12 1234 12345 123456", &stop), vec!["xy", "12", "1234"]);
     }
 
     #[test]

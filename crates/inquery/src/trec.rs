@@ -19,12 +19,7 @@ use crate::postings::DocId;
 use crate::query::eval::ScoredDoc;
 
 /// Formats one query's ranking as TREC run-file lines.
-pub fn format_run(
-    query_id: &str,
-    ranked: &[ScoredDoc],
-    docs: &DocTable,
-    tag: &str,
-) -> String {
+pub fn format_run(query_id: &str, ranked: &[ScoredDoc], docs: &DocTable, tag: &str) -> String {
     let mut out = String::with_capacity(ranked.len() * 48);
     for (rank, s) in ranked.iter().enumerate() {
         out.push_str(&format!(
@@ -100,9 +95,7 @@ pub fn parse_qrels(text: &str) -> Result<HashMap<String, Vec<(String, bool)>>, S
         }
         let grade: i32 =
             fields[3].parse().map_err(|_| format!("line {}: bad relevance", no + 1))?;
-        out.entry(fields[0].to_string())
-            .or_default()
-            .push((fields[2].to_string(), grade > 0));
+        out.entry(fields[0].to_string()).or_default().push((fields[2].to_string(), grade > 0));
     }
     Ok(out)
 }
@@ -110,14 +103,9 @@ pub fn parse_qrels(text: &str) -> Result<HashMap<String, Vec<(String, bool)>>, S
 /// Resolves one query's parsed qrels into [`Judgments`] against a document
 /// table. Unknown document names are returned separately (real qrels often
 /// judge documents outside a subcollection).
-pub fn qrels_to_judgments(
-    judged: &[(String, bool)],
-    docs: &DocTable,
-) -> (Judgments, Vec<String>) {
-    let by_name: HashMap<&str, DocId> = (0..docs.len() as u32)
-        .map(DocId)
-        .map(|d| (docs.info(d).name.as_str(), d))
-        .collect();
+pub fn qrels_to_judgments(judged: &[(String, bool)], docs: &DocTable) -> (Judgments, Vec<String>) {
+    let by_name: HashMap<&str, DocId> =
+        (0..docs.len() as u32).map(DocId).map(|d| (docs.info(d).name.as_str(), d)).collect();
     let mut relevant = Vec::new();
     let mut unknown = Vec::new();
     for (name, rel) in judged {

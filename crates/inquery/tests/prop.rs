@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use poir_inquery::{
-    parse_query, porter, BeliefParams, DocId, Evaluator, IndexBuilder, InvertedRecord,
-    MemoryStore, Posting, QueryNode, StopWords,
+    parse_query, porter, BeliefParams, DocId, Evaluator, IndexBuilder, InvertedRecord, MemoryStore,
+    Posting, QueryNode, StopWords,
 };
 
 fn posting_strategy() -> impl Strategy<Value = Vec<Posting>> {

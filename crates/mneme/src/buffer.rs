@@ -59,7 +59,11 @@ pub trait Buffer: Send {
     /// itself is evicted (so a zero-capacity buffer caches nothing at all,
     /// and a segment larger than the whole buffer is never cached — callers
     /// must extract what they need *before* inserting).
-    fn insert(&mut self, addr: SegmentAddr, image: SegmentImage) -> Vec<(SegmentAddr, SegmentImage)>;
+    fn insert(
+        &mut self,
+        addr: SegmentAddr,
+        image: SegmentImage,
+    ) -> Vec<(SegmentAddr, SegmentImage)>;
 
     /// Removes and returns the segment at `addr`, if resident.
     fn remove(&mut self, addr: SegmentAddr) -> Option<SegmentImage>;
@@ -218,7 +222,11 @@ impl Buffer for LruBuffer {
         self.map.contains_key(&addr)
     }
 
-    fn insert(&mut self, addr: SegmentAddr, image: SegmentImage) -> Vec<(SegmentAddr, SegmentImage)> {
+    fn insert(
+        &mut self,
+        addr: SegmentAddr,
+        image: SegmentImage,
+    ) -> Vec<(SegmentAddr, SegmentImage)> {
         // Replace any existing image at this address.
         let mut evicted = Vec::new();
         if let Some(idx) = self.map.get(&addr).copied() {
@@ -237,11 +245,18 @@ impl Buffer for LruBuffer {
         self.resident_bytes += image.len();
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i] = Node { addr, image: Some(image), pinned: false, prev: NIL, next: NIL };
+                self.nodes[i] =
+                    Node { addr, image: Some(image), pinned: false, prev: NIL, next: NIL };
                 i
             }
             None => {
-                self.nodes.push(Node { addr, image: Some(image), pinned: false, prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    addr,
+                    image: Some(image),
+                    pinned: false,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };

@@ -125,7 +125,11 @@ impl Buffer for ClockBuffer {
         self.map.contains_key(&addr)
     }
 
-    fn insert(&mut self, addr: SegmentAddr, image: SegmentImage) -> Vec<(SegmentAddr, SegmentImage)> {
+    fn insert(
+        &mut self,
+        addr: SegmentAddr,
+        image: SegmentImage,
+    ) -> Vec<(SegmentAddr, SegmentImage)> {
         if let Some(&idx) = self.map.get(&addr) {
             let old_len = self.frames[idx].image.len();
             self.resident_bytes = self.resident_bytes - old_len + image.len();
@@ -226,8 +230,7 @@ mod tests {
         // Whichever was evicted, recently re-referenced frames survive at
         // least one sweep: 0 or 2 may lose their bit but frame 1 (never
         // re-referenced after insert) must go first or second.
-        let survivors: Vec<bool> =
-            [0u64, 1, 2].iter().map(|&o| b.is_resident(addr(o))).collect();
+        let survivors: Vec<bool> = [0u64, 1, 2].iter().map(|&o| b.is_resident(addr(o))).collect();
         assert_eq!(survivors.iter().filter(|&&s| s).count(), 2);
     }
 

@@ -23,6 +23,18 @@
 //! between flushes the on-disk tables may be stale (see [`crate::recovery`]
 //! for the redo-log extension that closes this window).
 //!
+//! ## Concurrency
+//!
+//! The read path ([`MnemeFile::get`], [`MnemeFile::get_batch`],
+//! [`MnemeFile::prefetch`], [`MnemeFile::reserve`], …) takes `&self`: the
+//! location tables sit behind a reader-writer lock (write-acquired only for
+//! lazy bucket loads) and each pool's buffer and building segment behind its
+//! own mutex, so concurrent readers of *different* pools never contend.
+//! Lock order is always meta before pool, and no read-path operation holds
+//! two pool locks at once, so the read path cannot deadlock. Mutations
+//! (create/update/delete/flush) keep `&mut self` and access the same state
+//! through `get_mut`, paying no locking cost.
+//!
 //! ```
 //! use poir_mneme::{MnemeFile, PoolConfig, PoolId, PoolKindConfig};
 //! use poir_storage::Device;
@@ -38,6 +50,9 @@
 //! file.flush().unwrap();
 //! ```
 
+use std::collections::BTreeMap;
+
+use parking_lot::{Mutex, RwLock};
 use poir_storage::FileHandle;
 
 use crate::buffer::{Buffer, BufferStats, LruBuffer};
@@ -64,11 +79,8 @@ struct PoolState {
     building: Option<(SegmentAddr, SegmentImage)>,
 }
 
-/// One Mneme file holding objects in pools.
-pub struct MnemeFile {
-    handle: FileHandle,
-    configs: Vec<PoolConfig>,
-    pools: Vec<PoolState>,
+/// Table-and-allocator state shared by every pool, guarded as one unit.
+struct Meta {
     table: LocationTable,
     /// Per-bucket on-disk location `(offset, len)`; empty lengths mean the
     /// bucket has never been written.
@@ -84,14 +96,169 @@ pub struct MnemeFile {
     garbage_bytes: u64,
 }
 
+/// One Mneme file holding objects in pools.
+pub struct MnemeFile {
+    handle: FileHandle,
+    configs: Vec<PoolConfig>,
+    pools: Vec<Mutex<PoolState>>,
+    meta: RwLock<Meta>,
+}
+
 impl std::fmt::Debug for MnemeFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MnemeFile")
-            .field("pools", &self.pools.len())
-            .field("data_end", &self.data_end)
-            .field("next_lseg", &self.next_lseg)
-            .finish_non_exhaustive()
+        let mut d = f.debug_struct("MnemeFile");
+        d.field("pools", &self.pools.len());
+        if let Some(meta) = self.meta.try_read() {
+            d.field("data_end", &meta.data_end).field("next_lseg", &meta.next_lseg);
+        }
+        d.finish_non_exhaustive()
     }
+}
+
+fn load_bucket_into(handle: &FileHandle, meta: &mut Meta, bucket: u32) -> Result<()> {
+    let (offset, len) = meta.directory[bucket as usize];
+    if len == 0 {
+        // Never written: install an empty bucket.
+        meta.table.load_bucket(bucket, &0u32.to_le_bytes())?;
+    } else {
+        let bytes = handle.read(offset, len as usize)?;
+        meta.table.load_bucket(bucket, &bytes)?;
+    }
+    Ok(())
+}
+
+fn ensure_bucket_loaded(handle: &FileHandle, meta: &mut Meta, lseg: LogicalSegment) -> Result<()> {
+    let bucket = meta.table.bucket_of(lseg);
+    if meta.table.is_loaded(bucket) {
+        return Ok(());
+    }
+    load_bucket_into(handle, meta, bucket)
+}
+
+/// Reads every not-yet-resident location bucket into memory.
+fn load_all_buckets(handle: &FileHandle, meta: &mut Meta) -> Result<()> {
+    for bucket in meta.table.unloaded_buckets() {
+        load_bucket_into(handle, meta, bucket)?;
+    }
+    Ok(())
+}
+
+/// Allocates file space for a new physical segment. Segments append at
+/// `data_end`; flushed location tables live *before* `data_end` (the table
+/// region is copy-on-write — each flush writes a fresh region and bumps
+/// `data_end` past it), so appends never clobber valid tables.
+fn allocate_segment(meta: &mut Meta, len: usize) -> SegmentAddr {
+    let addr = SegmentAddr { offset: meta.data_end, len: len as u32 };
+    meta.data_end += len as u64;
+    addr
+}
+
+/// Allocates the next object id for a pool, starting a new logical segment
+/// when the current one is exhausted.
+fn allocate_id(handle: &FileHandle, meta: &mut Meta, ps: &mut PoolState) -> Result<ObjectId> {
+    if ps.current_lseg.is_none() || ps.next_slot >= SLOTS_PER_SEGMENT {
+        if meta.next_lseg >= MAX_LOGICAL_SEGMENTS {
+            return Err(MnemeError::IdSpaceExhausted);
+        }
+        let lseg = LogicalSegment(meta.next_lseg);
+        meta.next_lseg += 1;
+        ensure_bucket_loaded(handle, meta, lseg)?;
+        meta.table.entry_mut(lseg, ps.pool.id())?;
+        ps.current_lseg = Some(lseg);
+        ps.next_slot = 0;
+    }
+    let id = ObjectId::new(ps.current_lseg.unwrap(), ps.next_slot as u8);
+    ps.next_slot += 1;
+    Ok(id)
+}
+
+fn save_segment(handle: &FileHandle, addr: SegmentAddr, image: &mut SegmentImage) -> Result<()> {
+    debug_assert_eq!(image.len(), addr.len as usize);
+    handle.write(addr.offset, image.bytes())?;
+    image.mark_clean();
+    Ok(())
+}
+
+fn save_evicted(handle: &FileHandle, evicted: Vec<(SegmentAddr, SegmentImage)>) -> Result<()> {
+    for (addr, mut image) in evicted {
+        if image.is_dirty() {
+            save_segment(handle, addr, &mut image)?;
+        }
+    }
+    Ok(())
+}
+
+/// Seals a pool's building segment: it becomes a regular segment served
+/// through the pool's buffer (written out when evicted or flushed).
+fn seal_building(handle: &FileHandle, ps: &mut PoolState) -> Result<()> {
+    if let Some((addr, image)) = ps.building.take() {
+        let evicted = ps.buffer.insert(addr, image);
+        save_evicted(handle, evicted)?;
+    }
+    Ok(())
+}
+
+/// Runs `f` against the segment at `addr`, serving it from the pool's
+/// building segment, its buffer, or the file (in that order). One object
+/// reference is recorded against the pool's buffer.
+fn with_segment_in<R>(
+    handle: &FileHandle,
+    ps: &mut PoolState,
+    addr: SegmentAddr,
+    f: impl FnOnce(&dyn Pool, &mut SegmentImage) -> R,
+) -> Result<R> {
+    if let Some((baddr, image)) = ps.building.as_mut() {
+        if *baddr == addr {
+            ps.buffer.record_ref(true);
+            return Ok(f(ps.pool.as_ref(), image));
+        }
+    }
+    if ps.buffer.is_resident(addr) {
+        ps.buffer.record_ref(true);
+        let image = ps.buffer.lookup(addr).expect("resident segment");
+        return Ok(f(ps.pool.as_ref(), image));
+    }
+    ps.buffer.record_ref(false);
+    let mut image = SegmentImage::from_disk(handle.read(addr.offset, addr.len as usize)?);
+    let result = f(ps.pool.as_ref(), &mut image);
+    let evicted = ps.buffer.insert(addr, image);
+    save_evicted(handle, evicted)?;
+    Ok(result)
+}
+
+/// Extracts `id`'s payload from a located segment image.
+fn extract_object(pool: &dyn Pool, seg: &SegmentImage, id: ObjectId) -> Result<Vec<u8>> {
+    match pool.locate(seg.bytes(), id) {
+        LocateResult::Found(r) => Ok(seg.bytes()[r].to_vec()),
+        LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+        LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+    }
+}
+
+/// Resolves `id` against already-loaded tables.
+fn resolve_in(meta: &Meta, configs: &[PoolConfig], id: ObjectId) -> Result<(usize, SegmentAddr)> {
+    let entry = meta.table.entry(id.segment())?.ok_or(MnemeError::NoSuchObject(id))?;
+    let pool_id = entry.pool;
+    let addr = entry.segment_for(id.slot()).ok_or(MnemeError::NoSuchObject(id))?;
+    let idx =
+        configs.iter().position(|c| c.id == pool_id).ok_or(MnemeError::NoSuchPool(pool_id))?;
+    Ok((idx, addr))
+}
+
+/// Sorts deduplicated segment addresses and splits them into maximal runs of
+/// physically adjacent segments — each run is one coalesced device read.
+fn coalesce_runs(mut addrs: Vec<SegmentAddr>) -> Vec<Vec<SegmentAddr>> {
+    addrs.sort_unstable();
+    let mut runs: Vec<Vec<SegmentAddr>> = Vec::new();
+    for addr in addrs {
+        match runs.last_mut() {
+            Some(run) if run.last().map(|p| p.offset + p.len as u64) == Some(addr.offset) => {
+                run.push(addr);
+            }
+            _ => runs.push(vec![addr]),
+        }
+    }
+    runs
 }
 
 impl MnemeFile {
@@ -112,14 +279,16 @@ impl MnemeFile {
         let mut file = MnemeFile {
             handle,
             configs: configs.to_vec(),
-            pools: configs.iter().map(Self::fresh_pool_state).collect(),
-            table: LocationTable::new_empty(num_buckets),
-            directory: vec![(0, 0); num_buckets as usize],
-            data_end: HEADER_LEN,
-            next_lseg: 0,
-            dirty: true,
-            aux_bytes: 0,
-            garbage_bytes: 0,
+            pools: configs.iter().map(|c| Mutex::new(Self::fresh_pool_state(c))).collect(),
+            meta: RwLock::new(Meta {
+                table: LocationTable::new_empty(num_buckets),
+                directory: vec![(0, 0); num_buckets as usize],
+                data_end: HEADER_LEN,
+                next_lseg: 0,
+                dirty: true,
+                aux_bytes: 0,
+                garbage_bytes: 0,
+            }),
         };
         file.write_header()?;
         Ok(file)
@@ -169,21 +338,23 @@ impl MnemeFile {
                         u32::from_le_bytes(c[8..12].try_into().unwrap()),
                     )
                 })
-                .collect()
+                .collect::<Vec<_>>()
         };
         let aux_bytes = directory_bytes(num_buckets)
             + directory.iter().map(|&(_, len)| len as u64).sum::<u64>();
         Ok(MnemeFile {
             handle,
-            pools: configs.iter().map(Self::fresh_pool_state).collect(),
+            pools: configs.iter().map(|c| Mutex::new(Self::fresh_pool_state(c))).collect(),
             configs,
-            table: LocationTable::new_unloaded(num_buckets),
-            directory,
-            data_end,
-            next_lseg,
-            dirty: false,
-            aux_bytes,
-            garbage_bytes: 0,
+            meta: RwLock::new(Meta {
+                table: LocationTable::new_unloaded(num_buckets),
+                directory,
+                data_end,
+                next_lseg,
+                dirty: false,
+                aux_bytes,
+                garbage_bytes: 0,
+            }),
         })
     }
 
@@ -201,19 +372,16 @@ impl MnemeFile {
 
     /// The pool ids configured in this file, in declaration order.
     pub fn pool_ids(&self) -> Vec<PoolId> {
-        self.pools.iter().map(|p| p.pool.id()).collect()
+        self.configs.iter().map(|c| c.id).collect()
     }
 
     /// Largest object accepted by `pool`, if bounded.
     pub fn pool_max_object_len(&self, pool: PoolId) -> Result<Option<usize>> {
-        Ok(self.pools[self.pool_index(pool)?].pool.max_object_len())
+        Ok(self.pools[self.pool_index(pool)?].lock().pool.max_object_len())
     }
 
     fn pool_index(&self, pool: PoolId) -> Result<usize> {
-        self.pools
-            .iter()
-            .position(|p| p.pool.id() == pool)
-            .ok_or(MnemeError::NoSuchPool(pool))
+        self.configs.iter().position(|c| c.id == pool).ok_or(MnemeError::NoSuchPool(pool))
     }
 
     fn write_header(&mut self) -> Result<()> {
@@ -223,13 +391,14 @@ impl MnemeFile {
     /// Writes the complete header in a single block write — the commit
     /// point of a flush. A zero `dir_offset` means "no tables on disk".
     fn write_header_with_directory(&mut self, dir_offset: u64, dir_len: u32) -> Result<()> {
+        let meta = self.meta.get_mut();
         let mut header = vec![0u8; HEADER_LEN as usize];
         header[0..4].copy_from_slice(MAGIC);
         header[4..6].copy_from_slice(&VERSION.to_le_bytes());
         header[6..8].copy_from_slice(&(self.configs.len() as u16).to_le_bytes());
-        header[8..16].copy_from_slice(&self.data_end.to_le_bytes());
-        header[16..20].copy_from_slice(&self.next_lseg.to_le_bytes());
-        header[20..24].copy_from_slice(&self.table.num_buckets().to_le_bytes());
+        header[8..16].copy_from_slice(&meta.data_end.to_le_bytes());
+        header[16..20].copy_from_slice(&meta.next_lseg.to_le_bytes());
+        header[20..24].copy_from_slice(&meta.table.num_buckets().to_le_bytes());
         header[24..32].copy_from_slice(&dir_offset.to_le_bytes());
         header[32..36].copy_from_slice(&dir_len.to_le_bytes());
         for (i, c) in self.configs.iter().enumerate() {
@@ -240,125 +409,33 @@ impl MnemeFile {
         Ok(())
     }
 
-    /// Allocates file space for a new physical segment. Segments append at
-    /// `data_end`; flushed location tables live *before* `data_end` (the
-    /// table region is copy-on-write — each flush writes a fresh region and
-    /// bumps `data_end` past it), so appends never clobber valid tables.
-    fn allocate_segment(&mut self, len: usize) -> Result<SegmentAddr> {
-        let addr = SegmentAddr { offset: self.data_end, len: len as u32 };
-        self.data_end += len as u64;
-        Ok(addr)
-    }
-
-    /// Reads every not-yet-resident location bucket into memory.
-    fn load_all_buckets(&mut self) -> Result<()> {
-        for bucket in self.table.unloaded_buckets() {
-            let (offset, len) = self.directory[bucket as usize];
-            if len == 0 {
-                self.table.load_bucket(bucket, &0u32.to_le_bytes())?;
-            } else {
-                let bytes = self.handle.read(offset, len as usize)?;
-                self.table.load_bucket(bucket, &bytes)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn ensure_bucket_loaded(&mut self, lseg: LogicalSegment) -> Result<()> {
-        let bucket = self.table.bucket_of(lseg);
-        if self.table.is_loaded(bucket) {
-            return Ok(());
-        }
-        let (offset, len) = self.directory[bucket as usize];
-        if len == 0 {
-            // Never written: install an empty bucket.
-            self.table.load_bucket(bucket, &0u32.to_le_bytes())?;
-        } else {
-            let bytes = self.handle.read(offset, len as usize)?;
-            self.table.load_bucket(bucket, &bytes)?;
-        }
-        Ok(())
-    }
-
-    /// Allocates the next object id for `pool`, starting a new logical
-    /// segment when the current one is exhausted.
-    fn allocate_id(&mut self, pool_idx: usize) -> Result<ObjectId> {
-        if self.pools[pool_idx].current_lseg.is_none()
-            || self.pools[pool_idx].next_slot >= SLOTS_PER_SEGMENT
-        {
-            if self.next_lseg >= MAX_LOGICAL_SEGMENTS {
-                return Err(MnemeError::IdSpaceExhausted);
-            }
-            let lseg = LogicalSegment(self.next_lseg);
-            self.next_lseg += 1;
-            let pool_id = self.pools[pool_idx].pool.id();
-            self.ensure_bucket_loaded(lseg)?;
-            self.table.entry_mut(lseg, pool_id)?;
-            let ps = &mut self.pools[pool_idx];
-            ps.current_lseg = Some(lseg);
-            ps.next_slot = 0;
-        }
-        let ps = &mut self.pools[pool_idx];
-        let id = ObjectId::new(ps.current_lseg.unwrap(), ps.next_slot as u8);
-        ps.next_slot += 1;
-        Ok(id)
-    }
-
-    fn save_segment(handle: &FileHandle, addr: SegmentAddr, image: &mut SegmentImage) -> Result<()> {
-        debug_assert_eq!(image.len(), addr.len as usize);
-        handle.write(addr.offset, image.bytes())?;
-        image.mark_clean();
-        Ok(())
-    }
-
-    fn save_evicted(
-        handle: &FileHandle,
-        evicted: Vec<(SegmentAddr, SegmentImage)>,
-    ) -> Result<()> {
-        for (addr, mut image) in evicted {
-            if image.is_dirty() {
-                Self::save_segment(handle, addr, &mut image)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Seals a pool's building segment: it becomes a regular segment served
-    /// through the pool's buffer (written out when evicted or flushed).
-    fn seal_building(&mut self, pool_idx: usize) -> Result<()> {
-        let ps = &mut self.pools[pool_idx];
-        if let Some((addr, image)) = ps.building.take() {
-            let evicted = ps.buffer.insert(addr, image);
-            Self::save_evicted(&self.handle, evicted)?;
-        }
-        Ok(())
-    }
-
     /// Creates a new object with `data` in `pool`, returning its id.
     pub fn create_object(&mut self, pool: PoolId, data: &[u8]) -> Result<ObjectId> {
-        self.dirty = true;
         let pool_idx = self.pool_index(pool)?;
-        if let Some(max) = self.pools[pool_idx].pool.max_object_len() {
+        let MnemeFile { handle, pools, meta, .. } = self;
+        let meta = meta.get_mut();
+        let ps = pools[pool_idx].get_mut();
+        meta.dirty = true;
+        if let Some(max) = ps.pool.max_object_len() {
             if data.len() > max {
                 return Err(MnemeError::ObjectTooLarge { len: data.len(), max });
             }
         }
-        let id = self.allocate_id(pool_idx)?;
+        let id = allocate_id(handle, meta, ps)?;
         let addr = loop {
-            if self.pools[pool_idx].building.is_none() {
-                let image = self.pools[pool_idx].pool.new_segment(id, data.len());
-                let addr = self.allocate_segment(image.len())?;
-                self.pools[pool_idx].building = Some((addr, image));
+            if ps.building.is_none() {
+                let image = ps.pool.new_segment(id, data.len());
+                let addr = allocate_segment(meta, image.len());
+                ps.building = Some((addr, image));
             }
-            let ps = &mut self.pools[pool_idx];
             let (addr, image) = ps.building.as_mut().unwrap();
             match ps.pool.try_append(image, id, data) {
                 AppendOutcome::Appended => break *addr,
-                AppendOutcome::Full => self.seal_building(pool_idx)?,
+                AppendOutcome::Full => seal_building(handle, ps)?,
             }
         };
-        self.ensure_bucket_loaded(id.segment())?;
-        let entry = self.table.entry_mut(id.segment(), pool)?;
+        ensure_bucket_loaded(handle, meta, id.segment())?;
+        let entry = meta.table.entry_mut(id.segment(), pool)?;
         entry.push_run(id.slot(), addr);
         Ok(id)
     }
@@ -366,7 +443,7 @@ impl MnemeFile {
     /// The id the next [`MnemeFile::create_object`] call for `pool` will
     /// return, or `None` when a fresh logical segment will be started.
     pub(crate) fn next_id_hint(&self, pool: PoolId) -> Result<Option<ObjectId>> {
-        let ps = &self.pools[self.pool_index(pool)?];
+        let ps = self.pools[self.pool_index(pool)?].lock();
         Ok(match ps.current_lseg {
             Some(lseg) if ps.next_slot < SLOTS_PER_SEGMENT => {
                 Some(ObjectId::new(lseg, ps.next_slot as u8))
@@ -381,112 +458,247 @@ impl MnemeFile {
     /// because objects before the cursor may already live on disk.
     pub(crate) fn force_allocation_cursor(&mut self, pool: PoolId, id: ObjectId) -> Result<()> {
         let pool_idx = self.pool_index(pool)?;
-        self.seal_building(pool_idx)?;
-        self.ensure_bucket_loaded(id.segment())?;
-        self.table.entry_mut(id.segment(), pool)?;
-        self.next_lseg = self.next_lseg.max(id.segment().0 + 1);
-        let ps = &mut self.pools[pool_idx];
+        let MnemeFile { handle, pools, meta, .. } = self;
+        let meta = meta.get_mut();
+        let ps = pools[pool_idx].get_mut();
+        seal_building(handle, ps)?;
+        ensure_bucket_loaded(handle, meta, id.segment())?;
+        meta.table.entry_mut(id.segment(), pool)?;
+        meta.next_lseg = meta.next_lseg.max(id.segment().0 + 1);
         ps.current_lseg = Some(id.segment());
         ps.next_slot = id.slot() as u32;
         Ok(())
     }
 
-    /// Resolves an object id to its pool and physical segment.
-    fn resolve(&mut self, id: ObjectId) -> Result<(usize, SegmentAddr)> {
-        self.ensure_bucket_loaded(id.segment())?;
-        let entry = self
-            .table
-            .entry(id.segment())?
-            .ok_or(MnemeError::NoSuchObject(id))?;
-        let pool_id = entry.pool;
-        let addr = entry.segment_for(id.slot()).ok_or(MnemeError::NoSuchObject(id))?;
-        Ok((self.pool_index(pool_id)?, addr))
-    }
-
-    /// Runs `f` against the segment at `addr`, serving it from the pool's
-    /// building segment, its buffer, or the file (in that order). One object
-    /// reference is recorded against the pool's buffer.
-    fn with_segment<R>(
-        &mut self,
-        pool_idx: usize,
-        addr: SegmentAddr,
-        f: impl FnOnce(&dyn Pool, &mut SegmentImage) -> R,
-    ) -> Result<R> {
-        let handle = self.handle.clone();
-        let ps = &mut self.pools[pool_idx];
-        if let Some((baddr, image)) = ps.building.as_mut() {
-            if *baddr == addr {
-                ps.buffer.record_ref(true);
-                return Ok(f(ps.pool.as_ref(), image));
+    /// Resolves an object id to its pool and physical segment, loading the
+    /// id's location bucket if needed. Takes the meta lock only; the fast
+    /// path (bucket already resident) is a shared read acquisition.
+    fn resolve(&self, id: ObjectId) -> Result<(usize, SegmentAddr)> {
+        {
+            let meta = self.meta.read();
+            if meta.table.is_loaded(meta.table.bucket_of(id.segment())) {
+                return resolve_in(&meta, &self.configs, id);
             }
         }
-        if ps.buffer.is_resident(addr) {
-            ps.buffer.record_ref(true);
-            let image = ps.buffer.lookup(addr).expect("resident segment");
-            return Ok(f(ps.pool.as_ref(), image));
-        }
-        ps.buffer.record_ref(false);
-        let mut image = SegmentImage::from_disk(handle.read(addr.offset, addr.len as usize)?);
-        let result = f(ps.pool.as_ref(), &mut image);
-        let evicted = ps.buffer.insert(addr, image);
-        Self::save_evicted(&handle, evicted)?;
-        Ok(result)
+        // Double-checked: reacquire exclusively and load the bucket. Another
+        // thread may have loaded it between the two acquisitions; then the
+        // ensure call is a no-op.
+        let mut meta = self.meta.write();
+        ensure_bucket_loaded(&self.handle, &mut meta, id.segment())?;
+        resolve_in(&meta, &self.configs, id)
     }
 
     /// Reads an object's payload.
-    pub fn get(&mut self, id: ObjectId) -> Result<Vec<u8>> {
+    pub fn get(&self, id: ObjectId) -> Result<Vec<u8>> {
         let (pool_idx, addr) = self.resolve(id)?;
-        self.with_segment(pool_idx, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
-            LocateResult::Found(r) => Ok(seg.bytes()[r].to_vec()),
-            LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
-            LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
-        })?
+        let mut ps = self.pools[pool_idx].lock();
+        with_segment_in(&self.handle, &mut ps, addr, |pool, seg| extract_object(pool, seg, id))?
+    }
+
+    /// Reads many objects' payloads with coalesced device I/O.
+    ///
+    /// All ids are resolved up front, grouped by pool, and each pool's
+    /// missing segments are sorted by physical offset and read as maximal
+    /// runs of adjacent segments — one gathered system call per run
+    /// ([`FileHandle::read_run`]) instead of one per segment. Every touched
+    /// segment is admitted to the pool's buffer in a single pass, so later
+    /// [`MnemeFile::get`] calls for the same records are buffer hits.
+    ///
+    /// Buffer-reference accounting mirrors the serial path per *object*
+    /// access: building-segment and buffer-resident services count as hits,
+    /// the first access to each batch-fetched segment counts as a miss, and
+    /// further accesses to that segment within the batch count as hits (the
+    /// batch holds fetched images in working memory even when the buffer
+    /// admits nothing).
+    pub fn get_batch(&self, ids: &[ObjectId]) -> Vec<Result<Vec<u8>>> {
+        let mut located: Vec<Option<(usize, SegmentAddr)>> = Vec::with_capacity(ids.len());
+        let mut out: Vec<Option<Result<Vec<u8>>>> = Vec::with_capacity(ids.len());
+        for &id in ids {
+            match self.resolve(id) {
+                Ok(loc) => {
+                    located.push(Some(loc));
+                    out.push(None);
+                }
+                Err(e) => {
+                    located.push(None);
+                    out.push(Some(Err(e)));
+                }
+            }
+        }
+        for pool_idx in 0..self.pools.len() {
+            let members: Vec<usize> = (0..ids.len())
+                .filter(|&i| located[i].is_some_and(|(p, _)| p == pool_idx))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut ps = self.pools[pool_idx].lock();
+            let ps = &mut *ps;
+            // Which distinct segments need disk I/O right now?
+            let mut missing: Vec<SegmentAddr> = members
+                .iter()
+                .map(|&i| located[i].unwrap().1)
+                .filter(|&addr| {
+                    ps.building.as_ref().is_none_or(|(b, _)| *b != addr)
+                        && !ps.buffer.is_resident(addr)
+                })
+                .collect();
+            missing.sort_unstable();
+            missing.dedup();
+            // One gathered read per run of physically adjacent segments. A
+            // failed run falls back to per-segment service below, which
+            // reports precise per-object errors.
+            let mut fetched: BTreeMap<SegmentAddr, SegmentImage> = BTreeMap::new();
+            for run in coalesce_runs(missing) {
+                let lens: Vec<u32> = run.iter().map(|a| a.len).collect();
+                if let Ok(buffers) = self.handle.read_run(run[0].offset, &lens) {
+                    for (addr, bytes) in run.into_iter().zip(buffers) {
+                        fetched.insert(addr, SegmentImage::from_disk(bytes));
+                    }
+                }
+            }
+            let mut touched: std::collections::HashSet<SegmentAddr> =
+                std::collections::HashSet::new();
+            for &i in &members {
+                if out[i].is_some() {
+                    continue;
+                }
+                let id = ids[i];
+                let addr = located[i].unwrap().1;
+                let result = if let Some((baddr, image)) =
+                    ps.building.as_ref().filter(|(b, _)| *b == addr)
+                {
+                    debug_assert_eq!(*baddr, addr);
+                    ps.buffer.record_ref(true);
+                    extract_object(ps.pool.as_ref(), image, id)
+                } else if let Some(image) = fetched.get(&addr) {
+                    ps.buffer.record_ref(!touched.insert(addr));
+                    extract_object(ps.pool.as_ref(), image, id)
+                } else if ps.buffer.is_resident(addr) {
+                    ps.buffer.record_ref(true);
+                    let image = ps.buffer.lookup(addr).expect("resident segment");
+                    extract_object(ps.pool.as_ref(), image, id)
+                } else {
+                    // Run read failed (or raced an eviction): serial path.
+                    with_segment_in(&self.handle, ps, addr, |pool, seg| {
+                        extract_object(pool, seg, id)
+                    })
+                    .and_then(|r| r)
+                };
+                out[i] = Some(result);
+            }
+            // Admit every fetched segment in one pass (ascending offset).
+            for (addr, image) in fetched {
+                let evicted = ps.buffer.insert(addr, image);
+                let _ = save_evicted(&self.handle, evicted);
+            }
+        }
+        out.into_iter().map(|r| r.expect("every slot served")).collect()
+    }
+
+    /// Faults the segments holding `ids` into their pools' buffers using the
+    /// same coalesced run reads as [`MnemeFile::get_batch`], without copying
+    /// payloads or recording buffer references.
+    ///
+    /// Prefetching is advisory: pools whose buffer cannot retain anything
+    /// (zero capacity) are skipped, unresolvable ids are ignored, and read
+    /// errors are swallowed — a later [`MnemeFile::get`] surfaces them.
+    /// Returns the number of segments transferred.
+    pub fn prefetch(&self, ids: &[ObjectId]) -> usize {
+        let mut per_pool: Vec<Vec<SegmentAddr>> = vec![Vec::new(); self.pools.len()];
+        for &id in ids {
+            if let Ok((pool_idx, addr)) = self.resolve(id) {
+                per_pool[pool_idx].push(addr);
+            }
+        }
+        let mut transferred = 0;
+        for (pool_idx, mut addrs) in per_pool.into_iter().enumerate() {
+            if addrs.is_empty() {
+                continue;
+            }
+            let mut ps = self.pools[pool_idx].lock();
+            let ps = &mut *ps;
+            if ps.buffer.capacity() == 0 {
+                continue;
+            }
+            addrs.retain(|&addr| {
+                ps.building.as_ref().is_none_or(|(b, _)| *b != addr) && !ps.buffer.is_resident(addr)
+            });
+            addrs.sort_unstable();
+            addrs.dedup();
+            // Never fault in more than the buffer can retain alongside what
+            // is already resident: over-filling would evict segments (this
+            // batch's or hot ones) before they are used, turning one
+            // coalesced read into a read *plus* a re-read at evaluation
+            // time — worse than not prefetching at all.
+            let mut budget = ps.buffer.capacity().saturating_sub(ps.buffer.resident_bytes());
+            addrs.retain(|addr| {
+                let fits = addr.len as usize <= budget;
+                if fits {
+                    budget -= addr.len as usize;
+                }
+                fits
+            });
+            for run in coalesce_runs(addrs) {
+                let lens: Vec<u32> = run.iter().map(|a| a.len).collect();
+                if let Ok(buffers) = self.handle.read_run(run[0].offset, &lens) {
+                    for (addr, bytes) in run.into_iter().zip(buffers) {
+                        transferred += 1;
+                        let evicted = ps.buffer.insert(addr, SegmentImage::from_disk(bytes));
+                        let _ = save_evicted(&self.handle, evicted);
+                    }
+                }
+            }
+        }
+        transferred
     }
 
     /// Reads an object's payload length without copying the payload.
-    pub fn object_len(&mut self, id: ObjectId) -> Result<usize> {
+    pub fn object_len(&self, id: ObjectId) -> Result<usize> {
         let (pool_idx, addr) = self.resolve(id)?;
-        self.with_segment(pool_idx, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
-            LocateResult::Found(r) => Ok(r.len()),
-            LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
-            LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+        let mut ps = self.pools[pool_idx].lock();
+        with_segment_in(&self.handle, &mut ps, addr, |pool, seg| {
+            match pool.locate(seg.bytes(), id) {
+                LocateResult::Found(r) => Ok(r.len()),
+                LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+                LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+            }
         })?
     }
 
     /// The pool an object belongs to.
-    pub fn pool_of(&mut self, id: ObjectId) -> Result<PoolId> {
-        self.ensure_bucket_loaded(id.segment())?;
-        Ok(self
-            .table
-            .entry(id.segment())?
-            .ok_or(MnemeError::NoSuchObject(id))?
-            .pool)
+    pub fn pool_of(&self, id: ObjectId) -> Result<PoolId> {
+        let (pool_idx, _) = self.resolve(id)?;
+        Ok(self.configs[pool_idx].id)
     }
 
     /// Overwrites an object's payload. Updates happen in place when the new
     /// payload fits; otherwise the object is relocated to a fresh physical
     /// segment and recorded as a location-table exception.
     pub fn update(&mut self, id: ObjectId, data: &[u8]) -> Result<()> {
-        self.dirty = true;
-        let (pool_idx, addr) = self.resolve(id)?;
-        if let Some(max) = self.pools[pool_idx].pool.max_object_len() {
+        let MnemeFile { handle, configs, pools, meta } = self;
+        let meta = meta.get_mut();
+        meta.dirty = true;
+        ensure_bucket_loaded(handle, meta, id.segment())?;
+        let (pool_idx, addr) = resolve_in(meta, configs, id)?;
+        let ps = pools[pool_idx].get_mut();
+        if let Some(max) = ps.pool.max_object_len() {
             if data.len() > max {
                 return Err(MnemeError::ObjectTooLarge { len: data.len(), max });
             }
         }
-        let in_place = self.with_segment(pool_idx, addr, |pool, seg| {
-            match pool.locate(seg.bytes(), id) {
+        let in_place =
+            with_segment_in(handle, ps, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(_) => Ok(pool.try_update_in_place(seg, id, data)),
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
                 LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
-            }
-        })??;
+            })??;
         if in_place {
             return Ok(());
         }
         // Relocate: tombstone the old copy, then write a fresh single-object
         // segment and shadow the slot with an exception entry.
-        let old_len = self.with_segment(pool_idx, addr, |pool, seg| {
+        let old_len = with_segment_in(handle, ps, addr, |pool, seg| {
             let len = match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => r.len(),
                 _ => 0,
@@ -494,28 +706,30 @@ impl MnemeFile {
             pool.delete(seg, id);
             len
         })?;
-        self.garbage_bytes += old_len as u64;
-        let ps = &mut self.pools[pool_idx];
+        meta.garbage_bytes += old_len as u64;
         let mut image = ps.pool.new_segment(id, data.len());
         let outcome = ps.pool.try_append(&mut image, id, data);
         debug_assert_eq!(outcome, AppendOutcome::Appended, "fresh segment must accept its object");
-        let new_addr = self.allocate_segment(image.len())?;
-        let ps = &mut self.pools[pool_idx];
+        let new_addr = allocate_segment(meta, image.len());
         let evicted = ps.buffer.insert(new_addr, image);
-        Self::save_evicted(&self.handle, evicted)?;
+        save_evicted(handle, evicted)?;
         let pool_id = ps.pool.id();
-        self.ensure_bucket_loaded(id.segment())?;
-        self.table.entry_mut(id.segment(), pool_id)?.set_exception(id.slot(), new_addr);
+        ensure_bucket_loaded(handle, meta, id.segment())?;
+        meta.table.entry_mut(id.segment(), pool_id)?.set_exception(id.slot(), new_addr);
         Ok(())
     }
 
     /// Deletes an object. The slot is tombstoned; space is reclaimed by
     /// compaction (see [`crate::gc`]).
     pub fn delete(&mut self, id: ObjectId) -> Result<()> {
-        self.dirty = true;
-        let (pool_idx, addr) = self.resolve(id)?;
-        let freed = self.with_segment(pool_idx, addr, |pool, seg| {
-            match pool.locate(seg.bytes(), id) {
+        let MnemeFile { handle, configs, pools, meta } = self;
+        let meta = meta.get_mut();
+        meta.dirty = true;
+        ensure_bucket_loaded(handle, meta, id.segment())?;
+        let (pool_idx, addr) = resolve_in(meta, configs, id)?;
+        let ps = pools[pool_idx].get_mut();
+        let freed =
+            with_segment_in(handle, ps, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => {
                     let len = r.len();
                     pool.delete(seg, id);
@@ -523,34 +737,34 @@ impl MnemeFile {
                 }
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
                 LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
-            }
-        })??;
-        self.garbage_bytes += freed as u64;
+            })??;
+        meta.garbage_bytes += freed as u64;
         Ok(())
     }
 
     /// Pins the segments of any of `ids` that are already resident, so query
     /// evaluation cannot evict them — the paper's pre-evaluation query-tree
     /// reservation pass. Non-resident objects are *not* faulted in.
-    pub fn reserve(&mut self, ids: &[ObjectId]) {
+    pub fn reserve(&self, ids: &[ObjectId]) {
+        let meta = self.meta.read();
         for &id in ids {
             // Never perform I/O here: if the bucket is unloaded the segment
             // cannot be resident either.
-            if !self.table.is_loaded(self.table.bucket_of(id.segment())) {
+            if !meta.table.is_loaded(meta.table.bucket_of(id.segment())) {
                 continue;
             }
-            let Ok(Some(entry)) = self.table.entry(id.segment()) else { continue };
+            let Ok(Some(entry)) = meta.table.entry(id.segment()) else { continue };
             let pool_id = entry.pool;
             let Some(addr) = entry.segment_for(id.slot()) else { continue };
             let Ok(pool_idx) = self.pool_index(pool_id) else { continue };
-            self.pools[pool_idx].buffer.reserve(addr);
+            self.pools[pool_idx].lock().buffer.reserve(addr);
         }
     }
 
     /// Releases every reservation placed by [`MnemeFile::reserve`].
-    pub fn release_reservations(&mut self) {
-        for ps in &mut self.pools {
-            ps.buffer.release_reservations();
+    pub fn release_reservations(&self) {
+        for ps in &self.pools {
+            ps.lock().buffer.release_reservations();
         }
     }
 
@@ -558,20 +772,21 @@ impl MnemeFile {
     /// the previous one.
     pub fn attach_buffer(&mut self, pool: PoolId, buffer: Box<dyn Buffer>) -> Result<()> {
         let pool_idx = self.pool_index(pool)?;
-        let mut old = std::mem::replace(&mut self.pools[pool_idx].buffer, buffer);
-        Self::save_evicted(&self.handle, old.drain())?;
+        let ps = self.pools[pool_idx].get_mut();
+        let mut old = std::mem::replace(&mut ps.buffer, buffer);
+        save_evicted(&self.handle, old.drain())?;
         Ok(())
     }
 
     /// Reference/hit counters of a pool's buffer (Table 6).
     pub fn buffer_stats(&self, pool: PoolId) -> Result<BufferStats> {
-        Ok(self.pools[self.pool_index(pool)?].buffer.stats())
+        Ok(self.pools[self.pool_index(pool)?].lock().buffer.stats())
     }
 
     /// Resets every pool buffer's counters.
-    pub fn reset_buffer_stats(&mut self) {
-        for ps in &mut self.pools {
-            ps.buffer.reset_stats();
+    pub fn reset_buffer_stats(&self) {
+        for ps in &self.pools {
+            ps.lock().buffer.reset_stats();
         }
     }
 
@@ -579,36 +794,37 @@ impl MnemeFile {
     /// location tables, header) to the file and truncates it to its exact
     /// size. Buffers are cold afterwards.
     pub fn flush(&mut self) -> Result<()> {
-        if !self.dirty {
+        if !self.meta.get_mut().dirty {
             return Ok(());
         }
         for pool_idx in 0..self.pools.len() {
             // Seal building segments by writing them directly; they stay
             // retrievable through their registered location runs.
-            let ps = &mut self.pools[pool_idx];
+            let ps = self.pools[pool_idx].get_mut();
             if let Some((addr, mut image)) = ps.building.take() {
-                Self::save_segment(&self.handle, addr, &mut image)?;
+                save_segment(&self.handle, addr, &mut image)?;
             }
-            let drained = self.pools[pool_idx].buffer.drain();
-            Self::save_evicted(&self.handle, drained)?;
+            let drained = ps.buffer.drain();
+            save_evicted(&self.handle, drained)?;
         }
         // Every bucket must be resident to rewrite the tables. The table
         // region is copy-on-write: it is appended after the data and
         // `data_end` moves past it, so the previous generation of tables
         // stays readable until this flush's header write commits the new
         // one (crashes mid-flush recover against the old generation).
-        self.load_all_buckets()?;
-        let num_buckets = self.table.num_buckets();
-        let dir_offset = self.data_end;
+        let meta = self.meta.get_mut();
+        load_all_buckets(&self.handle, meta)?;
+        let num_buckets = meta.table.num_buckets();
+        let dir_offset = meta.data_end;
         let dir_len = num_buckets as usize * DIR_ENTRY_LEN;
         let mut bucket_blobs = Vec::with_capacity(num_buckets as usize);
         let mut cursor = dir_offset + dir_len as u64;
         let mut directory_bytes_out = Vec::with_capacity(dir_len);
         for b in 0..num_buckets {
-            let blob = self.table.serialize_bucket(b);
+            let blob = meta.table.serialize_bucket(b);
             directory_bytes_out.extend_from_slice(&cursor.to_le_bytes());
             directory_bytes_out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
-            self.directory[b as usize] = (cursor, blob.len() as u32);
+            meta.directory[b as usize] = (cursor, blob.len() as u32);
             cursor += blob.len() as u64;
             bucket_blobs.push(blob);
         }
@@ -618,13 +834,13 @@ impl MnemeFile {
             self.handle.write(offset, blob)?;
             offset += blob.len() as u64;
         }
-        self.aux_bytes = offset - dir_offset;
+        meta.aux_bytes = offset - dir_offset;
         self.handle.truncate(offset)?;
         // Future appends go after the tables; commit via one header write.
-        self.data_end = offset;
+        meta.data_end = offset;
         self.write_header_with_directory(dir_offset, dir_len as u32)?;
         self.handle.sync()?;
-        self.dirty = false;
+        self.meta.get_mut().dirty = false;
         Ok(())
     }
 
@@ -635,12 +851,12 @@ impl MnemeFile {
 
     /// Bytes of serialized location tables at the last flush.
     pub fn aux_table_bytes(&self) -> u64 {
-        self.aux_bytes
+        self.meta.read().aux_bytes
     }
 
     /// Payload bytes orphaned by updates/deletes since open.
     pub fn garbage_bytes(&self) -> u64 {
-        self.garbage_bytes
+        self.meta.read().garbage_bytes
     }
 
     /// The storage handle backing this file.
@@ -664,41 +880,37 @@ impl MnemeFile {
                 ps.payload_bytes += live.iter().map(|(_, r)| r.len() as u64).sum::<u64>();
             }
         }
+        let meta = self.meta.get_mut();
         Ok(FileStats {
-            file_bytes: self.file_size()?,
-            aux_table_bytes: self.aux_bytes,
-            garbage_bytes: self.garbage_bytes,
+            file_bytes: self.handle.len()?,
+            aux_table_bytes: meta.aux_bytes,
+            garbage_bytes: meta.garbage_bytes,
             pools: per_pool,
         })
     }
 
     /// Outgoing references of an object, as extracted by its pool.
-    pub fn references_of(&mut self, id: ObjectId) -> Result<Vec<u64>> {
+    pub fn references_of(&self, id: ObjectId) -> Result<Vec<u64>> {
         let (pool_idx, addr) = self.resolve(id)?;
-        self.with_segment(pool_idx, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
-            LocateResult::Found(r) => Ok(pool.references(&seg.bytes()[r])),
-            LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
-            LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+        let mut ps = self.pools[pool_idx].lock();
+        with_segment_in(&self.handle, &mut ps, addr, |pool, seg| {
+            match pool.locate(seg.bytes(), id) {
+                LocateResult::Found(r) => Ok(pool.references(&seg.bytes()[r])),
+                LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+                LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+            }
         })?
     }
 
     /// Enumerates the ids of every live object. Loads all buckets and scans
     /// every physical segment — intended for validation and GC, not queries.
     pub fn live_object_ids(&mut self) -> Result<Vec<ObjectId>> {
-        self.load_all_buckets()?;
-        let mut segments: Vec<(PoolId, SegmentAddr)> = Vec::new();
-        for lseg in self.table.loaded_lsegs() {
-            let entry = self.table.entry(lseg)?.expect("listed lseg exists");
-            for addr in entry.segments() {
-                segments.push((entry.pool, addr));
-            }
-        }
-        segments.sort_unstable_by_key(|&(_, a)| a);
-        segments.dedup();
+        let segments = self.segment_inventory()?;
         let mut out = Vec::new();
         for (pool_id, addr) in segments {
             let pool_idx = self.pool_index(pool_id)?;
-            let mut ids = self.with_segment(pool_idx, addr, |pool, seg| {
+            let ps = self.pools[pool_idx].get_mut();
+            let mut ids = with_segment_in(&self.handle, ps, addr, |pool, seg| {
                 pool.live_objects(seg.bytes()).into_iter().map(|(id, _)| id).collect::<Vec<_>>()
             })?;
             // An object relocated by update() is live in its new segment and
@@ -718,10 +930,11 @@ impl MnemeFile {
     /// Every `(pool, segment)` pair referenced by the location tables,
     /// deduplicated. Loads all buckets.
     pub(crate) fn segment_inventory(&mut self) -> Result<Vec<(PoolId, SegmentAddr)>> {
-        self.load_all_buckets()?;
+        let meta = self.meta.get_mut();
+        load_all_buckets(&self.handle, meta)?;
         let mut out = Vec::new();
-        for lseg in self.table.loaded_lsegs() {
-            let entry = self.table.entry(lseg)?.expect("listed lseg exists");
+        for lseg in meta.table.loaded_lsegs() {
+            let entry = meta.table.entry(lseg)?.expect("listed lseg exists");
             for addr in entry.segments() {
                 out.push((entry.pool, addr));
             }
@@ -742,11 +955,8 @@ impl MnemeFile {
 
     /// The segment kind pool `pool` writes.
     pub(crate) fn pool_kind(&self, pool: PoolId) -> Result<crate::segment::SegmentKind> {
-        let config = self
-            .configs
-            .iter()
-            .find(|c| c.id == pool)
-            .ok_or(MnemeError::NoSuchPool(pool))?;
+        let config =
+            self.configs.iter().find(|c| c.id == pool).ok_or(MnemeError::NoSuchPool(pool))?;
         Ok(crate::validate::kind_of_config(&config.kind))
     }
 
@@ -757,13 +967,15 @@ impl MnemeFile {
         addr: SegmentAddr,
     ) -> Result<Vec<(ObjectId, std::ops::Range<usize>)>> {
         let pool_idx = self.pool_index(pool)?;
-        self.with_segment(pool_idx, addr, |p, seg| p.live_objects(seg.bytes()))
+        let ps = self.pools[pool_idx].get_mut();
+        with_segment_in(&self.handle, ps, addr, |p, seg| p.live_objects(seg.bytes()))
     }
 
     /// Where the tables place `id`, or `None` when unmapped.
     pub(crate) fn locate_for_validation(&mut self, id: ObjectId) -> Result<Option<SegmentAddr>> {
-        self.ensure_bucket_loaded(id.segment())?;
-        Ok(self.table.entry(id.segment())?.and_then(|e| e.segment_for(id.slot())))
+        let meta = self.meta.get_mut();
+        ensure_bucket_loaded(&self.handle, meta, id.segment())?;
+        Ok(meta.table.entry(id.segment())?.and_then(|e| e.segment_for(id.slot())))
     }
 
     /// Looks `id` up inside the specific segment at `addr`.
@@ -774,16 +986,18 @@ impl MnemeFile {
         id: ObjectId,
     ) -> Result<LocateResult> {
         let pool_idx = self.pool_index(pool)?;
-        self.with_segment(pool_idx, addr, |p, seg| p.locate(seg.bytes(), id))
+        let ps = self.pools[pool_idx].get_mut();
+        with_segment_in(&self.handle, ps, addr, |p, seg| p.locate(seg.bytes(), id))
     }
 
     /// The head object of every run and every exception across all loaded
     /// logical segments — ids guaranteed to have been allocated.
     pub(crate) fn run_heads(&mut self) -> Result<Vec<(ObjectId, SegmentAddr)>> {
-        self.load_all_buckets()?;
+        let meta = self.meta.get_mut();
+        load_all_buckets(&self.handle, meta)?;
         let mut out = Vec::new();
-        for lseg in self.table.loaded_lsegs() {
-            let entry = self.table.entry(lseg)?.expect("listed lseg exists");
+        for lseg in meta.table.loaded_lsegs() {
+            let entry = meta.table.entry(lseg)?.expect("listed lseg exists");
             for &(slot, addr) in entry.runs().iter().chain(entry.exceptions()) {
                 out.push((ObjectId::new(lseg, slot), addr));
             }
@@ -821,4 +1035,187 @@ pub struct FileStats {
     pub garbage_bytes: u64,
     /// Per-pool breakdown, in declaration order.
     pub pools: Vec<PoolStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poir_storage::Device;
+
+    fn packed_file(segment_size: u32) -> MnemeFile {
+        let device = Device::with_defaults();
+        MnemeFile::create(
+            device.create_file(),
+            &[PoolConfig {
+                id: PoolId(0),
+                kind: crate::pool::PoolKindConfig::Packed { segment_size },
+            }],
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn file_is_sync_for_shared_readers() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<MnemeFile>();
+    }
+
+    #[test]
+    fn get_batch_matches_serial_gets() {
+        let mut file = packed_file(512);
+        let payloads: Vec<Vec<u8>> = (0..60u8).map(|i| vec![i; 40 + i as usize]).collect();
+        let ids: Vec<ObjectId> =
+            payloads.iter().map(|p| file.create_object(PoolId(0), p).unwrap()).collect();
+        file.flush().unwrap();
+        file.attach_buffer(PoolId(0), Box::new(LruBuffer::new(16 * 1024))).unwrap();
+        // Batch in a scrambled order, including duplicates.
+        let mut order: Vec<usize> = (0..ids.len()).rev().collect();
+        order.extend([3, 3, 17]);
+        let batch_ids: Vec<ObjectId> = order.iter().map(|&i| ids[i]).collect();
+        let batch = file.get_batch(&batch_ids);
+        for (slot, &i) in order.iter().enumerate() {
+            assert_eq!(batch[slot].as_ref().unwrap(), &payloads[i], "object {i}");
+        }
+        // And serial reads agree.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(file.get(*id).unwrap(), payloads[i]);
+        }
+    }
+
+    #[test]
+    fn get_batch_coalesces_adjacent_segments_into_one_access() {
+        let mut file = packed_file(512);
+        // Enough objects to span several physically adjacent 512-byte
+        // segments, written contiguously by construction.
+        let payloads: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 100]).collect();
+        let ids: Vec<ObjectId> =
+            payloads.iter().map(|p| file.create_object(PoolId(0), p).unwrap()).collect();
+        file.flush().unwrap();
+        file.attach_buffer(PoolId(0), Box::new(LruBuffer::new(64 * 1024))).unwrap();
+        let device = file.handle().device().clone();
+        device.chill();
+        let before = device.stats().snapshot();
+        let results = file.get_batch(&ids);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let batch_delta = device.stats().snapshot().since(&before);
+        // All data segments are adjacent: the whole batch needs very few
+        // gathered reads (bucket loads were done before the snapshot by
+        // flush's load_all_buckets).
+        assert!(
+            batch_delta.file_accesses <= 2,
+            "expected coalesced runs, got {} accesses",
+            batch_delta.file_accesses
+        );
+        // Serial baseline on a cold twin: one access per segment.
+        let mut serial = packed_file(512);
+        let ids2: Vec<ObjectId> =
+            payloads.iter().map(|p| serial.create_object(PoolId(0), p).unwrap()).collect();
+        serial.flush().unwrap();
+        serial.attach_buffer(PoolId(0), Box::new(LruBuffer::new(64 * 1024))).unwrap();
+        let dev2 = serial.handle().device().clone();
+        dev2.chill();
+        let before2 = dev2.stats().snapshot();
+        for id in &ids2 {
+            serial.get(*id).unwrap();
+        }
+        let serial_delta = dev2.stats().snapshot().since(&before2);
+        assert!(
+            batch_delta.file_accesses < serial_delta.file_accesses,
+            "batch {} accesses should beat serial {}",
+            batch_delta.file_accesses,
+            serial_delta.file_accesses
+        );
+    }
+
+    #[test]
+    fn get_batch_reports_per_object_errors() {
+        let mut file = packed_file(512);
+        let good = file.create_object(PoolId(0), b"alive").unwrap();
+        let doomed = file.create_object(PoolId(0), b"doomed").unwrap();
+        file.delete(doomed).unwrap();
+        let bogus = ObjectId::new(LogicalSegment(7), 9);
+        let results = file.get_batch(&[good, doomed, bogus]);
+        assert_eq!(results[0].as_ref().unwrap(), b"alive");
+        assert!(matches!(results[1], Err(MnemeError::ObjectDeleted(_))));
+        assert!(matches!(results[2], Err(MnemeError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn prefetch_makes_later_gets_buffer_hits() {
+        let mut file = packed_file(512);
+        let payloads: Vec<Vec<u8>> = (0..30u8).map(|i| vec![i; 90]).collect();
+        let ids: Vec<ObjectId> =
+            payloads.iter().map(|p| file.create_object(PoolId(0), p).unwrap()).collect();
+        file.flush().unwrap();
+        file.attach_buffer(PoolId(0), Box::new(LruBuffer::new(64 * 1024))).unwrap();
+        let transferred = file.prefetch(&ids);
+        assert!(transferred > 0);
+        file.reset_buffer_stats();
+        let device = file.handle().device().clone();
+        let before = device.stats().snapshot();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(file.get(*id).unwrap(), payloads[i]);
+        }
+        let delta = device.stats().snapshot().since(&before);
+        assert_eq!(delta.file_accesses, 0, "prefetched gets must not touch the file");
+        let stats = file.buffer_stats(PoolId(0)).unwrap();
+        assert_eq!(stats.refs, ids.len() as u64);
+        assert_eq!(stats.hits, ids.len() as u64);
+    }
+
+    #[test]
+    fn prefetch_skips_zero_capacity_buffers() {
+        let mut file = packed_file(512);
+        let ids: Vec<ObjectId> =
+            (0..10u8).map(|i| file.create_object(PoolId(0), &[i; 50]).unwrap()).collect();
+        file.flush().unwrap();
+        let device = file.handle().device().clone();
+        let before = device.stats().snapshot();
+        assert_eq!(file.prefetch(&ids), 0);
+        let delta = device.stats().snapshot().since(&before);
+        assert_eq!(delta.file_accesses, 0, "nothing to retain, nothing to read");
+    }
+
+    #[test]
+    fn concurrent_shared_gets_see_consistent_data() {
+        let mut file = packed_file(512);
+        let payloads: Vec<Vec<u8>> = (0..80u8).map(|i| vec![i; 64]).collect();
+        let ids: Vec<ObjectId> =
+            payloads.iter().map(|p| file.create_object(PoolId(0), p).unwrap()).collect();
+        file.flush().unwrap();
+        file.attach_buffers_for_test();
+        let file = &file;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..4usize {
+                let ids = &ids;
+                let payloads = &payloads;
+                handles.push(scope.spawn(move || {
+                    for round in 0..5 {
+                        for i in (t..ids.len()).step_by(4) {
+                            let got = file.get(ids[i]).unwrap();
+                            assert_eq!(got, payloads[i], "thread {t} round {round}");
+                        }
+                        let shard: Vec<ObjectId> =
+                            (t..ids.len()).step_by(4).map(|i| ids[i]).collect();
+                        for (j, r) in file.get_batch(&shard).into_iter().enumerate() {
+                            assert_eq!(r.unwrap(), payloads[t + j * 4]);
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    impl MnemeFile {
+        fn attach_buffers_for_test(&mut self) {
+            for id in self.pool_ids() {
+                self.attach_buffer(id, Box::new(LruBuffer::new(32 * 1024))).unwrap();
+            }
+        }
+    }
 }

@@ -99,8 +99,7 @@ mod tests {
         for id in drop_ids {
             file.delete(id).unwrap();
         }
-        let (mut out, map, stats) =
-            compact(&mut file, dev.create_file(), &configs(), 8).unwrap();
+        let (out, map, stats) = compact(&mut file, dev.create_file(), &configs(), 8).unwrap();
         assert_eq!(stats.objects_copied, 101);
         assert!(
             stats.bytes_after < stats.bytes_before,
@@ -127,8 +126,7 @@ mod tests {
             let data = vec![i as u8; (i as usize % 11) + 1];
             ids.push((file.create_object(pool, &data).unwrap(), data));
         }
-        let (mut out, map, stats) =
-            compact(&mut file, dev.create_file(), &configs(), 4).unwrap();
+        let (out, map, stats) = compact(&mut file, dev.create_file(), &configs(), 4).unwrap();
         assert_eq!(stats.objects_copied, 50);
         for (old, data) in ids {
             assert_eq!(out.get(map[&old]).unwrap(), data);
@@ -143,7 +141,7 @@ mod tests {
         let dest = dev.create_file();
         let (out, map, _) = compact(&mut file, dest.clone(), &configs(), 4).unwrap();
         drop(out);
-        let mut reopened = MnemeFile::open(dest).unwrap();
+        let reopened = MnemeFile::open(dest).unwrap();
         assert_eq!(reopened.get(map[&id]).unwrap(), b"tiny");
     }
 }

@@ -69,8 +69,7 @@ impl Pool for HugePool {
     }
 
     fn try_append(&self, seg: &mut SegmentImage, id: ObjectId, data: &[u8]) -> AppendOutcome {
-        if crate::pool::header_count(seg.bytes()) != 0 || Self::stored_id(seg.bytes()) != id.raw()
-        {
+        if crate::pool::header_count(seg.bytes()) != 0 || Self::stored_id(seg.bytes()) != id.raw() {
             return AppendOutcome::Full;
         }
         if seg.len() < SEGMENT_HEADER_LEN + data.len() {

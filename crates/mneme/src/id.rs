@@ -157,10 +157,7 @@ mod tests {
 
     #[test]
     fn global_id_packs_and_unpacks() {
-        let gid = GlobalId {
-            file: FileSlot(7),
-            object: ObjectId::new(LogicalSegment(99), 42),
-        };
+        let gid = GlobalId { file: FileSlot(7), object: ObjectId::new(LogicalSegment(99), 42) };
         assert_eq!(GlobalId::unpack(gid.pack()), Some(gid));
         assert!(GlobalId::unpack(0x0000_0001_0000_00FF).is_none()); // slot 255
     }

@@ -134,14 +134,7 @@ impl Pool for PackedPool {
 
     fn new_segment(&self, first: ObjectId, _first_len: usize) -> SegmentImage {
         let mut bytes = vec![0u8; self.segment_size];
-        write_header(
-            &mut bytes,
-            SegmentKind::Packed,
-            self.id,
-            0,
-            SEGMENT_HEADER_LEN as u32,
-            first,
-        );
+        write_header(&mut bytes, SegmentKind::Packed, self.id, 0, SEGMENT_HEADER_LEN as u32, first);
         Self::set_entries(&mut bytes, 0);
         SegmentImage::new_dirty(bytes)
     }

@@ -187,8 +187,7 @@ fn read_record(log: &FileHandle, pos: u64, log_len: u64) -> Result<Option<(Recor
         return Ok(None);
     }
     let body = log.read(pos, (10 + data_len) as usize)?;
-    let stored_sum =
-        u32::from_le_bytes(log.read(pos + 10 + data_len, 4)?.try_into().unwrap());
+    let stored_sum = u32::from_le_bytes(log.read(pos + 10 + data_len, 4)?.try_into().unwrap());
     if fnv1a(&body) != stored_sum {
         return Ok(None);
     }
@@ -313,11 +312,11 @@ mod tests {
         let dev = Device::with_defaults();
         let (mut rf, data, log) = fresh(&dev);
         let a = rf.create_object(PoolId(1), b"x").unwrap();
-        let mut inner = rf.into_inner().unwrap();
+        let inner = rf.into_inner().unwrap();
         assert_eq!(inner.get(a).unwrap(), b"x");
         assert_eq!(log.len().unwrap(), 0);
         drop(inner);
-        let mut reopened = MnemeFile::open(data).unwrap();
+        let reopened = MnemeFile::open(data).unwrap();
         assert_eq!(reopened.get(a).unwrap(), b"x");
     }
 }

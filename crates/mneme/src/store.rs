@@ -62,10 +62,7 @@ impl Store {
 
     /// Unmounts a file (flushing it first) and frees its slot.
     pub fn unmount(&mut self, slot: FileSlot) -> Result<MnemeFile> {
-        let entry = self
-            .files
-            .get_mut(slot.0 as usize)
-            .ok_or(MnemeError::NoSuchFile(slot.0))?;
+        let entry = self.files.get_mut(slot.0 as usize).ok_or(MnemeError::NoSuchFile(slot.0))?;
         let mut file = entry.take().ok_or(MnemeError::NoSuchFile(slot.0))?;
         file.flush()?;
         Ok(file)
@@ -161,8 +158,10 @@ mod tests {
         let _b = store.mount(new_file(&dev)).unwrap();
         store.unmount(a).unwrap();
         assert_eq!(store.open_files(), 1);
-        assert!(matches!(store.get(globalize(a, ObjectId::from_raw(0).unwrap())),
-            Err(MnemeError::NoSuchFile(_))));
+        assert!(matches!(
+            store.get(globalize(a, ObjectId::from_raw(0).unwrap())),
+            Err(MnemeError::NoSuchFile(_))
+        ));
         let c = store.mount(new_file(&dev)).unwrap();
         assert_eq!(c, a, "freed slot is reused");
     }
@@ -189,7 +188,7 @@ mod tests {
         let file = store.unmount(slot).unwrap();
         let handle = file.handle().clone();
         drop(file);
-        let mut reopened = MnemeFile::open(handle).unwrap();
+        let reopened = MnemeFile::open(handle).unwrap();
         assert_eq!(reopened.get(id.object).unwrap(), b"tiny");
     }
 }

@@ -251,7 +251,9 @@ impl LocationTable {
     pub fn entry_mut(&mut self, lseg: LogicalSegment, pool: PoolId) -> Result<&mut LsegEntry> {
         let bucket = self.bucket_of(lseg) as usize;
         match &mut self.buckets[bucket] {
-            BucketState::Loaded(map) => Ok(map.entry(lseg.0).or_insert_with(|| LsegEntry::new(pool))),
+            BucketState::Loaded(map) => {
+                Ok(map.entry(lseg.0).or_insert_with(|| LsegEntry::new(pool)))
+            }
             BucketState::Unloaded => {
                 Err(MnemeError::Corrupt(format!("bucket for lseg {} not loaded", lseg.0)))
             }

@@ -60,9 +60,7 @@ impl MnemeFile {
                 report.problems.push(format!("{desc} extends past end of file ({file_len})"));
             }
             if addr.offset < prev_end {
-                report
-                    .problems
-                    .push(format!("{desc} overlaps previous segment {prev_desc}"));
+                report.problems.push(format!("{desc} overlaps previous segment {prev_desc}"));
             }
             prev_end = addr.offset + addr.len as u64;
             prev_desc = desc;
@@ -77,10 +75,9 @@ impl MnemeFile {
             let header_kind = match self.segment_header_kind(addr) {
                 Ok(k) => k,
                 Err(e) => {
-                    report.problems.push(format!(
-                        "segment at {}+{}: unreadable ({e})",
-                        addr.offset, addr.len
-                    ));
+                    report
+                        .problems
+                        .push(format!("segment at {}+{}: unreadable ({e})", addr.offset, addr.len));
                     continue;
                 }
             };

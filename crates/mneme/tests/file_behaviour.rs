@@ -3,16 +3,17 @@
 
 use std::sync::Arc;
 
-use poir_mneme::{
-    LruBuffer, MnemeError, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig,
-};
+use poir_mneme::{LruBuffer, MnemeError, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig};
 use poir_storage::{CostModel, Device, DeviceConfig};
 
 fn paper_pools() -> Vec<PoolConfig> {
     vec![
         PoolConfig { id: PoolId(0), kind: PoolKindConfig::Small },
         PoolConfig { id: PoolId(1), kind: PoolKindConfig::Packed { segment_size: 8192 } },
-        PoolConfig { id: PoolId(2), kind: PoolKindConfig::SegmentPerObject { embedded_refs: false } },
+        PoolConfig {
+            id: PoolId(2),
+            kind: PoolKindConfig::SegmentPerObject { embedded_refs: false },
+        },
     ]
 }
 
@@ -61,8 +62,8 @@ fn objects_survive_flush_and_reopen() {
         for i in 0..1000u32 {
             let pool = PoolId((i % 3) as u8);
             let len = match pool.0 {
-                0 => (i % 13) as usize,      // 0..=12 bytes
-                1 => 20 + (i % 500) as usize, // medium
+                0 => (i % 13) as usize,          // 0..=12 bytes
+                1 => 20 + (i % 500) as usize,    // medium
                 _ => 5000 + (i % 3000) as usize, // large
             };
             let data = vec![(i % 251) as u8; len];
@@ -70,7 +71,7 @@ fn objects_survive_flush_and_reopen() {
         }
         f.flush().unwrap();
     }
-    let mut f = MnemeFile::open(handle).unwrap();
+    let f = MnemeFile::open(handle).unwrap();
     for (id, data) in &ids {
         assert_eq!(&f.get(*id).unwrap(), data, "object {id:?}");
     }
@@ -133,7 +134,7 @@ fn update_in_place_and_relocation() {
     f.flush().unwrap();
     let handle = f.handle().clone();
     drop(f);
-    let mut f = MnemeFile::open(handle).unwrap();
+    let f = MnemeFile::open(handle).unwrap();
     assert_eq!(f.get(id).unwrap(), vec![3u8; 4000]);
 }
 
@@ -190,7 +191,7 @@ fn zero_capacity_buffer_rereads_every_access() {
         id = f.create_object(PoolId(1), &vec![1u8; 500]).unwrap();
         f.flush().unwrap();
     }
-    let mut f = MnemeFile::open(handle).unwrap();
+    let f = MnemeFile::open(handle).unwrap();
     let before = dev.stats().snapshot();
     f.get(id).unwrap();
     f.get(id).unwrap();
@@ -244,7 +245,7 @@ fn aux_tables_are_read_once_then_cached() {
         }
         f.flush().unwrap();
     }
-    let mut f = MnemeFile::open(handle).unwrap();
+    let f = MnemeFile::open(handle).unwrap();
     let before = dev.stats().snapshot();
     for id in &ids {
         f.get(*id).unwrap();

@@ -2,12 +2,9 @@
 //! byte string under arbitrary create/get/update/delete/flush/reopen
 //! sequences, across all three pool layouts and any buffer size.
 
-
 use proptest::prelude::*;
 
-use poir_mneme::{
-    LruBuffer, MnemeError, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig,
-};
+use poir_mneme::{LruBuffer, MnemeError, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig};
 use poir_storage::{CostModel, Device, DeviceConfig};
 
 #[derive(Debug, Clone)]
@@ -37,7 +34,10 @@ fn pools() -> Vec<PoolConfig> {
     vec![
         PoolConfig { id: PoolId(0), kind: PoolKindConfig::Small },
         PoolConfig { id: PoolId(1), kind: PoolKindConfig::Packed { segment_size: 2048 } },
-        PoolConfig { id: PoolId(2), kind: PoolKindConfig::SegmentPerObject { embedded_refs: false } },
+        PoolConfig {
+            id: PoolId(2),
+            kind: PoolKindConfig::SegmentPerObject { embedded_refs: false },
+        },
     ]
 }
 

@@ -100,7 +100,8 @@ impl FileBackend {
     /// Opens (creating if absent) the file at `path` for read/write access.
     pub fn open(path: &Path) -> Result<Self> {
         // Open-or-create without truncation: reopening must preserve contents.
-        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         Ok(FileBackend { file, len })
     }

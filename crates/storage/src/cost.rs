@@ -140,7 +140,8 @@ mod tests {
 
     #[test]
     fn charge_sums_each_component() {
-        let m = CostModel { block_read_us: 100, block_write_us: 50, syscall_us: 10, copy_us_per_kb: 1 };
+        let m =
+            CostModel { block_read_us: 100, block_write_us: 50, syscall_us: 10, copy_us_per_kb: 1 };
         let d = IoSnapshot {
             io_inputs: 2,
             io_outputs: 1,
@@ -155,7 +156,12 @@ mod tests {
 
     #[test]
     fn free_model_charges_nothing() {
-        let d = IoSnapshot { io_inputs: 10, bytes_read: 1 << 20, file_accesses: 5, ..Default::default() };
+        let d = IoSnapshot {
+            io_inputs: 10,
+            bytes_read: 1 << 20,
+            file_accesses: 5,
+            ..Default::default()
+        };
         assert_eq!(CostModel::free().charge(&d), SimTime::ZERO);
     }
 

@@ -201,6 +201,46 @@ impl Device {
         })
     }
 
+    fn read_at_vectored(&self, id: FileId, ranges: &[(u64, u32)]) -> Result<Vec<Vec<u8>>> {
+        let block = self.config.block_size as u64;
+        self.with_file(id, |inner, store| {
+            if let Some(n) = inner.reads_before_fault {
+                if n == 0 {
+                    return Err(StorageError::InjectedFault);
+                }
+                inner.reads_before_fault = Some(n - 1);
+            }
+            // One gathered system call, like preadv: a single file access
+            // whose byte count is the sum of all requested ranges.
+            let total: u64 = ranges.iter().map(|&(_, len)| len as u64).sum();
+            self.stats.record_read(total);
+            let mut disk_blocks = 0;
+            for &(offset, len) in ranges {
+                if len == 0 {
+                    continue;
+                }
+                let first = offset / block;
+                let last = (offset + len as u64 - 1) / block;
+                for b in first..=last {
+                    if !inner.cache.access((id.0, b)) {
+                        disk_blocks += 1;
+                        inner.cache.insert((id.0, b));
+                    }
+                }
+            }
+            if disk_blocks > 0 {
+                self.stats.record_io_inputs(disk_blocks);
+            }
+            let mut out = Vec::with_capacity(ranges.len());
+            for &(offset, len) in ranges {
+                let mut buf = vec![0u8; len as usize];
+                store.read_at(offset, &mut buf)?;
+                out.push(buf);
+            }
+            Ok(out)
+        })
+    }
+
     fn write_at(&self, id: FileId, offset: u64, data: &[u8]) -> Result<()> {
         let block = self.config.block_size as u64;
         self.with_file(id, |inner, store| {
@@ -283,6 +323,33 @@ impl FileHandle {
         let mut buf = vec![0u8; len];
         self.read_into(offset, &mut buf)?;
         Ok(buf)
+    }
+
+    /// Reads several `(offset, len)` ranges in one gathered system call,
+    /// like `preadv`: the whole request counts as **one** file access, and
+    /// each distinct block touched counts at most one I/O input.
+    ///
+    /// Ranges may be disjoint; callers batching adjacent segments should
+    /// prefer [`FileHandle::read_run`], which expresses the common
+    /// contiguous case directly.
+    pub fn read_vectored(&self, ranges: &[(u64, u32)]) -> Result<Vec<Vec<u8>>> {
+        self.device.read_at_vectored(self.id, ranges)
+    }
+
+    /// Reads a contiguous run of `lens.len()` adjacent chunks starting at
+    /// `start` in one system call, returning one buffer per chunk.
+    ///
+    /// This is the coalesced-batch primitive: a run of physically adjacent
+    /// segments is transferred with a single file access instead of one
+    /// access per segment.
+    pub fn read_run(&self, start: u64, lens: &[u32]) -> Result<Vec<Vec<u8>>> {
+        let mut ranges = Vec::with_capacity(lens.len());
+        let mut offset = start;
+        for &len in lens {
+            ranges.push((offset, len));
+            offset += len as u64;
+        }
+        self.device.read_at_vectored(self.id, &ranges)
     }
 
     /// Writes `data` at `offset`, extending the file if needed.
@@ -437,6 +504,53 @@ mod tests {
     }
 
     #[test]
+    fn read_run_counts_one_syscall() {
+        let dev = small_device();
+        let f = dev.create_file();
+        f.write(0, &(0u8..=255).collect::<Vec<_>>()).unwrap();
+        dev.chill();
+        let before = dev.stats().snapshot();
+        let parts = f.read_run(16, &[16, 8, 24]).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], (16u8..32).collect::<Vec<_>>());
+        assert_eq!(parts[1], (32u8..40).collect::<Vec<_>>());
+        assert_eq!(parts[2], (40u8..64).collect::<Vec<_>>());
+        let d = dev.stats().snapshot().since(&before);
+        assert_eq!(d.file_accesses, 1, "a run is one gathered system call");
+        assert_eq!(d.bytes_read, 48);
+        assert_eq!(d.io_inputs, 3, "bytes 16..64 span blocks 1,2,3");
+        // Re-reading the same run hits the OS cache entirely.
+        let before = dev.stats().snapshot();
+        f.read_run(16, &[16, 8, 24]).unwrap();
+        let d = dev.stats().snapshot().since(&before);
+        assert_eq!((d.file_accesses, d.io_inputs), (1, 0));
+    }
+
+    #[test]
+    fn read_vectored_disjoint_ranges() {
+        let dev = small_device();
+        let f = dev.create_file();
+        f.write(0, &[7u8; 160]).unwrap();
+        dev.chill();
+        let before = dev.stats().snapshot();
+        let parts = f.read_vectored(&[(0, 16), (144, 16)]).unwrap();
+        assert_eq!(parts, vec![vec![7u8; 16], vec![7u8; 16]]);
+        let d = dev.stats().snapshot().since(&before);
+        assert_eq!(d.file_accesses, 1);
+        assert_eq!(d.io_inputs, 2, "blocks 0 and 9 transferred");
+    }
+
+    #[test]
+    fn read_vectored_respects_fault_injection() {
+        let dev = small_device();
+        let f = dev.create_file();
+        f.write(0, &[1u8; 64]).unwrap();
+        dev.inject_read_fault_after(Some(1));
+        assert!(f.read_run(0, &[16, 16]).is_ok());
+        assert!(matches!(f.read_run(0, &[16, 16]), Err(StorageError::InjectedFault)));
+    }
+
+    #[test]
     fn unknown_file_is_reported() {
         let dev = small_device();
         let f = dev.create_file();
@@ -446,10 +560,7 @@ mod tests {
         other.create_file();
         drop(g);
         // Read past end of existing file reports OutOfBounds not panic.
-        assert!(matches!(
-            f.read(100, 4),
-            Err(StorageError::OutOfBounds { .. })
-        ));
+        assert!(matches!(f.read(100, 4), Err(StorageError::OutOfBounds { .. })));
     }
 
     #[test]

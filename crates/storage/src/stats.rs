@@ -111,17 +111,16 @@ pub struct IoSnapshot {
 impl IoSnapshot {
     /// Counter increments between `earlier` and `self`.
     ///
-    /// # Panics
-    /// Panics in debug builds if `earlier` was taken after `self`.
+    /// Saturates at zero componentwise, so a stats reset (or a snapshot pair
+    /// taken out of order around one) yields zeros instead of underflowing.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
-        debug_assert!(self.io_inputs >= earlier.io_inputs);
         IoSnapshot {
-            io_inputs: self.io_inputs - earlier.io_inputs,
-            io_outputs: self.io_outputs - earlier.io_outputs,
-            file_accesses: self.file_accesses - earlier.file_accesses,
-            file_writes: self.file_writes - earlier.file_writes,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
+            io_inputs: self.io_inputs.saturating_sub(earlier.io_inputs),
+            io_outputs: self.io_outputs.saturating_sub(earlier.io_outputs),
+            file_accesses: self.file_accesses.saturating_sub(earlier.file_accesses),
+            file_writes: self.file_writes.saturating_sub(earlier.file_writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
         }
     }
 
@@ -169,5 +168,17 @@ mod tests {
     #[test]
     fn snapshot_of_fresh_stats_is_zero() {
         assert_eq!(IoStats::new().snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let s = IoStats::new();
+        s.record_read(4096);
+        s.record_io_inputs(2);
+        let high = s.snapshot();
+        // A snapshot taken "before" a reset has higher counts than one taken
+        // after; the delta must clamp to zero rather than panic.
+        let d = IoSnapshot::default().since(&high);
+        assert_eq!(d, IoSnapshot::default());
     }
 }

@@ -18,10 +18,7 @@ use poir::storage::{CostModel, Device, DeviceConfig};
 fn main() {
     let paper = collections::legal().scale(0.10);
     let collection = SyntheticCollection::new(paper.spec.clone());
-    println!(
-        "generating + indexing {} legal case descriptions ...",
-        paper.spec.num_docs
-    );
+    println!("generating + indexing {} legal case descriptions ...", paper.spec.num_docs);
     let mut builder = IndexBuilder::new(StopWords::default());
     for doc in collection.documents() {
         builder.add_document(&doc.name, &doc.text);
@@ -50,9 +47,8 @@ fn main() {
             os_cache_blocks: 512,
             cost_model: CostModel::default(),
         });
-        let mut engine =
-            Engine::build(&device, backend, index.clone(), StopWords::default())
-                .expect("engine build");
+        let mut engine = Engine::build(&device, backend, index.clone(), StopWords::default())
+            .expect("engine build");
         let report = engine.run_query_set(&texts, 100).expect("query set");
         println!(
             "{:<18} {:>12.2} {:>8} {:>8.2} {:>10}",
@@ -83,10 +79,8 @@ fn main() {
             let mut p10 = Vec::new();
             for q in &queries {
                 let ranked = engine.query(&q.text, 100).expect("query");
-                let scored: Vec<ScoredDoc> = ranked
-                    .iter()
-                    .map(|r| ScoredDoc { doc: r.doc, score: r.score })
-                    .collect();
+                let scored: Vec<ScoredDoc> =
+                    ranked.iter().map(|r| ScoredDoc { doc: r.doc, score: r.score }).collect();
                 let judgments = judgments_for(&collection, q);
                 aps.push(judgments.average_precision(&scored));
                 p10.push(judgments.precision_at(&scored, 10));

@@ -65,14 +65,12 @@ fn main() {
     // Deletions leave tombstones; offline compaction reclaims them. (This
     // drops to the Mneme layer — the gc module rewrites live objects into a
     // fresh file and reports the space reclaimed.)
-    let pools = vec![
-        poir::mneme::PoolConfig {
-            id: poir::mneme::PoolId(0),
-            kind: poir::mneme::PoolKindConfig::Packed { segment_size: 8192 },
-        },
-    ];
-    let mut demo = poir::mneme::MnemeFile::create(device.create_file(), &pools, 16)
-        .expect("create");
+    let pools = vec![poir::mneme::PoolConfig {
+        id: poir::mneme::PoolId(0),
+        kind: poir::mneme::PoolKindConfig::Packed { segment_size: 8192 },
+    }];
+    let mut demo =
+        poir::mneme::MnemeFile::create(device.create_file(), &pools, 16).expect("create");
     let mut ids = Vec::new();
     for i in 0..500u32 {
         ids.push(demo.create_object(poir::mneme::PoolId(0), &[i as u8; 64]).expect("create"));

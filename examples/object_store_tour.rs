@@ -25,8 +25,14 @@ fn main() {
     let pools = vec![
         PoolConfig { id: PoolId(0), kind: PoolKindConfig::Small },
         PoolConfig { id: PoolId(1), kind: PoolKindConfig::Packed { segment_size: 8192 } },
-        PoolConfig { id: PoolId(2), kind: PoolKindConfig::SegmentPerObject { embedded_refs: false } },
-        PoolConfig { id: PoolId(3), kind: PoolKindConfig::SegmentPerObject { embedded_refs: true } },
+        PoolConfig {
+            id: PoolId(2),
+            kind: PoolKindConfig::SegmentPerObject { embedded_refs: false },
+        },
+        PoolConfig {
+            id: PoolId(3),
+            kind: PoolKindConfig::SegmentPerObject { embedded_refs: true },
+        },
     ];
     let handle = device.create_file_at(&dir.join("store.mneme")).expect("file");
     let mut file = MnemeFile::create(handle.clone(), &pools, 32).expect("create");
@@ -70,7 +76,7 @@ fn main() {
     // --- persistence -------------------------------------------------------
     file.flush().expect("flush");
     drop(file);
-    let mut reopened = MnemeFile::open(handle).expect("open");
+    let reopened = MnemeFile::open(handle).expect("open");
     assert_eq!(reopened.get(tiny).expect("get"), b"12 bytes max");
     println!("reopened the store from disk; objects intact");
 

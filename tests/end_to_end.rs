@@ -14,7 +14,10 @@ fn device() -> std::sync::Arc<Device> {
     })
 }
 
-fn build(paper: &collections::PaperCollection, scale: f64) -> (SyntheticCollection, poir::inquery::Index) {
+fn build(
+    paper: &collections::PaperCollection,
+    scale: f64,
+) -> (SyntheticCollection, poir::inquery::Index) {
     let scaled = paper.clone().scale(scale);
     let collection = SyntheticCollection::new(scaled.spec.clone());
     let mut builder = IndexBuilder::new(StopWords::default());
@@ -36,8 +39,7 @@ fn full_pipeline_cacm_like() {
     let mut reports = Vec::new();
     for backend in BackendKind::all() {
         let dev = device();
-        let mut engine =
-            Engine::build(&dev, backend, index.clone(), StopWords::default()).unwrap();
+        let mut engine = Engine::build(&dev, backend, index.clone(), StopWords::default()).unwrap();
         // Rankings per query.
         let mut per_backend = Vec::new();
         for q in &texts {
@@ -77,10 +79,7 @@ fn relevant_documents_are_retrieved() {
         aps.push(judgments_for(&collection, q).average_precision(&scored));
     }
     let map = poir::inquery::metrics::mean(&aps);
-    assert!(
-        map > 0.3,
-        "topical queries must find their topics' documents (MAP {map})"
-    );
+    assert!(map > 0.3, "topical queries must find their topics' documents (MAP {map})");
 }
 
 #[test]
@@ -88,19 +87,12 @@ fn record_size_distribution_matches_the_paper() {
     // "approximately 50% of the inverted lists are 12 bytes or less"
     let (_, index) = build(&collections::legal(), 0.1);
     let fraction = index.fraction_at_most(12);
-    assert!(
-        (0.35..0.70).contains(&fraction),
-        "small-record fraction {fraction} out of band"
-    );
+    assert!((0.35..0.70).contains(&fraction), "small-record fraction {fraction} out of band");
     // And the small records are a negligible share of the file bytes
     // (Figure 1: "less than 1% of the total file size for the larger
     // collections and only 5% ... for the smallest").
-    let small_bytes: u64 = index
-        .records
-        .iter()
-        .map(|(_, r)| r.len() as u64)
-        .filter(|&l| l <= 12)
-        .sum();
+    let small_bytes: u64 =
+        index.records.iter().map(|(_, r)| r.len() as u64).filter(|&l| l <= 12).sum();
     let share = small_bytes as f64 / index.total_record_bytes() as f64;
     // At this 10% test scale the large lists are still growing, so the
     // bound is loose; the paper's ≤5% emerges at full scale (the

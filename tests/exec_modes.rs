@@ -1,0 +1,172 @@
+//! Cross-mode equivalence: serial, batched-prefetch, and parallel query
+//! execution must produce byte-identical rankings, and the coalesced batch
+//! path must not cost more file accesses per record lookup than the serial
+//! Mneme path.
+
+use poir::collections::{self, generate_queries, SyntheticCollection};
+use poir::core::{BackendKind, Engine, ExecMode};
+use poir::inquery::{IndexBuilder, StopWords};
+use poir::storage::{CostModel, Device, DeviceConfig};
+
+fn device() -> std::sync::Arc<Device> {
+    Device::new(DeviceConfig {
+        block_size: 8192,
+        os_cache_blocks: 256,
+        cost_model: CostModel::default(),
+    })
+}
+
+fn cacm_fixture() -> (poir::inquery::Index, Vec<String>) {
+    let paper = collections::cacm();
+    let scaled = paper.clone().scale(0.1);
+    let collection = SyntheticCollection::new(scaled.spec.clone());
+    let mut builder = IndexBuilder::new(StopWords::default());
+    for doc in collection.documents() {
+        builder.add_document(&doc.name, &doc.text);
+    }
+    let index = builder.finish();
+    let queries =
+        generate_queries(&collection, &paper.query_sets[0]).into_iter().map(|q| q.text).collect();
+    (index, queries)
+}
+
+fn fresh_engine(index: &poir::inquery::Index) -> Engine {
+    Engine::build(&device(), BackendKind::MnemeCache, index.clone(), StopWords::default()).unwrap()
+}
+
+/// Rankings as exactly comparable tuples (score bit patterns included).
+fn keyed(rankings: &[Vec<poir::core::RankedResult>]) -> Vec<Vec<(u32, String, u64)>> {
+    rankings
+        .iter()
+        .map(|q| q.iter().map(|r| (r.doc.0, r.name.clone(), r.score.to_bits())).collect())
+        .collect()
+}
+
+#[test]
+fn all_three_modes_rank_identically() {
+    let (index, queries) = cacm_fixture();
+
+    let mut serial_engine = fresh_engine(&index);
+    let (serial_report, serial_rankings) =
+        serial_engine.run_query_set_mode(&queries, 10, ExecMode::Serial).unwrap();
+
+    let mut batched_engine = fresh_engine(&index);
+    let (batched_report, batched_rankings) =
+        batched_engine.run_query_set_mode(&queries, 10, ExecMode::BatchedPrefetch).unwrap();
+
+    let mut parallel_engine = fresh_engine(&index);
+    let parallel = parallel_engine.run_query_set_parallel(&queries, 10, 4).unwrap();
+
+    assert!(!serial_rankings.is_empty());
+    assert!(serial_rankings.iter().any(|r| !r.is_empty()), "queries must match documents");
+    assert_eq!(
+        keyed(&serial_rankings),
+        keyed(&batched_rankings),
+        "batched prefetch changed a ranking"
+    );
+    assert_eq!(
+        keyed(&serial_rankings),
+        keyed(&parallel.rankings),
+        "parallel execution changed a ranking"
+    );
+
+    // Identical work: every mode performed the same record lookups.
+    assert_eq!(serial_report.record_lookups, batched_report.record_lookups);
+    assert_eq!(serial_report.record_lookups, parallel.report.record_lookups);
+}
+
+#[test]
+fn batched_prefetch_does_not_increase_accesses_per_lookup() {
+    let (index, queries) = cacm_fixture();
+
+    let mut serial_engine = fresh_engine(&index);
+    let (serial_report, _) =
+        serial_engine.run_query_set_mode(&queries, 10, ExecMode::Serial).unwrap();
+
+    let mut batched_engine = fresh_engine(&index);
+    let (batched_report, _) =
+        batched_engine.run_query_set_mode(&queries, 10, ExecMode::BatchedPrefetch).unwrap();
+
+    assert!(serial_report.record_lookups > 0);
+    assert!(
+        batched_report.accesses_per_lookup() <= serial_report.accesses_per_lookup(),
+        "coalesced batch I/O must not raise the A statistic: batched {} > serial {}",
+        batched_report.accesses_per_lookup(),
+        serial_report.accesses_per_lookup()
+    );
+    // A query's scattered terms rarely sit in adjacent segments, so the
+    // batched run may only tie on accesses — but it must never read more.
+    assert!(
+        batched_report.io.file_accesses <= serial_report.io.file_accesses,
+        "batched run issued more read system calls ({} vs {})",
+        batched_report.io.file_accesses,
+        serial_report.io.file_accesses
+    );
+    assert!(
+        batched_report.io.io_inputs <= serial_report.io.io_inputs,
+        "batched run transferred more blocks ({} vs {})",
+        batched_report.io.io_inputs,
+        serial_report.io.io_inputs
+    );
+}
+
+#[test]
+fn store_level_batch_fetch_strictly_coalesces() {
+    use poir::core::{MnemeInvertedFile, MnemeOptions};
+    use poir::inquery::InvertedFileStore;
+
+    let (index, _) = cacm_fixture();
+    let build_store = |dev: &std::sync::Arc<Device>| {
+        let mut dict = index.dictionary.clone();
+        let mut store = MnemeInvertedFile::build(
+            dev.create_file(),
+            MnemeOptions::default(),
+            &index.records,
+            &mut dict,
+        )
+        .unwrap();
+        store.attach_buffers(poir::core::paper_heuristic(store.largest_record(), 8192)).unwrap();
+        let refs: Vec<u64> = index.records.iter().map(|(t, _)| dict.entry(*t).store_ref).collect();
+        (store, refs)
+    };
+
+    // Serial: fetch every record one at a time on a cold OS cache.
+    let dev = device();
+    let (mut serial_store, refs) = build_store(&dev);
+    dev.chill();
+    let before = dev.stats().snapshot();
+    for &r in &refs {
+        serial_store.fetch(r).unwrap();
+    }
+    let serial = dev.stats().snapshot().since(&before);
+
+    // Batched: one fetch_batch over the same references.
+    let dev = device();
+    let (mut batch_store, refs2) = build_store(&dev);
+    assert_eq!(refs, refs2);
+    dev.chill();
+    let before = dev.stats().snapshot();
+    let results = batch_store.fetch_batch(&refs2);
+    let batched = dev.stats().snapshot().since(&before);
+
+    for (r, (_, bytes)) in results.iter().zip(&index.records) {
+        assert_eq!(r.as_ref().unwrap(), bytes);
+    }
+    assert_eq!(batch_store.record_lookups(), refs.len() as u64);
+    // Records were created back-to-back, so their segments are physically
+    // adjacent and whole runs collapse into single gathered reads.
+    assert!(
+        batched.file_accesses < serial.file_accesses,
+        "batch fetch should strictly coalesce ({} vs {} accesses)",
+        batched.file_accesses,
+        serial.file_accesses
+    );
+}
+
+#[test]
+fn parallel_execution_rejects_the_btree_backend() {
+    let (index, queries) = cacm_fixture();
+    let mut engine =
+        Engine::build(&device(), BackendKind::BTree, index, StopWords::default()).unwrap();
+    assert!(engine.run_query_set_parallel(&queries, 10, 2).is_err());
+}

@@ -1,0 +1,713 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the slice of proptest it uses: the `proptest!` /
+//! `prop_oneof!` / `prop_assert*!` macros, `Strategy` with `prop_map` and
+//! `prop_flat_map`, integer-range / `any` / `Just` / tuple / regex-string
+//! strategies, and `collection::{vec, btree_set}`.
+//!
+//! Differences from real proptest, by design:
+//! * cases are generated from a per-case deterministic seed (reproducible on
+//!   every run and platform) rather than OS entropy;
+//! * no shrinking — a failing case reports the generated inputs verbatim;
+//! * `prop_assert*!` panics (the runner catches the panic, prints the case,
+//!   and re-raises) instead of returning `TestCaseError`.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Runner configuration. Only the knobs the workspace touches.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (mirrors proptest's constructor).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for case number `case` of a deterministic run.
+    pub fn for_case(case: u64) -> Self {
+        TestRng { state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mask = n.next_power_of_two().wrapping_sub(1);
+        loop {
+            let draw = self.next_u64() & mask;
+            if draw < n {
+                return draw;
+            }
+        }
+    }
+
+    /// Uniform draw from the inclusive span `[lo, hi]` (i128 to cover every
+    /// integer type up to 64 bits, signed or unsigned).
+    pub fn span_inclusive(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128;
+        if span >= u64::MAX as u128 {
+            return lo + self.next_u64() as i128;
+        }
+        lo + self.below(span as u64 + 1) as i128
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty());
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.span_inclusive(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.span_inclusive(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        let unit = rng.next_u64() as f64 / u64::MAX as f64;
+        self.start() + unit * (self.end() - self.start())
+    }
+}
+
+/// Full-range strategy for a primitive type; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Types usable with [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform strategy over the whole value range of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies: `"[a-z]{3,6}( [a-z]{3,6}){2,10}"` etc.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RegexNode {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<RegexAtom>),
+}
+
+#[derive(Debug, Clone)]
+struct RegexAtom {
+    node: RegexNode,
+    min: u32,
+    max: u32,
+}
+
+/// Strategy compiled from a regex-subset pattern: literals, `[a-z]`-style
+/// classes (ranges and singletons), `(...)` groups, and `{m}` / `{m,n}` /
+/// `?` / `*` / `+` quantifiers.
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    atoms: Vec<RegexAtom>,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    while let Some(c) = chars.next() {
+        if c == ']' {
+            return ranges;
+        }
+        let lo = if c == '\\' { chars.next().expect("dangling escape in class") } else { c };
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next(); // consume '-'
+            match ahead.peek() {
+                Some(&hi) if hi != ']' => {
+                    chars.next();
+                    chars.next();
+                    ranges.push((lo, hi));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        ranges.push((lo, lo));
+    }
+    panic!("unterminated character class in pattern");
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad {m,n} quantifier"),
+                    n.trim().parse().expect("bad {m,n} quantifier"),
+                ),
+                None => {
+                    let m = body.trim().parse().expect("bad {m} quantifier");
+                    (m, m)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    in_group: bool,
+) -> Vec<RegexAtom> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            if in_group {
+                chars.next();
+                return atoms;
+            }
+            panic!("unbalanced ')' in pattern");
+        }
+        chars.next();
+        let node = match c {
+            '[' => RegexNode::Class(parse_class(chars)),
+            '(' => RegexNode::Group(parse_seq(chars, true)),
+            '\\' => RegexNode::Lit(chars.next().expect("dangling escape")),
+            other => RegexNode::Lit(other),
+        };
+        let (min, max) = parse_quantifier(chars);
+        assert!(min <= max, "inverted quantifier in pattern");
+        atoms.push(RegexAtom { node, min, max });
+    }
+    assert!(!in_group, "unterminated group in pattern");
+    atoms
+}
+
+impl StringStrategy {
+    /// Compiles `pattern`; panics on syntax outside the supported subset.
+    pub fn from_pattern(pattern: &str) -> Self {
+        let mut chars = pattern.chars().peekable();
+        StringStrategy { atoms: parse_seq(&mut chars, false) }
+    }
+}
+
+fn generate_atoms(atoms: &[RegexAtom], rng: &mut TestRng, out: &mut String) {
+    for atom in atoms {
+        let reps = rng.span_inclusive(atom.min as i128, atom.max as i128) as u32;
+        for _ in 0..reps {
+            match &atom.node {
+                RegexNode::Lit(c) => out.push(*c),
+                RegexNode::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    out.push(
+                        char::from_u32(rng.span_inclusive(lo as i128, hi as i128) as u32)
+                            .expect("class range crosses a surrogate gap"),
+                    );
+                }
+                RegexNode::Group(inner) => generate_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_atoms(&self.atoms, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Compiled per generate call; fine at test-case volumes.
+        StringStrategy::from_pattern(self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Strategies for containers of generated values.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size span for generated containers.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.span_inclusive(self.min as i128, self.max as i128) as usize
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` with a target size drawn from `size`. If the element
+    /// domain is too small to reach the target, returns as many distinct
+    /// elements as a bounded number of draws produced.
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = target * 20 + 50;
+            while set.len() < target && attempts > 0 {
+                set.insert(self.elem.generate(rng));
+                attempts -= 1;
+            }
+            set
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Test-runner internals used by the `proptest!` macro expansion.
+pub mod test_runner {
+    use super::{ProptestConfig, Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Runs `test` against `config.cases` deterministic generated cases,
+    /// reporting the generated inputs of the first failing case.
+    pub fn run<S, F>(config: &ProptestConfig, strategy: S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: FnMut(S::Value),
+    {
+        for case in 0..config.cases as u64 {
+            let mut rng = TestRng::for_case(case);
+            let value = strategy.generate(&mut rng);
+            let rendered = format!("{value:?}");
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| test(value))) {
+                eprintln!("proptest: case #{case} failed with input: {rendered}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Property assertion; panics on failure (the runner attributes the panic to
+/// the generated case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted or unweighted choice between strategies producing one type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(&config, strategy, |($($arg,)+)| $body);
+            }
+        )*
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, Union,
+    };
+}
+
+// Re-exported so `$crate::Strategy::boxed` resolves in macro expansions.
+pub use collection as __collection;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let strat = "[a-z]{3,6}( [a-z]{3,6}){2,10}";
+        let mut rng = crate::TestRng::for_case(5);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!(words.len() >= 3 && words.len() <= 11, "bad word count in {s:?}");
+            for w in words {
+                assert!(w.len() >= 3 && w.len() <= 6, "bad word len in {s:?}");
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn printable_class_range() {
+        let mut rng = crate::TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[ -~]{0,120}", &mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn oneof_and_collections(
+            v in collection::vec(prop_oneof![2 => 0u32..10, 1 => Just(99u32)], 1..40),
+            s in collection::btree_set(0u8..16, 0..10usize),
+            (a, b) in (0u16..100, any::<u8>()),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            prop_assert!(v.iter().all(|&x| x < 10 || x == 99));
+            prop_assert!(s.len() <= 10);
+            prop_assert!(a < 100);
+            let _ = b;
+            prop_assert_ne!(v.len(), 0);
+            prop_assert_eq!(v.len(), v.iter().fold(0, |n, _| n + 1));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_dependent_pair((len, idx) in (1usize..20).prop_flat_map(|l| (Just(l), 0usize..l))) {
+            prop_assert!(idx < len);
+        }
+    }
+}

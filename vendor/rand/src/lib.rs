@@ -1,0 +1,296 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the small slice of `rand` it actually uses: a seedable
+//! `StdRng` (xoshiro256** seeded through SplitMix64), the `Rng` extension
+//! trait with `gen` / `gen_range`, and uniform sampling for the integer and
+//! float types the collections and tests draw. Distribution quality matches
+//! what the callers need (Zipf sampling, synthetic text, fuzz inputs); it is
+//! NOT a cryptographic generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their full value range via
+/// [`Rng::gen`] (rand's `Standard` distribution).
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types that support uniform sampling from a sub-range.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from `[lo, hi]` (both inclusive). `lo <= hi` required.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Rejection sampling over the smallest power-of-two envelope
+                // so the distribution is exactly uniform.
+                let span = span + 1;
+                let mask = span.next_power_of_two().wrapping_sub(1);
+                loop {
+                    let draw = rng.next_u64() & mask;
+                    if draw < span {
+                        return lo.wrapping_add(draw as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Shift into the unsigned domain, sample, shift back.
+                let offset = <$t>::MIN;
+                let ulo = lo.wrapping_sub(offset) as $u;
+                let uhi = hi.wrapping_sub(offset) as $u;
+                (<$u>::sample_inclusive(rng, ulo, uhi) as $t).wrapping_add(offset)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + OneStep> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_inclusive(rng, self.start, self.end.step_down())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Helper for converting a half-open upper bound into an inclusive one.
+pub trait OneStep {
+    fn step_down(self) -> Self;
+}
+
+macro_rules! impl_one_step {
+    ($($t:ty),*) => {$(
+        impl OneStep for $t {
+            fn step_down(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+impl_one_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl OneStep for f64 {
+    fn step_down(self) -> Self {
+        // Half-open float ranges sample `[lo, hi)` already; no adjustment.
+        self
+    }
+}
+
+/// Extension trait mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value from the type's standard distribution
+    /// (full integer range; `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard generator: xoshiro256** with SplitMix64 seeding.
+/// Deterministic for a given seed on every platform.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed, as recommended by the xoshiro
+        // authors, so nearby seeds produce unrelated streams.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let mut s3n = s3 ^ s1;
+        let s1n = s1 ^ s2n;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        s3n = s3n.rotate_left(45);
+        self.s = [s0n, s1n, s2n, s3n];
+        result
+    }
+}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Convenience prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5u32..=5);
+            assert_eq!(w, 5);
+            let x = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_standard_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
