@@ -162,9 +162,10 @@ fn ablation_reservation() {
     println!("{:>16} {:>8} {:>8} {:>8}", "Reservation", "Refs", "Hits", "Rate");
     for enabled in [true, false] {
         let device = paper_device();
-        let mut engine =
-            Engine::build(&device, BackendKind::MnemeCache, index.clone(), StopWords::default())
-                .expect("engine");
+        let mut engine = Engine::builder(&device)
+            .backend(BackendKind::MnemeCache)
+            .build(index.clone())
+            .expect("engine");
         engine.set_reservation_enabled(enabled);
         let report = engine.run_query_set(&texts, 100).expect("run");
         let stats = report.buffer_stats.expect("stats");

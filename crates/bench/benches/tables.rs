@@ -8,7 +8,7 @@ use poir_inquery::StopWords;
 fn main() {
     let scale: f64 =
         std::env::var("POIR_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15);
-    let cfg = RunConfig { scale, top_k: 100 };
+    let cfg = RunConfig { scale, top_k: 100, ..RunConfig::default() };
     eprintln!("# tables bench at scale {scale} (POIR_BENCH_SCALE to override)");
     let start = std::time::Instant::now();
     let results = run_all(&cfg);

@@ -7,7 +7,7 @@ use poir_collections::SyntheticCollection;
 
 fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let cfg = RunConfig { scale, top_k: 100 };
+    let cfg = RunConfig { scale, top_k: 100, ..RunConfig::default() };
     for paper in poir_collections::paper_collections() {
         let scaled = paper.clone().scale(cfg.scale);
         let collection = SyntheticCollection::new(scaled.spec.clone());

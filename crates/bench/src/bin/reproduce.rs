@@ -10,16 +10,24 @@
 //!
 //! `--scale F` shrinks every collection's document count by `F`
 //! (default 1.0 = the DESIGN.md §4 sizes).
+//!
+//! `--metrics-json PATH` enables telemetry on every engine, cross-checks
+//! the telemetry-derived Table 5 statistics against the device's `IoStats`
+//! deltas (they must match exactly), and writes every query set's
+//! `MetricsReport` — counters, per-pool buffer events, phase latency
+//! histograms, per-query traces — to `PATH` as JSON.
 
 use std::collections::BTreeSet;
 
 use poir_bench::{fig1_points, fig2_points, fig3_sweep, print, run_all, RunConfig};
+use poir_core::{BackendKind, TelemetryOptions};
 use poir_inquery::StopWords;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut targets: BTreeSet<String> = BTreeSet::new();
     let mut scale = 1.0f64;
+    let mut metrics_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,9 +38,16 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a positive number"));
             }
+            "--metrics-json" => {
+                i += 1;
+                metrics_json = Some(
+                    args.get(i).cloned().unwrap_or_else(|| die("--metrics-json needs a path")),
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [table1..table6 fig1..fig3 effectiveness all] [--scale F]"
+                    "usage: reproduce [table1..table6 fig1..fig3 effectiveness all] \
+                     [--scale F] [--metrics-json PATH]"
                 );
                 return;
             }
@@ -59,13 +74,15 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
-    let cfg = RunConfig { scale, top_k: 100 };
+    let telemetry =
+        if metrics_json.is_some() { TelemetryOptions::full() } else { TelemetryOptions::off() };
+    let cfg = RunConfig { scale, top_k: 100, telemetry };
     eprintln!(
         "# reproducing {:?} at scale {scale} (this generates, indexes, and queries all four collections)",
         targets
     );
 
-    let needs_suite = targets.iter().any(|t| t != "fig3");
+    let needs_suite = targets.iter().any(|t| t != "fig3") || metrics_json.is_some();
     let results = if needs_suite { run_all(&cfg) } else { Vec::new() };
 
     for t in &targets {
@@ -108,6 +125,67 @@ fn main() {
             other => eprintln!("# unknown target {other:?} skipped"),
         }
     }
+
+    if let Some(path) = metrics_json {
+        write_metrics_json(&path, scale, &results);
+    }
+}
+
+/// Serializes every query set's telemetry to JSON, after verifying the
+/// telemetry-derived Table 5 statistics (I, A, B) equal the `IoStats`
+/// deltas the report measured independently.
+fn write_metrics_json(path: &str, scale: f64, results: &[poir_bench::CollectionResults]) {
+    let mut collections = Vec::new();
+    for coll in results {
+        let mut sets = Vec::new();
+        for qs in &coll.query_sets {
+            let mut backends = Vec::new();
+            for (backend, report) in BackendKind::all().iter().zip(&qs.reports) {
+                let metrics = report.metrics.as_ref().unwrap_or_else(|| {
+                    die("telemetry was enabled but the report carries no metrics")
+                });
+                if metrics.io_inputs() != report.io.io_inputs
+                    || metrics.file_accesses() != report.io.file_accesses
+                    || metrics.bytes_read() != report.io.bytes_read
+                    || metrics.record_lookups() != report.record_lookups
+                {
+                    eprintln!(
+                        "telemetry mismatch for {} / {} / {}: \
+                         I {} vs {}, accesses {} vs {}, bytes {} vs {}, lookups {} vs {}",
+                        coll.label,
+                        qs.label,
+                        backend,
+                        metrics.io_inputs(),
+                        report.io.io_inputs,
+                        metrics.file_accesses(),
+                        report.io.file_accesses,
+                        metrics.bytes_read(),
+                        report.io.bytes_read,
+                        metrics.record_lookups(),
+                        report.record_lookups,
+                    );
+                    die("telemetry counters diverged from IoStats");
+                }
+                backends.push(format!(
+                    "{{\"backend\":\"{backend}\",\"metrics\":{}}}",
+                    metrics.to_json()
+                ));
+            }
+            sets.push(format!(
+                "{{\"label\":{:?},\"backends\":[{}]}}",
+                qs.label,
+                backends.join(",")
+            ));
+        }
+        collections.push(format!(
+            "{{\"label\":{:?},\"query_sets\":[{}]}}",
+            coll.label,
+            sets.join(",")
+        ));
+    }
+    let json = format!("{{\"scale\":{scale},\"collections\":[{}]}}\n", collections.join(","));
+    std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    eprintln!("# telemetry counters match IoStats exactly; wrote {path}");
 }
 
 fn die(msg: &str) -> ! {

@@ -23,7 +23,7 @@ use poir_inquery::{Index, IndexBuilder, StopWords};
 const TOP_K: usize = 100;
 
 struct ModeResult {
-    name: &'static str,
+    name: String,
     threads: usize,
     qps: f64,
     wall_clock_secs: f64,
@@ -32,7 +32,9 @@ struct ModeResult {
 }
 
 fn fresh_engine(index: &Index) -> Engine {
-    Engine::build(&paper_device(), BackendKind::MnemeCache, index.clone(), StopWords::default())
+    Engine::builder(&paper_device())
+        .backend(BackendKind::MnemeCache)
+        .build(index.clone())
         .expect("engine build")
 }
 
@@ -121,15 +123,15 @@ fn main() {
     eprintln!("# {} queries, top-{TOP_K}", queries.len());
 
     let mut results: Vec<ModeResult> = Vec::new();
-    for (name, mode) in
-        [("serial", ExecMode::Serial), ("batched_prefetch", ExecMode::BatchedPrefetch)]
-    {
+    // JSON mode names come from ExecMode's Display impl, which round-trips
+    // through FromStr ("serial", "batched_prefetch").
+    for mode in [ExecMode::Serial, ExecMode::BatchedPrefetch] {
         let mut engine = fresh_engine(&index);
         let (report, rankings) =
             engine.run_query_set_mode(&queries, TOP_K, mode).expect("query set");
         let wall = report.wall_clock_secs();
         results.push(ModeResult {
-            name,
+            name: mode.to_string(),
             threads: 1,
             qps: queries.len() as f64 / wall,
             wall_clock_secs: wall,
@@ -137,12 +139,12 @@ fn main() {
             rankings,
         });
     }
-    for (name, threads) in [("parallel_2", 2usize), ("parallel_4", 4usize)] {
+    for threads in [2usize, 4usize] {
         let mut engine = fresh_engine(&index);
         let parallel =
             engine.run_query_set_parallel(&queries, TOP_K, threads).expect("parallel run");
         results.push(ModeResult {
-            name,
+            name: format!("parallel_{threads}"),
             threads,
             qps: parallel.qps(),
             wall_clock_secs: parallel.wall_clock_secs(),

@@ -12,12 +12,15 @@
 use poir_bench::{build_index, paper_device, RunConfig};
 use poir_collections::{generate_queries, judgments_for, SyntheticCollection};
 use poir_core::{BackendKind, Engine};
-use poir_inquery::{trec, ScoredDoc, StopWords};
+use poir_inquery::{trec, ScoredDoc};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 3 {
-        eprintln!("usage: trec_run <cacm|legal|tipster1|tipster> <query-set-number> <out-dir> [--scale F]");
+        eprintln!(
+            "usage: trec_run <cacm|legal|tipster1|tipster> <query-set-number> <out-dir> \
+             [--scale F] [--backend btree|mneme_nocache|mneme_cache]"
+        );
         std::process::exit(2);
     }
     let paper = match args[0].as_str() {
@@ -38,7 +41,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let cfg = RunConfig { scale, top_k: 1000 };
+    let backend: BackendKind = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(BackendKind::MnemeCache);
+    let cfg = RunConfig { scale, top_k: 1000, ..RunConfig::default() };
 
     let scaled = paper.clone().scale(cfg.scale);
     let qs_spec = scaled.query_sets.get(qs_no.saturating_sub(1)).unwrap_or_else(|| {
@@ -50,8 +64,7 @@ fn main() {
     let (index, _) = build_index(&collection);
     let docs = index.documents.clone();
     let device = paper_device();
-    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
-        .expect("engine build");
+    let mut engine = Engine::builder(&device).backend(backend).build(index).expect("engine build");
 
     let queries = generate_queries(&collection, qs_spec);
     let tag = format!("poir-{}", qs_spec.name.replace(' ', "-"));

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use poir_collections::{
     generate_queries, judgments_for, GeneratedQuery, PaperCollection, SyntheticCollection,
 };
-use poir_core::{BackendKind, BufferSizes, Engine, QuerySetReport};
+use poir_core::{BackendKind, BufferSizes, Engine, QuerySetReport, TelemetryOptions};
 use poir_inquery::{Index, IndexBuilder, StopWords};
 use poir_storage::{CostModel, Device, DeviceConfig};
 
@@ -28,11 +28,14 @@ pub struct RunConfig {
     pub scale: f64,
     /// Documents retrieved per query.
     pub top_k: usize,
+    /// Telemetry switches for every engine the harness builds (off by
+    /// default; enabling it populates [`QuerySetReport::metrics`]).
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { scale: 1.0, top_k: 100 }
+        RunConfig { scale: 1.0, top_k: 100, telemetry: TelemetryOptions::off() }
     }
 }
 
@@ -113,7 +116,10 @@ pub fn run_collection(paper: &PaperCollection, cfg: &RunConfig) -> CollectionRes
         .into_iter()
         .map(|backend| {
             let device = paper_device();
-            Engine::build(&device, backend, index.clone(), StopWords::default())
+            Engine::builder(&device)
+                .backend(backend)
+                .telemetry(cfg.telemetry)
+                .build(index.clone())
                 .expect("engine build")
         })
         .collect();
@@ -219,7 +225,9 @@ pub fn fig3_sweep(paper: &PaperCollection, cfg: &RunConfig, points: usize) -> Ve
     let collection = SyntheticCollection::new(scaled.spec.clone());
     let (index, _) = build_index(&collection);
     let device = paper_device();
-    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
+    let mut engine = Engine::builder(&device)
+        .backend(BackendKind::MnemeCache)
+        .build(index)
         .expect("engine build");
     let base = engine.paper_buffer_sizes().expect("buffer sizes");
     let queries = generate_queries(&collection, &scaled.query_sets[0]);
@@ -250,7 +258,7 @@ mod tests {
     use super::*;
 
     fn quick_cfg() -> RunConfig {
-        RunConfig { scale: 0.02, top_k: 20 }
+        RunConfig { scale: 0.02, top_k: 20, ..RunConfig::default() }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! more-than-one-access-per-lookup behaviour from Table 5.
 
 use poir_storage::FileHandle;
+use poir_telemetry::{Event, Recorder};
 
 use crate::error::{BTreeError, Result};
 use crate::node_cache::{NodeCache, DEFAULT_CACHE_NODES};
@@ -47,6 +48,9 @@ pub struct BTreeFile {
     height: u32,
     record_count: u64,
     cache: NodeCache,
+    /// Telemetry recorder for node descents and node-cache traffic
+    /// (disabled by default).
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for BTreeFile {
@@ -75,6 +79,7 @@ impl BTreeFile {
             height: 1,
             record_count: 0,
             cache: NodeCache::new(config.cache_nodes),
+            recorder: Recorder::disabled(),
         };
         tree.cache.set_root_id(1);
         tree.write_page(1, LeafPage::empty(config.page_size).bytes())?;
@@ -99,7 +104,22 @@ impl BTreeFile {
         let record_count = u64::from_le_bytes(header[22..30].try_into().unwrap());
         let mut cache = NodeCache::new(cache_nodes);
         cache.set_root_id(root);
-        Ok(BTreeFile { handle, page_size, root, next_page, height, record_count, cache })
+        Ok(BTreeFile {
+            handle,
+            page_size,
+            root,
+            next_page,
+            height,
+            record_count,
+            cache,
+            recorder: Recorder::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry recorder: node descents and node-cache
+    /// hits/misses are recorded from now on.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     fn write_header(&self) -> Result<()> {
@@ -162,8 +182,10 @@ impl BTreeFile {
     /// Reads an internal page through the node cache.
     fn read_internal(&mut self, id: PageId) -> Result<Vec<u8>> {
         if let Some(bytes) = self.cache.get(id) {
+            self.recorder.incr(Event::BTreeCacheHit);
             return Ok(bytes.to_vec());
         }
+        self.recorder.incr(Event::BTreeCacheMiss);
         let bytes = self.read_page(id)?;
         if bytes[0] == PAGE_INTERNAL {
             self.cache.put(id, bytes.clone());
@@ -183,6 +205,7 @@ impl BTreeFile {
         let mut path = Vec::with_capacity(self.height as usize - 1);
         let mut page_id = self.root;
         for _ in 0..self.height - 1 {
+            self.recorder.incr(Event::BTreeNodeDescent);
             let bytes = self.read_internal(page_id)?;
             if bytes[0] != PAGE_INTERNAL {
                 return Err(BTreeError::Corrupt(format!(

@@ -10,6 +10,7 @@
 use poir_btree::{BTreeConfig, BTreeFile};
 use poir_inquery::{Dictionary, InvertedFileStore, TermId};
 use poir_storage::FileHandle;
+use poir_telemetry::{Event, Recorder};
 
 use crate::error::{CoreError, Result};
 
@@ -17,6 +18,7 @@ use crate::error::{CoreError, Result};
 pub struct BTreeInvertedFile {
     tree: BTreeFile,
     lookups: u64,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for BTreeInvertedFile {
@@ -39,12 +41,23 @@ impl BTreeInvertedFile {
         for (term, _) in records {
             dict.entry_mut(*term).store_ref = term.0 as u64;
         }
-        Ok(BTreeInvertedFile { tree, lookups: 0 })
+        Ok(BTreeInvertedFile { tree, lookups: 0, recorder: Recorder::disabled() })
     }
 
     /// Opens an existing B-tree inverted file.
     pub fn open(handle: FileHandle, cache_nodes: usize) -> Result<Self> {
-        Ok(BTreeInvertedFile { tree: BTreeFile::open(handle, cache_nodes)?, lookups: 0 })
+        Ok(BTreeInvertedFile {
+            tree: BTreeFile::open(handle, cache_nodes)?,
+            lookups: 0,
+            recorder: Recorder::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry recorder to the store and the underlying tree
+    /// (node descents, node-cache hits/misses).
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.tree.attach_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Total file size in bytes (Table 1's "B-Tree Size").
@@ -71,11 +84,14 @@ impl BTreeInvertedFile {
 impl InvertedFileStore for BTreeInvertedFile {
     fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
         self.lookups += 1;
+        self.recorder.incr(Event::RecordLookup);
         let record = self
             .tree
             .lookup(store_ref as u32)
             .map_err(CoreError::from)?
             .ok_or(CoreError::DanglingRef(store_ref))?;
+        self.recorder.incr(Event::RecordDecoded);
+        self.recorder.add(Event::RecordBytesDecoded, record.len() as u64);
         Ok(record)
     }
 

@@ -1,0 +1,141 @@
+//! Typed construction for [`Engine`].
+//!
+//! The positional `Engine::build(device, backend, index, stop)` /
+//! `Engine::open(device, handle, meta, stop)` signatures grew one argument
+//! per feature and pushed every optional knob (buffer sizes, reservation,
+//! execution mode, telemetry) into post-construction setter calls.
+//! [`EngineBuilder`] replaces them with named, typed options:
+//!
+//! ```no_run
+//! # use std::sync::Arc;
+//! # use poir_core::{BackendKind, Engine, ExecMode};
+//! # use poir_storage::Device;
+//! # use poir_telemetry::TelemetryOptions;
+//! # fn demo(device: &Arc<Device>, index: poir_inquery::Index) -> poir_core::Result<()> {
+//! let mut engine = Engine::builder(device)
+//!     .backend(BackendKind::MnemeCache)
+//!     .exec_mode(ExecMode::BatchedPrefetch)
+//!     .telemetry(TelemetryOptions::full())
+//!     .build(index)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Defaults reproduce the paper's primary configuration: Mneme with the
+//! Table 2 buffer heuristic, serial execution, reservation enabled, and
+//! telemetry off (zero overhead).
+
+use std::sync::Arc;
+
+use poir_btree::BTreeConfig;
+use poir_inquery::{BeliefParams, Index, StopWords};
+use poir_storage::{Device, FileHandle};
+use poir_telemetry::TelemetryOptions;
+
+use crate::buffer_sizing::BufferSizes;
+use crate::engine::{BackendKind, Engine, ExecMode};
+use crate::error::Result;
+use crate::mneme_store::MnemeOptions;
+
+/// Builder for [`Engine`]; see the module docs for defaults.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    pub(crate) device: Arc<Device>,
+    pub(crate) backend: BackendKind,
+    pub(crate) exec_mode: ExecMode,
+    pub(crate) buffers: Option<BufferSizes>,
+    pub(crate) telemetry: TelemetryOptions,
+    pub(crate) stop: StopWords,
+    pub(crate) params: BeliefParams,
+    pub(crate) reservation: bool,
+    pub(crate) mneme: MnemeOptions,
+    pub(crate) btree: BTreeConfig,
+}
+
+impl EngineBuilder {
+    pub(crate) fn new(device: &Arc<Device>) -> EngineBuilder {
+        EngineBuilder {
+            device: Arc::clone(device),
+            backend: BackendKind::MnemeCache,
+            exec_mode: ExecMode::Serial,
+            buffers: None,
+            telemetry: TelemetryOptions::off(),
+            stop: StopWords::default(),
+            params: BeliefParams::default(),
+            reservation: true,
+            mneme: MnemeOptions::default(),
+            btree: BTreeConfig::default(),
+        }
+    }
+
+    /// Storage configuration (ignored by [`EngineBuilder::open`], which
+    /// reads the backend from the persisted metadata).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Default I/O scheduling mode for [`Engine::run_query_set`].
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Explicit per-pool buffer sizes for [`BackendKind::MnemeCache`]
+    /// (default: the Table 2 heuristic from the collection's largest
+    /// record). Ignored by the other backends.
+    pub fn buffers(mut self, sizes: BufferSizes) -> Self {
+        self.buffers = Some(sizes);
+        self
+    }
+
+    /// Telemetry switches (default: [`TelemetryOptions::off`]).
+    pub fn telemetry(mut self, options: TelemetryOptions) -> Self {
+        self.telemetry = options;
+        self
+    }
+
+    /// Stop-word list (default: the INQUERY list with stemming).
+    pub fn stop_words(mut self, stop: StopWords) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Belief-function parameters (default: the paper's).
+    pub fn belief_params(mut self, params: BeliefParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Pre-evaluation buffer reservation (default: enabled; the off
+    /// setting exists for the ablation study).
+    pub fn reservation(mut self, enabled: bool) -> Self {
+        self.reservation = enabled;
+        self
+    }
+
+    /// Mneme build options: medium segment size, directory buckets.
+    pub fn mneme_options(mut self, options: MnemeOptions) -> Self {
+        self.mneme = options;
+        self
+    }
+
+    /// B-tree build options: page size, node-cache capacity.
+    pub fn btree_config(mut self, config: BTreeConfig) -> Self {
+        self.btree = config;
+        self
+    }
+
+    /// Loads a finished [`Index`] into a fresh inverted file of the chosen
+    /// backend.
+    pub fn build(self, index: Index) -> Result<Engine> {
+        Engine::from_builder_build(self, index)
+    }
+
+    /// Reopens an engine saved by [`Engine::save`]. The backend kind and
+    /// largest-record size come from the persisted metadata; the builder
+    /// supplies everything else (buffers, telemetry, execution mode, ...).
+    pub fn open(self, store_handle: FileHandle, meta: &FileHandle) -> Result<Engine> {
+        Engine::from_builder_open(self, store_handle, meta)
+    }
+}

@@ -14,21 +14,25 @@
 //! set in batch mode, and report wall-clock, system + I/O time, and the
 //! Table 5 I/O statistics.
 
+use std::str::FromStr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use poir_btree::BTreeConfig;
 use poir_inquery::query::daat;
 use poir_inquery::{
-    BeliefParams, Dictionary, DocId, DocTable, Evaluator, Index, InvertedFileStore, StopWords,
+    rank_score_list, BeliefParams, Dictionary, DocId, DocTable, Evaluator, Index,
+    InvertedFileStore, StopWords,
 };
 use poir_mneme::BufferStats;
 use poir_storage::{Device, FileHandle, IoSnapshot, SimTime};
+use poir_telemetry::{Event, MetricsReport, Phase, QueryTrace, Recorder, TelemetrySnapshot};
 
 use crate::btree_store::BTreeInvertedFile;
 use crate::buffer_sizing::{paper_heuristic, BufferSizes};
+use crate::builder::EngineBuilder;
 use crate::error::{CoreError, Result};
-use crate::mneme_store::{MnemeInvertedFile, MnemeOptions};
+use crate::instrument::StoreInstrumentation;
+use crate::mneme_store::MnemeInvertedFile;
 
 /// How [`Engine::run_query_set_mode`] schedules record I/O.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +44,28 @@ pub enum ExecMode {
     /// before evaluation, so the store can coalesce adjacent segments into
     /// gathered reads and evaluation fetches become buffer hits.
     BatchedPrefetch,
+}
+
+impl std::fmt::Display for ExecMode {
+    /// Stable CLI/JSON name; round-trips through [`ExecMode::from_str`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecMode::Serial => "serial",
+            ExecMode::BatchedPrefetch => "batched_prefetch",
+        })
+    }
+}
+
+impl FromStr for ExecMode {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<ExecMode> {
+        match s.replace('-', "_").as_str() {
+            "serial" => Ok(ExecMode::Serial),
+            "batched_prefetch" | "batched" | "prefetch" => Ok(ExecMode::BatchedPrefetch),
+            _ => Err(CoreError::UnknownName { kind: "execution mode", value: s.to_string() }),
+        }
+    }
 }
 
 /// The three storage configurations of the paper's evaluation.
@@ -69,6 +95,30 @@ impl BackendKind {
     }
 }
 
+impl std::fmt::Display for BackendKind {
+    /// Stable CLI/JSON name; round-trips through [`BackendKind::from_str`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::BTree => "btree",
+            BackendKind::MnemeNoCache => "mneme_nocache",
+            BackendKind::MnemeCache => "mneme_cache",
+        })
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<BackendKind> {
+        match s.replace('-', "_").as_str() {
+            "btree" | "b_tree" => Ok(BackendKind::BTree),
+            "mneme_nocache" | "mneme_no_cache" => Ok(BackendKind::MnemeNoCache),
+            "mneme_cache" | "mneme" => Ok(BackendKind::MnemeCache),
+            _ => Err(CoreError::UnknownName { kind: "backend", value: s.to_string() }),
+        }
+    }
+}
+
 enum StoreImpl {
     BTree(BTreeInvertedFile),
     Mneme(MnemeInvertedFile),
@@ -76,6 +126,20 @@ enum StoreImpl {
 
 impl StoreImpl {
     fn as_store(&mut self) -> &mut dyn InvertedFileStore {
+        match self {
+            StoreImpl::BTree(s) => s,
+            StoreImpl::Mneme(s) => s,
+        }
+    }
+
+    fn as_instrumented(&self) -> &dyn StoreInstrumentation {
+        match self {
+            StoreImpl::BTree(s) => s,
+            StoreImpl::Mneme(s) => s,
+        }
+    }
+
+    fn as_instrumented_mut(&mut self) -> &mut dyn StoreInstrumentation {
         match self {
             StoreImpl::BTree(s) => s,
             StoreImpl::Mneme(s) => s,
@@ -110,6 +174,9 @@ pub struct QuerySetReport {
     pub record_lookups: u64,
     /// Per-pool buffer stats (Table 6) — Mneme backends only.
     pub buffer_stats: Option<[BufferStats; 3]>,
+    /// Telemetry-derived metrics and per-query traces; present when the
+    /// engine was built with telemetry enabled.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl QuerySetReport {
@@ -171,8 +238,9 @@ impl ParallelSetReport {
     }
 }
 
-/// One worker thread's output: `(query_index, scored_docs)` pairs.
-type ThreadResults = Vec<(usize, Vec<poir_inquery::ScoredDoc>)>;
+/// One worker thread's output: `(query_index, scored_docs)` pairs plus the
+/// thread's dictionary-lookup count (for telemetry).
+type ThreadResults = (Vec<(usize, Vec<poir_inquery::ScoredDoc>)>, u64);
 
 /// The integrated IR system.
 pub struct Engine {
@@ -185,6 +253,9 @@ pub struct Engine {
     store: StoreImpl,
     store_handle: FileHandle,
     reserve_enabled: bool,
+    exec_mode: ExecMode,
+    recorder: Recorder,
+    trace_queries: bool,
 }
 
 impl std::fmt::Debug for Engine {
@@ -198,47 +269,69 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
+    /// Starts a typed [`EngineBuilder`] on `device`. The defaults
+    /// reproduce the paper's primary configuration: Mneme with the Table 2
+    /// buffer heuristic, serial execution, reservation enabled, telemetry
+    /// off.
+    pub fn builder(device: &Arc<Device>) -> EngineBuilder {
+        EngineBuilder::new(device)
+    }
+
     /// Loads a finished [`Index`] into a fresh inverted file of the chosen
     /// backend on `device`.
+    #[deprecated(note = "use Engine::builder(device).backend(..).build(index)")]
     pub fn build(
         device: &Arc<Device>,
         backend: BackendKind,
         index: Index,
         stop: StopWords,
     ) -> Result<Engine> {
+        Engine::builder(device).backend(backend).stop_words(stop).build(index)
+    }
+
+    pub(crate) fn from_builder_build(b: EngineBuilder, index: Index) -> Result<Engine> {
         let Index { mut dictionary, documents, records } = index;
-        let store_handle = device.create_file();
-        let store = match backend {
+        let store_handle = b.device.create_file();
+        let mut store = match b.backend {
             BackendKind::BTree => StoreImpl::BTree(BTreeInvertedFile::build(
                 store_handle.clone(),
-                BTreeConfig::default(),
+                b.btree.clone(),
                 &records,
                 &mut dictionary,
             )?),
             BackendKind::MnemeNoCache | BackendKind::MnemeCache => {
                 let mut store = MnemeInvertedFile::build(
                     store_handle.clone(),
-                    MnemeOptions::default(),
+                    b.mneme.clone(),
                     &records,
                     &mut dictionary,
                 )?;
-                if backend == BackendKind::MnemeCache {
-                    let sizes = paper_heuristic(store.largest_record(), 8192);
+                if b.backend == BackendKind::MnemeCache {
+                    let sizes =
+                        b.buffers.unwrap_or_else(|| paper_heuristic(store.largest_record(), 8192));
                     store.attach_buffers(sizes)?;
                 }
                 StoreImpl::Mneme(store)
             }
         };
+        let recorder = if b.telemetry.enabled { Recorder::enabled() } else { Recorder::disabled() };
+        if recorder.is_enabled() {
+            b.device.attach_recorder(recorder.clone());
+            store.as_instrumented_mut().attach_recorder(recorder.clone());
+        }
         Ok(Engine {
-            device: Arc::clone(device),
-            backend,
+            device: b.device,
+            backend: b.backend,
             dict: dictionary,
             docs: documents,
-            stop,
-            params: BeliefParams::default(),
+            stop: b.stop,
+            params: b.params,
             store,
             store_handle,
-            reserve_enabled: true,
+            reserve_enabled: b.reservation,
+            exec_mode: b.exec_mode,
+            recorder,
+            trace_queries: b.telemetry.trace_queries,
         })
     }
 
@@ -246,6 +339,27 @@ impl Engine {
     /// default; the off setting exists for the ablation study).
     pub fn set_reservation_enabled(&mut self, enabled: bool) {
         self.reserve_enabled = enabled;
+    }
+
+    /// The default I/O scheduling mode used by [`Engine::run_query_set`].
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Overrides the default I/O scheduling mode.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The engine's telemetry recorder (disabled unless the engine was
+    /// built with [`poir_telemetry::TelemetryOptions::enabled`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Whether telemetry is being collected.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.recorder.is_enabled()
     }
 
     /// The active backend.
@@ -275,10 +389,7 @@ impl Engine {
 
     /// Size of the inverted file on disk (Table 1's size columns).
     pub fn store_file_size(&mut self) -> Result<u64> {
-        match &mut self.store {
-            StoreImpl::BTree(s) => Ok(s.file_size()),
-            StoreImpl::Mneme(s) => s.file_size(),
-        }
+        self.store.as_instrumented().file_size()
     }
 
     /// Overrides the Mneme buffer sizes (Figure 3's sweep). Errors on the
@@ -351,13 +462,102 @@ impl Engine {
 
     /// Processes a query set in batch mode, reproducing the paper's
     /// measurement procedure (Section 4.2): chill the OS cache, process all
-    /// queries, report times and I/O statistics.
+    /// queries, report times and I/O statistics. Uses the engine's default
+    /// [`ExecMode`] (serial unless configured otherwise by the builder).
     pub fn run_query_set<S: AsRef<str>>(
         &mut self,
         queries: &[S],
         k: usize,
     ) -> Result<QuerySetReport> {
-        self.run_query_set_mode(queries, k, ExecMode::Serial).map(|(report, _)| report)
+        self.run_query_set_mode(queries, k, self.exec_mode).map(|(report, _)| report)
+    }
+
+    /// Runs one query with per-phase timing, returning the ranking and its
+    /// [`QueryTrace`]. Phase durations are always measured; the trace's
+    /// event counters are zero unless the engine was built with telemetry
+    /// enabled.
+    pub fn query_traced(
+        &mut self,
+        text: &str,
+        k: usize,
+    ) -> Result<(Vec<RankedResult>, QueryTrace)> {
+        let mode = self.exec_mode;
+        let (scored, trace) = self.run_one_instrumented(0, text, k, mode)?;
+        Ok((self.to_ranked_results(scored), trace))
+    }
+
+    /// One query through the full pipeline with per-phase [`Instant`]
+    /// timing and a per-query telemetry delta.
+    fn run_one_instrumented(
+        &mut self,
+        query_index: usize,
+        text: &str,
+        k: usize,
+        mode: ExecMode,
+    ) -> Result<(Vec<poir_inquery::ScoredDoc>, QueryTrace)> {
+        let before = self.recorder.snapshot();
+        let mut phase_micros = [0u64; Phase::COUNT];
+        let t = Instant::now();
+        let parsed = poir_inquery::parse_query(text, &self.stop)?;
+        phase_micros[Phase::Parse as usize] = t.elapsed().as_micros() as u64;
+        let store = self.store.as_store();
+        let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
+        if mode == ExecMode::BatchedPrefetch {
+            let t = Instant::now();
+            ev.prefetch(&parsed);
+            phase_micros[Phase::Prefetch as usize] = t.elapsed().as_micros() as u64;
+        }
+        if self.reserve_enabled {
+            let t = Instant::now();
+            ev.reserve(&parsed);
+            phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
+        }
+        let t = Instant::now();
+        let list = ev.evaluate(&parsed);
+        phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
+        let dict_lookups = ev.dict_lookups();
+        ev.release_reservations();
+        let list = list?;
+        let t = Instant::now();
+        let scored = rank_score_list(list, k);
+        phase_micros[Phase::Rank as usize] = t.elapsed().as_micros() as u64;
+        self.recorder.add(Event::DictLookup, dict_lookups);
+        for phase in Phase::ALL {
+            self.recorder.record_phase(phase, phase_micros[phase as usize]);
+        }
+        let delta = self.recorder.snapshot().since(&before);
+        let trace = QueryTrace {
+            query: query_index,
+            results: scored.len(),
+            phase_micros,
+            events: delta.events,
+        };
+        Ok((scored, trace))
+    }
+
+    /// Assembles the telemetry-derived [`MetricsReport`] for one query-set
+    /// run: raw counter deltas, per-query traces, and the cost-model time
+    /// recomputed purely from telemetry (equal to the `IoStats` charge
+    /// because the device records both at the same call sites).
+    fn metrics_report(
+        &self,
+        queries: usize,
+        tel_before: &TelemetrySnapshot,
+        traces: Vec<QueryTrace>,
+        engine_time: Duration,
+    ) -> Option<MetricsReport> {
+        if !self.recorder.is_enabled() {
+            return None;
+        }
+        let delta = self.recorder.snapshot().since(tel_before);
+        let sim_io_micros = self.device.cost_model().charge_telemetry(&delta).as_micros();
+        Some(MetricsReport {
+            queries,
+            delta,
+            traces,
+            engine_micros: engine_time.as_micros() as u64,
+            sim_io_micros,
+        })
     }
 
     /// [`Engine::run_query_set`] with an explicit I/O scheduling mode,
@@ -373,36 +573,48 @@ impl Engine {
         // "timing was begun just before query processing started" — parsing
         // is part of query processing, so it stays inside.
         self.device.chill();
-        if let StoreImpl::Mneme(s) = &mut self.store {
-            s.reset_buffer_stats();
-        }
-        let lookups_before = self.store.as_store().record_lookups();
+        self.store.as_instrumented().reset_buffer_stats();
+        let lookups_before = self.store.as_instrumented().record_lookups();
         let io_before = self.device.stats().snapshot();
+        let tel_before = self.recorder.snapshot();
+        let mut traces = Vec::new();
         let mut rankings = Vec::with_capacity(queries.len());
         let start = Instant::now();
-        for q in queries {
-            let parsed = poir_inquery::parse_query(q.as_ref(), &self.stop)?;
-            let store = self.store.as_store();
-            let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
-            if mode == ExecMode::BatchedPrefetch {
-                ev.prefetch(&parsed);
+        if self.recorder.is_enabled() {
+            for (qi, q) in queries.iter().enumerate() {
+                let (scored, trace) = self.run_one_instrumented(qi, q.as_ref(), k, mode)?;
+                if self.trace_queries {
+                    traces.push(trace);
+                }
+                rankings.push(scored);
             }
-            if self.reserve_enabled {
-                ev.reserve(&parsed);
+        } else {
+            // The untraced loop takes no timestamps and touches no recorder
+            // beyond the store's single-branch no-ops, so disabling
+            // telemetry keeps the measured path identical to before.
+            for q in queries {
+                let parsed = poir_inquery::parse_query(q.as_ref(), &self.stop)?;
+                let store = self.store.as_store();
+                let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
+                if mode == ExecMode::BatchedPrefetch {
+                    ev.prefetch(&parsed);
+                }
+                if self.reserve_enabled {
+                    ev.reserve(&parsed);
+                }
+                let result = ev.rank(&parsed, k);
+                ev.release_reservations();
+                rankings.push(result?);
             }
-            let result = ev.rank(&parsed, k);
-            ev.release_reservations();
-            rankings.push(result?);
         }
         let engine_time = start.elapsed();
         let io = self.device.stats().snapshot().since(&io_before);
         // Saturating: a caller resetting store counters between runs must
         // read as "no lookups", not underflow.
-        let record_lookups = self.store.as_store().record_lookups().saturating_sub(lookups_before);
-        let buffer_stats = match &self.store {
-            StoreImpl::Mneme(s) => Some(s.buffer_stats()?),
-            StoreImpl::BTree(_) => None,
-        };
+        let record_lookups =
+            self.store.as_instrumented().record_lookups().saturating_sub(lookups_before);
+        let buffer_stats = self.store.as_instrumented().buffer_stats()?;
+        let metrics = self.metrics_report(queries.len(), &tel_before, traces, engine_time);
         let report = QuerySetReport {
             queries: queries.len(),
             engine_time,
@@ -410,6 +622,7 @@ impl Engine {
             io,
             record_lookups,
             buffer_stats,
+            metrics,
         };
         let rankings = rankings.into_iter().map(|r| self.to_ranked_results(r)).collect();
         Ok((report, rankings))
@@ -450,8 +663,9 @@ impl Engine {
         };
         store.reset_buffer_stats();
         let store: &MnemeInvertedFile = store;
-        let lookups_before = store.record_lookups();
+        let lookups_before = StoreInstrumentation::record_lookups(store);
         let io_before = self.device.stats().snapshot();
+        let tel_before = self.recorder.snapshot();
         let dict = &self.dict;
         let docs = &self.docs;
         let stop = &self.stop;
@@ -463,13 +677,16 @@ impl Engine {
                     scope.spawn(move || {
                         let mut view = store.shared_view();
                         let mut out = Vec::new();
+                        let mut dict_lookups = 0u64;
                         for qi in (t..queries.len()).step_by(threads) {
                             let parsed = poir_inquery::parse_query(queries[qi].as_ref(), stop)?;
                             let mut ev = Evaluator::new(&mut view, dict, docs, stop, params);
                             ev.prefetch(&parsed);
-                            out.push((qi, ev.rank(&parsed, k)?));
+                            let ranking = ev.rank(&parsed, k);
+                            dict_lookups += ev.dict_lookups();
+                            out.push((qi, ranking?));
                         }
-                        Ok(out)
+                        Ok((out, dict_lookups))
                     })
                 })
                 .collect();
@@ -478,19 +695,27 @@ impl Engine {
         let engine_time = start.elapsed();
         let mut merged: Vec<Vec<poir_inquery::ScoredDoc>> = vec![Vec::new(); queries.len()];
         for shard in per_thread.drain(..) {
-            for (qi, ranking) in shard? {
+            let (shard, dict_lookups) = shard?;
+            self.recorder.add(Event::DictLookup, dict_lookups);
+            for (qi, ranking) in shard {
                 merged[qi] = ranking;
             }
         }
         let io = self.device.stats().snapshot().since(&io_before);
-        let record_lookups = store.record_lookups().saturating_sub(lookups_before);
+        let record_lookups =
+            StoreInstrumentation::record_lookups(store).saturating_sub(lookups_before);
+        let buffer_stats = Some(store.buffer_stats()?);
+        // Per-query traces need serial phase attribution; a parallel run
+        // reports set-level counters only.
+        let metrics = self.metrics_report(queries.len(), &tel_before, Vec::new(), engine_time);
         let report = QuerySetReport {
             queries: queries.len(),
             engine_time,
             sys_io_time: self.device.cost_model().charge(&io),
             io,
             record_lookups,
-            buffer_stats: Some(store.buffer_stats()?),
+            buffer_stats,
+            metrics,
         };
         let rankings = merged.into_iter().map(|r| self.to_ranked_results(r)).collect();
         Ok(ParallelSetReport { report, threads, rankings })
@@ -519,12 +744,8 @@ impl Engine {
                 Some(id) => {
                     let store_ref = self.dict.entry(id).store_ref;
                     let bytes = store.fetch(store_ref)?;
-                    let mut record =
-                        poir_inquery::InvertedRecord::decode(&bytes).ok_or_else(|| {
-                            CoreError::Inquery(poir_inquery::InqueryError::BadRecord(format!(
-                                "record for {token:?}"
-                            )))
-                        })?;
+                    let mut record = poir_inquery::InvertedRecord::decode(&bytes)
+                        .ok_or_else(|| CoreError::CorruptRecord(format!("record for {token:?}")))?;
                     record.cf += tf as u64;
                     record.max_tf = record.max_tf.max(tf);
                     record.postings.push(posting);
@@ -614,57 +835,71 @@ impl Engine {
     /// Reopens an engine saved by [`Engine::save`]: metadata, dictionary,
     /// and document table are loaded into memory ("resides entirely in main
     /// memory during query processing"), then the store file is opened.
+    #[deprecated(note = "use Engine::builder(device).open(store_handle, meta)")]
     pub fn open(
         device: &Arc<Device>,
         store_handle: FileHandle,
         meta: &FileHandle,
         stop: StopWords,
     ) -> Result<Engine> {
+        Engine::builder(device).stop_words(stop).open(store_handle, meta)
+    }
+
+    pub(crate) fn from_builder_open(
+        b: EngineBuilder,
+        store_handle: FileHandle,
+        meta: &FileHandle,
+    ) -> Result<Engine> {
         let bytes = meta.read(0, meta.len()? as usize)?;
-        let corrupt = || {
-            CoreError::Inquery(poir_inquery::InqueryError::BadRecord(
-                "engine metadata corrupt".into(),
-            ))
-        };
         if bytes.len() < 21 || &bytes[0..4] != b"IQME" {
-            return Err(corrupt());
+            return Err(CoreError::CorruptMetadata("missing IQME header"));
         }
         let backend = match bytes[4] {
             1 => BackendKind::BTree,
             2 => BackendKind::MnemeNoCache,
             3 => BackendKind::MnemeCache,
-            _ => return Err(corrupt()),
+            _ => return Err(CoreError::CorruptMetadata("unknown backend tag")),
         };
         let largest = u64::from_le_bytes(bytes[5..13].try_into().unwrap()) as usize;
         let dict_len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
         if bytes.len() < 21 + dict_len {
-            return Err(corrupt());
+            return Err(CoreError::CorruptMetadata("truncated dictionary"));
         }
-        let dict = Dictionary::from_bytes(&bytes[21..21 + dict_len]).ok_or_else(corrupt)?;
-        let docs = DocTable::from_bytes(&bytes[21 + dict_len..]).ok_or_else(corrupt)?;
-        let store = match backend {
+        let dict = Dictionary::from_bytes(&bytes[21..21 + dict_len])
+            .ok_or(CoreError::CorruptMetadata("dictionary failed to decode"))?;
+        let docs = DocTable::from_bytes(&bytes[21 + dict_len..])
+            .ok_or(CoreError::CorruptMetadata("document table failed to decode"))?;
+        let mut store = match backend {
             BackendKind::BTree => StoreImpl::BTree(BTreeInvertedFile::open(
                 store_handle.clone(),
-                poir_btree::node_cache::DEFAULT_CACHE_NODES,
+                b.btree.cache_nodes,
             )?),
             BackendKind::MnemeNoCache | BackendKind::MnemeCache => {
                 let mut s = MnemeInvertedFile::open(store_handle.clone(), largest)?;
                 if backend == BackendKind::MnemeCache {
-                    s.attach_buffers(paper_heuristic(largest, 8192))?;
+                    s.attach_buffers(b.buffers.unwrap_or_else(|| paper_heuristic(largest, 8192)))?;
                 }
                 StoreImpl::Mneme(s)
             }
         };
+        let recorder = if b.telemetry.enabled { Recorder::enabled() } else { Recorder::disabled() };
+        if recorder.is_enabled() {
+            b.device.attach_recorder(recorder.clone());
+            store.as_instrumented_mut().attach_recorder(recorder.clone());
+        }
         Ok(Engine {
-            device: Arc::clone(device),
+            device: b.device,
             backend,
             dict,
             docs,
-            stop,
-            params: BeliefParams::default(),
+            stop: b.stop,
+            params: b.params,
             store,
             store_handle,
-            reserve_enabled: true,
+            reserve_enabled: b.reservation,
+            exec_mode: b.exec_mode,
+            recorder,
+            trace_queries: b.telemetry.trace_queries,
         })
     }
 }

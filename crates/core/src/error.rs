@@ -18,6 +18,17 @@ pub enum CoreError {
     Unsupported(&'static str),
     /// A term reference did not resolve (dictionary/store mismatch).
     DanglingRef(u64),
+    /// Persisted engine metadata failed validation on reopen.
+    CorruptMetadata(&'static str),
+    /// A stored inverted record failed to decode.
+    CorruptRecord(String),
+    /// A name string (CLI flag, config value) matched no known variant.
+    UnknownName {
+        /// What was being parsed, e.g. "backend" or "execution mode".
+        kind: &'static str,
+        /// The offending input.
+        value: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +40,9 @@ impl fmt::Display for CoreError {
             CoreError::Storage(e) => write!(f, "storage: {e}"),
             CoreError::Unsupported(what) => write!(f, "unsupported by this backend: {what}"),
             CoreError::DanglingRef(r) => write!(f, "dangling store reference {r:#x}"),
+            CoreError::CorruptMetadata(what) => write!(f, "engine metadata corrupt: {what}"),
+            CoreError::CorruptRecord(what) => write!(f, "inverted record corrupt: {what}"),
+            CoreError::UnknownName { kind, value } => write!(f, "unknown {kind} {value:?}"),
         }
     }
 }

@@ -1,0 +1,112 @@
+//! Uniform observability surface over the inverted-file backends.
+//!
+//! Bench and report code used to match on the concrete store type to pull
+//! lookup counters, buffer statistics, or file sizes. [`StoreInstrumentation`]
+//! is the one trait all three backends implement, so callers (including
+//! [`crate::Engine`] itself) handle every backend through the same few
+//! methods and attach telemetry without special cases.
+
+use poir_mneme::BufferStats;
+use poir_telemetry::Recorder;
+
+use crate::btree_store::BTreeInvertedFile;
+use crate::error::Result;
+use crate::mneme_store::MnemeInvertedFile;
+use crate::multi_file::MultiFileInvertedFile;
+
+/// Instrumentation hooks common to every inverted-file backend.
+pub trait StoreInstrumentation {
+    /// Human-readable backend label for reports.
+    fn backend_label(&self) -> &'static str;
+
+    /// Attaches a telemetry recorder to the store and its substrate
+    /// (B-tree node cache or Mneme pool buffers).
+    fn attach_recorder(&mut self, recorder: Recorder);
+
+    /// Inverted-record lookups performed so far.
+    fn record_lookups(&self) -> u64;
+
+    /// Per-pool buffer statistics (small, medium, large), when the backend
+    /// keeps user-space buffers. `None` for unbuffered backends.
+    fn buffer_stats(&self) -> Result<Option<[BufferStats; 3]>>;
+
+    /// Resets buffer statistics between query sets (no-op when unbuffered).
+    fn reset_buffer_stats(&self);
+
+    /// Total on-disk size in bytes.
+    fn file_size(&self) -> Result<u64>;
+}
+
+impl StoreInstrumentation for BTreeInvertedFile {
+    fn backend_label(&self) -> &'static str {
+        "B-Tree"
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        BTreeInvertedFile::attach_recorder(self, recorder);
+    }
+
+    fn record_lookups(&self) -> u64 {
+        poir_inquery::InvertedFileStore::record_lookups(self)
+    }
+
+    fn buffer_stats(&self) -> Result<Option<[BufferStats; 3]>> {
+        Ok(None)
+    }
+
+    fn reset_buffer_stats(&self) {}
+
+    fn file_size(&self) -> Result<u64> {
+        Ok(BTreeInvertedFile::file_size(self))
+    }
+}
+
+impl StoreInstrumentation for MnemeInvertedFile {
+    fn backend_label(&self) -> &'static str {
+        "Mneme"
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        MnemeInvertedFile::attach_recorder(self, recorder);
+    }
+
+    fn record_lookups(&self) -> u64 {
+        poir_inquery::InvertedFileStore::record_lookups(self)
+    }
+
+    fn buffer_stats(&self) -> Result<Option<[BufferStats; 3]>> {
+        MnemeInvertedFile::buffer_stats(self).map(Some)
+    }
+
+    fn reset_buffer_stats(&self) {
+        MnemeInvertedFile::reset_buffer_stats(self);
+    }
+
+    fn file_size(&self) -> Result<u64> {
+        MnemeInvertedFile::file_size(self)
+    }
+}
+
+impl StoreInstrumentation for MultiFileInvertedFile {
+    fn backend_label(&self) -> &'static str {
+        "Mneme, Multi-File"
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        MultiFileInvertedFile::attach_recorder(self, recorder);
+    }
+
+    fn record_lookups(&self) -> u64 {
+        poir_inquery::InvertedFileStore::record_lookups(self)
+    }
+
+    fn buffer_stats(&self) -> Result<Option<[BufferStats; 3]>> {
+        Ok(None)
+    }
+
+    fn reset_buffer_stats(&self) {}
+
+    fn file_size(&self) -> Result<u64> {
+        MultiFileInvertedFile::total_size(self)
+    }
+}

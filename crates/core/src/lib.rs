@@ -19,17 +19,22 @@
 
 pub mod btree_store;
 pub mod buffer_sizing;
+pub mod builder;
 pub mod chunked;
 pub mod engine;
 pub mod error;
+pub mod instrument;
 pub mod mneme_store;
 pub mod multi_file;
 
 pub use btree_store::BTreeInvertedFile;
 pub use buffer_sizing::{paper_heuristic, BufferSizes};
+pub use builder::EngineBuilder;
 pub use engine::{BackendKind, Engine, ExecMode, ParallelSetReport, QuerySetReport, RankedResult};
 pub use error::{CoreError, Result};
+pub use instrument::StoreInstrumentation;
 pub use mneme_store::{
     pool_for, pool_for_with, MnemeInvertedFile, MnemeOptions, SharedMnemeView, LARGE_MIN, SMALL_MAX,
 };
 pub use multi_file::{MultiFileInvertedFile, MultiFileOptions};
+pub use poir_telemetry::{MetricsReport, QueryTrace, TelemetryOptions};

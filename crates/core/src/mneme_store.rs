@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use poir_inquery::{Dictionary, InvertedFileStore, TermId};
 use poir_mneme::{LruBuffer, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig};
 use poir_storage::FileHandle;
+use poir_telemetry::{Event, Recorder};
 
 use crate::buffer_sizing::BufferSizes;
 use crate::error::{CoreError, Result};
@@ -100,6 +101,7 @@ pub struct MnemeInvertedFile {
     /// lower when the medium segment is too small to hold 4 KB objects
     /// (segment-size ablations).
     large_min: usize,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for MnemeInvertedFile {
@@ -143,6 +145,7 @@ impl MnemeInvertedFile {
             lookups: AtomicU64::new(0),
             largest_record: largest,
             large_min,
+            recorder: Recorder::disabled(),
         })
     }
 
@@ -152,7 +155,20 @@ impl MnemeInvertedFile {
         let file = MnemeFile::open(handle)?;
         let large_min =
             file.pool_max_object_len(MEDIUM_POOL)?.map_or(LARGE_MIN, |m| LARGE_MIN.min(m));
-        Ok(MnemeInvertedFile { file, lookups: AtomicU64::new(0), largest_record, large_min })
+        Ok(MnemeInvertedFile {
+            file,
+            lookups: AtomicU64::new(0),
+            largest_record,
+            large_min,
+            recorder: Recorder::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry recorder to the store and the underlying Mneme
+    /// file (per-pool buffer refs/hits/misses/evictions/reservations).
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.file.attach_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Size in bytes of the collection's largest inverted record.
@@ -245,9 +261,11 @@ impl MnemeInvertedFile {
 fn fetch_batch_via(
     file: &MnemeFile,
     lookups: &AtomicU64,
+    recorder: &Recorder,
     store_refs: &[u64],
 ) -> Vec<poir_inquery::Result<Vec<u8>>> {
     lookups.fetch_add(store_refs.len() as u64, Ordering::Relaxed);
+    recorder.add(Event::RecordLookup, store_refs.len() as u64);
     let ids: Vec<Option<ObjectId>> =
         store_refs.iter().map(|&r| ObjectId::from_raw(r as u32)).collect();
     let good: Vec<ObjectId> = ids.iter().copied().flatten().collect();
@@ -256,10 +274,15 @@ fn fetch_batch_via(
         .iter()
         .zip(&ids)
         .map(|(&r, id)| match id {
-            Some(_) => fetched
-                .next()
-                .expect("one result per resolved id")
-                .map_err(|e| CoreError::from(e).into()),
+            Some(_) => {
+                let bytes = fetched
+                    .next()
+                    .expect("one result per resolved id")
+                    .map_err(|e| poir_inquery::InqueryError::from(CoreError::from(e)))?;
+                recorder.incr(Event::RecordDecoded);
+                recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
+                Ok(bytes)
+            }
             None => Err(CoreError::DanglingRef(r).into()),
         })
         .collect()
@@ -274,12 +297,16 @@ fn prefetch_via(file: &MnemeFile, store_refs: &[u64]) {
 impl InvertedFileStore for MnemeInvertedFile {
     fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.recorder.incr(Event::RecordLookup);
         let id = Self::object_id(store_ref)?;
-        Ok(self.file.get(id).map_err(CoreError::from)?)
+        let bytes = self.file.get(id).map_err(CoreError::from)?;
+        self.recorder.incr(Event::RecordDecoded);
+        self.recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
+        Ok(bytes)
     }
 
     fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<poir_inquery::Result<Vec<u8>>> {
-        fetch_batch_via(&self.file, &self.lookups, store_refs)
+        fetch_batch_via(&self.file, &self.lookups, &self.recorder, store_refs)
     }
 
     fn prefetch(&mut self, store_refs: &[u64]) {
@@ -308,24 +335,29 @@ impl InvertedFileStore for MnemeInvertedFile {
 pub struct SharedMnemeView<'a> {
     file: &'a MnemeFile,
     lookups: &'a AtomicU64,
+    recorder: &'a Recorder,
 }
 
 impl MnemeInvertedFile {
     /// A concurrently usable read-only store view (see [`SharedMnemeView`]).
     pub fn shared_view(&self) -> SharedMnemeView<'_> {
-        SharedMnemeView { file: &self.file, lookups: &self.lookups }
+        SharedMnemeView { file: &self.file, lookups: &self.lookups, recorder: &self.recorder }
     }
 }
 
 impl InvertedFileStore for SharedMnemeView<'_> {
     fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.recorder.incr(Event::RecordLookup);
         let id = MnemeInvertedFile::object_id(store_ref)?;
-        Ok(self.file.get(id).map_err(CoreError::from)?)
+        let bytes = self.file.get(id).map_err(CoreError::from)?;
+        self.recorder.incr(Event::RecordDecoded);
+        self.recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
+        Ok(bytes)
     }
 
     fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<poir_inquery::Result<Vec<u8>>> {
-        fetch_batch_via(self.file, self.lookups, store_refs)
+        fetch_batch_via(self.file, self.lookups, self.recorder, store_refs)
     }
 
     fn prefetch(&mut self, store_refs: &[u64]) {

@@ -17,6 +17,7 @@
 use poir_inquery::{Dictionary, InvertedFileStore, TermId};
 use poir_mneme::{FileSlot, GlobalId, MnemeFile, ObjectId, PoolConfig, PoolKindConfig};
 use poir_storage::{Device, FileHandle};
+use poir_telemetry::{Event, Recorder};
 use std::sync::Arc;
 
 use crate::error::{CoreError, Result};
@@ -67,6 +68,7 @@ pub struct MultiFileInvertedFile {
     handles: Vec<FileHandle>,
     current_count: u64,
     lookups: u64,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for MultiFileInvertedFile {
@@ -89,6 +91,7 @@ impl MultiFileInvertedFile {
             handles: Vec::new(),
             current_count: 0,
             lookups: 0,
+            recorder: Recorder::disabled(),
         };
         store.allocate_file()?;
         Ok(store)
@@ -96,11 +99,12 @@ impl MultiFileInvertedFile {
 
     fn allocate_file(&mut self) -> Result<()> {
         let handle = self.device.create_file();
-        let file = MnemeFile::create(
+        let mut file = MnemeFile::create(
             handle.clone(),
             &pool_configs(self.options.medium_segment),
             self.options.num_buckets,
         )?;
+        file.attach_recorder(self.recorder.clone());
         self.files.push(file);
         self.handles.push(handle);
         self.current_count = 0;
@@ -183,7 +187,16 @@ impl MultiFileInvertedFile {
             files,
             handles,
             lookups: 0,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Attaches a telemetry recorder to every file, present and future.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        for f in &mut self.files {
+            f.attach_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
     }
 
     /// Handles of every file, for persistence.
@@ -195,9 +208,13 @@ impl MultiFileInvertedFile {
 impl InvertedFileStore for MultiFileInvertedFile {
     fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
         self.lookups += 1;
+        self.recorder.incr(Event::RecordLookup);
         let (slot, object) = Self::resolve(store_ref)?;
         let file = self.files.get_mut(slot).ok_or(CoreError::DanglingRef(store_ref))?;
-        Ok(file.get(object).map_err(CoreError::from)?)
+        let bytes = file.get(object).map_err(CoreError::from)?;
+        self.recorder.incr(Event::RecordDecoded);
+        self.recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
+        Ok(bytes)
     }
 
     fn reserve(&mut self, store_refs: &[u64]) {

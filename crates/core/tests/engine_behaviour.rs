@@ -42,7 +42,7 @@ fn engines(num_docs: usize) -> Vec<Engine> {
         .into_iter()
         .map(|backend| {
             let dev = device();
-            Engine::build(&dev, backend, build_index(num_docs), StopWords::default()).unwrap()
+            Engine::builder(&dev).backend(backend).build(build_index(num_docs)).unwrap()
         })
         .collect()
 }
@@ -126,8 +126,7 @@ fn buffer_stats_present_only_for_mneme() {
 fn repeated_queries_hit_the_record_cache() {
     let dev = device();
     let mut engine =
-        Engine::build(&dev, BackendKind::MnemeCache, build_index(200), StopWords::default())
-            .unwrap();
+        Engine::builder(&dev).backend(BackendKind::MnemeCache).build(build_index(200)).unwrap();
     let queries = vec!["w10 w20 w30"; 10];
     let report = engine.run_query_set(&queries, 10).unwrap();
     let stats = report.buffer_stats.unwrap();
@@ -142,14 +141,13 @@ fn repeated_queries_hit_the_record_cache() {
 fn save_and_reopen_round_trips() {
     let dev = device();
     for backend in BackendKind::all() {
-        let mut engine =
-            Engine::build(&dev, backend, build_index(80), StopWords::default()).unwrap();
+        let mut engine = Engine::builder(&dev).backend(backend).build(build_index(80)).unwrap();
         let expected = engine.query("w3 w17 object", 10).unwrap();
         let meta = dev.create_file();
         engine.save(&meta).unwrap();
         let store_handle = engine.store_handle().clone();
         drop(engine);
-        let mut reopened = Engine::open(&dev, store_handle, &meta, StopWords::default()).unwrap();
+        let mut reopened = Engine::builder(&dev).open(store_handle, &meta).unwrap();
         assert_eq!(reopened.backend(), backend);
         let got = reopened.query("w3 w17 object", 10).unwrap();
         assert_eq!(expected, got, "backend {}", backend.label());
@@ -160,8 +158,7 @@ fn save_and_reopen_round_trips() {
 fn incremental_add_makes_documents_findable() {
     let dev = device();
     let mut engine =
-        Engine::build(&dev, BackendKind::MnemeCache, build_index(50), StopWords::default())
-            .unwrap();
+        Engine::builder(&dev).backend(BackendKind::MnemeCache).build(build_index(50)).unwrap();
     assert!(engine.query("zyzzyva", 5).unwrap().is_empty());
     let doc = engine.add_document("NEW-0001", "the zyzzyva weevil object store").unwrap();
     let hits = engine.query("zyzzyva", 5).unwrap();
@@ -182,12 +179,11 @@ fn incremental_add_matches_full_reindex_scores() {
     // incrementally. Rankings must agree.
     let dev = device();
     let full = build_index(60);
-    let mut batch =
-        Engine::build(&dev, BackendKind::MnemeCache, full, StopWords::default()).unwrap();
+    let mut batch = Engine::builder(&dev).backend(BackendKind::MnemeCache).build(full).unwrap();
 
     let partial = build_index(50);
     let mut incremental =
-        Engine::build(&dev, BackendKind::MnemeCache, partial, StopWords::default()).unwrap();
+        Engine::builder(&dev).backend(BackendKind::MnemeCache).build(partial).unwrap();
     // Regenerate documents 50..60 exactly as build_index does.
     for d in 50..60 {
         let mut text = String::new();
@@ -218,8 +214,7 @@ fn incremental_add_matches_full_reindex_scores() {
 fn remove_document_hides_it_from_results() {
     let dev = device();
     let mut engine =
-        Engine::build(&dev, BackendKind::MnemeCache, build_index(50), StopWords::default())
-            .unwrap();
+        Engine::builder(&dev).backend(BackendKind::MnemeCache).build(build_index(50)).unwrap();
     let text = "unique removable document text zanzibar";
     let doc = engine.add_document("TEMP-1", text).unwrap();
     assert_eq!(engine.query("zanzibar", 5).unwrap().len(), 1);
@@ -231,7 +226,7 @@ fn remove_document_hides_it_from_results() {
 fn btree_backend_rejects_updates() {
     let dev = device();
     let mut engine =
-        Engine::build(&dev, BackendKind::BTree, build_index(30), StopWords::default()).unwrap();
+        Engine::builder(&dev).backend(BackendKind::BTree).build(build_index(30)).unwrap();
     assert!(engine.add_document("X", "some text").is_err());
     assert!(engine.set_buffer_sizes(poir_core::BufferSizes::NONE).is_err());
     assert!(engine.paper_buffer_sizes().is_err());
@@ -241,8 +236,7 @@ fn btree_backend_rejects_updates() {
 fn daat_agrees_with_taat_through_the_engine() {
     let dev = device();
     let mut engine =
-        Engine::build(&dev, BackendKind::MnemeCache, build_index(120), StopWords::default())
-            .unwrap();
+        Engine::builder(&dev).backend(BackendKind::MnemeCache).build(build_index(120)).unwrap();
     let taat = engine.query("w3 w17 w50 rare5", 15).unwrap();
     let daat = engine.query_daat("w3 w17 w50 rare5", 15).unwrap();
     assert_eq!(taat.len(), daat.len());

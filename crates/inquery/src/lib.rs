@@ -41,6 +41,6 @@ pub use index::{Index, IndexBuilder};
 pub use metrics::Judgments;
 pub use porter::stem;
 pub use postings::{DocId, InvertedRecord, Posting, PostingsCursor};
-pub use query::{parse_query, Evaluator, QueryNode, ScoreList, ScoredDoc};
+pub use query::{parse_query, rank_score_list, Evaluator, QueryNode, ScoreList, ScoredDoc};
 pub use store::{InvertedFileStore, MemoryStore};
 pub use text::{tokenize, StopWords};

@@ -57,6 +57,7 @@ pub struct Evaluator<'a, S: InvertedFileStore + ?Sized> {
     params: BeliefParams,
     records_fetched: u64,
     bytes_fetched: u64,
+    dict_lookups: u64,
 }
 
 impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
@@ -69,7 +70,17 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
         params: BeliefParams,
     ) -> Self {
         let stats = CollectionStats { num_docs: docs.len() as u32, avg_doc_len: docs.avg_len() };
-        Evaluator { store, dict, docs, stop, stats, params, records_fetched: 0, bytes_fetched: 0 }
+        Evaluator {
+            store,
+            dict,
+            docs,
+            stop,
+            stats,
+            params,
+            records_fetched: 0,
+            bytes_fetched: 0,
+            dict_lookups: 0,
+        }
     }
 
     /// Complete inverted records fetched so far.
@@ -80,6 +91,11 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
     /// Compressed record bytes fetched so far.
     pub fn bytes_fetched(&self) -> u64 {
         self.bytes_fetched
+    }
+
+    /// Dictionary lookups performed during evaluation so far.
+    pub fn dict_lookups(&self) -> u64 {
+        self.dict_lookups
     }
 
     /// The reservation pass: scan the query tree and pin whatever evidence
@@ -118,6 +134,7 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
     }
 
     fn fetch_record(&mut self, term: &str) -> Result<Option<InvertedRecord>> {
+        self.dict_lookups += 1;
         let Some(id) = self.dict.lookup(term) else { return Ok(None) };
         let bytes = self.store.fetch(self.dict.entry(id).store_ref)?;
         self.records_fetched += 1;
@@ -261,17 +278,22 @@ impl<'a, S: InvertedFileStore + ?Sized> Evaluator<'a, S> {
     /// sorting problem" (Section 3.1).
     pub fn rank(&mut self, query: &QueryNode, k: usize) -> Result<Vec<ScoredDoc>> {
         let list = self.evaluate(query)?;
-        let mut scored: Vec<ScoredDoc> =
-            list.entries.into_iter().map(|(doc, score)| ScoredDoc { doc, score }).collect();
-        scored.sort_unstable_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
-        scored.truncate(k);
-        Ok(scored)
+        Ok(rank_score_list(list, k))
     }
+}
+
+/// Ranks an evaluated score list: documents with evidence, best belief
+/// first, ties broken by document id, truncated to `k`. Split out of
+/// [`Evaluator::rank`] so callers can time evaluation and ranking as
+/// separate phases.
+pub fn rank_score_list(list: ScoreList, k: usize) -> Vec<ScoredDoc> {
+    let mut scored: Vec<ScoredDoc> =
+        list.entries.into_iter().map(|(doc, score)| ScoredDoc { doc, score }).collect();
+    scored.sort_unstable_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.doc.cmp(&b.doc))
+    });
+    scored.truncate(k);
+    scored
 }
 
 /// Counts exact phrase occurrences: an anchor position `p` matches when

@@ -8,6 +8,6 @@ pub mod parser;
 
 pub use ast::QueryNode;
 pub use daat::{flatten_bag, rank_daat};
-pub use eval::{Evaluator, ScoreList, ScoredDoc};
+pub use eval::{rank_score_list, Evaluator, ScoreList, ScoredDoc};
 pub use explain::Explanation;
 pub use parser::parse_query;

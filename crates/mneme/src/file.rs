@@ -54,6 +54,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::{Mutex, RwLock};
 use poir_storage::FileHandle;
+use poir_telemetry::{PoolEvent, Recorder};
 
 use crate::buffer::{Buffer, BufferStats, LruBuffer};
 use crate::error::{MnemeError, Result};
@@ -102,6 +103,8 @@ pub struct MnemeFile {
     configs: Vec<PoolConfig>,
     pools: Vec<Mutex<PoolState>>,
     meta: RwLock<Meta>,
+    /// Telemetry recorder for per-pool buffer events (disabled by default).
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for MnemeFile {
@@ -188,11 +191,26 @@ fn save_evicted(handle: &FileHandle, evicted: Vec<(SegmentAddr, SegmentImage)>) 
     Ok(())
 }
 
+/// Mirrors a `Buffer::record_ref` call into the telemetry recorder.
+fn note_ref(recorder: &Recorder, pool: PoolId, hit: bool) {
+    let pool = pool.0 as usize;
+    recorder.pool_incr(pool, PoolEvent::Ref);
+    recorder.pool_incr(pool, if hit { PoolEvent::Hit } else { PoolEvent::Miss });
+}
+
+/// Records `n` segments evicted from a pool's buffer.
+fn note_evictions(recorder: &Recorder, pool: PoolId, n: usize) {
+    if n > 0 {
+        recorder.pool_add(pool.0 as usize, PoolEvent::Eviction, n as u64);
+    }
+}
+
 /// Seals a pool's building segment: it becomes a regular segment served
 /// through the pool's buffer (written out when evicted or flushed).
-fn seal_building(handle: &FileHandle, ps: &mut PoolState) -> Result<()> {
+fn seal_building(handle: &FileHandle, recorder: &Recorder, ps: &mut PoolState) -> Result<()> {
     if let Some((addr, image)) = ps.building.take() {
         let evicted = ps.buffer.insert(addr, image);
+        note_evictions(recorder, ps.pool.id(), evicted.len());
         save_evicted(handle, evicted)?;
     }
     Ok(())
@@ -203,25 +221,31 @@ fn seal_building(handle: &FileHandle, ps: &mut PoolState) -> Result<()> {
 /// reference is recorded against the pool's buffer.
 fn with_segment_in<R>(
     handle: &FileHandle,
+    recorder: &Recorder,
     ps: &mut PoolState,
     addr: SegmentAddr,
     f: impl FnOnce(&dyn Pool, &mut SegmentImage) -> R,
 ) -> Result<R> {
+    let pool_id = ps.pool.id();
     if let Some((baddr, image)) = ps.building.as_mut() {
         if *baddr == addr {
             ps.buffer.record_ref(true);
+            note_ref(recorder, pool_id, true);
             return Ok(f(ps.pool.as_ref(), image));
         }
     }
     if ps.buffer.is_resident(addr) {
         ps.buffer.record_ref(true);
+        note_ref(recorder, pool_id, true);
         let image = ps.buffer.lookup(addr).expect("resident segment");
         return Ok(f(ps.pool.as_ref(), image));
     }
     ps.buffer.record_ref(false);
+    note_ref(recorder, pool_id, false);
     let mut image = SegmentImage::from_disk(handle.read(addr.offset, addr.len as usize)?);
     let result = f(ps.pool.as_ref(), &mut image);
     let evicted = ps.buffer.insert(addr, image);
+    note_evictions(recorder, pool_id, evicted.len());
     save_evicted(handle, evicted)?;
     Ok(result)
 }
@@ -289,6 +313,7 @@ impl MnemeFile {
                 aux_bytes: 0,
                 garbage_bytes: 0,
             }),
+            recorder: Recorder::disabled(),
         };
         file.write_header()?;
         Ok(file)
@@ -355,7 +380,14 @@ impl MnemeFile {
                 aux_bytes,
                 garbage_bytes: 0,
             }),
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Attaches a telemetry recorder: buffer references, evictions, and
+    /// reservations are recorded per pool from now on.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     fn fresh_pool_state(config: &PoolConfig) -> PoolState {
@@ -412,7 +444,7 @@ impl MnemeFile {
     /// Creates a new object with `data` in `pool`, returning its id.
     pub fn create_object(&mut self, pool: PoolId, data: &[u8]) -> Result<ObjectId> {
         let pool_idx = self.pool_index(pool)?;
-        let MnemeFile { handle, pools, meta, .. } = self;
+        let MnemeFile { handle, pools, meta, recorder, .. } = self;
         let meta = meta.get_mut();
         let ps = pools[pool_idx].get_mut();
         meta.dirty = true;
@@ -431,7 +463,7 @@ impl MnemeFile {
             let (addr, image) = ps.building.as_mut().unwrap();
             match ps.pool.try_append(image, id, data) {
                 AppendOutcome::Appended => break *addr,
-                AppendOutcome::Full => seal_building(handle, ps)?,
+                AppendOutcome::Full => seal_building(handle, recorder, ps)?,
             }
         };
         ensure_bucket_loaded(handle, meta, id.segment())?;
@@ -458,10 +490,10 @@ impl MnemeFile {
     /// because objects before the cursor may already live on disk.
     pub(crate) fn force_allocation_cursor(&mut self, pool: PoolId, id: ObjectId) -> Result<()> {
         let pool_idx = self.pool_index(pool)?;
-        let MnemeFile { handle, pools, meta, .. } = self;
+        let MnemeFile { handle, pools, meta, recorder, .. } = self;
         let meta = meta.get_mut();
         let ps = pools[pool_idx].get_mut();
-        seal_building(handle, ps)?;
+        seal_building(handle, recorder, ps)?;
         ensure_bucket_loaded(handle, meta, id.segment())?;
         meta.table.entry_mut(id.segment(), pool)?;
         meta.next_lseg = meta.next_lseg.max(id.segment().0 + 1);
@@ -492,7 +524,9 @@ impl MnemeFile {
     pub fn get(&self, id: ObjectId) -> Result<Vec<u8>> {
         let (pool_idx, addr) = self.resolve(id)?;
         let mut ps = self.pools[pool_idx].lock();
-        with_segment_in(&self.handle, &mut ps, addr, |pool, seg| extract_object(pool, seg, id))?
+        with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
+            extract_object(pool, seg, id)
+        })?
     }
 
     /// Reads many objects' payloads with coalesced device I/O.
@@ -534,6 +568,7 @@ impl MnemeFile {
             }
             let mut ps = self.pools[pool_idx].lock();
             let ps = &mut *ps;
+            let pool_id = ps.pool.id();
             // Which distinct segments need disk I/O right now?
             let mut missing: Vec<SegmentAddr> = members
                 .iter()
@@ -570,17 +605,21 @@ impl MnemeFile {
                 {
                     debug_assert_eq!(*baddr, addr);
                     ps.buffer.record_ref(true);
+                    note_ref(&self.recorder, pool_id, true);
                     extract_object(ps.pool.as_ref(), image, id)
                 } else if let Some(image) = fetched.get(&addr) {
-                    ps.buffer.record_ref(!touched.insert(addr));
+                    let hit = !touched.insert(addr);
+                    ps.buffer.record_ref(hit);
+                    note_ref(&self.recorder, pool_id, hit);
                     extract_object(ps.pool.as_ref(), image, id)
                 } else if ps.buffer.is_resident(addr) {
                     ps.buffer.record_ref(true);
+                    note_ref(&self.recorder, pool_id, true);
                     let image = ps.buffer.lookup(addr).expect("resident segment");
                     extract_object(ps.pool.as_ref(), image, id)
                 } else {
                     // Run read failed (or raced an eviction): serial path.
-                    with_segment_in(&self.handle, ps, addr, |pool, seg| {
+                    with_segment_in(&self.handle, &self.recorder, ps, addr, |pool, seg| {
                         extract_object(pool, seg, id)
                     })
                     .and_then(|r| r)
@@ -590,6 +629,7 @@ impl MnemeFile {
             // Admit every fetched segment in one pass (ascending offset).
             for (addr, image) in fetched {
                 let evicted = ps.buffer.insert(addr, image);
+                note_evictions(&self.recorder, pool_id, evicted.len());
                 let _ = save_evicted(&self.handle, evicted);
             }
         }
@@ -645,6 +685,7 @@ impl MnemeFile {
                     for (addr, bytes) in run.into_iter().zip(buffers) {
                         transferred += 1;
                         let evicted = ps.buffer.insert(addr, SegmentImage::from_disk(bytes));
+                        note_evictions(&self.recorder, ps.pool.id(), evicted.len());
                         let _ = save_evicted(&self.handle, evicted);
                     }
                 }
@@ -657,7 +698,7 @@ impl MnemeFile {
     pub fn object_len(&self, id: ObjectId) -> Result<usize> {
         let (pool_idx, addr) = self.resolve(id)?;
         let mut ps = self.pools[pool_idx].lock();
-        with_segment_in(&self.handle, &mut ps, addr, |pool, seg| {
+        with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
             match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => Ok(r.len()),
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
@@ -676,7 +717,7 @@ impl MnemeFile {
     /// payload fits; otherwise the object is relocated to a fresh physical
     /// segment and recorded as a location-table exception.
     pub fn update(&mut self, id: ObjectId, data: &[u8]) -> Result<()> {
-        let MnemeFile { handle, configs, pools, meta } = self;
+        let MnemeFile { handle, configs, pools, meta, recorder } = self;
         let meta = meta.get_mut();
         meta.dirty = true;
         ensure_bucket_loaded(handle, meta, id.segment())?;
@@ -687,18 +728,19 @@ impl MnemeFile {
                 return Err(MnemeError::ObjectTooLarge { len: data.len(), max });
             }
         }
-        let in_place =
-            with_segment_in(handle, ps, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
+        let in_place = with_segment_in(handle, recorder, ps, addr, |pool, seg| {
+            match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(_) => Ok(pool.try_update_in_place(seg, id, data)),
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
                 LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
-            })??;
+            }
+        })??;
         if in_place {
             return Ok(());
         }
         // Relocate: tombstone the old copy, then write a fresh single-object
         // segment and shadow the slot with an exception entry.
-        let old_len = with_segment_in(handle, ps, addr, |pool, seg| {
+        let old_len = with_segment_in(handle, recorder, ps, addr, |pool, seg| {
             let len = match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => r.len(),
                 _ => 0,
@@ -712,6 +754,7 @@ impl MnemeFile {
         debug_assert_eq!(outcome, AppendOutcome::Appended, "fresh segment must accept its object");
         let new_addr = allocate_segment(meta, image.len());
         let evicted = ps.buffer.insert(new_addr, image);
+        note_evictions(recorder, ps.pool.id(), evicted.len());
         save_evicted(handle, evicted)?;
         let pool_id = ps.pool.id();
         ensure_bucket_loaded(handle, meta, id.segment())?;
@@ -722,14 +765,14 @@ impl MnemeFile {
     /// Deletes an object. The slot is tombstoned; space is reclaimed by
     /// compaction (see [`crate::gc`]).
     pub fn delete(&mut self, id: ObjectId) -> Result<()> {
-        let MnemeFile { handle, configs, pools, meta } = self;
+        let MnemeFile { handle, configs, pools, meta, recorder } = self;
         let meta = meta.get_mut();
         meta.dirty = true;
         ensure_bucket_loaded(handle, meta, id.segment())?;
         let (pool_idx, addr) = resolve_in(meta, configs, id)?;
         let ps = pools[pool_idx].get_mut();
-        let freed =
-            with_segment_in(handle, ps, addr, |pool, seg| match pool.locate(seg.bytes(), id) {
+        let freed = with_segment_in(handle, recorder, ps, addr, |pool, seg| {
+            match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => {
                     let len = r.len();
                     pool.delete(seg, id);
@@ -737,7 +780,8 @@ impl MnemeFile {
                 }
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
                 LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
-            })??;
+            }
+        })??;
         meta.garbage_bytes += freed as u64;
         Ok(())
     }
@@ -757,7 +801,9 @@ impl MnemeFile {
             let pool_id = entry.pool;
             let Some(addr) = entry.segment_for(id.slot()) else { continue };
             let Ok(pool_idx) = self.pool_index(pool_id) else { continue };
-            self.pools[pool_idx].lock().buffer.reserve(addr);
+            if self.pools[pool_idx].lock().buffer.reserve(addr) {
+                self.recorder.pool_incr(pool_id.0 as usize, PoolEvent::Reservation);
+            }
         }
     }
 
@@ -893,7 +939,7 @@ impl MnemeFile {
     pub fn references_of(&self, id: ObjectId) -> Result<Vec<u64>> {
         let (pool_idx, addr) = self.resolve(id)?;
         let mut ps = self.pools[pool_idx].lock();
-        with_segment_in(&self.handle, &mut ps, addr, |pool, seg| {
+        with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
             match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => Ok(pool.references(&seg.bytes()[r])),
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
@@ -910,7 +956,7 @@ impl MnemeFile {
         for (pool_id, addr) in segments {
             let pool_idx = self.pool_index(pool_id)?;
             let ps = self.pools[pool_idx].get_mut();
-            let mut ids = with_segment_in(&self.handle, ps, addr, |pool, seg| {
+            let mut ids = with_segment_in(&self.handle, &self.recorder, ps, addr, |pool, seg| {
                 pool.live_objects(seg.bytes()).into_iter().map(|(id, _)| id).collect::<Vec<_>>()
             })?;
             // An object relocated by update() is live in its new segment and
@@ -968,7 +1014,9 @@ impl MnemeFile {
     ) -> Result<Vec<(ObjectId, std::ops::Range<usize>)>> {
         let pool_idx = self.pool_index(pool)?;
         let ps = self.pools[pool_idx].get_mut();
-        with_segment_in(&self.handle, ps, addr, |p, seg| p.live_objects(seg.bytes()))
+        with_segment_in(&self.handle, &self.recorder, ps, addr, |p, seg| {
+            p.live_objects(seg.bytes())
+        })
     }
 
     /// Where the tables place `id`, or `None` when unmapped.
@@ -987,7 +1035,7 @@ impl MnemeFile {
     ) -> Result<LocateResult> {
         let pool_idx = self.pool_index(pool)?;
         let ps = self.pools[pool_idx].get_mut();
-        with_segment_in(&self.handle, ps, addr, |p, seg| p.locate(seg.bytes(), id))
+        with_segment_in(&self.handle, &self.recorder, ps, addr, |p, seg| p.locate(seg.bytes(), id))
     }
 
     /// The head object of every run and every exception across all loaded

@@ -15,6 +15,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use poir_telemetry::{Event, Recorder};
 
 use crate::backend::{ByteStore, FileBackend, InMemoryBackend};
 use crate::cache::OsCache;
@@ -58,6 +59,10 @@ struct DeviceInner {
     /// succeed and every read after that fails with
     /// [`StorageError::InjectedFault`].
     reads_before_fault: Option<u64>,
+    /// Telemetry recorder, mirroring every [`IoStats`] update (plus
+    /// OS-cache hit/miss events) so reports derived from telemetry match
+    /// `IoSnapshot` deltas exactly. Disabled (no-op) by default.
+    recorder: Recorder,
 }
 
 /// A simulated disk plus operating-system cache.
@@ -95,6 +100,7 @@ impl Device {
                 files: Vec::new(),
                 cache: OsCache::new(config.os_cache_blocks),
                 reads_before_fault: None,
+                recorder: Recorder::disabled(),
             }),
             stats: Arc::new(IoStats::new()),
             config,
@@ -125,6 +131,19 @@ impl Device {
     pub fn os_cache_counters(&self) -> (u64, u64) {
         let inner = self.inner.lock();
         (inner.cache.hits(), inner.cache.misses())
+    }
+
+    /// Attaches a telemetry recorder. Every subsequent `IoStats` update is
+    /// mirrored into it at the same call site, alongside per-block OS-cache
+    /// hit/miss events.
+    pub fn attach_recorder(&self, recorder: Recorder) {
+        self.inner.lock().recorder = recorder;
+    }
+
+    /// A clone of the currently attached telemetry recorder (disabled
+    /// unless one was attached).
+    pub fn recorder(&self) -> Recorder {
+        self.inner.lock().recorder.clone()
     }
 
     /// Creates a new, empty in-memory file.
@@ -183,6 +202,8 @@ impl Device {
                 inner.reads_before_fault = Some(n - 1);
             }
             self.stats.record_read(buf.len() as u64);
+            inner.recorder.incr(Event::FileAccess);
+            inner.recorder.add(Event::BytesRead, buf.len() as u64);
             if !buf.is_empty() {
                 let first = offset / block;
                 let last = (offset + buf.len() as u64 - 1) / block;
@@ -196,6 +217,9 @@ impl Device {
                 if disk_blocks > 0 {
                     self.stats.record_io_inputs(disk_blocks);
                 }
+                inner.recorder.add(Event::OsCacheHit, (last - first + 1) - disk_blocks);
+                inner.recorder.add(Event::OsCacheMiss, disk_blocks);
+                inner.recorder.add(Event::IoInput, disk_blocks);
             }
             store.read_at(offset, buf)
         })
@@ -214,13 +238,17 @@ impl Device {
             // whose byte count is the sum of all requested ranges.
             let total: u64 = ranges.iter().map(|&(_, len)| len as u64).sum();
             self.stats.record_read(total);
+            inner.recorder.incr(Event::FileAccess);
+            inner.recorder.add(Event::BytesRead, total);
             let mut disk_blocks = 0;
+            let mut touched = 0;
             for &(offset, len) in ranges {
                 if len == 0 {
                     continue;
                 }
                 let first = offset / block;
                 let last = (offset + len as u64 - 1) / block;
+                touched += last - first + 1;
                 for b in first..=last {
                     if !inner.cache.access((id.0, b)) {
                         disk_blocks += 1;
@@ -231,6 +259,9 @@ impl Device {
             if disk_blocks > 0 {
                 self.stats.record_io_inputs(disk_blocks);
             }
+            inner.recorder.add(Event::OsCacheHit, touched - disk_blocks);
+            inner.recorder.add(Event::OsCacheMiss, disk_blocks);
+            inner.recorder.add(Event::IoInput, disk_blocks);
             let mut out = Vec::with_capacity(ranges.len());
             for &(offset, len) in ranges {
                 let mut buf = vec![0u8; len as usize];
@@ -245,10 +276,13 @@ impl Device {
         let block = self.config.block_size as u64;
         self.with_file(id, |inner, store| {
             self.stats.record_write(data.len() as u64);
+            inner.recorder.incr(Event::FileWrite);
+            inner.recorder.add(Event::BytesWritten, data.len() as u64);
             if !data.is_empty() {
                 let first = offset / block;
                 let last = (offset + data.len() as u64 - 1) / block;
                 self.stats.record_io_outputs(last - first + 1);
+                inner.recorder.add(Event::IoOutput, last - first + 1);
                 // A UNIX buffer cache keeps written blocks resident.
                 for b in first..=last {
                     inner.cache.insert((id.0, b));

@@ -1,0 +1,748 @@
+//! Zero-dependency telemetry for the POIR engine stack.
+//!
+//! Every layer of the stack accepts a [`Recorder`] handle: the simulated
+//! device records file accesses, transfer-block inputs, and OS-cache
+//! hits/misses; the Mneme buffer manager records per-pool buffer
+//! references, evictions, and reservations; the B-tree records node
+//! descents and node-cache traffic; and the engine records per-phase
+//! query latencies. A disabled recorder (the default) is a `None` inside
+//! a clonable handle — every record call is a single branch, so code can
+//! be instrumented unconditionally without measurable cost.
+//!
+//! Counters are grouped three ways:
+//!
+//! * [`Event`] — global monotonic counters. The I/O events mirror the
+//!   storage crate's `IoStats` exactly (they are recorded at the same
+//!   call sites), which is what lets [`MetricsReport`] reproduce the
+//!   paper's Table 5 I/A/B statistics purely from telemetry.
+//! * [`PoolEvent`] — per-buffer-pool counters, indexed by pool id.
+//! * [`Phase`] — fixed-bucket (power-of-two microseconds) latency
+//!   histograms for the query pipeline phases.
+//!
+//! Snapshots ([`TelemetrySnapshot`]) are plain value types with a
+//! saturating [`TelemetrySnapshot::since`], mirroring `IoSnapshot`.
+//! [`QueryTrace`] captures one query's phase times and I/O deltas;
+//! [`MetricsReport`] aggregates a query set and exports JSON for the
+//! bench bins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Global monotonic counters.
+///
+/// The first eight mirror `poir_storage::IoStats` field-for-field and are
+/// recorded by the device at the exact same call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Event {
+    /// Read system calls against the device (Table 5's per-lookup "A" numerator).
+    FileAccess,
+    /// Write system calls against the device.
+    FileWrite,
+    /// Bytes read from the device (Table 5's "B", reported in Kbytes).
+    BytesRead,
+    /// Bytes written to the device.
+    BytesWritten,
+    /// Transfer blocks faulted in from disk (Table 5's "I").
+    IoInput,
+    /// Transfer blocks written out to disk.
+    IoOutput,
+    /// Transfer blocks served from the simulated OS file cache.
+    OsCacheHit,
+    /// Transfer blocks that missed the OS file cache.
+    OsCacheMiss,
+    /// Inverted-list record lookups served by a store backend.
+    RecordLookup,
+    /// Internal node reads while descending the B-tree.
+    BTreeNodeDescent,
+    /// Internal nodes served from the B-tree node cache.
+    BTreeCacheHit,
+    /// Internal nodes that missed the B-tree node cache.
+    BTreeCacheMiss,
+    /// Dictionary (term -> store ref) lookups during query evaluation.
+    DictLookup,
+    /// Inverted-list records decoded during query evaluation.
+    RecordDecoded,
+    /// Bytes of inverted-list records decoded during query evaluation.
+    RecordBytesDecoded,
+}
+
+impl Event {
+    /// Number of event kinds (array dimension).
+    pub const COUNT: usize = 15;
+
+    /// All events, in declaration order.
+    pub const ALL: [Event; Event::COUNT] = [
+        Event::FileAccess,
+        Event::FileWrite,
+        Event::BytesRead,
+        Event::BytesWritten,
+        Event::IoInput,
+        Event::IoOutput,
+        Event::OsCacheHit,
+        Event::OsCacheMiss,
+        Event::RecordLookup,
+        Event::BTreeNodeDescent,
+        Event::BTreeCacheHit,
+        Event::BTreeCacheMiss,
+        Event::DictLookup,
+        Event::RecordDecoded,
+        Event::RecordBytesDecoded,
+    ];
+
+    /// Stable snake_case name used in JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::FileAccess => "file_accesses",
+            Event::FileWrite => "file_writes",
+            Event::BytesRead => "bytes_read",
+            Event::BytesWritten => "bytes_written",
+            Event::IoInput => "io_inputs",
+            Event::IoOutput => "io_outputs",
+            Event::OsCacheHit => "os_cache_hits",
+            Event::OsCacheMiss => "os_cache_misses",
+            Event::RecordLookup => "record_lookups",
+            Event::BTreeNodeDescent => "btree_node_descents",
+            Event::BTreeCacheHit => "btree_cache_hits",
+            Event::BTreeCacheMiss => "btree_cache_misses",
+            Event::DictLookup => "dict_lookups",
+            Event::RecordDecoded => "records_decoded",
+            Event::RecordBytesDecoded => "record_bytes_decoded",
+        }
+    }
+}
+
+/// Per-buffer-pool counters, indexed by the Mneme pool id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum PoolEvent {
+    /// Buffer references (hits + misses).
+    Ref,
+    /// References satisfied from the pool's buffer.
+    Hit,
+    /// References that had to read the segment from the device.
+    Miss,
+    /// Segments evicted to admit new ones.
+    Eviction,
+    /// Segments pinned by query reservation.
+    Reservation,
+}
+
+impl PoolEvent {
+    /// Number of pool event kinds (array dimension).
+    pub const COUNT: usize = 5;
+
+    /// All pool events, in declaration order.
+    pub const ALL: [PoolEvent; PoolEvent::COUNT] = [
+        PoolEvent::Ref,
+        PoolEvent::Hit,
+        PoolEvent::Miss,
+        PoolEvent::Eviction,
+        PoolEvent::Reservation,
+    ];
+
+    /// Stable snake_case name used in JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolEvent::Ref => "refs",
+            PoolEvent::Hit => "hits",
+            PoolEvent::Miss => "misses",
+            PoolEvent::Eviction => "evictions",
+            PoolEvent::Reservation => "reservations",
+        }
+    }
+}
+
+/// Pools tracked per recorder. Mneme uses three (small/medium/large);
+/// extra ids are clamped into the last slot rather than dropped.
+pub const MAX_POOLS: usize = 4;
+
+/// Query pipeline phases timed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Query text -> belief network parse.
+    Parse,
+    /// Batched prefetch of the query's inverted lists.
+    Prefetch,
+    /// Buffer reservation (pinning) of the query's lists.
+    Reserve,
+    /// Belief evaluation: dictionary lookups, record fetches, scoring.
+    Evaluate,
+    /// Sorting and truncating the scored documents.
+    Rank,
+}
+
+impl Phase {
+    /// Number of phases (array dimension).
+    pub const COUNT: usize = 5;
+
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] =
+        [Phase::Parse, Phase::Prefetch, Phase::Reserve, Phase::Evaluate, Phase::Rank];
+
+    /// Stable snake_case name used in JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Prefetch => "prefetch",
+            Phase::Reserve => "reserve",
+            Phase::Evaluate => "evaluate",
+            Phase::Rank => "rank",
+        }
+    }
+}
+
+/// Histogram buckets: bucket `i` holds durations in `[2^(i-1), 2^i)`
+/// microseconds (bucket 0 is `< 1us`); the last bucket is unbounded.
+pub const HISTOGRAM_BUCKETS: usize = 22;
+
+fn bucket_for(micros: u64) -> usize {
+    let bits = 64 - micros.leading_zeros() as usize;
+    bits.min(HISTOGRAM_BUCKETS - 1)
+}
+
+#[derive(Default)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn record(&self, micros: u64) {
+        self.buckets[bucket_for(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one phase's latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Power-of-two microsecond buckets; see [`HISTOGRAM_BUCKETS`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed durations in microseconds.
+    pub sum_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Saturating element-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, out) in buckets.iter_mut().enumerate() {
+            *out = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum_micros: self.sum_micros.saturating_sub(earlier.sum_micros),
+        }
+    }
+
+    /// Mean observed duration in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    events: [AtomicU64; Event::COUNT],
+    pools: [[AtomicU64; PoolEvent::COUNT]; MAX_POOLS],
+    phases: [AtomicHistogram; Phase::COUNT],
+}
+
+/// Cheap-to-clone telemetry handle. Disabled by default; every record
+/// call on a disabled recorder is a single `Option` branch.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder that accumulates counters.
+    pub fn enabled() -> Recorder {
+        Recorder { inner: Some(Arc::new(Inner::default())) }
+    }
+
+    /// A recorder that drops everything (same as `Recorder::default()`).
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether record calls accumulate anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to a global counter.
+    #[inline]
+    pub fn add(&self, event: Event, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.events[event as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 to a global counter.
+    #[inline]
+    pub fn incr(&self, event: Event) {
+        self.add(event, 1);
+    }
+
+    /// Adds `n` to a per-pool counter. Pool ids beyond [`MAX_POOLS`]
+    /// clamp into the last slot.
+    #[inline]
+    pub fn pool_add(&self, pool: usize, event: PoolEvent, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.pools[pool.min(MAX_POOLS - 1)][event as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 to a per-pool counter.
+    #[inline]
+    pub fn pool_incr(&self, pool: usize, event: PoolEvent) {
+        self.pool_add(pool, event, 1);
+    }
+
+    /// Records one phase observation of `micros` microseconds.
+    #[inline]
+    pub fn record_phase(&self, phase: Phase, micros: u64) {
+        if let Some(inner) = &self.inner {
+            inner.phases[phase as usize].record(micros);
+        }
+    }
+
+    /// Starts a span that records its elapsed time into `phase` when
+    /// dropped (a no-op on a disabled recorder).
+    pub fn span(&self, phase: Phase) -> PhaseSpan {
+        PhaseSpan { recorder: self.clone(), phase, start: Instant::now() }
+    }
+
+    /// Point-in-time copy of every counter (all zeros when disabled).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        if let Some(inner) = &self.inner {
+            for (out, c) in snap.events.iter_mut().zip(&inner.events) {
+                *out = c.load(Ordering::Relaxed);
+            }
+            for (pool_out, pool) in snap.pools.iter_mut().zip(&inner.pools) {
+                for (out, c) in pool_out.iter_mut().zip(pool) {
+                    *out = c.load(Ordering::Relaxed);
+                }
+            }
+            for (out, h) in snap.phases.iter_mut().zip(&inner.phases) {
+                *out = h.snapshot();
+            }
+        }
+        snap
+    }
+}
+
+/// Guard returned by [`Recorder::span`]; records elapsed microseconds on drop.
+pub struct PhaseSpan {
+    recorder: Recorder,
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        self.recorder.record_phase(self.phase, self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// Point-in-time copy of every recorder counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Global counters, indexed by [`Event`].
+    pub events: [u64; Event::COUNT],
+    /// Per-pool counters, indexed by pool id then [`PoolEvent`].
+    pub pools: [[u64; PoolEvent::COUNT]; MAX_POOLS],
+    /// Phase latency histograms, indexed by [`Phase`].
+    pub phases: [HistogramSnapshot; Phase::COUNT],
+}
+
+impl TelemetrySnapshot {
+    /// Value of one global counter.
+    pub fn get(&self, event: Event) -> u64 {
+        self.events[event as usize]
+    }
+
+    /// Value of one per-pool counter.
+    pub fn pool(&self, pool: usize, event: PoolEvent) -> u64 {
+        self.pools[pool.min(MAX_POOLS - 1)][event as usize]
+    }
+
+    /// Histogram for one phase.
+    pub fn phase(&self, phase: Phase) -> &HistogramSnapshot {
+        &self.phases[phase as usize]
+    }
+
+    /// Saturating element-wise difference `self - earlier` (mirrors
+    /// `IoSnapshot::since`).
+    pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut out = TelemetrySnapshot::default();
+        for (i, v) in out.events.iter_mut().enumerate() {
+            *v = self.events[i].saturating_sub(earlier.events[i]);
+        }
+        for (p, pool) in out.pools.iter_mut().enumerate() {
+            for (i, v) in pool.iter_mut().enumerate() {
+                *v = self.pools[p][i].saturating_sub(earlier.pools[p][i]);
+            }
+        }
+        for (i, v) in out.phases.iter_mut().enumerate() {
+            *v = self.phases[i].since(&earlier.phases[i]);
+        }
+        out
+    }
+}
+
+/// Typed telemetry switches for engine construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryOptions {
+    /// Master switch: record counters and histograms at all.
+    pub enabled: bool,
+    /// Also build a [`QueryTrace`] per query (requires `enabled`).
+    pub trace_queries: bool,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions { enabled: false, trace_queries: true }
+    }
+}
+
+impl TelemetryOptions {
+    /// Telemetry off (the default; zero overhead).
+    pub fn off() -> TelemetryOptions {
+        TelemetryOptions { enabled: false, trace_queries: false }
+    }
+
+    /// Counters, histograms, and per-query traces all on.
+    pub fn full() -> TelemetryOptions {
+        TelemetryOptions { enabled: true, trace_queries: true }
+    }
+
+    /// Counters and histograms only; no per-query traces.
+    pub fn counters_only() -> TelemetryOptions {
+        TelemetryOptions { enabled: true, trace_queries: false }
+    }
+}
+
+/// Telemetry captured for a single query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryTrace {
+    /// Index of the query within its set.
+    pub query: usize,
+    /// Results returned after ranking.
+    pub results: usize,
+    /// Microseconds spent in each phase, indexed by [`Phase`].
+    pub phase_micros: [u64; Phase::COUNT],
+    /// Counter deltas attributable to this query, indexed by [`Event`].
+    pub events: [u64; Event::COUNT],
+}
+
+impl QueryTrace {
+    /// Delta of one global counter during this query.
+    pub fn get(&self, event: Event) -> u64 {
+        self.events[event as usize]
+    }
+
+    /// Microseconds spent in one phase.
+    pub fn phase_micros(&self, phase: Phase) -> u64 {
+        self.phase_micros[phase as usize]
+    }
+
+    /// Total microseconds across all phases.
+    pub fn total_micros(&self) -> u64 {
+        self.phase_micros.iter().sum()
+    }
+
+    /// JSON object for this trace (stable keys; no external deps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!("{{\"query\": {}, \"results\": {}", self.query, self.results));
+        s.push_str(", \"phase_micros\": {");
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", phase.name(), self.phase_micros[i]));
+        }
+        s.push_str("}, \"io\": {");
+        for (i, event) in Event::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", event.name(), self.events[i]));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Aggregated telemetry for a whole query set: the counter delta over
+/// the run, per-query traces, and enough derived accessors to rebuild
+/// the paper's Table 5 row (I, A, B) without consulting `IoStats`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Queries executed.
+    pub queries: usize,
+    /// Counter/histogram deltas over the query set.
+    pub delta: TelemetrySnapshot,
+    /// Per-query traces (empty unless `trace_queries` was on, or for
+    /// parallel runs where per-query attribution is not meaningful).
+    pub traces: Vec<QueryTrace>,
+    /// Engine (CPU) time for the set, microseconds.
+    pub engine_micros: u64,
+    /// Cost-model charge for the set's I/O, microseconds. Derived from
+    /// the telemetry counters (not from `IoStats`) by the engine.
+    pub sim_io_micros: u64,
+}
+
+impl MetricsReport {
+    /// Table 5 "I": transfer blocks read from disk.
+    pub fn io_inputs(&self) -> u64 {
+        self.delta.get(Event::IoInput)
+    }
+
+    /// Read system calls issued against the device.
+    pub fn file_accesses(&self) -> u64 {
+        self.delta.get(Event::FileAccess)
+    }
+
+    /// Inverted-list record lookups served.
+    pub fn record_lookups(&self) -> u64 {
+        self.delta.get(Event::RecordLookup)
+    }
+
+    /// Table 5 "A": file accesses per record lookup.
+    pub fn accesses_per_lookup(&self) -> f64 {
+        if self.record_lookups() == 0 {
+            0.0
+        } else {
+            self.file_accesses() as f64 / self.record_lookups() as f64
+        }
+    }
+
+    /// Bytes read from the device.
+    pub fn bytes_read(&self) -> u64 {
+        self.delta.get(Event::BytesRead)
+    }
+
+    /// Table 5 "B": Kbytes read from the device.
+    pub fn kbytes_read(&self) -> u64 {
+        self.bytes_read() / 1024
+    }
+
+    /// OS-cache hit rate over transfer-block touches.
+    pub fn os_cache_hit_rate(&self) -> f64 {
+        let hits = self.delta.get(Event::OsCacheHit);
+        let total = hits + self.delta.get(Event::OsCacheMiss);
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Per-pool buffer hit rate (0.0 when the pool saw no references).
+    pub fn pool_hit_rate(&self, pool: usize) -> f64 {
+        let refs = self.delta.pool(pool, PoolEvent::Ref);
+        if refs == 0 {
+            0.0
+        } else {
+            self.delta.pool(pool, PoolEvent::Hit) as f64 / refs as f64
+        }
+    }
+
+    /// Simulated wall-clock seconds: engine time plus cost-model I/O time.
+    pub fn wall_clock_secs(&self) -> f64 {
+        (self.engine_micros + self.sim_io_micros) as f64 / 1e6
+    }
+
+    /// JSON object for the whole report (stable keys; no external deps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024 + 256 * self.traces.len());
+        s.push_str(&format!(
+            "{{\n  \"queries\": {},\n  \"engine_micros\": {},\n  \"sim_io_micros\": {},\n",
+            self.queries, self.engine_micros, self.sim_io_micros
+        ));
+        s.push_str(&format!(
+            "  \"table5\": {{\"io_inputs\": {}, \"accesses_per_lookup\": {:.4}, \"kbytes_read\": {}}},\n",
+            self.io_inputs(),
+            self.accesses_per_lookup(),
+            self.kbytes_read()
+        ));
+        s.push_str("  \"counters\": {");
+        for (i, event) in Event::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", event.name(), self.delta.events[i]));
+        }
+        s.push_str("},\n  \"pools\": [");
+        for pool in 0..MAX_POOLS {
+            if pool > 0 {
+                s.push_str(", ");
+            }
+            s.push('{');
+            for (i, event) in PoolEvent::ALL.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\": {}", event.name(), self.delta.pools[pool][i]));
+            }
+            s.push('}');
+        }
+        s.push_str("],\n  \"phases\": {");
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let h = &self.delta.phases[i];
+            s.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"sum_micros\": {}, \"mean_micros\": {:.1}}}",
+                phase.name(),
+                h.count,
+                h.sum_micros,
+                h.mean_micros()
+            ));
+        }
+        s.push_str("},\n  \"traces\": [");
+        for (i, trace) in self.traces.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&trace.to_json());
+        }
+        s.push_str("]\n}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.incr(Event::FileAccess);
+        r.pool_incr(0, PoolEvent::Hit);
+        r.record_phase(Phase::Parse, 10);
+        assert_eq!(r.snapshot(), TelemetrySnapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let r = Recorder::enabled();
+        r.add(Event::BytesRead, 100);
+        let before = r.snapshot();
+        r.add(Event::BytesRead, 50);
+        r.incr(Event::IoInput);
+        r.pool_add(2, PoolEvent::Eviction, 3);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.get(Event::BytesRead), 50);
+        assert_eq!(delta.get(Event::IoInput), 1);
+        assert_eq!(delta.pool(2, PoolEvent::Eviction), 3);
+        assert_eq!(delta.get(Event::FileAccess), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::enabled();
+        let c = r.clone();
+        c.incr(Event::RecordLookup);
+        assert_eq!(r.snapshot().get(Event::RecordLookup), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket_for(0), 0);
+        assert_eq!(bucket_for(1), 1);
+        assert_eq!(bucket_for(2), 2);
+        assert_eq!(bucket_for(3), 2);
+        assert_eq!(bucket_for(4), 3);
+        assert_eq!(bucket_for(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let r = Recorder::enabled();
+        r.record_phase(Phase::Evaluate, 5);
+        r.record_phase(Phase::Evaluate, 7);
+        let h = *r.snapshot().phase(Phase::Evaluate);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_micros, 12);
+        assert_eq!(h.buckets[3], 2); // [4, 8)
+        assert!((h.mean_micros() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let r = Recorder::enabled();
+        {
+            let _span = r.span(Phase::Rank);
+        }
+        assert_eq!(r.snapshot().phase(Phase::Rank).count, 1);
+    }
+
+    #[test]
+    fn report_derives_table5_statistics() {
+        let r = Recorder::enabled();
+        r.add(Event::IoInput, 40);
+        r.add(Event::FileAccess, 30);
+        r.add(Event::RecordLookup, 20);
+        r.add(Event::BytesRead, 4096 * 25);
+        let report = MetricsReport {
+            queries: 10,
+            delta: r.snapshot(),
+            traces: Vec::new(),
+            engine_micros: 1_000,
+            sim_io_micros: 9_000,
+        };
+        assert_eq!(report.io_inputs(), 40);
+        assert!((report.accesses_per_lookup() - 1.5).abs() < 1e-9);
+        assert_eq!(report.kbytes_read(), 100);
+        assert!((report.wall_clock_secs() - 0.01).abs() < 1e-12);
+        let json = report.to_json();
+        assert!(json.contains("\"io_inputs\": 40"));
+        assert!(json.contains("\"accesses_per_lookup\": 1.5000"));
+        assert!(json.contains("\"kbytes_read\": 100"));
+    }
+
+    #[test]
+    fn trace_json_has_phase_and_io_keys() {
+        let mut t = QueryTrace { query: 3, results: 7, ..QueryTrace::default() };
+        t.phase_micros[Phase::Evaluate as usize] = 42;
+        t.events[Event::IoInput as usize] = 5;
+        let json = t.to_json();
+        assert!(json.contains("\"query\": 3"));
+        assert!(json.contains("\"evaluate\": 42"));
+        assert!(json.contains("\"io_inputs\": 5"));
+    }
+}

@@ -47,8 +47,8 @@ fn main() {
             os_cache_blocks: 512,
             cost_model: CostModel::default(),
         });
-        let mut engine = Engine::build(&device, backend, index.clone(), StopWords::default())
-            .expect("engine build");
+        let mut engine =
+            Engine::builder(&device).backend(backend).build(index.clone()).expect("engine build");
         let report = engine.run_query_set(&texts, 100).expect("query set");
         println!(
             "{:<18} {:>12.2} {:>8} {:>8.2} {:>10}",

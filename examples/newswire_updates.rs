@@ -26,7 +26,9 @@ fn main() {
     }
     let index = builder.finish();
     let device = Device::with_defaults();
-    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
+    let mut engine = Engine::builder(&device)
+        .backend(BackendKind::MnemeCache)
+        .build(index)
         .expect("engine build");
     println!(
         "core collection: {} documents, {} terms",

@@ -40,7 +40,9 @@ fn main() {
     // 2. Load the index into an engine. `MnemeCache` is the paper's
     //    three-pool object store with the Table 2 buffer heuristics.
     let device = Device::with_defaults();
-    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
+    let mut engine = Engine::builder(&device)
+        .backend(BackendKind::MnemeCache)
+        .build(index)
         .expect("engine build");
 
     // 3. Search. Bare words form a probabilistic #sum query; structured

@@ -33,7 +33,9 @@ fn main() {
         index.dictionary.term(poir::inquery::TermId(0)),
     );
     let device = poir::storage::Device::with_defaults();
-    let mut engine = Engine::build(&device, BackendKind::MnemeCache, index, StopWords::default())
+    let mut engine = Engine::builder(&device)
+        .backend(BackendKind::MnemeCache)
+        .build(index)
         .expect("engine build");
 
     let stdin = std::io::stdin();

@@ -29,8 +29,10 @@
 //! let index = builder.finish();
 //!
 //! let device = Device::with_defaults();
-//! let mut engine = Engine::build(&device, BackendKind::MnemeCache, index,
-//!                                StopWords::default()).unwrap();
+//! let mut engine = Engine::builder(&device)
+//!     .backend(BackendKind::MnemeCache)
+//!     .build(index)
+//!     .unwrap();
 //! let hits = engine.query("#phrase(object store)", 10).unwrap();
 //! assert_eq!(hits[0].name, "DOC-1");
 //! ```
@@ -41,3 +43,4 @@ pub use poir_core as core;
 pub use poir_inquery as inquery;
 pub use poir_mneme as mneme;
 pub use poir_storage as storage;
+pub use poir_telemetry as telemetry;

@@ -36,8 +36,7 @@ fn engine_survives_restart_on_real_files() {
             let store = dev.create_file_at(&store_path).unwrap();
             // Build on an in-memory file, then copy bytes onto the real one
             // through the engine's own save path.
-            let mut engine =
-                Engine::build(&dev, backend, small_index(), StopWords::default()).unwrap();
+            let mut engine = Engine::builder(&dev).backend(backend).build(small_index()).unwrap();
             expected = engine.query("alpha item5", 5).unwrap();
             // Persist the store bytes to the real file.
             let len = engine.store_handle().len().unwrap();
@@ -51,7 +50,7 @@ fn engine_survives_restart_on_real_files() {
             let dev = Device::with_defaults();
             let store = dev.create_file_at(&store_path).unwrap();
             let meta = dev.create_file_at(&meta_path).unwrap();
-            let mut engine = Engine::open(&dev, store, &meta, StopWords::default()).unwrap();
+            let mut engine = Engine::builder(&dev).open(store, &meta).unwrap();
             assert_eq!(engine.backend(), backend);
             let got = engine.query("alpha item5", 5).unwrap();
             assert_eq!(expected, got, "backend {}", backend.label());
@@ -97,8 +96,7 @@ fn recovery_log_replays_on_real_files() {
 fn storage_faults_surface_as_errors_not_corruption() {
     let dev = Device::with_defaults();
     let mut engine =
-        Engine::build(&dev, BackendKind::MnemeNoCache, small_index(), StopWords::default())
-            .unwrap();
+        Engine::builder(&dev).backend(BackendKind::MnemeNoCache).build(small_index()).unwrap();
     // Warm nothing; inject a fault after a few reads mid-query-set.
     dev.inject_read_fault_after(Some(3));
     let queries = vec!["alpha bravo charlie delta"; 4];

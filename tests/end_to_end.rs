@@ -39,7 +39,7 @@ fn full_pipeline_cacm_like() {
     let mut reports = Vec::new();
     for backend in BackendKind::all() {
         let dev = device();
-        let mut engine = Engine::build(&dev, backend, index.clone(), StopWords::default()).unwrap();
+        let mut engine = Engine::builder(&dev).backend(backend).build(index.clone()).unwrap();
         // Rankings per query.
         let mut per_backend = Vec::new();
         for q in &texts {
@@ -69,8 +69,7 @@ fn relevant_documents_are_retrieved() {
     let (collection, index) = build(&paper, 0.05);
     let queries = generate_queries(&collection, &paper.query_sets[0]);
     let dev = device();
-    let mut engine =
-        Engine::build(&dev, BackendKind::MnemeCache, index, StopWords::default()).unwrap();
+    let mut engine = Engine::builder(&dev).backend(BackendKind::MnemeCache).build(index).unwrap();
     let mut aps = Vec::new();
     for q in &queries {
         let ranked = engine.query(&q.text, 50).unwrap();
@@ -119,8 +118,7 @@ fn dictionary_and_store_round_trip_through_bytes() {
 fn chill_file_resets_are_observable() {
     let (_, index) = build(&collections::cacm(), 0.05);
     let dev = device();
-    let mut engine =
-        Engine::build(&dev, BackendKind::MnemeNoCache, index, StopWords::default()).unwrap();
+    let mut engine = Engine::builder(&dev).backend(BackendKind::MnemeNoCache).build(index).unwrap();
     let queries = vec!["bani caba dani"; 3];
     let r1 = engine.run_query_set(&queries, 10).unwrap();
     let r2 = engine.run_query_set(&queries, 10).unwrap();

@@ -31,7 +31,7 @@ fn cacm_fixture() -> (poir::inquery::Index, Vec<String>) {
 }
 
 fn fresh_engine(index: &poir::inquery::Index) -> Engine {
-    Engine::build(&device(), BackendKind::MnemeCache, index.clone(), StopWords::default()).unwrap()
+    Engine::builder(&device()).backend(BackendKind::MnemeCache).build(index.clone()).unwrap()
 }
 
 /// Rankings as exactly comparable tuples (score bit patterns included).
@@ -166,7 +166,6 @@ fn store_level_batch_fetch_strictly_coalesces() {
 #[test]
 fn parallel_execution_rejects_the_btree_backend() {
     let (index, queries) = cacm_fixture();
-    let mut engine =
-        Engine::build(&device(), BackendKind::BTree, index, StopWords::default()).unwrap();
+    let mut engine = Engine::builder(&device()).backend(BackendKind::BTree).build(index).unwrap();
     assert!(engine.run_query_set_parallel(&queries, 10, 2).is_err());
 }
