@@ -15,19 +15,33 @@
 //! the telemetry-derived Table 5 statistics against the device's `IoStats`
 //! deltas (they must match exactly), and writes every query set's
 //! `MetricsReport` — counters, per-pool buffer events, phase latency
-//! histograms, per-query traces — to `PATH` as JSON.
+//! histograms, per-query traces — to `PATH` as JSON. On divergence it
+//! prints the full per-counter diff (every mirrored telemetry/IoStats
+//! pair, matching and not) before aborting.
+//!
+//! `--trace-out PATH` runs an extra traced pass — the TIPSTER throughput
+//! workload at the same `--scale`, serial then parallel on 2 threads, on a
+//! tracing engine — and writes a Perfetto-loadable Chrome trace to `PATH`
+//! plus a flat JSONL access log alongside it. The reproduction runs
+//! themselves are unaffected.
 
 use std::collections::BTreeSet;
 
+use poir_bench::throughput::{export_trace, prepare_workload, run_traced};
 use poir_bench::{fig1_points, fig2_points, fig3_sweep, print, run_all, RunConfig};
 use poir_core::{BackendKind, TelemetryOptions};
 use poir_inquery::StopWords;
+use poir_telemetry::Event;
+
+/// Ring-buffer capacity for the `--trace-out` pass.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut targets: BTreeSet<String> = BTreeSet::new();
     let mut scale = 1.0f64;
     let mut metrics_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,10 +58,15 @@ fn main() {
                     args.get(i).cloned().unwrap_or_else(|| die("--metrics-json needs a path")),
                 );
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out =
+                    Some(args.get(i).cloned().unwrap_or_else(|| die("--trace-out needs a path")));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: reproduce [table1..table6 fig1..fig3 effectiveness all] \
-                     [--scale F] [--metrics-json PATH]"
+                     [--scale F] [--metrics-json PATH] [--trace-out PATH]"
                 );
                 return;
             }
@@ -129,6 +148,16 @@ fn main() {
     if let Some(path) = metrics_json {
         write_metrics_json(&path, scale, &results);
     }
+
+    if let Some(path) = trace_out {
+        eprintln!(
+            "# traced pass: TIPSTER throughput workload at scale {scale}, \
+             serial + parallel_2, ring capacity {TRACE_CAPACITY}"
+        );
+        let workload = prepare_workload(scale);
+        let tracer = run_traced(&workload, TRACE_CAPACITY, 2);
+        export_trace(&tracer, &path).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    }
 }
 
 /// Serializes every query set's telemetry to JSON, after verifying the
@@ -144,26 +173,50 @@ fn write_metrics_json(path: &str, scale: f64, results: &[poir_bench::CollectionR
                 let metrics = report.metrics.as_ref().unwrap_or_else(|| {
                     die("telemetry was enabled but the report carries no metrics")
                 });
-                if metrics.io_inputs() != report.io.io_inputs
-                    || metrics.file_accesses() != report.io.file_accesses
-                    || metrics.bytes_read() != report.io.bytes_read
-                    || metrics.record_lookups() != report.record_lookups
-                {
-                    eprintln!(
-                        "telemetry mismatch for {} / {} / {}: \
-                         I {} vs {}, accesses {} vs {}, bytes {} vs {}, lookups {} vs {}",
-                        coll.label,
-                        qs.label,
-                        backend,
-                        metrics.io_inputs(),
-                        report.io.io_inputs,
-                        metrics.file_accesses(),
+                // Every counter the telemetry layer mirrors from IoStats,
+                // plus the engine-side lookup count. On any divergence the
+                // whole table prints (matching rows included) so the shape
+                // of the drift is visible, not just its first symptom.
+                let pairs: [(&str, u64, u64); 7] = [
+                    (
+                        "file_accesses",
+                        metrics.delta.get(Event::FileAccess),
                         report.io.file_accesses,
-                        metrics.bytes_read(),
-                        report.io.bytes_read,
-                        metrics.record_lookups(),
+                    ),
+                    ("file_writes", metrics.delta.get(Event::FileWrite), report.io.file_writes),
+                    ("bytes_read", metrics.delta.get(Event::BytesRead), report.io.bytes_read),
+                    (
+                        "bytes_written",
+                        metrics.delta.get(Event::BytesWritten),
+                        report.io.bytes_written,
+                    ),
+                    ("io_inputs", metrics.delta.get(Event::IoInput), report.io.io_inputs),
+                    ("io_outputs", metrics.delta.get(Event::IoOutput), report.io.io_outputs),
+                    (
+                        "record_lookups",
+                        metrics.delta.get(Event::RecordLookup),
                         report.record_lookups,
+                    ),
+                ];
+                if pairs.iter().any(|&(_, t, io)| t != io) {
+                    eprintln!(
+                        "telemetry mismatch for {} / {} / {}:",
+                        coll.label, qs.label, backend
                     );
+                    eprintln!(
+                        "  {:<16} {:>14} {:>14} {:>10}",
+                        "counter", "telemetry", "iostats", "delta"
+                    );
+                    for (name, telem, io) in pairs {
+                        eprintln!(
+                            "  {:<16} {:>14} {:>14} {:>10}  {}",
+                            name,
+                            telem,
+                            io,
+                            telem as i64 - io as i64,
+                            if telem == io { "ok" } else { "MISMATCH" },
+                        );
+                    }
                     die("telemetry counters diverged from IoStats");
                 }
                 backends.push(format!(

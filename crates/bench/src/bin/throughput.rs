@@ -7,85 +7,28 @@
 //! B = Kbytes read) of each mode relative to serial.
 //!
 //! ```text
-//! cargo run --release -p poir-bench --bin throughput -- [--scale F] [--out PATH]
+//! cargo run --release -p poir-bench --bin throughput -- \
+//!     [--scale F] [--out PATH] [--trace-out PATH]
 //! ```
 //!
-//! QPS is measured against simulated wall-clock: real engine time plus the
-//! cost-model charge for the run's device I/O. Parallel runs divide the
-//! device time across threads (each worker drives its own I/O channel), so
-//! the speedup reflects overlapped I/O, not host parallelism.
+//! The measurement procedure itself lives in [`poir_bench::throughput`] so
+//! the `regress` gate reruns it identically. `--trace-out PATH` performs an
+//! additional traced pass (serial plus parallel, tracing telemetry on) after
+//! the measured runs and writes a Perfetto-loadable Chrome trace to `PATH`
+//! and a flat JSONL access log alongside it; the measured runs themselves
+//! always execute with telemetry off.
 
-use poir_bench::paper_device;
-use poir_collections::{generate_queries, tipster, SyntheticCollection};
-use poir_core::{BackendKind, Engine, ExecMode, QuerySetReport, RankedResult};
-use poir_inquery::{Index, IndexBuilder, StopWords};
+use poir_bench::throughput::{export_trace, prepare_workload, run_throughput, run_traced};
+use poir_core::TelemetryOptions;
 
-const TOP_K: usize = 100;
-
-struct ModeResult {
-    name: String,
-    threads: usize,
-    qps: f64,
-    wall_clock_secs: f64,
-    report: QuerySetReport,
-    rankings: Vec<Vec<RankedResult>>,
-}
-
-fn fresh_engine(index: &Index) -> Engine {
-    Engine::builder(&paper_device())
-        .backend(BackendKind::MnemeCache)
-        .build(index.clone())
-        .expect("engine build")
-}
-
-fn ranking_key(rankings: &[Vec<RankedResult>]) -> Vec<Vec<(u32, u64)>> {
-    rankings.iter().map(|q| q.iter().map(|r| (r.doc.0, r.score.to_bits())).collect()).collect()
-}
-
-fn json_mode(m: &ModeResult, serial: &QuerySetReport) -> String {
-    let r = &m.report;
-    format!(
-        concat!(
-            "    {{\n",
-            "      \"mode\": \"{}\",\n",
-            "      \"threads\": {},\n",
-            "      \"qps\": {:.3},\n",
-            "      \"wall_clock_secs\": {:.6},\n",
-            "      \"engine_secs\": {:.6},\n",
-            "      \"sys_io_secs\": {:.6},\n",
-            "      \"record_lookups\": {},\n",
-            "      \"io_inputs\": {},\n",
-            "      \"file_accesses\": {},\n",
-            "      \"accesses_per_lookup\": {:.4},\n",
-            "      \"kbytes_read\": {},\n",
-            "      \"delta_vs_serial\": {{\n",
-            "        \"io_inputs\": {},\n",
-            "        \"accesses_per_lookup\": {:.4},\n",
-            "        \"kbytes_read\": {}\n",
-            "      }}\n",
-            "    }}"
-        ),
-        m.name,
-        m.threads,
-        m.qps,
-        m.wall_clock_secs,
-        r.engine_time.as_secs_f64(),
-        r.sys_io_time.as_secs_f64(),
-        r.record_lookups,
-        r.io_inputs(),
-        r.io.file_accesses,
-        r.accesses_per_lookup(),
-        r.kbytes_read(),
-        r.io_inputs() as i64 - serial.io_inputs() as i64,
-        r.accesses_per_lookup() - serial.accesses_per_lookup(),
-        r.kbytes_read() as i64 - serial.kbytes_read() as i64,
-    )
-}
+/// Ring-buffer capacity for the optional traced pass.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.05f64;
     let mut out_path = "BENCH_throughput.json".to_string();
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -103,108 +46,40 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => {
+                    eprintln!("error: --trace-out needs a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("usage: throughput [--scale F] [--out PATH] (unknown arg {other:?})");
+                eprintln!(
+                    "usage: throughput [--scale F] [--out PATH] [--trace-out PATH] \
+                     (unknown arg {other:?})"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let paper = tipster().scale(scale);
-    eprintln!("# generating + indexing {} ({} docs)", paper.spec.name, paper.spec.num_docs);
-    let collection = SyntheticCollection::new(paper.spec.clone());
-    let mut builder = IndexBuilder::new(StopWords::default());
-    for doc in collection.documents() {
-        builder.add_document(&doc.name, &doc.text);
-    }
-    let index = builder.finish();
-    let queries: Vec<String> =
-        generate_queries(&collection, &paper.query_sets[0]).into_iter().map(|q| q.text).collect();
-    eprintln!("# {} queries, top-{TOP_K}", queries.len());
+    eprintln!("# generating + indexing TIPSTER at scale {scale}");
+    let workload = prepare_workload(scale);
+    eprintln!("# {} queries, top-{}", workload.queries.len(), poir_bench::throughput::TOP_K);
 
-    let mut results: Vec<ModeResult> = Vec::new();
-    // JSON mode names come from ExecMode's Display impl, which round-trips
-    // through FromStr ("serial", "batched_prefetch").
-    for mode in [ExecMode::Serial, ExecMode::BatchedPrefetch] {
-        let mut engine = fresh_engine(&index);
-        let (report, rankings) =
-            engine.run_query_set_mode(&queries, TOP_K, mode).expect("query set");
-        let wall = report.wall_clock_secs();
-        results.push(ModeResult {
-            name: mode.to_string(),
-            threads: 1,
-            qps: queries.len() as f64 / wall,
-            wall_clock_secs: wall,
-            report,
-            rankings,
-        });
-    }
-    for threads in [2usize, 4usize] {
-        let mut engine = fresh_engine(&index);
-        let parallel =
-            engine.run_query_set_parallel(&queries, TOP_K, threads).expect("parallel run");
-        results.push(ModeResult {
-            name: format!("parallel_{threads}"),
-            threads,
-            qps: parallel.qps(),
-            wall_clock_secs: parallel.wall_clock_secs(),
-            report: parallel.report,
-            rankings: parallel.rankings,
-        });
-    }
+    let run = run_throughput(&workload, TelemetryOptions::off());
+    println!("{}", run.render_table());
 
-    let serial_key = ranking_key(&results[0].rankings);
-    let identical = results.iter().all(|m| ranking_key(&m.rankings) == serial_key);
-    let serial_qps = results[0].qps;
-    let speedup_4 = results.iter().find(|m| m.threads == 4).map_or(0.0, |m| m.qps / serial_qps);
-
-    println!(
-        "{:<18} {:>8} {:>12} {:>8} {:>8} {:>8} {:>8}",
-        "mode", "threads", "QPS", "I", "A", "B(KB)", "lookups"
-    );
-    for m in &results {
-        println!(
-            "{:<18} {:>8} {:>12.2} {:>8} {:>8.3} {:>8} {:>8}",
-            m.name,
-            m.threads,
-            m.qps,
-            m.report.io_inputs(),
-            m.report.accesses_per_lookup(),
-            m.report.kbytes_read(),
-            m.report.record_lookups,
-        );
-    }
-    println!("identical rankings across modes: {identical}");
-    println!("parallel_4 speedup over serial: {speedup_4:.2}x");
-
-    let serial_report = results[0].report.clone();
-    let modes_json: Vec<String> = results.iter().map(|m| json_mode(m, &serial_report)).collect();
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"collection\": \"{}\",\n",
-            "  \"num_docs\": {},\n",
-            "  \"scale\": {},\n",
-            "  \"queries\": {},\n",
-            "  \"top_k\": {},\n",
-            "  \"identical_rankings\": {},\n",
-            "  \"parallel_4_speedup_vs_serial\": {:.3},\n",
-            "  \"modes\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        paper.spec.name,
-        paper.spec.num_docs,
-        scale,
-        queries.len(),
-        TOP_K,
-        identical,
-        speedup_4,
-        modes_json.join(",\n"),
-    );
-    std::fs::write(&out_path, json).expect("write json");
+    std::fs::write(&out_path, run.to_json()).expect("write json");
     eprintln!("# wrote {out_path}");
 
-    if !identical {
+    if let Some(path) = trace_out {
+        eprintln!("# traced pass (serial + parallel_2, ring capacity {TRACE_CAPACITY})");
+        let tracer = run_traced(&workload, TRACE_CAPACITY, 2);
+        export_trace(&tracer, &path).expect("write trace");
+    }
+
+    if !run.identical_rankings {
         eprintln!("ERROR: rankings diverged across execution modes");
         std::process::exit(1);
     }

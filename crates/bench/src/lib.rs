@@ -10,7 +10,9 @@
 //! The `reproduce` binary drives the whole suite:
 //! `cargo run --release -p poir-bench --bin reproduce -- all`.
 
+pub mod json;
 pub mod print;
+pub mod throughput;
 
 use std::sync::Arc;
 

@@ -12,7 +12,7 @@
 //! more-than-one-access-per-lookup behaviour from Table 5.
 
 use poir_storage::FileHandle;
-use poir_telemetry::{Event, Recorder};
+use poir_telemetry::{Event, Recorder, TraceOp};
 
 use crate::error::{BTreeError, Result};
 use crate::node_cache::{NodeCache, DEFAULT_CACHE_NODES};
@@ -205,8 +205,16 @@ impl BTreeFile {
         let mut path = Vec::with_capacity(self.height as usize - 1);
         let mut page_id = self.root;
         for _ in 0..self.height - 1 {
+            let traced = self.recorder.trace_start();
             self.recorder.incr(Event::BTreeNodeDescent);
             let bytes = self.read_internal(page_id)?;
+            self.recorder.trace_end(
+                traced,
+                TraceOp::BTreeDescent,
+                page_id as u64,
+                None,
+                bytes.len() as u64,
+            );
             if bytes[0] != PAGE_INTERNAL {
                 return Err(BTreeError::Corrupt(format!(
                     "expected internal page at {page_id}, found type {}",

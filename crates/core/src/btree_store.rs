@@ -10,7 +10,7 @@
 use poir_btree::{BTreeConfig, BTreeFile};
 use poir_inquery::{Dictionary, InvertedFileStore, TermId};
 use poir_storage::FileHandle;
-use poir_telemetry::{Event, Recorder};
+use poir_telemetry::{Event, Recorder, TraceOp};
 
 use crate::error::{CoreError, Result};
 
@@ -83,6 +83,7 @@ impl BTreeInvertedFile {
 
 impl InvertedFileStore for BTreeInvertedFile {
     fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
+        let traced = self.recorder.trace_start();
         self.lookups += 1;
         self.recorder.incr(Event::RecordLookup);
         let record = self
@@ -92,6 +93,7 @@ impl InvertedFileStore for BTreeInvertedFile {
             .ok_or(CoreError::DanglingRef(store_ref))?;
         self.recorder.incr(Event::RecordDecoded);
         self.recorder.add(Event::RecordBytesDecoded, record.len() as u64);
+        self.recorder.trace_end(traced, TraceOp::PoolFetch, store_ref, None, record.len() as u64);
         Ok(record)
     }
 

@@ -1,10 +1,10 @@
 //! Typed construction for [`Engine`].
 //!
-//! The positional `Engine::build(device, backend, index, stop)` /
-//! `Engine::open(device, handle, meta, stop)` signatures grew one argument
-//! per feature and pushed every optional knob (buffer sizes, reservation,
+//! The engine's original positional constructors grew one argument per
+//! feature and pushed every optional knob (buffer sizes, reservation,
 //! execution mode, telemetry) into post-construction setter calls.
-//! [`EngineBuilder`] replaces them with named, typed options:
+//! [`EngineBuilder`] replaced them (the positional shims are gone) with
+//! named, typed options:
 //!
 //! ```no_run
 //! # use std::sync::Arc;

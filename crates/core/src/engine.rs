@@ -25,7 +25,10 @@ use poir_inquery::{
 };
 use poir_mneme::BufferStats;
 use poir_storage::{Device, FileHandle, IoSnapshot, SimTime};
-use poir_telemetry::{Event, MetricsReport, Phase, QueryTrace, Recorder, TelemetrySnapshot};
+use poir_telemetry::trace::tag_query;
+use poir_telemetry::{
+    Event, MetricsReport, Phase, QueryTrace, Recorder, TelemetrySnapshot, TraceOp, Tracer,
+};
 
 use crate::btree_store::BTreeInvertedFile;
 use crate::buffer_sizing::{paper_heuristic, BufferSizes};
@@ -277,16 +280,18 @@ impl Engine {
         EngineBuilder::new(device)
     }
 
-    /// Loads a finished [`Index`] into a fresh inverted file of the chosen
-    /// backend on `device`.
-    #[deprecated(note = "use Engine::builder(device).backend(..).build(index)")]
-    pub fn build(
-        device: &Arc<Device>,
-        backend: BackendKind,
-        index: Index,
-        stop: StopWords,
-    ) -> Result<Engine> {
-        Engine::builder(device).backend(backend).stop_words(stop).build(index)
+    /// Builds the engine's recorder from the builder's telemetry options:
+    /// disabled, counting, or counting plus a structured tracer.
+    fn recorder_for(options: &poir_telemetry::TelemetryOptions) -> Recorder {
+        if !options.enabled {
+            return Recorder::disabled();
+        }
+        let recorder = Recorder::enabled();
+        if options.trace_capacity > 0 {
+            recorder.with_tracer(Arc::new(Tracer::new(options.trace_capacity)))
+        } else {
+            recorder
+        }
     }
 
     pub(crate) fn from_builder_build(b: EngineBuilder, index: Index) -> Result<Engine> {
@@ -314,7 +319,7 @@ impl Engine {
                 StoreImpl::Mneme(store)
             }
         };
-        let recorder = if b.telemetry.enabled { Recorder::enabled() } else { Recorder::disabled() };
+        let recorder = Self::recorder_for(&b.telemetry);
         if recorder.is_enabled() {
             b.device.attach_recorder(recorder.clone());
             store.as_instrumented_mut().attach_recorder(recorder.clone());
@@ -360,6 +365,12 @@ impl Engine {
     /// Whether telemetry is being collected.
     pub fn telemetry_enabled(&self) -> bool {
         self.recorder.is_enabled()
+    }
+
+    /// The structured tracer, when the engine was built with
+    /// [`poir_telemetry::TelemetryOptions::tracing`].
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.recorder.tracer()
     }
 
     /// The active backend.
@@ -495,36 +506,57 @@ impl Engine {
         k: usize,
         mode: ExecMode,
     ) -> Result<(Vec<poir_inquery::ScoredDoc>, QueryTrace)> {
+        // Tag the thread so every trace record emitted below — device
+        // reads, buffer refs, lock waits — carries this query's index.
+        let _tag = tag_query(query_index as u32);
+        let query_span = self.recorder.trace_start();
         let before = self.recorder.snapshot();
         let mut phase_micros = [0u64; Phase::COUNT];
+        // Each phase's trace slice is emitted right after the phase ends so
+        // its start timestamp (now - duration) nests the I/O it contains.
+        let trace_phase = |phase: Phase, micros: u64| {
+            self.recorder.trace(
+                TraceOp::QueryPhase,
+                phase as u64,
+                None,
+                0,
+                Duration::from_micros(micros),
+            );
+        };
         let t = Instant::now();
         let parsed = poir_inquery::parse_query(text, &self.stop)?;
         phase_micros[Phase::Parse as usize] = t.elapsed().as_micros() as u64;
+        trace_phase(Phase::Parse, phase_micros[Phase::Parse as usize]);
         let store = self.store.as_store();
         let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
         if mode == ExecMode::BatchedPrefetch {
             let t = Instant::now();
             ev.prefetch(&parsed);
             phase_micros[Phase::Prefetch as usize] = t.elapsed().as_micros() as u64;
+            trace_phase(Phase::Prefetch, phase_micros[Phase::Prefetch as usize]);
         }
         if self.reserve_enabled {
             let t = Instant::now();
             ev.reserve(&parsed);
             phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
+            trace_phase(Phase::Reserve, phase_micros[Phase::Reserve as usize]);
         }
         let t = Instant::now();
         let list = ev.evaluate(&parsed);
         phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
+        trace_phase(Phase::Evaluate, phase_micros[Phase::Evaluate as usize]);
         let dict_lookups = ev.dict_lookups();
         ev.release_reservations();
         let list = list?;
         let t = Instant::now();
         let scored = rank_score_list(list, k);
         phase_micros[Phase::Rank as usize] = t.elapsed().as_micros() as u64;
+        trace_phase(Phase::Rank, phase_micros[Phase::Rank as usize]);
         self.recorder.add(Event::DictLookup, dict_lookups);
         for phase in Phase::ALL {
             self.recorder.record_phase(phase, phase_micros[phase as usize]);
         }
+        self.recorder.trace_end(query_span, TraceOp::Query, query_index as u64, None, 0);
         let delta = self.recorder.snapshot().since(&before);
         let trace = QueryTrace {
             query: query_index,
@@ -670,6 +702,7 @@ impl Engine {
         let docs = &self.docs;
         let stop = &self.stop;
         let params = self.params;
+        let recorder = &self.recorder;
         let start = Instant::now();
         let mut per_thread: Vec<Result<ThreadResults>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -679,11 +712,16 @@ impl Engine {
                         let mut out = Vec::new();
                         let mut dict_lookups = 0u64;
                         for qi in (t..queries.len()).step_by(threads) {
+                            // Tag + whole-query slice: each worker gets its
+                            // own trace track, with per-query attribution.
+                            let _tag = tag_query(qi as u32);
+                            let query_span = recorder.trace_start();
                             let parsed = poir_inquery::parse_query(queries[qi].as_ref(), stop)?;
                             let mut ev = Evaluator::new(&mut view, dict, docs, stop, params);
                             ev.prefetch(&parsed);
                             let ranking = ev.rank(&parsed, k);
                             dict_lookups += ev.dict_lookups();
+                            recorder.trace_end(query_span, TraceOp::Query, qi as u64, None, 0);
                             out.push((qi, ranking?));
                         }
                         Ok((out, dict_lookups))
@@ -832,19 +870,6 @@ impl Engine {
         Ok(())
     }
 
-    /// Reopens an engine saved by [`Engine::save`]: metadata, dictionary,
-    /// and document table are loaded into memory ("resides entirely in main
-    /// memory during query processing"), then the store file is opened.
-    #[deprecated(note = "use Engine::builder(device).open(store_handle, meta)")]
-    pub fn open(
-        device: &Arc<Device>,
-        store_handle: FileHandle,
-        meta: &FileHandle,
-        stop: StopWords,
-    ) -> Result<Engine> {
-        Engine::builder(device).stop_words(stop).open(store_handle, meta)
-    }
-
     pub(crate) fn from_builder_open(
         b: EngineBuilder,
         store_handle: FileHandle,
@@ -882,7 +907,7 @@ impl Engine {
                 StoreImpl::Mneme(s)
             }
         };
-        let recorder = if b.telemetry.enabled { Recorder::enabled() } else { Recorder::disabled() };
+        let recorder = Self::recorder_for(&b.telemetry);
         if recorder.is_enabled() {
             b.device.attach_recorder(recorder.clone());
             store.as_instrumented_mut().attach_recorder(recorder.clone());

@@ -37,4 +37,7 @@ pub use mneme_store::{
     pool_for, pool_for_with, MnemeInvertedFile, MnemeOptions, SharedMnemeView, LARGE_MIN, SMALL_MAX,
 };
 pub use multi_file::{MultiFileInvertedFile, MultiFileOptions};
-pub use poir_telemetry::{MetricsReport, QueryTrace, TelemetryOptions};
+pub use poir_telemetry::{
+    BufferResidencyReport, MetricsReport, QueryTrace, TelemetryOptions, TraceOp, TraceRecord,
+    Tracer,
+};

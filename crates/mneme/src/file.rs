@@ -51,10 +51,12 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use poir_storage::FileHandle;
-use poir_telemetry::{PoolEvent, Recorder};
+use poir_telemetry::trace::{LOCK_META_READ, LOCK_META_WRITE, LOCK_POOL};
+use poir_telemetry::{PoolEvent, Recorder, TraceOp};
 
 use crate::buffer::{Buffer, BufferStats, LruBuffer};
 use crate::error::{MnemeError, Result};
@@ -191,17 +193,39 @@ fn save_evicted(handle: &FileHandle, evicted: Vec<(SegmentAddr, SegmentImage)>) 
     Ok(())
 }
 
-/// Mirrors a `Buffer::record_ref` call into the telemetry recorder.
-fn note_ref(recorder: &Recorder, pool: PoolId, hit: bool) {
+/// Mirrors a `Buffer::record_ref` call into the telemetry recorder, and
+/// traces the reference against the referenced segment.
+fn note_ref(recorder: &Recorder, pool: PoolId, addr: SegmentAddr, hit: bool) {
     let pool = pool.0 as usize;
     recorder.pool_incr(pool, PoolEvent::Ref);
     recorder.pool_incr(pool, if hit { PoolEvent::Hit } else { PoolEvent::Miss });
+    recorder.trace(
+        if hit { TraceOp::BufferHit } else { TraceOp::BufferMiss },
+        addr.offset,
+        Some(pool),
+        addr.len as u64,
+        Duration::ZERO,
+    );
 }
 
-/// Records `n` segments evicted from a pool's buffer.
-fn note_evictions(recorder: &Recorder, pool: PoolId, n: usize) {
-    if n > 0 {
-        recorder.pool_add(pool.0 as usize, PoolEvent::Eviction, n as u64);
+/// Records segments evicted from a pool's buffer, one trace record per
+/// evicted segment so eviction ages stay derivable from the trace.
+fn note_evictions(recorder: &Recorder, pool: PoolId, evicted: &[(SegmentAddr, SegmentImage)]) {
+    if evicted.is_empty() {
+        return;
+    }
+    let pool = pool.0 as usize;
+    recorder.pool_add(pool, PoolEvent::Eviction, evicted.len() as u64);
+    if recorder.is_tracing() {
+        for (addr, _) in evicted {
+            recorder.trace(
+                TraceOp::BufferEvict,
+                addr.offset,
+                Some(pool),
+                addr.len as u64,
+                Duration::ZERO,
+            );
+        }
     }
 }
 
@@ -210,7 +234,7 @@ fn note_evictions(recorder: &Recorder, pool: PoolId, n: usize) {
 fn seal_building(handle: &FileHandle, recorder: &Recorder, ps: &mut PoolState) -> Result<()> {
     if let Some((addr, image)) = ps.building.take() {
         let evicted = ps.buffer.insert(addr, image);
-        note_evictions(recorder, ps.pool.id(), evicted.len());
+        note_evictions(recorder, ps.pool.id(), &evicted);
         save_evicted(handle, evicted)?;
     }
     Ok(())
@@ -230,22 +254,22 @@ fn with_segment_in<R>(
     if let Some((baddr, image)) = ps.building.as_mut() {
         if *baddr == addr {
             ps.buffer.record_ref(true);
-            note_ref(recorder, pool_id, true);
+            note_ref(recorder, pool_id, addr, true);
             return Ok(f(ps.pool.as_ref(), image));
         }
     }
     if ps.buffer.is_resident(addr) {
         ps.buffer.record_ref(true);
-        note_ref(recorder, pool_id, true);
+        note_ref(recorder, pool_id, addr, true);
         let image = ps.buffer.lookup(addr).expect("resident segment");
         return Ok(f(ps.pool.as_ref(), image));
     }
     ps.buffer.record_ref(false);
-    note_ref(recorder, pool_id, false);
+    note_ref(recorder, pool_id, addr, false);
     let mut image = SegmentImage::from_disk(handle.read(addr.offset, addr.len as usize)?);
     let result = f(ps.pool.as_ref(), &mut image);
     let evicted = ps.buffer.insert(addr, image);
-    note_evictions(recorder, pool_id, evicted.len());
+    note_evictions(recorder, pool_id, &evicted);
     save_evicted(handle, evicted)?;
     Ok(result)
 }
@@ -416,6 +440,33 @@ impl MnemeFile {
         self.configs.iter().position(|c| c.id == pool).ok_or(MnemeError::NoSuchPool(pool))
     }
 
+    /// Read-acquires the meta lock, tracing the wait as a lock-wait span.
+    /// Uncontended acquisitions show up as ~0-length slices, which is the
+    /// point: the trace proves the acquisition happened and measures any
+    /// contention on it.
+    fn lock_meta_read(&self) -> RwLockReadGuard<'_, Meta> {
+        let traced = self.recorder.trace_start();
+        let guard = self.meta.read();
+        self.recorder.trace_end(traced, TraceOp::LockWait, LOCK_META_READ, None, 0);
+        guard
+    }
+
+    /// Write-acquires the meta lock, tracing the wait.
+    fn lock_meta_write(&self) -> RwLockWriteGuard<'_, Meta> {
+        let traced = self.recorder.trace_start();
+        let guard = self.meta.write();
+        self.recorder.trace_end(traced, TraceOp::LockWait, LOCK_META_WRITE, None, 0);
+        guard
+    }
+
+    /// Acquires one pool's mutex, tracing the wait against that pool.
+    fn lock_pool(&self, pool_idx: usize) -> MutexGuard<'_, PoolState> {
+        let traced = self.recorder.trace_start();
+        let guard = self.pools[pool_idx].lock();
+        self.recorder.trace_end(traced, TraceOp::LockWait, LOCK_POOL, Some(pool_idx), 0);
+        guard
+    }
+
     fn write_header(&mut self) -> Result<()> {
         self.write_header_with_directory(0, 0)
     }
@@ -506,8 +557,15 @@ impl MnemeFile {
     /// id's location bucket if needed. Takes the meta lock only; the fast
     /// path (bucket already resident) is a shared read acquisition.
     fn resolve(&self, id: ObjectId) -> Result<(usize, SegmentAddr)> {
+        let traced = self.recorder.trace_start();
+        let result = self.resolve_untraced(id);
+        self.recorder.trace_end(traced, TraceOp::HashProbe, id.raw() as u64, None, 0);
+        result
+    }
+
+    fn resolve_untraced(&self, id: ObjectId) -> Result<(usize, SegmentAddr)> {
         {
-            let meta = self.meta.read();
+            let meta = self.lock_meta_read();
             if meta.table.is_loaded(meta.table.bucket_of(id.segment())) {
                 return resolve_in(&meta, &self.configs, id);
             }
@@ -515,18 +573,29 @@ impl MnemeFile {
         // Double-checked: reacquire exclusively and load the bucket. Another
         // thread may have loaded it between the two acquisitions; then the
         // ensure call is a no-op.
-        let mut meta = self.meta.write();
+        let mut meta = self.lock_meta_write();
         ensure_bucket_loaded(&self.handle, &mut meta, id.segment())?;
         resolve_in(&meta, &self.configs, id)
     }
 
     /// Reads an object's payload.
     pub fn get(&self, id: ObjectId) -> Result<Vec<u8>> {
+        let traced = self.recorder.trace_start();
         let (pool_idx, addr) = self.resolve(id)?;
-        let mut ps = self.pools[pool_idx].lock();
-        with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
-            extract_object(pool, seg, id)
-        })?
+        let mut ps = self.lock_pool(pool_idx);
+        let payload =
+            with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
+                extract_object(pool, seg, id)
+            })??;
+        drop(ps);
+        self.recorder.trace_end(
+            traced,
+            TraceOp::PoolFetch,
+            id.raw() as u64,
+            Some(pool_idx),
+            payload.len() as u64,
+        );
+        Ok(payload)
     }
 
     /// Reads many objects' payloads with coalesced device I/O.
@@ -566,7 +635,7 @@ impl MnemeFile {
             if members.is_empty() {
                 continue;
             }
-            let mut ps = self.pools[pool_idx].lock();
+            let mut ps = self.lock_pool(pool_idx);
             let ps = &mut *ps;
             let pool_id = ps.pool.id();
             // Which distinct segments need disk I/O right now?
@@ -605,16 +674,16 @@ impl MnemeFile {
                 {
                     debug_assert_eq!(*baddr, addr);
                     ps.buffer.record_ref(true);
-                    note_ref(&self.recorder, pool_id, true);
+                    note_ref(&self.recorder, pool_id, addr, true);
                     extract_object(ps.pool.as_ref(), image, id)
                 } else if let Some(image) = fetched.get(&addr) {
                     let hit = !touched.insert(addr);
                     ps.buffer.record_ref(hit);
-                    note_ref(&self.recorder, pool_id, hit);
+                    note_ref(&self.recorder, pool_id, addr, hit);
                     extract_object(ps.pool.as_ref(), image, id)
                 } else if ps.buffer.is_resident(addr) {
                     ps.buffer.record_ref(true);
-                    note_ref(&self.recorder, pool_id, true);
+                    note_ref(&self.recorder, pool_id, addr, true);
                     let image = ps.buffer.lookup(addr).expect("resident segment");
                     extract_object(ps.pool.as_ref(), image, id)
                 } else {
@@ -624,12 +693,21 @@ impl MnemeFile {
                     })
                     .and_then(|r| r)
                 };
+                if let Ok(payload) = &result {
+                    self.recorder.trace(
+                        TraceOp::PoolFetch,
+                        id.raw() as u64,
+                        Some(pool_idx),
+                        payload.len() as u64,
+                        Duration::ZERO,
+                    );
+                }
                 out[i] = Some(result);
             }
             // Admit every fetched segment in one pass (ascending offset).
             for (addr, image) in fetched {
                 let evicted = ps.buffer.insert(addr, image);
-                note_evictions(&self.recorder, pool_id, evicted.len());
+                note_evictions(&self.recorder, pool_id, &evicted);
                 let _ = save_evicted(&self.handle, evicted);
             }
         }
@@ -656,7 +734,7 @@ impl MnemeFile {
             if addrs.is_empty() {
                 continue;
             }
-            let mut ps = self.pools[pool_idx].lock();
+            let mut ps = self.lock_pool(pool_idx);
             let ps = &mut *ps;
             if ps.buffer.capacity() == 0 {
                 continue;
@@ -685,7 +763,7 @@ impl MnemeFile {
                     for (addr, bytes) in run.into_iter().zip(buffers) {
                         transferred += 1;
                         let evicted = ps.buffer.insert(addr, SegmentImage::from_disk(bytes));
-                        note_evictions(&self.recorder, ps.pool.id(), evicted.len());
+                        note_evictions(&self.recorder, ps.pool.id(), &evicted);
                         let _ = save_evicted(&self.handle, evicted);
                     }
                 }
@@ -697,7 +775,7 @@ impl MnemeFile {
     /// Reads an object's payload length without copying the payload.
     pub fn object_len(&self, id: ObjectId) -> Result<usize> {
         let (pool_idx, addr) = self.resolve(id)?;
-        let mut ps = self.pools[pool_idx].lock();
+        let mut ps = self.lock_pool(pool_idx);
         with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
             match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => Ok(r.len()),
@@ -754,7 +832,7 @@ impl MnemeFile {
         debug_assert_eq!(outcome, AppendOutcome::Appended, "fresh segment must accept its object");
         let new_addr = allocate_segment(meta, image.len());
         let evicted = ps.buffer.insert(new_addr, image);
-        note_evictions(recorder, ps.pool.id(), evicted.len());
+        note_evictions(recorder, ps.pool.id(), &evicted);
         save_evicted(handle, evicted)?;
         let pool_id = ps.pool.id();
         ensure_bucket_loaded(handle, meta, id.segment())?;
@@ -790,7 +868,7 @@ impl MnemeFile {
     /// evaluation cannot evict them — the paper's pre-evaluation query-tree
     /// reservation pass. Non-resident objects are *not* faulted in.
     pub fn reserve(&self, ids: &[ObjectId]) {
-        let meta = self.meta.read();
+        let meta = self.lock_meta_read();
         for &id in ids {
             // Never perform I/O here: if the bucket is unloaded the segment
             // cannot be resident either.
@@ -801,7 +879,7 @@ impl MnemeFile {
             let pool_id = entry.pool;
             let Some(addr) = entry.segment_for(id.slot()) else { continue };
             let Ok(pool_idx) = self.pool_index(pool_id) else { continue };
-            if self.pools[pool_idx].lock().buffer.reserve(addr) {
+            if self.lock_pool(pool_idx).buffer.reserve(addr) {
                 self.recorder.pool_incr(pool_id.0 as usize, PoolEvent::Reservation);
             }
         }
@@ -809,8 +887,8 @@ impl MnemeFile {
 
     /// Releases every reservation placed by [`MnemeFile::reserve`].
     pub fn release_reservations(&self) {
-        for ps in &self.pools {
-            ps.lock().buffer.release_reservations();
+        for pool_idx in 0..self.pools.len() {
+            self.lock_pool(pool_idx).buffer.release_reservations();
         }
     }
 
@@ -938,7 +1016,7 @@ impl MnemeFile {
     /// Outgoing references of an object, as extracted by its pool.
     pub fn references_of(&self, id: ObjectId) -> Result<Vec<u64>> {
         let (pool_idx, addr) = self.resolve(id)?;
-        let mut ps = self.pools[pool_idx].lock();
+        let mut ps = self.lock_pool(pool_idx);
         with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
             match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => Ok(pool.references(&seg.bytes()[r])),

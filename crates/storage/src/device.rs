@@ -15,7 +15,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use poir_telemetry::{Event, Recorder};
+use poir_telemetry::{Event, Recorder, TraceOp};
 
 use crate::backend::{ByteStore, FileBackend, InMemoryBackend};
 use crate::cache::OsCache;
@@ -201,6 +201,7 @@ impl Device {
                 }
                 inner.reads_before_fault = Some(n - 1);
             }
+            let traced = inner.recorder.trace_start();
             self.stats.record_read(buf.len() as u64);
             inner.recorder.incr(Event::FileAccess);
             inner.recorder.add(Event::BytesRead, buf.len() as u64);
@@ -221,7 +222,9 @@ impl Device {
                 inner.recorder.add(Event::OsCacheMiss, disk_blocks);
                 inner.recorder.add(Event::IoInput, disk_blocks);
             }
-            store.read_at(offset, buf)
+            let result = store.read_at(offset, buf);
+            inner.recorder.trace_end(traced, TraceOp::DeviceRead, offset, None, buf.len() as u64);
+            result
         })
     }
 
@@ -236,6 +239,7 @@ impl Device {
             }
             // One gathered system call, like preadv: a single file access
             // whose byte count is the sum of all requested ranges.
+            let traced = inner.recorder.trace_start();
             let total: u64 = ranges.iter().map(|&(_, len)| len as u64).sum();
             self.stats.record_read(total);
             inner.recorder.incr(Event::FileAccess);
@@ -268,6 +272,8 @@ impl Device {
                 store.read_at(offset, &mut buf)?;
                 out.push(buf);
             }
+            let start = ranges.first().map_or(0, |&(offset, _)| offset);
+            inner.recorder.trace_end(traced, TraceOp::DeviceRead, start, None, total);
             Ok(out)
         })
     }
@@ -275,6 +281,7 @@ impl Device {
     fn write_at(&self, id: FileId, offset: u64, data: &[u8]) -> Result<()> {
         let block = self.config.block_size as u64;
         self.with_file(id, |inner, store| {
+            let traced = inner.recorder.trace_start();
             self.stats.record_write(data.len() as u64);
             inner.recorder.incr(Event::FileWrite);
             inner.recorder.add(Event::BytesWritten, data.len() as u64);
@@ -288,7 +295,9 @@ impl Device {
                     inner.cache.insert((id.0, b));
                 }
             }
-            store.write_at(offset, data)
+            let result = store.write_at(offset, data);
+            inner.recorder.trace_end(traced, TraceOp::DeviceWrite, offset, None, data.len() as u64);
+            result
         })
     }
 

@@ -27,7 +27,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+pub mod trace;
+
+pub use trace::{BufferResidencyReport, PoolResidency, TraceOp, TraceRecord, Tracer};
 
 /// Global monotonic counters.
 ///
@@ -198,7 +202,7 @@ impl Phase {
 /// microseconds (bucket 0 is `< 1us`); the last bucket is unbounded.
 pub const HISTOGRAM_BUCKETS: usize = 22;
 
-fn bucket_for(micros: u64) -> usize {
+pub(crate) fn bucket_for(micros: u64) -> usize {
     let bits = 64 - micros.leading_zeros() as usize;
     bits.min(HISTOGRAM_BUCKETS - 1)
 }
@@ -277,28 +281,95 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Recorder").field("enabled", &self.is_enabled()).finish()
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("tracing", &self.is_tracing())
+            .finish()
     }
 }
 
 impl Recorder {
     /// A recorder that accumulates counters.
     pub fn enabled() -> Recorder {
-        Recorder { inner: Some(Arc::new(Inner::default())) }
+        Recorder { inner: Some(Arc::new(Inner::default())), tracer: None }
     }
 
     /// A recorder that drops everything (same as `Recorder::default()`).
     pub fn disabled() -> Recorder {
-        Recorder { inner: None }
+        Recorder { inner: None, tracer: None }
+    }
+
+    /// This recorder, additionally appending a [`TraceRecord`] per traced
+    /// operation into `tracer`.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Recorder {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Whether record calls accumulate anywhere.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether traced operations append [`TraceRecord`]s.
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// `Some(Instant::now())` when tracing, else `None`. Call sites use
+    /// this to time an operation only when a tracer will consume it:
+    ///
+    /// ```ignore
+    /// let t = recorder.trace_start();
+    /// // ... the operation ...
+    /// recorder.trace_end(t, TraceOp::DeviceRead, offset, None, bytes);
+    /// ```
+    #[inline]
+    pub fn trace_start(&self) -> Option<Instant> {
+        if self.tracer.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Appends a trace record spanning from `start` (a
+    /// [`Recorder::trace_start`] result) to now. A no-op when `start` is
+    /// `None` or no tracer is attached.
+    #[inline]
+    pub fn trace_end(
+        &self,
+        start: Option<Instant>,
+        op: TraceOp,
+        object: u64,
+        pool: Option<usize>,
+        bytes: u64,
+    ) {
+        if let (Some(start), Some(tracer)) = (start, &self.tracer) {
+            let pool = pool.map_or(trace::NO_POOL, |p| p.min(u8::MAX as usize) as u8);
+            tracer.record(op, object, pool, bytes, start.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// Appends a trace record with an explicit duration (use
+    /// [`Duration::ZERO`] for point events). A no-op without a tracer.
+    #[inline]
+    pub fn trace(&self, op: TraceOp, object: u64, pool: Option<usize>, bytes: u64, dur: Duration) {
+        if let Some(tracer) = &self.tracer {
+            let pool = pool.map_or(trace::NO_POOL, |p| p.min(u8::MAX as usize) as u8);
+            tracer.record(op, object, pool, bytes, dur.as_micros() as u64);
+        }
     }
 
     /// Adds `n` to a global counter.
@@ -430,28 +501,37 @@ pub struct TelemetryOptions {
     pub enabled: bool,
     /// Also build a [`QueryTrace`] per query (requires `enabled`).
     pub trace_queries: bool,
+    /// Structured trace ring-buffer capacity in records; 0 (the default)
+    /// disables the trace log. Requires `enabled`.
+    pub trace_capacity: usize,
 }
 
 impl Default for TelemetryOptions {
     fn default() -> Self {
-        TelemetryOptions { enabled: false, trace_queries: true }
+        TelemetryOptions { enabled: false, trace_queries: true, trace_capacity: 0 }
     }
 }
 
 impl TelemetryOptions {
     /// Telemetry off (the default; zero overhead).
     pub fn off() -> TelemetryOptions {
-        TelemetryOptions { enabled: false, trace_queries: false }
+        TelemetryOptions { enabled: false, trace_queries: false, trace_capacity: 0 }
     }
 
     /// Counters, histograms, and per-query traces all on.
     pub fn full() -> TelemetryOptions {
-        TelemetryOptions { enabled: true, trace_queries: true }
+        TelemetryOptions { enabled: true, trace_queries: true, trace_capacity: 0 }
     }
 
     /// Counters and histograms only; no per-query traces.
     pub fn counters_only() -> TelemetryOptions {
-        TelemetryOptions { enabled: true, trace_queries: false }
+        TelemetryOptions { enabled: true, trace_queries: false, trace_capacity: 0 }
+    }
+
+    /// Everything [`TelemetryOptions::full`] records, plus a structured
+    /// trace log holding up to `capacity` [`TraceRecord`]s.
+    pub fn tracing(capacity: usize) -> TelemetryOptions {
+        TelemetryOptions { enabled: true, trace_queries: true, trace_capacity: capacity }
     }
 }
 
