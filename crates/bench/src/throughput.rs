@@ -61,7 +61,8 @@ pub fn prepare_workload(scale: f64) -> Workload {
 
 /// One execution mode's measurements.
 pub struct ModeResult {
-    /// Mode label ("serial", "batched_prefetch", "parallel_2", "parallel_4").
+    /// Mode label ("serial", "batched_prefetch", "daat", "daat_pruned",
+    /// "parallel_2", "parallel_4").
     pub name: String,
     /// Worker threads used (1 for the serial modes).
     pub threads: usize,
@@ -116,8 +117,9 @@ pub fn run_throughput(workload: &Workload, telemetry: TelemetryOptions) -> Throu
     let queries: Vec<&str> = workload.queries.iter().map(|q| q.as_str()).collect();
     let mut modes: Vec<ModeResult> = Vec::new();
     // JSON mode names come from ExecMode's Display impl, which round-trips
-    // through FromStr ("serial", "batched_prefetch").
-    for mode in [ExecMode::Serial, ExecMode::BatchedPrefetch] {
+    // through FromStr ("serial", "batched_prefetch", "daat", "daat_pruned").
+    for mode in [ExecMode::Serial, ExecMode::BatchedPrefetch, ExecMode::Daat, ExecMode::DaatPruned]
+    {
         let mut engine = fresh_engine(&workload.index, telemetry);
         let (report, rankings) =
             engine.run_query_set_mode(&queries, TOP_K, mode).expect("query set");
@@ -145,8 +147,17 @@ pub fn run_throughput(workload: &Workload, telemetry: TelemetryOptions) -> Throu
         });
     }
 
+    // Two equivalence families: the term-at-a-time modes (serial, batched,
+    // parallel) must be byte-identical to each other, and pruned DAAT must
+    // be byte-identical to unpruned DAAT. Across families only the
+    // floating-point association order differs, so scores match to ~1e-12
+    // but not bit for bit.
     let serial_key = ranking_key(&modes[0].rankings);
-    let identical_rankings = modes.iter().all(|m| ranking_key(&m.rankings) == serial_key);
+    let daat_key = ranking_key(&modes.iter().find(|m| m.name == "daat").unwrap().rankings);
+    let identical_rankings = modes.iter().all(|m| match m.name.as_str() {
+        "daat" | "daat_pruned" => ranking_key(&m.rankings) == daat_key,
+        _ => ranking_key(&m.rankings) == serial_key,
+    });
     let serial_qps = modes[0].qps;
     let parallel_4_speedup =
         modes.iter().find(|m| m.threads == 4).map_or(0.0, |m| m.qps / serial_qps);

@@ -47,6 +47,17 @@ pub enum ExecMode {
     /// before evaluation, so the store can coalesce adjacent segments into
     /// gathered reads and evaluation fetches become buffer hits.
     BatchedPrefetch,
+    /// Document-at-a-time evaluation (Section 3.1 extension): one cursor
+    /// per term, merged by ascending document id. Structured queries fall
+    /// back to the serial term-at-a-time pipeline.
+    Daat,
+    /// Document-at-a-time with max-score top-k pruning: terms whose belief
+    /// upper bound cannot lift a document into the current top `k` are
+    /// probed lazily, skipping posting blocks via the skip directory and —
+    /// on stores with [`range-read`](poir_inquery::InvertedFileStore::fetch_range)
+    /// support — fetching only the blocks it actually decodes. Returned
+    /// rankings are bit-identical to [`ExecMode::Daat`].
+    DaatPruned,
 }
 
 impl std::fmt::Display for ExecMode {
@@ -55,6 +66,8 @@ impl std::fmt::Display for ExecMode {
         f.write_str(match self {
             ExecMode::Serial => "serial",
             ExecMode::BatchedPrefetch => "batched_prefetch",
+            ExecMode::Daat => "daat",
+            ExecMode::DaatPruned => "daat_pruned",
         })
     }
 }
@@ -66,6 +79,8 @@ impl FromStr for ExecMode {
         match s.replace('-', "_").as_str() {
             "serial" => Ok(ExecMode::Serial),
             "batched_prefetch" | "batched" | "prefetch" => Ok(ExecMode::BatchedPrefetch),
+            "daat" => Ok(ExecMode::Daat),
+            "daat_pruned" | "pruned" => Ok(ExecMode::DaatPruned),
             _ => Err(CoreError::UnknownName { kind: "execution mode", value: s.to_string() }),
         }
     }
@@ -527,31 +542,84 @@ impl Engine {
         let parsed = poir_inquery::parse_query(text, &self.stop)?;
         phase_micros[Phase::Parse as usize] = t.elapsed().as_micros() as u64;
         trace_phase(Phase::Parse, phase_micros[Phase::Parse as usize]);
-        let store = self.store.as_store();
-        let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
-        if mode == ExecMode::BatchedPrefetch {
+        // The document-at-a-time modes bypass the Evaluator on flat
+        // bag-of-words queries; structured queries fall back to the serial
+        // term-at-a-time pipeline below.
+        let daat_bag = match mode {
+            ExecMode::Daat | ExecMode::DaatPruned => daat::flatten_bag(&parsed),
+            ExecMode::Serial | ExecMode::BatchedPrefetch => None,
+        };
+        let (scored, dict_lookups) = if let Some(bag) = daat_bag {
+            let store = self.store.as_store();
+            if self.reserve_enabled {
+                let t = Instant::now();
+                let refs: Vec<u64> = bag
+                    .iter()
+                    .filter_map(|(_, term)| self.dict.lookup(term))
+                    .map(|id| self.dict.entry(id).store_ref)
+                    .collect();
+                store.reserve(&refs);
+                phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
+                trace_phase(Phase::Reserve, phase_micros[Phase::Reserve as usize]);
+            }
             let t = Instant::now();
-            ev.prefetch(&parsed);
-            phase_micros[Phase::Prefetch as usize] = t.elapsed().as_micros() as u64;
-            trace_phase(Phase::Prefetch, phase_micros[Phase::Prefetch as usize]);
-        }
-        if self.reserve_enabled {
+            let result = if mode == ExecMode::DaatPruned {
+                daat::rank_daat_pruned(store, &self.dict, &self.docs, self.params, &bag, k).map(
+                    |(scored, stats)| {
+                        self.recorder.add(Event::PostingsDecoded, stats.postings_decoded);
+                        self.recorder.add(Event::PostingsSkipped, stats.postings_skipped);
+                        self.recorder.add(Event::BlocksSkipped, stats.blocks_skipped);
+                        if stats.cursor_seeks > 0 {
+                            // One aggregate slice per query: object = seeks
+                            // that jumped blocks, bytes = postings bypassed.
+                            self.recorder.trace(
+                                TraceOp::CursorSeek,
+                                stats.cursor_seeks,
+                                None,
+                                stats.postings_skipped,
+                                Duration::ZERO,
+                            );
+                        }
+                        scored
+                    },
+                )
+            } else {
+                daat::rank_daat(store, &self.dict, &self.docs, self.params, &bag, k)
+            };
+            store.release_reservations();
+            // The cursor merge fetches, decodes, and ranks in one pass, so
+            // the whole loop is charged to Evaluate; Rank stays zero.
+            phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
+            trace_phase(Phase::Evaluate, phase_micros[Phase::Evaluate as usize]);
+            (result?, bag.len() as u64)
+        } else {
+            let store = self.store.as_store();
+            let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
+            if mode == ExecMode::BatchedPrefetch {
+                let t = Instant::now();
+                ev.prefetch(&parsed);
+                phase_micros[Phase::Prefetch as usize] = t.elapsed().as_micros() as u64;
+                trace_phase(Phase::Prefetch, phase_micros[Phase::Prefetch as usize]);
+            }
+            if self.reserve_enabled {
+                let t = Instant::now();
+                ev.reserve(&parsed);
+                phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
+                trace_phase(Phase::Reserve, phase_micros[Phase::Reserve as usize]);
+            }
             let t = Instant::now();
-            ev.reserve(&parsed);
-            phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
-            trace_phase(Phase::Reserve, phase_micros[Phase::Reserve as usize]);
-        }
-        let t = Instant::now();
-        let list = ev.evaluate(&parsed);
-        phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
-        trace_phase(Phase::Evaluate, phase_micros[Phase::Evaluate as usize]);
-        let dict_lookups = ev.dict_lookups();
-        ev.release_reservations();
-        let list = list?;
-        let t = Instant::now();
-        let scored = rank_score_list(list, k);
-        phase_micros[Phase::Rank as usize] = t.elapsed().as_micros() as u64;
-        trace_phase(Phase::Rank, phase_micros[Phase::Rank as usize]);
+            let list = ev.evaluate(&parsed);
+            phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
+            trace_phase(Phase::Evaluate, phase_micros[Phase::Evaluate as usize]);
+            let dict_lookups = ev.dict_lookups();
+            ev.release_reservations();
+            let list = list?;
+            let t = Instant::now();
+            let scored = rank_score_list(list, k);
+            phase_micros[Phase::Rank as usize] = t.elapsed().as_micros() as u64;
+            trace_phase(Phase::Rank, phase_micros[Phase::Rank as usize]);
+            (scored, dict_lookups)
+        };
         self.recorder.add(Event::DictLookup, dict_lookups);
         for phase in Phase::ALL {
             self.recorder.record_phase(phase, phase_micros[phase as usize]);
@@ -626,17 +694,41 @@ impl Engine {
             // telemetry keeps the measured path identical to before.
             for q in queries {
                 let parsed = poir_inquery::parse_query(q.as_ref(), &self.stop)?;
+                let daat_bag = match mode {
+                    ExecMode::Daat | ExecMode::DaatPruned => daat::flatten_bag(&parsed),
+                    ExecMode::Serial | ExecMode::BatchedPrefetch => None,
+                };
                 let store = self.store.as_store();
-                let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
-                if mode == ExecMode::BatchedPrefetch {
-                    ev.prefetch(&parsed);
+                if let Some(bag) = daat_bag {
+                    if self.reserve_enabled {
+                        let refs: Vec<u64> = bag
+                            .iter()
+                            .filter_map(|(_, term)| self.dict.lookup(term))
+                            .map(|id| self.dict.entry(id).store_ref)
+                            .collect();
+                        store.reserve(&refs);
+                    }
+                    let result = if mode == ExecMode::DaatPruned {
+                        daat::rank_daat_pruned(store, &self.dict, &self.docs, self.params, &bag, k)
+                            .map(|(scored, _)| scored)
+                    } else {
+                        daat::rank_daat(store, &self.dict, &self.docs, self.params, &bag, k)
+                    };
+                    store.release_reservations();
+                    rankings.push(result?);
+                } else {
+                    let mut ev =
+                        Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
+                    if mode == ExecMode::BatchedPrefetch {
+                        ev.prefetch(&parsed);
+                    }
+                    if self.reserve_enabled {
+                        ev.reserve(&parsed);
+                    }
+                    let result = ev.rank(&parsed, k);
+                    ev.release_reservations();
+                    rankings.push(result?);
                 }
-                if self.reserve_enabled {
-                    ev.reserve(&parsed);
-                }
-                let result = ev.rank(&parsed, k);
-                ev.release_reservations();
-                rankings.push(result?);
             }
         }
         let engine_time = start.elapsed();

@@ -288,6 +288,49 @@ fn fetch_batch_via(
         .collect()
 }
 
+/// Serves a byte range through a shared `MnemeFile`. Opening reads
+/// (`start == 0`) count one record lookup exactly like a whole fetch;
+/// continuation reads (`start > 0`) count none, keeping the "A"
+/// statistic's denominator comparable across fetch protocols. Pools
+/// without a physical range path (small, medium) fall back to the whole
+/// record — returning more than asked, which the trait contract permits.
+fn fetch_range_via(
+    file: &MnemeFile,
+    lookups: &AtomicU64,
+    recorder: &Recorder,
+    store_ref: u64,
+    start: u64,
+    len: usize,
+) -> poir_inquery::Result<Vec<u8>> {
+    if start == 0 {
+        lookups.fetch_add(1, Ordering::Relaxed);
+        recorder.incr(Event::RecordLookup);
+    }
+    let id = MnemeInvertedFile::object_id(store_ref)?;
+    match file.get_range(id, start, len).map_err(CoreError::from)? {
+        Some(bytes) => {
+            recorder.incr(Event::RangeRead);
+            if start == 0 {
+                recorder.incr(Event::RecordDecoded);
+            }
+            recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
+            Ok(bytes)
+        }
+        None => {
+            let bytes = file.get(id).map_err(CoreError::from)?;
+            if start == 0 {
+                recorder.incr(Event::RecordDecoded);
+                recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
+                Ok(bytes)
+            } else {
+                let from = (start.min(bytes.len() as u64)) as usize;
+                let to = from.saturating_add(len).min(bytes.len());
+                Ok(bytes[from..to].to_vec())
+            }
+        }
+    }
+}
+
 fn prefetch_via(file: &MnemeFile, store_refs: &[u64]) {
     let ids: Vec<ObjectId> =
         store_refs.iter().filter_map(|&r| ObjectId::from_raw(r as u32)).collect();
@@ -311,6 +354,24 @@ impl InvertedFileStore for MnemeInvertedFile {
 
     fn prefetch(&mut self, store_refs: &[u64]) {
         prefetch_via(&self.file, store_refs);
+    }
+
+    fn fetch_range(
+        &mut self,
+        store_ref: u64,
+        start: u64,
+        len: usize,
+    ) -> poir_inquery::Result<Vec<u8>> {
+        fetch_range_via(&self.file, &self.lookups, &self.recorder, store_ref, start, len)
+    }
+
+    fn supports_range_read(&self) -> bool {
+        true
+    }
+
+    fn record_len_hint(&self, store_ref: u64) -> Option<u64> {
+        let id = Self::object_id(store_ref).ok()?;
+        self.file.object_len_hint(id)
     }
 
     fn reserve(&mut self, store_refs: &[u64]) {
@@ -362,6 +423,24 @@ impl InvertedFileStore for SharedMnemeView<'_> {
 
     fn prefetch(&mut self, store_refs: &[u64]) {
         prefetch_via(self.file, store_refs);
+    }
+
+    fn fetch_range(
+        &mut self,
+        store_ref: u64,
+        start: u64,
+        len: usize,
+    ) -> poir_inquery::Result<Vec<u8>> {
+        fetch_range_via(self.file, self.lookups, self.recorder, store_ref, start, len)
+    }
+
+    fn supports_range_read(&self) -> bool {
+        true
+    }
+
+    fn record_len_hint(&self, store_ref: u64) -> Option<u64> {
+        let id = MnemeInvertedFile::object_id(store_ref).ok()?;
+        self.file.object_len_hint(id)
     }
 
     fn reserve(&mut self, store_refs: &[u64]) {
@@ -536,6 +615,33 @@ mod tests {
         assert_eq!(store.fetch(r).unwrap(), vec![3u8; 50]);
         store.delete_record(r).unwrap();
         assert!(store.fetch(r).is_err());
+    }
+
+    #[test]
+    fn fetch_range_serves_large_records_partially() {
+        let dev = Device::with_defaults();
+        let (mut dict, records) = sample_records();
+        let mut store = MnemeInvertedFile::build(
+            dev.create_file(),
+            MnemeOptions::default(),
+            &records,
+            &mut dict,
+        )
+        .unwrap();
+        assert!(store.supports_range_read());
+        let (term, bytes) = records.iter().find(|(_, b)| b.len() > LARGE_MIN).unwrap();
+        let r = dict.entry(*term).store_ref;
+        let before = store.record_lookups();
+        let prefix = store.fetch_range(r, 0, 8192).unwrap();
+        assert_eq!(&prefix[..], &bytes[..8192.min(bytes.len())]);
+        assert_eq!(store.record_lookups(), before + 1, "opening range counts one lookup");
+        let mid = store.fetch_range(r, 100, 50).unwrap();
+        assert_eq!(&mid[..], &bytes[100..150]);
+        assert_eq!(store.record_lookups(), before + 1, "continuation counts no lookup");
+        // Small and medium pools fall back to the whole record.
+        let (term, small) = records.iter().find(|(_, b)| !b.is_empty() && b.len() <= 12).unwrap();
+        let whole = store.fetch_range(dict.entry(*term).store_ref, 0, 4).unwrap();
+        assert_eq!(&whole, small, "small pool serves the whole record");
     }
 
     #[test]

@@ -59,13 +59,28 @@ pub fn encode_ascending(values: &[u32], out: &mut Vec<u8>) {
 /// Decodes `count` delta-coded values written by [`encode_ascending`].
 pub fn decode_ascending(bytes: &[u8], pos: &mut usize, count: usize) -> Option<Vec<u32>> {
     let mut out = Vec::with_capacity(count);
+    decode_ascending_into(bytes, pos, count, &mut out)?;
+    Some(out)
+}
+
+/// Decodes `count` delta-coded values into a caller-owned scratch buffer,
+/// clearing it first. The cursor hot path reuses one buffer across calls
+/// instead of allocating a fresh `Vec` per posting.
+pub fn decode_ascending_into(
+    bytes: &[u8],
+    pos: &mut usize,
+    count: usize,
+    out: &mut Vec<u32>,
+) -> Option<()> {
+    out.clear();
+    out.reserve(count);
     let mut prev = 0u32;
     for i in 0..count {
         let v = decode_vbyte(bytes, pos)?;
         prev = if i == 0 { v } else { prev.checked_add(v)? };
         out.push(prev);
     }
-    Some(out)
+    Some(())
 }
 
 /// Number of bytes `value` occupies in vbyte form.

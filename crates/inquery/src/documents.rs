@@ -52,6 +52,13 @@ impl DocTable {
         &self.docs[doc.0 as usize]
     }
 
+    /// Shortest document length in tokens (0 when empty). Term belief is
+    /// monotone decreasing in document length, so evaluating it at the
+    /// collection's shortest document yields a sound upper bound.
+    pub fn min_len(&self) -> u32 {
+        self.docs.iter().map(|d| d.len).min().unwrap_or(0)
+    }
+
     /// Mean document length in tokens.
     pub fn avg_len(&self) -> f64 {
         if self.docs.is_empty() {

@@ -20,7 +20,7 @@ use crate::belief::CollectionStats;
 use crate::codec::encode_vbyte;
 use crate::dict::{Dictionary, TermId};
 use crate::documents::DocTable;
-use crate::postings::DocId;
+use crate::postings::{DocId, BLOCK_SIZE};
 use crate::text::{tokenize, StopWords};
 
 /// Per-term accumulation state: postings arrive in ascending document order
@@ -29,8 +29,14 @@ use crate::text::{tokenize, StopWords};
 #[derive(Default)]
 struct TermAccumulator {
     /// Delta/vbyte-coded `(doc-gap, tf, position-gaps)` stream — exactly the
-    /// body of the final record.
+    /// body of the final record. Doc gaps run continuously across block
+    /// boundaries, so the same stream serves both layouts.
     body: Vec<u8>,
+    /// Skip-directory data for each completed [`BLOCK_SIZE`] posting block:
+    /// `(last doc id, body length at block end, block-max tf)`.
+    blocks: Vec<(u32, usize, u32)>,
+    /// Largest tf inside the currently filling block.
+    block_max_tf: u32,
     last_doc: u32,
     df: u32,
     max_tf: u32,
@@ -98,6 +104,11 @@ impl IndexBuilder {
             acc.last_doc = doc.0;
             acc.df += 1;
             acc.max_tf = acc.max_tf.max(tf);
+            acc.block_max_tf = acc.block_max_tf.max(tf);
+            if acc.df.is_multiple_of(BLOCK_SIZE) {
+                acc.blocks.push((doc.0, acc.body.len(), acc.block_max_tf));
+                acc.block_max_tf = 0;
+            }
         }
         doc
     }
@@ -111,13 +122,31 @@ impl IndexBuilder {
         let records: Vec<(TermId, Vec<u8>)> = postings
             .into_iter()
             .enumerate()
-            .map(|(i, acc)| {
+            .map(|(i, mut acc)| {
                 let term = TermId(i as u32);
                 let cf = dict.entry(term).cf;
-                let mut record = Vec::with_capacity(8 + acc.body.len());
+                let mut record = Vec::with_capacity(16 + acc.body.len());
                 encode_vbyte(acc.df, &mut record);
                 encode_vbyte(cf.min(u32::MAX as u64) as u32, &mut record);
                 encode_vbyte(acc.max_tf, &mut record);
+                if acc.df > BLOCK_SIZE {
+                    // Blocked layout: emit the skip directory the
+                    // accumulator collected, closing the partial final
+                    // block first (matches InvertedRecord::encode byte
+                    // for byte).
+                    if acc.df % BLOCK_SIZE != 0 {
+                        acc.blocks.push((acc.last_doc, acc.body.len(), acc.block_max_tf));
+                    }
+                    let mut prev_last = 0u32;
+                    let mut prev_end = 0usize;
+                    for &(last_doc, end, block_max_tf) in &acc.blocks {
+                        encode_vbyte(last_doc - prev_last, &mut record);
+                        prev_last = last_doc;
+                        encode_vbyte((end - prev_end) as u32, &mut record);
+                        prev_end = end;
+                        encode_vbyte(block_max_tf, &mut record);
+                    }
+                }
                 record.extend_from_slice(&acc.body);
                 (term, record)
             })
@@ -243,6 +272,23 @@ mod tests {
         assert_eq!(idx.records.len(), 0);
         assert_eq!(idx.fraction_at_most(12), 0.0);
         assert_eq!(idx.collection_stats().num_docs, 0);
+    }
+
+    #[test]
+    fn blocked_records_match_canonical_encoding() {
+        // Past BLOCK_SIZE documents, the builder must stream out the same
+        // blocked layout InvertedRecord::encode produces.
+        let mut b = IndexBuilder::new(StopWords::none());
+        for i in 0..300u32 {
+            let text = "word ".repeat((i % 5 + 1) as usize);
+            b.add_document(&format!("D{i}"), &text);
+        }
+        let idx = b.finish();
+        let word = idx.dictionary.lookup("word").unwrap();
+        let (_, bytes) = idx.records.iter().find(|(t, _)| *t == word).unwrap();
+        let rec = InvertedRecord::decode(bytes).expect("blocked record decodes");
+        assert_eq!(rec.df(), 300);
+        assert_eq!(&rec.encode(), bytes, "builder bytes == canonical encoding");
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub use error::{InqueryError, Result};
 pub use index::{Index, IndexBuilder};
 pub use metrics::Judgments;
 pub use porter::stem;
-pub use postings::{DocId, InvertedRecord, Posting, PostingsCursor};
+pub use postings::{
+    BlockCursor, DocId, InvertedRecord, Posting, PostingsCursor, SeekSummary, SkipBlock, BLOCK_SIZE,
+};
 pub use query::{parse_query, rank_score_list, Evaluator, QueryNode, ScoreList, ScoredDoc};
 pub use store::{InvertedFileStore, MemoryStore};
 pub use text::{tokenize, StopWords};

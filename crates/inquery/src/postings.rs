@@ -12,10 +12,42 @@
 //! postings: df × [ doc-gap, tf, tf × position-gap ]
 //! ```
 //!
+//! Records with more than [`BLOCK_SIZE`] postings additionally carry a
+//! skip directory between the header and the postings — one entry per
+//! fixed-size posting block:
+//!
+//! ```text
+//! directory: ceil(df / BLOCK_SIZE) × [ last-doc-gap, byte-len, block-max-tf ]
+//! ```
+//!
+//! `last-doc-gap` delta-codes each block's largest document id against the
+//! previous block's, `byte-len` is the encoded size of the block's
+//! postings, and `block-max-tf` caps the tf of any posting inside. Doc
+//! gaps run continuously across block boundaries, so a cursor that seeks
+//! to block *i* re-bases on block *i−1*'s last doc. The directory length
+//! is derived from `df`, never stored. Records with `df <= BLOCK_SIZE`
+//! keep the legacy unblocked layout byte-for-byte.
+//!
 //! Document ids and within-document positions are delta-coded, which gives
 //! the ~60% compression the paper reports on posting-heavy records.
 
 use crate::codec::{decode_vbyte, encode_vbyte};
+
+/// Postings per skip block in the blocked record layout.
+pub const BLOCK_SIZE: u32 = 128;
+
+/// One entry of a blocked record's skip directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipBlock {
+    /// Largest document id in the block.
+    pub last_doc: u32,
+    /// Byte offset of the block's first posting within the record.
+    pub offset: usize,
+    /// Encoded length of the block's postings in bytes.
+    pub len: usize,
+    /// Largest within-document tf in the block.
+    pub max_tf: u32,
+}
 
 /// A document's ordinal id within its collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -57,26 +89,46 @@ impl InvertedRecord {
         InvertedRecord { cf, max_tf, postings }
     }
 
-    /// Serializes to the compressed on-disk form.
+    /// Serializes to the compressed on-disk form (blocked when
+    /// `df > BLOCK_SIZE`, the legacy unblocked layout otherwise).
     pub fn encode(&self) -> Vec<u8> {
+        let df = self.postings.len() as u32;
         let mut out = Vec::with_capacity(8 + self.postings.len() * 4);
-        encode_vbyte(self.postings.len() as u32, &mut out);
+        encode_vbyte(df, &mut out);
         encode_vbyte(self.cf.min(u32::MAX as u64) as u32, &mut out);
         encode_vbyte(self.max_tf, &mut out);
-        let mut prev_doc = 0u32;
-        for (i, p) in self.postings.iter().enumerate() {
-            let gap = if i == 0 { p.doc.0 } else { p.doc.0 - prev_doc };
-            prev_doc = p.doc.0;
-            encode_vbyte(gap, &mut out);
-            encode_vbyte(p.tf, &mut out);
-            debug_assert_eq!(p.positions.len(), p.tf as usize);
-            let mut prev_pos = 0u32;
-            for (j, &pos) in p.positions.iter().enumerate() {
-                let pgap = if j == 0 { pos } else { pos - prev_pos };
-                prev_pos = pos;
-                encode_vbyte(pgap, &mut out);
+        if df <= BLOCK_SIZE {
+            let mut prev_doc = 0u32;
+            let mut first = true;
+            for p in &self.postings {
+                encode_posting(p, &mut first, &mut prev_doc, &mut out);
             }
+            return out;
         }
+        // Blocked layout: encode the posting body first to learn each
+        // block's byte length, then emit the directory ahead of it.
+        let mut body = Vec::with_capacity(self.postings.len() * 4);
+        let mut directory = Vec::with_capacity(self.postings.len().div_ceil(BLOCK_SIZE as usize));
+        let mut prev_doc = 0u32;
+        let mut first = true;
+        for chunk in self.postings.chunks(BLOCK_SIZE as usize) {
+            let start = body.len();
+            let mut block_max_tf = 0u32;
+            for p in chunk {
+                encode_posting(p, &mut first, &mut prev_doc, &mut body);
+                block_max_tf = block_max_tf.max(p.tf);
+            }
+            directory.push((chunk[chunk.len() - 1].doc.0, body.len() - start, block_max_tf));
+        }
+        let mut prev_last = 0u32;
+        for (i, &(last_doc, len, block_max_tf)) in directory.iter().enumerate() {
+            encode_vbyte(if i == 0 { last_doc } else { last_doc - prev_last }, &mut out);
+            prev_last = last_doc;
+            debug_assert!(len <= u32::MAX as usize);
+            encode_vbyte(len as u32, &mut out);
+            encode_vbyte(block_max_tf, &mut out);
+        }
+        out.extend_from_slice(&body);
         out
     }
 
@@ -92,15 +144,41 @@ impl InvertedRecord {
         if (df as usize) > bytes.len() {
             return None;
         }
+        let blocks = if df > BLOCK_SIZE {
+            let blocks = parse_skip_directory(bytes, &mut pos, df)?;
+            // The directory must describe exactly the bytes that follow it.
+            let last = blocks.last()?;
+            if last.offset.checked_add(last.len)? != bytes.len() {
+                return None;
+            }
+            blocks
+        } else {
+            Vec::new()
+        };
         let mut postings = Vec::with_capacity(df as usize);
         let mut prev_doc = 0u32;
         for i in 0..df {
+            let block = &blocks.get((i / BLOCK_SIZE) as usize);
+            if let Some(b) = block {
+                if i % BLOCK_SIZE == 0 && pos != b.offset {
+                    return None; // block does not start where the directory says
+                }
+            }
             let gap = decode_vbyte(bytes, &mut pos)?;
             let doc = if i == 0 { gap } else { prev_doc.checked_add(gap)? };
             prev_doc = doc;
             let tf = decode_vbyte(bytes, &mut pos)?;
             if (tf as usize) > bytes.len() {
                 return None;
+            }
+            if let Some(b) = block {
+                if tf > b.max_tf {
+                    return None; // block-max invariant violated
+                }
+                let last_in_block = i % BLOCK_SIZE == BLOCK_SIZE - 1 || i == df - 1;
+                if last_in_block && doc != b.last_doc {
+                    return None; // directory's last-doc disagrees with the data
+                }
             }
             let mut positions = Vec::with_capacity(tf as usize);
             let mut prev_pos = 0u32;
@@ -128,29 +206,94 @@ impl InvertedRecord {
     }
 }
 
-/// Streaming decoder over an encoded record — lets document-at-a-time
-/// evaluation advance each term's cursor without materialising whole lists.
-pub struct PostingsCursor<'a> {
-    bytes: &'a [u8],
+fn encode_posting(p: &Posting, first: &mut bool, prev_doc: &mut u32, out: &mut Vec<u8>) {
+    let gap = if *first { p.doc.0 } else { p.doc.0 - *prev_doc };
+    *first = false;
+    *prev_doc = p.doc.0;
+    encode_vbyte(gap, out);
+    encode_vbyte(p.tf, out);
+    debug_assert_eq!(p.positions.len(), p.tf as usize);
+    let mut prev_pos = 0u32;
+    for (j, &pos) in p.positions.iter().enumerate() {
+        let pgap = if j == 0 { pos } else { pos - prev_pos };
+        prev_pos = pos;
+        encode_vbyte(pgap, out);
+    }
+}
+
+/// Parses a blocked record's skip directory (the cursor/decoder already
+/// consumed the `df, cf, max_tf` header). Offsets come back rebased onto
+/// the record, pointing at each block's first posting byte.
+fn parse_skip_directory(bytes: &[u8], pos: &mut usize, df: u32) -> Option<Vec<SkipBlock>> {
+    let num_blocks = df.div_ceil(BLOCK_SIZE) as usize;
+    // Each directory entry costs at least 3 bytes, so an entry count the
+    // bytes cannot possibly hold is corrupt — and pre-allocation must
+    // never trust the raw value.
+    if num_blocks.checked_mul(3)? > bytes.len() {
+        return None;
+    }
+    let mut blocks = Vec::with_capacity(num_blocks);
+    let mut prev_last = 0u32;
+    let mut offset = 0usize;
+    for i in 0..num_blocks {
+        let gap = decode_vbyte(bytes, pos)?;
+        if i > 0 && gap == 0 {
+            return None; // block last-docs must strictly ascend
+        }
+        let last_doc = if i == 0 { gap } else { prev_last.checked_add(gap)? };
+        prev_last = last_doc;
+        let len = decode_vbyte(bytes, pos)? as usize;
+        if len == 0 {
+            return None; // a block holds at least one posting
+        }
+        let max_tf = decode_vbyte(bytes, pos)?;
+        blocks.push(SkipBlock { last_doc, offset, len, max_tf });
+        offset = offset.checked_add(len)?;
+    }
+    // Rebase offsets onto the record: postings start where the directory ends.
+    let postings_start = *pos;
+    for b in &mut blocks {
+        b.offset = b.offset.checked_add(postings_start)?;
+    }
+    Some(blocks)
+}
+
+/// How much work a [`BlockCursor::seek`] bypassed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeekSummary {
+    /// Block boundaries jumped without decoding.
+    pub blocks_skipped: u64,
+    /// Postings bypassed without decoding.
+    pub postings_skipped: u64,
+}
+
+/// Cursor state detached from the record bytes, so callers that fetch a
+/// record incrementally (range reads) can keep one cursor while the byte
+/// buffer grows. Every decoding method takes the byte slice the cursor was
+/// opened on — or any longer prefix-compatible slice of the same record.
+#[derive(Debug, Clone)]
+pub struct BlockCursor {
     pos: usize,
+    df: u32,
     remaining: u32,
     prev_doc: u32,
     first: bool,
+    blocks: Vec<SkipBlock>,
 }
 
-impl<'a> PostingsCursor<'a> {
-    /// Opens a cursor, returning it with the header already consumed.
-    pub fn open(bytes: &'a [u8]) -> Option<(Self, u32, u64, u32)> {
+impl BlockCursor {
+    /// Opens a cursor, consuming the header (and skip directory, when the
+    /// record is blocked). `bytes` may be a prefix of the full record as
+    /// long as it covers the header and directory.
+    pub fn open(bytes: &[u8]) -> Option<(Self, u32, u64, u32)> {
         let mut pos = 0usize;
         let df = decode_vbyte(bytes, &mut pos)?;
         let cf = decode_vbyte(bytes, &mut pos)? as u64;
         let max_tf = decode_vbyte(bytes, &mut pos)?;
-        Some((
-            PostingsCursor { bytes, pos, remaining: df, prev_doc: 0, first: true },
-            df,
-            cf,
-            max_tf,
-        ))
+        let blocks =
+            if df > BLOCK_SIZE { parse_skip_directory(bytes, &mut pos, df)? } else { Vec::new() };
+        let cursor = BlockCursor { pos, df, remaining: df, prev_doc: 0, first: true, blocks };
+        Some((cursor, df, cf, max_tf))
     }
 
     /// Postings not yet consumed.
@@ -158,29 +301,172 @@ impl<'a> PostingsCursor<'a> {
         self.remaining
     }
 
-    /// Decodes the next posting, or `None` at the end.
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<Posting> {
-        if self.remaining == 0 {
+    /// Document frequency of the underlying record.
+    pub fn df(&self) -> u32 {
+        self.df
+    }
+
+    /// The skip directory (empty for unblocked records).
+    pub fn blocks(&self) -> &[SkipBlock] {
+        &self.blocks
+    }
+
+    /// Total encoded record length implied by the skip directory (`None`
+    /// for unblocked records, whose length the directory cannot tell).
+    pub fn total_len(&self) -> Option<usize> {
+        self.blocks.last().map(|b| b.offset + b.len)
+    }
+
+    /// Index of the block holding the next posting.
+    fn current_block(&self) -> usize {
+        ((self.df - self.remaining) / BLOCK_SIZE) as usize
+    }
+
+    /// Index of the block holding the next posting (`None` for unblocked
+    /// or exhausted cursors).
+    pub fn current_block_index(&self) -> Option<usize> {
+        if self.blocks.is_empty() || self.remaining == 0 {
             return None;
         }
-        let gap = decode_vbyte(self.bytes, &mut self.pos)?;
-        let doc = if self.first { gap } else { self.prev_doc.checked_add(gap)? };
-        self.first = false;
-        self.prev_doc = doc;
-        let tf = decode_vbyte(self.bytes, &mut self.pos)?;
-        if (tf as usize) > self.bytes.len() {
-            return None; // corrupt: more positions declared than bytes exist
+        Some(self.current_block())
+    }
+
+    /// Block-max tf of the block holding the next posting (`None` for
+    /// unblocked or exhausted cursors).
+    pub fn current_block_max_tf(&self) -> Option<u32> {
+        if self.blocks.is_empty() || self.remaining == 0 {
+            return None;
         }
+        self.blocks.get(self.current_block()).map(|b| b.max_tf)
+    }
+
+    /// Byte offset one past the block holding the next posting. Callers
+    /// that fetch the record incrementally must have bytes up to here
+    /// before decoding (`None` for unblocked or exhausted cursors).
+    pub fn current_block_end(&self) -> Option<usize> {
+        if self.blocks.is_empty() || self.remaining == 0 {
+            return None;
+        }
+        self.blocks.get(self.current_block()).map(|b| b.offset + b.len)
+    }
+
+    /// Jumps forward to the first block that could contain `target`,
+    /// bypassing every block whose last doc precedes it. Never decodes a
+    /// posting and never moves backward; a no-op on unblocked records.
+    pub fn seek(&mut self, target: u32) -> SeekSummary {
+        if self.blocks.is_empty() || self.remaining == 0 {
+            return SeekSummary::default();
+        }
+        let cur = self.current_block();
+        let mut t = cur;
+        while t < self.blocks.len() && self.blocks[t].last_doc < target {
+            t += 1;
+        }
+        if t == cur {
+            return SeekSummary::default();
+        }
+        if t == self.blocks.len() {
+            // Every remaining document precedes `target`: exhaust the cursor.
+            let skipped = self.remaining as u64;
+            let last = &self.blocks[t - 1];
+            self.pos = last.offset + last.len;
+            self.prev_doc = last.last_doc;
+            self.first = false;
+            self.remaining = 0;
+            return SeekSummary { blocks_skipped: (t - cur) as u64, postings_skipped: skipped };
+        }
+        let consumed = self.df - self.remaining;
+        let skipped = (t as u32 * BLOCK_SIZE - consumed) as u64;
+        self.pos = self.blocks[t].offset;
+        self.prev_doc = self.blocks[t - 1].last_doc;
+        self.first = false;
+        self.remaining = self.df - t as u32 * BLOCK_SIZE;
+        SeekSummary { blocks_skipped: (t - cur) as u64, postings_skipped: skipped }
+    }
+
+    /// Decodes the next posting, or `None` at the end.
+    pub fn next(&mut self, bytes: &[u8]) -> Option<Posting> {
+        let (doc, tf) = self.next_doc_header(bytes)?;
         let mut positions = Vec::with_capacity(tf as usize);
         let mut prev = 0u32;
         for j in 0..tf {
-            let pgap = decode_vbyte(self.bytes, &mut self.pos)?;
+            let pgap = decode_vbyte(bytes, &mut self.pos)?;
             prev = if j == 0 { pgap } else { prev.checked_add(pgap)? };
             positions.push(prev);
         }
         self.remaining -= 1;
-        Some(Posting { doc: DocId(doc), tf, positions })
+        Some(Posting { doc, tf, positions })
+    }
+
+    /// Decodes the next posting's doc and tf, skipping its positions
+    /// without allocating — the document-at-a-time scoring hot path.
+    pub fn next_doc_tf(&mut self, bytes: &[u8]) -> Option<(DocId, u32)> {
+        let (doc, tf) = self.next_doc_header(bytes)?;
+        for _ in 0..tf {
+            decode_vbyte(bytes, &mut self.pos)?;
+        }
+        self.remaining -= 1;
+        Some((doc, tf))
+    }
+
+    /// Decodes `doc-gap, tf` without consuming the posting (positions and
+    /// the `remaining` decrement are the caller's).
+    fn next_doc_header(&mut self, bytes: &[u8]) -> Option<(DocId, u32)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let gap = decode_vbyte(bytes, &mut self.pos)?;
+        let doc = if self.first { gap } else { self.prev_doc.checked_add(gap)? };
+        self.first = false;
+        self.prev_doc = doc;
+        let tf = decode_vbyte(bytes, &mut self.pos)?;
+        if (tf as usize) > bytes.len() {
+            return None; // corrupt: more positions declared than bytes exist
+        }
+        Some((DocId(doc), tf))
+    }
+}
+
+/// Streaming decoder over an encoded record — lets document-at-a-time
+/// evaluation advance each term's cursor without materialising whole lists.
+/// A borrow-holding convenience wrapper over [`BlockCursor`].
+pub struct PostingsCursor<'a> {
+    bytes: &'a [u8],
+    inner: BlockCursor,
+}
+
+impl<'a> PostingsCursor<'a> {
+    /// Opens a cursor, returning it with the header already consumed.
+    pub fn open(bytes: &'a [u8]) -> Option<(Self, u32, u64, u32)> {
+        let (inner, df, cf, max_tf) = BlockCursor::open(bytes)?;
+        Some((PostingsCursor { bytes, inner }, df, cf, max_tf))
+    }
+
+    /// Postings not yet consumed.
+    pub fn remaining(&self) -> u32 {
+        self.inner.remaining()
+    }
+
+    /// The skip directory (empty for unblocked records).
+    pub fn blocks(&self) -> &[SkipBlock] {
+        self.inner.blocks()
+    }
+
+    /// Jumps forward past blocks that cannot contain `target`; see
+    /// [`BlockCursor::seek`].
+    pub fn seek(&mut self, target: u32) -> SeekSummary {
+        self.inner.seek(target)
+    }
+
+    /// Decodes the next posting, or `None` at the end.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Posting> {
+        self.inner.next(self.bytes)
+    }
+
+    /// Decodes the next posting's doc and tf without allocating.
+    pub fn next_doc_tf(&mut self) -> Option<(DocId, u32)> {
+        self.inner.next_doc_tf(self.bytes)
     }
 }
 
@@ -264,6 +550,120 @@ mod tests {
         assert_eq!(streamed, r.postings);
         assert_eq!(cursor.remaining(), 0);
         assert_eq!(cursor.next(), None);
+    }
+
+    fn long_record(df: u32) -> InvertedRecord {
+        InvertedRecord::from_postings(
+            (0..df)
+                .map(|d| Posting {
+                    doc: DocId(d * 7 + 3),
+                    tf: 1 + d % 4,
+                    positions: (0..(1 + d % 4)).map(|j| j * 5 + d % 11).collect(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn blocked_records_round_trip() {
+        for df in [129u32, 256, 300, 1000] {
+            let r = long_record(df);
+            let bytes = r.encode();
+            assert_eq!(InvertedRecord::decode(&bytes), Some(r), "df {df}");
+        }
+    }
+
+    #[test]
+    fn block_size_boundary_stays_unblocked() {
+        // Exactly BLOCK_SIZE postings must keep the legacy layout: the
+        // cursor sees no skip directory.
+        let r = long_record(BLOCK_SIZE);
+        let bytes = r.encode();
+        let (cursor, ..) = PostingsCursor::open(&bytes).unwrap();
+        assert!(cursor.blocks().is_empty());
+        assert_eq!(InvertedRecord::decode(&bytes), Some(r));
+    }
+
+    #[test]
+    fn skip_directory_describes_every_block() {
+        let r = long_record(300);
+        let bytes = r.encode();
+        let (cursor, df, ..) = PostingsCursor::open(&bytes).unwrap();
+        let blocks = cursor.blocks();
+        assert_eq!(df, 300);
+        assert_eq!(blocks.len(), 3); // ceil(300 / 128)
+        assert_eq!(blocks[0].last_doc, r.postings[127].doc.0);
+        assert_eq!(blocks[1].last_doc, r.postings[255].doc.0);
+        assert_eq!(blocks[2].last_doc, r.postings[299].doc.0);
+        assert_eq!(blocks.last().unwrap().offset + blocks.last().unwrap().len, bytes.len());
+        for b in blocks {
+            assert!(b.max_tf >= 1 && b.max_tf <= r.max_tf);
+        }
+    }
+
+    #[test]
+    fn seek_lands_on_the_same_posting_as_linear_scan() {
+        let r = long_record(500);
+        let bytes = r.encode();
+        for target_idx in [0usize, 127, 128, 129, 300, 499] {
+            let target = r.postings[target_idx].doc.0;
+            let (mut cursor, ..) = PostingsCursor::open(&bytes).unwrap();
+            let summary = cursor.seek(target);
+            let mut found = None;
+            while let Some(p) = cursor.next() {
+                if p.doc.0 >= target {
+                    found = Some(p);
+                    break;
+                }
+            }
+            assert_eq!(found.as_ref(), Some(&r.postings[target_idx]), "target idx {target_idx}");
+            if target_idx >= 2 * BLOCK_SIZE as usize {
+                assert!(summary.blocks_skipped > 0, "seek to idx {target_idx} skipped nothing");
+                assert!(summary.postings_skipped > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn seek_past_the_end_exhausts_the_cursor() {
+        let r = long_record(200);
+        let bytes = r.encode();
+        let (mut cursor, ..) = PostingsCursor::open(&bytes).unwrap();
+        let summary = cursor.seek(u32::MAX);
+        assert_eq!(summary.postings_skipped, 200);
+        assert_eq!(cursor.remaining(), 0);
+        assert_eq!(cursor.next(), None);
+    }
+
+    #[test]
+    fn next_doc_tf_matches_next() {
+        let r = long_record(260);
+        let bytes = r.encode();
+        let (mut full, ..) = PostingsCursor::open(&bytes).unwrap();
+        let (mut slim, ..) = PostingsCursor::open(&bytes).unwrap();
+        while let Some(p) = full.next() {
+            assert_eq!(slim.next_doc_tf(), Some((p.doc, p.tf)));
+        }
+        assert_eq!(slim.next_doc_tf(), None);
+    }
+
+    #[test]
+    fn corrupt_skip_directories_are_rejected() {
+        let r = long_record(200);
+        let bytes = r.encode();
+        assert!(InvertedRecord::decode(&bytes).is_some());
+        // Truncation anywhere in the record must fail, not panic.
+        for cut in [1usize, 3, 5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(InvertedRecord::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Flipping any single byte must never produce a decode that
+        // disagrees with the framing (decode may still fail or succeed,
+        // but must not panic) — directory fields are covered explicitly.
+        for i in 0..bytes.len().min(64) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x55;
+            let _ = InvertedRecord::decode(&bad); // must not panic
+        }
     }
 
     #[test]

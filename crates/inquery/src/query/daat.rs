@@ -19,10 +19,42 @@ use crate::belief::{BeliefParams, CollectionStats};
 use crate::dict::Dictionary;
 use crate::documents::DocTable;
 use crate::error::{InqueryError, Result};
-use crate::postings::{DocId, Posting, PostingsCursor};
+use crate::postings::{BlockCursor, DocId, Posting, PostingsCursor, SkipBlock};
 use crate::query::ast::QueryNode;
 use crate::query::eval::ScoredDoc;
 use crate::store::InvertedFileStore;
+
+/// Safety margin for floating-point upper-bound comparisons. Bounds are
+/// computed in a different operation order than exact scores, so two
+/// mathematically ordered values can disagree by a few ulps; the margin
+/// (10^6 ulps at score scale) makes skips strictly conservative.
+const PRUNE_EPS: f64 = 1e-9;
+
+/// Bytes fetched up front per term record on the range-read protocol —
+/// one device transfer block, which covers every small- and medium-pool
+/// record whole and a blocked record's header plus skip directory.
+pub const RANGE_PREFIX: usize = 8192;
+
+/// Records at most this long are fetched whole even on stores with cheap
+/// range reads: the lazy protocol's prefix-plus-chunk reads land unaligned
+/// to device blocks, so on a record the pruner ends up consuming almost
+/// entirely it costs *more* device I/O than one whole-record fetch. Only
+/// genuinely long records — where skipped tail blocks translate into whole
+/// device transfers never issued — repay the range protocol.
+pub const LAZY_MIN: usize = 4 * RANGE_PREFIX;
+
+/// Work-avoidance counters reported by [`rank_daat_pruned`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaatStats {
+    /// Postings decoded (doc/tf actually read).
+    pub postings_decoded: u64,
+    /// Postings bypassed without decoding via cursor seeks.
+    pub postings_skipped: u64,
+    /// Whole blocks bypassed via the skip directory.
+    pub blocks_skipped: u64,
+    /// Cursor seeks that moved (at least one block jumped).
+    pub cursor_seeks: u64,
+}
 
 /// Flattens a query into `(weight, term)` pairs if it is a bag-of-words
 /// query (a bare term, `#sum` of terms, or `#wsum` of terms).
@@ -132,6 +164,416 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
     });
     results.truncate(k);
     Ok(results)
+}
+
+/// One term's record bytes, fetched lazily at skip-block granularity over
+/// the store's range-read path. Complete lists hold the whole record;
+/// partial lists hold a zero-filled buffer with the prefix and any
+/// ensured blocks copied in.
+struct LazyList {
+    bytes: Vec<u8>,
+    /// Per-skip-block "bytes present" flags; empty when `complete`.
+    fetched: Vec<bool>,
+    complete: bool,
+    prefix_len: usize,
+    store_ref: u64,
+}
+
+impl LazyList {
+    /// Fetches a term record — whole, or prefix-first when the store can
+    /// serve cheap range reads — and opens its cursor.
+    fn fetch_open<S: InvertedFileStore + ?Sized>(
+        store: &mut S,
+        store_ref: u64,
+    ) -> Result<(LazyList, BlockCursor, u32, u32)> {
+        let open_err = || InqueryError::BadRecord("cursor open failed".into());
+        // Short records (per the store's free length hint) take the single
+        // whole-record fetch: below LAZY_MIN the range protocol cannot win.
+        let short = store.record_len_hint(store_ref).is_some_and(|len| len <= LAZY_MIN as u64);
+        if short || !store.supports_range_read() {
+            let bytes = store.fetch(store_ref)?;
+            let (cursor, df, _cf, max_tf) = BlockCursor::open(&bytes).ok_or_else(open_err)?;
+            let list =
+                LazyList { bytes, fetched: Vec::new(), complete: true, prefix_len: 0, store_ref };
+            return Ok((list, cursor, df, max_tf));
+        }
+        let prefix = store.fetch_range(store_ref, 0, RANGE_PREFIX)?;
+        if prefix.len() < RANGE_PREFIX {
+            // The record ended inside the prefix: it is complete.
+            let (cursor, df, _cf, max_tf) = BlockCursor::open(&prefix).ok_or_else(open_err)?;
+            let list = LazyList {
+                bytes: prefix,
+                fetched: Vec::new(),
+                complete: true,
+                prefix_len: 0,
+                store_ref,
+            };
+            return Ok((list, cursor, df, max_tf));
+        }
+        // The record continues past the prefix. Blocked records tell us
+        // their exact length through the skip directory, letting later
+        // blocks be fetched individually; anything else (an unblocked
+        // record that still outgrew the prefix, or a directory too large
+        // for one prefix) falls back to fetching the rest eagerly.
+        if let Some((cursor, df, _cf, max_tf)) = BlockCursor::open(&prefix) {
+            if let Some(total) = cursor.total_len() {
+                if total > prefix.len() {
+                    let prefix_len = prefix.len();
+                    let mut bytes = prefix;
+                    bytes.resize(total, 0);
+                    let fetched =
+                        cursor.blocks().iter().map(|b| b.offset + b.len <= prefix_len).collect();
+                    let list = LazyList { bytes, fetched, complete: false, prefix_len, store_ref };
+                    return Ok((list, cursor, df, max_tf));
+                }
+                let list = LazyList {
+                    bytes: prefix,
+                    fetched: Vec::new(),
+                    complete: true,
+                    prefix_len: 0,
+                    store_ref,
+                };
+                return Ok((list, cursor, df, max_tf));
+            }
+        }
+        // Continuation read (start > 0): does not count another lookup.
+        let mut bytes = prefix;
+        let rest = store.fetch_range(store_ref, bytes.len() as u64, usize::MAX)?;
+        bytes.extend_from_slice(&rest);
+        let (cursor, df, _cf, max_tf) = BlockCursor::open(&bytes).ok_or_else(open_err)?;
+        let list =
+            LazyList { bytes, fetched: Vec::new(), complete: true, prefix_len: 0, store_ref };
+        Ok((list, cursor, df, max_tf))
+    }
+
+    /// Makes skip block `b`'s bytes present, range-reading only the part
+    /// the prefix did not already cover. Posting blocks are far smaller
+    /// than a device block, so the read is rounded up to [`RANGE_PREFIX`]
+    /// bytes (clamped to the record) and every posting block it fully
+    /// covers is marked fetched — sequential decode then costs about the
+    /// same device I/O as a whole-record fetch, while seeks past the
+    /// covered span still skip physical reads entirely.
+    fn ensure_block<S: InvertedFileStore + ?Sized>(
+        &mut self,
+        store: &mut S,
+        blocks: &[SkipBlock],
+        b: usize,
+    ) -> Result<()> {
+        let blk = blocks[b];
+        let start = blk.offset.max(self.prefix_len);
+        let end = (start + RANGE_PREFIX).max(blk.offset + blk.len).min(self.bytes.len());
+        if end > start {
+            let chunk = store.fetch_range(self.store_ref, start as u64, end - start)?;
+            if chunk.len() < end - start {
+                return Err(InqueryError::BadRecord(format!(
+                    "range read returned {} of {} bytes",
+                    chunk.len(),
+                    end - start
+                )));
+            }
+            self.bytes[start..end].copy_from_slice(&chunk[..end - start]);
+        }
+        self.fetched[b] = true;
+        // Later blocks that landed entirely inside the chunk are present
+        // too (blocks are contiguous, so covering their end covers them).
+        for (i, later) in blocks.iter().enumerate().skip(b + 1) {
+            if later.offset + later.len > end {
+                break;
+            }
+            self.fetched[i] = true;
+        }
+        Ok(())
+    }
+}
+
+/// Advances one list's cursor, ensuring the current block's bytes are
+/// present first. Returns the next `(doc, tf)` or `None` at the end.
+fn advance_list<S: InvertedFileStore + ?Sized>(
+    store: &mut S,
+    list: &mut LazyList,
+    cursor: &mut BlockCursor,
+    stats: &mut DaatStats,
+) -> Result<Option<(u32, u32)>> {
+    if cursor.remaining() == 0 {
+        return Ok(None);
+    }
+    if !list.complete {
+        if let Some(b) = cursor.current_block_index() {
+            if !list.fetched[b] {
+                list.ensure_block(store, cursor.blocks(), b)?;
+            }
+        }
+    }
+    match cursor.next_doc_tf(&list.bytes) {
+        Some((doc, tf)) => {
+            stats.postings_decoded += 1;
+            Ok(Some((doc.0, tf)))
+        }
+        None => Err(InqueryError::BadRecord("posting decode failed".into())),
+    }
+}
+
+/// Ranks a bag-of-words query document-at-a-time with max-score pruning.
+///
+/// Produces exactly the same top-`k` documents and bit-identical scores
+/// as [`rank_daat`]: candidate documents are generated only from the
+/// lists whose belief upper bound can still lift a document into the
+/// top k, cursor seeks bypass whole posting blocks via the skip
+/// directory, and every document that survives the bounds is scored in
+/// the same floating-point operation order as the unpruned evaluator.
+pub fn rank_daat_pruned<S: InvertedFileStore + ?Sized>(
+    store: &mut S,
+    dict: &Dictionary,
+    docs: &DocTable,
+    params: BeliefParams,
+    terms: &[(f64, String)],
+    k: usize,
+) -> Result<(Vec<ScoredDoc>, DaatStats)> {
+    let mut stats = DaatStats::default();
+    if k == 0 {
+        return Ok((Vec::new(), stats));
+    }
+    let collection = CollectionStats { num_docs: docs.len() as u32, avg_doc_len: docs.avg_len() };
+    let default = params.default_belief;
+
+    // Fetch every known term's record (same store access order as
+    // rank_daat); unknown terms keep their weight in the normalisation.
+    let mut weights: Vec<f64> = Vec::new();
+    let mut lists: Vec<LazyList> = Vec::new();
+    let mut cursors: Vec<BlockCursor> = Vec::new();
+    let mut dfs: Vec<u32> = Vec::new();
+    let mut max_tfs: Vec<u32> = Vec::new();
+    let mut unknown_weight = 0.0f64;
+    for (w, term) in terms {
+        let Some(id) = dict.lookup(term) else {
+            unknown_weight += *w;
+            continue;
+        };
+        let (list, cursor, df, max_tf) = LazyList::fetch_open(store, dict.entry(id).store_ref)?;
+        weights.push(*w);
+        lists.push(list);
+        cursors.push(cursor);
+        dfs.push(df);
+        max_tfs.push(max_tf);
+    }
+    let total_weight: f64 = weights.iter().sum::<f64>() + unknown_weight;
+    if total_weight == 0.0 || weights.is_empty() {
+        return Ok((Vec::new(), stats));
+    }
+    let n = weights.len();
+
+    // Record-level upper bounds on each term's score contribution above
+    // the all-absent baseline: belief is monotone increasing in tf and
+    // decreasing in document length, so evaluating at (max_tf, min_len)
+    // bounds every posting. Negative weights cannot raise a score above
+    // baseline, so their delta clamps to zero.
+    let min_len = docs.min_len();
+    let deltas: Vec<f64> = (0..n)
+        .map(|i| {
+            let ub = params.term_belief(max_tfs[i], min_len, dfs[i], &collection);
+            (weights[i] * (ub - default)).max(0.0)
+        })
+        .collect();
+
+    // Lists in descending upper-bound order; tail[j] bounds the total
+    // contribution of lists ord[j..].
+    let mut ord: Vec<usize> = (0..n).collect();
+    ord.sort_unstable_by(|&a, &b| {
+        deltas[b].partial_cmp(&deltas[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut tail = vec![0.0f64; n + 1];
+    for j in (0..n).rev() {
+        tail[j] = tail[j + 1] + deltas[ord[j]];
+    }
+
+    // Current head posting per list.
+    let mut heads: Vec<Option<(u32, u32)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let head = advance_list(store, &mut lists[i], &mut cursors[i], &mut stats)?;
+        heads.push(head);
+    }
+
+    // Top-k heap: peek() is the worst kept candidate (lowest score, then
+    // largest doc — the one the final sort would drop first).
+    struct Candidate {
+        score: f64,
+        doc: DocId,
+    }
+    impl PartialEq for Candidate {
+        fn eq(&self, other: &Self) -> bool {
+            self.score == other.score && self.doc == other.doc
+        }
+    }
+    impl Eq for Candidate {}
+    impl PartialOrd for Candidate {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Candidate {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .score
+                .partial_cmp(&self.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(self.doc.cmp(&other.doc))
+        }
+    }
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+    let mut theta = f64::NEG_INFINITY;
+
+    // Number of essential lists (ord[..m]); lists past m cannot lift a
+    // document over theta on their own and only get probed.
+    let mut m = n;
+    let recompute_m = |theta: f64| -> usize {
+        (0..n).find(|&j| default + tail[j] / total_weight + PRUNE_EPS <= theta).unwrap_or(n)
+    };
+
+    loop {
+        if m == 0 {
+            break;
+        }
+        // Candidate: smallest head document among essential lists.
+        let mut cand = u32::MAX;
+        for &i in &ord[..m] {
+            if let Some((d, _)) = heads[i] {
+                cand = cand.min(d);
+            }
+        }
+        if cand == u32::MAX {
+            break;
+        }
+        let doc_len = docs.info(DocId(cand)).len;
+        let exact_delta = |i: usize, tf: u32| -> f64 {
+            weights[i] * (params.term_belief(tf, doc_len, dfs[i], &collection) - default)
+        };
+
+        // Exact contributions from matching essential lists, record-level
+        // bounds for the non-essential rest.
+        let mut matched: Vec<(usize, u32)> = Vec::new();
+        let mut bound = 0.0f64;
+        for &i in &ord[..m] {
+            if let Some((d, tf)) = heads[i] {
+                if d == cand {
+                    matched.push((i, tf));
+                    bound += exact_delta(i, tf);
+                }
+            }
+        }
+        for &j in &ord[m..] {
+            bound += deltas[j];
+        }
+
+        let mut alive = default + bound / total_weight + PRUNE_EPS > theta;
+        if alive {
+            // Probe non-essential lists in descending bound order,
+            // replacing each record-level bound first with its block-max
+            // refinement and then with the exact contribution. A stale
+            // head (left behind while the list was non-essential) settles
+            // the list without touching the cursor: at `cand` it is the
+            // exact contribution, past `cand` the list cannot match.
+            for &j in &ord[m..] {
+                bound -= deltas[j];
+                match heads[j] {
+                    None => {}
+                    Some((d, _)) if d > cand => {}
+                    Some((d, tf)) if d == cand => {
+                        matched.push((j, tf));
+                        bound += exact_delta(j, tf);
+                    }
+                    Some(_) => {
+                        let seek = cursors[j].seek(cand);
+                        stats.blocks_skipped += seek.blocks_skipped;
+                        stats.postings_skipped += seek.postings_skipped;
+                        if seek.blocks_skipped > 0 {
+                            stats.cursor_seeks += 1;
+                        }
+                        // Block-max refinement: the current block caps tf,
+                        // which may rule the document out without touching
+                        // its bytes.
+                        let refined = match cursors[j].current_block_max_tf() {
+                            Some(block_max) => {
+                                let ub =
+                                    params.term_belief(block_max, min_len, dfs[j], &collection);
+                                (weights[j] * (ub - default)).max(0.0).min(deltas[j])
+                            }
+                            None if cursors[j].remaining() == 0 => 0.0,
+                            None => deltas[j],
+                        };
+                        if default + (bound + refined) / total_weight + PRUNE_EPS <= theta {
+                            alive = false;
+                        } else {
+                            // Decode within the block until we reach or
+                            // pass cand.
+                            while let Some((d, _)) = heads[j] {
+                                if d >= cand {
+                                    break;
+                                }
+                                heads[j] = advance_list(
+                                    store,
+                                    &mut lists[j],
+                                    &mut cursors[j],
+                                    &mut stats,
+                                )?;
+                            }
+                            if let Some((d, tf)) = heads[j] {
+                                if d == cand {
+                                    matched.push((j, tf));
+                                    bound += exact_delta(j, tf);
+                                }
+                            }
+                        }
+                    }
+                }
+                if !alive || default + bound / total_weight + PRUNE_EPS <= theta {
+                    alive = false;
+                    break;
+                }
+            }
+        }
+
+        if alive {
+            // Full evaluation, replicating rank_daat's exact FP order:
+            // contributions in ascending list index, then the absent mass.
+            matched.sort_unstable_by_key(|&(i, _)| i);
+            let mut weighted_sum = 0.0f64;
+            for &(i, tf) in &matched {
+                weighted_sum += weights[i] * params.term_belief(tf, doc_len, dfs[i], &collection);
+            }
+            let absent_weight: f64 =
+                total_weight - matched.iter().map(|&(i, _)| weights[i]).sum::<f64>();
+            weighted_sum += absent_weight * default;
+            let score = weighted_sum / total_weight;
+            if heap.len() < k {
+                heap.push(Candidate { score, doc: DocId(cand) });
+                if heap.len() == k {
+                    theta = heap.peek().map(|c| c.score).unwrap_or(f64::NEG_INFINITY);
+                    m = recompute_m(theta);
+                }
+            } else if score > theta {
+                heap.pop();
+                heap.push(Candidate { score, doc: DocId(cand) });
+                theta = heap.peek().map(|c| c.score).unwrap_or(f64::NEG_INFINITY);
+                m = recompute_m(theta);
+            }
+        }
+
+        // Advance every essential list positioned at cand.
+        for &i in &ord[..m] {
+            if let Some((d, _)) = heads[i] {
+                if d == cand {
+                    heads[i] = advance_list(store, &mut lists[i], &mut cursors[i], &mut stats)?;
+                }
+            }
+        }
+    }
+
+    let mut results: Vec<ScoredDoc> =
+        heap.into_iter().map(|c| ScoredDoc { doc: c.doc, score: c.score }).collect();
+    results.sort_unstable_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.doc.cmp(&b.doc))
+    });
+    Ok((results, stats))
 }
 
 #[cfg(test)]
@@ -245,5 +687,175 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ranked.len(), 2);
+    }
+
+    fn assert_bitwise_eq(full: &[ScoredDoc], pruned: &[ScoredDoc], ctx: &str) {
+        assert_eq!(full.len(), pruned.len(), "{ctx}: result count");
+        for (a, b) in full.iter().zip(pruned.iter()) {
+            assert_eq!(a.doc, b.doc, "{ctx}: doc order");
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "{ctx}: score bits for {:?}", a.doc);
+        }
+    }
+
+    fn pruned_queries() -> Vec<Vec<(f64, String)>> {
+        vec![
+            vec![(1.0, "alpha".into()), (1.0, "beta".into()), (1.0, "delta".into())],
+            vec![(3.0, "alpha".into()), (1.0, "beta".into()), (2.0, "epsilon".into())],
+            vec![(1.0, "alpha".into()), (5.0, "missingterm".into())],
+            vec![(1.0, "beta".into())],
+        ]
+    }
+
+    #[test]
+    fn pruned_matches_unpruned_on_small_corpus() {
+        let (mut store, dict, docs, _stop) = corpus();
+        for k in [1, 2, 3, 10] {
+            for terms in pruned_queries() {
+                let full = rank_daat(&mut store, &dict, &docs, BeliefParams::default(), &terms, k)
+                    .unwrap();
+                let (pruned, _) =
+                    rank_daat_pruned(&mut store, &dict, &docs, BeliefParams::default(), &terms, k)
+                        .unwrap();
+                assert_bitwise_eq(&full, &pruned, &format!("k={k} terms={terms:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_empty_cases() {
+        let (mut store, dict, docs, _stop) = corpus();
+        let (r, _) = rank_daat_pruned(
+            &mut store,
+            &dict,
+            &docs,
+            BeliefParams::default(),
+            &[(1.0, "alpha".into())],
+            0,
+        )
+        .unwrap();
+        assert!(r.is_empty(), "k = 0 returns nothing");
+        let (r, _) =
+            rank_daat_pruned(&mut store, &dict, &docs, BeliefParams::default(), &[], 10).unwrap();
+        assert!(r.is_empty(), "empty query returns nothing");
+    }
+
+    /// A corpus big enough that frequent terms cross `BLOCK_SIZE` and get
+    /// the blocked record layout. Returns total encoded record bytes too.
+    fn blocked_corpus<S: InvertedFileStore + RecordSink>(
+        store: &mut S,
+    ) -> (Dictionary, DocTable, usize) {
+        let stop = StopWords::default();
+        let mut b = IndexBuilder::new(stop);
+        for i in 0..1500u32 {
+            let mut text = String::new();
+            for _ in 0..(i % 7) + 1 {
+                text.push_str("common ");
+            }
+            if i % 2 == 0 {
+                text.push_str("half ");
+            }
+            if i % 151 == 0 {
+                text.push_str("rare ");
+            }
+            for w in 0..i % 5 {
+                text.push_str(&format!("filler{w} "));
+            }
+            b.add_document(&format!("D{i:04}"), &text);
+        }
+        let idx = b.finish();
+        let mut dict = idx.dictionary;
+        let mut total = 0usize;
+        for (term, bytes) in idx.records {
+            total += bytes.len();
+            let r = store.sink(bytes);
+            dict.entry_mut(term).store_ref = r;
+        }
+        (dict, idx.documents, total)
+    }
+
+    /// Test-only abstraction so [`blocked_corpus`] can load either store.
+    trait RecordSink {
+        fn sink(&mut self, record: Vec<u8>) -> u64;
+    }
+    impl RecordSink for MemoryStore {
+        fn sink(&mut self, record: Vec<u8>) -> u64 {
+            self.add(record)
+        }
+    }
+
+    #[test]
+    fn pruned_matches_unpruned_on_blocked_records() {
+        let mut store = MemoryStore::new();
+        let (dict, docs, _) = blocked_corpus(&mut store);
+        let mut skipped = 0u64;
+        for k in [1, 3, 10, 50] {
+            for terms in [
+                vec![(1.0f64, "rare".to_string()), (1.0, "common".into())],
+                vec![(1.0, "half".into()), (2.0, "rare".into()), (1.0, "filler3".into())],
+                vec![(1.0, "common".into()), (1.0, "half".into())],
+            ] {
+                let full = rank_daat(&mut store, &dict, &docs, BeliefParams::default(), &terms, k)
+                    .unwrap();
+                let (pruned, stats) =
+                    rank_daat_pruned(&mut store, &dict, &docs, BeliefParams::default(), &terms, k)
+                        .unwrap();
+                assert_bitwise_eq(&full, &pruned, &format!("k={k} terms={terms:?}"));
+                skipped += stats.postings_skipped + stats.blocks_skipped;
+            }
+        }
+        assert!(skipped > 0, "blocked corpus with small k must skip postings");
+    }
+
+    /// A store double that serves byte ranges, counting the calls and the
+    /// bytes handed out, so tests can see the lazy-fetch path at work.
+    struct RangeStore {
+        inner: MemoryStore,
+        range_reads: u64,
+        bytes_served: u64,
+    }
+    impl RecordSink for RangeStore {
+        fn sink(&mut self, record: Vec<u8>) -> u64 {
+            self.inner.add(record)
+        }
+    }
+    impl InvertedFileStore for RangeStore {
+        fn fetch(&mut self, store_ref: u64) -> Result<Vec<u8>> {
+            self.inner.fetch(store_ref)
+        }
+        fn fetch_range(&mut self, store_ref: u64, start: u64, len: usize) -> Result<Vec<u8>> {
+            self.range_reads += 1;
+            let bytes = self.inner.fetch(store_ref)?;
+            let from = (start.min(bytes.len() as u64)) as usize;
+            let to = from.saturating_add(len).min(bytes.len());
+            self.bytes_served += (to - from) as u64;
+            Ok(bytes[from..to].to_vec())
+        }
+        fn supports_range_read(&self) -> bool {
+            true
+        }
+        fn record_lookups(&self) -> u64 {
+            self.inner.record_lookups()
+        }
+    }
+
+    #[test]
+    fn pruned_range_reads_fetch_blocks_lazily() {
+        let mut plain = MemoryStore::new();
+        let (dict, docs, _) = blocked_corpus(&mut plain);
+        let mut ranged = RangeStore { inner: MemoryStore::new(), range_reads: 0, bytes_served: 0 };
+        let (rdict, rdocs, total_bytes) = blocked_corpus(&mut ranged);
+        let terms: Vec<(f64, String)> = vec![(2.0, "rare".into()), (1.0, "common".into())];
+        let full = rank_daat(&mut plain, &dict, &docs, BeliefParams::default(), &terms, 5).unwrap();
+        let (pruned, stats) =
+            rank_daat_pruned(&mut ranged, &rdict, &rdocs, BeliefParams::default(), &terms, 5)
+                .unwrap();
+        assert_bitwise_eq(&full, &pruned, "range-read path");
+        assert!(ranged.range_reads >= 2, "prefix plus at least one block read");
+        assert!(stats.blocks_skipped > 0, "seeks must bypass whole blocks");
+        assert!(
+            ranged.bytes_served < total_bytes as u64,
+            "lazy fetch must move fewer bytes than the whole records ({} vs {total_bytes})",
+            ranged.bytes_served
+        );
     }
 }

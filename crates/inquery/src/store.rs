@@ -37,6 +37,45 @@ pub trait InvertedFileStore {
     /// surfaces them. The default implementation does nothing.
     fn prefetch(&mut self, _store_refs: &[u64]) {}
 
+    /// Fetches part of the record behind `store_ref`: `len` bytes starting
+    /// at byte `start`. Returns fewer bytes when the record ends before
+    /// `start + len`; backends may also return *more* than requested (up
+    /// to the whole record) when a partial read is not cheaper. Backends
+    /// overriding this count a call with `start == 0` as a record lookup
+    /// and continuation calls (`start > 0`) as none, keeping the "A"
+    /// statistic's denominator comparable with whole-record fetching.
+    ///
+    /// The default implementation fetches the whole record and slices it,
+    /// which is never cheaper — callers should consult
+    /// [`InvertedFileStore::supports_range_read`] before choosing the
+    /// range protocol over [`InvertedFileStore::fetch`].
+    fn fetch_range(&mut self, store_ref: u64, start: u64, len: usize) -> Result<Vec<u8>> {
+        let bytes = self.fetch(store_ref)?;
+        if start == 0 && len >= bytes.len() {
+            return Ok(bytes);
+        }
+        let from = (start.min(bytes.len() as u64)) as usize;
+        let to = from.saturating_add(len).min(bytes.len());
+        Ok(bytes[from..to].to_vec())
+    }
+
+    /// Whether [`InvertedFileStore::fetch_range`] can serve a byte range
+    /// with less device I/O than a whole-record fetch for at least some
+    /// records. `false` (the default) means the range protocol degrades
+    /// to whole-record fetches and callers should not bother.
+    fn supports_range_read(&self) -> bool {
+        false
+    }
+
+    /// A free (no-I/O) upper bound on the record's encoded length, when the
+    /// backend can answer from in-memory metadata — the Mneme store reads
+    /// it off a huge-pool object's segment address. `None` (the default)
+    /// means the length is unknown without fetching; callers deciding
+    /// between whole-record and range fetching must then probe.
+    fn record_len_hint(&self, _store_ref: u64) -> Option<u64> {
+        None
+    }
+
     /// Pre-evaluation reservation pass: pin whatever is already resident
     /// for the given references (Section 3.3's query-tree scan). The
     /// default implementation does nothing.

@@ -4,13 +4,26 @@
 use proptest::prelude::*;
 
 use poir_inquery::{
-    parse_query, porter, BeliefParams, DocId, Evaluator, IndexBuilder, InvertedRecord, MemoryStore,
-    Posting, QueryNode, StopWords,
+    parse_query, porter, BeliefParams, BlockCursor, DocId, Evaluator, IndexBuilder, InvertedRecord,
+    MemoryStore, Posting, QueryNode, StopWords, BLOCK_SIZE,
 };
 
 fn posting_strategy() -> impl Strategy<Value = Vec<Posting>> {
     // Ascending doc ids with 1..=4 ascending positions each.
-    proptest::collection::btree_set(0u32..100_000, 0..60).prop_flat_map(|docs| {
+    postings_with(proptest::collection::btree_set(0u32..100_000, 0..60))
+}
+
+/// Like [`posting_strategy`] but always past [`BLOCK_SIZE`] documents, so
+/// every record gets the blocked layout with a multi-entry skip directory.
+fn blocked_posting_strategy() -> impl Strategy<Value = Vec<Posting>> {
+    let span = BLOCK_SIZE as usize;
+    postings_with(proptest::collection::btree_set(0u32..100_000, span + 1..4 * span))
+}
+
+fn postings_with(
+    docs: impl Strategy<Value = std::collections::BTreeSet<u32>>,
+) -> impl Strategy<Value = Vec<Posting>> {
+    docs.prop_flat_map(|docs| {
         let docs: Vec<u32> = docs.into_iter().collect();
         proptest::collection::vec(proptest::collection::btree_set(0u32..10_000, 1..5), docs.len())
             .prop_map(move |pos_sets| {
@@ -38,6 +51,78 @@ proptest! {
         prop_assert_eq!(df, record.df());
         prop_assert_eq!(cf, record.cf.min(u32::MAX as u64));
         prop_assert_eq!(max_tf, record.max_tf);
+    }
+
+    #[test]
+    fn blocked_records_round_trip(postings in blocked_posting_strategy()) {
+        let record = InvertedRecord::from_postings(postings.clone());
+        let bytes = record.encode();
+        prop_assert_eq!(InvertedRecord::decode(&bytes), Some(record.clone()));
+        let (mut cur, df, _cf, max_tf) = BlockCursor::open(&bytes).unwrap();
+        prop_assert_eq!(df as usize, postings.len());
+        prop_assert_eq!(max_tf, record.max_tf);
+        prop_assert_eq!(cur.blocks().len(), postings.len().div_ceil(BLOCK_SIZE as usize));
+        // The skip directory spans exactly the encoded record.
+        prop_assert_eq!(cur.total_len(), Some(bytes.len()));
+        let mut streamed = Vec::new();
+        while let Some(p) = cur.next(&bytes) {
+            streamed.push(p);
+        }
+        prop_assert_eq!(streamed, postings);
+    }
+
+    #[test]
+    fn cursor_seek_agrees_with_linear_scan(
+        postings in blocked_posting_strategy(),
+        target in 0u32..120_000,
+    ) {
+        let bytes = InvertedRecord::from_postings(postings.clone()).encode();
+        let (mut cur, df, _, _) = BlockCursor::open(&bytes).unwrap();
+        let summary = cur.seek(target);
+        // Seeking is block-granular: it may leave the cursor before
+        // `target`, but must never jump past a qualifying posting. The
+        // postings at or after `target` match a pure linear scan exactly.
+        let mut decoded = 0u64;
+        let mut seeked = Vec::new();
+        while let Some((d, tf)) = cur.next_doc_tf(&bytes) {
+            decoded += 1;
+            if d.0 >= target {
+                seeked.push((d.0, tf));
+            }
+        }
+        let expected: Vec<(u32, u32)> =
+            postings.iter().filter(|p| p.doc.0 >= target).map(|p| (p.doc.0, p.tf)).collect();
+        prop_assert_eq!(seeked, expected);
+        // Every posting is either bypassed by the seek or decoded after it.
+        prop_assert_eq!(decoded + summary.postings_skipped, df as u64);
+        prop_assert!(summary.blocks_skipped as usize <= postings.len().div_ceil(BLOCK_SIZE as usize));
+    }
+
+    #[test]
+    fn corrupt_skip_directories_never_panic(
+        postings in blocked_posting_strategy(),
+        mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+        cut in any::<usize>(),
+    ) {
+        let bytes = InvertedRecord::from_postings(postings).encode();
+        // Truncation: decode must reject, cursors must stop cleanly.
+        let truncated = &bytes[..cut % bytes.len()];
+        let _ = InvertedRecord::decode(truncated);
+        if let Some((mut cur, _, _, _)) = BlockCursor::open(truncated) {
+            cur.seek(50_000);
+            while cur.next_doc_tf(truncated).is_some() {}
+        }
+        // Arbitrary byte flips anywhere (header, directory, body).
+        let mut mutated = bytes.clone();
+        for (pos, val) in mutations {
+            let at = pos % mutated.len();
+            mutated[at] ^= val;
+        }
+        let _ = InvertedRecord::decode(&mutated);
+        if let Some((mut cur, _, _, _)) = BlockCursor::open(&mutated) {
+            cur.seek(1_000);
+            while cur.next_doc_tf(&mutated).is_some() {}
+        }
     }
 
     #[test]

@@ -61,8 +61,8 @@ use poir_telemetry::{PoolEvent, Recorder, TraceOp};
 use crate::buffer::{Buffer, BufferStats, LruBuffer};
 use crate::error::{MnemeError, Result};
 use crate::id::{LogicalSegment, ObjectId, PoolId, MAX_LOGICAL_SEGMENTS, SLOTS_PER_SEGMENT};
-use crate::pool::{AppendOutcome, LocateResult, Pool, PoolConfig};
-use crate::segment::{SegmentAddr, SegmentImage};
+use crate::pool::{AppendOutcome, LocateResult, Pool, PoolConfig, SEGMENT_HEADER_LEN};
+use crate::segment::{SegmentAddr, SegmentImage, SegmentKind};
 use crate::table::LocationTable;
 
 const MAGIC: &[u8; 4] = b"MNEM";
@@ -596,6 +596,108 @@ impl MnemeFile {
             payload.len() as u64,
         );
         Ok(payload)
+    }
+
+    /// Reads `len` bytes of an object's payload starting at byte `start`,
+    /// transferring only the device blocks the range touches.
+    ///
+    /// Only pools that store one object per physical segment (the huge
+    /// pool's [`SegmentKind::SingleObject`] layout) can map a payload range
+    /// onto a device range; every other pool returns `Ok(None)` and the
+    /// caller falls back to [`MnemeFile::get`]. Building-segment and
+    /// buffer-resident objects are sliced in memory and count a buffer hit;
+    /// disk-served ranges count a buffer miss but are *not* admitted to the
+    /// buffer — a partial segment image could later be mistaken for the
+    /// whole object.
+    ///
+    /// Opening reads (`start == 0`) validate the segment header and clamp
+    /// to the live payload length. Continuation reads (`start > 0`) trust
+    /// the resolve step and clamp to the segment's capacity, so a caller
+    /// that ranges past a payload shortened by an in-place update may see
+    /// stale capacity bytes — callers derive ranges from the record itself,
+    /// which cannot point past its own end.
+    pub fn get_range(&self, id: ObjectId, start: u64, len: usize) -> Result<Option<Vec<u8>>> {
+        let traced = self.recorder.trace_start();
+        let (pool_idx, addr) = self.resolve(id)?;
+        let mut ps = self.lock_pool(pool_idx);
+        let ps = &mut *ps;
+        if ps.pool.kind() != SegmentKind::SingleObject {
+            return Ok(None);
+        }
+        let pool_id = ps.pool.id();
+        let slice_image = |pool: &dyn Pool, seg: &SegmentImage| -> Result<Vec<u8>> {
+            match pool.locate(seg.bytes(), id) {
+                LocateResult::Found(r) => {
+                    let payload = &seg.bytes()[r];
+                    let from = (start.min(payload.len() as u64)) as usize;
+                    let to = from.saturating_add(len).min(payload.len());
+                    Ok(payload[from..to].to_vec())
+                }
+                LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
+                LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
+            }
+        };
+        let payload = if let Some((baddr, image)) = ps.building.as_ref().filter(|(b, _)| *b == addr)
+        {
+            debug_assert_eq!(*baddr, addr);
+            ps.buffer.record_ref(true);
+            note_ref(&self.recorder, pool_id, addr, true);
+            slice_image(ps.pool.as_ref(), image)?
+        } else if ps.buffer.is_resident(addr) {
+            ps.buffer.record_ref(true);
+            note_ref(&self.recorder, pool_id, addr, true);
+            let image = ps.buffer.lookup(addr).expect("resident segment");
+            slice_image(ps.pool.as_ref(), image)?
+        } else {
+            ps.buffer.record_ref(false);
+            note_ref(&self.recorder, pool_id, addr, false);
+            let capacity = (addr.len as usize).saturating_sub(SEGMENT_HEADER_LEN);
+            if start == 0 {
+                // One contiguous read of header plus prefix; the header
+                // tells us the object is live and how long it really is.
+                let want = len.min(capacity);
+                let bytes = self.handle.read(addr.offset, SEGMENT_HEADER_LEN + want)?;
+                match ps.pool.locate(&bytes, id) {
+                    LocateResult::Found(r) => {
+                        let end = r.end.min(bytes.len());
+                        bytes[r.start.min(end)..end].to_vec()
+                    }
+                    LocateResult::Deleted => return Err(MnemeError::ObjectDeleted(id)),
+                    LocateResult::Absent => return Err(MnemeError::NoSuchObject(id)),
+                }
+            } else {
+                let from = (start as usize).min(capacity);
+                let take = len.min(capacity - from);
+                if take == 0 {
+                    Vec::new()
+                } else {
+                    self.handle.read(addr.offset + (SEGMENT_HEADER_LEN + from) as u64, take)?
+                }
+            }
+        };
+        self.recorder.trace_end(
+            traced,
+            TraceOp::RangeRead,
+            id.raw() as u64,
+            Some(pool_idx),
+            payload.len() as u64,
+        );
+        Ok(Some(payload))
+    }
+
+    /// An upper bound on an object's payload length, read off its segment
+    /// address alone — no payload I/O and no buffer accounting. `None` for
+    /// shared-segment pools (an object's extent there is only known from
+    /// the segment contents) and for objects still in the building segment.
+    pub fn object_len_hint(&self, id: ObjectId) -> Option<u64> {
+        let (pool_idx, addr) = self.resolve_untraced(id).ok()?;
+        let ps = self.lock_pool(pool_idx);
+        if ps.pool.kind() != SegmentKind::SingleObject
+            || ps.building.as_ref().is_some_and(|(b, _)| *b == addr)
+        {
+            return None;
+        }
+        Some((addr.len as u64).saturating_sub(SEGMENT_HEADER_LEN as u64))
     }
 
     /// Reads many objects' payloads with coalesced device I/O.
@@ -1343,5 +1445,70 @@ mod tests {
                 self.attach_buffer(id, Box::new(LruBuffer::new(32 * 1024))).unwrap();
             }
         }
+    }
+
+    fn huge_file() -> MnemeFile {
+        let device = Device::with_defaults();
+        MnemeFile::create(
+            device.create_file(),
+            &[PoolConfig {
+                id: PoolId(0),
+                kind: crate::pool::PoolKindConfig::SegmentPerObject { embedded_refs: false },
+            }],
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_range_on_packed_pool_declines() {
+        let mut file = packed_file(512);
+        let id = file.create_object(PoolId(0), b"small record").unwrap();
+        assert_eq!(file.get_range(id, 0, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn get_range_slices_huge_objects() {
+        let mut file = huge_file();
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+        let id = file.create_object(PoolId(0), &payload).unwrap();
+        // Building-segment service, before any flush.
+        assert_eq!(file.get_range(id, 0, 100).unwrap().unwrap(), &payload[..100]);
+        file.flush().unwrap();
+        file.attach_buffer(PoolId(0), Box::new(LruBuffer::new(0))).unwrap();
+        // Opening read clamps to the requested prefix.
+        assert_eq!(file.get_range(id, 0, 8192).unwrap().unwrap(), &payload[..8192]);
+        // Continuation read lands mid-payload.
+        assert_eq!(file.get_range(id, 10_000, 500).unwrap().unwrap(), &payload[10_000..10_500]);
+        // Ranges past the end come back truncated, not padded.
+        let tail = file.get_range(id, 39_900, 8192).unwrap().unwrap();
+        assert_eq!(tail, &payload[39_900..]);
+        // A range read of one block transfers fewer device blocks than a
+        // whole-object fetch.
+        let device = file.handle().device().clone();
+        device.chill();
+        let before = device.stats().snapshot();
+        file.get_range(id, 16_384, 1024).unwrap().unwrap();
+        let partial = device.stats().snapshot().since(&before);
+        let before = device.stats().snapshot();
+        file.get(id).unwrap();
+        let whole = device.stats().snapshot().since(&before);
+        assert!(
+            partial.io_inputs < whole.io_inputs,
+            "range read moved {} blocks, whole fetch {}",
+            partial.io_inputs,
+            whole.io_inputs
+        );
+    }
+
+    #[test]
+    fn get_range_reports_deleted_objects() {
+        let mut file = huge_file();
+        let payload = vec![7u8; 20_000];
+        let id = file.create_object(PoolId(0), &payload).unwrap();
+        file.flush().unwrap();
+        file.delete(id).unwrap();
+        file.flush().unwrap();
+        assert!(matches!(file.get_range(id, 0, 64), Err(MnemeError::ObjectDeleted(_))));
     }
 }

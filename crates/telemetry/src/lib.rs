@@ -70,11 +70,19 @@ pub enum Event {
     RecordDecoded,
     /// Bytes of inverted-list records decoded during query evaluation.
     RecordBytesDecoded,
+    /// Individual postings decoded by a cursor during query evaluation.
+    PostingsDecoded,
+    /// Postings skipped over (never decoded) by cursor seeks.
+    PostingsSkipped,
+    /// Whole posting blocks bypassed via the skip directory.
+    BlocksSkipped,
+    /// Partial (byte-range) record fetches served below the store trait.
+    RangeRead,
 }
 
 impl Event {
     /// Number of event kinds (array dimension).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 19;
 
     /// All events, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -93,6 +101,10 @@ impl Event {
         Event::DictLookup,
         Event::RecordDecoded,
         Event::RecordBytesDecoded,
+        Event::PostingsDecoded,
+        Event::PostingsSkipped,
+        Event::BlocksSkipped,
+        Event::RangeRead,
     ];
 
     /// Stable snake_case name used in JSON export.
@@ -113,6 +125,10 @@ impl Event {
             Event::DictLookup => "dict_lookups",
             Event::RecordDecoded => "records_decoded",
             Event::RecordBytesDecoded => "record_bytes_decoded",
+            Event::PostingsDecoded => "postings_decoded",
+            Event::PostingsSkipped => "postings_skipped",
+            Event::BlocksSkipped => "blocks_skipped",
+            Event::RangeRead => "range_reads",
         }
     }
 }

@@ -64,6 +64,13 @@ pub enum TraceOp {
     Query,
     /// One query pipeline phase (`object` = `Phase as u64`).
     QueryPhase,
+    /// Per-query aggregate of posting cursor seeks that jumped blocks via
+    /// the skip directory (`object` = seeks performed, `bytes` = postings
+    /// bypassed).
+    CursorSeek,
+    /// A partial (byte-range) segment read below the store trait
+    /// (`object` = object/store ref, `bytes` = bytes returned).
+    RangeRead,
 }
 
 /// `object` value for a [`TraceOp::LockWait`] on the Mneme meta `RwLock`
@@ -78,7 +85,7 @@ pub const LOCK_POOL: u64 = 2;
 
 impl TraceOp {
     /// Number of operation kinds.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// All operation kinds, in declaration order.
     pub const ALL: [TraceOp; TraceOp::COUNT] = [
@@ -93,6 +100,8 @@ impl TraceOp {
         TraceOp::LockWait,
         TraceOp::Query,
         TraceOp::QueryPhase,
+        TraceOp::CursorSeek,
+        TraceOp::RangeRead,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -109,20 +118,22 @@ impl TraceOp {
             TraceOp::LockWait => "lock_wait",
             TraceOp::Query => "query",
             TraceOp::QueryPhase => "query_phase",
+            TraceOp::CursorSeek => "cursor_seek",
+            TraceOp::RangeRead => "range_read",
         }
     }
 
     /// Chrome trace category for this operation.
     fn category(self) -> &'static str {
         match self {
-            TraceOp::DeviceRead | TraceOp::DeviceWrite => "io",
+            TraceOp::DeviceRead | TraceOp::DeviceWrite | TraceOp::RangeRead => "io",
             TraceOp::PoolFetch
             | TraceOp::BufferHit
             | TraceOp::BufferMiss
             | TraceOp::BufferEvict => "buffer",
             TraceOp::HashProbe | TraceOp::BTreeDescent => "index",
             TraceOp::LockWait => "lock",
-            TraceOp::Query | TraceOp::QueryPhase => "query",
+            TraceOp::Query | TraceOp::QueryPhase | TraceOp::CursorSeek => "query",
         }
     }
 }

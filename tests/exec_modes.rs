@@ -164,6 +164,106 @@ fn store_level_batch_fetch_strictly_coalesces() {
 }
 
 #[test]
+fn pruned_daat_matches_daat_and_taat_on_every_backend() {
+    let (index, queries) = cacm_fixture();
+    for backend in BackendKind::all() {
+        let build = || Engine::builder(&device()).backend(backend).build(index.clone()).unwrap();
+
+        let (_, taat) = build().run_query_set_mode(&queries, 10, ExecMode::Serial).unwrap();
+        let (_, daat) = build().run_query_set_mode(&queries, 10, ExecMode::Daat).unwrap();
+        let (_, pruned) = build().run_query_set_mode(&queries, 10, ExecMode::DaatPruned).unwrap();
+
+        // Pruning must be invisible in the results: bit-identical scores.
+        assert_eq!(
+            keyed(&daat),
+            keyed(&pruned),
+            "{}: pruned DAAT changed a ranking",
+            backend.label()
+        );
+        // And document-at-a-time agrees with term-at-a-time up to
+        // floating-point association order.
+        assert_eq!(taat.len(), daat.len());
+        for (qi, (a, b)) in taat.iter().zip(daat.iter()).enumerate() {
+            assert_eq!(a.len(), b.len(), "{}: query {qi}", backend.label());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.doc, y.doc, "{}: query {qi}", backend.label());
+                assert!(
+                    (x.score - y.score).abs() < 1e-9,
+                    "{}: query {qi}: {} vs {}",
+                    backend.label(),
+                    x.score,
+                    y.score
+                );
+            }
+        }
+    }
+}
+
+/// A collection with one very long inverted record ("common", every
+/// document) and a short high-signal one ("needle", clustered in the first
+/// tenth of the collection). With `k <= needle's df`, max-score pruning
+/// stops consuming the common list early and probes it by seeking, so the
+/// huge-pool range-read path fetches only a prefix plus a handful of
+/// posting blocks instead of the whole multi-segment record.
+fn long_record_index() -> poir::inquery::Index {
+    let mut b = IndexBuilder::new(StopWords::none());
+    for i in 0..30_000u32 {
+        let mut text = "common ".repeat((i % 7 + 1) as usize);
+        if i % 300 == 0 && i < 3_000 {
+            text.push_str("needle");
+        }
+        b.add_document(&format!("D{i}"), &text);
+    }
+    b.finish()
+}
+
+#[test]
+fn pruned_daat_range_reads_reduce_io_on_long_records() {
+    use poir::core::TelemetryOptions;
+    use poir::telemetry::Event;
+
+    let index = long_record_index();
+    let queries = ["needle common"];
+    let run = |mode: ExecMode| {
+        let mut engine = Engine::builder(&device())
+            .backend(BackendKind::MnemeNoCache)
+            .telemetry(TelemetryOptions::full())
+            .build(index.clone())
+            .unwrap();
+        engine.run_query_set_mode(&queries, 5, mode).unwrap()
+    };
+
+    let (daat_report, daat_rankings) = run(ExecMode::Daat);
+    let (pruned_report, pruned_rankings) = run(ExecMode::DaatPruned);
+
+    assert_eq!(pruned_rankings[0].len(), 5);
+    assert_eq!(keyed(&daat_rankings), keyed(&pruned_rankings));
+
+    let metrics = pruned_report.metrics.as_ref().unwrap();
+    assert!(metrics.delta.get(Event::PostingsSkipped) > 0, "no postings skipped");
+    assert!(metrics.delta.get(Event::BlocksSkipped) > 0, "no blocks skipped");
+    assert!(metrics.delta.get(Event::RangeRead) > 0, "huge-pool range reads not used");
+    // Unpruned DAAT fetches whole records (and records no pruning stats).
+    let daat_metrics = daat_report.metrics.as_ref().unwrap();
+    assert_eq!(daat_metrics.delta.get(Event::RangeRead), 0);
+    // "common" has df 30 000; pruning must not have consumed it all.
+    assert!(
+        metrics.delta.get(Event::PostingsDecoded) < 30_000,
+        "pruning decoded the whole long list: {}",
+        metrics.delta.get(Event::PostingsDecoded)
+    );
+    // The point of the range-read path: I (I/O inputs) drops because only
+    // the touched physical segments of the long record are read.
+    assert!(
+        pruned_report.io.io_inputs < daat_report.io.io_inputs,
+        "range reads did not reduce I/O inputs: pruned {} vs daat {}",
+        pruned_report.io.io_inputs,
+        daat_report.io.io_inputs
+    );
+    assert!(pruned_report.io.bytes_read < daat_report.io.bytes_read);
+}
+
+#[test]
 fn parallel_execution_rejects_the_btree_backend() {
     let (index, queries) = cacm_fixture();
     let mut engine = Engine::builder(&device()).backend(BackendKind::BTree).build(index).unwrap();
