@@ -1,0 +1,136 @@
+//! Block-decode microbenchmarks: the v1 all-vbyte posting layout against
+//! the v2 bit-packed layout, at the codec level (one batch of values) and
+//! through `BlockCursor` streaming (whole records, both layouts decoded by
+//! the same cursor). Run with one iteration in CI as a smoke check:
+//!
+//! ```text
+//! cargo bench -p poir-bench --bench decode_block -- --test
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use poir_inquery::{codec, BlockCursor, DocId, InvertedRecord, Posting, BLOCK_SIZE};
+
+fn make_record(df: u32) -> InvertedRecord {
+    InvertedRecord::from_postings(
+        (0..df)
+            .map(|d| Posting {
+                doc: DocId(d * 3),
+                tf: 1 + d % 4,
+                positions: (0..(1 + d % 4)).map(|p| p * 7 + d % 50).collect(),
+            })
+            .collect(),
+    )
+}
+
+/// The pre-v2 blocked writer (mirrors the pinned fallback in the postings
+/// tests): vbyte header, 3-field directory, interleaved vbyte postings.
+fn encode_v1_blocked(r: &InvertedRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::encode_vbyte(r.df(), &mut out);
+    codec::encode_vbyte(r.cf.min(u32::MAX as u64) as u32, &mut out);
+    codec::encode_vbyte(r.max_tf, &mut out);
+    let mut body = Vec::new();
+    let mut directory = Vec::new();
+    let mut prev_doc = 0u32;
+    let mut first = true;
+    for chunk in r.postings.chunks(BLOCK_SIZE as usize) {
+        let start = body.len();
+        let mut block_max_tf = 0u32;
+        for p in chunk {
+            let gap = if first { p.doc.0 } else { p.doc.0 - prev_doc };
+            first = false;
+            prev_doc = p.doc.0;
+            codec::encode_vbyte(gap, &mut body);
+            codec::encode_vbyte(p.tf, &mut body);
+            let mut prev_pos = 0u32;
+            for (j, &pos) in p.positions.iter().enumerate() {
+                codec::encode_vbyte(if j == 0 { pos } else { pos - prev_pos }, &mut body);
+                prev_pos = pos;
+            }
+            block_max_tf = block_max_tf.max(p.tf);
+        }
+        directory.push((chunk[chunk.len() - 1].doc.0, body.len() - start, block_max_tf));
+    }
+    let mut prev_last = 0u32;
+    for (i, &(last_doc, len, block_max_tf)) in directory.iter().enumerate() {
+        codec::encode_vbyte(if i == 0 { last_doc } else { last_doc - prev_last }, &mut out);
+        prev_last = last_doc;
+        codec::encode_vbyte(len as u32, &mut out);
+        codec::encode_vbyte(block_max_tf, &mut out);
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+/// One batch of doc-gap-sized values decoded by both codecs. 64 and 128
+/// postings are the block sizes that matter; 1024 shows the asymptote.
+fn bench_batch_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_batch");
+    for count in [64usize, BLOCK_SIZE as usize, 1024] {
+        let values: Vec<u32> = (0..count as u32).map(|i| 3 + i * 37 % 4096).collect();
+
+        let mut vbyte = Vec::new();
+        for &v in &values {
+            codec::encode_vbyte(v, &mut vbyte);
+        }
+        let width = values.iter().copied().map(codec::bit_width).max().unwrap();
+        let mut packed = Vec::new();
+        codec::pack_bits(&values, width, &mut packed);
+
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(BenchmarkId::new("vbyte", count), &vbyte, |b, bytes| {
+            let mut out = Vec::with_capacity(count);
+            b.iter(|| {
+                out.clear();
+                let mut pos = 0usize;
+                for _ in 0..count {
+                    out.push(codec::decode_vbyte(bytes, &mut pos).unwrap());
+                }
+                black_box(out.last().copied())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bitpacked", count), &packed, |b, bytes| {
+            let mut out = Vec::with_capacity(count);
+            b.iter(|| {
+                codec::unpack_bits(bytes, count, width, &mut out).unwrap();
+                black_box(out.last().copied())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Whole-record doc/tf streaming through `BlockCursor`, which decodes both
+/// layouts: the relative numbers are the codec difference alone.
+fn bench_cursor_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_block");
+    for df in [512u32, 4096, 32_768] {
+        let record = make_record(df);
+        let v1 = encode_v1_blocked(&record);
+        let v2 = record.encode();
+        assert!(v2.len() < v1.len(), "packed blocks must also be smaller");
+
+        group.throughput(Throughput::Elements(df as u64));
+        for (label, bytes) in [("vbyte", &v1), ("bitpacked", &v2)] {
+            group.bench_with_input(BenchmarkId::new(label, df), bytes, |b, bytes| {
+                b.iter(|| {
+                    let (mut cur, ..) = BlockCursor::open(bytes).unwrap();
+                    let mut checksum = 0u64;
+                    while let Some((d, tf)) = cur.next_doc_tf(bytes) {
+                        checksum += (d.0 + tf) as u64;
+                    }
+                    black_box(checksum)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_batch_decode, bench_cursor_stream
+}
+criterion_main!(benches);

@@ -15,6 +15,10 @@
 //!   path, not noise.
 //! * **I** (blocks input) and **lookups** are compared exactly and
 //!   reported, but only warn: they gate via A and QPS.
+//! * **Decode kernel** — postings decoded per engine-second on a
+//!   counter-instrumented `daat_pruned` pass — must not fall more than
+//!   `--tolerance` below the baseline (one-sided: faster never fails).
+//!   This isolates the block codec + cursor path from I/O behaviour.
 //! * Serial and `parallel_4` must additionally pass the 2% trace-overhead
 //!   budget. To keep that strict gate immune to the parallel I/O noise
 //!   above, it compares QPS recomputed at the *baseline's* I/O charge:
@@ -36,7 +40,7 @@
 
 use poir_bench::json::Json;
 use poir_bench::throughput::{
-    export_trace, prepare_workload, run_throughput, run_traced, ThroughputRun,
+    export_trace, prepare_workload, run_throughput, run_traced, DecodeThroughput, ThroughputRun,
 };
 use poir_core::TelemetryOptions;
 
@@ -54,12 +58,17 @@ struct BaselineMode {
     record_lookups: u64,
 }
 
+struct BaselineDecode {
+    postings_decoded: u64,
+    postings_per_engine_sec: f64,
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2)
 }
 
-fn load_baseline(path: &str) -> (f64, Vec<BaselineMode>) {
+fn load_baseline(path: &str) -> (f64, Vec<BaselineMode>, BaselineDecode) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("reading baseline {path}: {e}")));
     let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")));
@@ -91,7 +100,21 @@ fn load_baseline(path: &str) -> (f64, Vec<BaselineMode>) {
             }
         })
         .collect();
-    (scale, modes)
+    let decode = doc
+        .get("decode_throughput")
+        .map(|d| {
+            let field = |key: &str| {
+                d.get(key)
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| die(&format!("baseline decode_throughput lacks {key:?}")))
+            };
+            BaselineDecode {
+                postings_decoded: field("postings_decoded") as u64,
+                postings_per_engine_sec: field("postings_per_engine_sec"),
+            }
+        })
+        .unwrap_or_else(|| die("baseline lacks \"decode_throughput\" — regenerate it"));
+    (scale, modes, decode)
 }
 
 /// Relative deviation of `fresh` from `base` (0 when both are 0).
@@ -168,6 +191,36 @@ fn compare(run: &ThroughputRun, baseline: &[BaselineMode], tolerance: f64) -> bo
     ok
 }
 
+/// Decode-kernel gate: postings decoded per engine-second must not fall
+/// more than `tolerance` below the baseline. One-sided — the numerator is
+/// deterministic for the workload but the denominator is host CPU time,
+/// and a decoder that got *faster* must never fail the build.
+fn compare_decode(fresh: &DecodeThroughput, base: &BaselineDecode, tolerance: f64) -> bool {
+    let drop = if base.postings_per_engine_sec > 0.0 {
+        (base.postings_per_engine_sec - fresh.postings_per_engine_sec)
+            / base.postings_per_engine_sec
+    } else {
+        0.0
+    };
+    let pass = drop <= tolerance;
+    println!(
+        "{:<18} {:>12.2} {:>12.2} {:>7.2}% (postings decoded / engine-sec, in M; \
+         one-sided)  {}",
+        "decode_kernel",
+        base.postings_per_engine_sec / 1e6,
+        fresh.postings_per_engine_sec / 1e6,
+        drop * 100.0,
+        if pass { "ok" } else { "REGRESSION" },
+    );
+    if fresh.postings_decoded != base.postings_decoded {
+        println!(
+            "  note: postings_decoded {} vs baseline {} (pruning behaviour changed?)",
+            fresh.postings_decoded, base.postings_decoded
+        );
+    }
+    pass
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = "BENCH_throughput.json".to_string();
@@ -206,7 +259,7 @@ fn main() {
         }
     }
 
-    let (scale, baseline) = load_baseline(&baseline_path);
+    let (scale, baseline, baseline_decode) = load_baseline(&baseline_path);
     if baseline.is_empty() {
         die("baseline has no modes");
     }
@@ -219,7 +272,8 @@ fn main() {
     let workload = prepare_workload(scale);
     let run = run_throughput(&workload, TelemetryOptions::off());
 
-    let ok = compare(&run, &baseline, tolerance);
+    let mut ok = compare(&run, &baseline, tolerance);
+    ok &= compare_decode(&run.decode, &baseline_decode, tolerance);
     if !run.identical_rankings {
         eprintln!("ERROR: rankings diverged across execution modes");
         std::process::exit(1);

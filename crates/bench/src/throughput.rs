@@ -19,6 +19,7 @@ use poir_core::{
     BackendKind, Engine, ExecMode, QuerySetReport, RankedResult, TelemetryOptions, Tracer,
 };
 use poir_inquery::{Index, IndexBuilder, StopWords};
+use poir_telemetry::Event;
 
 use crate::paper_device;
 
@@ -76,6 +77,25 @@ pub struct ModeResult {
     pub rankings: Vec<Vec<RankedResult>>,
 }
 
+/// Decode-kernel throughput, measured on a counter-instrumented
+/// `daat_pruned` pass: postings actually decoded per second of engine
+/// (CPU) time. The posting counts are deterministic for a given workload,
+/// so this family isolates the codec + cursor kernel from I/O behaviour —
+/// a slower block decoder moves it even when QPS hides behind the
+/// simulated I/O charge.
+pub struct DecodeThroughput {
+    /// Postings decoded by the pruned evaluator.
+    pub postings_decoded: u64,
+    /// Posting payload bytes run through the cursors' decoders.
+    pub bytes_decoded: u64,
+    /// Blocks decoded from the v2 bit-packed representation.
+    pub blocks_bitpacked: u64,
+    /// Engine (CPU) seconds for the instrumented pass.
+    pub engine_secs: f64,
+    /// The gated figure: `postings_decoded / engine_secs`.
+    pub postings_per_engine_sec: f64,
+}
+
 /// A complete throughput run: every mode, measured on fresh engines.
 pub struct ThroughputRun {
     /// Workload identification, echoed into the JSON.
@@ -92,6 +112,8 @@ pub struct ThroughputRun {
     pub identical_rankings: bool,
     /// `parallel_4` QPS over serial QPS.
     pub parallel_4_speedup: f64,
+    /// Decode-kernel throughput (separate instrumented pass).
+    pub decode: DecodeThroughput,
 }
 
 fn fresh_engine(index: &Index, telemetry: TelemetryOptions) -> Engine {
@@ -104,6 +126,30 @@ fn fresh_engine(index: &Index, telemetry: TelemetryOptions) -> Engine {
 
 fn ranking_key(rankings: &[Vec<RankedResult>]) -> Vec<Vec<(u32, u64)>> {
     rankings.iter().map(|q| q.iter().map(|r| (r.doc.0, r.score.to_bits())).collect()).collect()
+}
+
+/// Measures [`DecodeThroughput`]: one extra `daat_pruned` pass on a fresh
+/// engine with counters-only telemetry (one relaxed atomic add per event).
+/// This pass never feeds the QPS figures, so its small instrumentation
+/// cost is shared by baseline and fresh runs alike.
+fn measure_decode(workload: &Workload, queries: &[&str]) -> DecodeThroughput {
+    let mut engine = fresh_engine(&workload.index, TelemetryOptions::counters_only());
+    let (report, _) =
+        engine.run_query_set_mode(queries, TOP_K, ExecMode::DaatPruned).expect("decode pass");
+    let metrics = report.metrics.expect("counters-only run reports metrics");
+    let engine_secs = report.engine_time.as_secs_f64();
+    let postings_decoded = metrics.delta.get(Event::PostingsDecoded);
+    DecodeThroughput {
+        postings_decoded,
+        bytes_decoded: metrics.delta.get(Event::BytesDecoded),
+        blocks_bitpacked: metrics.delta.get(Event::BlocksBitpacked),
+        engine_secs,
+        postings_per_engine_sec: if engine_secs > 0.0 {
+            postings_decoded as f64 / engine_secs
+        } else {
+            0.0
+        },
+    }
 }
 
 /// Runs the full procedure: serial, batched prefetch, and parallel on 2
@@ -162,6 +208,8 @@ pub fn run_throughput(workload: &Workload, telemetry: TelemetryOptions) -> Throu
     let parallel_4_speedup =
         modes.iter().find(|m| m.threads == 4).map_or(0.0, |m| m.qps / serial_qps);
 
+    let decode = measure_decode(workload, &queries);
+
     ThroughputRun {
         collection: workload.collection.clone(),
         num_docs: workload.num_docs,
@@ -170,6 +218,7 @@ pub fn run_throughput(workload: &Workload, telemetry: TelemetryOptions) -> Throu
         modes,
         identical_rankings,
         parallel_4_speedup,
+        decode,
     }
 }
 
@@ -228,6 +277,14 @@ impl ThroughputRun {
                 "  \"top_k\": {},\n",
                 "  \"identical_rankings\": {},\n",
                 "  \"parallel_4_speedup_vs_serial\": {:.3},\n",
+                "  \"decode_throughput\": {{\n",
+                "    \"mode\": \"daat_pruned\",\n",
+                "    \"postings_decoded\": {},\n",
+                "    \"bytes_decoded\": {},\n",
+                "    \"blocks_bitpacked\": {},\n",
+                "    \"engine_secs\": {:.6},\n",
+                "    \"postings_per_engine_sec\": {:.0}\n",
+                "  }},\n",
                 "  \"modes\": [\n{}\n  ]\n",
                 "}}\n"
             ),
@@ -238,6 +295,11 @@ impl ThroughputRun {
             TOP_K,
             self.identical_rankings,
             self.parallel_4_speedup,
+            self.decode.postings_decoded,
+            self.decode.bytes_decoded,
+            self.decode.blocks_bitpacked,
+            self.decode.engine_secs,
+            self.decode.postings_per_engine_sec,
             modes_json.join(",\n"),
         )
     }
@@ -261,7 +323,13 @@ impl ThroughputRun {
             ));
         }
         out.push_str(&format!("identical rankings across modes: {}\n", self.identical_rankings));
-        out.push_str(&format!("parallel_4 speedup over serial: {:.2}x", self.parallel_4_speedup));
+        out.push_str(&format!("parallel_4 speedup over serial: {:.2}x\n", self.parallel_4_speedup));
+        out.push_str(&format!(
+            "decode kernel: {:.1}M postings/engine-sec ({} decoded, {} bit-packed blocks)",
+            self.decode.postings_per_engine_sec / 1e6,
+            self.decode.postings_decoded,
+            self.decode.blocks_bitpacked,
+        ));
         out
     }
 }

@@ -82,7 +82,7 @@ impl BTreeInvertedFile {
 }
 
 impl InvertedFileStore for BTreeInvertedFile {
-    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
+    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<poir_inquery::RecordBytes> {
         let traced = self.recorder.trace_start();
         self.lookups += 1;
         self.recorder.incr(Event::RecordLookup);
@@ -94,7 +94,7 @@ impl InvertedFileStore for BTreeInvertedFile {
         self.recorder.incr(Event::RecordDecoded);
         self.recorder.add(Event::RecordBytesDecoded, record.len() as u64);
         self.recorder.trace_end(traced, TraceOp::PoolFetch, store_ref, None, record.len() as u64);
-        Ok(record)
+        Ok(record.into())
     }
 
     fn record_lookups(&self) -> u64 {

@@ -89,7 +89,8 @@ impl ChunkCursor {
     }
 
     /// Fetches the next chunk (one object fetch), or `None` at the end.
-    pub fn next_chunk(&mut self, file: &mut MnemeFile) -> Result<Option<Vec<u8>>> {
+    /// Buffer-resident chunks are returned as zero-copy shared slices.
+    pub fn next_chunk(&mut self, file: &mut MnemeFile) -> Result<Option<poir_mneme::ObjectBytes>> {
         if self.next >= self.chunks.len() {
             return Ok(None);
         }

@@ -569,6 +569,20 @@ impl Engine {
                         self.recorder.add(Event::PostingsDecoded, stats.postings_decoded);
                         self.recorder.add(Event::PostingsSkipped, stats.postings_skipped);
                         self.recorder.add(Event::BlocksSkipped, stats.blocks_skipped);
+                        self.recorder.add(Event::BytesDecoded, stats.bytes_decoded);
+                        self.recorder.add(Event::BlocksBitpacked, stats.blocks_bitpacked);
+                        if stats.bytes_decoded > 0 {
+                            // One aggregate slice per query: object =
+                            // bit-packed blocks decoded, bytes = posting
+                            // payload bytes decoded.
+                            self.recorder.trace(
+                                TraceOp::BlockDecode,
+                                stats.blocks_bitpacked,
+                                None,
+                                stats.bytes_decoded,
+                                Duration::ZERO,
+                            );
+                        }
                         if stats.cursor_seeks > 0 {
                             // One aggregate slice per query: object = seeks
                             // that jumped blocks, bytes = postings bypassed.

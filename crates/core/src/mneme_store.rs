@@ -21,8 +21,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use poir_inquery::{Dictionary, InvertedFileStore, TermId};
-use poir_mneme::{LruBuffer, MnemeFile, ObjectId, PoolConfig, PoolId, PoolKindConfig};
+use poir_inquery::{Dictionary, InvertedFileStore, RecordBytes, TermId};
+use poir_mneme::{LruBuffer, MnemeFile, ObjectBytes, ObjectId, PoolConfig, PoolId, PoolKindConfig};
 use poir_storage::FileHandle;
 use poir_telemetry::{Event, Recorder};
 
@@ -73,6 +73,15 @@ pub fn pool_for_with(len: usize, large_min: usize) -> PoolId {
         LARGE_POOL
     } else {
         MEDIUM_POOL
+    }
+}
+
+/// Converts a Mneme payload into the store boundary's byte type without
+/// copying: shared cache slices stay shared, owned reads stay owned.
+pub(crate) fn to_record_bytes(bytes: ObjectBytes) -> RecordBytes {
+    match bytes {
+        ObjectBytes::Owned(v) => RecordBytes::Owned(v),
+        ObjectBytes::Shared { buf, start, end } => RecordBytes::Shared { buf, start, end },
     }
 }
 
@@ -263,7 +272,7 @@ fn fetch_batch_via(
     lookups: &AtomicU64,
     recorder: &Recorder,
     store_refs: &[u64],
-) -> Vec<poir_inquery::Result<Vec<u8>>> {
+) -> Vec<poir_inquery::Result<RecordBytes>> {
     lookups.fetch_add(store_refs.len() as u64, Ordering::Relaxed);
     recorder.add(Event::RecordLookup, store_refs.len() as u64);
     let ids: Vec<Option<ObjectId>> =
@@ -281,7 +290,7 @@ fn fetch_batch_via(
                     .map_err(|e| poir_inquery::InqueryError::from(CoreError::from(e)))?;
                 recorder.incr(Event::RecordDecoded);
                 recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
-                Ok(bytes)
+                Ok(to_record_bytes(bytes))
             }
             None => Err(CoreError::DanglingRef(r).into()),
         })
@@ -301,7 +310,7 @@ fn fetch_range_via(
     store_ref: u64,
     start: u64,
     len: usize,
-) -> poir_inquery::Result<Vec<u8>> {
+) -> poir_inquery::Result<RecordBytes> {
     if start == 0 {
         lookups.fetch_add(1, Ordering::Relaxed);
         recorder.incr(Event::RecordLookup);
@@ -314,18 +323,18 @@ fn fetch_range_via(
                 recorder.incr(Event::RecordDecoded);
             }
             recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
-            Ok(bytes)
+            Ok(to_record_bytes(bytes))
         }
         None => {
             let bytes = file.get(id).map_err(CoreError::from)?;
             if start == 0 {
                 recorder.incr(Event::RecordDecoded);
                 recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
-                Ok(bytes)
+                Ok(to_record_bytes(bytes))
             } else {
                 let from = (start.min(bytes.len() as u64)) as usize;
                 let to = from.saturating_add(len).min(bytes.len());
-                Ok(bytes[from..to].to_vec())
+                Ok(to_record_bytes(bytes).slice(from, to))
             }
         }
     }
@@ -338,17 +347,17 @@ fn prefetch_via(file: &MnemeFile, store_refs: &[u64]) {
 }
 
 impl InvertedFileStore for MnemeInvertedFile {
-    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
+    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<RecordBytes> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.recorder.incr(Event::RecordLookup);
         let id = Self::object_id(store_ref)?;
         let bytes = self.file.get(id).map_err(CoreError::from)?;
         self.recorder.incr(Event::RecordDecoded);
         self.recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
-        Ok(bytes)
+        Ok(to_record_bytes(bytes))
     }
 
-    fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<poir_inquery::Result<Vec<u8>>> {
+    fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<poir_inquery::Result<RecordBytes>> {
         fetch_batch_via(&self.file, &self.lookups, &self.recorder, store_refs)
     }
 
@@ -361,7 +370,7 @@ impl InvertedFileStore for MnemeInvertedFile {
         store_ref: u64,
         start: u64,
         len: usize,
-    ) -> poir_inquery::Result<Vec<u8>> {
+    ) -> poir_inquery::Result<RecordBytes> {
         fetch_range_via(&self.file, &self.lookups, &self.recorder, store_ref, start, len)
     }
 
@@ -407,17 +416,17 @@ impl MnemeInvertedFile {
 }
 
 impl InvertedFileStore for SharedMnemeView<'_> {
-    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
+    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<RecordBytes> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.recorder.incr(Event::RecordLookup);
         let id = MnemeInvertedFile::object_id(store_ref)?;
         let bytes = self.file.get(id).map_err(CoreError::from)?;
         self.recorder.incr(Event::RecordDecoded);
         self.recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
-        Ok(bytes)
+        Ok(to_record_bytes(bytes))
     }
 
-    fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<poir_inquery::Result<Vec<u8>>> {
+    fn fetch_batch(&mut self, store_refs: &[u64]) -> Vec<poir_inquery::Result<RecordBytes>> {
         fetch_batch_via(self.file, self.lookups, self.recorder, store_refs)
     }
 
@@ -430,7 +439,7 @@ impl InvertedFileStore for SharedMnemeView<'_> {
         store_ref: u64,
         start: u64,
         len: usize,
-    ) -> poir_inquery::Result<Vec<u8>> {
+    ) -> poir_inquery::Result<RecordBytes> {
         fetch_range_via(self.file, self.lookups, self.recorder, store_ref, start, len)
     }
 

@@ -206,7 +206,7 @@ impl MultiFileInvertedFile {
 }
 
 impl InvertedFileStore for MultiFileInvertedFile {
-    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<Vec<u8>> {
+    fn fetch(&mut self, store_ref: u64) -> poir_inquery::Result<poir_inquery::RecordBytes> {
         self.lookups += 1;
         self.recorder.incr(Event::RecordLookup);
         let (slot, object) = Self::resolve(store_ref)?;
@@ -214,7 +214,7 @@ impl InvertedFileStore for MultiFileInvertedFile {
         let bytes = file.get(object).map_err(CoreError::from)?;
         self.recorder.incr(Event::RecordDecoded);
         self.recorder.add(Event::RecordBytesDecoded, bytes.len() as u64);
-        Ok(bytes)
+        Ok(crate::mneme_store::to_record_bytes(bytes))
     }
 
     fn reserve(&mut self, store_refs: &[u64]) {

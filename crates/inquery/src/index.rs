@@ -20,26 +20,60 @@ use crate::belief::CollectionStats;
 use crate::codec::encode_vbyte;
 use crate::dict::{Dictionary, TermId};
 use crate::documents::DocTable;
-use crate::postings::{DocId, BLOCK_SIZE};
+use crate::postings::{
+    encode_v2_directory, encode_v2_header, interleave_vbyte_postings, pack_block, DocId, BLOCK_SIZE,
+};
 use crate::text::{tokenize, StopWords};
 
-/// Per-term accumulation state: postings arrive in ascending document order
-/// and are kept *already compressed*, so building a multi-million-token
-/// collection costs roughly its compressed index size in memory.
+/// Per-term accumulation state: completed [`BLOCK_SIZE`] posting blocks are
+/// kept *already bit-packed*, so building a multi-million-token collection
+/// costs roughly its compressed index size in memory; only the currently
+/// filling block (at most 128 postings) stays raw, because its bit widths
+/// are unknown until it completes — and because short records are emitted
+/// in the v1 all-vbyte layout, which needs the raw arrays back.
 #[derive(Default)]
 struct TermAccumulator {
-    /// Delta/vbyte-coded `(doc-gap, tf, position-gaps)` stream — exactly the
-    /// body of the final record. Doc gaps run continuously across block
-    /// boundaries, so the same stream serves both layouts.
+    /// Bit-packed v2 body of every completed block.
     body: Vec<u8>,
-    /// Skip-directory data for each completed [`BLOCK_SIZE`] posting block:
-    /// `(last doc id, body length at block end, block-max tf)`.
-    blocks: Vec<(u32, usize, u32)>,
+    /// Skip-directory data for each completed block:
+    /// `(last doc id, block byte length, block-max tf, doc width, tf width)`.
+    blocks: Vec<(u32, usize, u32, u32, u32)>,
+    /// The filling block's doc gaps (first value absolute for the record's
+    /// first posting; gaps run continuously across block boundaries).
+    cur_gaps: Vec<u32>,
+    /// The filling block's tf−1 values (the packed representation).
+    cur_tfs_m1: Vec<u32>,
+    /// The filling block's vbyte-coded position-gap streams, posting-major.
+    cur_pos: Vec<u8>,
     /// Largest tf inside the currently filling block.
     block_max_tf: u32,
     last_doc: u32,
     df: u32,
     max_tf: u32,
+}
+
+impl TermAccumulator {
+    /// Bit-packs the filling block onto `body` and records its directory
+    /// entry. Called when a posting arrives for a full block (never at
+    /// exactly [`BLOCK_SIZE`] postings, so records that end there can
+    /// still be emitted in the v1 layout) and at finish for the partial
+    /// final block.
+    fn flush_block(&mut self) {
+        let start = self.body.len();
+        let (doc_width, tf_width) =
+            pack_block(&self.cur_gaps, &self.cur_tfs_m1, &self.cur_pos, &mut self.body);
+        self.blocks.push((
+            self.last_doc,
+            self.body.len() - start,
+            self.block_max_tf,
+            doc_width,
+            tf_width,
+        ));
+        self.cur_gaps.clear();
+        self.cur_tfs_m1.clear();
+        self.cur_pos.clear();
+        self.block_max_tf = 0;
+    }
 }
 
 /// Streaming index builder.
@@ -91,24 +125,25 @@ impl IndexBuilder {
             entry.df += 1;
             entry.cf += tf as u64;
             let acc = &mut self.postings[term.0 as usize];
-            // Append this document's compressed posting: doc gap (absolute
-            // for the first posting), tf, then position gaps.
+            // Pack on overflow: the previous block is closed only when a
+            // posting arrives for the next one.
+            if acc.cur_gaps.len() == BLOCK_SIZE as usize {
+                acc.flush_block();
+            }
+            // Append this document's posting to the filling block: doc gap
+            // (absolute for the first posting), tf−1, then position gaps.
             let gap = if acc.df == 0 { doc.0 } else { doc.0 - acc.last_doc };
-            encode_vbyte(gap, &mut acc.body);
-            encode_vbyte(tf, &mut acc.body);
+            acc.cur_gaps.push(gap);
+            acc.cur_tfs_m1.push(tf - 1);
             let mut prev = 0u32;
             for (j, &p) in positions.iter().enumerate() {
-                encode_vbyte(if j == 0 { p } else { p - prev }, &mut acc.body);
+                encode_vbyte(if j == 0 { p } else { p - prev }, &mut acc.cur_pos);
                 prev = p;
             }
             acc.last_doc = doc.0;
             acc.df += 1;
             acc.max_tf = acc.max_tf.max(tf);
             acc.block_max_tf = acc.block_max_tf.max(tf);
-            if acc.df.is_multiple_of(BLOCK_SIZE) {
-                acc.blocks.push((doc.0, acc.body.len(), acc.block_max_tf));
-                acc.block_max_tf = 0;
-            }
         }
         doc
     }
@@ -125,29 +160,37 @@ impl IndexBuilder {
             .map(|(i, mut acc)| {
                 let term = TermId(i as u32);
                 let cf = dict.entry(term).cf;
-                let mut record = Vec::with_capacity(16 + acc.body.len());
-                encode_vbyte(acc.df, &mut record);
-                encode_vbyte(cf.min(u32::MAX as u64) as u32, &mut record);
-                encode_vbyte(acc.max_tf, &mut record);
+                let mut record = Vec::with_capacity(16 + acc.body.len() + acc.cur_pos.len());
                 if acc.df > BLOCK_SIZE {
-                    // Blocked layout: emit the skip directory the
-                    // accumulator collected, closing the partial final
-                    // block first (matches InvertedRecord::encode byte
-                    // for byte).
-                    if acc.df % BLOCK_SIZE != 0 {
-                        acc.blocks.push((acc.last_doc, acc.body.len(), acc.block_max_tf));
-                    }
-                    let mut prev_last = 0u32;
-                    let mut prev_end = 0usize;
-                    for &(last_doc, end, block_max_tf) in &acc.blocks {
-                        encode_vbyte(last_doc - prev_last, &mut record);
-                        prev_last = last_doc;
-                        encode_vbyte((end - prev_end) as u32, &mut record);
-                        prev_end = end;
-                        encode_vbyte(block_max_tf, &mut record);
-                    }
+                    // Bit-packed v2 layout: close the final block, then
+                    // emit header, directory, and the packed body (matches
+                    // InvertedRecord::encode byte for byte — pack_block is
+                    // shared).
+                    acc.flush_block();
+                    encode_v2_header(acc.df, cf, acc.max_tf, &mut record);
+                    encode_v2_directory(&acc.blocks, &mut record);
+                    record.extend_from_slice(&acc.body);
+                } else if cf > u32::MAX as u64 {
+                    // Short record whose cf needs 64 bits: v2 extended
+                    // header over the v1 posting stream.
+                    encode_v2_header(acc.df, cf, acc.max_tf, &mut record);
+                    interleave_vbyte_postings(
+                        &acc.cur_gaps,
+                        &acc.cur_tfs_m1,
+                        &acc.cur_pos,
+                        &mut record,
+                    );
+                } else {
+                    encode_vbyte(acc.df, &mut record);
+                    encode_vbyte(cf as u32, &mut record);
+                    encode_vbyte(acc.max_tf, &mut record);
+                    interleave_vbyte_postings(
+                        &acc.cur_gaps,
+                        &acc.cur_tfs_m1,
+                        &acc.cur_pos,
+                        &mut record,
+                    );
                 }
-                record.extend_from_slice(&acc.body);
                 (term, record)
             })
             .collect();

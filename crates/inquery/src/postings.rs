@@ -5,36 +5,55 @@
 //! the locations within each document, where the term occurs. The record is
 //! stored as a vector of integers in a compressed format." (Section 3.1)
 //!
-//! Layout (all integers variable-byte coded, see [`crate::codec`]):
+//! Two encodings share the wire format (version is self-describing):
+//!
+//! **v1** — the legacy all-vbyte layout, still written for short records
+//! (`df <= BLOCK_SIZE` with a `u32`-range cf) and still decoded for
+//! records written by older builds:
 //!
 //! ```text
-//! header:   df, cf, max_tf
+//! header:   df, cf, max_tf                       (vbyte)
 //! postings: df × [ doc-gap, tf, tf × position-gap ]
 //! ```
 //!
-//! Records with more than [`BLOCK_SIZE`] postings additionally carry a
-//! skip directory between the header and the postings — one entry per
-//! fixed-size posting block:
+//! **v2** — bit-packed blocks, written whenever `df > BLOCK_SIZE` (and for
+//! the rare short record whose cf exceeds `u32::MAX`). The header starts
+//! with a vbyte 0 — impossible as a v1 `df` except for the exactly-3-byte
+//! empty record — followed by the version and a full-width cf:
 //!
 //! ```text
-//! directory: ceil(df / BLOCK_SIZE) × [ last-doc-gap, byte-len, block-max-tf ]
+//! header:    0x80, version=2, df, cf-hi, cf-lo, max_tf     (vbyte)
+//! directory: ceil(df / BLOCK_SIZE) ×
+//!              [ last-doc-gap, byte-len, block-max-tf,
+//!                doc-width, tf-width ]                      (vbyte)
+//! block:     packed doc-gaps  (doc-width bits each, LE u64 words)
+//!            packed tf-1      (tf-width bits each, LE u64 words)
+//!            df_block × [ tf × position-gap ]               (vbyte)
 //! ```
 //!
 //! `last-doc-gap` delta-codes each block's largest document id against the
-//! previous block's, `byte-len` is the encoded size of the block's
-//! postings, and `block-max-tf` caps the tf of any posting inside. Doc
-//! gaps run continuously across block boundaries, so a cursor that seeks
-//! to block *i* re-bases on block *i−1*'s last doc. The directory length
-//! is derived from `df`, never stored. Records with `df <= BLOCK_SIZE`
-//! keep the legacy unblocked layout byte-for-byte.
+//! previous block's, `byte-len` is the encoded size of the whole block,
+//! and `block-max-tf` caps the tf of any posting inside. `doc-width` and
+//! `tf-width` are the block's fixed bit widths: the packed arrays decode
+//! word-at-a-time into scratch buffers ([`crate::codec::unpack_bits`]),
+//! with no per-integer branching. Term frequencies are stored minus one
+//! (every posting has at least one occurrence), so an all-`tf=1` block
+//! packs its tf array into zero bytes. Doc gaps run continuously across
+//! block boundaries, so a cursor that seeks to block *i* re-bases on block
+//! *i−1*'s last doc. The directory length is derived from `df`, never
+//! stored. A v2 record with `df <= BLOCK_SIZE` carries no directory and
+//! keeps the v1 posting stream after its extended header.
 //!
 //! Document ids and within-document positions are delta-coded, which gives
 //! the ~60% compression the paper reports on posting-heavy records.
 
-use crate::codec::{decode_vbyte, encode_vbyte};
+use crate::codec::{bit_width, decode_vbyte, encode_vbyte, pack_bits, packed_len, unpack_bits};
 
 /// Postings per skip block in the blocked record layout.
 pub const BLOCK_SIZE: u32 = 128;
+
+/// The self-describing version number of the bit-packed record format.
+const FORMAT_V2: u32 = 2;
 
 /// One entry of a blocked record's skip directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +66,11 @@ pub struct SkipBlock {
     pub len: usize,
     /// Largest within-document tf in the block.
     pub max_tf: u32,
+    /// Bit width of the block's packed doc gaps (0 in v1 records).
+    pub doc_width: u32,
+    /// Bit width of the block's packed tf−1 values (0 means either a v1
+    /// record or an all-`tf=1` v2 block; [`BlockCursor`] knows which).
+    pub tf_width: u32,
 }
 
 /// A document's ordinal id within its collection.
@@ -89,15 +113,16 @@ impl InvertedRecord {
         InvertedRecord { cf, max_tf, postings }
     }
 
-    /// Serializes to the compressed on-disk form (blocked when
-    /// `df > BLOCK_SIZE`, the legacy unblocked layout otherwise).
+    /// Serializes to the compressed on-disk form: the legacy v1 layout for
+    /// short records, bit-packed v2 blocks when `df > BLOCK_SIZE` (or when
+    /// cf needs more than 32 bits).
     pub fn encode(&self) -> Vec<u8> {
         let df = self.postings.len() as u32;
         let mut out = Vec::with_capacity(8 + self.postings.len() * 4);
-        encode_vbyte(df, &mut out);
-        encode_vbyte(self.cf.min(u32::MAX as u64) as u32, &mut out);
-        encode_vbyte(self.max_tf, &mut out);
-        if df <= BLOCK_SIZE {
+        if df <= BLOCK_SIZE && self.cf <= u32::MAX as u64 {
+            encode_vbyte(df, &mut out);
+            encode_vbyte(self.cf as u32, &mut out);
+            encode_vbyte(self.max_tf, &mut out);
             let mut prev_doc = 0u32;
             let mut first = true;
             for p in &self.postings {
@@ -105,47 +130,76 @@ impl InvertedRecord {
             }
             return out;
         }
-        // Blocked layout: encode the posting body first to learn each
-        // block's byte length, then emit the directory ahead of it.
+        encode_v2_header(df, self.cf, self.max_tf, &mut out);
+        if df <= BLOCK_SIZE {
+            // An over-u32 cf on a short list: extended header, v1 postings.
+            let mut prev_doc = 0u32;
+            let mut first = true;
+            for p in &self.postings {
+                encode_posting(p, &mut first, &mut prev_doc, &mut out);
+            }
+            return out;
+        }
+        // Blocked layout: pack the posting body first to learn each
+        // block's byte length and widths, then emit the directory ahead.
         let mut body = Vec::with_capacity(self.postings.len() * 4);
         let mut directory = Vec::with_capacity(self.postings.len().div_ceil(BLOCK_SIZE as usize));
+        let mut gaps = Vec::with_capacity(BLOCK_SIZE as usize);
+        let mut tfs_m1 = Vec::with_capacity(BLOCK_SIZE as usize);
+        let mut pos_stream = Vec::new();
         let mut prev_doc = 0u32;
         let mut first = true;
         for chunk in self.postings.chunks(BLOCK_SIZE as usize) {
-            let start = body.len();
+            gaps.clear();
+            tfs_m1.clear();
+            pos_stream.clear();
             let mut block_max_tf = 0u32;
             for p in chunk {
-                encode_posting(p, &mut first, &mut prev_doc, &mut body);
+                gaps.push(if first { p.doc.0 } else { p.doc.0 - prev_doc });
+                first = false;
+                prev_doc = p.doc.0;
+                debug_assert!(p.tf >= 1, "v2 blocks store tf-1; every posting needs tf >= 1");
+                tfs_m1.push(p.tf.saturating_sub(1));
                 block_max_tf = block_max_tf.max(p.tf);
+                debug_assert_eq!(p.positions.len(), p.tf as usize);
+                let mut prev_pos = 0u32;
+                for (j, &q) in p.positions.iter().enumerate() {
+                    encode_vbyte(if j == 0 { q } else { q - prev_pos }, &mut pos_stream);
+                    prev_pos = q;
+                }
             }
-            directory.push((chunk[chunk.len() - 1].doc.0, body.len() - start, block_max_tf));
+            let start = body.len();
+            let (doc_width, tf_width) = pack_block(&gaps, &tfs_m1, &pos_stream, &mut body);
+            directory.push((
+                chunk[chunk.len() - 1].doc.0,
+                body.len() - start,
+                block_max_tf,
+                doc_width,
+                tf_width,
+            ));
         }
-        let mut prev_last = 0u32;
-        for (i, &(last_doc, len, block_max_tf)) in directory.iter().enumerate() {
-            encode_vbyte(if i == 0 { last_doc } else { last_doc - prev_last }, &mut out);
-            prev_last = last_doc;
-            debug_assert!(len <= u32::MAX as usize);
-            encode_vbyte(len as u32, &mut out);
-            encode_vbyte(block_max_tf, &mut out);
-        }
+        encode_v2_directory(&directory, &mut out);
         out.extend_from_slice(&body);
         out
     }
 
-    /// Decodes a record written by [`InvertedRecord::encode`].
+    /// Decodes a record written by [`InvertedRecord::encode`] (either
+    /// format version).
     pub fn decode(bytes: &[u8]) -> Option<Self> {
         let mut pos = 0usize;
-        let df = decode_vbyte(bytes, &mut pos)?;
-        let cf = decode_vbyte(bytes, &mut pos)? as u64;
-        let max_tf = decode_vbyte(bytes, &mut pos)?;
-        // Untrusted input: a posting costs at least 3 bytes, so a declared
-        // df larger than that bound is corrupt — and pre-allocation must
-        // never trust the raw value.
+        let (df, cf, max_tf, v2) = parse_header(bytes, &mut pos)?;
+        // Untrusted input: a posting costs at least 3 bytes in v1 and at
+        // least one position byte in v2, so a declared df larger than the
+        // record is corrupt — and pre-allocation must never trust the raw
+        // value.
         if (df as usize) > bytes.len() {
             return None;
         }
+        if v2 && df > BLOCK_SIZE {
+            return Self::decode_packed(bytes, df, cf, max_tf);
+        }
         let blocks = if df > BLOCK_SIZE {
-            let blocks = parse_skip_directory(bytes, &mut pos, df)?;
+            let blocks = parse_skip_directory(bytes, &mut pos, df, false)?;
             // The directory must describe exactly the bytes that follow it.
             let last = blocks.last()?;
             if last.offset.checked_add(last.len)? != bytes.len() {
@@ -196,14 +250,139 @@ impl InvertedRecord {
         Some(InvertedRecord { cf, max_tf, postings })
     }
 
-    /// Decodes only the `(df, cf, max_tf)` header.
+    /// Decodes a v2 blocked record by streaming a [`BlockCursor`] over it,
+    /// with whole-record strictness the cursor alone does not enforce: the
+    /// directory must span exactly the record, and every block's position
+    /// stream must end exactly at its block boundary.
+    fn decode_packed(bytes: &[u8], df: u32, cf: u64, max_tf: u32) -> Option<Self> {
+        let (mut cur, ..) = BlockCursor::open(bytes)?;
+        let last = cur.blocks.last()?;
+        if last.offset.checked_add(last.len)? != bytes.len() {
+            return None;
+        }
+        let mut postings = Vec::with_capacity(df as usize);
+        for i in 0..df {
+            postings.push(cur.next(bytes)?);
+            let block_boundary = (i + 1) % BLOCK_SIZE == 0 || i + 1 == df;
+            if block_boundary && cur.pos_ptr != cur.pos_end {
+                return None; // slack bytes inside the block's position region
+            }
+        }
+        Some(InvertedRecord { cf, max_tf, postings })
+    }
+
+    /// Decodes only the `(df, cf, max_tf)` header (either format version).
     pub fn decode_header(bytes: &[u8]) -> Option<(u32, u64, u32)> {
         let mut pos = 0usize;
-        let df = decode_vbyte(bytes, &mut pos)?;
-        let cf = decode_vbyte(bytes, &mut pos)? as u64;
-        let max_tf = decode_vbyte(bytes, &mut pos)?;
+        let (df, cf, max_tf, _) = parse_header(bytes, &mut pos)?;
         Some((df, cf, max_tf))
     }
+}
+
+/// Parses a record header of either version, returning
+/// `(df, cf, max_tf, is_v2)`. A leading vbyte 0 signals the v2 extended
+/// header — every v2 record has `df > 0`, and the only v1 record starting
+/// with 0 is the empty record, whose "version" field (really its cf) is
+/// either not 2 or is followed by `df = 0`; both fall back to v1.
+fn parse_header(bytes: &[u8], pos: &mut usize) -> Option<(u32, u64, u32, bool)> {
+    let first = decode_vbyte(bytes, pos)?;
+    if first == 0 {
+        let mark = *pos;
+        if decode_vbyte(bytes, pos) == Some(FORMAT_V2) {
+            if let Some(df) = decode_vbyte(bytes, pos) {
+                if df > 0 {
+                    // Committed: a v1 empty record is exactly three vbytes,
+                    // so a parsed df > 0 here cannot be v1.
+                    let cf_hi = decode_vbyte(bytes, pos)? as u64;
+                    let cf_lo = decode_vbyte(bytes, pos)? as u64;
+                    let max_tf = decode_vbyte(bytes, pos)?;
+                    return Some((df, (cf_hi << 32) | cf_lo, max_tf, true));
+                }
+            }
+        }
+        // The leading 0 was a v1 empty record's df.
+        *pos = mark;
+        let cf = decode_vbyte(bytes, pos)? as u64;
+        let max_tf = decode_vbyte(bytes, pos)?;
+        return Some((0, cf, max_tf, false));
+    }
+    let cf = decode_vbyte(bytes, pos)? as u64;
+    let max_tf = decode_vbyte(bytes, pos)?;
+    Some((first, cf, max_tf, false))
+}
+
+/// Emits the v2 extended header: sentinel 0, version, df, cf split into
+/// two vbyte halves (full 64-bit round-trip), max_tf.
+pub(crate) fn encode_v2_header(df: u32, cf: u64, max_tf: u32, out: &mut Vec<u8>) {
+    encode_vbyte(0, out);
+    encode_vbyte(FORMAT_V2, out);
+    encode_vbyte(df, out);
+    encode_vbyte((cf >> 32) as u32, out);
+    encode_vbyte(cf as u32, out);
+    encode_vbyte(max_tf, out);
+}
+
+/// Emits the v2 skip directory from
+/// `(last_doc, len, block_max_tf, doc_width, tf_width)` entries.
+pub(crate) fn encode_v2_directory(directory: &[(u32, usize, u32, u32, u32)], out: &mut Vec<u8>) {
+    let mut prev_last = 0u32;
+    for (i, &(last_doc, len, block_max_tf, doc_width, tf_width)) in directory.iter().enumerate() {
+        encode_vbyte(if i == 0 { last_doc } else { last_doc - prev_last }, out);
+        prev_last = last_doc;
+        debug_assert!(len <= u32::MAX as usize);
+        encode_vbyte(len as u32, out);
+        encode_vbyte(block_max_tf, out);
+        encode_vbyte(doc_width, out);
+        encode_vbyte(tf_width, out);
+    }
+}
+
+/// Packs one block's raw arrays into the v2 wire form — packed doc gaps,
+/// packed tf−1 values, then the already-vbyte-coded position streams —
+/// returning the chosen `(doc_width, tf_width)`. Shared by
+/// [`InvertedRecord::encode`] and the index builder so both emit
+/// byte-identical blocks.
+pub(crate) fn pack_block(
+    gaps: &[u32],
+    tfs_m1: &[u32],
+    pos_stream: &[u8],
+    out: &mut Vec<u8>,
+) -> (u32, u32) {
+    let doc_width = bit_width(gaps.iter().copied().max().unwrap_or(0));
+    let tf_width = bit_width(tfs_m1.iter().copied().max().unwrap_or(0));
+    pack_bits(gaps, doc_width, out);
+    pack_bits(tfs_m1, tf_width, out);
+    out.extend_from_slice(pos_stream);
+    (doc_width, tf_width)
+}
+
+/// Re-interleaves raw per-posting arrays into the v1 posting stream
+/// `doc-gap, tf, positions...` — the index builder keeps the filling block
+/// as raw arrays (so completed blocks can be packed) and uses this to emit
+/// short records in the v1 layout. `pos_stream` holds each posting's
+/// position gaps back to back; vbyte terminators (high bit set) delimit
+/// the individual integers.
+pub(crate) fn interleave_vbyte_postings(
+    gaps: &[u32],
+    tfs_m1: &[u32],
+    pos_stream: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let mut cursor = 0usize;
+    for (&gap, &tf_m1) in gaps.iter().zip(tfs_m1) {
+        encode_vbyte(gap, out);
+        let tf = tf_m1 + 1;
+        encode_vbyte(tf, out);
+        let start = cursor;
+        for _ in 0..tf {
+            while pos_stream[cursor] & 0x80 == 0 {
+                cursor += 1;
+            }
+            cursor += 1; // past the final byte of this vbyte
+        }
+        out.extend_from_slice(&pos_stream[start..cursor]);
+    }
+    debug_assert_eq!(cursor, pos_stream.len());
 }
 
 fn encode_posting(p: &Posting, first: &mut bool, prev_doc: &mut u32, out: &mut Vec<u8>) {
@@ -222,14 +401,20 @@ fn encode_posting(p: &Posting, first: &mut bool, prev_doc: &mut u32, out: &mut V
 }
 
 /// Parses a blocked record's skip directory (the cursor/decoder already
-/// consumed the `df, cf, max_tf` header). Offsets come back rebased onto
-/// the record, pointing at each block's first posting byte.
-fn parse_skip_directory(bytes: &[u8], pos: &mut usize, df: u32) -> Option<Vec<SkipBlock>> {
+/// consumed the header). `packed` selects the 5-field v2 entry over the
+/// 3-field v1 entry. Offsets come back rebased onto the record, pointing
+/// at each block's first posting byte.
+fn parse_skip_directory(
+    bytes: &[u8],
+    pos: &mut usize,
+    df: u32,
+    packed: bool,
+) -> Option<Vec<SkipBlock>> {
     let num_blocks = df.div_ceil(BLOCK_SIZE) as usize;
-    // Each directory entry costs at least 3 bytes, so an entry count the
-    // bytes cannot possibly hold is corrupt — and pre-allocation must
-    // never trust the raw value.
-    if num_blocks.checked_mul(3)? > bytes.len() {
+    // Each directory entry costs at least 3 (v1) or 5 (v2) bytes, so an
+    // entry count the bytes cannot possibly hold is corrupt — and
+    // pre-allocation must never trust the raw value.
+    if num_blocks.checked_mul(if packed { 5 } else { 3 })? > bytes.len() {
         return None;
     }
     let mut blocks = Vec::with_capacity(num_blocks);
@@ -247,7 +432,27 @@ fn parse_skip_directory(bytes: &[u8], pos: &mut usize, df: u32) -> Option<Vec<Sk
             return None; // a block holds at least one posting
         }
         let max_tf = decode_vbyte(bytes, pos)?;
-        blocks.push(SkipBlock { last_doc, offset, len, max_tf });
+        let (doc_width, tf_width) = if packed {
+            let dw = decode_vbyte(bytes, pos)?;
+            let tw = decode_vbyte(bytes, pos)?;
+            if dw > 32 || tw > 32 {
+                return None; // widths are bits of a u32
+            }
+            let n = if i + 1 < num_blocks {
+                BLOCK_SIZE as usize
+            } else {
+                df as usize - i * BLOCK_SIZE as usize
+            };
+            // The packed arrays plus at least one position byte per
+            // posting must fit the declared block length.
+            if packed_len(n, dw).checked_add(packed_len(n, tw))?.checked_add(n)? > len {
+                return None;
+            }
+            (dw, tw)
+        } else {
+            (0, 0)
+        };
+        blocks.push(SkipBlock { last_doc, offset, len, max_tf, doc_width, tf_width });
         offset = offset.checked_add(len)?;
     }
     // Rebase offsets onto the record: postings start where the directory ends.
@@ -278,7 +483,25 @@ pub struct BlockCursor {
     remaining: u32,
     prev_doc: u32,
     first: bool,
+    /// Whether the record is a v2 blocked record with bit-packed blocks.
+    packed: bool,
     blocks: Vec<SkipBlock>,
+    /// Scratch: the loaded block's absolute doc ids (packed records only).
+    docs: Vec<u32>,
+    /// Scratch: the loaded block's tf values (packed records only).
+    tfs: Vec<u32>,
+    /// Block index currently decoded into the scratch buffers
+    /// (`usize::MAX` when none is).
+    loaded: usize,
+    /// Byte cursor into the loaded block's position streams.
+    pos_ptr: usize,
+    /// One past the loaded block's last byte.
+    pos_end: usize,
+    /// Postings of the loaded block whose position streams `pos_ptr` has
+    /// passed.
+    pos_read: usize,
+    bytes_decoded: u64,
+    blocks_bitpacked: u64,
 }
 
 impl BlockCursor {
@@ -287,13 +510,42 @@ impl BlockCursor {
     /// long as it covers the header and directory.
     pub fn open(bytes: &[u8]) -> Option<(Self, u32, u64, u32)> {
         let mut pos = 0usize;
-        let df = decode_vbyte(bytes, &mut pos)?;
-        let cf = decode_vbyte(bytes, &mut pos)? as u64;
-        let max_tf = decode_vbyte(bytes, &mut pos)?;
-        let blocks =
-            if df > BLOCK_SIZE { parse_skip_directory(bytes, &mut pos, df)? } else { Vec::new() };
-        let cursor = BlockCursor { pos, df, remaining: df, prev_doc: 0, first: true, blocks };
+        let (df, cf, max_tf, v2) = parse_header(bytes, &mut pos)?;
+        let packed = v2 && df > BLOCK_SIZE;
+        let blocks = if df > BLOCK_SIZE {
+            parse_skip_directory(bytes, &mut pos, df, packed)?
+        } else {
+            Vec::new()
+        };
+        let cursor = BlockCursor {
+            pos,
+            df,
+            remaining: df,
+            prev_doc: 0,
+            first: true,
+            packed,
+            blocks,
+            docs: Vec::new(),
+            tfs: Vec::new(),
+            loaded: usize::MAX,
+            pos_ptr: 0,
+            pos_end: 0,
+            pos_read: 0,
+            bytes_decoded: 0,
+            blocks_bitpacked: 0,
+        };
         Some((cursor, df, cf, max_tf))
+    }
+
+    /// Encoded bytes this cursor has decoded so far (packed arrays, vbyte
+    /// postings, and position streams it actually touched).
+    pub fn bytes_decoded(&self) -> u64 {
+        self.bytes_decoded
+    }
+
+    /// Bit-packed blocks this cursor has word-decoded into scratch.
+    pub fn blocks_bitpacked(&self) -> u64 {
+        self.blocks_bitpacked
     }
 
     /// Postings not yet consumed.
@@ -386,6 +638,36 @@ impl BlockCursor {
 
     /// Decodes the next posting, or `None` at the end.
     pub fn next(&mut self, bytes: &[u8]) -> Option<Posting> {
+        if self.packed {
+            let (doc, tf, i) = self.packed_doc_tf(bytes)?;
+            if (tf as usize) > bytes.len() {
+                return None; // corrupt: more positions declared than bytes
+            }
+            // Fast-forward the position stream past postings whose
+            // positions were never read (next_doc_tf never touches them).
+            while self.pos_read < i {
+                for _ in 0..self.tfs[self.pos_read] {
+                    decode_vbyte(bytes, &mut self.pos_ptr)?;
+                }
+                self.pos_read += 1;
+            }
+            let start = self.pos_ptr;
+            let mut positions = Vec::with_capacity(tf as usize);
+            let mut prev = 0u32;
+            for j in 0..tf {
+                let pgap = decode_vbyte(bytes, &mut self.pos_ptr)?;
+                prev = if j == 0 { pgap } else { prev.checked_add(pgap)? };
+                positions.push(prev);
+            }
+            if self.pos_ptr > self.pos_end {
+                return None; // stream ran past the block boundary
+            }
+            self.pos_read = i + 1;
+            self.bytes_decoded += (self.pos_ptr - start) as u64;
+            self.remaining -= 1;
+            return Some(Posting { doc, tf, positions });
+        }
+        let start = self.pos;
         let (doc, tf) = self.next_doc_header(bytes)?;
         let mut positions = Vec::with_capacity(tf as usize);
         let mut prev = 0u32;
@@ -394,23 +676,96 @@ impl BlockCursor {
             prev = if j == 0 { pgap } else { prev.checked_add(pgap)? };
             positions.push(prev);
         }
+        self.bytes_decoded += (self.pos - start) as u64;
         self.remaining -= 1;
         Some(Posting { doc, tf, positions })
     }
 
     /// Decodes the next posting's doc and tf, skipping its positions
-    /// without allocating — the document-at-a-time scoring hot path.
+    /// without allocating — the document-at-a-time scoring hot path. On
+    /// packed records this is a pair of array reads: positions are not
+    /// even scanned past, because the packed block keeps them out of line.
+    #[inline]
     pub fn next_doc_tf(&mut self, bytes: &[u8]) -> Option<(DocId, u32)> {
+        if self.packed {
+            let (doc, tf, _) = self.packed_doc_tf(bytes)?;
+            self.remaining -= 1;
+            return Some((doc, tf));
+        }
+        let start = self.pos;
         let (doc, tf) = self.next_doc_header(bytes)?;
         for _ in 0..tf {
             decode_vbyte(bytes, &mut self.pos)?;
         }
+        self.bytes_decoded += (self.pos - start) as u64;
         self.remaining -= 1;
         Some((doc, tf))
     }
 
+    /// Looks up the next posting's `(doc, tf, index-in-block)` from the
+    /// scratch buffers, loading its block first if needed. Does not
+    /// consume the posting (`remaining` is the caller's).
+    #[inline]
+    fn packed_doc_tf(&mut self, bytes: &[u8]) -> Option<(DocId, u32, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let consumed = (self.df - self.remaining) as usize;
+        let b = consumed / BLOCK_SIZE as usize;
+        let i = consumed % BLOCK_SIZE as usize;
+        if self.loaded != b {
+            self.load_block(b, bytes)?;
+        }
+        Some((DocId(self.docs[i]), self.tfs[i], i))
+    }
+
+    /// Word-decodes block `b`'s packed arrays into the scratch buffers:
+    /// doc gaps are unpacked then prefix-summed into absolute ids, tf−1
+    /// values are unpacked then bumped. Validates the block against its
+    /// directory entry (last doc and block-max tf) so corruption surfaces
+    /// as `None`, never as a panic.
+    fn load_block(&mut self, b: usize, bytes: &[u8]) -> Option<()> {
+        let blk = *self.blocks.get(b)?;
+        let n = if b + 1 < self.blocks.len() {
+            BLOCK_SIZE as usize
+        } else {
+            self.df as usize - b * BLOCK_SIZE as usize
+        };
+        let end = blk.offset.checked_add(blk.len)?;
+        if end > bytes.len() {
+            return None;
+        }
+        let docs_bytes = packed_len(n, blk.doc_width);
+        let tfs_bytes = packed_len(n, blk.tf_width);
+        if docs_bytes.checked_add(tfs_bytes)? > blk.len {
+            return None;
+        }
+        let region = &bytes[blk.offset..end];
+        unpack_bits(&region[..docs_bytes], n, blk.doc_width, &mut self.docs)?;
+        unpack_bits(&region[docs_bytes..docs_bytes + tfs_bytes], n, blk.tf_width, &mut self.tfs)?;
+        let mut prev = if b == 0 { 0u32 } else { self.blocks[b - 1].last_doc };
+        let mut max_tf = 0u32;
+        for (d, t) in self.docs.iter_mut().zip(self.tfs.iter_mut()) {
+            prev = prev.checked_add(*d)?;
+            *d = prev;
+            let tf = t.checked_add(1)?;
+            *t = tf;
+            max_tf = max_tf.max(tf);
+        }
+        if prev != blk.last_doc || max_tf > blk.max_tf {
+            return None; // directory disagrees with the data
+        }
+        self.pos_ptr = blk.offset + docs_bytes + tfs_bytes;
+        self.pos_end = end;
+        self.pos_read = 0;
+        self.loaded = b;
+        self.bytes_decoded += (docs_bytes + tfs_bytes) as u64;
+        self.blocks_bitpacked += 1;
+        Some(())
+    }
+
     /// Decodes `doc-gap, tf` without consuming the posting (positions and
-    /// the `remaining` decrement are the caller's).
+    /// the `remaining` decrement are the caller's). v1 records only.
     fn next_doc_header(&mut self, bytes: &[u8]) -> Option<(DocId, u32)> {
         if self.remaining == 0 {
             return None;
@@ -664,6 +1019,114 @@ mod tests {
             bad[i] ^= 0x55;
             let _ = InvertedRecord::decode(&bad); // must not panic
         }
+    }
+
+    /// The pre-v2 blocked writer, kept here to pin the decode fallback:
+    /// records written by older builds must keep decoding forever.
+    fn encode_v1_blocked(r: &InvertedRecord) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_vbyte(r.df(), &mut out);
+        encode_vbyte(r.cf.min(u32::MAX as u64) as u32, &mut out);
+        encode_vbyte(r.max_tf, &mut out);
+        let mut body = Vec::new();
+        let mut directory = Vec::new();
+        let mut prev_doc = 0u32;
+        let mut first = true;
+        for chunk in r.postings.chunks(BLOCK_SIZE as usize) {
+            let start = body.len();
+            let mut block_max_tf = 0u32;
+            for p in chunk {
+                encode_posting(p, &mut first, &mut prev_doc, &mut body);
+                block_max_tf = block_max_tf.max(p.tf);
+            }
+            directory.push((chunk[chunk.len() - 1].doc.0, body.len() - start, block_max_tf));
+        }
+        let mut prev_last = 0u32;
+        for (i, &(last_doc, len, block_max_tf)) in directory.iter().enumerate() {
+            encode_vbyte(if i == 0 { last_doc } else { last_doc - prev_last }, &mut out);
+            prev_last = last_doc;
+            encode_vbyte(len as u32, &mut out);
+            encode_vbyte(block_max_tf, &mut out);
+        }
+        out.extend_from_slice(&body);
+        out
+    }
+
+    #[test]
+    fn large_cf_round_trips_full_width() {
+        // Regression: encode used to clamp cf to u32::MAX silently.
+        let mut r = sample();
+        r.cf = 5_000_000_000; // > u32::MAX
+        let bytes = r.encode();
+        assert_eq!(InvertedRecord::decode(&bytes), Some(r.clone()));
+        let (df, cf, max_tf) = InvertedRecord::decode_header(&bytes).unwrap();
+        assert_eq!((df, cf, max_tf), (3, 5_000_000_000, 3));
+        let (_, cdf, ccf, _) = BlockCursor::open(&bytes).unwrap();
+        assert_eq!((cdf, ccf), (3, 5_000_000_000));
+        // And through a blocked record, at the far end of the range.
+        let mut long = long_record(300);
+        long.cf = u64::MAX;
+        let bytes = long.encode();
+        assert_eq!(InvertedRecord::decode(&bytes), Some(long));
+    }
+
+    #[test]
+    fn legacy_v1_blocked_records_still_decode() {
+        let r = long_record(300);
+        let v1 = encode_v1_blocked(&r);
+        assert_ne!(v1, r.encode(), "the new encoder writes v2 blocks");
+        assert_eq!(InvertedRecord::decode(&v1), Some(r.clone()));
+        let (mut cur, df, cf, max_tf) = BlockCursor::open(&v1).unwrap();
+        assert_eq!((df, cf, max_tf), (300, r.cf, r.max_tf));
+        assert_eq!(cur.blocks().len(), 3);
+        let mut streamed = Vec::new();
+        while let Some(p) = cur.next(&v1) {
+            streamed.push(p);
+        }
+        assert_eq!(streamed, r.postings);
+        assert_eq!(cur.blocks_bitpacked(), 0, "v1 decodes without the packed kernel");
+        assert!(cur.bytes_decoded() > 0);
+    }
+
+    #[test]
+    fn v2_blocked_records_carry_the_version_sentinel() {
+        let bytes = long_record(300).encode();
+        assert_eq!(bytes[0], 0x80, "vbyte 0 sentinel");
+        assert_eq!(bytes[1], 0x82, "format version 2");
+        let (mut cur, ..) = BlockCursor::open(&bytes).unwrap();
+        for b in cur.blocks() {
+            assert!(b.doc_width >= 1 && b.doc_width <= 32);
+            assert!(b.tf_width <= 32);
+        }
+        while cur.next_doc_tf(&bytes).is_some() {}
+        assert_eq!(cur.blocks_bitpacked(), 3);
+        assert!(cur.bytes_decoded() > 0);
+    }
+
+    #[test]
+    fn packed_blocks_beat_the_vbyte_layout_on_size() {
+        let r = long_record(1000);
+        assert!(
+            r.encode().len() < encode_v1_blocked(&r).len(),
+            "bit-packed blocks must not bloat dense records"
+        );
+    }
+
+    #[test]
+    fn mixed_next_and_next_doc_tf_stay_consistent() {
+        // Interleaving position-reading and position-skipping consumption
+        // exercises the packed cursor's lazy position fast-forward.
+        let r = long_record(300);
+        let bytes = r.encode();
+        let (mut cur, ..) = BlockCursor::open(&bytes).unwrap();
+        for (i, p) in r.postings.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(cur.next(&bytes).as_ref(), Some(p), "posting {i}");
+            } else {
+                assert_eq!(cur.next_doc_tf(&bytes), Some((p.doc, p.tf)), "posting {i}");
+            }
+        }
+        assert_eq!(cur.next(&bytes), None);
     }
 
     #[test]

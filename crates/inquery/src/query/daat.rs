@@ -22,7 +22,7 @@ use crate::error::{InqueryError, Result};
 use crate::postings::{BlockCursor, DocId, Posting, PostingsCursor, SkipBlock};
 use crate::query::ast::QueryNode;
 use crate::query::eval::ScoredDoc;
-use crate::store::InvertedFileStore;
+use crate::store::{InvertedFileStore, RecordBytes};
 
 /// Safety margin for floating-point upper-bound comparisons. Bounds are
 /// computed in a different operation order than exact scores, so two
@@ -54,6 +54,10 @@ pub struct DaatStats {
     pub blocks_skipped: u64,
     /// Cursor seeks that moved (at least one block jumped).
     pub cursor_seeks: u64,
+    /// Posting payload bytes actually decoded by the cursors.
+    pub bytes_decoded: u64,
+    /// Posting blocks decoded from the v2 bit-packed representation.
+    pub blocks_bitpacked: u64,
 }
 
 /// Flattens a query into `(weight, term)` pairs if it is a bag-of-words
@@ -167,11 +171,12 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
 }
 
 /// One term's record bytes, fetched lazily at skip-block granularity over
-/// the store's range-read path. Complete lists hold the whole record;
-/// partial lists hold a zero-filled buffer with the prefix and any
-/// ensured blocks copied in.
+/// the store's range-read path. Complete lists hold the whole record —
+/// kept in whatever form the store returned, so a zero-copy shared slice
+/// stays shared for the life of the query; partial lists hold an owned
+/// zero-filled buffer with the prefix and any ensured blocks copied in.
 struct LazyList {
-    bytes: Vec<u8>,
+    bytes: RecordBytes,
     /// Per-skip-block "bytes present" flags; empty when `complete`.
     fetched: Vec<bool>,
     complete: bool,
@@ -219,11 +224,17 @@ impl LazyList {
             if let Some(total) = cursor.total_len() {
                 if total > prefix.len() {
                     let prefix_len = prefix.len();
-                    let mut bytes = prefix;
+                    let mut bytes = prefix.into_vec();
                     bytes.resize(total, 0);
                     let fetched =
                         cursor.blocks().iter().map(|b| b.offset + b.len <= prefix_len).collect();
-                    let list = LazyList { bytes, fetched, complete: false, prefix_len, store_ref };
+                    let list = LazyList {
+                        bytes: RecordBytes::Owned(bytes),
+                        fetched,
+                        complete: false,
+                        prefix_len,
+                        store_ref,
+                    };
                     return Ok((list, cursor, df, max_tf));
                 }
                 let list = LazyList {
@@ -237,12 +248,17 @@ impl LazyList {
             }
         }
         // Continuation read (start > 0): does not count another lookup.
-        let mut bytes = prefix;
+        let mut bytes = prefix.into_vec();
         let rest = store.fetch_range(store_ref, bytes.len() as u64, usize::MAX)?;
         bytes.extend_from_slice(&rest);
         let (cursor, df, _cf, max_tf) = BlockCursor::open(&bytes).ok_or_else(open_err)?;
-        let list =
-            LazyList { bytes, fetched: Vec::new(), complete: true, prefix_len: 0, store_ref };
+        let list = LazyList {
+            bytes: RecordBytes::Owned(bytes),
+            fetched: Vec::new(),
+            complete: true,
+            prefix_len: 0,
+            store_ref,
+        };
         Ok((list, cursor, df, max_tf))
     }
 
@@ -271,7 +287,7 @@ impl LazyList {
                     end - start
                 )));
             }
-            self.bytes[start..end].copy_from_slice(&chunk[..end - start]);
+            self.bytes.to_mut()[start..end].copy_from_slice(&chunk[..end - start]);
         }
         self.fetched[b] = true;
         // Later blocks that landed entirely inside the chunk are present
@@ -568,6 +584,11 @@ pub fn rank_daat_pruned<S: InvertedFileStore + ?Sized>(
         }
     }
 
+    for cursor in &cursors {
+        stats.bytes_decoded += cursor.bytes_decoded();
+        stats.blocks_bitpacked += cursor.blocks_bitpacked();
+    }
+
     let mut results: Vec<ScoredDoc> =
         heap.into_iter().map(|c| ScoredDoc { doc: c.doc, score: c.score }).collect();
     results.sort_unstable_by(|a, b| {
@@ -819,16 +840,16 @@ mod tests {
         }
     }
     impl InvertedFileStore for RangeStore {
-        fn fetch(&mut self, store_ref: u64) -> Result<Vec<u8>> {
+        fn fetch(&mut self, store_ref: u64) -> Result<RecordBytes> {
             self.inner.fetch(store_ref)
         }
-        fn fetch_range(&mut self, store_ref: u64, start: u64, len: usize) -> Result<Vec<u8>> {
+        fn fetch_range(&mut self, store_ref: u64, start: u64, len: usize) -> Result<RecordBytes> {
             self.range_reads += 1;
             let bytes = self.inner.fetch(store_ref)?;
             let from = (start.min(bytes.len() as u64)) as usize;
             let to = from.saturating_add(len).min(bytes.len());
             self.bytes_served += (to - from) as u64;
-            Ok(bytes[from..to].to_vec())
+            Ok(bytes.slice(from, to))
         }
         fn supports_range_read(&self) -> bool {
             true

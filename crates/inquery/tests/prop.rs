@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use poir_inquery::{
-    parse_query, porter, BeliefParams, BlockCursor, DocId, Evaluator, IndexBuilder, InvertedRecord,
-    MemoryStore, Posting, QueryNode, StopWords, BLOCK_SIZE,
+    codec, parse_query, porter, BeliefParams, BlockCursor, DocId, Evaluator, IndexBuilder,
+    InvertedRecord, MemoryStore, Posting, QueryNode, StopWords, BLOCK_SIZE,
 };
 
 fn posting_strategy() -> impl Strategy<Value = Vec<Posting>> {
@@ -46,10 +46,10 @@ proptest! {
         let record = InvertedRecord::from_postings(postings);
         let bytes = record.encode();
         prop_assert_eq!(InvertedRecord::decode(&bytes), Some(record.clone()));
-        // Header-only decode agrees.
+        // Header-only decode agrees — cf at full width, never truncated.
         let (df, cf, max_tf) = InvertedRecord::decode_header(&bytes).unwrap();
         prop_assert_eq!(df, record.df());
-        prop_assert_eq!(cf, record.cf.min(u32::MAX as u64));
+        prop_assert_eq!(cf, record.cf);
         prop_assert_eq!(max_tf, record.max_tf);
     }
 
@@ -99,6 +99,59 @@ proptest! {
     }
 
     #[test]
+    fn bit_packing_agrees_with_vbyte(values in proptest::collection::vec(any::<u32>(), 1..300)) {
+        // Reference path: the v1 vbyte codec.
+        let mut vb = Vec::new();
+        for &v in &values {
+            codec::encode_vbyte(v, &mut vb);
+        }
+        let mut pos = 0usize;
+        let mut via_vbyte = Vec::with_capacity(values.len());
+        for _ in 0..values.len() {
+            via_vbyte.push(codec::decode_vbyte(&vb, &mut pos).unwrap());
+        }
+        // Packed path at the tightest width covering the batch.
+        let width = values.iter().copied().map(codec::bit_width).max().unwrap();
+        let mut packed = Vec::new();
+        codec::pack_bits(&values, width, &mut packed);
+        prop_assert_eq!(packed.len(), codec::packed_len(values.len(), width));
+        let mut unpacked = Vec::new();
+        prop_assert!(codec::unpack_bits(&packed, values.len(), width, &mut unpacked).is_some());
+        prop_assert_eq!(unpacked, via_vbyte);
+    }
+
+    #[test]
+    fn packed_blocks_round_trip_extreme_gap_and_tf_distributions(
+        pairs in proptest::collection::vec(
+            (1u32..16_000_000, 1u32..40),
+            BLOCK_SIZE as usize + 1..2 * BLOCK_SIZE as usize,
+        ),
+    ) {
+        // Doc gaps up to 2^24 and tfs up to 40 drive the per-block widths
+        // across their whole range; every record here is long enough to
+        // take the v2 bit-packed layout.
+        let mut doc = 0u32;
+        let postings: Vec<Posting> = pairs
+            .into_iter()
+            .map(|(gap, tf)| {
+                doc += gap;
+                Posting { doc: DocId(doc), tf, positions: (0..tf).collect() }
+            })
+            .collect();
+        let record = InvertedRecord::from_postings(postings.clone());
+        let bytes = record.encode();
+        prop_assert_eq!(InvertedRecord::decode(&bytes), Some(record));
+        let (mut cur, df, _, _) = BlockCursor::open(&bytes).unwrap();
+        prop_assert_eq!(df as usize, postings.len());
+        let mut streamed = Vec::new();
+        while let Some(p) = cur.next(&bytes) {
+            streamed.push(p);
+        }
+        prop_assert_eq!(streamed, postings);
+        prop_assert!(cur.blocks_bitpacked() > 0, "long records must use packed blocks");
+    }
+
+    #[test]
     fn corrupt_skip_directories_never_panic(
         postings in blocked_posting_strategy(),
         mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
@@ -114,7 +167,7 @@ proptest! {
         }
         // Arbitrary byte flips anywhere (header, directory, body).
         let mut mutated = bytes.clone();
-        for (pos, val) in mutations {
+        for (pos, val) in &mutations {
             let at = pos % mutated.len();
             mutated[at] ^= val;
         }
@@ -122,6 +175,19 @@ proptest! {
         if let Some((mut cur, _, _, _)) = BlockCursor::open(&mutated) {
             cur.seek(1_000);
             while cur.next_doc_tf(&mutated).is_some() {}
+        }
+        // Corruption pinned into the header + skip directory region, where
+        // the v2 bit-width fields live: oversized widths (0xFF) must be
+        // rejected, never trusted into an out-of-bounds unpack.
+        let mut bad_widths = bytes.clone();
+        let dir_region = bad_widths.len().min(100);
+        for (pos, _) in &mutations {
+            bad_widths[pos % dir_region] = 0xFF;
+        }
+        let _ = InvertedRecord::decode(&bad_widths);
+        if let Some((mut cur, _, _, _)) = BlockCursor::open(&bad_widths) {
+            cur.seek(50_000);
+            while cur.next_doc_tf(&bad_widths).is_some() {}
         }
     }
 

@@ -1,0 +1,140 @@
+//! Zero-copy object payloads.
+//!
+//! Segment images are cached behind reference-counted buffers
+//! ([`crate::segment::SegmentImage`]), so the read path can hand out a
+//! payload as a sub-slice of the cached buffer instead of copying it into
+//! a fresh `Vec`. [`ObjectBytes`] carries either form; callers treat both
+//! uniformly as `&[u8]`. A shared slice stays valid for as long as the
+//! value lives — buffer eviction only drops the cache's reference, and
+//! segment mutation is copy-on-write against outstanding readers.
+
+use std::sync::Arc;
+
+/// Bytes of one object payload (or payload range), in whatever ownership
+/// form the read path could produce cheapest.
+#[derive(Debug, Clone)]
+pub enum ObjectBytes {
+    /// A private copy the caller exclusively owns (direct device reads).
+    Owned(Vec<u8>),
+    /// The sub-slice `buf[start..end]` of a cached segment image —
+    /// produced without copying payload bytes.
+    Shared {
+        /// The shared segment buffer.
+        buf: Arc<Vec<u8>>,
+        /// First payload byte within `buf`.
+        start: usize,
+        /// One past the last payload byte within `buf`.
+        end: usize,
+    },
+}
+
+impl ObjectBytes {
+    /// Wraps the sub-slice `buf[start..end]` without copying.
+    pub fn shared(buf: Arc<Vec<u8>>, start: usize, end: usize) -> Self {
+        debug_assert!(start <= end && end <= buf.len());
+        ObjectBytes::Shared { buf, start, end }
+    }
+
+    /// The payload as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            ObjectBytes::Owned(v) => v,
+            ObjectBytes::Shared { buf, start, end } => &buf[*start..*end],
+        }
+    }
+
+    /// An exclusively owned `Vec`, copying only when the bytes are still
+    /// shared with the cache or are a proper sub-slice.
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            ObjectBytes::Owned(v) => v,
+            ObjectBytes::Shared { buf, start, end } => {
+                if start == 0 && end == buf.len() {
+                    Arc::try_unwrap(buf).unwrap_or_else(|shared| shared.to_vec())
+                } else {
+                    buf[start..end].to_vec()
+                }
+            }
+        }
+    }
+
+    /// Whether the bytes are a zero-copy view of a cached segment.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, ObjectBytes::Shared { .. })
+    }
+}
+
+impl std::ops::Deref for ObjectBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for ObjectBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for ObjectBytes {
+    fn from(v: Vec<u8>) -> Self {
+        ObjectBytes::Owned(v)
+    }
+}
+
+impl PartialEq for ObjectBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for ObjectBytes {}
+impl PartialEq<[u8]> for ObjectBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for ObjectBytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for ObjectBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for ObjectBytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for ObjectBytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_slices_view_the_backing_buffer() {
+        let buf = Arc::new(vec![1u8, 2, 3, 4, 5]);
+        let bytes = ObjectBytes::shared(Arc::clone(&buf), 1, 4);
+        assert!(bytes.is_shared());
+        assert_eq!(bytes, [2u8, 3, 4]);
+        assert_eq!(bytes.as_slice().as_ptr(), unsafe { buf.as_slice().as_ptr().add(1) });
+    }
+
+    #[test]
+    fn into_vec_avoids_the_copy_when_sole_whole_holder() {
+        let whole = ObjectBytes::shared(Arc::new(vec![9u8; 8]), 0, 8);
+        assert_eq!(whole.into_vec(), vec![9u8; 8]);
+        let buf = Arc::new(vec![1u8, 2, 3]);
+        let partial = ObjectBytes::shared(Arc::clone(&buf), 0, 2);
+        assert_eq!(partial.into_vec(), vec![1, 2]);
+        assert_eq!(*buf, vec![1, 2, 3]);
+    }
+}

@@ -59,6 +59,7 @@ use poir_telemetry::trace::{LOCK_META_READ, LOCK_META_WRITE, LOCK_POOL};
 use poir_telemetry::{PoolEvent, Recorder, TraceOp};
 
 use crate::buffer::{Buffer, BufferStats, LruBuffer};
+use crate::bytes::ObjectBytes;
 use crate::error::{MnemeError, Result};
 use crate::id::{LogicalSegment, ObjectId, PoolId, MAX_LOGICAL_SEGMENTS, SLOTS_PER_SEGMENT};
 use crate::pool::{AppendOutcome, LocateResult, Pool, PoolConfig, SEGMENT_HEADER_LEN};
@@ -274,10 +275,11 @@ fn with_segment_in<R>(
     Ok(result)
 }
 
-/// Extracts `id`'s payload from a located segment image.
-fn extract_object(pool: &dyn Pool, seg: &SegmentImage, id: ObjectId) -> Result<Vec<u8>> {
+/// Extracts `id`'s payload from a located segment image as a zero-copy
+/// shared slice of the image's buffer.
+fn extract_object(pool: &dyn Pool, seg: &SegmentImage, id: ObjectId) -> Result<ObjectBytes> {
     match pool.locate(seg.bytes(), id) {
-        LocateResult::Found(r) => Ok(seg.bytes()[r].to_vec()),
+        LocateResult::Found(r) => Ok(ObjectBytes::shared(seg.share(), r.start, r.end)),
         LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
         LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
     }
@@ -578,8 +580,10 @@ impl MnemeFile {
         resolve_in(&meta, &self.configs, id)
     }
 
-    /// Reads an object's payload.
-    pub fn get(&self, id: ObjectId) -> Result<Vec<u8>> {
+    /// Reads an object's payload. Building-segment and buffer-resident
+    /// objects are served as zero-copy shared slices of the cached segment
+    /// image; only buffer misses transfer bytes.
+    pub fn get(&self, id: ObjectId) -> Result<ObjectBytes> {
         let traced = self.recorder.trace_start();
         let (pool_idx, addr) = self.resolve(id)?;
         let mut ps = self.lock_pool(pool_idx);
@@ -616,7 +620,7 @@ impl MnemeFile {
     /// that ranges past a payload shortened by an in-place update may see
     /// stale capacity bytes — callers derive ranges from the record itself,
     /// which cannot point past its own end.
-    pub fn get_range(&self, id: ObjectId, start: u64, len: usize) -> Result<Option<Vec<u8>>> {
+    pub fn get_range(&self, id: ObjectId, start: u64, len: usize) -> Result<Option<ObjectBytes>> {
         let traced = self.recorder.trace_start();
         let (pool_idx, addr) = self.resolve(id)?;
         let mut ps = self.lock_pool(pool_idx);
@@ -625,13 +629,13 @@ impl MnemeFile {
             return Ok(None);
         }
         let pool_id = ps.pool.id();
-        let slice_image = |pool: &dyn Pool, seg: &SegmentImage| -> Result<Vec<u8>> {
+        let slice_image = |pool: &dyn Pool, seg: &SegmentImage| -> Result<ObjectBytes> {
             match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => {
-                    let payload = &seg.bytes()[r];
-                    let from = (start.min(payload.len() as u64)) as usize;
-                    let to = from.saturating_add(len).min(payload.len());
-                    Ok(payload[from..to].to_vec())
+                    let payload_len = r.end - r.start;
+                    let from = (start.min(payload_len as u64)) as usize;
+                    let to = from.saturating_add(len).min(payload_len);
+                    Ok(ObjectBytes::shared(seg.share(), r.start + from, r.start + to))
                 }
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
                 LocateResult::Absent => Err(MnemeError::NoSuchObject(id)),
@@ -660,7 +664,7 @@ impl MnemeFile {
                 match ps.pool.locate(&bytes, id) {
                     LocateResult::Found(r) => {
                         let end = r.end.min(bytes.len());
-                        bytes[r.start.min(end)..end].to_vec()
+                        ObjectBytes::from(bytes[r.start.min(end)..end].to_vec())
                     }
                     LocateResult::Deleted => return Err(MnemeError::ObjectDeleted(id)),
                     LocateResult::Absent => return Err(MnemeError::NoSuchObject(id)),
@@ -669,9 +673,11 @@ impl MnemeFile {
                 let from = (start as usize).min(capacity);
                 let take = len.min(capacity - from);
                 if take == 0 {
-                    Vec::new()
+                    ObjectBytes::from(Vec::new())
                 } else {
-                    self.handle.read(addr.offset + (SEGMENT_HEADER_LEN + from) as u64, take)?
+                    ObjectBytes::from(
+                        self.handle.read(addr.offset + (SEGMENT_HEADER_LEN + from) as u64, take)?,
+                    )
                 }
             }
         };
@@ -715,9 +721,9 @@ impl MnemeFile {
     /// further accesses to that segment within the batch count as hits (the
     /// batch holds fetched images in working memory even when the buffer
     /// admits nothing).
-    pub fn get_batch(&self, ids: &[ObjectId]) -> Vec<Result<Vec<u8>>> {
+    pub fn get_batch(&self, ids: &[ObjectId]) -> Vec<Result<ObjectBytes>> {
         let mut located: Vec<Option<(usize, SegmentAddr)>> = Vec::with_capacity(ids.len());
-        let mut out: Vec<Option<Result<Vec<u8>>>> = Vec::with_capacity(ids.len());
+        let mut out: Vec<Option<Result<ObjectBytes>>> = Vec::with_capacity(ids.len());
         for &id in ids {
             match self.resolve(id) {
                 Ok(loc) => {

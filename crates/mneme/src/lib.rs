@@ -35,6 +35,7 @@
 //! same simulated platform as the baseline B-tree package.
 
 pub mod buffer;
+pub mod bytes;
 pub mod clock_buffer;
 pub mod error;
 pub mod file;
@@ -52,6 +53,7 @@ pub mod table;
 pub mod validate;
 
 pub use buffer::{Buffer, BufferStats, LruBuffer};
+pub use bytes::ObjectBytes;
 pub use clock_buffer::ClockBuffer;
 pub use error::{MnemeError, Result};
 pub use file::{FileStats, MnemeFile, PoolStats};

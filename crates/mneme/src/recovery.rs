@@ -140,7 +140,7 @@ impl RecoverableFile {
     }
 
     /// Reads an object (never touches the log).
-    pub fn get(&mut self, id: ObjectId) -> Result<Vec<u8>> {
+    pub fn get(&mut self, id: ObjectId) -> Result<crate::ObjectBytes> {
         self.inner.get(id)
     }
 

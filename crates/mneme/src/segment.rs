@@ -31,9 +31,14 @@ impl SegmentAddr {
 /// Images are produced by pools ([`crate::pool::Pool::new_segment`]),
 /// mutated through pool methods, cached in [`crate::buffer`] buffers
 /// and written back to the file when dirty.
+///
+/// The bytes sit behind an `Arc` so the read path can hand out zero-copy
+/// payload slices ([`crate::ObjectBytes`]) that outlive buffer eviction.
+/// Mutation is copy-on-write: [`SegmentImage::bytes_mut`] clones the
+/// buffer only when an outstanding reader still shares it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentImage {
-    bytes: Vec<u8>,
+    bytes: std::sync::Arc<Vec<u8>>,
     dirty: bool,
 }
 
@@ -41,12 +46,12 @@ impl SegmentImage {
     /// Wraps freshly initialised segment bytes (marked dirty: it has never
     /// been written to the file).
     pub fn new_dirty(bytes: Vec<u8>) -> Self {
-        SegmentImage { bytes, dirty: true }
+        SegmentImage { bytes: std::sync::Arc::new(bytes), dirty: true }
     }
 
     /// Wraps bytes read from the file (clean).
     pub fn from_disk(bytes: Vec<u8>) -> Self {
-        SegmentImage { bytes, dirty: false }
+        SegmentImage { bytes: std::sync::Arc::new(bytes), dirty: false }
     }
 
     /// Read-only view of the segment bytes.
@@ -54,10 +59,17 @@ impl SegmentImage {
         &self.bytes
     }
 
-    /// Mutable view; marks the segment dirty.
+    /// A reference-counted handle on the segment buffer, for carving out
+    /// zero-copy payload slices.
+    pub fn share(&self) -> std::sync::Arc<Vec<u8>> {
+        std::sync::Arc::clone(&self.bytes)
+    }
+
+    /// Mutable view; marks the segment dirty. Copy-on-write: clones the
+    /// buffer if a shared payload slice still holds it.
     pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
         self.dirty = true;
-        &mut self.bytes
+        std::sync::Arc::make_mut(&mut self.bytes)
     }
 
     /// Segment length in bytes.
@@ -80,9 +92,10 @@ impl SegmentImage {
         self.dirty = false;
     }
 
-    /// Consumes the image, returning its bytes.
+    /// Consumes the image, returning its bytes (copying only when a shared
+    /// payload slice still holds the buffer).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+        std::sync::Arc::try_unwrap(self.bytes).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 

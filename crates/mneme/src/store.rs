@@ -83,7 +83,7 @@ impl Store {
     }
 
     /// Reads an object by global id.
-    pub fn get(&mut self, id: GlobalId) -> Result<Vec<u8>> {
+    pub fn get(&mut self, id: GlobalId) -> Result<crate::ObjectBytes> {
         self.file(id.file)?.get(id.object)
     }
 

@@ -78,11 +78,16 @@ pub enum Event {
     BlocksSkipped,
     /// Partial (byte-range) record fetches served below the store trait.
     RangeRead,
+    /// Bytes of posting payload actually decoded by cursors (bit-packed
+    /// blocks plus vbyte streams; excludes bytes skipped via the directory).
+    BytesDecoded,
+    /// Posting blocks decoded from the v2 bit-packed representation.
+    BlocksBitpacked,
 }
 
 impl Event {
     /// Number of event kinds (array dimension).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 21;
 
     /// All events, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -105,6 +110,8 @@ impl Event {
         Event::PostingsSkipped,
         Event::BlocksSkipped,
         Event::RangeRead,
+        Event::BytesDecoded,
+        Event::BlocksBitpacked,
     ];
 
     /// Stable snake_case name used in JSON export.
@@ -129,6 +136,8 @@ impl Event {
             Event::PostingsSkipped => "postings_skipped",
             Event::BlocksSkipped => "blocks_skipped",
             Event::RangeRead => "range_reads",
+            Event::BytesDecoded => "bytes_decoded",
+            Event::BlocksBitpacked => "blocks_bitpacked",
         }
     }
 }

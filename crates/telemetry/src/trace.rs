@@ -71,6 +71,10 @@ pub enum TraceOp {
     /// A partial (byte-range) segment read below the store trait
     /// (`object` = object/store ref, `bytes` = bytes returned).
     RangeRead,
+    /// Per-query aggregate of posting-block decodes (`object` = blocks
+    /// decoded from the bit-packed representation, `bytes` = posting
+    /// payload bytes decoded).
+    BlockDecode,
 }
 
 /// `object` value for a [`TraceOp::LockWait`] on the Mneme meta `RwLock`
@@ -85,7 +89,7 @@ pub const LOCK_POOL: u64 = 2;
 
 impl TraceOp {
     /// Number of operation kinds.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// All operation kinds, in declaration order.
     pub const ALL: [TraceOp; TraceOp::COUNT] = [
@@ -102,6 +106,7 @@ impl TraceOp {
         TraceOp::QueryPhase,
         TraceOp::CursorSeek,
         TraceOp::RangeRead,
+        TraceOp::BlockDecode,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -120,6 +125,7 @@ impl TraceOp {
             TraceOp::QueryPhase => "query_phase",
             TraceOp::CursorSeek => "cursor_seek",
             TraceOp::RangeRead => "range_read",
+            TraceOp::BlockDecode => "block_decode",
         }
     }
 
@@ -133,7 +139,9 @@ impl TraceOp {
             | TraceOp::BufferEvict => "buffer",
             TraceOp::HashProbe | TraceOp::BTreeDescent => "index",
             TraceOp::LockWait => "lock",
-            TraceOp::Query | TraceOp::QueryPhase | TraceOp::CursorSeek => "query",
+            TraceOp::Query | TraceOp::QueryPhase | TraceOp::CursorSeek | TraceOp::BlockDecode => {
+                "query"
+            }
         }
     }
 }

@@ -176,6 +176,35 @@ fn query_traced_returns_phase_timings_and_json() {
 }
 
 #[test]
+fn pruned_daat_records_decode_counters() {
+    // A corpus where every query term appears in far more than 128
+    // documents, so its inverted records carry bit-packed (v2) blocks.
+    let mut builder = IndexBuilder::new(StopWords::default());
+    for d in 0..400 {
+        let mut text = String::from("common ");
+        for t in 0..10 {
+            text.push_str(&format!("w{} ", (d * 13 + t * 7) % 23));
+        }
+        builder.add_document(&format!("D{d}"), &text);
+    }
+    let index = builder.finish();
+    let mut engine = telemetry_engine(&index, BackendKind::MnemeCache);
+    let (report, rankings) =
+        engine.run_query_set_mode(&["common w1 w2"], 10, ExecMode::DaatPruned).unwrap();
+    assert_eq!(rankings.len(), 1);
+    let metrics = report.metrics.unwrap();
+    assert!(metrics.delta.get(Event::BytesDecoded) > 0, "no decoded bytes recorded");
+    assert!(metrics.delta.get(Event::BlocksBitpacked) > 0, "no bit-packed blocks recorded");
+    // Decoded payload can never exceed the record bytes fetched.
+    assert!(
+        metrics.delta.get(Event::BytesDecoded) <= metrics.delta.get(Event::RecordBytesDecoded),
+        "decoded {} > fetched {}",
+        metrics.delta.get(Event::BytesDecoded),
+        metrics.delta.get(Event::RecordBytesDecoded)
+    );
+}
+
+#[test]
 fn backend_and_mode_names_round_trip() {
     for backend in BackendKind::all() {
         let s = backend.to_string();
