@@ -1,0 +1,116 @@
+//! Closed-loop load generator for the sharded query service.
+//!
+//! Builds a TIPSTER-shaped workload, starts a [`poir_core::QueryService`]
+//! with the requested sharding and queue capacity, and drives the
+//! closed-loop concurrency ladder from [`poir_bench::latency`]: each level
+//! runs `--queries` submissions across `N` client threads and reports
+//! completions, rejections, throughput, and p50/p95/p99 host-time latency.
+//!
+//! ```text
+//! cargo run --release -p poir-bench --bin loadgen -- \
+//!     [--scale F] [--shards NxM] [--queue N] [--levels 1,2,4,...] \
+//!     [--queries N] [--out PATH]
+//! ```
+//!
+//! `--out` writes the latency family as a standalone JSON document (the
+//! same object `throughput` embeds under `"latency"` in
+//! `BENCH_throughput.json`; CI schema-checks it).
+//!
+//! Exits 0 on success, 1 when saturation throughput fails to reach the
+//! single-client throughput (the service scaled *negatively*), 2 on usage
+//! errors.
+
+use poir_bench::latency::{
+    run_latency, DEFAULT_LEVELS, DEFAULT_QUERIES_PER_LEVEL, DEFAULT_QUEUE_CAPACITY, DEFAULT_SHARDS,
+};
+use poir_bench::throughput::prepare_workload;
+use poir_core::ShardSpec;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.05f64;
+    let mut spec = ShardSpec::new(DEFAULT_SHARDS, DEFAULT_SHARDS);
+    let mut queue_capacity = DEFAULT_QUEUE_CAPACITY;
+    let mut levels: Vec<usize> = DEFAULT_LEVELS.to_vec();
+    let mut queries_per_level = DEFAULT_QUERIES_PER_LEVEL;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse().ok()).filter(|&v: &f64| v > 0.0) {
+                Some(v) => scale = v,
+                None => die("--scale needs a positive number"),
+            },
+            "--shards" => match it.next().map(|v| v.parse()) {
+                Some(Ok(s)) => spec = s,
+                Some(Err(e)) => die(&format!("--shards: {e}")),
+                None => die("--shards needs a spec like 4x4"),
+            },
+            "--queue" => match it.next().and_then(|v| v.parse().ok()).filter(|&v: &usize| v > 0) {
+                Some(v) => queue_capacity = v,
+                None => die("--queue needs a positive integer"),
+            },
+            "--levels" => match it.next() {
+                Some(list) => {
+                    levels = list
+                        .split(',')
+                        .map(|v| match v.trim().parse::<usize>() {
+                            Ok(n) if n > 0 => n,
+                            _ => die("--levels needs positive integers like 1,2,4"),
+                        })
+                        .collect();
+                    if levels.is_empty() {
+                        die("--levels needs at least one level");
+                    }
+                }
+                None => die("--levels needs a comma-separated list"),
+            },
+            "--queries" => {
+                match it.next().and_then(|v| v.parse().ok()).filter(|&v: &usize| v > 0) {
+                    Some(v) => queries_per_level = v,
+                    None => die("--queries needs a positive integer"),
+                }
+            }
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => die("--out needs a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: loadgen [--scale F] [--shards NxM] [--queue N] \
+                     [--levels 1,2,4,...] [--queries N] [--out PATH]"
+                );
+                return;
+            }
+            other => die(&format!("unknown arg {other:?}")),
+        }
+    }
+
+    eprintln!("# generating + indexing TIPSTER at scale {scale}");
+    let workload = prepare_workload(scale);
+    eprintln!(
+        "# service {spec} (shards x workers), queue capacity {queue_capacity}, \
+         {queries_per_level} queries/level"
+    );
+    let run = run_latency(&workload, spec, queue_capacity, &levels, queries_per_level);
+    println!("{}", run.render_table());
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, format!("{}\n", run.to_json()))
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("# wrote {path}");
+    }
+
+    if run.saturation_over_serial < 1.0 {
+        eprintln!(
+            "ERROR: saturation {:.1} QPS below single-client {:.1} QPS",
+            run.saturation_qps, run.serial_qps
+        );
+        std::process::exit(1);
+    }
+}

@@ -39,14 +39,25 @@
 //! the traced pass happens after measurement and never affects the gate.
 
 use poir_bench::json::Json;
+use poir_bench::latency::{run_latency, LatencyRun};
 use poir_bench::throughput::{
     export_trace, prepare_workload, run_throughput, run_traced, DecodeThroughput, ThroughputRun,
 };
-use poir_core::TelemetryOptions;
+use poir_core::{ShardSpec, TelemetryOptions};
 
 const TRACE_CAPACITY: usize = 1 << 20;
 /// Trace-disabled overhead budget on serial and parallel_4 QPS.
 const OVERHEAD_TOLERANCE: f64 = 0.02;
+/// One-sided latency-ladder budgets. These figures are pure host time
+/// under thread scheduling — far noisier than the simulated-clock QPS
+/// family — so the gates are generous: they catch a service that stopped
+/// scaling (an accidentally serialized pool, a lock storm), not
+/// percent-level drift. p99 may grow to 3x the baseline; saturation
+/// throughput may fall to half. The scale-free `saturation_over_serial`
+/// ratio is gated at ≥ 1 regardless — concurrency must never lose to the
+/// single-client replay.
+const LATENCY_P99_TOLERANCE: f64 = 2.0;
+const LATENCY_QPS_TOLERANCE: f64 = 0.5;
 
 struct BaselineMode {
     name: String,
@@ -63,12 +74,23 @@ struct BaselineDecode {
     postings_per_engine_sec: f64,
 }
 
+struct BaselineLatency {
+    shards: usize,
+    workers: usize,
+    queue_capacity: usize,
+    queries_per_level: usize,
+    /// `(clients, p99_micros)` per ladder level, ascending.
+    levels: Vec<(usize, u64)>,
+    saturation_qps: f64,
+    saturation_over_serial: f64,
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2)
 }
 
-fn load_baseline(path: &str) -> (f64, Vec<BaselineMode>, BaselineDecode) {
+fn load_baseline(path: &str) -> (f64, Vec<BaselineMode>, BaselineDecode, BaselineLatency) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("reading baseline {path}: {e}")));
     let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")));
@@ -114,7 +136,40 @@ fn load_baseline(path: &str) -> (f64, Vec<BaselineMode>, BaselineDecode) {
             }
         })
         .unwrap_or_else(|| die("baseline lacks \"decode_throughput\" — regenerate it"));
-    (scale, modes, decode)
+    let latency = doc
+        .get("latency")
+        .map(|l| {
+            let field = |key: &str| {
+                l.get(key)
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| die(&format!("baseline latency lacks {key:?}")))
+            };
+            let levels = l
+                .get("levels")
+                .and_then(Json::as_arr)
+                .unwrap_or_else(|| die("baseline latency lacks \"levels\""))
+                .iter()
+                .map(|level| {
+                    let get = |key: &str| {
+                        level.get(key).and_then(Json::as_u64).unwrap_or_else(|| {
+                            die(&format!("baseline latency level lacks {key:?}"))
+                        })
+                    };
+                    (get("clients") as usize, get("p99_micros"))
+                })
+                .collect();
+            BaselineLatency {
+                shards: field("shards") as usize,
+                workers: field("workers") as usize,
+                queue_capacity: field("queue_capacity") as usize,
+                queries_per_level: field("queries_per_level") as usize,
+                levels,
+                saturation_qps: field("saturation_qps"),
+                saturation_over_serial: field("saturation_over_serial"),
+            }
+        })
+        .unwrap_or_else(|| die("baseline lacks \"latency\" — regenerate it"));
+    (scale, modes, decode, latency)
 }
 
 /// Relative deviation of `fresh` from `base` (0 when both are 0).
@@ -221,6 +276,45 @@ fn compare_decode(fresh: &DecodeThroughput, base: &BaselineDecode, tolerance: f6
     pass
 }
 
+/// Latency-ladder gate, all one-sided (see the tolerance constants):
+/// p99 at the gate level (16 clients, or the ladder's top level when 16
+/// is absent) must not exceed `(1 + LATENCY_P99_TOLERANCE)x` the
+/// baseline; saturation throughput must not fall below
+/// `(1 - LATENCY_QPS_TOLERANCE)x`; and the scale-free saturation/serial
+/// ratio must stay ≥ 1.
+fn compare_latency(fresh: &LatencyRun, base: &BaselineLatency) -> bool {
+    let gate_clients = base
+        .levels
+        .iter()
+        .map(|&(c, _)| c)
+        .find(|&c| c == 16)
+        .or_else(|| base.levels.iter().map(|&(c, _)| c).max())
+        .expect("baseline latency has levels");
+    let base_p99 =
+        base.levels.iter().find(|&&(c, _)| c == gate_clients).map(|&(_, p)| p).unwrap_or(0);
+    let fresh_p99 =
+        fresh.levels.iter().find(|l| l.clients == gate_clients).map_or(u64::MAX, |l| l.p99_micros);
+    let p99_pass = fresh_p99 as f64 <= base_p99 as f64 * (1.0 + LATENCY_P99_TOLERANCE);
+    let qps_pass = fresh.saturation_qps >= base.saturation_qps * (1.0 - LATENCY_QPS_TOLERANCE);
+    let ratio_pass = fresh.saturation_over_serial >= 1.0;
+    println!(
+        "{:<18} p99@{}c {}us vs {}us (<= {:.0}%), saturation {:.1} vs {:.1} QPS \
+         (>= {:.0}%), saturation/serial {:.2}x vs {:.2}x (>= 1)  {}",
+        "latency_ladder",
+        gate_clients,
+        fresh_p99,
+        base_p99,
+        (1.0 + LATENCY_P99_TOLERANCE) * 100.0,
+        fresh.saturation_qps,
+        base.saturation_qps,
+        (1.0 - LATENCY_QPS_TOLERANCE) * 100.0,
+        fresh.saturation_over_serial,
+        base.saturation_over_serial,
+        if p99_pass && qps_pass && ratio_pass { "ok" } else { "REGRESSION" },
+    );
+    p99_pass && qps_pass && ratio_pass
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = "BENCH_throughput.json".to_string();
@@ -259,7 +353,7 @@ fn main() {
         }
     }
 
-    let (scale, baseline, baseline_decode) = load_baseline(&baseline_path);
+    let (scale, baseline, baseline_decode, baseline_latency) = load_baseline(&baseline_path);
     if baseline.is_empty() {
         die("baseline has no modes");
     }
@@ -270,10 +364,22 @@ fn main() {
         OVERHEAD_TOLERANCE * 100.0
     );
     let workload = prepare_workload(scale);
-    let run = run_throughput(&workload, TelemetryOptions::off());
+    let mut run = run_throughput(&workload, TelemetryOptions::off());
+    // Rerun the ladder exactly as the baseline recorded it (same sharding,
+    // queue, levels, and per-level budget) so the gate compares like with
+    // like.
+    let latency = run_latency(
+        &workload,
+        ShardSpec::new(baseline_latency.shards, baseline_latency.workers),
+        baseline_latency.queue_capacity,
+        &baseline_latency.levels.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
+        baseline_latency.queries_per_level,
+    );
 
     let mut ok = compare(&run, &baseline, tolerance);
     ok &= compare_decode(&run.decode, &baseline_decode, tolerance);
+    ok &= compare_latency(&latency, &baseline_latency);
+    run.latency = Some(latency);
     if !run.identical_rankings {
         eprintln!("ERROR: rankings diverged across execution modes");
         std::process::exit(1);

@@ -18,8 +18,11 @@
 //! and a flat JSONL access log alongside it; the measured runs themselves
 //! always execute with telemetry off.
 
+use poir_bench::latency::{
+    run_latency, DEFAULT_LEVELS, DEFAULT_QUERIES_PER_LEVEL, DEFAULT_QUEUE_CAPACITY, DEFAULT_SHARDS,
+};
 use poir_bench::throughput::{export_trace, prepare_workload, run_throughput, run_traced};
-use poir_core::TelemetryOptions;
+use poir_core::{ShardSpec, TelemetryOptions};
 
 /// Ring-buffer capacity for the optional traced pass.
 const TRACE_CAPACITY: usize = 1 << 20;
@@ -67,8 +70,22 @@ fn main() {
     let workload = prepare_workload(scale);
     eprintln!("# {} queries, top-{}", workload.queries.len(), poir_bench::throughput::TOP_K);
 
-    let run = run_throughput(&workload, TelemetryOptions::off());
+    let mut run = run_throughput(&workload, TelemetryOptions::off());
     println!("{}", run.render_table());
+
+    eprintln!(
+        "# sustained-load ladder ({DEFAULT_SHARDS} shards, queue {DEFAULT_QUEUE_CAPACITY}, \
+         {DEFAULT_QUERIES_PER_LEVEL} queries/level)"
+    );
+    let latency = run_latency(
+        &workload,
+        ShardSpec::new(DEFAULT_SHARDS, DEFAULT_SHARDS),
+        DEFAULT_QUEUE_CAPACITY,
+        &DEFAULT_LEVELS,
+        DEFAULT_QUERIES_PER_LEVEL,
+    );
+    println!("{}", latency.render_table());
+    run.latency = Some(latency);
 
     std::fs::write(&out_path, run.to_json()).expect("write json");
     eprintln!("# wrote {out_path}");

@@ -1,0 +1,298 @@
+//! Sustained-load latency harness for the sharded query service.
+//!
+//! Closed-loop load generation: `clients` threads each keep exactly one
+//! request in flight against a [`QueryService`], drawing query texts
+//! round-robin from the workload's set until the level's query budget is
+//! spent. Each level reports completed/rejected counts, throughput, and
+//! the p50/p95/p99 latency of successful requests, all in **host** time
+//! (submission to response, queue wait included) — unlike the QPS family,
+//! which runs on simulated wall-clock, this family measures the real
+//! concurrency behaviour of the admission queue and worker pool.
+//!
+//! The level ladder deliberately crosses the queue capacity: with the
+//! default 32-slot queue, the 64-client level keeps more requests waiting
+//! than the queue admits, so the rejection counters exercise the
+//! [`Overloaded`](poir_core::CoreError::Overloaded) path under real load.
+//!
+//! The `loadgen` binary prints the ladder and emits the JSON family the
+//! `regress` gate compares (one-sided; see `regress`'s docs for why
+//! host-time figures get a generous tolerance).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use poir_core::{
+    BackendKind, CoreError, Engine, QueryRequest, QueryService, ShardSpec, TelemetryOptions,
+};
+
+use crate::paper_device;
+use crate::throughput::{Workload, TOP_K};
+
+/// Default concurrency ladder; crosses [`DEFAULT_QUEUE_CAPACITY`] at the
+/// top so rejections appear.
+pub const DEFAULT_LEVELS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Default admission-queue capacity.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 32;
+
+/// Default sharding layout for the committed baseline: 4 shards, 4
+/// workers.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Default queries per concurrency level.
+pub const DEFAULT_QUERIES_PER_LEVEL: usize = 200;
+
+/// One concurrency level's measurements.
+pub struct LatencyLevel {
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Requests that completed with a ranking.
+    pub completed: usize,
+    /// Requests rejected at admission ([`CoreError::Overloaded`]).
+    pub rejected: usize,
+    /// Completed requests per host second.
+    pub qps: f64,
+    /// Median submit-to-response latency, microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_micros: u64,
+}
+
+/// A complete load-generation run: the concurrency ladder plus its
+/// headline figures.
+pub struct LatencyRun {
+    /// Shards the service ran.
+    pub shards: usize,
+    /// Worker threads in the service pool.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Query budget per level.
+    pub queries_per_level: usize,
+    /// The ladder, in ascending client order.
+    pub levels: Vec<LatencyLevel>,
+    /// Throughput of the single-client level (serial replay through the
+    /// service).
+    pub serial_qps: f64,
+    /// Best throughput across the ladder.
+    pub saturation_qps: f64,
+    /// `saturation_qps / serial_qps` — the scale-free speedup the regress
+    /// gate holds at ≥ 1.
+    pub saturation_over_serial: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the closed-loop ladder against a fresh sharded service.
+///
+/// One service instance serves every level (its buffer state stays warm
+/// across the ladder, like a long-running server's would); each level
+/// spends `queries_per_level` submissions. A rejected submission counts
+/// against the level's budget and is not retried — the client moves on,
+/// as a load-shedding caller would.
+pub fn run_latency(
+    workload: &Workload,
+    spec: ShardSpec,
+    queue_capacity: usize,
+    levels: &[usize],
+    queries_per_level: usize,
+) -> LatencyRun {
+    let device = paper_device();
+    let engine = Engine::builder(&device)
+        .backend(BackendKind::MnemeCache)
+        .telemetry(TelemetryOptions::off())
+        .sharding(spec)
+        .build_sharded(workload.index.clone())
+        .expect("sharded engine build");
+    let service = QueryService::start(engine, queue_capacity).expect("service start");
+    let mut out = Vec::with_capacity(levels.len());
+    for &clients in levels {
+        let clients = clients.max(1);
+        let next = AtomicUsize::new(0);
+        let start = Instant::now();
+        let per_client: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut latencies = Vec::new();
+                        let mut rejected = 0usize;
+                        loop {
+                            let qi = next.fetch_add(1, Ordering::Relaxed);
+                            if qi >= queries_per_level {
+                                break;
+                            }
+                            let text = &workload.queries[qi % workload.queries.len()];
+                            let t = Instant::now();
+                            match service.query(QueryRequest::new(text.clone(), TOP_K)) {
+                                Ok(_) => latencies.push(t.elapsed().as_micros() as u64),
+                                Err(CoreError::Overloaded { .. }) => {
+                                    rejected += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("loadgen query failed: {e}"),
+                            }
+                        }
+                        (latencies, rejected)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let mut latencies: Vec<u64> =
+            per_client.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+        let rejected: usize = per_client.iter().map(|(_, r)| r).sum();
+        latencies.sort_unstable();
+        let completed = latencies.len();
+        out.push(LatencyLevel {
+            clients,
+            completed,
+            rejected,
+            qps: if wall > 0.0 { completed as f64 / wall } else { 0.0 },
+            p50_micros: percentile(&latencies, 50.0),
+            p95_micros: percentile(&latencies, 95.0),
+            p99_micros: percentile(&latencies, 99.0),
+        });
+    }
+    service.shutdown();
+    let serial_qps = out.iter().find(|l| l.clients == 1).map_or(0.0, |l| l.qps);
+    let saturation_qps = out.iter().map(|l| l.qps).fold(0.0, f64::max);
+    LatencyRun {
+        shards: spec.shards,
+        workers: spec.workers,
+        queue_capacity,
+        queries_per_level,
+        levels: out,
+        serial_qps,
+        saturation_qps,
+        saturation_over_serial: if serial_qps > 0.0 { saturation_qps / serial_qps } else { 0.0 },
+    }
+}
+
+impl LatencyRun {
+    /// The `"latency"` member of `BENCH_throughput.json`, indented two
+    /// spaces to sit inside the top-level object.
+    pub fn to_json(&self) -> String {
+        let levels: Vec<String> = self
+            .levels
+            .iter()
+            .map(|l| {
+                format!(
+                    concat!(
+                        "      {{\n",
+                        "        \"clients\": {},\n",
+                        "        \"completed\": {},\n",
+                        "        \"rejected\": {},\n",
+                        "        \"qps\": {:.3},\n",
+                        "        \"p50_micros\": {},\n",
+                        "        \"p95_micros\": {},\n",
+                        "        \"p99_micros\": {}\n",
+                        "      }}"
+                    ),
+                    l.clients,
+                    l.completed,
+                    l.rejected,
+                    l.qps,
+                    l.p50_micros,
+                    l.p95_micros,
+                    l.p99_micros,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "    \"shards\": {},\n",
+                "    \"workers\": {},\n",
+                "    \"queue_capacity\": {},\n",
+                "    \"queries_per_level\": {},\n",
+                "    \"top_k\": {},\n",
+                "    \"serial_qps\": {:.3},\n",
+                "    \"saturation_qps\": {:.3},\n",
+                "    \"saturation_over_serial\": {:.3},\n",
+                "    \"levels\": [\n{}\n    ]\n",
+                "  }}"
+            ),
+            self.shards,
+            self.workers,
+            self.queue_capacity,
+            self.queries_per_level,
+            TOP_K,
+            self.serial_qps,
+            self.saturation_qps,
+            self.saturation_over_serial,
+            levels.join(",\n"),
+        )
+    }
+
+    /// Renders the human-readable ladder the `loadgen` binary prints.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:<8} {:>10} {:>9} {:>12} {:>10} {:>10} {:>10}\n",
+            "clients", "completed", "rejected", "QPS", "p50(us)", "p95(us)", "p99(us)"
+        );
+        for l in &self.levels {
+            out.push_str(&format!(
+                "{:<8} {:>10} {:>9} {:>12.1} {:>10} {:>10} {:>10}\n",
+                l.clients, l.completed, l.rejected, l.qps, l.p50_micros, l.p95_micros, l.p99_micros,
+            ));
+        }
+        out.push_str(&format!(
+            "serial {:.1} QPS, saturation {:.1} QPS ({:.2}x) on {} shards / {} workers, \
+             queue capacity {}",
+            self.serial_qps,
+            self.saturation_qps,
+            self.saturation_over_serial,
+            self.shards,
+            self.workers,
+            self.queue_capacity,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+    }
+
+    #[test]
+    fn tiny_ladder_completes_and_scales_counts() {
+        let workload = crate::throughput::prepare_workload(0.02);
+        let run = run_latency(&workload, ShardSpec::new(2, 2), 8, &[1, 4], 12);
+        assert_eq!(run.levels.len(), 2);
+        for l in &run.levels {
+            // Closed-loop clients never outnumber the queue here, so no
+            // rejections; every submission completes.
+            assert_eq!(l.completed, 12);
+            assert_eq!(l.rejected, 0);
+            assert!(l.qps > 0.0);
+            assert!(l.p50_micros <= l.p95_micros && l.p95_micros <= l.p99_micros);
+        }
+        assert!(run.serial_qps > 0.0);
+        assert!(run.saturation_qps >= run.serial_qps);
+        let json = run.to_json();
+        let doc = crate::json::Json::parse(&json).expect("latency json parses");
+        assert_eq!(doc.get("shards").and_then(crate::json::Json::as_u64), Some(2));
+        assert_eq!(doc.get("levels").and_then(crate::json::Json::as_arr).unwrap().len(), 2);
+    }
+}

@@ -11,6 +11,7 @@
 //! `cargo run --release -p poir-bench --bin reproduce -- all`.
 
 pub mod json;
+pub mod latency;
 pub mod print;
 pub mod throughput;
 

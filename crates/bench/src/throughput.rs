@@ -114,6 +114,9 @@ pub struct ThroughputRun {
     pub parallel_4_speedup: f64,
     /// Decode-kernel throughput (separate instrumented pass).
     pub decode: DecodeThroughput,
+    /// Sustained-load latency ladder (separate service pass; `None` until
+    /// the caller runs [`crate::latency::run_latency`] and attaches it).
+    pub latency: Option<crate::latency::LatencyRun>,
 }
 
 fn fresh_engine(index: &Index, telemetry: TelemetryOptions) -> Engine {
@@ -219,6 +222,7 @@ pub fn run_throughput(workload: &Workload, telemetry: TelemetryOptions) -> Throu
         identical_rankings,
         parallel_4_speedup,
         decode,
+        latency: None,
     }
 }
 
@@ -267,6 +271,10 @@ impl ThroughputRun {
     pub fn to_json(&self) -> String {
         let serial = &self.modes[0].report;
         let modes_json: Vec<String> = self.modes.iter().map(|m| json_mode(m, serial)).collect();
+        let latency_json = match &self.latency {
+            Some(l) => format!("  \"latency\": {},\n", l.to_json()),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\n",
@@ -285,6 +293,7 @@ impl ThroughputRun {
                 "    \"engine_secs\": {:.6},\n",
                 "    \"postings_per_engine_sec\": {:.0}\n",
                 "  }},\n",
+                "{}",
                 "  \"modes\": [\n{}\n  ]\n",
                 "}}\n"
             ),
@@ -300,6 +309,7 @@ impl ThroughputRun {
             self.decode.blocks_bitpacked,
             self.decode.engine_secs,
             self.decode.postings_per_engine_sec,
+            latency_json,
             modes_json.join(",\n"),
         )
     }

@@ -32,10 +32,13 @@ use poir_inquery::{BeliefParams, Index, StopWords};
 use poir_storage::{Device, FileHandle};
 use poir_telemetry::TelemetryOptions;
 
+use poir_telemetry::Recorder;
+
 use crate::buffer_sizing::BufferSizes;
 use crate::engine::{BackendKind, Engine, ExecMode};
 use crate::error::Result;
 use crate::mneme_store::MnemeOptions;
+use crate::shard::{ShardSpec, ShardedEngine};
 
 /// Builder for [`Engine`]; see the module docs for defaults.
 #[derive(Debug, Clone)]
@@ -50,6 +53,8 @@ pub struct EngineBuilder {
     pub(crate) reservation: bool,
     pub(crate) mneme: MnemeOptions,
     pub(crate) btree: BTreeConfig,
+    pub(crate) sharding: ShardSpec,
+    pub(crate) shared_recorder: Option<Recorder>,
 }
 
 impl EngineBuilder {
@@ -65,6 +70,8 @@ impl EngineBuilder {
             reservation: true,
             mneme: MnemeOptions::default(),
             btree: BTreeConfig::default(),
+            sharding: ShardSpec::default(),
+            shared_recorder: None,
         }
     }
 
@@ -126,10 +133,40 @@ impl EngineBuilder {
         self
     }
 
+    /// Horizontal sharding for [`EngineBuilder::build_sharded`] (default:
+    /// [`ShardSpec::default`], one shard and one worker — the paper's
+    /// unsharded configuration). Ignored by [`EngineBuilder::build`] and
+    /// [`EngineBuilder::open`].
+    pub fn sharding(mut self, spec: ShardSpec) -> Self {
+        self.sharding = spec;
+        self
+    }
+
     /// Loads a finished [`Index`] into a fresh inverted file of the chosen
     /// backend.
     pub fn build(self, index: Index) -> Result<Engine> {
         Engine::from_builder_build(self, index)
+    }
+
+    /// Partitions `index` into the configured number of shards (see
+    /// [`EngineBuilder::sharding`]) and builds one engine per shard, all on
+    /// this builder's device and sharing one telemetry recorder. With the
+    /// default one-shard spec this is [`EngineBuilder::build`] behind the
+    /// [`ShardedEngine`] facade.
+    pub fn build_sharded(self, index: Index) -> Result<ShardedEngine> {
+        let spec = self.sharding;
+        let device = Arc::clone(&self.device);
+        // One recorder for every shard: each shard engine attaching its own
+        // would overwrite the device's recorder and split counter deltas
+        // across instances (the double-count / vanishing-counter bug).
+        let recorder =
+            self.shared_recorder.clone().unwrap_or_else(|| Engine::recorder_for(&self.telemetry));
+        let mut shards = Vec::with_capacity(spec.shards);
+        for shard_index in index.split_shards(spec.shards) {
+            let builder = EngineBuilder { shared_recorder: Some(recorder.clone()), ..self.clone() };
+            shards.push(builder.build(shard_index)?);
+        }
+        Ok(ShardedEngine::from_shards(spec, shards, recorder, device))
     }
 
     /// Reopens an engine saved by [`Engine::save`]. The backend kind and

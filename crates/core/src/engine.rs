@@ -176,6 +176,71 @@ pub struct RankedResult {
     pub score: f64,
 }
 
+/// A typed query request — the one argument of [`Engine::execute`],
+/// [`crate::ShardedEngine::execute`], and the query service, replacing the
+/// ad-hoc `run_one*` call patterns.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The query text (structured or bag-of-words).
+    pub text: String,
+    /// How many results to return.
+    pub k: usize,
+    /// Execution-mode override; `None` uses the executor's default.
+    pub mode: Option<ExecMode>,
+    /// Deadline budget, measured from submission. Checked at phase
+    /// boundaries; an expired budget yields
+    /// [`CoreError::DeadlineExceeded`] with partial results.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A request for the top `k` hits of `text` with no mode override and
+    /// no deadline.
+    pub fn new(text: impl Into<String>, k: usize) -> Self {
+        QueryRequest { text: text.into(), k, mode: None, deadline: None }
+    }
+
+    /// Overrides the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Sets the deadline budget.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+}
+
+/// How long one shard spent evaluating a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// Shard ordinal.
+    pub shard: usize,
+    /// Host microseconds the shard's evaluation took.
+    pub micros: u64,
+    /// Hits the shard contributed to the merge candidate set.
+    pub hits: usize,
+}
+
+/// A typed query response: the hits plus per-shard timings and the
+/// request's telemetry delta.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The merged top-k ranking.
+    pub hits: Vec<RankedResult>,
+    /// Per-shard evaluation timings (one entry on an unsharded engine).
+    pub shards: Vec<ShardTiming>,
+    /// Per-phase timings and telemetry event deltas for this query (event
+    /// counters are zero unless telemetry is enabled; on a shared-recorder
+    /// service they are set-level, not per-query).
+    pub trace: QueryTrace,
+    /// Host microseconds the request waited in the service's admission
+    /// queue (zero when executed directly).
+    pub queue_micros: u64,
+}
+
 /// Measurements from processing one query set — the raw data behind
 /// Tables 3, 4, 5, and 6.
 #[derive(Debug, Clone)]
@@ -260,6 +325,16 @@ impl ParallelSetReport {
 /// thread's dictionary-lookup count (for telemetry).
 type ThreadResults = (Vec<(usize, Vec<poir_inquery::ScoredDoc>)>, u64);
 
+/// An [`Engine`] decomposed for the query service's worker pool (see
+/// [`Engine::into_parts`]).
+pub(crate) struct EngineParts {
+    pub(crate) dict: Dictionary,
+    pub(crate) docs: DocTable,
+    pub(crate) stop: StopWords,
+    pub(crate) params: BeliefParams,
+    pub(crate) store: MnemeInvertedFile,
+}
+
 /// The integrated IR system.
 pub struct Engine {
     device: Arc<Device>,
@@ -297,7 +372,7 @@ impl Engine {
 
     /// Builds the engine's recorder from the builder's telemetry options:
     /// disabled, counting, or counting plus a structured tracer.
-    fn recorder_for(options: &poir_telemetry::TelemetryOptions) -> Recorder {
+    pub(crate) fn recorder_for(options: &poir_telemetry::TelemetryOptions) -> Recorder {
         if !options.enabled {
             return Recorder::disabled();
         }
@@ -334,7 +409,12 @@ impl Engine {
                 StoreImpl::Mneme(store)
             }
         };
-        let recorder = Self::recorder_for(&b.telemetry);
+        // Shard engines built onto one device must share one recorder —
+        // each engine attaching a fresh recorder would overwrite the
+        // device's, and per-shard counter deltas would double-count or
+        // vanish. The sharded builder injects the shared instance here.
+        let recorder =
+            b.shared_recorder.clone().unwrap_or_else(|| Self::recorder_for(&b.telemetry));
         if recorder.is_enabled() {
             b.device.attach_recorder(recorder.clone());
             store.as_instrumented_mut().attach_recorder(recorder.clone());
@@ -403,6 +483,27 @@ impl Engine {
         &self.docs
     }
 
+    /// The stop-word list queries are parsed with.
+    pub fn stop_words(&self) -> &StopWords {
+        &self.stop
+    }
+
+    /// Record lookups the store has served so far (monotone counter).
+    pub(crate) fn store_record_lookups(&self) -> u64 {
+        self.store.as_instrumented().record_lookups()
+    }
+
+    /// Decomposes the engine into the pieces a query-service worker pool
+    /// shares (Mneme backends only — workers fetch through
+    /// [`MnemeInvertedFile::shared_view`], which the B-tree store lacks).
+    pub(crate) fn into_parts(self) -> Result<EngineParts> {
+        let Engine { dict, docs, stop, params, store, .. } = self;
+        let StoreImpl::Mneme(store) = store else {
+            return Err(CoreError::Unsupported("the query service on the B-tree backend"));
+        };
+        Ok(EngineParts { dict, docs, stop, params, store })
+    }
+
     /// The simulated device everything runs on.
     pub fn device(&self) -> &Arc<Device> {
         &self.device
@@ -439,25 +540,12 @@ impl Engine {
         }
     }
 
-    /// Parses and runs one query, returning the top `k` documents.
+    /// Parses and runs one query term-at-a-time, returning the top `k`
+    /// documents. Thin wrapper over [`Engine::run_one`]'s uninstrumented
+    /// serial path.
     pub fn query(&mut self, text: &str, k: usize) -> Result<Vec<RankedResult>> {
-        let parsed = poir_inquery::parse_query(text, &self.stop)?;
-        let store = self.store.as_store();
-        let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
-        if self.reserve_enabled {
-            ev.reserve(&parsed);
-        }
-        let ranked = ev.rank(&parsed, k);
-        ev.release_reservations();
-        let ranked = ranked?;
-        Ok(ranked
-            .into_iter()
-            .map(|s| RankedResult {
-                doc: s.doc,
-                name: self.docs.info(s.doc).name.clone(),
-                score: s.score,
-            })
-            .collect())
+        let (scored, _) = self.run_one(0, text, k, ExecMode::Serial, false)?;
+        Ok(self.to_ranked_results(scored))
     }
 
     /// Explains the belief `text` assigns to one document, node by node.
@@ -469,21 +557,16 @@ impl Engine {
     }
 
     /// Runs a bag-of-words query document-at-a-time (the Section 3.1
-    /// extension). Errors when the query is not a flat `#sum`/`#wsum`.
+    /// extension). Errors when the query is not a flat `#sum`/`#wsum`
+    /// (unlike [`Engine::run_one`], which falls back to term-at-a-time).
+    /// Thin wrapper over the uninstrumented DAAT path.
     pub fn query_daat(&mut self, text: &str, k: usize) -> Result<Vec<RankedResult>> {
         let parsed = poir_inquery::parse_query(text, &self.stop)?;
-        let bag = daat::flatten_bag(&parsed)
-            .ok_or(CoreError::Unsupported("document-at-a-time on structured queries"))?;
-        let store = self.store.as_store();
-        let ranked = daat::rank_daat(store, &self.dict, &self.docs, self.params, &bag, k)?;
-        Ok(ranked
-            .into_iter()
-            .map(|s| RankedResult {
-                doc: s.doc,
-                name: self.docs.info(s.doc).name.clone(),
-                score: s.score,
-            })
-            .collect())
+        if daat::flatten_bag(&parsed).is_none() {
+            return Err(CoreError::Unsupported("document-at-a-time on structured queries"));
+        }
+        let (scored, _) = self.run_one(0, text, k, ExecMode::Daat, false)?;
+        Ok(self.to_ranked_results(scored))
     }
 
     /// Processes a query set in batch mode, reproducing the paper's
@@ -501,31 +584,64 @@ impl Engine {
     /// Runs one query with per-phase timing, returning the ranking and its
     /// [`QueryTrace`]. Phase durations are always measured; the trace's
     /// event counters are zero unless the engine was built with telemetry
-    /// enabled.
+    /// enabled. Thin wrapper over [`Engine::execute`]'s code path.
     pub fn query_traced(
         &mut self,
         text: &str,
         k: usize,
     ) -> Result<(Vec<RankedResult>, QueryTrace)> {
         let mode = self.exec_mode;
-        let (scored, trace) = self.run_one_instrumented(0, text, k, mode)?;
-        Ok((self.to_ranked_results(scored), trace))
+        let (scored, trace) = self.run_one(0, text, k, mode, true)?;
+        Ok((self.to_ranked_results(scored), trace.expect("instrumented run returns a trace")))
     }
 
-    /// One query through the full pipeline with per-phase [`Instant`]
-    /// timing and a per-query telemetry delta.
-    fn run_one_instrumented(
+    /// Runs one typed [`QueryRequest`] through the full pipeline — the
+    /// single entry point the service and the batch path share.
+    ///
+    /// The request's `mode` (default: the engine's configured
+    /// [`ExecMode`]) picks the I/O schedule; its `deadline`, when set, is
+    /// checked after evaluation and turns an over-budget query into
+    /// [`CoreError::DeadlineExceeded`] carrying the computed hits as the
+    /// partial result. The response always carries per-phase timings; its
+    /// telemetry event delta is zero unless the engine was built with
+    /// telemetry enabled.
+    pub fn execute(&mut self, req: &QueryRequest) -> Result<QueryResponse> {
+        let mode = req.mode.unwrap_or(self.exec_mode);
+        let start = Instant::now();
+        let (scored, trace) = self.run_one(0, &req.text, req.k, mode, true)?;
+        let elapsed = start.elapsed();
+        let hits = self.to_ranked_results(scored);
+        if let Some(budget) = req.deadline {
+            if elapsed > budget {
+                return Err(CoreError::DeadlineExceeded { budget, elapsed, partial: hits });
+            }
+        }
+        let shards =
+            vec![ShardTiming { shard: 0, micros: elapsed.as_micros() as u64, hits: hits.len() }];
+        let trace = trace.expect("instrumented run returns a trace");
+        Ok(QueryResponse { hits, shards, trace, queue_micros: 0 })
+    }
+
+    /// One query through the full pipeline — the one code path behind
+    /// [`Engine::execute`], [`Engine::query_traced`], and the batch
+    /// runners. With `instrumented` set, each phase gets per-phase
+    /// [`Instant`] timing, trace slices, and a per-query telemetry delta;
+    /// with it clear the function takes no timestamps and touches no
+    /// recorder beyond the store's single-branch no-ops, keeping the
+    /// measured batch path free of observation overhead.
+    pub(crate) fn run_one(
         &mut self,
         query_index: usize,
         text: &str,
         k: usize,
         mode: ExecMode,
-    ) -> Result<(Vec<poir_inquery::ScoredDoc>, QueryTrace)> {
+        instrumented: bool,
+    ) -> Result<(Vec<poir_inquery::ScoredDoc>, Option<QueryTrace>)> {
         // Tag the thread so every trace record emitted below — device
         // reads, buffer refs, lock waits — carries this query's index.
-        let _tag = tag_query(query_index as u32);
-        let query_span = self.recorder.trace_start();
-        let before = self.recorder.snapshot();
+        let _tag = instrumented.then(|| tag_query(query_index as u32));
+        let query_span = instrumented.then(|| self.recorder.trace_start());
+        let before = instrumented.then(|| self.recorder.snapshot());
         let mut phase_micros = [0u64; Phase::COUNT];
         // Each phase's trace slice is emitted right after the phase ends so
         // its start timestamp (now - duration) nests the I/O it contains.
@@ -538,10 +654,12 @@ impl Engine {
                 Duration::from_micros(micros),
             );
         };
-        let t = Instant::now();
+        let t = instrumented.then(Instant::now);
         let parsed = poir_inquery::parse_query(text, &self.stop)?;
-        phase_micros[Phase::Parse as usize] = t.elapsed().as_micros() as u64;
-        trace_phase(Phase::Parse, phase_micros[Phase::Parse as usize]);
+        if let Some(t) = t {
+            phase_micros[Phase::Parse as usize] = t.elapsed().as_micros() as u64;
+            trace_phase(Phase::Parse, phase_micros[Phase::Parse as usize]);
+        }
         // The document-at-a-time modes bypass the Evaluator on flat
         // bag-of-words queries; structured queries fall back to the serial
         // term-at-a-time pipeline below.
@@ -552,47 +670,51 @@ impl Engine {
         let (scored, dict_lookups) = if let Some(bag) = daat_bag {
             let store = self.store.as_store();
             if self.reserve_enabled {
-                let t = Instant::now();
+                let t = instrumented.then(Instant::now);
                 let refs: Vec<u64> = bag
                     .iter()
                     .filter_map(|(_, term)| self.dict.lookup(term))
                     .map(|id| self.dict.entry(id).store_ref)
                     .collect();
                 store.reserve(&refs);
-                phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
-                trace_phase(Phase::Reserve, phase_micros[Phase::Reserve as usize]);
+                if let Some(t) = t {
+                    phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
+                    trace_phase(Phase::Reserve, phase_micros[Phase::Reserve as usize]);
+                }
             }
-            let t = Instant::now();
+            let t = instrumented.then(Instant::now);
             let result = if mode == ExecMode::DaatPruned {
                 daat::rank_daat_pruned(store, &self.dict, &self.docs, self.params, &bag, k).map(
                     |(scored, stats)| {
-                        self.recorder.add(Event::PostingsDecoded, stats.postings_decoded);
-                        self.recorder.add(Event::PostingsSkipped, stats.postings_skipped);
-                        self.recorder.add(Event::BlocksSkipped, stats.blocks_skipped);
-                        self.recorder.add(Event::BytesDecoded, stats.bytes_decoded);
-                        self.recorder.add(Event::BlocksBitpacked, stats.blocks_bitpacked);
-                        if stats.bytes_decoded > 0 {
-                            // One aggregate slice per query: object =
-                            // bit-packed blocks decoded, bytes = posting
-                            // payload bytes decoded.
-                            self.recorder.trace(
-                                TraceOp::BlockDecode,
-                                stats.blocks_bitpacked,
-                                None,
-                                stats.bytes_decoded,
-                                Duration::ZERO,
-                            );
-                        }
-                        if stats.cursor_seeks > 0 {
-                            // One aggregate slice per query: object = seeks
-                            // that jumped blocks, bytes = postings bypassed.
-                            self.recorder.trace(
-                                TraceOp::CursorSeek,
-                                stats.cursor_seeks,
-                                None,
-                                stats.postings_skipped,
-                                Duration::ZERO,
-                            );
+                        if instrumented {
+                            self.recorder.add(Event::PostingsDecoded, stats.postings_decoded);
+                            self.recorder.add(Event::PostingsSkipped, stats.postings_skipped);
+                            self.recorder.add(Event::BlocksSkipped, stats.blocks_skipped);
+                            self.recorder.add(Event::BytesDecoded, stats.bytes_decoded);
+                            self.recorder.add(Event::BlocksBitpacked, stats.blocks_bitpacked);
+                            if stats.bytes_decoded > 0 {
+                                // One aggregate slice per query: object =
+                                // bit-packed blocks decoded, bytes = posting
+                                // payload bytes decoded.
+                                self.recorder.trace(
+                                    TraceOp::BlockDecode,
+                                    stats.blocks_bitpacked,
+                                    None,
+                                    stats.bytes_decoded,
+                                    Duration::ZERO,
+                                );
+                            }
+                            if stats.cursor_seeks > 0 {
+                                // One aggregate slice per query: object = seeks
+                                // that jumped blocks, bytes = postings bypassed.
+                                self.recorder.trace(
+                                    TraceOp::CursorSeek,
+                                    stats.cursor_seeks,
+                                    None,
+                                    stats.postings_skipped,
+                                    Duration::ZERO,
+                                );
+                            }
                         }
                         scored
                     },
@@ -603,42 +725,58 @@ impl Engine {
             store.release_reservations();
             // The cursor merge fetches, decodes, and ranks in one pass, so
             // the whole loop is charged to Evaluate; Rank stays zero.
-            phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
-            trace_phase(Phase::Evaluate, phase_micros[Phase::Evaluate as usize]);
+            if let Some(t) = t {
+                phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
+                trace_phase(Phase::Evaluate, phase_micros[Phase::Evaluate as usize]);
+            }
             (result?, bag.len() as u64)
         } else {
             let store = self.store.as_store();
             let mut ev = Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
             if mode == ExecMode::BatchedPrefetch {
-                let t = Instant::now();
+                let t = instrumented.then(Instant::now);
                 ev.prefetch(&parsed);
-                phase_micros[Phase::Prefetch as usize] = t.elapsed().as_micros() as u64;
-                trace_phase(Phase::Prefetch, phase_micros[Phase::Prefetch as usize]);
+                if let Some(t) = t {
+                    phase_micros[Phase::Prefetch as usize] = t.elapsed().as_micros() as u64;
+                    trace_phase(Phase::Prefetch, phase_micros[Phase::Prefetch as usize]);
+                }
             }
             if self.reserve_enabled {
-                let t = Instant::now();
+                let t = instrumented.then(Instant::now);
                 ev.reserve(&parsed);
-                phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
-                trace_phase(Phase::Reserve, phase_micros[Phase::Reserve as usize]);
+                if let Some(t) = t {
+                    phase_micros[Phase::Reserve as usize] = t.elapsed().as_micros() as u64;
+                    trace_phase(Phase::Reserve, phase_micros[Phase::Reserve as usize]);
+                }
             }
-            let t = Instant::now();
+            let t = instrumented.then(Instant::now);
             let list = ev.evaluate(&parsed);
-            phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
-            trace_phase(Phase::Evaluate, phase_micros[Phase::Evaluate as usize]);
+            if let Some(t) = t {
+                phase_micros[Phase::Evaluate as usize] = t.elapsed().as_micros() as u64;
+                trace_phase(Phase::Evaluate, phase_micros[Phase::Evaluate as usize]);
+            }
             let dict_lookups = ev.dict_lookups();
             ev.release_reservations();
             let list = list?;
-            let t = Instant::now();
+            let t = instrumented.then(Instant::now);
             let scored = rank_score_list(list, k);
-            phase_micros[Phase::Rank as usize] = t.elapsed().as_micros() as u64;
-            trace_phase(Phase::Rank, phase_micros[Phase::Rank as usize]);
+            if let Some(t) = t {
+                phase_micros[Phase::Rank as usize] = t.elapsed().as_micros() as u64;
+                trace_phase(Phase::Rank, phase_micros[Phase::Rank as usize]);
+            }
             (scored, dict_lookups)
         };
+        if !instrumented {
+            return Ok((scored, None));
+        }
         self.recorder.add(Event::DictLookup, dict_lookups);
         for phase in Phase::ALL {
             self.recorder.record_phase(phase, phase_micros[phase as usize]);
         }
-        self.recorder.trace_end(query_span, TraceOp::Query, query_index as u64, None, 0);
+        if let Some(span) = query_span {
+            self.recorder.trace_end(span, TraceOp::Query, query_index as u64, None, 0);
+        }
+        let before = before.expect("instrumented run snapshots the recorder");
         let delta = self.recorder.snapshot().since(&before);
         let trace = QueryTrace {
             query: query_index,
@@ -646,7 +784,7 @@ impl Engine {
             phase_micros,
             events: delta.events,
         };
-        Ok((scored, trace))
+        Ok((scored, Some(trace)))
     }
 
     /// Assembles the telemetry-derived [`MetricsReport`] for one query-set
@@ -694,56 +832,18 @@ impl Engine {
         let mut traces = Vec::new();
         let mut rankings = Vec::with_capacity(queries.len());
         let start = Instant::now();
-        if self.recorder.is_enabled() {
-            for (qi, q) in queries.iter().enumerate() {
-                let (scored, trace) = self.run_one_instrumented(qi, q.as_ref(), k, mode)?;
-                if self.trace_queries {
+        // One shared code path: with telemetry off, run_one takes no
+        // timestamps and touches no recorder beyond the store's
+        // single-branch no-ops, so the measured path stays overhead-free.
+        let instrumented = self.recorder.is_enabled();
+        for (qi, q) in queries.iter().enumerate() {
+            let (scored, trace) = self.run_one(qi, q.as_ref(), k, mode, instrumented)?;
+            if self.trace_queries {
+                if let Some(trace) = trace {
                     traces.push(trace);
                 }
-                rankings.push(scored);
             }
-        } else {
-            // The untraced loop takes no timestamps and touches no recorder
-            // beyond the store's single-branch no-ops, so disabling
-            // telemetry keeps the measured path identical to before.
-            for q in queries {
-                let parsed = poir_inquery::parse_query(q.as_ref(), &self.stop)?;
-                let daat_bag = match mode {
-                    ExecMode::Daat | ExecMode::DaatPruned => daat::flatten_bag(&parsed),
-                    ExecMode::Serial | ExecMode::BatchedPrefetch => None,
-                };
-                let store = self.store.as_store();
-                if let Some(bag) = daat_bag {
-                    if self.reserve_enabled {
-                        let refs: Vec<u64> = bag
-                            .iter()
-                            .filter_map(|(_, term)| self.dict.lookup(term))
-                            .map(|id| self.dict.entry(id).store_ref)
-                            .collect();
-                        store.reserve(&refs);
-                    }
-                    let result = if mode == ExecMode::DaatPruned {
-                        daat::rank_daat_pruned(store, &self.dict, &self.docs, self.params, &bag, k)
-                            .map(|(scored, _)| scored)
-                    } else {
-                        daat::rank_daat(store, &self.dict, &self.docs, self.params, &bag, k)
-                    };
-                    store.release_reservations();
-                    rankings.push(result?);
-                } else {
-                    let mut ev =
-                        Evaluator::new(store, &self.dict, &self.docs, &self.stop, self.params);
-                    if mode == ExecMode::BatchedPrefetch {
-                        ev.prefetch(&parsed);
-                    }
-                    if self.reserve_enabled {
-                        ev.reserve(&parsed);
-                    }
-                    let result = ev.rank(&parsed, k);
-                    ev.release_reservations();
-                    rankings.push(result?);
-                }
-            }
+            rankings.push(scored);
         }
         let engine_time = start.elapsed();
         let io = self.device.stats().snapshot().since(&io_before);
@@ -766,7 +866,10 @@ impl Engine {
         Ok((report, rankings))
     }
 
-    fn to_ranked_results(&self, scored: Vec<poir_inquery::ScoredDoc>) -> Vec<RankedResult> {
+    pub(crate) fn to_ranked_results(
+        &self,
+        scored: Vec<poir_inquery::ScoredDoc>,
+    ) -> Vec<RankedResult> {
         scored
             .into_iter()
             .map(|s| RankedResult {

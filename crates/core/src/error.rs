@@ -1,6 +1,9 @@
 //! Error type for the integration layer.
 
 use std::fmt;
+use std::time::Duration;
+
+use crate::engine::RankedResult;
 
 /// Errors surfaced while building or serving an inverted file.
 #[derive(Debug)]
@@ -29,6 +32,24 @@ pub enum CoreError {
         /// The offending input.
         value: String,
     },
+    /// The query service's admission queue was full — the typed
+    /// reject-when-full signal. Retry later or shed load.
+    Overloaded {
+        /// The queue's configured capacity at rejection time.
+        capacity: usize,
+    },
+    /// The query's deadline budget expired at a phase boundary. Carries
+    /// whatever results had been computed when the budget ran out.
+    DeadlineExceeded {
+        /// The budget the request asked for.
+        budget: Duration,
+        /// Time actually elapsed when the deadline was noticed.
+        elapsed: Duration,
+        /// Hits merged from the shards that completed in time.
+        partial: Vec<RankedResult>,
+    },
+    /// The query service has shut down and accepts no further requests.
+    ServiceStopped,
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +64,15 @@ impl fmt::Display for CoreError {
             CoreError::CorruptMetadata(what) => write!(f, "engine metadata corrupt: {what}"),
             CoreError::CorruptRecord(what) => write!(f, "inverted record corrupt: {what}"),
             CoreError::UnknownName { kind, value } => write!(f, "unknown {kind} {value:?}"),
+            CoreError::Overloaded { capacity } => {
+                write!(f, "query service overloaded (queue capacity {capacity})")
+            }
+            CoreError::DeadlineExceeded { budget, elapsed, partial } => write!(
+                f,
+                "deadline of {budget:?} exceeded after {elapsed:?} ({} partial hits)",
+                partial.len()
+            ),
+            CoreError::ServiceStopped => write!(f, "query service stopped"),
         }
     }
 }
@@ -107,5 +137,13 @@ mod tests {
         assert!(CoreError::DanglingRef(0xAB).to_string().contains("0xab"));
         let iq: poir_inquery::InqueryError = CoreError::Unsupported("x").into();
         assert!(matches!(iq, poir_inquery::InqueryError::Store(_)));
+        assert!(CoreError::Overloaded { capacity: 8 }.to_string().contains("capacity 8"));
+        let d = CoreError::DeadlineExceeded {
+            budget: Duration::from_millis(5),
+            elapsed: Duration::from_millis(9),
+            partial: Vec::new(),
+        };
+        assert!(d.to_string().contains("0 partial hits"));
+        assert!(CoreError::ServiceStopped.to_string().contains("stopped"));
     }
 }

@@ -26,11 +26,16 @@ pub mod error;
 pub mod instrument;
 pub mod mneme_store;
 pub mod multi_file;
+pub mod service;
+pub mod shard;
 
 pub use btree_store::BTreeInvertedFile;
 pub use buffer_sizing::{paper_heuristic, BufferSizes};
 pub use builder::EngineBuilder;
-pub use engine::{BackendKind, Engine, ExecMode, ParallelSetReport, QuerySetReport, RankedResult};
+pub use engine::{
+    BackendKind, Engine, ExecMode, ParallelSetReport, QueryRequest, QueryResponse, QuerySetReport,
+    RankedResult, ShardTiming,
+};
 pub use error::{CoreError, Result};
 pub use instrument::StoreInstrumentation;
 pub use mneme_store::{
@@ -41,3 +46,5 @@ pub use poir_telemetry::{
     BufferResidencyReport, MetricsReport, QueryTrace, TelemetryOptions, TraceOp, TraceRecord,
     Tracer,
 };
+pub use service::{PendingQuery, QueryService};
+pub use shard::{ShardSpec, ShardedEngine};

@@ -1,0 +1,385 @@
+//! The sharded query service: a bounded admission queue in front of a
+//! fixed worker pool.
+//!
+//! [`QueryService`] owns the shards of a [`ShardedEngine`] (decomposed
+//! into their shared-view parts) and serves typed
+//! [`QueryRequest`]s from a bounded queue:
+//!
+//! * **Admission control** — the queue has a fixed capacity; a request
+//!   arriving at a full queue is rejected immediately with
+//!   [`CoreError::Overloaded`] instead of queueing without bound
+//!   (reject-when-full load shedding).
+//! * **Deadlines** — a request's budget is measured from submission and
+//!   checked at phase boundaries: at dequeue (an already-expired request
+//!   is dropped without evaluation), between shards, and after the merge.
+//!   An expired budget yields [`CoreError::DeadlineExceeded`] carrying
+//!   the hits computed so far.
+//! * **Fixed worker pool** — `workers` threads (see
+//!   [`ShardSpec`]) evaluate queries concurrently against each shard
+//!   store's lock-synchronized
+//!   [`shared_view`](crate::MnemeInvertedFile::shared_view); Mneme
+//!   backends only, like the parallel batch path.
+//!
+//! Every admission decision is recorded on the shared telemetry
+//! recorder (`queue_enqueued` / `queue_rejected` / `queue_expired`), and
+//! a tracing recorder gets one `queue_wait` slice per dequeued request.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use poir_inquery::query::daat;
+use poir_inquery::{BeliefParams, Dictionary, DocTable, Evaluator, ScoredDoc, StopWords};
+use poir_telemetry::trace::tag_query;
+use poir_telemetry::{Event, Phase, QueryTrace, Recorder, TraceOp};
+
+use crate::engine::{ExecMode, QueryRequest, QueryResponse, RankedResult, ShardTiming};
+use crate::error::{CoreError, Result};
+use crate::mneme_store::MnemeInvertedFile;
+use crate::shard::{ShardSpec, ShardedEngine};
+
+/// One shard's read path, shared by every worker.
+struct ShardRuntime {
+    dict: Dictionary,
+    docs: DocTable,
+    store: MnemeInvertedFile,
+}
+
+/// State shared between the service handle and its workers.
+struct ServiceShared {
+    shards: Vec<ShardRuntime>,
+    stop: StopWords,
+    params: BeliefParams,
+    recorder: Recorder,
+    capacity: usize,
+    /// Requests admitted but not yet dequeued.
+    depth: AtomicUsize,
+}
+
+/// One admitted request in flight through the worker pool.
+struct Job {
+    request: QueryRequest,
+    submitted: Instant,
+    seq: u32,
+    reply: mpsc::Sender<Result<QueryResponse>>,
+}
+
+/// Handle to a submitted request; redeem with [`PendingQuery::wait`].
+#[derive(Debug)]
+pub struct PendingQuery {
+    seq: u32,
+    rx: Receiver<Result<QueryResponse>>,
+}
+
+impl PendingQuery {
+    /// Blocks until the worker pool finishes this request.
+    pub fn wait(self) -> Result<QueryResponse> {
+        self.rx.recv().unwrap_or(Err(CoreError::ServiceStopped))
+    }
+
+    /// The service-assigned sequence number (the `queue_wait` trace
+    /// object).
+    pub fn sequence(&self) -> u32 {
+        self.seq
+    }
+}
+
+/// A running query service; see the module docs.
+pub struct QueryService {
+    shared: Arc<ServiceShared>,
+    spec: ShardSpec,
+    seq: AtomicU32,
+    /// `None` once [`QueryService::shutdown`] has run; dropping the
+    /// sender is what lets blocked workers drain and exit.
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("spec", &self.spec)
+            .field("capacity", &self.shared.capacity)
+            .field("queue_depth", &self.queue_depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryService {
+    /// Starts the worker pool over `engine`'s shards with a bounded
+    /// admission queue of `queue_capacity` requests (min 1). Mneme
+    /// backends only — workers fetch through each shard store's
+    /// [`shared_view`](crate::MnemeInvertedFile::shared_view).
+    pub fn start(engine: ShardedEngine, queue_capacity: usize) -> Result<QueryService> {
+        let capacity = queue_capacity.max(1);
+        let (spec, parts, recorder, _device) = engine.into_parts()?;
+        let mut shards = Vec::with_capacity(parts.len());
+        let mut stop_params = None;
+        for p in parts {
+            // Stop words and belief parameters are builder-wide; keep the
+            // first shard's copy rather than one clone per shard.
+            if stop_params.is_none() {
+                stop_params = Some((p.stop, p.params));
+            }
+            shards.push(ShardRuntime { dict: p.dict, docs: p.docs, store: p.store });
+        }
+        let (stop, params) = stop_params.expect("a sharded engine has at least one shard");
+        let shared = Arc::new(ServiceShared {
+            shards,
+            stop,
+            params,
+            recorder,
+            capacity,
+            depth: AtomicUsize::new(0),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..spec.workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared, &rx))
+            })
+            .collect();
+        Ok(QueryService {
+            shared,
+            spec,
+            seq: AtomicU32::new(0),
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The sharding layout the service runs.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The admission queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Requests currently admitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    /// The shared telemetry recorder (queue counters land here).
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.recorder
+    }
+
+    /// Submits a request without blocking. A full queue rejects with
+    /// [`CoreError::Overloaded`]; a stopped service with
+    /// [`CoreError::ServiceStopped`].
+    pub fn try_submit(&self, request: QueryRequest) -> Result<PendingQuery> {
+        let tx = self.tx.lock().expect("service sender mutex poisoned");
+        let Some(tx) = tx.as_ref() else {
+            return Err(CoreError::ServiceStopped);
+        };
+        let (reply, rx) = mpsc::channel();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let job = Job { request, submitted: Instant::now(), seq, reply };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.shared.depth.fetch_add(1, Ordering::Relaxed);
+                self.shared.recorder.incr(Event::QueueEnqueued);
+                Ok(PendingQuery { seq, rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.recorder.incr(Event::QueueRejected);
+                Err(CoreError::Overloaded { capacity: self.shared.capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(CoreError::ServiceStopped),
+        }
+    }
+
+    /// Submits and waits: [`QueryService::try_submit`] then
+    /// [`PendingQuery::wait`].
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse> {
+        self.try_submit(request)?.wait()
+    }
+
+    /// Stops accepting requests, lets the workers drain the queue, and
+    /// joins them. Idempotent and safe to call concurrently; requests
+    /// already admitted still complete and their [`PendingQuery`]s
+    /// resolve.
+    pub fn shutdown(&self) {
+        // Dropping the sender unblocks every worker's `recv` once the
+        // queue is empty — the drain-then-exit protocol.
+        self.tx.lock().expect("service sender mutex poisoned").take();
+        let workers: Vec<JoinHandle<()>> =
+            self.workers.lock().expect("service worker mutex poisoned").drain(..).collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    fn worker_loop(shared: &ServiceShared, rx: &Mutex<Receiver<Job>>) {
+        loop {
+            // Hold the receiver lock only while dequeueing; processing
+            // happens with the lock released so the pool stays concurrent.
+            let job = {
+                let guard = rx.lock().expect("service receiver mutex poisoned");
+                match guard.recv() {
+                    Ok(job) => job,
+                    Err(_) => return,
+                }
+            };
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            let _tag = tag_query(job.seq);
+            let queue_wait = job.submitted.elapsed();
+            let queue_micros = queue_wait.as_micros() as u64;
+            shared.recorder.trace(TraceOp::QueueWait, job.seq as u64, None, 0, queue_wait);
+            // An already-expired request is dropped without evaluation —
+            // its worker time would be pure waste under overload.
+            if let Some(budget) = job.request.deadline {
+                if queue_wait > budget {
+                    shared.recorder.incr(Event::QueueExpired);
+                    let _ = job.reply.send(Err(CoreError::DeadlineExceeded {
+                        budget,
+                        elapsed: queue_wait,
+                        partial: Vec::new(),
+                    }));
+                    continue;
+                }
+            }
+            let result = Self::evaluate(shared, &job).map(|mut resp| {
+                resp.queue_micros = queue_micros;
+                resp
+            });
+            // A dropped PendingQuery just discards the response.
+            let _ = job.reply.send(result);
+        }
+    }
+
+    /// Evaluates one request across the shards — the worker-pool analogue
+    /// of [`ShardedEngine::execute`], fetching through shared views.
+    fn evaluate(shared: &ServiceShared, job: &Job) -> Result<QueryResponse> {
+        let req = &job.request;
+        let sharded = shared.shards.len() > 1;
+        // Sharded evaluation must be document-at-a-time: term-at-a-time
+        // beliefs read shard-local record statistics and would silently
+        // diverge from the unsharded ranking (see `ShardedEngine`).
+        let mode = match (req.mode, sharded) {
+            (None, _) => ExecMode::DaatPruned,
+            (Some(m @ (ExecMode::Daat | ExecMode::DaatPruned)), _) => m,
+            (Some(m), false) => m,
+            (Some(_), true) => {
+                return Err(CoreError::Unsupported("term-at-a-time execution on a sharded engine"))
+            }
+        };
+        let mut phase_micros = [0u64; Phase::COUNT];
+        let t = Instant::now();
+        let parsed = poir_inquery::parse_query(&req.text, &shared.stop)?;
+        phase_micros[Phase::Parse as usize] = t.elapsed().as_micros() as u64;
+        let daat_bag = match mode {
+            ExecMode::Daat | ExecMode::DaatPruned => daat::flatten_bag(&parsed),
+            ExecMode::Serial | ExecMode::BatchedPrefetch => None,
+        };
+        let (merged, timings) = if let Some(bag) = daat_bag {
+            let mut per_shard: Vec<Vec<ScoredDoc>> = Vec::with_capacity(shared.shards.len());
+            let mut timings = Vec::with_capacity(shared.shards.len());
+            for (i, shard) in shared.shards.iter().enumerate() {
+                // Shard 0 always completes, so a deadline hit still
+                // returns a deterministic non-empty partial merge.
+                if i > 0 {
+                    if let Some(budget) = req.deadline {
+                        let elapsed = job.submitted.elapsed();
+                        if elapsed > budget {
+                            let merged = daat::merge_topk(per_shard, req.k);
+                            let partial = to_ranked(&shared.shards[0].docs, merged);
+                            return Err(CoreError::DeadlineExceeded { budget, elapsed, partial });
+                        }
+                    }
+                }
+                let t = Instant::now();
+                let mut view = shard.store.shared_view();
+                let scored = if mode == ExecMode::DaatPruned {
+                    daat::rank_daat_pruned(
+                        &mut view,
+                        &shard.dict,
+                        &shard.docs,
+                        shared.params,
+                        &bag,
+                        req.k,
+                    )?
+                    .0
+                } else {
+                    daat::rank_daat(
+                        &mut view,
+                        &shard.dict,
+                        &shard.docs,
+                        shared.params,
+                        &bag,
+                        req.k,
+                    )?
+                };
+                timings.push(ShardTiming {
+                    shard: i,
+                    micros: t.elapsed().as_micros() as u64,
+                    hits: scored.len(),
+                });
+                per_shard.push(scored);
+            }
+            (daat::merge_topk(per_shard, req.k), timings)
+        } else if sharded {
+            return Err(CoreError::Unsupported("structured queries on a sharded engine"));
+        } else {
+            // Single shard: structured queries (and term-at-a-time mode
+            // overrides) run through the Evaluator over the shared view,
+            // where record statistics equal the global ones.
+            let shard = &shared.shards[0];
+            let t = Instant::now();
+            let mut view = shard.store.shared_view();
+            let mut ev =
+                Evaluator::new(&mut view, &shard.dict, &shard.docs, &shared.stop, shared.params);
+            if mode == ExecMode::BatchedPrefetch {
+                ev.prefetch(&parsed);
+            }
+            let scored = ev.rank(&parsed, req.k)?;
+            let timing = ShardTiming {
+                shard: 0,
+                micros: t.elapsed().as_micros() as u64,
+                hits: scored.len(),
+            };
+            (scored, vec![timing])
+        };
+        phase_micros[Phase::Evaluate as usize] = timings.iter().map(|t| t.micros).sum();
+        if let Some(budget) = req.deadline {
+            let elapsed = job.submitted.elapsed();
+            if elapsed > budget {
+                let partial = to_ranked(&shared.shards[0].docs, merged);
+                return Err(CoreError::DeadlineExceeded { budget, elapsed, partial });
+            }
+        }
+        let hits = to_ranked(&shared.shards[0].docs, merged);
+        // Event counters on a shared-recorder service are set-level, not
+        // per-query (see `QueryResponse::trace`); the per-request trace
+        // carries the phase timings only.
+        let trace = QueryTrace {
+            query: job.seq as usize,
+            results: hits.len(),
+            phase_micros,
+            events: [0; Event::COUNT],
+        };
+        Ok(QueryResponse { hits, shards: timings, trace, queue_micros: 0 })
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Names every scored document from the (collection-wide) document table.
+fn to_ranked(docs: &DocTable, scored: Vec<ScoredDoc>) -> Vec<RankedResult> {
+    scored
+        .into_iter()
+        .map(|s| RankedResult { doc: s.doc, name: docs.info(s.doc).name.clone(), score: s.score })
+        .collect()
+}

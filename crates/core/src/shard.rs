@@ -1,0 +1,320 @@
+//! Horizontal sharding: one engine per document-id range, merged top-k.
+//!
+//! [`ShardedEngine`] fronts `N` independently built [`Engine`]s, each
+//! serving a contiguous document-id range of the collection (see
+//! [`Index::split_shards`](poir_inquery::Index::split_shards)). Because
+//! every shard scores with the **global** collection statistics — the
+//! dictionary's collection-wide document frequencies and the full
+//! document table — each shard's top `k` is exactly the restriction of
+//! the unsharded ranking to that shard's documents, so merging the
+//! per-shard lists with the ranking comparator reproduces the unsharded
+//! top `k` bit-for-bit (ties included).
+//!
+//! The query service (see [`crate::service`]) runs these shards on a
+//! worker pool; this module also works standalone for single-threaded
+//! sharded evaluation and batch measurement.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use poir_inquery::query::daat;
+use poir_inquery::Index;
+use poir_storage::Device;
+use poir_telemetry::{Event, MetricsReport, Phase, QueryTrace, Recorder};
+
+use crate::engine::{
+    Engine, EngineParts, ExecMode, QueryRequest, QueryResponse, QuerySetReport, RankedResult,
+    ShardTiming,
+};
+use crate::error::{CoreError, Result};
+
+/// Sharding layout: how many shards to split the collection into and how
+/// many service workers evaluate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Horizontal partitions of the document space (min 1).
+    pub shards: usize,
+    /// Worker threads in the query service's pool (min 1).
+    pub workers: usize,
+}
+
+impl ShardSpec {
+    /// A spec with both values clamped to at least 1.
+    pub fn new(shards: usize, workers: usize) -> ShardSpec {
+        ShardSpec { shards: shards.max(1), workers: workers.max(1) }
+    }
+}
+
+impl Default for ShardSpec {
+    /// The paper's configuration: one shard, one worker (no sharding).
+    fn default() -> ShardSpec {
+        ShardSpec { shards: 1, workers: 1 }
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    /// Stable CLI/JSON form `"<shards>x<workers>"`; round-trips through
+    /// [`ShardSpec::from_str`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.shards, self.workers)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = CoreError;
+
+    /// Parses `"4x8"` (4 shards, 8 workers) or bare `"4"` (4 shards, 4
+    /// workers). Zeroes are rejected rather than clamped: a spec that
+    /// names zero shards is a typo, not a request for the default.
+    fn from_str(s: &str) -> Result<ShardSpec> {
+        let err = || CoreError::UnknownName { kind: "shard spec", value: s.to_string() };
+        let (shards, workers) = match s.split_once(['x', 'X']) {
+            Some((a, b)) => {
+                (a.trim().parse().map_err(|_| err())?, { b.trim().parse().map_err(|_| err())? })
+            }
+            None => {
+                let n: usize = s.trim().parse().map_err(|_| err())?;
+                (n, n)
+            }
+        };
+        if shards == 0 || workers == 0 {
+            return Err(err());
+        }
+        Ok(ShardSpec { shards, workers })
+    }
+}
+
+/// `N` per-range engines behind the unsharded [`Engine`]'s query
+/// interface. Built by
+/// [`EngineBuilder::build_sharded`](crate::EngineBuilder::build_sharded).
+pub struct ShardedEngine {
+    spec: ShardSpec,
+    shards: Vec<Engine>,
+    recorder: Recorder,
+    device: Arc<Device>,
+}
+
+impl fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("spec", &self.spec)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedEngine {
+    pub(crate) fn from_shards(
+        spec: ShardSpec,
+        shards: Vec<Engine>,
+        recorder: Recorder,
+        device: Arc<Device>,
+    ) -> ShardedEngine {
+        debug_assert_eq!(spec.shards, shards.len());
+        ShardedEngine { spec, shards, recorder, device }
+    }
+
+    /// The sharding layout this engine was built with.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared telemetry recorder (one instance across all shards).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The simulated device all shards run on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Splits `index` and builds the shards — convenience for
+    /// [`EngineBuilder::build_sharded`](crate::EngineBuilder::build_sharded);
+    /// see that method for the full builder surface.
+    pub fn build(device: &Arc<Device>, spec: ShardSpec, index: Index) -> Result<ShardedEngine> {
+        Engine::builder(device).sharding(spec).build_sharded(index)
+    }
+
+    /// Picks (and validates) the execution mode for a sharded request.
+    ///
+    /// Sharded evaluation is document-at-a-time only: the term-at-a-time
+    /// [`Evaluator`](poir_inquery::Evaluator) reads document frequencies
+    /// from each shard's stored records, which hold shard-local counts —
+    /// its beliefs would silently diverge from the unsharded ranking. The
+    /// DAAT modes score from the dictionary's global statistics, so they
+    /// are exact; anything else is a typed error rather than a wrong
+    /// answer.
+    fn sharded_mode(&self, req: &QueryRequest) -> Result<ExecMode> {
+        match req.mode {
+            None => Ok(ExecMode::DaatPruned),
+            Some(m @ (ExecMode::Daat | ExecMode::DaatPruned)) => Ok(m),
+            Some(ExecMode::Serial | ExecMode::BatchedPrefetch) => {
+                Err(CoreError::Unsupported("term-at-a-time execution on a sharded engine"))
+            }
+        }
+    }
+
+    /// Runs one typed request across every shard and merges the per-shard
+    /// top `k` into the global top `k` (bit-identical to the unsharded
+    /// ranking; see the module docs).
+    ///
+    /// The request's deadline is checked between shards: shard 0 always
+    /// completes, and an expired budget at a later boundary returns
+    /// [`CoreError::DeadlineExceeded`] carrying the merge of the shards
+    /// that finished in time.
+    pub fn execute(&mut self, req: &QueryRequest) -> Result<QueryResponse> {
+        if self.shards.len() == 1 {
+            return self.shards[0].execute(req);
+        }
+        let mode = self.sharded_mode(req)?;
+        // Structured queries cannot fall back to the term-at-a-time
+        // pipeline here (shard-local record statistics; see
+        // `sharded_mode`), so reject them before touching any shard.
+        let parsed = poir_inquery::parse_query(&req.text, self.shards[0].stop_words())?;
+        if daat::flatten_bag(&parsed).is_none() {
+            return Err(CoreError::Unsupported("structured queries on a sharded engine"));
+        }
+        let start = Instant::now();
+        let mut per_shard: Vec<Vec<poir_inquery::ScoredDoc>> = Vec::new();
+        let mut timings = Vec::new();
+        let mut phase_micros = [0u64; Phase::COUNT];
+        let mut events = [0u64; Event::COUNT];
+        for i in 0..self.shards.len() {
+            if i > 0 {
+                if let Some(budget) = req.deadline {
+                    let elapsed = start.elapsed();
+                    if elapsed > budget {
+                        let merged = daat::merge_topk(per_shard, req.k);
+                        let partial = self.shards[0].to_ranked_results(merged);
+                        return Err(CoreError::DeadlineExceeded { budget, elapsed, partial });
+                    }
+                }
+            }
+            let t = Instant::now();
+            let (scored, trace) = self.shards[i].run_one(0, &req.text, req.k, mode, true)?;
+            timings.push(ShardTiming {
+                shard: i,
+                micros: t.elapsed().as_micros() as u64,
+                hits: scored.len(),
+            });
+            let trace = trace.expect("instrumented run returns a trace");
+            for (acc, v) in phase_micros.iter_mut().zip(trace.phase_micros) {
+                *acc += v;
+            }
+            for (acc, v) in events.iter_mut().zip(trace.events) {
+                *acc += v;
+            }
+            per_shard.push(scored);
+        }
+        let merged = daat::merge_topk(per_shard, req.k);
+        let hits = self.shards[0].to_ranked_results(merged);
+        let trace = QueryTrace { query: 0, results: hits.len(), phase_micros, events };
+        Ok(QueryResponse { hits, shards: timings, trace, queue_micros: 0 })
+    }
+
+    /// Processes a query set in batch mode across the shards, reproducing
+    /// the unsharded measurement procedure: chill the OS cache, run every
+    /// query (document-at-a-time with pruning), merge per-query rankings.
+    ///
+    /// Telemetry is aggregated from **one** shared-recorder delta taken
+    /// around the whole run — the shards share a single recorder, so
+    /// summing per-shard snapshots would double-count device events;
+    /// record lookups are summed from each shard's monotone store counter
+    /// instead. Per-pool buffer statistics are per-store and are not
+    /// aggregated (`buffer_stats: None`).
+    pub fn run_query_set<S: AsRef<str>>(
+        &mut self,
+        queries: &[S],
+        k: usize,
+    ) -> Result<(QuerySetReport, Vec<Vec<RankedResult>>)> {
+        if self.shards.len() == 1 {
+            let mode = self.shards[0].exec_mode();
+            return self.shards[0].run_query_set_mode(queries, k, mode);
+        }
+        self.device.chill();
+        let lookups_before: u64 = self.shards.iter().map(|s| s.store_record_lookups()).sum();
+        let io_before = self.device.stats().snapshot();
+        let tel_before = self.recorder.snapshot();
+        let instrumented = self.recorder.is_enabled();
+        let mut rankings = Vec::with_capacity(queries.len());
+        let start = Instant::now();
+        for (qi, q) in queries.iter().enumerate() {
+            let mut per_shard = Vec::with_capacity(self.shards.len());
+            for shard in &mut self.shards {
+                let (scored, _) =
+                    shard.run_one(qi, q.as_ref(), k, ExecMode::DaatPruned, instrumented)?;
+                per_shard.push(scored);
+            }
+            rankings.push(daat::merge_topk(per_shard, k));
+        }
+        let engine_time = start.elapsed();
+        let io = self.device.stats().snapshot().since(&io_before);
+        let lookups_after: u64 = self.shards.iter().map(|s| s.store_record_lookups()).sum();
+        let record_lookups = lookups_after.saturating_sub(lookups_before);
+        let metrics = instrumented.then(|| {
+            let delta = self.recorder.snapshot().since(&tel_before);
+            let sim_io_micros = self.device.cost_model().charge_telemetry(&delta).as_micros();
+            MetricsReport {
+                queries: queries.len(),
+                delta,
+                traces: Vec::new(),
+                engine_micros: engine_time.as_micros() as u64,
+                sim_io_micros,
+            }
+        });
+        let report = QuerySetReport {
+            queries: queries.len(),
+            engine_time,
+            sys_io_time: self.device.cost_model().charge(&io),
+            io,
+            record_lookups,
+            buffer_stats: None,
+            metrics,
+        };
+        let rankings = rankings.into_iter().map(|r| self.shards[0].to_ranked_results(r)).collect();
+        Ok((report, rankings))
+    }
+
+    /// Decomposes into per-shard worker-pool parts for the query service
+    /// (Mneme backends only).
+    pub(crate) fn into_parts(self) -> Result<(ShardSpec, Vec<EngineParts>, Recorder, Arc<Device>)> {
+        let ShardedEngine { spec, shards, recorder, device } = self;
+        let parts = shards.into_iter().map(Engine::into_parts).collect::<Result<Vec<_>>>()?;
+        Ok((spec, parts, recorder, device))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_and_round_trips() {
+        let spec: ShardSpec = "4x8".parse().unwrap();
+        assert_eq!(spec, ShardSpec { shards: 4, workers: 8 });
+        assert_eq!(spec.to_string(), "4x8");
+        assert_eq!(spec.to_string().parse::<ShardSpec>().unwrap(), spec);
+        // Bare shard count: workers default to the shard count.
+        assert_eq!("3".parse::<ShardSpec>().unwrap(), ShardSpec { shards: 3, workers: 3 });
+        // Uppercase separator and surrounding whitespace are tolerated.
+        assert_eq!("2X5".parse::<ShardSpec>().unwrap(), ShardSpec { shards: 2, workers: 5 });
+        assert_eq!(" 2 x 5 ".parse::<ShardSpec>().unwrap(), ShardSpec::new(2, 5));
+        assert_eq!(ShardSpec::default(), ShardSpec { shards: 1, workers: 1 });
+        assert_eq!(ShardSpec::new(0, 0), ShardSpec { shards: 1, workers: 1 });
+        for bad in ["", "0", "0x2", "2x0", "x", "2x", "x2", "axb", "-1x2"] {
+            let err = bad.parse::<ShardSpec>().unwrap_err();
+            assert!(
+                matches!(err, CoreError::UnknownName { kind: "shard spec", .. }),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+}

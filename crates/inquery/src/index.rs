@@ -21,7 +21,8 @@ use crate::codec::encode_vbyte;
 use crate::dict::{Dictionary, TermId};
 use crate::documents::DocTable;
 use crate::postings::{
-    encode_v2_directory, encode_v2_header, interleave_vbyte_postings, pack_block, DocId, BLOCK_SIZE,
+    encode_v2_directory, encode_v2_header, interleave_vbyte_postings, pack_block, DocId,
+    InvertedRecord, BLOCK_SIZE,
 };
 use crate::text::{tokenize, StopWords};
 
@@ -229,6 +230,57 @@ impl Index {
         self.records.iter().map(|(_, r)| r.len() as u64).sum()
     }
 
+    /// Contiguous document-id ranges carving `num_docs` documents into
+    /// `shards` near-equal horizontal slices: shard `s` owns
+    /// `[s·D/N, (s+1)·D/N)`. Matches the corpus-side split in
+    /// `poir-collections`.
+    pub fn shard_ranges(num_docs: usize, shards: usize) -> Vec<std::ops::Range<u32>> {
+        let n = shards.max(1);
+        (0..n).map(|s| (s * num_docs / n) as u32..((s + 1) * num_docs / n) as u32).collect()
+    }
+
+    /// Splits the index into `shards` horizontal shards over contiguous,
+    /// disjoint document-id ranges.
+    ///
+    /// Every shard keeps a full clone of the dictionary (collection-wide
+    /// df/cf; store references are rebound when the shard's records load
+    /// into a backend) and of the document table, so per-shard evaluation
+    /// scores every document with the same global statistics the unsharded
+    /// index uses. Each inverted record is re-encoded holding only the
+    /// postings inside the shard's range, at the *global* document ids; a
+    /// term absent from a shard keeps a genuine empty record so the shard
+    /// backend still assigns it a valid store reference.
+    pub fn split_shards(&self, shards: usize) -> Vec<Index> {
+        if shards <= 1 {
+            return vec![self.clone()];
+        }
+        let ranges = Self::shard_ranges(self.documents.len(), shards);
+        let mut shard_records: Vec<Vec<(TermId, Vec<u8>)>> =
+            vec![Vec::with_capacity(self.records.len()); shards];
+        for (term, bytes) in &self.records {
+            let rec = InvertedRecord::decode(bytes)
+                .unwrap_or_else(|| panic!("index record {term:?} must decode"));
+            // Postings ascend by doc id and the ranges tile [0, num_docs),
+            // so one forward scan deals every posting to its shard.
+            let mut postings = rec.postings.into_iter().peekable();
+            for (s, range) in ranges.iter().enumerate() {
+                let mut slice = Vec::new();
+                while postings.peek().is_some_and(|p| p.doc.0 < range.end) {
+                    slice.push(postings.next().expect("peeked"));
+                }
+                shard_records[s].push((*term, InvertedRecord::from_postings(slice).encode()));
+            }
+        }
+        shard_records
+            .into_iter()
+            .map(|records| Index {
+                dictionary: self.dictionary.clone(),
+                documents: self.documents.clone(),
+                records,
+            })
+            .collect()
+    }
+
     /// Fraction of records no larger than `threshold` bytes (the paper's
     /// "approximately 50% of the inverted lists are 12 bytes or less").
     pub fn fraction_at_most(&self, threshold: usize) -> f64 {
@@ -332,6 +384,64 @@ mod tests {
         let rec = InvertedRecord::decode(bytes).expect("blocked record decodes");
         assert_eq!(rec.df(), 300);
         assert_eq!(&rec.encode(), bytes, "builder bytes == canonical encoding");
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_collection() {
+        let ranges = Index::shard_ranges(10, 4);
+        assert_eq!(ranges, vec![0..2, 2..5, 5..7, 7..10]);
+        assert_eq!(Index::shard_ranges(3, 1), vec![0..3]);
+        assert_eq!(Index::shard_ranges(2, 4), vec![0..0, 0..1, 1..1, 1..2]);
+        assert_eq!(Index::shard_ranges(0, 2), vec![0..0, 0..0]);
+    }
+
+    #[test]
+    fn split_shards_partitions_postings_and_keeps_global_statistics() {
+        let mut b = IndexBuilder::new(StopWords::none());
+        for i in 0..200u32 {
+            let mut text = "word ".repeat((i % 3 + 1) as usize);
+            if i % 2 == 0 {
+                text.push_str("even ");
+            }
+            if i < 50 {
+                text.push_str("early ");
+            }
+            b.add_document(&format!("D{i}"), &text);
+        }
+        let idx = b.finish();
+        for n in [2, 3, 4] {
+            let shards = idx.split_shards(n);
+            assert_eq!(shards.len(), n);
+            let ranges = Index::shard_ranges(idx.documents.len(), n);
+            for (term, bytes) in &idx.records {
+                let global = InvertedRecord::decode(bytes).unwrap();
+                let mut reassembled = Vec::new();
+                for (shard, range) in shards.iter().zip(&ranges) {
+                    let (_, sbytes) = &shard.records[term.0 as usize];
+                    let rec = InvertedRecord::decode(sbytes).expect("shard record decodes");
+                    assert!(
+                        rec.postings.iter().all(|p| range.contains(&p.doc.0)),
+                        "shard postings stay inside the shard's doc range"
+                    );
+                    reassembled.extend(rec.postings);
+                }
+                assert_eq!(reassembled, global.postings, "n={n}: concat of shards == global");
+            }
+            for shard in &shards {
+                assert_eq!(shard.dictionary.len(), idx.dictionary.len());
+                assert_eq!(shard.documents.len(), idx.documents.len());
+                let word = shard.dictionary.lookup("early").unwrap();
+                assert_eq!(shard.dictionary.entry(word).df, 50, "dictionary df stays global");
+            }
+        }
+        // "early" lives only in the first quarter: later shards hold a
+        // genuine (decodable) empty record for it.
+        let shards = idx.split_shards(4);
+        let early = idx.dictionary.lookup("early").unwrap();
+        let (_, bytes) = &shards[3].records[early.0 as usize];
+        let rec = InvertedRecord::decode(bytes).unwrap();
+        assert_eq!(rec.df(), 0);
+        assert!(rec.postings.is_empty());
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub use porter::stem;
 pub use postings::{
     BlockCursor, DocId, InvertedRecord, Posting, PostingsCursor, SeekSummary, SkipBlock, BLOCK_SIZE,
 };
-pub use query::{parse_query, rank_score_list, Evaluator, QueryNode, ScoreList, ScoredDoc};
+pub use query::{
+    merge_topk, parse_query, rank_score_list, Evaluator, QueryNode, ScoreList, ScoredDoc,
+};
 pub use store::{InvertedFileStore, MemoryStore, RecordBytes};
 pub use text::{tokenize, StopWords};

@@ -98,9 +98,14 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
     // term-at-a-time — the access pattern the storage layer sees is the
     // same; what changes is evaluation memory). Unknown terms contribute
     // the default belief to every document, exactly as in term-at-a-time,
-    // so their weight stays in the normalisation.
+    // so their weight stays in the normalisation. Document frequency comes
+    // from the dictionary, not the record header: on an unsharded index
+    // the two are identical, and on a shard (whose records hold only a
+    // document-id slice) the dictionary keeps the collection-wide df the
+    // belief function needs for globally consistent scores.
     let mut weights = Vec::new();
     let mut buffers = Vec::new();
+    let mut dfs = Vec::new();
     let mut unknown_weight = 0.0f64;
     for (w, term) in terms {
         let Some(id) = dict.lookup(term) else {
@@ -109,16 +114,15 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
         };
         let bytes = store.fetch(dict.entry(id).store_ref)?;
         weights.push(*w);
+        dfs.push(dict.entry(id).df);
         buffers.push(bytes);
     }
     let mut cursors = Vec::with_capacity(buffers.len());
-    let mut dfs = Vec::with_capacity(buffers.len());
     let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
     let mut current: Vec<Option<Posting>> = Vec::with_capacity(buffers.len());
     for (i, bytes) in buffers.iter().enumerate() {
-        let (mut cursor, df, _cf, _max_tf) = PostingsCursor::open(bytes)
+        let (mut cursor, _df, _cf, _max_tf) = PostingsCursor::open(bytes)
             .ok_or_else(|| InqueryError::BadRecord("cursor open failed".into()))?;
-        dfs.push(df);
         let head = cursor.next();
         if let Some(p) = &head {
             heap.push(Reverse((p.doc.0, i)));
@@ -354,6 +358,10 @@ pub fn rank_daat_pruned<S: InvertedFileStore + ?Sized>(
 
     // Fetch every known term's record (same store access order as
     // rank_daat); unknown terms keep their weight in the normalisation.
+    // As in rank_daat, df is the dictionary's collection-wide count (the
+    // record header's df is shard-local on a sharded index); max_tf stays
+    // the record header's, which on a shard caps the postings actually in
+    // the record — a tighter, still-sound pruning bound.
     let mut weights: Vec<f64> = Vec::new();
     let mut lists: Vec<LazyList> = Vec::new();
     let mut cursors: Vec<BlockCursor> = Vec::new();
@@ -365,11 +373,11 @@ pub fn rank_daat_pruned<S: InvertedFileStore + ?Sized>(
             unknown_weight += *w;
             continue;
         };
-        let (list, cursor, df, max_tf) = LazyList::fetch_open(store, dict.entry(id).store_ref)?;
+        let (list, cursor, _df, max_tf) = LazyList::fetch_open(store, dict.entry(id).store_ref)?;
         weights.push(*w);
         lists.push(list);
         cursors.push(cursor);
-        dfs.push(df);
+        dfs.push(dict.entry(id).df);
         max_tfs.push(max_tf);
     }
     let total_weight: f64 = weights.iter().sum::<f64>() + unknown_weight;
@@ -597,6 +605,25 @@ pub fn rank_daat_pruned<S: InvertedFileStore + ?Sized>(
     Ok((results, stats))
 }
 
+/// Merges per-shard top-`k` lists into the global top-`k`.
+///
+/// Each shard covers a disjoint document-id range and scores with the
+/// collection-wide statistics, so a document's score is independent of
+/// which shard holds it and any document in the global top-`k` is also in
+/// its own shard's top-`k` (there are at most `k - 1` documents anywhere
+/// that beat it). Concatenating per-shard lists therefore contains the
+/// global answer, and sorting with the evaluator's exact comparator —
+/// score descending, then document id ascending — reproduces the
+/// unsharded ranking bit for bit, ties included.
+pub fn merge_topk(shard_results: Vec<Vec<ScoredDoc>>, k: usize) -> Vec<ScoredDoc> {
+    let mut all: Vec<ScoredDoc> = shard_results.into_iter().flatten().collect();
+    all.sort_unstable_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.doc.cmp(&b.doc))
+    });
+    all.truncate(k);
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,6 +785,19 @@ mod tests {
         let (r, _) =
             rank_daat_pruned(&mut store, &dict, &docs, BeliefParams::default(), &[], 10).unwrap();
         assert!(r.is_empty(), "empty query returns nothing");
+    }
+
+    #[test]
+    fn merge_topk_reproduces_single_list_ordering() {
+        let s = |doc: u32, score: f64| ScoredDoc { doc: DocId(doc), score };
+        // Ties on score must break by ascending doc id, across shards.
+        let shard_a = vec![s(4, 0.9), s(0, 0.5), s(2, 0.5)];
+        let shard_b = vec![s(1, 0.9), s(3, 0.5)];
+        let merged = merge_topk(vec![shard_a, shard_b], 4);
+        let docs: Vec<u32> = merged.iter().map(|r| r.doc.0).collect();
+        assert_eq!(docs, vec![1, 4, 0, 2], "score desc, then doc asc, truncated to k");
+        assert!(merge_topk(vec![], 5).is_empty());
+        assert_eq!(merge_topk(vec![vec![s(7, 1.0)], vec![]], 0).len(), 0);
     }
 
     /// A corpus big enough that frequent terms cross `BLOCK_SIZE` and get

@@ -83,11 +83,17 @@ pub enum Event {
     BytesDecoded,
     /// Posting blocks decoded from the v2 bit-packed representation.
     BlocksBitpacked,
+    /// Requests admitted into the query service's bounded queue.
+    QueueEnqueued,
+    /// Requests rejected at admission because the queue was full.
+    QueueRejected,
+    /// Requests whose deadline had already expired when dequeued.
+    QueueExpired,
 }
 
 impl Event {
     /// Number of event kinds (array dimension).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 24;
 
     /// All events, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -112,6 +118,9 @@ impl Event {
         Event::RangeRead,
         Event::BytesDecoded,
         Event::BlocksBitpacked,
+        Event::QueueEnqueued,
+        Event::QueueRejected,
+        Event::QueueExpired,
     ];
 
     /// Stable snake_case name used in JSON export.
@@ -138,6 +147,9 @@ impl Event {
             Event::RangeRead => "range_reads",
             Event::BytesDecoded => "bytes_decoded",
             Event::BlocksBitpacked => "blocks_bitpacked",
+            Event::QueueEnqueued => "queue_enqueued",
+            Event::QueueRejected => "queue_rejected",
+            Event::QueueExpired => "queue_expired",
         }
     }
 }

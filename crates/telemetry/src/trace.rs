@@ -75,6 +75,9 @@ pub enum TraceOp {
     /// decoded from the bit-packed representation, `bytes` = posting
     /// payload bytes decoded).
     BlockDecode,
+    /// Time a request spent in the query service's admission queue before
+    /// a worker dequeued it (`object` = service sequence number).
+    QueueWait,
 }
 
 /// `object` value for a [`TraceOp::LockWait`] on the Mneme meta `RwLock`
@@ -89,7 +92,7 @@ pub const LOCK_POOL: u64 = 2;
 
 impl TraceOp {
     /// Number of operation kinds.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// All operation kinds, in declaration order.
     pub const ALL: [TraceOp; TraceOp::COUNT] = [
@@ -107,6 +110,7 @@ impl TraceOp {
         TraceOp::CursorSeek,
         TraceOp::RangeRead,
         TraceOp::BlockDecode,
+        TraceOp::QueueWait,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -126,6 +130,7 @@ impl TraceOp {
             TraceOp::CursorSeek => "cursor_seek",
             TraceOp::RangeRead => "range_read",
             TraceOp::BlockDecode => "block_decode",
+            TraceOp::QueueWait => "queue_wait",
         }
     }
 
@@ -139,9 +144,11 @@ impl TraceOp {
             | TraceOp::BufferEvict => "buffer",
             TraceOp::HashProbe | TraceOp::BTreeDescent => "index",
             TraceOp::LockWait => "lock",
-            TraceOp::Query | TraceOp::QueryPhase | TraceOp::CursorSeek | TraceOp::BlockDecode => {
-                "query"
-            }
+            TraceOp::Query
+            | TraceOp::QueryPhase
+            | TraceOp::CursorSeek
+            | TraceOp::BlockDecode
+            | TraceOp::QueueWait => "query",
         }
     }
 }

@@ -1,0 +1,293 @@
+//! Sharded query service: cross-shard equivalence, admission control,
+//! deadlines, and telemetry aggregation.
+//!
+//! The load-bearing property is bit-identity — splitting the collection
+//! into N shards, evaluating each with the global statistics, and merging
+//! the per-shard top-k must reproduce the unsharded `DaatPruned` ranking
+//! exactly (scores compared by bit pattern), on every storage backend.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use poir::core::{BackendKind, CoreError, Engine, ExecMode, QueryRequest, QueryService, ShardSpec};
+use poir::inquery::{Index, IndexBuilder, StopWords};
+use poir::storage::{CostModel, Device, DeviceConfig};
+use poir::telemetry::{Event, TelemetryOptions};
+
+fn build_index(num_docs: usize) -> Index {
+    let mut b = IndexBuilder::new(StopWords::default());
+    for d in 0..num_docs {
+        let mut text = String::new();
+        for t in 0..60 {
+            let rank = (d * 31 + t * 17) % 211;
+            text.push_str(&format!("w{rank} "));
+            if (d + t) % 7 == 0 {
+                text.push_str(&format!("rare{d} ", d = d % 37));
+            }
+        }
+        if d % 5 == 0 {
+            text.push_str("object store performance ");
+        }
+        b.add_document(&format!("DOC-{d:04}"), &text);
+    }
+    b.finish()
+}
+
+fn device() -> Arc<Device> {
+    Device::new(DeviceConfig {
+        block_size: 8192,
+        os_cache_blocks: 128,
+        cost_model: CostModel::default(),
+    })
+}
+
+const BAG_QUERIES: &[&str] =
+    &["w3 w17 w50", "w100 rare5", "#wsum(3 w7 1 w9 2 rare11)", "w1 w2 w3 w4 w5", "rare0 w200"];
+
+/// A ranking as exactly comparable tuples (score bit patterns included).
+fn keyed(hits: &[poir::core::RankedResult]) -> Vec<(u32, String, u64)> {
+    hits.iter().map(|r| (r.doc.0, r.name.clone(), r.score.to_bits())).collect()
+}
+
+#[test]
+fn sharded_topk_is_bit_identical_to_unsharded_on_all_backends() {
+    let index = build_index(300);
+    for backend in BackendKind::all() {
+        let mut unsharded =
+            Engine::builder(&device()).backend(backend).build(index.clone()).unwrap();
+        let (_, reference) =
+            unsharded.run_query_set_mode(BAG_QUERIES, 10, ExecMode::DaatPruned).unwrap();
+        assert!(reference.iter().any(|r| !r.is_empty()), "queries must match documents");
+        for shards in [1usize, 2, 4] {
+            let mut sharded = Engine::builder(&device())
+                .backend(backend)
+                .exec_mode(ExecMode::DaatPruned)
+                .sharding(ShardSpec::new(shards, shards))
+                .build_sharded(index.clone())
+                .unwrap();
+            assert_eq!(sharded.num_shards(), shards);
+            // Per-query execute path.
+            for (qi, q) in BAG_QUERIES.iter().enumerate() {
+                let resp = sharded.execute(&QueryRequest::new(*q, 10)).unwrap();
+                assert_eq!(
+                    keyed(&resp.hits),
+                    keyed(&reference[qi]),
+                    "{backend:?} N={shards} diverged on {q:?} (execute)"
+                );
+                assert_eq!(resp.shards.len(), shards);
+            }
+            // Batch path.
+            let (_, rankings) = sharded.run_query_set(BAG_QUERIES, 10).unwrap();
+            for (qi, ranking) in rankings.iter().enumerate() {
+                assert_eq!(
+                    keyed(ranking),
+                    keyed(&reference[qi]),
+                    "{backend:?} N={shards} diverged on query {qi} (batch)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_rejects_structured_queries_and_taat_modes() {
+    let index = build_index(80);
+    let mut sharded =
+        Engine::builder(&device()).sharding(ShardSpec::new(2, 2)).build_sharded(index).unwrap();
+    let err = sharded.execute(&QueryRequest::new("#and(w3 w17)", 5)).unwrap_err();
+    assert!(matches!(err, CoreError::Unsupported(_)), "structured query must be typed-rejected");
+    let err = sharded.execute(&QueryRequest::new("w3 w17", 5).mode(ExecMode::Serial)).unwrap_err();
+    assert!(matches!(err, CoreError::Unsupported(_)), "TAAT mode must be typed-rejected");
+}
+
+#[test]
+fn service_reproduces_sharded_rankings_and_reports_queue_wait() {
+    let index = build_index(200);
+    let mut sharded = Engine::builder(&device())
+        .exec_mode(ExecMode::DaatPruned)
+        .sharding(ShardSpec::new(4, 2))
+        .build_sharded(index.clone())
+        .unwrap();
+    let mut reference = Vec::new();
+    for q in BAG_QUERIES {
+        reference.push(sharded.execute(&QueryRequest::new(*q, 10)).unwrap().hits);
+    }
+    let service_engine =
+        Engine::builder(&device()).sharding(ShardSpec::new(4, 2)).build_sharded(index).unwrap();
+    let service = QueryService::start(service_engine, 8).unwrap();
+    for (qi, q) in BAG_QUERIES.iter().enumerate() {
+        let resp = service.query(QueryRequest::new(*q, 10)).unwrap();
+        assert_eq!(keyed(&resp.hits), keyed(&reference[qi]), "service diverged on {q:?}");
+        assert_eq!(resp.shards.len(), 4);
+    }
+    // Structured queries stay typed errors through the queue too.
+    assert!(matches!(
+        service.query(QueryRequest::new("#and(w3 w17)", 5)),
+        Err(CoreError::Unsupported(_))
+    ));
+    service.shutdown();
+    assert!(matches!(
+        service.try_submit(QueryRequest::new("w3", 5)),
+        Err(CoreError::ServiceStopped)
+    ));
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded_and_admitted_requests_complete() {
+    let index = build_index(150);
+    let engine = Engine::builder(&device())
+        .telemetry(TelemetryOptions::counters_only())
+        .sharding(ShardSpec::new(1, 1))
+        .build_sharded(index)
+        .unwrap();
+    let service = QueryService::start(engine, 2).unwrap();
+    assert_eq!(service.capacity(), 2);
+    // One worker, capacity 2: a burst of non-blocking submissions must
+    // overflow the queue faster than the worker drains it.
+    let mut pending = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..200 {
+        let q = BAG_QUERIES[i % BAG_QUERIES.len()];
+        match service.try_submit(QueryRequest::new(q, 10)) {
+            Ok(p) => pending.push(p),
+            Err(CoreError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 2);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(rejected > 0, "a 200-burst against a 2-slot queue must shed load");
+    assert!(!pending.is_empty(), "some requests must be admitted");
+    let admitted = pending.len();
+    for p in pending {
+        let resp = p.wait().expect("admitted request must complete");
+        assert!(!resp.hits.is_empty());
+    }
+    // Counter bookkeeping: every submission was either enqueued or
+    // rejected, and the shared recorder saw each exactly once.
+    let snap = service.recorder().snapshot();
+    assert_eq!(snap.get(Event::QueueEnqueued), admitted as u64);
+    assert_eq!(snap.get(Event::QueueRejected), rejected as u64);
+    assert_eq!(admitted + rejected, 200);
+}
+
+#[test]
+fn deadline_between_shards_returns_partial_results() {
+    let index = build_index(200);
+    let mut sharded =
+        Engine::builder(&device()).sharding(ShardSpec::new(2, 2)).build_sharded(index).unwrap();
+    // "w0" appears throughout the collection, so shard 0 (the only shard
+    // guaranteed to complete under a zero budget) has hits to return.
+    let req = QueryRequest::new("w0 w1 w2", 10).deadline(Duration::ZERO);
+    match sharded.execute(&req) {
+        Err(CoreError::DeadlineExceeded { budget, elapsed, partial }) => {
+            assert_eq!(budget, Duration::ZERO);
+            assert!(elapsed > Duration::ZERO);
+            assert!(!partial.is_empty(), "shard 0 always completes; partial must carry its hits");
+            // Partial hits come only from shard 0's document range.
+            let max_doc = partial.iter().map(|r| r.doc.0).max().unwrap();
+            assert!(max_doc < 100, "partial hit {max_doc} outside shard 0's range");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_at_dequeue_is_rejected_without_evaluation() {
+    let index = build_index(100);
+    let engine = Engine::builder(&device())
+        .telemetry(TelemetryOptions::counters_only())
+        .sharding(ShardSpec::new(2, 1))
+        .build_sharded(index)
+        .unwrap();
+    let service = QueryService::start(engine, 4).unwrap();
+    let err = service.query(QueryRequest::new("w3 w17", 10).deadline(Duration::ZERO)).unwrap_err();
+    match err {
+        CoreError::DeadlineExceeded { partial, .. } => {
+            assert!(partial.is_empty(), "an expired request must be dropped before evaluation");
+        }
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+    assert_eq!(service.recorder().snapshot().get(Event::QueueExpired), 1);
+}
+
+#[test]
+fn concurrent_submit_and_shutdown_neither_deadlocks_nor_loses_admitted_work() {
+    let index = build_index(120);
+    let engine =
+        Engine::builder(&device()).sharding(ShardSpec::new(2, 2)).build_sharded(index).unwrap();
+    let service = QueryService::start(engine, 4).unwrap();
+    std::thread::scope(|scope| {
+        let submitters: Vec<_> = (0..4)
+            .map(|t| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut outcomes = (0usize, 0usize, 0usize); // ok, shed, stopped
+                    for i in 0..50 {
+                        let q = BAG_QUERIES[(t + i) % BAG_QUERIES.len()];
+                        match service.try_submit(QueryRequest::new(q, 5)) {
+                            Ok(p) => match p.wait() {
+                                Ok(_) => outcomes.0 += 1,
+                                Err(CoreError::ServiceStopped) => outcomes.2 += 1,
+                                Err(e) => panic!("admitted request failed: {e}"),
+                            },
+                            Err(CoreError::Overloaded { .. }) => outcomes.1 += 1,
+                            Err(CoreError::ServiceStopped) => outcomes.2 += 1,
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        // Shut down from two racing threads while submissions are in
+        // flight: shutdown must be idempotent and admitted requests must
+        // still resolve (drain-then-exit).
+        let s1 = scope.spawn(|| service.shutdown());
+        let s2 = scope.spawn(|| service.shutdown());
+        s1.join().unwrap();
+        s2.join().unwrap();
+        let mut total_ok = 0;
+        for s in submitters {
+            let (ok, _shed, _stopped) = s.join().unwrap();
+            total_ok += ok;
+        }
+        // At least the requests admitted before shutdown completed; the
+        // exact split depends on the race, but nothing may hang or error
+        // in an untyped way (the panics above).
+        assert!(total_ok <= 4 * 50);
+    });
+    assert!(matches!(
+        service.try_submit(QueryRequest::new("w3", 5)),
+        Err(CoreError::ServiceStopped)
+    ));
+}
+
+#[test]
+fn sharded_telemetry_aggregates_without_double_counting() {
+    let index = build_index(200);
+    let mut sharded = Engine::builder(&device())
+        .telemetry(TelemetryOptions::counters_only())
+        .sharding(ShardSpec::new(4, 4))
+        .build_sharded(index)
+        .unwrap();
+    let (report, rankings) = sharded.run_query_set(BAG_QUERIES, 10).unwrap();
+    assert_eq!(report.queries, BAG_QUERIES.len());
+    assert_eq!(rankings.len(), BAG_QUERIES.len());
+    let metrics = report.metrics.expect("telemetry-enabled run reports metrics");
+    // The shards share one recorder: the event delta must equal the sum
+    // of the shards' monotone store counters — equality fails both if
+    // events are double-counted (several recorders attached) and if a
+    // shard's events vanish (counters split across instances).
+    assert_eq!(metrics.delta.get(Event::RecordLookup), report.record_lookups);
+    assert!(report.record_lookups > 0);
+    // Each query fetches its terms' records once per shard.
+    let mut unsharded = Engine::builder(&device())
+        .telemetry(TelemetryOptions::counters_only())
+        .build(build_index(200))
+        .unwrap();
+    let (base_report, _) =
+        unsharded.run_query_set_mode(BAG_QUERIES, 10, ExecMode::DaatPruned).unwrap();
+    assert!(report.record_lookups >= base_report.record_lookups);
+}
