@@ -4,27 +4,33 @@
 //! with the requested sharding and queue capacity, and drives the
 //! closed-loop concurrency ladder from [`poir_bench::latency`]: each level
 //! runs `--queries` submissions across `N` client threads and reports
-//! completions, rejections, throughput, and p50/p95/p99 host-time latency.
+//! completions, rejections, throughput, and p50/p95/p99 host-time latency
+//! side by side with the server's own windowed metrics.
 //!
 //! ```text
 //! cargo run --release -p poir-bench --bin loadgen -- \
 //!     [--scale F] [--shards NxM] [--queue N] [--levels 1,2,4,...] \
-//!     [--queries N] [--out PATH]
+//!     [--queries N] [--out PATH] [--stats-out PATH] [--slow-out PATH] \
+//!     [--slow-threshold-micros N]
 //! ```
 //!
 //! `--out` writes the latency family as a standalone JSON document (the
 //! same object `throughput` embeds under `"latency"` in
-//! `BENCH_throughput.json`; CI schema-checks it).
+//! `BENCH_throughput.json`; CI schema-checks it). `--stats-out` turns on
+//! the service's background sampler: periodic [`ServiceStats`] JSON lines
+//! land at the path while the run is live, plus a Prometheus text
+//! exposition at `PATH.prom` on shutdown. `--slow-out` dumps the
+//! slow-query flight recorder as JSONL; `--slow-threshold-micros` sets
+//! the end-to-end latency past which a request enters it.
+//!
+//! [`ServiceStats`]: poir_core::ServiceStats
 //!
 //! Exits 0 on success, 1 when saturation throughput fails to reach the
 //! single-client throughput (the service scaled *negatively*), 2 on usage
 //! errors.
 
-use poir_bench::latency::{
-    run_latency, DEFAULT_LEVELS, DEFAULT_QUERIES_PER_LEVEL, DEFAULT_QUEUE_CAPACITY, DEFAULT_SHARDS,
-};
+use poir_bench::latency::{run_latency, LatencyOptions, DEFAULT_LEVELS};
 use poir_bench::throughput::prepare_workload;
-use poir_core::ShardSpec;
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -34,11 +40,10 @@ fn die(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.05f64;
-    let mut spec = ShardSpec::new(DEFAULT_SHARDS, DEFAULT_SHARDS);
-    let mut queue_capacity = DEFAULT_QUEUE_CAPACITY;
+    let mut opts = LatencyOptions::default();
     let mut levels: Vec<usize> = DEFAULT_LEVELS.to_vec();
-    let mut queries_per_level = DEFAULT_QUERIES_PER_LEVEL;
     let mut out_path: Option<String> = None;
+    let mut slow_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -47,12 +52,12 @@ fn main() {
                 None => die("--scale needs a positive number"),
             },
             "--shards" => match it.next().map(|v| v.parse()) {
-                Some(Ok(s)) => spec = s,
+                Some(Ok(s)) => opts.spec = s,
                 Some(Err(e)) => die(&format!("--shards: {e}")),
                 None => die("--shards needs a spec like 4x4"),
             },
             "--queue" => match it.next().and_then(|v| v.parse().ok()).filter(|&v: &usize| v > 0) {
-                Some(v) => queue_capacity = v,
+                Some(v) => opts.queue_capacity = v,
                 None => die("--queue needs a positive integer"),
             },
             "--levels" => match it.next() {
@@ -72,7 +77,7 @@ fn main() {
             },
             "--queries" => {
                 match it.next().and_then(|v| v.parse().ok()).filter(|&v: &usize| v > 0) {
-                    Some(v) => queries_per_level = v,
+                    Some(v) => opts.queries_per_level = v,
                     None => die("--queries needs a positive integer"),
                 }
             }
@@ -80,10 +85,23 @@ fn main() {
                 Some(p) => out_path = Some(p.clone()),
                 None => die("--out needs a path"),
             },
+            "--stats-out" => match it.next() {
+                Some(p) => opts.stats_out = Some(p.clone()),
+                None => die("--stats-out needs a path"),
+            },
+            "--slow-out" => match it.next() {
+                Some(p) => slow_out = Some(p.clone()),
+                None => die("--slow-out needs a path"),
+            },
+            "--slow-threshold-micros" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.slow_threshold_micros = v,
+                None => die("--slow-threshold-micros needs a non-negative integer"),
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--scale F] [--shards NxM] [--queue N] \
-                     [--levels 1,2,4,...] [--queries N] [--out PATH]"
+                     [--levels 1,2,4,...] [--queries N] [--out PATH] \
+                     [--stats-out PATH] [--slow-out PATH] [--slow-threshold-micros N]"
                 );
                 return;
             }
@@ -94,16 +112,24 @@ fn main() {
     eprintln!("# generating + indexing TIPSTER at scale {scale}");
     let workload = prepare_workload(scale);
     eprintln!(
-        "# service {spec} (shards x workers), queue capacity {queue_capacity}, \
-         {queries_per_level} queries/level"
+        "# service {} (shards x workers), queue capacity {}, {} queries/level",
+        opts.spec, opts.queue_capacity, opts.queries_per_level
     );
-    let run = run_latency(&workload, spec, queue_capacity, &levels, queries_per_level);
+    let run = run_latency(&workload, &opts, &levels);
     println!("{}", run.render_table());
 
     if let Some(path) = &out_path {
         std::fs::write(path, format!("{}\n", run.to_json()))
             .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         eprintln!("# wrote {path}");
+    }
+    if let Some(path) = &slow_out {
+        std::fs::write(path, &run.slow_jsonl)
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("# wrote {path} ({} slow queries)", run.stats.slow_retained);
+    }
+    if let Some(path) = &opts.stats_out {
+        eprintln!("# sampler wrote {path} and {path}.prom");
     }
 
     if run.saturation_over_serial < 1.0 {

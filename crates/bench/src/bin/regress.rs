@@ -19,6 +19,10 @@
 //!   counter-instrumented `daat_pruned` pass — must not fall more than
 //!   `--tolerance` below the baseline (one-sided: faster never fails).
 //!   This isolates the block codec + cursor path from I/O behaviour.
+//! * **Server agreement** — the service's own metrics must report a
+//!   saturation QPS within 15% of the client-side loadgen measurement of
+//!   the same run (fresh vs fresh, so host speed cancels; this gates the
+//!   observability plumbing itself).
 //! * Serial and `parallel_4` must additionally pass the 2% trace-overhead
 //!   budget. To keep that strict gate immune to the parallel I/O noise
 //!   above, it compares QPS recomputed at the *baseline's* I/O charge:
@@ -39,7 +43,7 @@
 //! the traced pass happens after measurement and never affects the gate.
 
 use poir_bench::json::Json;
-use poir_bench::latency::{run_latency, LatencyRun};
+use poir_bench::latency::{run_latency, LatencyOptions, LatencyRun};
 use poir_bench::throughput::{
     export_trace, prepare_workload, run_throughput, run_traced, DecodeThroughput, ThroughputRun,
 };
@@ -58,6 +62,13 @@ const OVERHEAD_TOLERANCE: f64 = 0.02;
 /// single-client replay.
 const LATENCY_P99_TOLERANCE: f64 = 2.0;
 const LATENCY_QPS_TOLERANCE: f64 = 0.5;
+/// Server-agreement gate: the service's own windowed-metrics saturation
+/// QPS must agree with the client-side loadgen measurement within this
+/// fraction. Fresh-vs-fresh (both figures come from the same run), so it
+/// is immune to host speed — it catches the observatory itself drifting:
+/// a completion counter that double-counts, a sampler window that loses
+/// events, a wall-clock mismatch between the two measurements.
+const SERVER_QPS_AGREEMENT: f64 = 0.15;
 
 struct BaselineMode {
     name: String,
@@ -315,6 +326,25 @@ fn compare_latency(fresh: &LatencyRun, base: &BaselineLatency) -> bool {
     p99_pass && qps_pass && ratio_pass
 }
 
+/// Server-agreement gate: the saturation throughput the service reports
+/// from its own lifetime counters must match the client-side measurement
+/// of the same run within [`SERVER_QPS_AGREEMENT`]. Both numbers are
+/// fresh, so this gates the metrics plumbing, not the host.
+fn compare_server_agreement(fresh: &LatencyRun) -> bool {
+    let dev = rel(fresh.server_saturation_qps, fresh.saturation_qps);
+    let pass = dev <= SERVER_QPS_AGREEMENT;
+    println!(
+        "{:<18} server {:.1} vs client {:.1} QPS at saturation, dev {:.2}% (<= {:.0}%)  {}",
+        "server_metrics",
+        fresh.server_saturation_qps,
+        fresh.saturation_qps,
+        dev * 100.0,
+        SERVER_QPS_AGREEMENT * 100.0,
+        if pass { "ok" } else { "REGRESSION" },
+    );
+    pass
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = "BENCH_throughput.json".to_string();
@@ -370,15 +400,19 @@ fn main() {
     // like.
     let latency = run_latency(
         &workload,
-        ShardSpec::new(baseline_latency.shards, baseline_latency.workers),
-        baseline_latency.queue_capacity,
+        &LatencyOptions {
+            spec: ShardSpec::new(baseline_latency.shards, baseline_latency.workers),
+            queue_capacity: baseline_latency.queue_capacity,
+            queries_per_level: baseline_latency.queries_per_level,
+            ..LatencyOptions::default()
+        },
         &baseline_latency.levels.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
-        baseline_latency.queries_per_level,
     );
 
     let mut ok = compare(&run, &baseline, tolerance);
     ok &= compare_decode(&run.decode, &baseline_decode, tolerance);
     ok &= compare_latency(&latency, &baseline_latency);
+    ok &= compare_server_agreement(&latency);
     run.latency = Some(latency);
     if !run.identical_rankings {
         eprintln!("ERROR: rankings diverged across execution modes");

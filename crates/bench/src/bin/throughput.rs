@@ -18,11 +18,9 @@
 //! and a flat JSONL access log alongside it; the measured runs themselves
 //! always execute with telemetry off.
 
-use poir_bench::latency::{
-    run_latency, DEFAULT_LEVELS, DEFAULT_QUERIES_PER_LEVEL, DEFAULT_QUEUE_CAPACITY, DEFAULT_SHARDS,
-};
+use poir_bench::latency::{run_latency, LatencyOptions, DEFAULT_LEVELS};
 use poir_bench::throughput::{export_trace, prepare_workload, run_throughput, run_traced};
-use poir_core::{ShardSpec, TelemetryOptions};
+use poir_core::TelemetryOptions;
 
 /// Ring-buffer capacity for the optional traced pass.
 const TRACE_CAPACITY: usize = 1 << 20;
@@ -73,17 +71,12 @@ fn main() {
     let mut run = run_throughput(&workload, TelemetryOptions::off());
     println!("{}", run.render_table());
 
+    let opts = LatencyOptions::default();
     eprintln!(
-        "# sustained-load ladder ({DEFAULT_SHARDS} shards, queue {DEFAULT_QUEUE_CAPACITY}, \
-         {DEFAULT_QUERIES_PER_LEVEL} queries/level)"
+        "# sustained-load ladder ({} shards, queue {}, {} queries/level)",
+        opts.spec.shards, opts.queue_capacity, opts.queries_per_level
     );
-    let latency = run_latency(
-        &workload,
-        ShardSpec::new(DEFAULT_SHARDS, DEFAULT_SHARDS),
-        DEFAULT_QUEUE_CAPACITY,
-        &DEFAULT_LEVELS,
-        DEFAULT_QUERIES_PER_LEVEL,
-    );
+    let latency = run_latency(&workload, &opts, &DEFAULT_LEVELS);
     println!("{}", latency.render_table());
     run.latency = Some(latency);
 

@@ -1,0 +1,123 @@
+//! Slow-query flight-recorder dump format, checked end to end: records
+//! built the way the service builds them, dumped as JSONL, and parsed
+//! back through the bench JSON reader CI uses for schema checks.
+
+use poir_bench::json::Json;
+use poir_telemetry::trace::{NO_POOL, NO_QUERY};
+use poir_telemetry::{
+    FlightRecorder, LatencyBreakdown, SlowQueryRecord, SlowShard, TraceOp, TraceRecord,
+};
+
+fn record(query_id: u32, seq: u32, total: u64) -> SlowQueryRecord {
+    SlowQueryRecord {
+        query_id,
+        seq,
+        mode: "daat_pruned".to_string(),
+        k: 10,
+        breakdown: LatencyBreakdown::from_parts(query_id, total / 4, total / 2, total / 8, total),
+        shards: vec![
+            SlowShard { shard: 0, micros: total / 4, hits: 10 },
+            SlowShard { shard: 1, micros: total / 4, hits: 7 },
+        ],
+        trace: vec![
+            // A queue-wait point event, no pool — `pool` must render null.
+            TraceRecord {
+                ts_micros: 10,
+                dur_micros: total / 4,
+                thread: 1,
+                query: query_id,
+                op: TraceOp::QueueWait,
+                object: query_id as u64,
+                pool: NO_POOL,
+                bytes: 0,
+            },
+            // A pool fetch with a real pool index.
+            TraceRecord {
+                ts_micros: 20,
+                dur_micros: 5,
+                thread: 1,
+                query: query_id,
+                op: TraceOp::PoolFetch,
+                object: 42,
+                pool: 2,
+                bytes: 64,
+            },
+            // And one emitted outside any query — `query` renders null.
+            TraceRecord {
+                ts_micros: 30,
+                dur_micros: 0,
+                thread: 2,
+                query: NO_QUERY,
+                op: TraceOp::DeviceRead,
+                object: 8192,
+                pool: NO_POOL,
+                bytes: 8192,
+            },
+        ],
+    }
+}
+
+#[test]
+fn jsonl_dump_round_trips_through_bench_json() {
+    let recorder = FlightRecorder::new(8, 100);
+    recorder.offer(record(7, 0, 900));
+    recorder.offer(record(3, 1, 400));
+    recorder.offer(record(5, 2, 1600));
+    let dump = recorder.dump_jsonl();
+    let lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(lines.len(), 3);
+
+    // Deterministic slowest-first order.
+    let totals: Vec<u64> = lines
+        .iter()
+        .map(|l| {
+            Json::parse(l)
+                .expect("slow-query line parses")
+                .get("total_micros")
+                .and_then(Json::as_u64)
+                .expect("total_micros")
+        })
+        .collect();
+    assert_eq!(totals, vec![1600, 900, 400]);
+
+    // Full schema of the slowest entry, the way CI reads it.
+    let doc = Json::parse(lines[0]).unwrap();
+    assert_eq!(doc.get("query_id").and_then(Json::as_u64), Some(5));
+    assert_eq!(doc.get("seq").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("daat_pruned"));
+    assert_eq!(doc.get("k").and_then(Json::as_u64), Some(10));
+    let queue = doc.get("queue_micros").and_then(Json::as_u64).unwrap();
+    let eval = doc.get("eval_micros").and_then(Json::as_u64).unwrap();
+    let merge = doc.get("merge_micros").and_then(Json::as_u64).unwrap();
+    let other = doc.get("other_micros").and_then(Json::as_u64).unwrap();
+    assert_eq!(queue + eval + merge + other, 1600, "components sum to the total");
+
+    let shards = doc.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(shards.len(), 2);
+    assert_eq!(shards[0].get("shard").and_then(Json::as_u64), Some(0));
+    assert_eq!(shards[1].get("hits").and_then(Json::as_u64), Some(7));
+
+    let trace = doc.get("trace").and_then(Json::as_arr).unwrap();
+    assert_eq!(trace.len(), 3);
+    assert_eq!(trace[0].get("op").and_then(Json::as_str), Some("queue_wait"));
+    assert_eq!(trace[0].get("query").and_then(Json::as_u64), Some(5));
+    assert!(trace[0].get("pool").unwrap().as_u64().is_none(), "NO_POOL renders null");
+    assert_eq!(trace[1].get("pool").and_then(Json::as_u64), Some(2));
+    assert_eq!(trace[1].get("bytes").and_then(Json::as_u64), Some(64));
+    assert!(trace[2].get("query").unwrap().as_u64().is_none(), "NO_QUERY renders null");
+}
+
+#[test]
+fn dump_is_empty_below_threshold_and_bounded_above_capacity() {
+    let recorder = FlightRecorder::new(2, 500);
+    recorder.offer(record(1, 0, 499));
+    assert!(recorder.dump_jsonl().is_empty(), "sub-threshold requests never enter");
+    for i in 0..10u32 {
+        recorder.offer(record(i, i, 500 + 100 * i as u64));
+    }
+    assert_eq!(recorder.observed(), 10, "observed counts every at-threshold offer");
+    let dump = recorder.dump_jsonl();
+    assert_eq!(dump.lines().count(), 2, "dump is bounded by capacity");
+    let first = Json::parse(dump.lines().next().unwrap()).unwrap();
+    assert_eq!(first.get("total_micros").and_then(Json::as_u64), Some(1400));
+}

@@ -38,6 +38,7 @@ use crate::buffer_sizing::BufferSizes;
 use crate::engine::{BackendKind, Engine, ExecMode};
 use crate::error::Result;
 use crate::mneme_store::MnemeOptions;
+use crate::service::{QueryService, ServiceConfig};
 use crate::shard::{ShardSpec, ShardedEngine};
 
 /// Builder for [`Engine`]; see the module docs for defaults.
@@ -55,6 +56,7 @@ pub struct EngineBuilder {
     pub(crate) btree: BTreeConfig,
     pub(crate) sharding: ShardSpec,
     pub(crate) shared_recorder: Option<Recorder>,
+    pub(crate) service: ServiceConfig,
 }
 
 impl EngineBuilder {
@@ -72,6 +74,7 @@ impl EngineBuilder {
             btree: BTreeConfig::default(),
             sharding: ShardSpec::default(),
             shared_recorder: None,
+            service: ServiceConfig::default(),
         }
     }
 
@@ -142,10 +145,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Serving configuration for [`EngineBuilder::build_service`]: queue
+    /// capacity plus the observability knobs (slow-query threshold,
+    /// breakdown window, stats sampling). Ignored by the other build
+    /// methods.
+    pub fn service_config(mut self, config: ServiceConfig) -> Self {
+        self.service = config;
+        self
+    }
+
     /// Loads a finished [`Index`] into a fresh inverted file of the chosen
     /// backend.
     pub fn build(self, index: Index) -> Result<Engine> {
         Engine::from_builder_build(self, index)
+    }
+
+    /// Builds the sharded engine (see [`EngineBuilder::build_sharded`])
+    /// and starts a [`QueryService`] over it with this builder's
+    /// [`ServiceConfig`].
+    pub fn build_service(self, index: Index) -> Result<QueryService> {
+        let config = self.service.clone();
+        let engine = self.build_sharded(index)?;
+        QueryService::start_with(engine, config)
     }
 
     /// Partitions `index` into the configured number of shards (see

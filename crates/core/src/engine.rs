@@ -27,7 +27,8 @@ use poir_mneme::BufferStats;
 use poir_storage::{Device, FileHandle, IoSnapshot, SimTime};
 use poir_telemetry::trace::tag_query;
 use poir_telemetry::{
-    Event, MetricsReport, Phase, QueryTrace, Recorder, TelemetrySnapshot, TraceOp, Tracer,
+    Event, LatencyBreakdown, MetricsReport, Phase, QueryTrace, Recorder, TelemetrySnapshot,
+    TraceOp, Tracer,
 };
 
 use crate::btree_store::BTreeInvertedFile;
@@ -191,13 +192,19 @@ pub struct QueryRequest {
     /// boundaries; an expired budget yields
     /// [`CoreError::DeadlineExceeded`] with partial results.
     pub deadline: Option<Duration>,
+    /// Caller-chosen stable id, propagated through trace records, the
+    /// latency breakdown, and the slow-query flight recorder so a slow
+    /// entry can be joined against the Perfetto trace export. `None`
+    /// falls back to the executor's own numbering (the service uses its
+    /// sequence number).
+    pub id: Option<u32>,
 }
 
 impl QueryRequest {
     /// A request for the top `k` hits of `text` with no mode override and
     /// no deadline.
     pub fn new(text: impl Into<String>, k: usize) -> Self {
-        QueryRequest { text: text.into(), k, mode: None, deadline: None }
+        QueryRequest { text: text.into(), k, mode: None, deadline: None, id: None }
     }
 
     /// Overrides the execution mode.
@@ -209,6 +216,12 @@ impl QueryRequest {
     /// Sets the deadline budget.
     pub fn deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the stable query id.
+    pub fn id(mut self, id: u32) -> Self {
+        self.id = Some(id);
         self
     }
 }
@@ -239,6 +252,12 @@ pub struct QueryResponse {
     /// Host microseconds the request waited in the service's admission
     /// queue (zero when executed directly).
     pub queue_micros: u64,
+    /// The execution mode that actually ran (the request's override or
+    /// the executor's resolved default).
+    pub mode: ExecMode,
+    /// Where the request's end-to-end time went (queue / eval / merge /
+    /// other); the service folds this into its p99 attribution.
+    pub breakdown: LatencyBreakdown,
 }
 
 /// Measurements from processing one query set — the raw data behind
@@ -607,8 +626,9 @@ impl Engine {
     /// telemetry enabled.
     pub fn execute(&mut self, req: &QueryRequest) -> Result<QueryResponse> {
         let mode = req.mode.unwrap_or(self.exec_mode);
+        let qid = req.id.unwrap_or(0);
         let start = Instant::now();
-        let (scored, trace) = self.run_one(0, &req.text, req.k, mode, true)?;
+        let (scored, trace) = self.run_one(qid as usize, &req.text, req.k, mode, true)?;
         let elapsed = start.elapsed();
         let hits = self.to_ranked_results(scored);
         if let Some(budget) = req.deadline {
@@ -616,10 +636,13 @@ impl Engine {
                 return Err(CoreError::DeadlineExceeded { budget, elapsed, partial: hits });
             }
         }
-        let shards =
-            vec![ShardTiming { shard: 0, micros: elapsed.as_micros() as u64, hits: hits.len() }];
+        let micros = elapsed.as_micros() as u64;
+        let shards = vec![ShardTiming { shard: 0, micros, hits: hits.len() }];
         let trace = trace.expect("instrumented run returns a trace");
-        Ok(QueryResponse { hits, shards, trace, queue_micros: 0 })
+        // Direct execution has no queue and no cross-shard merge: the
+        // whole elapsed time is evaluation.
+        let breakdown = LatencyBreakdown::from_parts(qid, 0, micros, 0, micros);
+        Ok(QueryResponse { hits, shards, trace, queue_micros: 0, mode, breakdown })
     }
 
     /// One query through the full pipeline — the one code path behind

@@ -43,8 +43,9 @@ pub use mneme_store::{
 };
 pub use multi_file::{MultiFileInvertedFile, MultiFileOptions};
 pub use poir_telemetry::{
-    BufferResidencyReport, MetricsReport, QueryTrace, TelemetryOptions, TraceOp, TraceRecord,
-    Tracer,
+    Attribution, BufferResidencyReport, LatencyBreakdown, LatencySummary, MetricsRegistry,
+    MetricsReport, QueryTrace, RegistrySnapshot, SlowQueryRecord, TelemetryOptions, TraceOp,
+    TraceRecord, Tracer, WindowRates,
 };
-pub use service::{PendingQuery, QueryService};
+pub use service::{PendingQuery, QueryService, ServiceConfig, ServiceStats};
 pub use shard::{ShardSpec, ShardedEngine};

@@ -23,22 +23,118 @@
 //! Every admission decision is recorded on the shared telemetry
 //! recorder (`queue_enqueued` / `queue_rejected` / `queue_expired`), and
 //! a tracing recorder gets one `queue_wait` slice per dequeued request.
+//!
+//! On top of the counters sits the serving observatory (PR 8): a
+//! [`MetricsRegistry`] of windowed counters/gauges/histograms (queue
+//! depth, admitted/rejected/expired, in-flight workers, per-shard eval,
+//! merge, deadline slack), a [`BreakdownRing`] feeding p99 tail-latency
+//! attribution, a [`FlightRecorder`] retaining the N slowest requests
+//! (with their trace slices when tracing is on), and a
+//! [`QueryService::stats`] snapshot — optionally sampled periodically to
+//! a JSONL file (plus a Prometheus text exposition on shutdown) by a
+//! background thread configured through [`ServiceConfig`].
 
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use poir_inquery::query::daat;
 use poir_inquery::{BeliefParams, Dictionary, DocTable, Evaluator, ScoredDoc, StopWords};
 use poir_telemetry::trace::tag_query;
-use poir_telemetry::{Event, Phase, QueryTrace, Recorder, TraceOp};
+use poir_telemetry::{
+    Attribution, BreakdownRing, Counter, Event, FlightRecorder, Gauge, Histogram, LatencyBreakdown,
+    LatencySummary, MetricsRegistry, Phase, QueryTrace, Recorder, RegistrySnapshot,
+    SlowQueryRecord, SlowShard, TraceOp, WindowRates,
+};
 
 use crate::engine::{ExecMode, QueryRequest, QueryResponse, RankedResult, ShardTiming};
 use crate::error::{CoreError, Result};
 use crate::mneme_store::MnemeInvertedFile;
 use crate::shard::{ShardSpec, ShardedEngine};
+
+/// Serving-side configuration for [`QueryService::start_with`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission queue capacity (min 1; reject-when-full).
+    pub queue_capacity: usize,
+    /// End-to-end microseconds past which a request enters the slow-query
+    /// flight recorder.
+    pub slow_threshold_micros: u64,
+    /// Slowest requests the flight recorder retains.
+    pub slow_capacity: usize,
+    /// Recent requests the latency-breakdown ring retains (the p99
+    /// attribution window).
+    pub breakdown_window: usize,
+    /// When set, a background sampler appends one stats JSON line per
+    /// interval to this file, plus a final line and a Prometheus text
+    /// exposition (`<path>.prom`) at shutdown.
+    pub stats_out: Option<PathBuf>,
+    /// Sampling interval for `stats_out`.
+    pub stats_interval: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 32,
+            slow_threshold_micros: 10_000,
+            slow_capacity: 32,
+            breakdown_window: 4096,
+            stats_out: None,
+            stats_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The service's windowed metrics and observability state. Registered
+/// once at startup; every handle is lock-free on the hot path.
+struct ServiceMetrics {
+    registry: MetricsRegistry,
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    admitted: Counter,
+    rejected: Counter,
+    expired: Counter,
+    completed: Counter,
+    failed: Counter,
+    queue_wait: Histogram,
+    eval: Vec<Histogram>,
+    merge: Histogram,
+    request: Histogram,
+    deadline_slack: Histogram,
+    breakdowns: BreakdownRing,
+    flight: FlightRecorder,
+}
+
+impl ServiceMetrics {
+    fn new(shards: usize, config: &ServiceConfig) -> ServiceMetrics {
+        let registry = MetricsRegistry::new();
+        ServiceMetrics {
+            queue_depth: registry.gauge("queue_depth"),
+            in_flight: registry.gauge("in_flight"),
+            admitted: registry.counter("admitted"),
+            rejected: registry.counter("rejected"),
+            expired: registry.counter("expired"),
+            completed: registry.counter("completed"),
+            failed: registry.counter("failed"),
+            queue_wait: registry.histogram("queue_wait_micros"),
+            eval: (0..shards)
+                .map(|i| registry.histogram(&format!("shard{i}_eval_micros")))
+                .collect(),
+            merge: registry.histogram("merge_micros"),
+            request: registry.histogram("request_micros"),
+            deadline_slack: registry.histogram("deadline_slack_micros"),
+            breakdowns: BreakdownRing::new(config.breakdown_window),
+            flight: FlightRecorder::new(config.slow_capacity, config.slow_threshold_micros),
+            registry,
+        }
+    }
+}
 
 /// One shard's read path, shared by every worker.
 struct ShardRuntime {
@@ -56,6 +152,9 @@ struct ServiceShared {
     capacity: usize,
     /// Requests admitted but not yet dequeued.
     depth: AtomicUsize,
+    metrics: ServiceMetrics,
+    config: ServiceConfig,
+    started: Instant,
 }
 
 /// One admitted request in flight through the worker pool.
@@ -95,6 +194,9 @@ pub struct QueryService {
     /// sender is what lets blocked workers drain and exit.
     tx: Mutex<Option<SyncSender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The stats sampler thread (when `stats_out` is configured);
+    /// dropping the sender tells it to write the final snapshot and exit.
+    sampler: Mutex<Option<(mpsc::Sender<()>, JoinHandle<()>)>>,
 }
 
 impl std::fmt::Debug for QueryService {
@@ -113,7 +215,14 @@ impl QueryService {
     /// backends only — workers fetch through each shard store's
     /// [`shared_view`](crate::MnemeInvertedFile::shared_view).
     pub fn start(engine: ShardedEngine, queue_capacity: usize) -> Result<QueryService> {
-        let capacity = queue_capacity.max(1);
+        Self::start_with(engine, ServiceConfig { queue_capacity, ..ServiceConfig::default() })
+    }
+
+    /// [`QueryService::start`] with the full serving configuration:
+    /// admission capacity plus the observability knobs (slow-query
+    /// threshold and capacity, breakdown window, stats sampling).
+    pub fn start_with(engine: ShardedEngine, config: ServiceConfig) -> Result<QueryService> {
+        let capacity = config.queue_capacity.max(1);
         let (spec, parts, recorder, _device) = engine.into_parts()?;
         let mut shards = Vec::with_capacity(parts.len());
         let mut stop_params = None;
@@ -126,6 +235,7 @@ impl QueryService {
             shards.push(ShardRuntime { dict: p.dict, docs: p.docs, store: p.store });
         }
         let (stop, params) = stop_params.expect("a sharded engine has at least one shard");
+        let metrics = ServiceMetrics::new(shards.len(), &config);
         let shared = Arc::new(ServiceShared {
             shards,
             stop,
@@ -133,6 +243,9 @@ impl QueryService {
             recorder,
             capacity,
             depth: AtomicUsize::new(0),
+            metrics,
+            config,
+            started: Instant::now(),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
         let rx = Arc::new(Mutex::new(rx));
@@ -143,13 +256,51 @@ impl QueryService {
                 std::thread::spawn(move || Self::worker_loop(&shared, &rx))
             })
             .collect();
+        let sampler = shared.config.stats_out.clone().map(|path| {
+            let shared = Arc::clone(&shared);
+            let (stop_tx, stop_rx) = mpsc::channel::<()>();
+            let handle =
+                std::thread::spawn(move || Self::sampler_loop(&shared, spec, &path, &stop_rx));
+            (stop_tx, handle)
+        });
         Ok(QueryService {
             shared,
             spec,
             seq: AtomicU32::new(0),
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
+            sampler: Mutex::new(sampler),
         })
+    }
+
+    /// Appends one stats snapshot per interval to `path`; on shutdown
+    /// writes a final snapshot line plus the Prometheus text exposition
+    /// to `<path>.prom`. Write errors are deliberately swallowed — the
+    /// observer must never take down the server.
+    fn sampler_loop(
+        shared: &Arc<ServiceShared>,
+        spec: ShardSpec,
+        path: &std::path::Path,
+        stop_rx: &Receiver<()>,
+    ) {
+        let append = |line: &str| {
+            if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(f, "{line}");
+            }
+        };
+        while let Err(mpsc::RecvTimeoutError::Timeout) =
+            stop_rx.recv_timeout(shared.config.stats_interval)
+        {
+            append(&stats_of(shared, spec).to_json());
+        }
+        // Final snapshot: workers are already joined at shutdown, so this
+        // line sees the service's final counters even if no interval
+        // elapsed during a short run.
+        let stats = stats_of(shared, spec);
+        append(&stats.to_json());
+        let mut prom = path.as_os_str().to_os_string();
+        prom.push(".prom");
+        let _ = std::fs::write(prom, stats.prometheus_text());
     }
 
     /// The sharding layout the service runs.
@@ -172,6 +323,28 @@ impl QueryService {
         &self.shared.recorder
     }
 
+    /// The serving configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// Typed snapshot of the service's own metrics: lifetime counters,
+    /// windowed rates, exact latency percentiles over the breakdown
+    /// window, p99 attribution, and slow-query flight-recorder state.
+    pub fn stats(&self) -> ServiceStats {
+        stats_of(&self.shared, self.spec)
+    }
+
+    /// The flight recorder's retained slow queries, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.shared.metrics.flight.snapshot()
+    }
+
+    /// The retained slow queries as JSONL, one record per line.
+    pub fn slow_queries_jsonl(&self) -> String {
+        self.shared.metrics.flight.dump_jsonl()
+    }
+
     /// Submits a request without blocking. A full queue rejects with
     /// [`CoreError::Overloaded`]; a stopped service with
     /// [`CoreError::ServiceStopped`].
@@ -187,10 +360,13 @@ impl QueryService {
             Ok(()) => {
                 self.shared.depth.fetch_add(1, Ordering::Relaxed);
                 self.shared.recorder.incr(Event::QueueEnqueued);
+                self.shared.metrics.queue_depth.inc();
+                self.shared.metrics.admitted.inc();
                 Ok(PendingQuery { seq, rx })
             }
             Err(TrySendError::Full(_)) => {
                 self.shared.recorder.incr(Event::QueueRejected);
+                self.shared.metrics.rejected.inc();
                 Err(CoreError::Overloaded { capacity: self.shared.capacity })
             }
             Err(TrySendError::Disconnected(_)) => Err(CoreError::ServiceStopped),
@@ -216,6 +392,14 @@ impl QueryService {
         for w in workers {
             let _ = w.join();
         }
+        // Workers are drained, so the sampler's final snapshot sees the
+        // service's final counters.
+        if let Some((stop_tx, handle)) =
+            self.sampler.lock().expect("service sampler mutex poisoned").take()
+        {
+            drop(stop_tx);
+            let _ = handle.join();
+        }
     }
 
     fn worker_loop(shared: &ServiceShared, rx: &Mutex<Receiver<Job>>) {
@@ -230,15 +414,22 @@ impl QueryService {
                 }
             };
             shared.depth.fetch_sub(1, Ordering::Relaxed);
-            let _tag = tag_query(job.seq);
+            shared.metrics.queue_depth.dec();
+            // The stable query id joins trace records, the latency
+            // breakdown, and the slow-query log; the service sequence
+            // number is the fallback when the caller didn't pick one.
+            let qid = job.request.id.unwrap_or(job.seq);
+            let _tag = tag_query(qid);
             let queue_wait = job.submitted.elapsed();
             let queue_micros = queue_wait.as_micros() as u64;
-            shared.recorder.trace(TraceOp::QueueWait, job.seq as u64, None, 0, queue_wait);
+            shared.recorder.trace(TraceOp::QueueWait, qid as u64, None, 0, queue_wait);
+            shared.metrics.queue_wait.record(queue_micros);
             // An already-expired request is dropped without evaluation —
             // its worker time would be pure waste under overload.
             if let Some(budget) = job.request.deadline {
                 if queue_wait > budget {
                     shared.recorder.incr(Event::QueueExpired);
+                    shared.metrics.expired.inc();
                     let _ = job.reply.send(Err(CoreError::DeadlineExceeded {
                         budget,
                         elapsed: queue_wait,
@@ -247,19 +438,65 @@ impl QueryService {
                     continue;
                 }
             }
-            let result = Self::evaluate(shared, &job).map(|mut resp| {
-                resp.queue_micros = queue_micros;
-                resp
-            });
+            shared.metrics.in_flight.inc();
+            let result = Self::evaluate(shared, &job, queue_micros);
+            shared.metrics.in_flight.dec();
+            match &result {
+                Ok(resp) => Self::record_completion(shared, &job, resp),
+                Err(CoreError::DeadlineExceeded { .. }) => shared.metrics.expired.inc(),
+                Err(_) => {
+                    shared.metrics.failed.inc();
+                }
+            }
             // A dropped PendingQuery just discards the response.
             let _ = job.reply.send(result);
         }
     }
 
+    /// Folds one completed request into the windowed registry, the
+    /// breakdown ring, and (past the threshold) the flight recorder.
+    fn record_completion(shared: &ServiceShared, job: &Job, resp: &QueryResponse) {
+        let m = &shared.metrics;
+        m.completed.inc();
+        for t in &resp.shards {
+            if let Some(h) = m.eval.get(t.shard) {
+                h.record(t.micros);
+            }
+        }
+        m.merge.record(resp.breakdown.merge_micros);
+        let total = resp.breakdown.total_micros();
+        m.request.record(total);
+        if let Some(budget) = job.request.deadline {
+            m.deadline_slack.record((budget.as_micros() as u64).saturating_sub(total));
+        }
+        m.breakdowns.push(resp.breakdown);
+        if total >= m.flight.threshold_micros() {
+            let trace = shared
+                .recorder
+                .tracer()
+                .map(|t| t.records_for_query(resp.breakdown.query_id))
+                .unwrap_or_default();
+            m.flight.offer(SlowQueryRecord {
+                query_id: resp.breakdown.query_id,
+                seq: job.seq,
+                mode: resp.mode.to_string(),
+                k: job.request.k,
+                breakdown: resp.breakdown,
+                shards: resp
+                    .shards
+                    .iter()
+                    .map(|t| SlowShard { shard: t.shard, micros: t.micros, hits: t.hits })
+                    .collect(),
+                trace,
+            });
+        }
+    }
+
     /// Evaluates one request across the shards — the worker-pool analogue
     /// of [`ShardedEngine::execute`], fetching through shared views.
-    fn evaluate(shared: &ServiceShared, job: &Job) -> Result<QueryResponse> {
+    fn evaluate(shared: &ServiceShared, job: &Job, queue_micros: u64) -> Result<QueryResponse> {
         let req = &job.request;
+        let qid = req.id.unwrap_or(job.seq);
         let sharded = shared.shards.len() > 1;
         // Sharded evaluation must be document-at-a-time: term-at-a-time
         // beliefs read shard-local record statistics and would silently
@@ -280,7 +517,7 @@ impl QueryService {
             ExecMode::Daat | ExecMode::DaatPruned => daat::flatten_bag(&parsed),
             ExecMode::Serial | ExecMode::BatchedPrefetch => None,
         };
-        let (merged, timings) = if let Some(bag) = daat_bag {
+        let (merged, timings, merge_micros) = if let Some(bag) = daat_bag {
             let mut per_shard: Vec<Vec<ScoredDoc>> = Vec::with_capacity(shared.shards.len());
             let mut timings = Vec::with_capacity(shared.shards.len());
             for (i, shard) in shared.shards.iter().enumerate() {
@@ -325,7 +562,9 @@ impl QueryService {
                 });
                 per_shard.push(scored);
             }
-            (daat::merge_topk(per_shard, req.k), timings)
+            let merge_start = Instant::now();
+            let merged = daat::merge_topk(per_shard, req.k);
+            (merged, timings, merge_start.elapsed().as_micros() as u64)
         } else if sharded {
             return Err(CoreError::Unsupported("structured queries on a sharded engine"));
         } else {
@@ -346,9 +585,11 @@ impl QueryService {
                 micros: t.elapsed().as_micros() as u64,
                 hits: scored.len(),
             };
-            (scored, vec![timing])
+            (scored, vec![timing], 0)
         };
-        phase_micros[Phase::Evaluate as usize] = timings.iter().map(|t| t.micros).sum();
+        let eval_micros: u64 = timings.iter().map(|t| t.micros).sum();
+        phase_micros[Phase::Evaluate as usize] = eval_micros;
+        phase_micros[Phase::Rank as usize] = merge_micros;
         if let Some(budget) = req.deadline {
             let elapsed = job.submitted.elapsed();
             if elapsed > budget {
@@ -361,12 +602,22 @@ impl QueryService {
         // per-query (see `QueryResponse::trace`); the per-request trace
         // carries the phase timings only.
         let trace = QueryTrace {
-            query: job.seq as usize,
+            query: qid as usize,
             results: hits.len(),
             phase_micros,
             events: [0; Event::COUNT],
         };
-        Ok(QueryResponse { hits, shards: timings, trace, queue_micros: 0 })
+        // End-to-end from submission: queue wait + shard evaluation +
+        // merge, with everything else (parse, naming, scheduling gaps)
+        // in the residual.
+        let breakdown = LatencyBreakdown::from_parts(
+            qid,
+            queue_micros,
+            eval_micros,
+            merge_micros,
+            job.submitted.elapsed().as_micros() as u64,
+        );
+        Ok(QueryResponse { hits, shards: timings, trace, queue_micros, mode, breakdown })
     }
 }
 
@@ -382,4 +633,131 @@ fn to_ranked(docs: &DocTable, scored: Vec<ScoredDoc>) -> Vec<RankedResult> {
         .into_iter()
         .map(|s| RankedResult { doc: s.doc, name: docs.info(s.doc).name.clone(), score: s.score })
         .collect()
+}
+
+/// Typed snapshot of a running service's own metrics — the return type
+/// of [`QueryService::stats`] and the line format of `--stats-out`.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Seconds since the service started.
+    pub uptime_secs: f64,
+    /// Shards the service evaluates against.
+    pub shards: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Requests admitted but not yet dequeued (instantaneous).
+    pub queue_depth: i64,
+    /// Requests being evaluated right now (instantaneous).
+    pub in_flight: i64,
+    /// Lifetime requests admitted.
+    pub admitted: u64,
+    /// Lifetime requests rejected at admission (queue full).
+    pub rejected: u64,
+    /// Lifetime requests expired (at dequeue or mid-evaluation).
+    pub expired: u64,
+    /// Lifetime requests completed successfully.
+    pub completed: u64,
+    /// Lifetime requests failed with a non-deadline error.
+    pub failed: u64,
+    /// Admission rate over the rolling windows.
+    pub admitted_rate: WindowRates,
+    /// Completion rate over the rolling windows (the server-side QPS).
+    pub completed_rate: WindowRates,
+    /// Exact end-to-end latency percentiles over the breakdown window.
+    pub latency: LatencySummary,
+    /// Where the p99 spends its time (`None` before any completion).
+    pub attribution: Option<Attribution>,
+    /// Flight-recorder admission threshold.
+    pub slow_threshold_micros: u64,
+    /// Slow queries currently retained by the flight recorder.
+    pub slow_retained: usize,
+    /// Slow queries ever observed past the threshold.
+    pub slow_observed: u64,
+    /// The shared telemetry recorder's epoch (0 when telemetry is off).
+    pub epoch: u64,
+    /// Every windowed metric, in registration order.
+    pub registry: RegistrySnapshot,
+}
+
+impl ServiceStats {
+    /// One JSON object on a single line (the `--stats-out` line format;
+    /// stable keys, no external deps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str(&format!(
+            "{{\"uptime_secs\": {:.3}, \"shards\": {}, \"workers\": {}, \
+             \"queue_capacity\": {}, \"queue_depth\": {}, \"in_flight\": {}, \
+             \"admitted\": {}, \"rejected\": {}, \"expired\": {}, \"completed\": {}, \
+             \"failed\": {}",
+            self.uptime_secs,
+            self.shards,
+            self.workers,
+            self.queue_capacity,
+            self.queue_depth,
+            self.in_flight,
+            self.admitted,
+            self.rejected,
+            self.expired,
+            self.completed,
+            self.failed
+        ));
+        let rates = |r: &WindowRates| {
+            format!("{{\"s1\": {:.3}, \"s10\": {:.3}, \"s60\": {:.3}}}", r.s1, r.s10, r.s60)
+        };
+        s.push_str(&format!(", \"admitted_rate\": {}", rates(&self.admitted_rate)));
+        s.push_str(&format!(", \"completed_rate\": {}", rates(&self.completed_rate)));
+        s.push_str(&format!(", \"latency\": {}", self.latency.to_json()));
+        s.push_str(&format!(
+            ", \"p99_attribution\": {}",
+            self.attribution.as_ref().map_or("null".to_string(), |a| a.to_json())
+        ));
+        s.push_str(&format!(
+            ", \"slow\": {{\"threshold_micros\": {}, \"retained\": {}, \"observed\": {}}}",
+            self.slow_threshold_micros, self.slow_retained, self.slow_observed
+        ));
+        s.push_str(&format!(", \"epoch\": {}", self.epoch));
+        s.push_str(&format!(", \"metrics\": {}}}", self.registry.to_json()));
+        s
+    }
+
+    /// Prometheus text exposition of every windowed metric (prefix
+    /// `poir_service_`) plus the uptime gauge.
+    pub fn prometheus_text(&self) -> String {
+        let mut s = self.registry.prometheus_text("poir_service_");
+        s.push_str(&format!(
+            "# TYPE poir_service_uptime_seconds gauge\npoir_service_uptime_seconds {:.3}\n",
+            self.uptime_secs
+        ));
+        s
+    }
+}
+
+/// Builds a [`ServiceStats`] from the shared state (also used by the
+/// sampler thread, which has no `QueryService` handle).
+fn stats_of(shared: &ServiceShared, spec: ShardSpec) -> ServiceStats {
+    let m = &shared.metrics;
+    ServiceStats {
+        uptime_secs: shared.started.elapsed().as_secs_f64(),
+        shards: shared.shards.len(),
+        workers: spec.workers,
+        queue_capacity: shared.capacity,
+        queue_depth: m.queue_depth.value(),
+        in_flight: m.in_flight.value(),
+        admitted: m.admitted.total(),
+        rejected: m.rejected.total(),
+        expired: m.expired.total(),
+        completed: m.completed.total(),
+        failed: m.failed.total(),
+        admitted_rate: m.admitted.rates(),
+        completed_rate: m.completed.rates(),
+        latency: m.breakdowns.summary(),
+        attribution: m.breakdowns.p99_attribution(),
+        slow_threshold_micros: m.flight.threshold_micros(),
+        slow_retained: m.flight.len(),
+        slow_observed: m.flight.observed(),
+        epoch: shared.recorder.epoch(),
+        registry: m.registry.snapshot(),
+    }
 }

@@ -22,7 +22,7 @@ use std::time::Instant;
 use poir_inquery::query::daat;
 use poir_inquery::Index;
 use poir_storage::Device;
-use poir_telemetry::{Event, MetricsReport, Phase, QueryTrace, Recorder};
+use poir_telemetry::{Event, LatencyBreakdown, MetricsReport, Phase, QueryTrace, Recorder};
 
 use crate::engine::{
     Engine, EngineParts, ExecMode, QueryRequest, QueryResponse, QuerySetReport, RankedResult,
@@ -175,6 +175,7 @@ impl ShardedEngine {
             return self.shards[0].execute(req);
         }
         let mode = self.sharded_mode(req)?;
+        let qid = req.id.unwrap_or(0);
         // Structured queries cannot fall back to the term-at-a-time
         // pipeline here (shard-local record statistics; see
         // `sharded_mode`), so reject them before touching any shard.
@@ -199,7 +200,8 @@ impl ShardedEngine {
                 }
             }
             let t = Instant::now();
-            let (scored, trace) = self.shards[i].run_one(0, &req.text, req.k, mode, true)?;
+            let (scored, trace) =
+                self.shards[i].run_one(qid as usize, &req.text, req.k, mode, true)?;
             timings.push(ShardTiming {
                 shard: i,
                 micros: t.elapsed().as_micros() as u64,
@@ -214,10 +216,20 @@ impl ShardedEngine {
             }
             per_shard.push(scored);
         }
+        let merge_start = Instant::now();
         let merged = daat::merge_topk(per_shard, req.k);
+        let merge_micros = merge_start.elapsed().as_micros() as u64;
         let hits = self.shards[0].to_ranked_results(merged);
-        let trace = QueryTrace { query: 0, results: hits.len(), phase_micros, events };
-        Ok(QueryResponse { hits, shards: timings, trace, queue_micros: 0 })
+        let trace = QueryTrace { query: qid as usize, results: hits.len(), phase_micros, events };
+        let eval_micros = timings.iter().map(|t| t.micros).sum();
+        let breakdown = LatencyBreakdown::from_parts(
+            qid,
+            0,
+            eval_micros,
+            merge_micros,
+            start.elapsed().as_micros() as u64,
+        );
+        Ok(QueryResponse { hits, shards: timings, trace, queue_micros: 0, mode, breakdown })
     }
 
     /// Processes a query set in batch mode across the shards, reproducing

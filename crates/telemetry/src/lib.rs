@@ -29,8 +29,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod metrics;
 pub mod trace;
 
+pub use metrics::{
+    Attribution, BreakdownRing, Counter, FlightRecorder, Gauge, Histogram, LatencyBreakdown,
+    LatencySummary, MetricSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot,
+    SlowQueryRecord, SlowShard, WindowRates,
+};
 pub use trace::{BufferResidencyReport, PoolResidency, TraceOp, TraceRecord, Tracer};
 
 /// Global monotonic counters.
@@ -245,20 +251,20 @@ pub(crate) fn bucket_for(micros: u64) -> usize {
 }
 
 #[derive(Default)]
-struct AtomicHistogram {
+pub(crate) struct AtomicHistogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum_micros: AtomicU64,
 }
 
 impl AtomicHistogram {
-    fn record(&self, micros: u64) {
+    pub(crate) fn record(&self, micros: u64) {
         self.buckets[bucket_for(micros)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
@@ -304,10 +310,36 @@ impl HistogramSnapshot {
             self.sum_micros as f64 / self.count as f64
         }
     }
+
+    /// Nearest-rank quantile, reported as the containing bucket's upper
+    /// bound in microseconds (0 when empty). The power-of-two buckets
+    /// make this an upper bound with at most 2x slack — good enough for
+    /// dashboards; exact percentiles come from sample rings.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (HISTOGRAM_BUCKETS - 1)
+    }
 }
+
+// Epochs distinguish recorders so snapshot diffs can detect a baseline
+// taken against a *different* recorder (epoch 0 = the disabled recorder,
+// treated as a wildcard so `TelemetrySnapshot::default()` baselines keep
+// working).
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 #[derive(Default)]
 struct Inner {
+    epoch: u64,
     events: [AtomicU64; Event::COUNT],
     pools: [[AtomicU64; PoolEvent::COUNT]; MAX_POOLS],
     phases: [AtomicHistogram; Phase::COUNT],
@@ -333,7 +365,8 @@ impl std::fmt::Debug for Recorder {
 impl Recorder {
     /// A recorder that accumulates counters.
     pub fn enabled() -> Recorder {
-        Recorder { inner: Some(Arc::new(Inner::default())), tracer: None }
+        let inner = Inner { epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed), ..Inner::default() };
+        Recorder { inner: Some(Arc::new(inner)), tracer: None }
     }
 
     /// A recorder that drops everything (same as `Recorder::default()`).
@@ -351,6 +384,14 @@ impl Recorder {
     /// Whether record calls accumulate anywhere.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// This recorder's epoch id: a process-unique nonzero value for an
+    /// enabled recorder, 0 for a disabled one. Snapshots carry it so a
+    /// diff against a snapshot of a *different* recorder is detectable
+    /// (see [`TelemetrySnapshot::since_checked`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.epoch)
     }
 
     /// Whether traced operations append [`TraceRecord`]s.
@@ -456,6 +497,7 @@ impl Recorder {
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let mut snap = TelemetrySnapshot::default();
         if let Some(inner) = &self.inner {
+            snap.epoch = inner.epoch;
             for (out, c) in snap.events.iter_mut().zip(&inner.events) {
                 *out = c.load(Ordering::Relaxed);
             }
@@ -488,6 +530,9 @@ impl Drop for PhaseSpan {
 /// Point-in-time copy of every recorder counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TelemetrySnapshot {
+    /// Epoch of the recorder the snapshot was taken from (0 = disabled
+    /// recorder or a hand-built baseline; compatible with everything).
+    pub epoch: u64,
     /// Global counters, indexed by [`Event`].
     pub events: [u64; Event::COUNT],
     /// Per-pool counters, indexed by pool id then [`PoolEvent`].
@@ -495,6 +540,28 @@ pub struct TelemetrySnapshot {
     /// Phase latency histograms, indexed by [`Phase`].
     pub phases: [HistogramSnapshot; Phase::COUNT],
 }
+
+/// Two snapshots being diffed came from different recorders, so the
+/// counter delta would be meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochMismatch {
+    /// Epoch of the later snapshot (`self` in a `since` call).
+    pub expected: u64,
+    /// Epoch of the earlier snapshot the delta was requested against.
+    pub actual: u64,
+}
+
+impl std::fmt::Display for EpochMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "telemetry snapshots come from different recorders (epoch {} vs {})",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for EpochMismatch {}
 
 impl TelemetrySnapshot {
     /// Value of one global counter.
@@ -512,10 +579,31 @@ impl TelemetrySnapshot {
         &self.phases[phase as usize]
     }
 
+    /// Whether a delta between the two snapshots is meaningful: same
+    /// epoch, or either side is epoch 0 (disabled recorder / hand-built
+    /// baseline, compatible with everything).
+    pub fn epoch_compatible(&self, other: &TelemetrySnapshot) -> bool {
+        self.epoch == other.epoch || self.epoch == 0 || other.epoch == 0
+    }
+
     /// Saturating element-wise difference `self - earlier` (mirrors
     /// `IoSnapshot::since`).
+    ///
+    /// Debug builds assert the snapshots come from the same recorder;
+    /// release builds saturate silently (use
+    /// [`TelemetrySnapshot::since_checked`] to handle the mismatch as a
+    /// typed error instead).
     pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
-        let mut out = TelemetrySnapshot::default();
+        debug_assert!(
+            self.epoch_compatible(earlier),
+            "telemetry snapshots come from different recorders (epoch {} vs {})",
+            self.epoch,
+            earlier.epoch
+        );
+        let mut out = TelemetrySnapshot {
+            epoch: if self.epoch != 0 { self.epoch } else { earlier.epoch },
+            ..TelemetrySnapshot::default()
+        };
         for (i, v) in out.events.iter_mut().enumerate() {
             *v = self.events[i].saturating_sub(earlier.events[i]);
         }
@@ -528,6 +616,18 @@ impl TelemetrySnapshot {
             *v = self.phases[i].since(&earlier.phases[i]);
         }
         out
+    }
+
+    /// [`TelemetrySnapshot::since`], but an epoch mismatch is a typed
+    /// error instead of a saturated (garbage) delta.
+    pub fn since_checked(
+        &self,
+        earlier: &TelemetrySnapshot,
+    ) -> Result<TelemetrySnapshot, EpochMismatch> {
+        if !self.epoch_compatible(earlier) {
+            return Err(EpochMismatch { expected: self.epoch, actual: earlier.epoch });
+        }
+        Ok(self.since(earlier))
     }
 }
 
@@ -850,6 +950,57 @@ mod tests {
         assert!(json.contains("\"io_inputs\": 40"));
         assert!(json.contains("\"accesses_per_lookup\": 1.5000"));
         assert!(json.contains("\"kbytes_read\": 100"));
+    }
+
+    #[test]
+    fn epochs_distinguish_recorders() {
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        assert_ne!(a.epoch(), 0);
+        assert_ne!(a.epoch(), b.epoch(), "every enabled recorder gets its own epoch");
+        assert_eq!(a.clone().epoch(), a.epoch(), "clones share the epoch");
+        assert_eq!(Recorder::disabled().epoch(), 0);
+        assert_eq!(a.snapshot().epoch, a.epoch());
+
+        // Same recorder: checked diff succeeds and keeps the epoch.
+        let before = a.snapshot();
+        a.add(Event::IoInput, 2);
+        let delta = a.snapshot().since_checked(&before).expect("same recorder");
+        assert_eq!(delta.get(Event::IoInput), 2);
+        assert_eq!(delta.epoch, a.epoch());
+
+        // Epoch 0 is a wildcard: hand-built baselines keep working.
+        let delta = a.snapshot().since(&TelemetrySnapshot::default());
+        assert_eq!(delta.epoch, a.epoch());
+
+        // Different recorders: typed error, with both epochs reported.
+        let err = a.snapshot().since_checked(&b.snapshot()).unwrap_err();
+        assert_eq!(err, EpochMismatch { expected: a.epoch(), actual: b.epoch() });
+        assert!(err.to_string().contains("different recorders"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different recorders")]
+    fn since_asserts_on_cross_recorder_diff_in_debug() {
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        let _ = a.snapshot().since(&b.snapshot());
+    }
+
+    #[test]
+    fn histogram_quantiles_report_bucket_upper_bounds() {
+        assert_eq!(HistogramSnapshot::default().quantile_micros(0.99), 0);
+        let r = Recorder::enabled();
+        for _ in 0..98 {
+            r.record_phase(Phase::Evaluate, 3); // bucket [2, 4)
+        }
+        r.record_phase(Phase::Evaluate, 100); // bucket [64, 128)
+        r.record_phase(Phase::Evaluate, 5000); // bucket [4096, 8192)
+        let h = *r.snapshot().phase(Phase::Evaluate);
+        assert_eq!(h.quantile_micros(0.50), 4);
+        assert_eq!(h.quantile_micros(0.99), 128);
+        assert_eq!(h.quantile_micros(1.0), 8192);
     }
 
     #[test]

@@ -179,6 +179,26 @@ pub struct TraceRecord {
     pub bytes: u64,
 }
 
+impl TraceRecord {
+    /// One JSON object for this record — the line format of
+    /// [`Tracer::access_log_jsonl`], also embedded in slow-query dumps.
+    /// `pool`/`query` are `null` when absent.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ts_micros\": {}, \"dur_micros\": {}, \"thread\": {}, \"query\": {}, \
+             \"op\": \"{}\", \"object\": {}, \"pool\": {}, \"bytes\": {}}}",
+            self.ts_micros,
+            self.dur_micros,
+            self.thread,
+            if self.query == NO_QUERY { "null".to_string() } else { self.query.to_string() },
+            self.op.name(),
+            self.object,
+            if self.pool == NO_POOL { "null".to_string() } else { self.pool.to_string() },
+            self.bytes,
+        )
+    }
+}
+
 // Thread track ids are process-wide so a thread keeps one identity across
 // tracers; the cell caches the assignment after the first record.
 static NEXT_THREAD_TAG: AtomicU32 = AtomicU32::new(0);
@@ -328,6 +348,17 @@ impl Tracer {
         out
     }
 
+    /// The records tagged with query `query`, sorted by start timestamp —
+    /// the trace slice a slow-query flight-recorder entry retains.
+    pub fn records_for_query(&self, query: u32) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().unwrap().ring.iter().filter(|r| r.query == query).copied());
+        }
+        out.sort_by_key(|r| r.ts_micros);
+        out
+    }
+
     /// Chrome `trace_event` JSON (the "JSON array format" with a
     /// `traceEvents` wrapper), loadable in Perfetto or `chrome://tracing`.
     /// Every record becomes one complete ("X") slice on its thread's
@@ -384,18 +415,8 @@ impl Tracer {
         let records = self.records();
         let mut s = String::with_capacity(records.len() * 140);
         for r in &records {
-            s.push_str(&format!(
-                "{{\"ts_micros\": {}, \"dur_micros\": {}, \"thread\": {}, \"query\": {}, \
-                 \"op\": \"{}\", \"object\": {}, \"pool\": {}, \"bytes\": {}}}\n",
-                r.ts_micros,
-                r.dur_micros,
-                r.thread,
-                if r.query == NO_QUERY { "null".to_string() } else { r.query.to_string() },
-                r.op.name(),
-                r.object,
-                if r.pool == NO_POOL { "null".to_string() } else { r.pool.to_string() },
-                r.bytes,
-            ));
+            s.push_str(&r.to_json());
+            s.push('\n');
         }
         s
     }
@@ -585,6 +606,26 @@ mod tests {
             assert_eq!(current_query(), 3);
         }
         assert_eq!(current_query(), NO_QUERY);
+    }
+
+    #[test]
+    fn records_for_query_filters_and_sorts() {
+        let tracer = Tracer::new(64);
+        tracer.record(TraceOp::DeviceRead, 1, NO_POOL, 0, 0);
+        {
+            let _q = tag_query(5);
+            tracer.record(TraceOp::QueueWait, 5, NO_POOL, 0, 3);
+            tracer.record(TraceOp::PoolFetch, 9, 0, 64, 0);
+        }
+        {
+            let _q = tag_query(6);
+            tracer.record(TraceOp::PoolFetch, 10, 0, 64, 0);
+        }
+        let slice = tracer.records_for_query(5);
+        assert_eq!(slice.len(), 2);
+        assert!(slice.iter().all(|r| r.query == 5));
+        assert!(slice.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+        assert!(tracer.records_for_query(1234).is_empty());
     }
 
     #[test]

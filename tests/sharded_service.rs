@@ -9,7 +9,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use poir::core::{BackendKind, CoreError, Engine, ExecMode, QueryRequest, QueryService, ShardSpec};
+use poir::core::{
+    BackendKind, CoreError, Engine, ExecMode, QueryRequest, QueryService, ServiceConfig, ShardSpec,
+};
 use poir::inquery::{Index, IndexBuilder, StopWords};
 use poir::storage::{CostModel, Device, DeviceConfig};
 use poir::telemetry::{Event, TelemetryOptions};
@@ -262,6 +264,103 @@ fn concurrent_submit_and_shutdown_neither_deadlocks_nor_loses_admitted_work() {
         service.try_submit(QueryRequest::new("w3", 5)),
         Err(CoreError::ServiceStopped)
     ));
+}
+
+#[test]
+fn service_stats_report_counters_and_attribution() {
+    let index = build_index(200);
+    let engine =
+        Engine::builder(&device()).sharding(ShardSpec::new(2, 2)).build_sharded(index).unwrap();
+    // A 1-microsecond slow threshold puts every request in the flight
+    // recorder, so the observatory surfaces are all populated.
+    let config = ServiceConfig {
+        queue_capacity: 8,
+        slow_threshold_micros: 1,
+        slow_capacity: 8,
+        ..ServiceConfig::default()
+    };
+    let service = QueryService::start_with(engine, config).unwrap();
+    let rounds = 4;
+    for i in 0..rounds * BAG_QUERIES.len() {
+        let q = BAG_QUERIES[i % BAG_QUERIES.len()];
+        service.query(QueryRequest::new(q, 10).id(i as u32)).unwrap();
+    }
+    let total = (rounds * BAG_QUERIES.len()) as u64;
+    let stats = service.stats();
+    assert_eq!(stats.shards, 2);
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.queue_capacity, 8);
+    assert_eq!(stats.admitted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.failed, 0);
+    // Synchronous submission: nothing queued or running at snapshot time.
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.in_flight, 0);
+    assert!(stats.uptime_secs > 0.0);
+    assert!(stats.admitted_rate.s60 > 0.0, "recent completions show in the windowed rate");
+    let latency = &stats.latency;
+    assert_eq!(latency.count as u64, total);
+    assert!(latency.p50_micros <= latency.p99_micros && latency.p99_micros <= latency.max_micros);
+    // The tail attribution's components sum to the reported p99 exactly —
+    // the breakdown IS the p99 request's, not an average of histograms.
+    let attr = stats.attribution.as_ref().expect("attribution after completions");
+    assert_eq!(attr.samples as u64, total);
+    assert_eq!(attr.breakdown.total_micros(), attr.p99_micros);
+    assert_eq!(
+        attr.breakdown.queue_micros
+            + attr.breakdown.eval_micros
+            + attr.breakdown.merge_micros
+            + attr.breakdown.other_micros,
+        attr.p99_micros
+    );
+    assert!(attr.tail_count >= 1);
+    // Flight recorder saw everything, retained up to capacity.
+    assert_eq!(stats.slow_threshold_micros, 1);
+    assert_eq!(stats.slow_observed, total);
+    assert_eq!(stats.slow_retained, 8);
+    assert_eq!(service.slow_queries().len(), 8);
+    // Both export formats carry the registry.
+    let json = stats.to_json();
+    assert!(json.contains("\"p99_attribution\""));
+    assert!(json.contains("\"metrics\""));
+    let prom = stats.prometheus_text();
+    assert!(prom.contains("# TYPE poir_service_completed counter"));
+    assert!(prom.contains("poir_service_request_micros_bucket"));
+    service.shutdown();
+}
+
+#[test]
+fn query_id_joins_trace_and_slow_log() {
+    let index = build_index(150);
+    let engine = Engine::builder(&device())
+        .telemetry(TelemetryOptions::tracing(4096))
+        .sharding(ShardSpec::new(2, 2))
+        .build_sharded(index)
+        .unwrap();
+    let config = ServiceConfig { slow_threshold_micros: 1, ..ServiceConfig::default() };
+    let service = QueryService::start_with(engine, config).unwrap();
+    let resp = service.query(QueryRequest::new("w3 w17 rare5", 10).id(777)).unwrap();
+    assert_eq!(resp.breakdown.query_id, 777);
+    // The slow-query record carries the caller's id and the trace slice
+    // extracted for it — every record tagged with the same id, queue wait
+    // included.
+    let slow = service.slow_queries();
+    let record = slow.iter().find(|r| r.query_id == 777).expect("slow log has the request");
+    assert_eq!(record.breakdown.query_id, 777);
+    assert!(!record.trace.is_empty(), "tracing was on; the slice must be attached");
+    assert!(record.trace.iter().all(|r| r.query == 777));
+    assert!(record.trace.iter().any(|r| r.op == poir::telemetry::TraceOp::QueueWait));
+    assert!(record.trace.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+    // The same slice is reachable straight from the tracer.
+    let tracer = service.recorder().tracer().expect("tracing enabled").clone();
+    let records = tracer.records_for_query(777);
+    assert!(!records.is_empty());
+    assert!(records.iter().all(|r| r.query == 777));
+    // And the JSONL dump names the id.
+    assert!(service.slow_queries_jsonl().contains("\"query_id\": 777"));
+    service.shutdown();
 }
 
 #[test]
