@@ -1,0 +1,74 @@
+//! Crash-consistency harness CLI.
+//!
+//! Runs [`poir_bench::crash::run_crash_harness`]: a seeded op script over a
+//! recoverable Mneme store, crashed at every `stride`-th op boundary in
+//! several ways (plain drop, flush-then-drop, torn log tail, device power
+//! cut), recovered, validated, and compared bit-for-bit against the
+//! no-crash reference ranking.
+//!
+//! ```text
+//! cargo run --release -p poir-bench --bin crashtest -- \
+//!     [--seed N] [--ops N] [--terms N] [--checkpoint-every N] \
+//!     [--stride N] [--power-cuts N] [--k N]
+//! ```
+//!
+//! Prints the report as one JSON object. Exits 0 when every recovery held,
+//! 1 on any failure (the report lists each one), 2 on usage errors.
+
+use poir_bench::crash::{run_crash_harness, CrashOptions};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = CrashOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => v,
+                None => die(&format!("{what} needs a non-negative integer")),
+            }
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = num("--seed"),
+            "--ops" => opts.ops = num("--ops") as usize,
+            "--terms" => opts.terms = num("--terms").max(1) as usize,
+            "--checkpoint-every" => opts.checkpoint_every = num("--checkpoint-every") as usize,
+            "--stride" => opts.stride = num("--stride").max(1) as usize,
+            "--power-cuts" => opts.power_cuts = num("--power-cuts") as usize,
+            "--k" => opts.k = num("--k").max(1) as usize,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: crashtest [--seed N] [--ops N] [--terms N] \
+                     [--checkpoint-every N] [--stride N] [--power-cuts N] [--k N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown arg {other:?}")),
+        }
+    }
+
+    eprintln!(
+        "# crashtest seed {:#x}: {} ops, {} terms, checkpoint every {}, stride {}, {} power cuts",
+        opts.seed, opts.ops, opts.terms, opts.checkpoint_every, opts.stride, opts.power_cuts
+    );
+    let report = run_crash_harness(&opts);
+    println!("{}", report.to_json());
+    if !report.passed() {
+        for f in &report.failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# ok: {} crash points, {} recoveries, {} torn tails shortened, {} power cuts fired",
+        report.crash_points,
+        report.recoveries,
+        report.torn_tails_shortened,
+        report.power_cuts_fired
+    );
+}

@@ -11,7 +11,8 @@
 //! cargo run --release -p poir-bench --bin loadgen -- \
 //!     [--scale F] [--shards NxM] [--queue N] [--levels 1,2,4,...] \
 //!     [--queries N] [--out PATH] [--stats-out PATH] [--slow-out PATH] \
-//!     [--slow-threshold-micros N]
+//!     [--slow-threshold-micros N] [--chaos] [--chaos-seed N] \
+//!     [--chaos-eio PER_MILLE] [--chaos-short PER_MILLE]
 //! ```
 //!
 //! `--out` writes the latency family as a standalone JSON document (the
@@ -25,11 +26,19 @@
 //!
 //! [`ServiceStats`]: poir_core::ServiceStats
 //!
+//! `--chaos` installs a seeded fault plan on the service's device before
+//! the ladder runs (no-cache backend, so reads reach the device): seeded
+//! EIO and short-read failpoints whose rates `--chaos-eio` /
+//! `--chaos-short` set in per-mille, replayable via `--chaos-seed`. The
+//! table and JSON then carry degraded/failed counts per level and the
+//! device's fault counters.
+//!
 //! Exits 0 on success, 1 when saturation throughput fails to reach the
-//! single-client throughput (the service scaled *negatively*), 2 on usage
+//! single-client throughput (the service scaled *negatively*; skipped
+//! under `--chaos`, where injected faults distort scaling), 2 on usage
 //! errors.
 
-use poir_bench::latency::{run_latency, LatencyOptions, DEFAULT_LEVELS};
+use poir_bench::latency::{run_latency, ChaosOptions, LatencyOptions, DEFAULT_LEVELS};
 use poir_bench::throughput::prepare_workload;
 
 fn die(msg: &str) -> ! {
@@ -97,11 +106,32 @@ fn main() {
                 Some(v) => opts.slow_threshold_micros = v,
                 None => die("--slow-threshold-micros needs a non-negative integer"),
             },
+            "--chaos" => {
+                opts.chaos.get_or_insert_with(ChaosOptions::default);
+            }
+            "--chaos-seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.chaos.get_or_insert_with(ChaosOptions::default).seed = v,
+                None => die("--chaos-seed needs an integer"),
+            },
+            "--chaos-eio" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v <= 1000 => {
+                    opts.chaos.get_or_insert_with(ChaosOptions::default).eio_per_mille = v;
+                }
+                _ => die("--chaos-eio needs a per-mille rate in 0..=1000"),
+            },
+            "--chaos-short" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v <= 1000 => {
+                    opts.chaos.get_or_insert_with(ChaosOptions::default).short_read_per_mille = v;
+                }
+                _ => die("--chaos-short needs a per-mille rate in 0..=1000"),
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--scale F] [--shards NxM] [--queue N] \
                      [--levels 1,2,4,...] [--queries N] [--out PATH] \
-                     [--stats-out PATH] [--slow-out PATH] [--slow-threshold-micros N]"
+                     [--stats-out PATH] [--slow-out PATH] [--slow-threshold-micros N] \
+                     [--chaos] [--chaos-seed N] [--chaos-eio PER_MILLE] \
+                     [--chaos-short PER_MILLE]"
                 );
                 return;
             }
@@ -132,7 +162,9 @@ fn main() {
         eprintln!("# sampler wrote {path} and {path}.prom");
     }
 
-    if run.saturation_over_serial < 1.0 {
+    // Chaos runs measure degradation, not scaling: injected faults and
+    // retry backoff make the saturation/serial ratio meaningless there.
+    if run.chaos.is_none() && run.saturation_over_serial < 1.0 {
         eprintln!(
             "ERROR: saturation {:.1} QPS below single-client {:.1} QPS",
             run.saturation_qps, run.serial_qps

@@ -33,6 +33,7 @@ use poir_core::{
     BackendKind, CoreError, Engine, QueryRequest, ServiceConfig, ServiceStats, ShardSpec,
     TelemetryOptions,
 };
+use poir_storage::{FaultKind, FaultOp, FaultPlan, FaultRule, FaultSchedule, FaultStats};
 
 use crate::paper_device;
 use crate::throughput::{Workload, TOP_K};
@@ -55,6 +56,52 @@ pub const DEFAULT_QUERIES_PER_LEVEL: usize = 200;
 /// microseconds.
 pub const DEFAULT_SLOW_THRESHOLD_MICROS: u64 = 10_000;
 
+/// Chaos-mode configuration: a seeded [`FaultPlan`] installed on the
+/// service's device so the ladder runs against injected storage faults.
+/// Fully deterministic given the seed — a chaos failure is replayable.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOptions {
+    /// Seed for the per-rule fault streams.
+    pub seed: u64,
+    /// Per-mille probability of an injected EIO per device read.
+    pub eio_per_mille: u32,
+    /// Per-mille probability of an injected short read per device read.
+    pub short_read_per_mille: u32,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions { seed: 0x5EED, eio_per_mille: 20, short_read_per_mille: 10 }
+    }
+}
+
+impl ChaosOptions {
+    /// The fault plan these options describe: two seeded Bernoulli rules
+    /// (EIO and short read on any device read) plus one deterministic
+    /// early short read, so even a tiny smoke run observes at least one
+    /// injected fault.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new()
+            .rule(FaultRule::new(
+                FaultOp::Read,
+                FaultKind::Eio,
+                FaultSchedule::Seeded { seed: self.seed, per_mille: self.eio_per_mille },
+            ))
+            .rule(FaultRule::new(
+                FaultOp::Read,
+                FaultKind::ShortRead,
+                FaultSchedule::Seeded {
+                    seed: self.seed.wrapping_add(1),
+                    per_mille: self.short_read_per_mille,
+                },
+            ))
+            .rule(
+                FaultRule::new(FaultOp::Read, FaultKind::ShortRead, FaultSchedule::Nth { n: 2 })
+                    .max_fires(1),
+            )
+    }
+}
+
 /// Harness configuration: the service layout plus the observability
 /// knobs forwarded into [`ServiceConfig`].
 #[derive(Debug, Clone)]
@@ -75,6 +122,8 @@ pub struct LatencyOptions {
     pub stats_out: Option<String>,
     /// Sampling interval for `stats_out`, milliseconds.
     pub stats_interval_millis: u64,
+    /// When set, run the ladder under injected storage faults.
+    pub chaos: Option<ChaosOptions>,
 }
 
 impl Default for LatencyOptions {
@@ -87,6 +136,7 @@ impl Default for LatencyOptions {
             slow_capacity: 32,
             stats_out: None,
             stats_interval_millis: 1000,
+            chaos: None,
         }
     }
 }
@@ -96,6 +146,7 @@ impl LatencyOptions {
     pub fn service_config(&self) -> ServiceConfig {
         ServiceConfig {
             queue_capacity: self.queue_capacity,
+            retry: poir_core::RetryPolicy::default(),
             slow_threshold_micros: self.slow_threshold_micros,
             slow_capacity: self.slow_capacity,
             breakdown_window: 4096,
@@ -113,6 +164,12 @@ pub struct LatencyLevel {
     pub completed: usize,
     /// Requests rejected at admission ([`CoreError::Overloaded`]).
     pub rejected: usize,
+    /// Completed requests whose response was degraded (missing shards);
+    /// always 0 outside chaos mode.
+    pub degraded: usize,
+    /// Requests that failed with a non-deadline, non-overload error;
+    /// always 0 outside chaos mode (a failure panics the harness there).
+    pub failed: usize,
     /// Completed requests per host second.
     pub qps: f64,
     /// Median submit-to-response latency, microseconds.
@@ -158,6 +215,11 @@ pub struct LatencyRun {
     pub stats: ServiceStats,
     /// The slow-query flight recorder's JSONL dump.
     pub slow_jsonl: String,
+    /// The chaos configuration the run used, if any.
+    pub chaos: Option<ChaosOptions>,
+    /// The device's fault-injection counters after the ladder (chaos
+    /// runs only).
+    pub fault_stats: Option<FaultStats>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
@@ -181,13 +243,23 @@ pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
 /// entries and trace records can be joined back to the submission.
 pub fn run_latency(workload: &Workload, opts: &LatencyOptions, levels: &[usize]) -> LatencyRun {
     let device = paper_device();
+    // Chaos runs bypass the Mneme buffer pools: a fully-buffered store
+    // would absorb every read and the installed read faults could never
+    // fire against the device.
+    let backend =
+        if opts.chaos.is_some() { BackendKind::MnemeNoCache } else { BackendKind::MnemeCache };
     let service = Engine::builder(&device)
-        .backend(BackendKind::MnemeCache)
+        .backend(backend)
         .telemetry(TelemetryOptions::off())
         .sharding(opts.spec)
         .service_config(opts.service_config())
         .build_service(workload.index.clone())
         .expect("service build");
+    // The plan goes in only after the build, so index construction runs
+    // clean and every injected fault lands on the serving path.
+    if let Some(chaos) = &opts.chaos {
+        device.install_fault_plan(chaos.fault_plan());
+    }
     let next_id = AtomicU32::new(0);
     let mut out = Vec::with_capacity(levels.len());
     for &clients in levels {
@@ -195,12 +267,15 @@ pub fn run_latency(workload: &Workload, opts: &LatencyOptions, levels: &[usize])
         let next = AtomicUsize::new(0);
         let before = service.stats();
         let start = Instant::now();
-        let per_client: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let chaos_on = opts.chaos.is_some();
+        let per_client: Vec<(Vec<u64>, usize, usize, usize)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..clients)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut latencies = Vec::new();
                         let mut rejected = 0usize;
+                        let mut degraded = 0usize;
+                        let mut failed = 0usize;
                         loop {
                             let qi = next.fetch_add(1, Ordering::Relaxed);
                             if qi >= opts.queries_per_level {
@@ -210,15 +285,24 @@ pub fn run_latency(workload: &Workload, opts: &LatencyOptions, levels: &[usize])
                             let id = next_id.fetch_add(1, Ordering::Relaxed);
                             let t = Instant::now();
                             match service.query(QueryRequest::new(text.clone(), TOP_K).id(id)) {
-                                Ok(_) => latencies.push(t.elapsed().as_micros() as u64),
+                                Ok(resp) => {
+                                    latencies.push(t.elapsed().as_micros() as u64);
+                                    if resp.degraded.is_some() {
+                                        degraded += 1;
+                                    }
+                                }
                                 Err(CoreError::Overloaded { .. }) => {
                                     rejected += 1;
                                     std::thread::yield_now();
                                 }
+                                // Under chaos an injected fault can defeat
+                                // the retry budget on every shard; the
+                                // client records the failure and moves on.
+                                Err(_) if chaos_on => failed += 1,
                                 Err(e) => panic!("loadgen query failed: {e}"),
                             }
                         }
-                        (latencies, rejected)
+                        (latencies, rejected, degraded, failed)
                     })
                 })
                 .collect();
@@ -227,8 +311,10 @@ pub fn run_latency(workload: &Workload, opts: &LatencyOptions, levels: &[usize])
         let wall = start.elapsed().as_secs_f64();
         let after = service.stats();
         let mut latencies: Vec<u64> =
-            per_client.iter().flat_map(|(l, _)| l.iter().copied()).collect();
-        let rejected: usize = per_client.iter().map(|(_, r)| r).sum();
+            per_client.iter().flat_map(|(l, ..)| l.iter().copied()).collect();
+        let rejected: usize = per_client.iter().map(|(_, r, _, _)| r).sum();
+        let degraded: usize = per_client.iter().map(|(_, _, d, _)| d).sum();
+        let failed: usize = per_client.iter().map(|(_, _, _, f)| f).sum();
         latencies.sort_unstable();
         let completed = latencies.len();
         let server_completed = after.completed.saturating_sub(before.completed);
@@ -236,6 +322,8 @@ pub fn run_latency(workload: &Workload, opts: &LatencyOptions, levels: &[usize])
             clients,
             completed,
             rejected,
+            degraded,
+            failed,
             qps: if wall > 0.0 { completed as f64 / wall } else { 0.0 },
             p50_micros: percentile(&latencies, 50.0),
             p95_micros: percentile(&latencies, 95.0),
@@ -246,6 +334,11 @@ pub fn run_latency(workload: &Workload, opts: &LatencyOptions, levels: &[usize])
     }
     let stats = service.stats();
     let slow_jsonl = service.slow_queries_jsonl();
+    let fault_stats = opts.chaos.as_ref().map(|_| {
+        let fs = device.fault_stats();
+        device.clear_fault_plan();
+        fs
+    });
     service.shutdown();
     let serial_qps = out.iter().find(|l| l.clients == 1).map_or(0.0, |l| l.qps);
     let saturation_qps = out.iter().map(|l| l.qps).fold(0.0, f64::max);
@@ -262,6 +355,8 @@ pub fn run_latency(workload: &Workload, opts: &LatencyOptions, levels: &[usize])
         server_saturation_qps,
         stats,
         slow_jsonl,
+        chaos: opts.chaos,
+        fault_stats,
     }
 }
 
@@ -282,6 +377,8 @@ impl LatencyRun {
                         "        \"clients\": {},\n",
                         "        \"completed\": {},\n",
                         "        \"rejected\": {},\n",
+                        "        \"degraded\": {},\n",
+                        "        \"failed\": {},\n",
                         "        \"qps\": {:.3},\n",
                         "        \"p50_micros\": {},\n",
                         "        \"p95_micros\": {},\n",
@@ -293,6 +390,8 @@ impl LatencyRun {
                     l.clients,
                     l.completed,
                     l.rejected,
+                    l.degraded,
+                    l.failed,
                     l.qps,
                     l.p50_micros,
                     l.p95_micros,
@@ -302,6 +401,25 @@ impl LatencyRun {
                 )
             })
             .collect();
+        let chaos_json = match (&self.chaos, &self.fault_stats) {
+            (Some(c), Some(fs)) => format!(
+                concat!(
+                    "{{\"seed\": {}, \"eio_per_mille\": {}, \"short_read_per_mille\": {}, ",
+                    "\"faults\": {{\"eio\": {}, \"short_reads\": {}, \"torn_writes\": {}, ",
+                    "\"power_cuts\": {}, \"panics\": {}, \"ops_matched\": {}}}}}"
+                ),
+                c.seed,
+                c.eio_per_mille,
+                c.short_read_per_mille,
+                fs.eio,
+                fs.short_reads,
+                fs.torn_writes,
+                fs.power_cuts,
+                fs.panics,
+                fs.ops_matched,
+            ),
+            _ => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\n",
@@ -314,6 +432,7 @@ impl LatencyRun {
                 "    \"saturation_qps\": {:.3},\n",
                 "    \"saturation_over_serial\": {:.3},\n",
                 "    \"server_saturation_qps\": {:.3},\n",
+                "    \"chaos\": {},\n",
                 "    \"stats\": {},\n",
                 "    \"levels\": [\n{}\n    ]\n",
                 "  }}"
@@ -327,6 +446,7 @@ impl LatencyRun {
             self.saturation_qps,
             self.saturation_over_serial,
             self.server_saturation_qps,
+            chaos_json,
             self.stats.to_json(),
             levels.join(",\n"),
         )
@@ -336,22 +456,62 @@ impl LatencyRun {
     /// followed by the server-side summary: saturation agreement, p99
     /// attribution, and flight-recorder occupancy.
     pub fn render_table(&self) -> String {
-        let mut out = format!(
-            "{:<8} {:>10} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10}\n",
-            "clients", "completed", "rejected", "QPS", "srv QPS", "p50(us)", "p95(us)", "p99(us)"
-        );
+        let chaos = self.chaos.is_some();
+        let mut out = if chaos {
+            format!(
+                "{:<8} {:>10} {:>9} {:>9} {:>7} {:>12} {:>12} {:>10} {:>10} {:>10}\n",
+                "clients",
+                "completed",
+                "rejected",
+                "degraded",
+                "failed",
+                "QPS",
+                "srv QPS",
+                "p50(us)",
+                "p95(us)",
+                "p99(us)"
+            )
+        } else {
+            format!(
+                "{:<8} {:>10} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10}\n",
+                "clients",
+                "completed",
+                "rejected",
+                "QPS",
+                "srv QPS",
+                "p50(us)",
+                "p95(us)",
+                "p99(us)"
+            )
+        };
         for l in &self.levels {
-            out.push_str(&format!(
-                "{:<8} {:>10} {:>9} {:>12.1} {:>12.1} {:>10} {:>10} {:>10}\n",
-                l.clients,
-                l.completed,
-                l.rejected,
-                l.qps,
-                l.server_qps,
-                l.p50_micros,
-                l.p95_micros,
-                l.p99_micros,
-            ));
+            if chaos {
+                out.push_str(&format!(
+                    "{:<8} {:>10} {:>9} {:>9} {:>7} {:>12.1} {:>12.1} {:>10} {:>10} {:>10}\n",
+                    l.clients,
+                    l.completed,
+                    l.rejected,
+                    l.degraded,
+                    l.failed,
+                    l.qps,
+                    l.server_qps,
+                    l.p50_micros,
+                    l.p95_micros,
+                    l.p99_micros,
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{:<8} {:>10} {:>9} {:>12.1} {:>12.1} {:>10} {:>10} {:>10}\n",
+                    l.clients,
+                    l.completed,
+                    l.rejected,
+                    l.qps,
+                    l.server_qps,
+                    l.p50_micros,
+                    l.p95_micros,
+                    l.p99_micros,
+                ));
+            }
         }
         out.push_str(&format!(
             "serial {:.1} QPS, saturation {:.1} QPS ({:.2}x) on {} shards / {} workers, \
@@ -386,6 +546,28 @@ impl LatencyRun {
             "slow queries: {} retained of {} observed past {} us",
             self.stats.slow_retained, self.stats.slow_observed, self.stats.slow_threshold_micros,
         ));
+        if let (Some(c), Some(fs)) = (&self.chaos, &self.fault_stats) {
+            let completed: usize = self.levels.iter().map(|l| l.completed).sum();
+            let degraded: usize = self.levels.iter().map(|l| l.degraded).sum();
+            let failed: usize = self.levels.iter().map(|l| l.failed).sum();
+            let rate = if completed > 0 { 100.0 * degraded as f64 / completed as f64 } else { 0.0 };
+            out.push_str(&format!(
+                "\nchaos (seed {:#x}): {} faults injected ({} eio, {} short reads) over {} \
+                 matched ops; degraded {}/{} completions ({:.1}%), {} failed, {} shard retries, \
+                 {} worker panics",
+                c.seed,
+                fs.total_fired(),
+                fs.eio,
+                fs.short_reads,
+                fs.ops_matched,
+                degraded,
+                completed,
+                rate,
+                failed,
+                self.stats.shard_retries,
+                self.stats.worker_panics,
+            ));
+        }
         out
     }
 }

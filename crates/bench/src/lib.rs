@@ -10,6 +10,7 @@
 //! The `reproduce` binary drives the whole suite:
 //! `cargo run --release -p poir-bench --bin reproduce -- all`.
 
+pub mod crash;
 pub mod json;
 pub mod latency;
 pub mod print;

@@ -131,28 +131,47 @@ fn ranking_key(rankings: &[Vec<RankedResult>]) -> Vec<Vec<(u32, u64)>> {
     rankings.iter().map(|q| q.iter().map(|r| (r.doc.0, r.score.to_bits())).collect()).collect()
 }
 
-/// Measures [`DecodeThroughput`]: one extra `daat_pruned` pass on a fresh
-/// engine with counters-only telemetry (one relaxed atomic add per event).
-/// This pass never feeds the QPS figures, so its small instrumentation
-/// cost is shared by baseline and fresh runs alike.
+/// How many independent decode passes [`measure_decode`] takes; the
+/// fastest one is reported.
+const DECODE_PASSES: usize = 3;
+
+/// Measures [`DecodeThroughput`]: extra `daat_pruned` passes on fresh
+/// engines with counters-only telemetry (one relaxed atomic add per
+/// event). These passes never feed the QPS figures, so their small
+/// instrumentation cost is shared by baseline and fresh runs alike.
+///
+/// Unlike the QPS families, this pass is a single short run, so one
+/// scheduler hiccup can swing the figure by >10% — enough to trip the
+/// regression gate on an otherwise untouched kernel. Decoded-posting
+/// counts are deterministic across passes, so best-of-N is simply the
+/// pass with the least engine time: the standard way to estimate a
+/// kernel's capability under external noise.
 fn measure_decode(workload: &Workload, queries: &[&str]) -> DecodeThroughput {
-    let mut engine = fresh_engine(&workload.index, TelemetryOptions::counters_only());
-    let (report, _) =
-        engine.run_query_set_mode(queries, TOP_K, ExecMode::DaatPruned).expect("decode pass");
-    let metrics = report.metrics.expect("counters-only run reports metrics");
-    let engine_secs = report.engine_time.as_secs_f64();
-    let postings_decoded = metrics.delta.get(Event::PostingsDecoded);
-    DecodeThroughput {
-        postings_decoded,
-        bytes_decoded: metrics.delta.get(Event::BytesDecoded),
-        blocks_bitpacked: metrics.delta.get(Event::BlocksBitpacked),
-        engine_secs,
-        postings_per_engine_sec: if engine_secs > 0.0 {
-            postings_decoded as f64 / engine_secs
-        } else {
-            0.0
-        },
+    let mut best: Option<DecodeThroughput> = None;
+    for _ in 0..DECODE_PASSES {
+        let mut engine = fresh_engine(&workload.index, TelemetryOptions::counters_only());
+        let (report, _) =
+            engine.run_query_set_mode(queries, TOP_K, ExecMode::DaatPruned).expect("decode pass");
+        let metrics = report.metrics.expect("counters-only run reports metrics");
+        let engine_secs = report.engine_time.as_secs_f64();
+        let postings_decoded = metrics.delta.get(Event::PostingsDecoded);
+        let pass = DecodeThroughput {
+            postings_decoded,
+            bytes_decoded: metrics.delta.get(Event::BytesDecoded),
+            blocks_bitpacked: metrics.delta.get(Event::BlocksBitpacked),
+            engine_secs,
+            postings_per_engine_sec: if engine_secs > 0.0 {
+                postings_decoded as f64 / engine_secs
+            } else {
+                0.0
+            },
+        };
+        match &best {
+            Some(b) if b.postings_per_engine_sec >= pass.postings_per_engine_sec => {}
+            _ => best = Some(pass),
+        }
     }
+    best.expect("at least one decode pass")
 }
 
 /// Runs the full procedure: serial, batched prefetch, and parallel on 2

@@ -258,6 +258,21 @@ pub struct QueryResponse {
     /// Where the request's end-to-end time went (queue / eval / merge /
     /// other); the service folds this into its p99 attribution.
     pub breakdown: LatencyBreakdown,
+    /// Present when one or more shards failed and the response was served
+    /// from the shards that survived. `None` on a complete response.
+    pub degraded: Option<Degraded>,
+}
+
+/// Degradation summary for a response served without every shard: the
+/// typed partial that per-shard failure isolation produces instead of
+/// failing the whole request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Degraded {
+    /// Indices of the shards whose evaluation failed after bounded
+    /// retries; their documents are absent from `hits`.
+    pub missing_shards: Vec<usize>,
+    /// Shard-evaluation retries this request consumed across all shards.
+    pub retries: u32,
 }
 
 /// Measurements from processing one query set — the raw data behind
@@ -642,7 +657,7 @@ impl Engine {
         // Direct execution has no queue and no cross-shard merge: the
         // whole elapsed time is evaluation.
         let breakdown = LatencyBreakdown::from_parts(qid, 0, micros, 0, micros);
-        Ok(QueryResponse { hits, shards, trace, queue_micros: 0, mode, breakdown })
+        Ok(QueryResponse { hits, shards, trace, queue_micros: 0, mode, breakdown, degraded: None })
     }
 
     /// One query through the full pipeline — the one code path behind

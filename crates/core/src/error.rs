@@ -50,6 +50,12 @@ pub enum CoreError {
     },
     /// The query service has shut down and accepts no further requests.
     ServiceStopped,
+    /// A service worker panicked while evaluating this request. The panic
+    /// was caught; the worker survived and the queue kept draining.
+    WorkerPanicked {
+        /// The panic payload, when it carried a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -73,7 +79,39 @@ impl fmt::Display for CoreError {
                 partial.len()
             ),
             CoreError::ServiceStopped => write!(f, "query service stopped"),
+            CoreError::WorkerPanicked { message } => {
+                write!(f, "service worker panicked: {message}")
+            }
         }
+    }
+}
+
+impl CoreError {
+    /// The storage-level fault beneath this error, if any, found by
+    /// walking the `source()` chain.
+    pub fn storage_fault(&self) -> Option<&poir_storage::StorageError> {
+        let mut e: &(dyn std::error::Error + 'static) = self;
+        loop {
+            if let Some(s) = e.downcast_ref::<poir_storage::StorageError>() {
+                return Some(s);
+            }
+            e = e.source()?;
+        }
+    }
+
+    /// Whether retrying the failed operation can plausibly succeed:
+    /// injected transient storage faults (EIO, short read, torn write)
+    /// are retryable; a poisoned (power-cut) device, corruption, and
+    /// request-level errors are not.
+    pub fn is_transient_fault(&self) -> bool {
+        matches!(
+            self.storage_fault(),
+            Some(
+                poir_storage::StorageError::InjectedFault
+                    | poir_storage::StorageError::ShortRead { .. }
+                    | poir_storage::StorageError::TornWrite { .. }
+            )
+        )
     }
 }
 

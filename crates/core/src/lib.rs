@@ -33,8 +33,8 @@ pub use btree_store::BTreeInvertedFile;
 pub use buffer_sizing::{paper_heuristic, BufferSizes};
 pub use builder::EngineBuilder;
 pub use engine::{
-    BackendKind, Engine, ExecMode, ParallelSetReport, QueryRequest, QueryResponse, QuerySetReport,
-    RankedResult, ShardTiming,
+    BackendKind, Degraded, Engine, ExecMode, ParallelSetReport, QueryRequest, QueryResponse,
+    QuerySetReport, RankedResult, ShardTiming,
 };
 pub use error::{CoreError, Result};
 pub use instrument::StoreInstrumentation;
@@ -47,5 +47,7 @@ pub use poir_telemetry::{
     MetricsReport, QueryTrace, RegistrySnapshot, SlowQueryRecord, TelemetryOptions, TraceOp,
     TraceRecord, Tracer, WindowRates,
 };
-pub use service::{PendingQuery, QueryService, ServiceConfig, ServiceStats};
+pub use service::{
+    PendingQuery, QueryService, RetryPolicy, ServiceConfig, ServiceStats, ShardHealth,
+};
 pub use shard::{ShardSpec, ShardedEngine};

@@ -36,8 +36,9 @@
 
 use std::fs::OpenOptions;
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -52,16 +53,35 @@ use poir_telemetry::{
     SlowQueryRecord, SlowShard, TraceOp, WindowRates,
 };
 
-use crate::engine::{ExecMode, QueryRequest, QueryResponse, RankedResult, ShardTiming};
+use crate::engine::{Degraded, ExecMode, QueryRequest, QueryResponse, RankedResult, ShardTiming};
 use crate::error::{CoreError, Result};
 use crate::mneme_store::MnemeInvertedFile;
 use crate::shard::{ShardSpec, ShardedEngine};
+
+/// Bounded-retry policy for transient storage faults during shard
+/// evaluation (see [`CoreError::is_transient_fault`]). The backoff is
+/// deterministic — `backoff * attempt` — so a chaos run is replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per shard per request beyond the first attempt.
+    pub max_retries: u32,
+    /// Base backoff; attempt `n` sleeps `backoff * n` before retrying.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 2, backoff: Duration::from_micros(100) }
+    }
+}
 
 /// Serving-side configuration for [`QueryService::start_with`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Admission queue capacity (min 1; reject-when-full).
     pub queue_capacity: usize,
+    /// Bounded retry for transient storage faults during evaluation.
+    pub retry: RetryPolicy,
     /// End-to-end microseconds past which a request enters the slow-query
     /// flight recorder.
     pub slow_threshold_micros: u64,
@@ -82,6 +102,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             queue_capacity: 32,
+            retry: RetryPolicy::default(),
             slow_threshold_micros: 10_000,
             slow_capacity: 32,
             breakdown_window: 4096,
@@ -102,6 +123,9 @@ struct ServiceMetrics {
     expired: Counter,
     completed: Counter,
     failed: Counter,
+    degraded: Counter,
+    shard_retries: Counter,
+    worker_panics: Counter,
     queue_wait: Histogram,
     eval: Vec<Histogram>,
     merge: Histogram,
@@ -122,6 +146,9 @@ impl ServiceMetrics {
             expired: registry.counter("expired"),
             completed: registry.counter("completed"),
             failed: registry.counter("failed"),
+            degraded: registry.counter("degraded"),
+            shard_retries: registry.counter("shard_retries"),
+            worker_panics: registry.counter("worker_panics"),
             queue_wait: registry.histogram("queue_wait_micros"),
             eval: (0..shards)
                 .map(|i| registry.histogram(&format!("shard{i}_eval_micros")))
@@ -143,6 +170,42 @@ struct ShardRuntime {
     store: MnemeInvertedFile,
 }
 
+/// Per-shard failure accounting, updated lock-free by the workers.
+#[derive(Default)]
+struct ShardHealthState {
+    /// Requests where this shard failed past the retry budget.
+    failures: AtomicU64,
+    /// Transient-fault retries attempted against this shard.
+    retries: AtomicU64,
+    /// Failures since this shard last evaluated cleanly.
+    consecutive_failures: AtomicU64,
+}
+
+/// One shard's health in a [`ServiceStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// `false` while the shard's most recent evaluation failed.
+    pub healthy: bool,
+    /// Lifetime requests where this shard failed past the retry budget.
+    pub failures: u64,
+    /// Lifetime transient-fault retries against this shard.
+    pub retries: u64,
+    /// Failures since the shard last evaluated cleanly.
+    pub consecutive_failures: u64,
+}
+
+impl ShardHealth {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"shard\": {}, \"healthy\": {}, \"failures\": {}, \"retries\": {}, \
+             \"consecutive_failures\": {}}}",
+            self.shard, self.healthy, self.failures, self.retries, self.consecutive_failures
+        )
+    }
+}
+
 /// State shared between the service handle and its workers.
 struct ServiceShared {
     shards: Vec<ShardRuntime>,
@@ -152,6 +215,8 @@ struct ServiceShared {
     capacity: usize,
     /// Requests admitted but not yet dequeued.
     depth: AtomicUsize,
+    /// Per-shard failure accounting, index-aligned with `shards`.
+    health: Vec<ShardHealthState>,
     metrics: ServiceMetrics,
     config: ServiceConfig,
     started: Instant,
@@ -236,6 +301,7 @@ impl QueryService {
         }
         let (stop, params) = stop_params.expect("a sharded engine has at least one shard");
         let metrics = ServiceMetrics::new(shards.len(), &config);
+        let health = (0..shards.len()).map(|_| ShardHealthState::default()).collect();
         let shared = Arc::new(ServiceShared {
             shards,
             stop,
@@ -243,6 +309,7 @@ impl QueryService {
             recorder,
             capacity,
             depth: AtomicUsize::new(0),
+            health,
             metrics,
             config,
             started: Instant::now(),
@@ -439,7 +506,22 @@ impl QueryService {
                 }
             }
             shared.metrics.in_flight.inc();
-            let result = Self::evaluate(shared, &job, queue_micros);
+            // A panicking evaluation must not take the worker (and with
+            // it a slice of pool capacity) down: catch it, surface a
+            // typed error to the caller, and keep draining the queue.
+            // Unwind safety: evaluation only reads the shared state, and
+            // the parking_lot locks inside the mneme store don't poison.
+            let result =
+                catch_unwind(AssertUnwindSafe(|| Self::evaluate(shared, &job, queue_micros)))
+                    .unwrap_or_else(|payload| {
+                        shared.metrics.worker_panics.inc();
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Err(CoreError::WorkerPanicked { message })
+                    });
             shared.metrics.in_flight.dec();
             match &result {
                 Ok(resp) => Self::record_completion(shared, &job, resp),
@@ -458,6 +540,10 @@ impl QueryService {
     fn record_completion(shared: &ServiceShared, job: &Job, resp: &QueryResponse) {
         let m = &shared.metrics;
         m.completed.inc();
+        if resp.degraded.is_some() {
+            m.degraded.inc();
+            shared.recorder.incr(Event::DegradedResponse);
+        }
         for t in &resp.shards {
             if let Some(h) = m.eval.get(t.shard) {
                 h.record(t.micros);
@@ -492,6 +578,23 @@ impl QueryService {
         }
     }
 
+    /// One shard evaluation attempt (the retryable unit): document-at-a-
+    /// time ranking through the shard store's shared view.
+    fn rank_shard(
+        shard: &ShardRuntime,
+        params: BeliefParams,
+        bag: &[(f64, String)],
+        mode: ExecMode,
+        k: usize,
+    ) -> Result<Vec<ScoredDoc>> {
+        let mut view = shard.store.shared_view();
+        if mode == ExecMode::DaatPruned {
+            Ok(daat::rank_daat_pruned(&mut view, &shard.dict, &shard.docs, params, bag, k)?.0)
+        } else {
+            Ok(daat::rank_daat(&mut view, &shard.dict, &shard.docs, params, bag, k)?)
+        }
+    }
+
     /// Evaluates one request across the shards — the worker-pool analogue
     /// of [`ShardedEngine::execute`], fetching through shared views.
     fn evaluate(shared: &ServiceShared, job: &Job, queue_micros: u64) -> Result<QueryResponse> {
@@ -517,9 +620,13 @@ impl QueryService {
             ExecMode::Daat | ExecMode::DaatPruned => daat::flatten_bag(&parsed),
             ExecMode::Serial | ExecMode::BatchedPrefetch => None,
         };
+        let mut missing_shards: Vec<usize> = Vec::new();
+        let mut retries_total: u32 = 0;
         let (merged, timings, merge_micros) = if let Some(bag) = daat_bag {
             let mut per_shard: Vec<Vec<ScoredDoc>> = Vec::with_capacity(shared.shards.len());
             let mut timings = Vec::with_capacity(shared.shards.len());
+            let mut last_err: Option<CoreError> = None;
+            let retry = shared.config.retry;
             for (i, shard) in shared.shards.iter().enumerate() {
                 // Shard 0 always completes, so a deadline hit still
                 // returns a deterministic non-empty partial merge.
@@ -534,33 +641,48 @@ impl QueryService {
                     }
                 }
                 let t = Instant::now();
-                let mut view = shard.store.shared_view();
-                let scored = if mode == ExecMode::DaatPruned {
-                    daat::rank_daat_pruned(
-                        &mut view,
-                        &shard.dict,
-                        &shard.docs,
-                        shared.params,
-                        &bag,
-                        req.k,
-                    )?
-                    .0
-                } else {
-                    daat::rank_daat(
-                        &mut view,
-                        &shard.dict,
-                        &shard.docs,
-                        shared.params,
-                        &bag,
-                        req.k,
-                    )?
+                // Bounded retry with deterministic backoff for transient
+                // storage faults; a shard that fails past the budget is
+                // dropped from the merge instead of failing the request.
+                let mut attempt: u32 = 0;
+                let outcome = loop {
+                    let run = Self::rank_shard(shard, shared.params, &bag, mode, req.k);
+                    match run {
+                        Ok(scored) => break Ok(scored),
+                        Err(e) if attempt < retry.max_retries && e.is_transient_fault() => {
+                            attempt += 1;
+                            retries_total += 1;
+                            shared.health[i].retries.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.shard_retries.inc();
+                            shared.recorder.incr(Event::ShardRetry);
+                            std::thread::sleep(retry.backoff * attempt);
+                        }
+                        Err(e) => break Err(e),
+                    }
                 };
-                timings.push(ShardTiming {
-                    shard: i,
-                    micros: t.elapsed().as_micros() as u64,
-                    hits: scored.len(),
-                });
-                per_shard.push(scored);
+                match outcome {
+                    Ok(scored) => {
+                        shared.health[i].consecutive_failures.store(0, Ordering::Relaxed);
+                        timings.push(ShardTiming {
+                            shard: i,
+                            micros: t.elapsed().as_micros() as u64,
+                            hits: scored.len(),
+                        });
+                        per_shard.push(scored);
+                    }
+                    Err(e) => {
+                        shared.health[i].failures.fetch_add(1, Ordering::Relaxed);
+                        shared.health[i].consecutive_failures.fetch_add(1, Ordering::Relaxed);
+                        missing_shards.push(i);
+                        last_err = Some(e);
+                    }
+                }
+            }
+            if per_shard.is_empty() {
+                // Every shard failed: no partial answer to degrade to.
+                return Err(
+                    last_err.unwrap_or(CoreError::Unsupported("query service with zero shards"))
+                );
             }
             let merge_start = Instant::now();
             let merged = daat::merge_topk(per_shard, req.k);
@@ -617,7 +739,12 @@ impl QueryService {
             merge_micros,
             job.submitted.elapsed().as_micros() as u64,
         );
-        Ok(QueryResponse { hits, shards: timings, trace, queue_micros, mode, breakdown })
+        let degraded = if missing_shards.is_empty() {
+            None
+        } else {
+            Some(Degraded { missing_shards, retries: retries_total })
+        };
+        Ok(QueryResponse { hits, shards: timings, trace, queue_micros, mode, breakdown, degraded })
     }
 }
 
@@ -661,6 +788,14 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Lifetime requests failed with a non-deadline error.
     pub failed: u64,
+    /// Lifetime responses that completed with one or more shards missing.
+    pub degraded: u64,
+    /// Lifetime transient-fault retries across all shards.
+    pub shard_retries: u64,
+    /// Lifetime worker panics caught (the worker survived each one).
+    pub worker_panics: u64,
+    /// Per-shard failure accounting, index-aligned with the shards.
+    pub shard_health: Vec<ShardHealth>,
     /// Admission rate over the rolling windows.
     pub admitted_rate: WindowRates,
     /// Completion rate over the rolling windows (the server-side QPS).
@@ -690,7 +825,7 @@ impl ServiceStats {
             "{{\"uptime_secs\": {:.3}, \"shards\": {}, \"workers\": {}, \
              \"queue_capacity\": {}, \"queue_depth\": {}, \"in_flight\": {}, \
              \"admitted\": {}, \"rejected\": {}, \"expired\": {}, \"completed\": {}, \
-             \"failed\": {}",
+             \"failed\": {}, \"degraded\": {}, \"shard_retries\": {}, \"worker_panics\": {}",
             self.uptime_secs,
             self.shards,
             self.workers,
@@ -701,8 +836,13 @@ impl ServiceStats {
             self.rejected,
             self.expired,
             self.completed,
-            self.failed
+            self.failed,
+            self.degraded,
+            self.shard_retries,
+            self.worker_panics
         ));
+        let health: Vec<String> = self.shard_health.iter().map(ShardHealth::to_json).collect();
+        s.push_str(&format!(", \"shard_health\": [{}]", health.join(", ")));
         let rates = |r: &WindowRates| {
             format!("{{\"s1\": {:.3}, \"s10\": {:.3}, \"s60\": {:.3}}}", r.s1, r.s10, r.s60)
         };
@@ -750,6 +890,24 @@ fn stats_of(shared: &ServiceShared, spec: ShardSpec) -> ServiceStats {
         expired: m.expired.total(),
         completed: m.completed.total(),
         failed: m.failed.total(),
+        degraded: m.degraded.total(),
+        shard_retries: m.shard_retries.total(),
+        worker_panics: m.worker_panics.total(),
+        shard_health: shared
+            .health
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let consecutive = h.consecutive_failures.load(Ordering::Relaxed);
+                ShardHealth {
+                    shard: i,
+                    healthy: consecutive == 0,
+                    failures: h.failures.load(Ordering::Relaxed),
+                    retries: h.retries.load(Ordering::Relaxed),
+                    consecutive_failures: consecutive,
+                }
+            })
+            .collect(),
         admitted_rate: m.admitted.rates(),
         completed_rate: m.completed.rates(),
         latency: m.breakdowns.summary(),

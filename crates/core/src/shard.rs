@@ -106,6 +106,11 @@ impl fmt::Debug for ShardedEngine {
 }
 
 impl ShardedEngine {
+    /// Bounded retry budget for a shard evaluation that raises a
+    /// transient storage fault (matches the service's default
+    /// [`RetryPolicy`](crate::service::RetryPolicy)).
+    pub const MAX_SHARD_RETRIES: u32 = 2;
+
     pub(crate) fn from_shards(
         spec: ShardSpec,
         shards: Vec<Engine>,
@@ -134,6 +139,12 @@ impl ShardedEngine {
     /// The simulated device all shards run on.
     pub fn device(&self) -> &Arc<Device> {
         &self.device
+    }
+
+    /// The store file handle behind shard `shard` — fault-injection and
+    /// operational tooling target a single shard's storage through this.
+    pub fn shard_store_handle(&self, shard: usize) -> &poir_storage::FileHandle {
+        self.shards[shard].store_handle()
     }
 
     /// Splits `index` and builds the shards — convenience for
@@ -170,6 +181,14 @@ impl ShardedEngine {
     /// completes, and an expired budget at a later boundary returns
     /// [`CoreError::DeadlineExceeded`] carrying the merge of the shards
     /// that finished in time.
+    ///
+    /// Shard failures are isolated: a shard whose evaluation raises a
+    /// transient storage fault is retried up to
+    /// [`ShardedEngine::MAX_SHARD_RETRIES`] times (immediately — the
+    /// direct path has no backoff clock of its own); a shard that still
+    /// fails is dropped from the response and reported in
+    /// [`QueryResponse::degraded`] instead of failing the request. Only
+    /// when *every* shard fails does the request error.
     pub fn execute(&mut self, req: &QueryRequest) -> Result<QueryResponse> {
         if self.shards.len() == 1 {
             return self.shards[0].execute(req);
@@ -188,6 +207,9 @@ impl ShardedEngine {
         let mut timings = Vec::new();
         let mut phase_micros = [0u64; Phase::COUNT];
         let mut events = [0u64; Event::COUNT];
+        let mut missing_shards = Vec::new();
+        let mut retries_total = 0u32;
+        let mut last_err = None;
         for i in 0..self.shards.len() {
             if i > 0 {
                 if let Some(budget) = req.deadline {
@@ -200,8 +222,26 @@ impl ShardedEngine {
                 }
             }
             let t = Instant::now();
-            let (scored, trace) =
-                self.shards[i].run_one(qid as usize, &req.text, req.k, mode, true)?;
+            let mut attempt = 0u32;
+            let outcome = loop {
+                match self.shards[i].run_one(qid as usize, &req.text, req.k, mode, true) {
+                    Ok(ok) => break Ok(ok),
+                    Err(e) if attempt < Self::MAX_SHARD_RETRIES && e.is_transient_fault() => {
+                        attempt += 1;
+                        retries_total += 1;
+                        self.recorder.incr(Event::ShardRetry);
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
+            let (scored, trace) = match outcome {
+                Ok(pair) => pair,
+                Err(e) => {
+                    missing_shards.push(i);
+                    last_err = Some(e);
+                    continue;
+                }
+            };
             timings.push(ShardTiming {
                 shard: i,
                 micros: t.elapsed().as_micros() as u64,
@@ -216,6 +256,15 @@ impl ShardedEngine {
             }
             per_shard.push(scored);
         }
+        if per_shard.is_empty() {
+            return Err(last_err.unwrap_or(CoreError::Unsupported("no shards evaluated")));
+        }
+        let degraded = if missing_shards.is_empty() {
+            None
+        } else {
+            self.recorder.incr(Event::DegradedResponse);
+            Some(crate::engine::Degraded { missing_shards, retries: retries_total })
+        };
         let merge_start = Instant::now();
         let merged = daat::merge_topk(per_shard, req.k);
         let merge_micros = merge_start.elapsed().as_micros() as u64;
@@ -229,7 +278,15 @@ impl ShardedEngine {
             merge_micros,
             start.elapsed().as_micros() as u64,
         );
-        Ok(QueryResponse { hits, shards: timings, trace, queue_micros: 0, mode, breakdown })
+        Ok(QueryResponse {
+            hits,
+            shards: timings,
+            trace,
+            queue_micros: 0,
+            mode,
+            breakdown,
+            degraded,
+        })
     }
 
     /// Processes a query set in batch mode across the shards, reproducing

@@ -555,6 +555,50 @@ impl MnemeFile {
         Ok(())
     }
 
+    /// Forces `id`'s payload to `data` regardless of the slot's current
+    /// state — live, tombstoned, or shadowed. Used by log replay
+    /// ([`crate::recovery`]): dirty-segment evictions can leak
+    /// post-checkpoint tombstones into checkpointed segments, so a replayed
+    /// create/update may find its object spuriously deleted. The old copy
+    /// (live or tombstoned) stays dead and a fresh single-object segment
+    /// shadows the slot via an exception entry, exactly like a relocating
+    /// [`MnemeFile::update`].
+    pub(crate) fn resurrect(&mut self, id: ObjectId, data: &[u8]) -> Result<()> {
+        let MnemeFile { handle, configs, pools, meta, recorder } = self;
+        let meta = meta.get_mut();
+        meta.dirty = true;
+        ensure_bucket_loaded(handle, meta, id.segment())?;
+        let (pool_idx, addr) = resolve_in(meta, configs, id)?;
+        let ps = pools[pool_idx].get_mut();
+        if let Some(max) = ps.pool.max_object_len() {
+            if data.len() > max {
+                return Err(MnemeError::ObjectTooLarge { len: data.len(), max });
+            }
+        }
+        let old_len = with_segment_in(handle, recorder, ps, addr, |pool, seg| {
+            match pool.locate(seg.bytes(), id) {
+                LocateResult::Found(r) => {
+                    let len = r.len();
+                    pool.delete(seg, id);
+                    len
+                }
+                _ => 0,
+            }
+        })?;
+        meta.garbage_bytes += old_len as u64;
+        let mut image = ps.pool.new_segment(id, data.len());
+        let outcome = ps.pool.try_append(&mut image, id, data);
+        debug_assert_eq!(outcome, AppendOutcome::Appended, "fresh segment must accept its object");
+        let new_addr = allocate_segment(meta, image.len());
+        let evicted = ps.buffer.insert(new_addr, image);
+        note_evictions(recorder, ps.pool.id(), &evicted);
+        save_evicted(handle, evicted)?;
+        let pool_id = ps.pool.id();
+        ensure_bucket_loaded(handle, meta, id.segment())?;
+        meta.table.entry_mut(id.segment(), pool_id)?.set_exception(id.slot(), new_addr);
+        Ok(())
+    }
+
     /// Resolves an object id to its pool and physical segment, loading the
     /// id's location bucket if needed. Takes the meta lock only; the fast
     /// path (bucket already resident) is a shared read acquisition.

@@ -57,6 +57,26 @@ impl RecoverableFile {
     /// Reopens `data` (at its last checkpoint) and replays the redo log,
     /// reproducing every mutation that was logged after that checkpoint.
     /// Replay stops at the first torn or corrupt record.
+    ///
+    /// Replay is **idempotent** and **self-correcting**. Two kinds of
+    /// already-applied state can greet a replayed record:
+    ///
+    /// * a crash between [`Self::checkpoint`]'s data flush and its log
+    ///   truncation leaves the data file at the *new* checkpoint with the
+    ///   full log still present — every record is already durable;
+    /// * dirty-segment evictions between checkpoints write mutated
+    ///   segment images back over their checkpointed bytes, so individual
+    ///   objects can be *ahead* of the checkpoint (updated in place, or
+    ///   tombstoned by a relocation or delete that ran after the
+    ///   checkpoint).
+    ///
+    /// Both are safe because every mutation syncs its log record before
+    /// touching the data file (see [`Self::append_record`]): any leaked
+    /// data write is covered by a durable log record, so replaying the
+    /// surviving log always revisits every leaked object. Each record
+    /// classifies the object's current state and forces it to the logged
+    /// payload — resurrecting spuriously-tombstoned objects — so the
+    /// recovered file is exactly the state at the last durable record.
     pub fn recover(data: FileHandle, log: FileHandle) -> Result<Self> {
         let mut inner = MnemeFile::open(data)?;
         let log_len = log.len()?;
@@ -64,19 +84,50 @@ impl RecoverableFile {
         while pos < log_len {
             let Some((record, next)) = read_record(&log, pos, log_len)? else { break };
             match record {
-                Record::Create { pool, id, data } => {
-                    if inner.next_id_hint(pool)? != Some(id) {
-                        inner.force_allocation_cursor(pool, id)?;
+                Record::Create { pool, id, data } => match probe(&inner, id)? {
+                    // Already created by a flushed-but-unacknowledged
+                    // checkpoint; rewrite so the payload tracks the log
+                    // (a later logged update will move it forward again).
+                    Probe::Live => inner.update(id, &data)?,
+                    // Either the create *and* a later delete are already
+                    // durable, or a post-checkpoint tombstone leaked into
+                    // the checkpointed segment. Indistinguishable — force
+                    // the logged payload back; if a delete truly follows,
+                    // its own record re-deletes downstream.
+                    Probe::Deleted => inner.resurrect(id, &data)?,
+                    Probe::Absent => {
+                        if inner.next_id_hint(pool)? != Some(id) {
+                            inner.force_allocation_cursor(pool, id)?;
+                        }
+                        let created = inner.create_object(pool, &data)?;
+                        if created != id {
+                            return Err(MnemeError::Corrupt(format!(
+                                "replay allocated {created:?}, log says {id:?}"
+                            )));
+                        }
                     }
-                    let created = inner.create_object(pool, &data)?;
-                    if created != id {
+                },
+                Record::Update { id, data } => match probe(&inner, id)? {
+                    Probe::Live => inner.update(id, &data)?,
+                    // A later logged delete already reached the data file,
+                    // or a leaked tombstone shadows the object; either way
+                    // the log is authoritative from here on.
+                    Probe::Deleted => inner.resurrect(id, &data)?,
+                    Probe::Absent => {
                         return Err(MnemeError::Corrupt(format!(
-                            "replay allocated {created:?}, log says {id:?}"
-                        )));
+                            "log updates {id:?}, which the data file never saw"
+                        )))
                     }
-                }
-                Record::Update { id, data } => inner.update(id, &data)?,
-                Record::Delete { id } => inner.delete(id)?,
+                },
+                Record::Delete { id } => match probe(&inner, id)? {
+                    Probe::Live => inner.delete(id)?,
+                    Probe::Deleted => {}
+                    Probe::Absent => {
+                        return Err(MnemeError::Corrupt(format!(
+                            "log deletes {id:?}, which the data file never saw"
+                        )))
+                    }
+                },
             }
             pos = next;
         }
@@ -90,6 +141,11 @@ impl RecoverableFile {
         &mut self.inner
     }
 
+    /// Appends one record and syncs the log — the write-ahead rule. The
+    /// sync must land *before* the mutation touches the data file: applying
+    /// an op can evict dirty segments, overwriting checkpointed bytes in
+    /// place, and [`Self::recover`] can only repair such leaks for ops
+    /// whose log records survived the crash.
     fn append_record(&mut self, op: u8, pool: u8, id: u32, data: &[u8]) -> Result<()> {
         let mut rec = Vec::with_capacity(14 + data.len());
         rec.push(op);
@@ -100,6 +156,7 @@ impl RecoverableFile {
         let sum = fnv1a(&rec);
         rec.extend_from_slice(&sum.to_le_bytes());
         self.log.write(self.log_end, &rec)?;
+        self.log.sync()?;
         self.log_end += rec.len() as u64;
         Ok(())
     }
@@ -146,8 +203,16 @@ impl RecoverableFile {
 
     /// Makes all logged mutations durable in the data file and truncates the
     /// log.
+    ///
+    /// Ordering is load-bearing: the data file must be durably flushed
+    /// *before* the log shrinks, otherwise a crash between the two would
+    /// leave mutations in neither place. `flush` early-returns when the
+    /// file is clean, so the data handle is synced explicitly — covering
+    /// the case where replayed-or-logged records exist but the in-memory
+    /// state was already flushed.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.inner.flush()?;
+        self.inner.handle().sync()?;
         self.log.truncate(0)?;
         self.log.sync()?;
         self.log_end = 0;
@@ -170,6 +235,26 @@ enum Record {
     Create { pool: PoolId, id: ObjectId, data: Vec<u8> },
     Update { id: ObjectId, data: Vec<u8> },
     Delete { id: ObjectId },
+}
+
+/// What the data file currently knows about an object, used to classify
+/// log records during idempotent replay.
+enum Probe {
+    /// The object exists with some payload.
+    Live,
+    /// The object existed and carries a delete tombstone.
+    Deleted,
+    /// The data file has never seen this id.
+    Absent,
+}
+
+fn probe(inner: &MnemeFile, id: ObjectId) -> Result<Probe> {
+    match inner.get(id) {
+        Ok(_) => Ok(Probe::Live),
+        Err(MnemeError::ObjectDeleted(_)) => Ok(Probe::Deleted),
+        Err(MnemeError::NoSuchObject(_)) => Ok(Probe::Absent),
+        Err(e) => Err(e),
+    }
 }
 
 /// Reads one record at `pos`; returns `None` for a torn/corrupt tail.
@@ -294,6 +379,76 @@ mod tests {
         let before = log.len().unwrap();
         rf.get(a).unwrap();
         assert_eq!(log.len().unwrap(), before, "reads never touch the log");
+    }
+
+    #[test]
+    fn crash_between_data_flush_and_log_truncate_replays_idempotently() {
+        // Simulates checkpoint() dying between its two halves: the data
+        // file is durably at the *new* checkpoint, but the log was never
+        // truncated, so recovery replays records that are already applied.
+        let dev = Device::with_defaults();
+        let (mut rf, data, log) = fresh(&dev);
+        let a = rf.create_object(PoolId(1), b"will be updated").unwrap();
+        let b = rf.create_object(PoolId(1), b"will be deleted").unwrap();
+        rf.update(a, b"updated once").unwrap();
+        rf.delete(b).unwrap();
+        let c = rf.create_object(PoolId(0), b"small").unwrap();
+        let d = rf.create_object(PoolId(2), &vec![4u8; 3000]).unwrap();
+        // First half of checkpoint only: flush data, leave the log intact.
+        rf.file().flush().unwrap();
+        assert!(rf.log_bytes() > 0, "log must still hold every record");
+        drop(rf);
+
+        let mut recovered = RecoverableFile::recover(data, log).unwrap();
+        assert_eq!(recovered.get(a).unwrap(), b"updated once");
+        assert!(matches!(recovered.get(b), Err(MnemeError::ObjectDeleted(_))));
+        assert_eq!(recovered.get(c).unwrap(), b"small");
+        assert_eq!(recovered.get(d).unwrap(), vec![4u8; 3000]);
+        let report = recovered.file().validate().unwrap();
+        assert!(report.is_clean(), "problems: {:?}", report.problems);
+        // New allocations continue past the replayed ids.
+        let e = recovered.create_object(PoolId(1), b"fresh").unwrap();
+        assert!(![a, b, c, d].contains(&e));
+    }
+
+    #[test]
+    fn leaked_tombstone_from_dirty_eviction_is_resurrected() {
+        // Post-checkpoint relocations tombstone the old copy inside the
+        // *checkpointed* segment image; with a small buffer that dirty
+        // image is evicted and written back in place, so after a crash the
+        // data file says "deleted" for an object the log says is live.
+        // Replay must resurrect it from the logged payload.
+        let dev = Device::with_defaults();
+        let (mut rf, data, log) = fresh(&dev);
+        let o0 = rf.create_object(PoolId(1), &[0u8; 28]).unwrap();
+        rf.update(o0, &[1u8; 53]).unwrap();
+        let o1 = rf.create_object(PoolId(1), &[2u8; 101]).unwrap();
+        rf.update(o1, &[3u8; 23]).unwrap();
+        let o2 = rf.create_object(PoolId(1), &[4u8; 100]).unwrap();
+        let o3 = rf.create_object(PoolId(1), &[5u8; 15]).unwrap();
+        rf.delete(o2).unwrap();
+        rf.checkpoint().unwrap();
+        rf.update(o1, &[6u8; 69]).unwrap();
+        rf.update(o1, &[7u8; 59]).unwrap();
+        let o4 = rf.create_object(PoolId(1), &[8u8; 83]).unwrap();
+        rf.update(o1, &[9u8; 104]).unwrap();
+        rf.update(o3, &[10u8; 35]).unwrap();
+        drop(rf);
+        // The tombstone really leaked: a plain open (= the checkpoint plus
+        // any in-place leaks) sees o1 deleted even though the log replays
+        // it to 104 bytes.
+        let leaked = MnemeFile::open(data.clone()).unwrap();
+        assert!(matches!(leaked.get(o1), Err(MnemeError::ObjectDeleted(_))));
+        drop(leaked);
+
+        let mut recovered = RecoverableFile::recover(data, log).unwrap();
+        assert_eq!(recovered.get(o0).unwrap(), vec![1u8; 53]);
+        assert_eq!(recovered.get(o1).unwrap(), vec![9u8; 104]);
+        assert!(matches!(recovered.get(o2), Err(MnemeError::ObjectDeleted(_))));
+        assert_eq!(recovered.get(o3).unwrap(), vec![10u8; 35]);
+        assert_eq!(recovered.get(o4).unwrap(), vec![8u8; 83]);
+        let report = recovered.file().validate().unwrap();
+        assert!(report.is_clean(), "problems: {:?}", report.problems);
     }
 
     #[test]

@@ -21,6 +21,9 @@ use crate::backend::{ByteStore, FileBackend, InMemoryBackend};
 use crate::cache::OsCache;
 use crate::cost::CostModel;
 use crate::error::{Result, StorageError};
+use crate::fault::{
+    FaultKind, FaultOp, FaultPlan, FaultRule, FaultSchedule, FaultState, FaultStats,
+};
 use crate::stats::IoStats;
 use crate::DEFAULT_BLOCK_SIZE;
 
@@ -55,14 +58,109 @@ impl Default for DeviceConfig {
 struct DeviceInner {
     files: Vec<Option<Box<dyn ByteStore>>>,
     cache: OsCache,
-    /// Fault injection: when `Some(n)`, the next `n` read system calls
-    /// succeed and every read after that fails with
-    /// [`StorageError::InjectedFault`].
-    reads_before_fault: Option<u64>,
+    /// Deterministic fault injection. `None` (the common case) costs one
+    /// branch per operation; an installed [`FaultPlan`] is consulted on
+    /// every read/write/sync before any accounting happens.
+    faults: Option<Box<FaultState>>,
+    /// Fault counters accumulated by plans that have since been cleared,
+    /// so [`Device::fault_stats`] stays monotonic across installs.
+    retired_fault_stats: FaultStats,
     /// Telemetry recorder, mirroring every [`IoStats`] update (plus
     /// OS-cache hit/miss events) so reports derived from telemetry match
     /// `IoSnapshot` deltas exactly. Disabled (no-op) by default.
     recorder: Recorder,
+}
+
+impl DeviceInner {
+    /// Emits the fault-injection telemetry for one fired fault.
+    fn note_fault(&mut self, file: FileId, bytes: u64) {
+        self.recorder.incr(Event::FaultInjected);
+        self.recorder.trace(
+            TraceOp::FaultInjected,
+            file.0 as u64,
+            None,
+            bytes,
+            std::time::Duration::ZERO,
+        );
+    }
+}
+
+/// Bytes of a read that survive a short-read fault: the prefix up to the
+/// first block boundary, and always strictly less than the request.
+fn short_read_len(offset: u64, len: usize, block: u64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let first_boundary = (offset / block + 1) * block;
+    let delivered = (first_boundary - offset) as usize;
+    if delivered >= len {
+        0
+    } else {
+        delivered
+    }
+}
+
+/// Bytes of a write that survive a torn-write fault: the largest
+/// block-aligned proper prefix (possibly empty).
+fn torn_write_len(offset: u64, len: usize, block: u64) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let end = offset + len as u64;
+    let last_boundary = (end - 1) / block * block;
+    if last_boundary <= offset {
+        0
+    } else {
+        (last_boundary - offset) as usize
+    }
+}
+
+/// Reads a store's full content, for durable-image tracking.
+fn snapshot_store(store: &mut dyn ByteStore) -> Vec<u8> {
+    let len = store.len() as usize;
+    let mut buf = vec![0u8; len];
+    if len > 0 {
+        let _ = store.read_at(0, &mut buf);
+    }
+    buf
+}
+
+/// Fires a power cut: rolls every file of the device back to its last
+/// durable (synced) image, drops the stale OS cache, and poisons the
+/// device until the fault plan is cleared. `current` is the file whose
+/// store is temporarily checked out of the file table.
+fn fire_power_cut(
+    inner: &mut DeviceInner,
+    current: FileId,
+    store: &mut dyn ByteStore,
+) -> StorageError {
+    let images = {
+        let fs = inner.faults.as_mut().expect("power cut fired without an installed plan");
+        fs.poisoned = true;
+        std::mem::take(&mut fs.durable)
+    };
+    for idx in 0..inner.files.len() {
+        let image: &[u8] = images.get(idx).map(Vec::as_slice).unwrap_or(&[]);
+        let target: &mut dyn ByteStore = if idx == current.0 as usize {
+            &mut *store
+        } else {
+            match inner.files[idx].as_mut() {
+                Some(s) => s.as_mut(),
+                None => continue,
+            }
+        };
+        // Restoration must not fail the simulation; a real power cut does
+        // not report errors either.
+        let _ = target.truncate(0);
+        if !image.is_empty() {
+            let _ = target.write_at(0, image);
+        }
+    }
+    if let Some(fs) = inner.faults.as_mut() {
+        fs.durable = images;
+    }
+    inner.cache.clear();
+    StorageError::Poisoned
 }
 
 /// A simulated disk plus operating-system cache.
@@ -99,7 +197,8 @@ impl Device {
             inner: Mutex::new(DeviceInner {
                 files: Vec::new(),
                 cache: OsCache::new(config.os_cache_blocks),
-                reads_before_fault: None,
+                faults: None,
+                retired_fault_stats: FaultStats::default(),
                 recorder: Recorder::disabled(),
             }),
             stats: Arc::new(IoStats::new()),
@@ -156,9 +255,19 @@ impl Device {
         Ok(self.register(Box::new(FileBackend::open(path)?)))
     }
 
-    fn register(self: &Arc<Self>, store: Box<dyn ByteStore>) -> FileHandle {
+    fn register(self: &Arc<Self>, mut store: Box<dyn ByteStore>) -> FileHandle {
         let mut inner = self.inner.lock();
         let id = FileId(inner.files.len() as u32);
+        // A file registered while a power-cut rule is armed contributes its
+        // current content as the durable image: data that existed before
+        // the simulated machine came up survives the cut.
+        let image = match inner.faults.as_ref() {
+            Some(fs) if fs.track_durable => Some(snapshot_store(store.as_mut())),
+            _ => None,
+        };
+        if let (Some(image), Some(fs)) = (image, inner.faults.as_mut()) {
+            fs.durable.push(image);
+        }
         inner.files.push(Some(store));
         FileHandle { device: Arc::clone(self), id }
     }
@@ -169,10 +278,70 @@ impl Device {
         self.inner.lock().cache.clear();
     }
 
+    /// Installs a deterministic fault-injection plan, replacing any
+    /// previous one. When the plan contains a [`FaultKind::PowerCut`]
+    /// rule, the current content of every file is captured as its durable
+    /// image (refreshed on each successful `sync`), so a fired cut can
+    /// roll the device back to exactly what a real disk would have kept.
+    ///
+    /// Fault counters accumulate across installs; see
+    /// [`Device::fault_stats`].
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        let mut inner = self.inner.lock();
+        let prior = inner.faults.take().map(|f| f.stats()).unwrap_or(inner.retired_fault_stats);
+        let mut state = FaultState::new(plan, prior);
+        if state.track_durable {
+            let mut images = Vec::with_capacity(inner.files.len());
+            for slot in inner.files.iter_mut() {
+                images.push(match slot {
+                    Some(store) => snapshot_store(store.as_mut()),
+                    None => Vec::new(),
+                });
+            }
+            state.durable = images;
+        }
+        inner.retired_fault_stats = prior;
+        inner.faults = Some(Box::new(state));
+    }
+
+    /// Removes the installed fault plan (if any) and un-poisons the
+    /// device. Counters already accumulated stay visible through
+    /// [`Device::fault_stats`].
+    pub fn clear_fault_plan(&self) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.faults.take() {
+            inner.retired_fault_stats = state.stats();
+        }
+    }
+
+    /// Lifetime fault-injection counters (across every plan ever
+    /// installed on this device).
+    pub fn fault_stats(&self) -> FaultStats {
+        let inner = self.inner.lock();
+        inner.faults.as_ref().map(|f| f.stats()).unwrap_or(inner.retired_fault_stats)
+    }
+
+    /// Whether an injected power cut has poisoned the device.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().faults.as_ref().is_some_and(|f| f.poisoned)
+    }
+
     /// After `reads` further read system calls, every read fails with
     /// [`StorageError::InjectedFault`]. Pass `None` to disarm.
+    ///
+    /// Deprecated: thin shim over [`Device::install_fault_plan`] kept for
+    /// older tests; new code should install a [`FaultPlan`] (which can
+    /// also scope the fault to one file, schedule it from a seed, or pick
+    /// a different fault kind). Calling this replaces any installed plan.
     pub fn inject_read_fault_after(&self, reads: Option<u64>) {
-        self.inner.lock().reads_before_fault = reads;
+        match reads {
+            Some(n) => self.install_fault_plan(FaultPlan::new().rule(FaultRule::new(
+                FaultOp::Read,
+                FaultKind::Eio,
+                FaultSchedule::AfterOps { skip: n },
+            ))),
+            None => self.clear_fault_plan(),
+        }
     }
 
     fn with_file<R>(
@@ -194,12 +363,39 @@ impl Device {
 
     fn read_at(&self, id: FileId, offset: u64, buf: &mut [u8]) -> Result<()> {
         let block = self.config.block_size as u64;
-        self.with_file(id, |inner, store| {
-            if let Some(n) = inner.reads_before_fault {
-                if n == 0 {
-                    return Err(StorageError::InjectedFault);
+        let mut panic_pending = false;
+        let result = self.with_file(id, |inner, store| {
+            // Fault gate first, before any accounting: a faulted operation
+            // is not a completed system call.
+            if inner.faults.is_some() {
+                let decision = {
+                    let fs = inner.faults.as_mut().expect("checked is_some");
+                    if fs.poisoned {
+                        return Err(StorageError::Poisoned);
+                    }
+                    fs.decide(id, FaultOp::Read)
+                };
+                if let Some(kind) = decision {
+                    inner.note_fault(id, buf.len() as u64);
+                    return Err(match kind {
+                        FaultKind::Eio | FaultKind::TornWrite => StorageError::InjectedFault,
+                        FaultKind::ShortRead => {
+                            let delivered = short_read_len(offset, buf.len(), block);
+                            if delivered > 0 {
+                                store.read_at(offset, &mut buf[..delivered])?;
+                            }
+                            StorageError::ShortRead {
+                                requested: buf.len() as u64,
+                                delivered: delivered as u64,
+                            }
+                        }
+                        FaultKind::PowerCut => fire_power_cut(inner, id, store.as_mut()),
+                        FaultKind::Panic => {
+                            panic_pending = true;
+                            StorageError::InjectedFault
+                        }
+                    });
                 }
-                inner.reads_before_fault = Some(n - 1);
             }
             let traced = inner.recorder.trace_start();
             self.stats.record_read(buf.len() as u64);
@@ -225,17 +421,42 @@ impl Device {
             let result = store.read_at(offset, buf);
             inner.recorder.trace_end(traced, TraceOp::DeviceRead, offset, None, buf.len() as u64);
             result
-        })
+        });
+        if panic_pending {
+            panic!("injected panic fault (poir-storage failpoint)");
+        }
+        result
     }
 
     fn read_at_vectored(&self, id: FileId, ranges: &[(u64, u32)]) -> Result<Vec<Vec<u8>>> {
         let block = self.config.block_size as u64;
-        self.with_file(id, |inner, store| {
-            if let Some(n) = inner.reads_before_fault {
-                if n == 0 {
-                    return Err(StorageError::InjectedFault);
+        let mut panic_pending = false;
+        let result = self.with_file(id, |inner, store| {
+            if inner.faults.is_some() {
+                let decision = {
+                    let fs = inner.faults.as_mut().expect("checked is_some");
+                    if fs.poisoned {
+                        return Err(StorageError::Poisoned);
+                    }
+                    fs.decide(id, FaultOp::Read)
+                };
+                if let Some(kind) = decision {
+                    let total: u64 = ranges.iter().map(|&(_, len)| len as u64).sum();
+                    inner.note_fault(id, total);
+                    return Err(match kind {
+                        FaultKind::Eio | FaultKind::TornWrite => StorageError::InjectedFault,
+                        // A gathered read delivers all ranges or none; a
+                        // short read on it delivers none.
+                        FaultKind::ShortRead => {
+                            StorageError::ShortRead { requested: total, delivered: 0 }
+                        }
+                        FaultKind::PowerCut => fire_power_cut(inner, id, store.as_mut()),
+                        FaultKind::Panic => {
+                            panic_pending = true;
+                            StorageError::InjectedFault
+                        }
+                    });
                 }
-                inner.reads_before_fault = Some(n - 1);
             }
             // One gathered system call, like preadv: a single file access
             // whose byte count is the sum of all requested ranges.
@@ -275,12 +496,47 @@ impl Device {
             let start = ranges.first().map_or(0, |&(offset, _)| offset);
             inner.recorder.trace_end(traced, TraceOp::DeviceRead, start, None, total);
             Ok(out)
-        })
+        });
+        if panic_pending {
+            panic!("injected panic fault (poir-storage failpoint)");
+        }
+        result
     }
 
     fn write_at(&self, id: FileId, offset: u64, data: &[u8]) -> Result<()> {
         let block = self.config.block_size as u64;
-        self.with_file(id, |inner, store| {
+        let mut panic_pending = false;
+        let result = self.with_file(id, |inner, store| {
+            if inner.faults.is_some() {
+                let decision = {
+                    let fs = inner.faults.as_mut().expect("checked is_some");
+                    if fs.poisoned {
+                        return Err(StorageError::Poisoned);
+                    }
+                    fs.decide(id, FaultOp::Write)
+                };
+                if let Some(kind) = decision {
+                    inner.note_fault(id, data.len() as u64);
+                    return Err(match kind {
+                        FaultKind::Eio | FaultKind::ShortRead => StorageError::InjectedFault,
+                        FaultKind::TornWrite => {
+                            let written = torn_write_len(offset, data.len(), block);
+                            if written > 0 {
+                                store.write_at(offset, &data[..written])?;
+                            }
+                            StorageError::TornWrite {
+                                requested: data.len() as u64,
+                                written: written as u64,
+                            }
+                        }
+                        FaultKind::PowerCut => fire_power_cut(inner, id, store.as_mut()),
+                        FaultKind::Panic => {
+                            panic_pending = true;
+                            StorageError::InjectedFault
+                        }
+                    });
+                }
+            }
             let traced = inner.recorder.trace_start();
             self.stats.record_write(data.len() as u64);
             inner.recorder.incr(Event::FileWrite);
@@ -298,7 +554,11 @@ impl Device {
             let result = store.write_at(offset, data);
             inner.recorder.trace_end(traced, TraceOp::DeviceWrite, offset, None, data.len() as u64);
             result
-        })
+        });
+        if panic_pending {
+            panic!("injected panic fault (poir-storage failpoint)");
+        }
+        result
     }
 
     fn len(&self, id: FileId) -> Result<u64> {
@@ -308,6 +568,9 @@ impl Device {
     fn truncate(&self, id: FileId, len: u64) -> Result<()> {
         let block = self.config.block_size as u64;
         self.with_file(id, |inner, store| {
+            if inner.faults.as_ref().is_some_and(|f| f.poisoned) {
+                return Err(StorageError::Poisoned);
+            }
             let old_len = store.len();
             store.truncate(len)?;
             if len < old_len {
@@ -322,7 +585,48 @@ impl Device {
     }
 
     fn sync(&self, id: FileId) -> Result<()> {
-        self.with_file(id, |_, store| store.sync())
+        let mut panic_pending = false;
+        let result = self.with_file(id, |inner, store| {
+            if inner.faults.is_some() {
+                let decision = {
+                    let fs = inner.faults.as_mut().expect("checked is_some");
+                    if fs.poisoned {
+                        return Err(StorageError::Poisoned);
+                    }
+                    fs.decide(id, FaultOp::Sync)
+                };
+                if let Some(kind) = decision {
+                    inner.note_fault(id, 0);
+                    return Err(match kind {
+                        FaultKind::Eio | FaultKind::ShortRead | FaultKind::TornWrite => {
+                            StorageError::InjectedFault
+                        }
+                        FaultKind::PowerCut => fire_power_cut(inner, id, store.as_mut()),
+                        FaultKind::Panic => {
+                            panic_pending = true;
+                            StorageError::InjectedFault
+                        }
+                    });
+                }
+            }
+            store.sync()?;
+            // A completed sync is the durability barrier the power-cut
+            // model rolls back to: refresh this file's durable image.
+            if inner.faults.as_ref().is_some_and(|f| f.track_durable) {
+                let image = snapshot_store(store.as_mut());
+                let fs = inner.faults.as_mut().expect("checked is_some");
+                let idx = id.0 as usize;
+                if fs.durable.len() <= idx {
+                    fs.durable.resize_with(idx + 1, Vec::new);
+                }
+                fs.durable[idx] = image;
+            }
+            Ok(())
+        });
+        if panic_pending {
+            panic!("injected panic fault (poir-storage failpoint)");
+        }
+        result
     }
 }
 
@@ -544,6 +848,146 @@ mod tests {
         assert!(matches!(f.read(0, 4), Err(StorageError::InjectedFault)));
         dev.inject_read_fault_after(None);
         assert!(f.read(0, 4).is_ok());
+    }
+
+    #[test]
+    fn short_read_fault_delivers_block_prefix() {
+        let dev = small_device(); // 16-byte blocks
+        let f = dev.create_file();
+        f.write(0, &(0u8..64).collect::<Vec<_>>()).unwrap();
+        dev.install_fault_plan(FaultPlan::new().rule(FaultRule::new(
+            FaultOp::Read,
+            FaultKind::ShortRead,
+            FaultSchedule::Nth { n: 0 },
+        )));
+        let mut buf = [0xFFu8; 40];
+        // Read starting at 8: the first block boundary is 16, so 8 bytes arrive.
+        let err = dev.read_at(f.id(), 8, &mut buf).unwrap_err();
+        assert!(matches!(err, StorageError::ShortRead { requested: 40, delivered: 8 }));
+        assert_eq!(&buf[..8], &(8u8..16).collect::<Vec<_>>()[..]);
+        assert_eq!(buf[8], 0xFF, "bytes past the cut must be untouched");
+        // The rule fired once; subsequent reads succeed.
+        assert!(f.read(0, 4).is_ok());
+        assert_eq!(dev.fault_stats().short_reads, 1);
+    }
+
+    #[test]
+    fn torn_write_fault_applies_aligned_prefix() {
+        let dev = small_device();
+        let f = dev.create_file();
+        f.write(0, &[0u8; 64]).unwrap();
+        dev.install_fault_plan(FaultPlan::new().rule(FaultRule::new(
+            FaultOp::Write,
+            FaultKind::TornWrite,
+            FaultSchedule::Nth { n: 0 },
+        )));
+        // Write 8..40 (spans boundary at 16 and 32): prefix up to 32 survives.
+        let err = f.write(8, &[9u8; 32]).unwrap_err();
+        assert!(matches!(err, StorageError::TornWrite { requested: 32, written: 24 }));
+        let data = f.read(0, 64).unwrap();
+        assert_eq!(&data[8..32], &[9u8; 24][..]);
+        assert_eq!(&data[32..40], &[0u8; 8][..], "torn-off suffix never hit the file");
+        assert_eq!(dev.fault_stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn power_cut_drops_unsynced_writes_and_poisons() {
+        let dev = small_device();
+        let f = dev.create_file();
+        f.write(0, b"durable!").unwrap();
+        f.sync().unwrap();
+        dev.install_fault_plan(FaultPlan::new().rule(FaultRule::new(
+            FaultOp::Write,
+            FaultKind::PowerCut,
+            FaultSchedule::Nth { n: 1 },
+        )));
+        f.write(8, b"volatile").unwrap(); // survives until the cut fires
+        let err = f.write(16, b"never").unwrap_err();
+        assert!(matches!(err, StorageError::Poisoned));
+        assert!(dev.is_poisoned());
+        // Every further data operation fails until the plan is cleared.
+        assert!(matches!(f.read(0, 4), Err(StorageError::Poisoned)));
+        assert!(matches!(f.sync(), Err(StorageError::Poisoned)));
+        assert!(matches!(f.truncate(0), Err(StorageError::Poisoned)));
+        dev.clear_fault_plan();
+        assert!(!dev.is_poisoned());
+        // Only the synced image survived the cut.
+        assert_eq!(f.len().unwrap(), 8);
+        assert_eq!(f.read(0, 8).unwrap(), b"durable!");
+        assert_eq!(dev.fault_stats().power_cuts, 1);
+    }
+
+    #[test]
+    fn sync_refreshes_the_durable_image() {
+        let dev = small_device();
+        let f = dev.create_file();
+        f.write(0, b"first").unwrap();
+        dev.install_fault_plan(FaultPlan::new().rule(FaultRule::new(
+            FaultOp::Read,
+            FaultKind::PowerCut,
+            FaultSchedule::Nth { n: 0 },
+        )));
+        // Content at install time is the initial durable image; a sync
+        // while the plan is armed moves the image forward.
+        f.write(5, b" second").unwrap();
+        f.sync().unwrap();
+        f.write(12, b" third").unwrap();
+        assert!(matches!(f.read(0, 1), Err(StorageError::Poisoned)));
+        dev.clear_fault_plan();
+        assert_eq!(f.read(0, 12).unwrap(), b"first second");
+        assert_eq!(f.len().unwrap(), 12, "post-sync write was dropped");
+    }
+
+    #[test]
+    fn panic_fault_panics_without_wedging_the_device() {
+        let dev = small_device();
+        let f = dev.create_file();
+        f.write(0, &[1u8; 16]).unwrap();
+        dev.install_fault_plan(FaultPlan::new().rule(FaultRule::new(
+            FaultOp::Read,
+            FaultKind::Panic,
+            FaultSchedule::Nth { n: 0 },
+        )));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = f.read(0, 4);
+        }));
+        assert!(caught.is_err(), "the injected panic must propagate");
+        // The file table was restored before the panic: the device works.
+        assert_eq!(f.read(0, 4).unwrap(), vec![1u8; 4]);
+        assert_eq!(dev.fault_stats().panics, 1);
+    }
+
+    #[test]
+    fn seeded_chaos_is_replayable_end_to_end() {
+        let run = |seed: u64| -> Vec<bool> {
+            let dev = small_device();
+            let f = dev.create_file();
+            f.write(0, &[3u8; 64]).unwrap();
+            dev.install_fault_plan(FaultPlan::new().rule(FaultRule::new(
+                FaultOp::Read,
+                FaultKind::Eio,
+                FaultSchedule::Seeded { seed, per_mille: 300 },
+            )));
+            (0..100).map(|_| f.read(0, 8).is_err()).collect()
+        };
+        assert_eq!(run(7), run(7), "identical (seed, plan) replays identically");
+        assert_ne!(run(7), run(8), "different seeds explore different schedules");
+    }
+
+    #[test]
+    fn fault_stats_survive_plan_clears() {
+        let dev = small_device();
+        let f = dev.create_file();
+        f.write(0, &[0u8; 16]).unwrap();
+        dev.inject_read_fault_after(Some(0));
+        assert!(f.read(0, 4).is_err());
+        dev.inject_read_fault_after(None);
+        assert_eq!(dev.fault_stats().eio, 1);
+        dev.inject_read_fault_after(Some(0));
+        assert!(f.read(0, 4).is_err());
+        dev.clear_fault_plan();
+        assert_eq!(dev.fault_stats().eio, 2, "counters accumulate across plans");
+        assert_eq!(dev.fault_stats().total_fired(), 2);
     }
 
     #[test]

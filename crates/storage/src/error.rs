@@ -13,8 +13,18 @@ pub enum StorageError {
     OutOfBounds { end: u64, len: u64 },
     /// The underlying operating system file failed.
     Io(std::io::Error),
-    /// Fault injected by a test harness (see [`crate::Device::inject_read_fault_after`]).
+    /// Fault injected by a failpoint (see [`crate::FaultPlan`]); the EIO
+    /// analogue.
     InjectedFault,
+    /// An injected short read: only `delivered` of the `requested` bytes
+    /// (a block-aligned prefix) reached the caller's buffer.
+    ShortRead { requested: u64, delivered: u64 },
+    /// An injected torn write: only `written` of the `requested` bytes
+    /// (a block-aligned prefix) were applied.
+    TornWrite { requested: u64, written: u64 },
+    /// The device was poisoned by an injected power cut; every operation
+    /// fails until the fault plan is cleared.
+    Poisoned,
 }
 
 impl fmt::Display for StorageError {
@@ -26,6 +36,15 @@ impl fmt::Display for StorageError {
             }
             StorageError::Io(e) => write!(f, "os i/o error: {e}"),
             StorageError::InjectedFault => write!(f, "injected storage fault"),
+            StorageError::ShortRead { requested, delivered } => {
+                write!(f, "injected short read: delivered {delivered} of {requested} bytes")
+            }
+            StorageError::TornWrite { requested, written } => {
+                write!(f, "injected torn write: applied {written} of {requested} bytes")
+            }
+            StorageError::Poisoned => {
+                write!(f, "device poisoned by injected power cut")
+            }
         }
     }
 }
@@ -60,6 +79,15 @@ mod tests {
             "read past end of file: end 10 > len 4"
         );
         assert_eq!(StorageError::InjectedFault.to_string(), "injected storage fault");
+        assert_eq!(
+            StorageError::ShortRead { requested: 64, delivered: 16 }.to_string(),
+            "injected short read: delivered 16 of 64 bytes"
+        );
+        assert_eq!(
+            StorageError::TornWrite { requested: 64, written: 48 }.to_string(),
+            "injected torn write: applied 48 of 64 bytes"
+        );
+        assert_eq!(StorageError::Poisoned.to_string(), "device poisoned by injected power cut");
     }
 
     #[test]

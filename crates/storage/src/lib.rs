@@ -28,6 +28,7 @@ mod cache;
 mod cost;
 mod device;
 mod error;
+mod fault;
 mod stats;
 
 pub use backend::{ByteStore, FileBackend, InMemoryBackend};
@@ -35,6 +36,7 @@ pub use cache::OsCache;
 pub use cost::{CostModel, SimTime};
 pub use device::{Device, DeviceConfig, FileHandle, FileId};
 pub use error::{Result, StorageError};
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRule, FaultSchedule, FaultStats};
 pub use stats::{IoSnapshot, IoStats};
 
 /// The disk transfer block size used throughout the paper's evaluation.

@@ -95,11 +95,17 @@ pub enum Event {
     QueueRejected,
     /// Requests whose deadline had already expired when dequeued.
     QueueExpired,
+    /// Storage faults fired by an installed fault plan.
+    FaultInjected,
+    /// Shard evaluations retried after a transient storage fault.
+    ShardRetry,
+    /// Responses served degraded (one or more shards missing).
+    DegradedResponse,
 }
 
 impl Event {
     /// Number of event kinds (array dimension).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     /// All events, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -127,6 +133,9 @@ impl Event {
         Event::QueueEnqueued,
         Event::QueueRejected,
         Event::QueueExpired,
+        Event::FaultInjected,
+        Event::ShardRetry,
+        Event::DegradedResponse,
     ];
 
     /// Stable snake_case name used in JSON export.
@@ -156,6 +165,9 @@ impl Event {
             Event::QueueEnqueued => "queue_enqueued",
             Event::QueueRejected => "queue_rejected",
             Event::QueueExpired => "queue_expired",
+            Event::FaultInjected => "faults_injected",
+            Event::ShardRetry => "shard_retries",
+            Event::DegradedResponse => "degraded_responses",
         }
     }
 }

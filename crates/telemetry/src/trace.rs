@@ -78,6 +78,9 @@ pub enum TraceOp {
     /// Time a request spent in the query service's admission queue before
     /// a worker dequeued it (`object` = service sequence number).
     QueueWait,
+    /// A storage fault fired by an installed fault plan (`object` = file
+    /// id, `bytes` = bytes the faulted operation requested).
+    FaultInjected,
 }
 
 /// `object` value for a [`TraceOp::LockWait`] on the Mneme meta `RwLock`
@@ -92,7 +95,7 @@ pub const LOCK_POOL: u64 = 2;
 
 impl TraceOp {
     /// Number of operation kinds.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// All operation kinds, in declaration order.
     pub const ALL: [TraceOp; TraceOp::COUNT] = [
@@ -111,6 +114,7 @@ impl TraceOp {
         TraceOp::RangeRead,
         TraceOp::BlockDecode,
         TraceOp::QueueWait,
+        TraceOp::FaultInjected,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -131,13 +135,17 @@ impl TraceOp {
             TraceOp::RangeRead => "range_read",
             TraceOp::BlockDecode => "block_decode",
             TraceOp::QueueWait => "queue_wait",
+            TraceOp::FaultInjected => "fault_injected",
         }
     }
 
     /// Chrome trace category for this operation.
     fn category(self) -> &'static str {
         match self {
-            TraceOp::DeviceRead | TraceOp::DeviceWrite | TraceOp::RangeRead => "io",
+            TraceOp::DeviceRead
+            | TraceOp::DeviceWrite
+            | TraceOp::RangeRead
+            | TraceOp::FaultInjected => "io",
             TraceOp::PoolFetch
             | TraceOp::BufferHit
             | TraceOp::BufferMiss

@@ -13,7 +13,9 @@ use poir::core::{
     BackendKind, CoreError, Engine, ExecMode, QueryRequest, QueryService, ServiceConfig, ShardSpec,
 };
 use poir::inquery::{Index, IndexBuilder, StopWords};
-use poir::storage::{CostModel, Device, DeviceConfig};
+use poir::storage::{
+    CostModel, Device, DeviceConfig, FaultKind, FaultOp, FaultPlan, FaultRule, FaultSchedule,
+};
 use poir::telemetry::{Event, TelemetryOptions};
 
 fn build_index(num_docs: usize) -> Index {
@@ -360,6 +362,109 @@ fn query_id_joins_trace_and_slow_log() {
     assert!(records.iter().all(|r| r.query == 777));
     // And the JSONL dump names the id.
     assert!(service.slow_queries_jsonl().contains("\"query_id\": 777"));
+    service.shutdown();
+}
+
+#[test]
+fn shard_storage_faults_degrade_to_partial_results_and_recover() {
+    let index = build_index(200);
+    let dev = device();
+    let engine = Engine::builder(&dev)
+        .backend(BackendKind::MnemeNoCache)
+        .telemetry(TelemetryOptions::counters_only())
+        .sharding(ShardSpec::new(2, 2))
+        .build_sharded(index)
+        .unwrap();
+    // The service consumes the engine, so the fault target (shard 1's
+    // store file) must be captured first.
+    let faulty_store = engine.shard_store_handle(1).id();
+    let service = QueryService::start(engine, 8).unwrap();
+    // Reference rankings with healthy storage.
+    let mut reference = Vec::new();
+    for q in BAG_QUERIES {
+        let resp = service.query(QueryRequest::new(*q, 10)).unwrap();
+        assert!(resp.degraded.is_none(), "healthy storage must not degrade");
+        reference.push(resp.hits);
+    }
+
+    // Every read against shard 1's store now fails with EIO; shard 0 is
+    // untouched, so requests must degrade to its half of the collection
+    // instead of failing outright.
+    dev.install_fault_plan(
+        FaultPlan::new().rule(
+            FaultRule::new(FaultOp::Read, FaultKind::Eio, FaultSchedule::AfterOps { skip: 0 })
+                .on_file(faulty_store),
+        ),
+    );
+    let resp = service.query(QueryRequest::new("w3 w17 w50", 10)).unwrap();
+    let degraded = resp.degraded.as_ref().expect("response must be marked degraded");
+    assert_eq!(degraded.missing_shards, vec![1]);
+    assert!(degraded.retries >= 1, "the retry budget is spent before the shard is dropped");
+    assert!(!resp.hits.is_empty(), "shard 0 still answers");
+    let max_doc = resp.hits.iter().map(|r| r.doc.0).max().unwrap();
+    assert!(max_doc < 100, "hit {max_doc} outside shard 0's document range");
+    assert!(dev.fault_stats().eio >= 1, "the injected faults actually fired");
+
+    let stats = service.stats();
+    assert!(stats.degraded >= 1);
+    assert!(stats.shard_retries >= 1);
+    assert_eq!(stats.worker_panics, 0);
+    assert!(stats.shard_health[0].healthy, "shard 0 never failed");
+    let sick = &stats.shard_health[1];
+    assert!(!sick.healthy, "shard 1's latest evaluation failed");
+    assert!(sick.failures >= 1 && sick.retries >= 1 && sick.consecutive_failures >= 1);
+    let snap = service.recorder().snapshot();
+    assert!(snap.get(Event::DegradedResponse) >= 1);
+    assert!(snap.get(Event::ShardRetry) >= 1);
+
+    // Fault clears: rankings return bit-identical and health recovers.
+    dev.clear_fault_plan();
+    for (qi, q) in BAG_QUERIES.iter().enumerate() {
+        let resp = service.query(QueryRequest::new(*q, 10)).unwrap();
+        assert!(resp.degraded.is_none());
+        assert_eq!(keyed(&resp.hits), keyed(&reference[qi]), "post-recovery diverged on {q:?}");
+    }
+    assert!(service.stats().shard_health[1].healthy, "clean evaluation must reset health");
+    service.shutdown();
+}
+
+#[test]
+fn worker_panic_is_caught_counted_and_the_pool_survives() {
+    let index = build_index(150);
+    let dev = device();
+    let engine = Engine::builder(&dev)
+        .backend(BackendKind::MnemeNoCache)
+        .sharding(ShardSpec::new(2, 2))
+        .build_sharded(index)
+        .unwrap();
+    let store = engine.shard_store_handle(0).id();
+    let service = QueryService::start(engine, 4).unwrap();
+    // The next read against shard 0's store panics, exactly once. The
+    // fault fires after the device lock is released, so only the worker's
+    // stack unwinds — the store itself stays usable.
+    dev.install_fault_plan(
+        FaultPlan::new().rule(
+            FaultRule::new(FaultOp::Read, FaultKind::Panic, FaultSchedule::Nth { n: 0 })
+                .on_file(store)
+                .max_fires(1),
+        ),
+    );
+    match service.query(QueryRequest::new("w3 w17", 10)) {
+        Err(CoreError::WorkerPanicked { message }) => {
+            assert!(!message.is_empty(), "the panic payload is surfaced to the caller");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    assert_eq!(dev.fault_stats().panics, 1);
+    let stats = service.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.failed, 1);
+    // The worker caught the unwind and kept draining: the same pool
+    // serves the next request in full.
+    dev.clear_fault_plan();
+    let resp = service.query(QueryRequest::new("w3 w17", 10)).unwrap();
+    assert!(!resp.hits.is_empty());
+    assert!(resp.degraded.is_none());
     service.shutdown();
 }
 
