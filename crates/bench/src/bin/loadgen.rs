@@ -11,9 +11,14 @@
 //! cargo run --release -p poir-bench --bin loadgen -- \
 //!     [--scale F] [--shards NxM] [--queue N] [--levels 1,2,4,...] \
 //!     [--queries N] [--out PATH] [--stats-out PATH] [--slow-out PATH] \
-//!     [--slow-threshold-micros N] [--chaos] [--chaos-seed N] \
-//!     [--chaos-eio PER_MILLE] [--chaos-short PER_MILLE]
+//!     [--slow-threshold-micros N] [--result-cache N] [--block-cache-bytes N] \
+//!     [--chaos] [--chaos-seed N] [--chaos-eio PER_MILLE] [--chaos-short PER_MILLE]
 //! ```
+//!
+//! `--result-cache N` turns on the service's query-result cache (N
+//! entries) and `--block-cache-bytes N` the shared decoded-block cache;
+//! the round-robin client draw repeats query texts once a level wraps
+//! the query set, so the stats sampler's cache counters move.
 //!
 //! `--out` writes the latency family as a standalone JSON document (the
 //! same object `throughput` embeds under `"latency"` in
@@ -106,6 +111,14 @@ fn main() {
                 Some(v) => opts.slow_threshold_micros = v,
                 None => die("--slow-threshold-micros needs a non-negative integer"),
             },
+            "--result-cache" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.result_cache_entries = v,
+                None => die("--result-cache needs a non-negative entry count"),
+            },
+            "--block-cache-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.block_cache_bytes = v,
+                None => die("--block-cache-bytes needs a non-negative byte count"),
+            },
             "--chaos" => {
                 opts.chaos.get_or_insert_with(ChaosOptions::default);
             }
@@ -130,8 +143,8 @@ fn main() {
                     "usage: loadgen [--scale F] [--shards NxM] [--queue N] \
                      [--levels 1,2,4,...] [--queries N] [--out PATH] \
                      [--stats-out PATH] [--slow-out PATH] [--slow-threshold-micros N] \
-                     [--chaos] [--chaos-seed N] [--chaos-eio PER_MILLE] \
-                     [--chaos-short PER_MILLE]"
+                     [--result-cache N] [--block-cache-bytes N] [--chaos] \
+                     [--chaos-seed N] [--chaos-eio PER_MILLE] [--chaos-short PER_MILLE]"
                 );
                 return;
             }

@@ -19,6 +19,11 @@
 //!   counter-instrumented `daat_pruned` pass — must not fall more than
 //!   `--tolerance` below the baseline (one-sided: faster never fails).
 //!   This isolates the block codec + cursor path from I/O behaviour.
+//! * **Repeated queries** — the cache hierarchy must earn its keep: on a
+//!   Zipfian repeated-query trace the fully-cached service must beat the
+//!   no-cache service by ≥ 1.3x QPS with bit-identical rankings and
+//!   non-zero hit rates on both the result and decoded-block caches
+//!   (one-sided floors; both arms are fresh, so host speed cancels).
 //! * **Server agreement** — the service's own metrics must report a
 //!   saturation QPS within 15% of the client-side loadgen measurement of
 //!   the same run (fresh vs fresh, so host speed cancels; this gates the
@@ -44,6 +49,7 @@
 
 use poir_bench::json::Json;
 use poir_bench::latency::{run_latency, LatencyOptions, LatencyRun};
+use poir_bench::repeated::{run_repeated, RepeatedQueryRun, SPEEDUP_FLOOR};
 use poir_bench::throughput::{
     export_trace, prepare_workload, run_throughput, run_traced, DecodeThroughput, ThroughputRun,
 };
@@ -85,6 +91,12 @@ struct BaselineDecode {
     postings_per_engine_sec: f64,
 }
 
+struct BaselineRepeated {
+    speedup: f64,
+    result_cache_hit_rate: f64,
+    block_cache_hit_rate: f64,
+}
+
 struct BaselineLatency {
     shards: usize,
     workers: usize,
@@ -101,7 +113,9 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
-fn load_baseline(path: &str) -> (f64, Vec<BaselineMode>, BaselineDecode, BaselineLatency) {
+fn load_baseline(
+    path: &str,
+) -> (f64, Vec<BaselineMode>, BaselineDecode, BaselineLatency, BaselineRepeated) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("reading baseline {path}: {e}")));
     let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")));
@@ -180,7 +194,22 @@ fn load_baseline(path: &str) -> (f64, Vec<BaselineMode>, BaselineDecode, Baselin
             }
         })
         .unwrap_or_else(|| die("baseline lacks \"latency\" — regenerate it"));
-    (scale, modes, decode, latency)
+    let repeated = doc
+        .get("repeated_query")
+        .map(|r| {
+            let field = |key: &str| {
+                r.get(key)
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| die(&format!("baseline repeated_query lacks {key:?}")))
+            };
+            BaselineRepeated {
+                speedup: field("speedup"),
+                result_cache_hit_rate: field("result_cache_hit_rate"),
+                block_cache_hit_rate: field("block_cache_hit_rate"),
+            }
+        })
+        .unwrap_or_else(|| die("baseline lacks \"repeated_query\" — regenerate it"));
+    (scale, modes, decode, latency, repeated)
 }
 
 /// Relative deviation of `fresh` from `base` (0 when both are 0).
@@ -326,6 +355,34 @@ fn compare_latency(fresh: &LatencyRun, base: &BaselineLatency) -> bool {
     p99_pass && qps_pass && ratio_pass
 }
 
+/// Repeated-query cache-hierarchy gate, one-sided floors on the fresh
+/// run: the cached arm must beat the no-cache baseline arm by at least
+/// [`SPEEDUP_FLOOR`], both cache tiers must actually hit under the
+/// Zipfian trace, and the cached rankings must be bit-identical to the
+/// uncached ones. The committed baseline's figures are printed for
+/// context only — both arms are fresh, so host speed cancels and the
+/// speedup needs no cross-host tolerance.
+fn compare_repeated(fresh: &RepeatedQueryRun, base: &BaselineRepeated) -> bool {
+    let speedup_pass = fresh.speedup >= SPEEDUP_FLOOR;
+    let hits_pass = fresh.result_cache_hit_rate > 0.0 && fresh.block_cache_hit_rate > 0.0;
+    let pass = speedup_pass && hits_pass && fresh.identical_rankings;
+    println!(
+        "{:<18} speedup {:.2}x vs {:.2}x base (>= {:.1}x), result-cache {:.0}% \
+         (base {:.0}%), block-cache {:.0}% (base {:.0}%), identical rankings {}  {}",
+        "repeated_query",
+        fresh.speedup,
+        base.speedup,
+        SPEEDUP_FLOOR,
+        fresh.result_cache_hit_rate * 100.0,
+        base.result_cache_hit_rate * 100.0,
+        fresh.block_cache_hit_rate * 100.0,
+        base.block_cache_hit_rate * 100.0,
+        fresh.identical_rankings,
+        if pass { "ok" } else { "REGRESSION" },
+    );
+    pass
+}
+
 /// Server-agreement gate: the saturation throughput the service reports
 /// from its own lifetime counters must match the client-side measurement
 /// of the same run within [`SERVER_QPS_AGREEMENT`]. Both numbers are
@@ -383,7 +440,8 @@ fn main() {
         }
     }
 
-    let (scale, baseline, baseline_decode, baseline_latency) = load_baseline(&baseline_path);
+    let (scale, baseline, baseline_decode, baseline_latency, baseline_repeated) =
+        load_baseline(&baseline_path);
     if baseline.is_empty() {
         die("baseline has no modes");
     }
@@ -409,11 +467,15 @@ fn main() {
         &baseline_latency.levels.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
     );
 
+    let repeated = run_repeated(&workload);
+
     let mut ok = compare(&run, &baseline, tolerance);
     ok &= compare_decode(&run.decode, &baseline_decode, tolerance);
     ok &= compare_latency(&latency, &baseline_latency);
     ok &= compare_server_agreement(&latency);
+    ok &= compare_repeated(&repeated, &baseline_repeated);
     run.latency = Some(latency);
+    run.repeated = Some(repeated);
     if !run.identical_rankings {
         eprintln!("ERROR: rankings diverged across execution modes");
         std::process::exit(1);

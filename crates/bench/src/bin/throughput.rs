@@ -19,6 +19,7 @@
 //! always execute with telemetry off.
 
 use poir_bench::latency::{run_latency, LatencyOptions, DEFAULT_LEVELS};
+use poir_bench::repeated::run_repeated;
 use poir_bench::throughput::{export_trace, prepare_workload, run_throughput, run_traced};
 use poir_core::TelemetryOptions;
 
@@ -80,6 +81,12 @@ fn main() {
     println!("{}", latency.render_table());
     run.latency = Some(latency);
 
+    eprintln!("# repeated-query cache-hierarchy family (Zipfian trace)");
+    let repeated = run_repeated(&workload);
+    println!("{}", repeated.render_table());
+    let repeated_ok = repeated.identical_rankings;
+    run.repeated = Some(repeated);
+
     std::fs::write(&out_path, run.to_json()).expect("write json");
     eprintln!("# wrote {out_path}");
 
@@ -91,6 +98,10 @@ fn main() {
 
     if !run.identical_rankings {
         eprintln!("ERROR: rankings diverged across execution modes");
+        std::process::exit(1);
+    }
+    if !repeated_ok {
+        eprintln!("ERROR: cached rankings diverged from the no-cache baseline");
         std::process::exit(1);
     }
 }

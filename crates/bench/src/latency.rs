@@ -124,6 +124,13 @@ pub struct LatencyOptions {
     pub stats_interval_millis: u64,
     /// When set, run the ladder under injected storage faults.
     pub chaos: Option<ChaosOptions>,
+    /// Query-result cache capacity, entries (0 disables — the committed
+    /// baseline's configuration, so the ladder measures evaluation, not
+    /// cache hits).
+    pub result_cache_entries: usize,
+    /// Decoded-block cache byte budget, shared across shards (0 disables
+    /// — the committed baseline's configuration).
+    pub block_cache_bytes: usize,
 }
 
 impl Default for LatencyOptions {
@@ -137,6 +144,8 @@ impl Default for LatencyOptions {
             stats_out: None,
             stats_interval_millis: 1000,
             chaos: None,
+            result_cache_entries: 0,
+            block_cache_bytes: 0,
         }
     }
 }
@@ -152,6 +161,7 @@ impl LatencyOptions {
             breakdown_window: 4096,
             stats_out: self.stats_out.clone().map(Into::into),
             stats_interval: Duration::from_millis(self.stats_interval_millis.max(1)),
+            result_cache_entries: self.result_cache_entries,
         }
     }
 }
@@ -253,6 +263,7 @@ pub fn run_latency(workload: &Workload, opts: &LatencyOptions, levels: &[usize])
         .telemetry(TelemetryOptions::off())
         .sharding(opts.spec)
         .service_config(opts.service_config())
+        .block_cache_bytes(opts.block_cache_bytes)
         .build_service(workload.index.clone())
         .expect("service build");
     // The plan goes in only after the build, so index construction runs

@@ -14,6 +14,7 @@ pub mod crash;
 pub mod json;
 pub mod latency;
 pub mod print;
+pub mod repeated;
 pub mod throughput;
 
 use std::sync::Arc;

@@ -117,6 +117,10 @@ pub struct ThroughputRun {
     /// Sustained-load latency ladder (separate service pass; `None` until
     /// the caller runs [`crate::latency::run_latency`] and attaches it).
     pub latency: Option<crate::latency::LatencyRun>,
+    /// Repeated-query cache-hierarchy family (separate service pass;
+    /// `None` until the caller runs [`crate::repeated::run_repeated`] and
+    /// attaches it).
+    pub repeated: Option<crate::repeated::RepeatedQueryRun>,
 }
 
 fn fresh_engine(index: &Index, telemetry: TelemetryOptions) -> Engine {
@@ -242,6 +246,7 @@ pub fn run_throughput(workload: &Workload, telemetry: TelemetryOptions) -> Throu
         parallel_4_speedup,
         decode,
         latency: None,
+        repeated: None,
     }
 }
 
@@ -294,6 +299,10 @@ impl ThroughputRun {
             Some(l) => format!("  \"latency\": {},\n", l.to_json()),
             None => String::new(),
         };
+        let repeated_json = match &self.repeated {
+            Some(r) => format!("  \"repeated_query\": {},\n", r.to_json()),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\n",
@@ -313,6 +322,7 @@ impl ThroughputRun {
                 "    \"postings_per_engine_sec\": {:.0}\n",
                 "  }},\n",
                 "{}",
+                "{}",
                 "  \"modes\": [\n{}\n  ]\n",
                 "}}\n"
             ),
@@ -329,6 +339,7 @@ impl ThroughputRun {
             self.decode.engine_secs,
             self.decode.postings_per_engine_sec,
             latency_json,
+            repeated_json,
             modes_json.join(",\n"),
         )
     }

@@ -28,7 +28,8 @@
 use std::sync::Arc;
 
 use poir_btree::BTreeConfig;
-use poir_inquery::{BeliefParams, Index, StopWords};
+use poir_inquery::{BeliefParams, BlockCache, Index, StopWords};
+use poir_mneme::BufferPolicy;
 use poir_storage::{Device, FileHandle};
 use poir_telemetry::TelemetryOptions;
 
@@ -57,6 +58,9 @@ pub struct EngineBuilder {
     pub(crate) sharding: ShardSpec,
     pub(crate) shared_recorder: Option<Recorder>,
     pub(crate) service: ServiceConfig,
+    pub(crate) buffer_policy: BufferPolicy,
+    pub(crate) block_cache_bytes: usize,
+    pub(crate) shared_block_cache: Option<Arc<BlockCache>>,
 }
 
 impl EngineBuilder {
@@ -75,6 +79,9 @@ impl EngineBuilder {
             sharding: ShardSpec::default(),
             shared_recorder: None,
             service: ServiceConfig::default(),
+            buffer_policy: BufferPolicy::Lru,
+            block_cache_bytes: 0,
+            shared_block_cache: None,
         }
     }
 
@@ -145,6 +152,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Replacement policy for the Mneme segment buffers (default:
+    /// [`BufferPolicy::Lru`], the paper's configuration). `S3Fifo` is the
+    /// scan-resistant option for mixed point/scan workloads. Ignored by
+    /// the non-Mneme backends.
+    pub fn buffer_policy(mut self, policy: BufferPolicy) -> Self {
+        self.buffer_policy = policy;
+        self
+    }
+
+    /// Byte budget for the decoded-block cache (tier 2 of the cache
+    /// hierarchy): decoded `(docs, tfs)` block pairs keyed by store epoch,
+    /// object, and block index. Default 0 disables it. With
+    /// [`EngineBuilder::build_sharded`] one cache is shared by all shards.
+    pub fn block_cache_bytes(mut self, bytes: usize) -> Self {
+        self.block_cache_bytes = bytes;
+        self
+    }
+
     /// Serving configuration for [`EngineBuilder::build_service`]: queue
     /// capacity plus the observability knobs (slow-query threshold,
     /// breakdown window, stats sampling). Ignored by the other build
@@ -182,9 +207,19 @@ impl EngineBuilder {
         // across instances (the double-count / vanishing-counter bug).
         let recorder =
             self.shared_recorder.clone().unwrap_or_else(|| Engine::recorder_for(&self.telemetry));
+        // Likewise one decoded-block cache across shards: the byte budget
+        // is a process-wide bound, and keys already carry a per-store id
+        // so shard entries cannot alias.
+        let block_cache = self.shared_block_cache.clone().or_else(|| {
+            (self.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(self.block_cache_bytes)))
+        });
         let mut shards = Vec::with_capacity(spec.shards);
         for shard_index in index.split_shards(spec.shards) {
-            let builder = EngineBuilder { shared_recorder: Some(recorder.clone()), ..self.clone() };
+            let builder = EngineBuilder {
+                shared_recorder: Some(recorder.clone()),
+                shared_block_cache: block_cache.clone(),
+                ..self.clone()
+            };
             shards.push(builder.build(shard_index)?);
         }
         Ok(ShardedEngine::from_shards(spec, shards, recorder, device))

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use poir_inquery::query::daat;
 use poir_inquery::{
-    rank_score_list, BeliefParams, Dictionary, DocId, DocTable, Evaluator, Index,
+    rank_score_list, BeliefParams, BlockCache, Dictionary, DocId, DocTable, Evaluator, Index,
     InvertedFileStore, StopWords,
 };
 use poir_mneme::BufferStats;
@@ -261,6 +261,11 @@ pub struct QueryResponse {
     /// Present when one or more shards failed and the response was served
     /// from the shards that survived. `None` on a complete response.
     pub degraded: Option<Degraded>,
+    /// Whether the response was served from the service's query-result
+    /// cache instead of a fresh evaluation. The ranking is the stored
+    /// output of a real evaluation, bit-identical to what re-evaluating
+    /// would produce under the same store epoch.
+    pub cached: bool,
 }
 
 /// Degradation summary for a response served without every shard: the
@@ -438,7 +443,12 @@ impl Engine {
                 if b.backend == BackendKind::MnemeCache {
                     let sizes =
                         b.buffers.unwrap_or_else(|| paper_heuristic(store.largest_record(), 8192));
-                    store.attach_buffers(sizes)?;
+                    store.attach_buffers_with(sizes, b.buffer_policy)?;
+                }
+                if let Some(cache) = b.shared_block_cache.clone() {
+                    store.attach_block_cache(cache);
+                } else if b.block_cache_bytes > 0 {
+                    store.attach_block_cache(Arc::new(BlockCache::new(b.block_cache_bytes)));
                 }
                 StoreImpl::Mneme(store)
             }
@@ -525,6 +535,26 @@ impl Engine {
     /// Record lookups the store has served so far (monotone counter).
     pub(crate) fn store_record_lookups(&self) -> u64 {
         self.store.as_instrumented().record_lookups()
+    }
+
+    /// Counters from the decoded-block cache, when one is attached
+    /// ([`EngineBuilder::block_cache_bytes`] on a Mneme backend).
+    pub fn block_cache_stats(&self) -> Option<poir_inquery::BlockCacheStats> {
+        match &self.store {
+            StoreImpl::Mneme(s) => s.block_cache().map(|c| c.stats()),
+            StoreImpl::BTree(_) => None,
+        }
+    }
+
+    /// The store's combined mutation epoch (store id in the high bits;
+    /// every incremental update bumps the low bits). The result cache keys
+    /// its entries on this value, so any mutation invalidates them. The
+    /// archival B-tree backend cannot mutate and reports a constant 0.
+    pub fn store_epoch(&self) -> u64 {
+        match &self.store {
+            StoreImpl::Mneme(s) => InvertedFileStore::store_epoch(s),
+            StoreImpl::BTree(_) => 0,
+        }
     }
 
     /// Decomposes the engine into the pieces a query-service worker pool
@@ -657,7 +687,16 @@ impl Engine {
         // Direct execution has no queue and no cross-shard merge: the
         // whole elapsed time is evaluation.
         let breakdown = LatencyBreakdown::from_parts(qid, 0, micros, 0, micros);
-        Ok(QueryResponse { hits, shards, trace, queue_micros: 0, mode, breakdown, degraded: None })
+        Ok(QueryResponse {
+            hits,
+            shards,
+            trace,
+            queue_micros: 0,
+            mode,
+            breakdown,
+            degraded: None,
+            cached: false,
+        })
     }
 
     /// One query through the full pipeline — the one code path behind
@@ -739,6 +778,19 @@ impl Engine {
                                     stats.blocks_bitpacked,
                                     None,
                                     stats.bytes_decoded,
+                                    Duration::ZERO,
+                                );
+                            }
+                            self.recorder.add(Event::BlockCacheHit, stats.block_cache_hits);
+                            self.recorder.add(Event::BlockCacheMiss, stats.block_cache_misses);
+                            if stats.block_cache_hits + stats.block_cache_misses > 0 {
+                                // One aggregate slice per query: object =
+                                // decoded-block cache hits, bytes = misses.
+                                self.recorder.trace(
+                                    TraceOp::BlockCache,
+                                    stats.block_cache_hits,
+                                    None,
+                                    stats.block_cache_misses,
                                     Duration::ZERO,
                                 );
                             }
@@ -1149,7 +1201,15 @@ impl Engine {
             BackendKind::MnemeNoCache | BackendKind::MnemeCache => {
                 let mut s = MnemeInvertedFile::open(store_handle.clone(), largest)?;
                 if backend == BackendKind::MnemeCache {
-                    s.attach_buffers(b.buffers.unwrap_or_else(|| paper_heuristic(largest, 8192)))?;
+                    s.attach_buffers_with(
+                        b.buffers.unwrap_or_else(|| paper_heuristic(largest, 8192)),
+                        b.buffer_policy,
+                    )?;
+                }
+                if let Some(cache) = b.shared_block_cache.clone() {
+                    s.attach_block_cache(cache);
+                } else if b.block_cache_bytes > 0 {
+                    s.attach_block_cache(Arc::new(BlockCache::new(b.block_cache_bytes)));
                 }
                 StoreImpl::Mneme(s)
             }

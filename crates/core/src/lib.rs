@@ -26,6 +26,7 @@ pub mod error;
 pub mod instrument;
 pub mod mneme_store;
 pub mod multi_file;
+pub mod result_cache;
 pub mod service;
 pub mod shard;
 
@@ -47,6 +48,7 @@ pub use poir_telemetry::{
     MetricsReport, QueryTrace, RegistrySnapshot, SlowQueryRecord, TelemetryOptions, TraceOp,
     TraceRecord, Tracer, WindowRates,
 };
+pub use result_cache::{ResultCache, ResultCacheStats, ResultKey};
 pub use service::{
     PendingQuery, QueryService, RetryPolicy, ServiceConfig, ServiceStats, ShardHealth,
 };

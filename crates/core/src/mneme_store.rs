@@ -19,10 +19,13 @@
 //! and memory requirements"; the query processor reserves already-resident
 //! objects before evaluation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use poir_inquery::{Dictionary, InvertedFileStore, RecordBytes, TermId};
-use poir_mneme::{LruBuffer, MnemeFile, ObjectBytes, ObjectId, PoolConfig, PoolId, PoolKindConfig};
+use poir_inquery::{BlockCache, Dictionary, InvertedFileStore, RecordBytes, TermId};
+use poir_mneme::{
+    BufferPolicy, MnemeFile, ObjectBytes, ObjectId, PoolConfig, PoolId, PoolKindConfig,
+};
 use poir_storage::FileHandle;
 use poir_telemetry::{Event, Recorder};
 
@@ -99,6 +102,11 @@ fn pool_configs(medium_segment: usize) -> Vec<PoolConfig> {
     ]
 }
 
+/// Allocates process-unique store ids, folded into the high half of the
+/// decoded-block-cache epoch so one [`BlockCache`] shared across shard
+/// workers never aliases equal object ids from different physical stores.
+static STORE_IDS: AtomicU32 = AtomicU32::new(1);
+
 /// The Mneme-backed inverted file.
 pub struct MnemeInvertedFile {
     file: MnemeFile,
@@ -111,6 +119,14 @@ pub struct MnemeInvertedFile {
     /// (segment-size ablations).
     large_min: usize,
     recorder: Recorder,
+    /// Tier-2 decoded-block cache, shared with every cursor the evaluators
+    /// open against this store (`None` = disabled).
+    block_cache: Option<Arc<BlockCache>>,
+    /// Local mutation epoch: bumped by every record mutation so cached
+    /// decoded blocks from older record versions become unreachable.
+    epoch: AtomicU64,
+    /// This store's process-unique id (see [`STORE_IDS`]).
+    store_id: u32,
 }
 
 impl std::fmt::Debug for MnemeInvertedFile {
@@ -155,6 +171,9 @@ impl MnemeInvertedFile {
             largest_record: largest,
             large_min,
             recorder: Recorder::disabled(),
+            block_cache: None,
+            epoch: AtomicU64::new(0),
+            store_id: STORE_IDS.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -170,6 +189,9 @@ impl MnemeInvertedFile {
             largest_record,
             large_min,
             recorder: Recorder::disabled(),
+            block_cache: None,
+            epoch: AtomicU64::new(0),
+            store_id: STORE_IDS.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -188,10 +210,45 @@ impl MnemeInvertedFile {
     /// Attaches per-pool LRU buffers of the given capacities (zeros = the
     /// "Mneme, no cache" configuration).
     pub fn attach_buffers(&mut self, sizes: BufferSizes) -> Result<()> {
-        self.file.attach_buffer(SMALL_POOL, Box::new(LruBuffer::new(sizes.small)))?;
-        self.file.attach_buffer(MEDIUM_POOL, Box::new(LruBuffer::new(sizes.medium)))?;
-        self.file.attach_buffer(LARGE_POOL, Box::new(LruBuffer::new(sizes.large)))?;
+        self.attach_buffers_with(sizes, BufferPolicy::Lru)
+    }
+
+    /// Attaches per-pool buffers of the given capacities under an explicit
+    /// replacement policy (the paper's LRU, clock, or scan-resistant
+    /// S3-FIFO).
+    pub fn attach_buffers_with(&mut self, sizes: BufferSizes, policy: BufferPolicy) -> Result<()> {
+        self.file.attach_buffer(SMALL_POOL, policy.build(sizes.small))?;
+        self.file.attach_buffer(MEDIUM_POOL, policy.build(sizes.medium))?;
+        self.file.attach_buffer(LARGE_POOL, policy.build(sizes.large))?;
         Ok(())
+    }
+
+    /// Attaches a tier-2 decoded-block cache; evaluators pick it up through
+    /// [`InvertedFileStore::decoded_block_cache`] on every cursor they
+    /// open. One cache may be shared across stores (shard workers): the
+    /// store id folded into the epoch keeps their keys disjoint.
+    pub fn attach_block_cache(&mut self, cache: Arc<BlockCache>) {
+        self.block_cache = Some(cache);
+    }
+
+    /// The attached decoded-block cache, if any.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.block_cache.as_ref()
+    }
+
+    /// The cache-key epoch: this store's process-unique id in the high 32
+    /// bits, its local mutation counter in the low 32.
+    fn combined_epoch(&self) -> u64 {
+        ((self.store_id as u64) << 32) | (self.epoch.load(Ordering::Relaxed) & 0xFFFF_FFFF)
+    }
+
+    /// Records an out-of-band mutation: bumps the store epoch so every
+    /// epoch-keyed cache entry (decoded blocks, query results) computed
+    /// against the current contents becomes unreachable. The record
+    /// mutators call this implicitly; shared-view deployments (the query
+    /// service) expose it as their cache-invalidation hook.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-pool buffer reference/hit statistics (Table 6), ordered small,
@@ -237,6 +294,7 @@ impl MnemeInvertedFile {
     /// crosses a pool boundary. Returns the (possibly new) store reference
     /// the dictionary must hold.
     pub fn update_record(&mut self, store_ref: u64, bytes: &[u8]) -> Result<u64> {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         let id = Self::object_id(store_ref)?;
         let current = self.file.pool_of(id)?;
         let target = pool_for_with(bytes.len(), self.large_min);
@@ -252,12 +310,15 @@ impl MnemeInvertedFile {
     /// Inserts a brand-new record (a term first seen by an incremental
     /// document addition), returning its store reference.
     pub fn insert_record(&mut self, bytes: &[u8]) -> Result<u64> {
+        // Deleted object ids can be reused, so creation also invalidates.
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         let id = self.file.create_object(pool_for_with(bytes.len(), self.large_min), bytes)?;
         Ok(id.raw() as u64)
     }
 
     /// Deletes a record.
     pub fn delete_record(&mut self, store_ref: u64) -> Result<()> {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         let id = Self::object_id(store_ref)?;
         self.file.delete(id)?;
         Ok(())
@@ -393,6 +454,14 @@ impl InvertedFileStore for MnemeInvertedFile {
         self.file.release_reservations();
     }
 
+    fn decoded_block_cache(&self) -> Option<Arc<BlockCache>> {
+        self.block_cache.as_ref().map(Arc::clone)
+    }
+
+    fn store_epoch(&self) -> u64 {
+        self.combined_epoch()
+    }
+
     fn record_lookups(&self) -> u64 {
         self.lookups.load(Ordering::Relaxed)
     }
@@ -406,12 +475,22 @@ pub struct SharedMnemeView<'a> {
     file: &'a MnemeFile,
     lookups: &'a AtomicU64,
     recorder: &'a Recorder,
+    block_cache: Option<&'a Arc<BlockCache>>,
+    epoch: &'a AtomicU64,
+    store_id: u32,
 }
 
 impl MnemeInvertedFile {
     /// A concurrently usable read-only store view (see [`SharedMnemeView`]).
     pub fn shared_view(&self) -> SharedMnemeView<'_> {
-        SharedMnemeView { file: &self.file, lookups: &self.lookups, recorder: &self.recorder }
+        SharedMnemeView {
+            file: &self.file,
+            lookups: &self.lookups,
+            recorder: &self.recorder,
+            block_cache: self.block_cache.as_ref(),
+            epoch: &self.epoch,
+            store_id: self.store_id,
+        }
     }
 }
 
@@ -460,6 +539,14 @@ impl InvertedFileStore for SharedMnemeView<'_> {
 
     fn release_reservations(&mut self) {
         self.file.release_reservations();
+    }
+
+    fn decoded_block_cache(&self) -> Option<Arc<BlockCache>> {
+        self.block_cache.map(Arc::clone)
+    }
+
+    fn store_epoch(&self) -> u64 {
+        ((self.store_id as u64) << 32) | (self.epoch.load(Ordering::Relaxed) & 0xFFFF_FFFF)
     }
 
     fn record_lookups(&self) -> u64 {

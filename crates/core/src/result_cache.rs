@@ -1,0 +1,266 @@
+//! Query-result cache: tier 3 of the serving-path cache hierarchy.
+//!
+//! The service front-end sees heavily repeated queries (head terms of a
+//! Zipfian query log); for those, even a fully buffered evaluation still
+//! pays parsing, cursor setup, scoring, and top-k maintenance. This cache
+//! closes that gap: a bounded LRU over *normalized* request keys returning
+//! the complete, already-ranked response.
+//!
+//! Correctness hinges on two properties:
+//!
+//! * **Bit-identical answers.** A cached response is the stored output of
+//!   a real evaluation — the ranking, scores, and statistics are the exact
+//!   bytes an uncached evaluation produced. Only the `cached` marker and
+//!   timing fields differ.
+//! * **Epoch invalidation.** Every entry remembers the store epoch it was
+//!   computed under; a lookup under any other epoch misses, and a mutation
+//!   (epoch bump) therefore invalidates the whole cache wholesale without
+//!   a sweep. Entries from dead epochs age out through the LRU bound.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::engine::QueryResponse;
+
+/// The normalized identity of a cacheable request. Two requests with equal
+/// keys are guaranteed the same answer under an unchanged store epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// The query text, whitespace-trimmed (parsing is deterministic, so
+    /// trimmed text is a sound identity; finer normalisation would only
+    /// raise the hit rate, never change an answer).
+    pub query: String,
+    /// Requested result count.
+    pub k: usize,
+    /// The *resolved* execution mode (the service's default already
+    /// applied), as a stable discriminant.
+    pub mode: u8,
+    /// Number of shards evaluated (0 = unsharded engine).
+    pub shards: usize,
+}
+
+/// Cumulative counters for telemetry and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound or by epoch churn.
+    pub evicts: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured entry capacity.
+    pub capacity: usize,
+}
+
+impl ResultCacheStats {
+    /// Hit fraction over all lookups so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    epoch: u64,
+    response: QueryResponse,
+    /// Monotonic recency stamp (larger = more recently used).
+    used: u64,
+}
+
+struct Inner {
+    map: HashMap<ResultKey, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evicts: u64,
+}
+
+/// A bounded LRU of complete query responses, keyed by [`ResultKey`] and
+/// validated against the store epoch on every lookup.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache").field("stats", &self.stats()).finish()
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` responses (a capacity of
+    /// zero disables it: every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evicts: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up a response computed under `epoch`. A key present under a
+    /// different epoch is stale: it is dropped on the spot and the lookup
+    /// misses.
+    pub fn get(&self, key: &ResultKey, epoch: u64) -> Option<QueryResponse> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.used = clock;
+                let mut response = entry.response.clone();
+                inner.hits += 1;
+                response.cached = true;
+                Some(response)
+            }
+            Some(_) => {
+                inner.map.remove(key);
+                inner.evicts += 1;
+                inner.misses += 1;
+                None
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a response computed under `epoch`, evicting the least
+    /// recently used entry when full.
+    pub fn insert(&self, key: ResultKey, epoch: u64, response: QueryResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) =
+                inner.map.iter().min_by_key(|(_, e)| e.used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                inner.evicts += 1;
+            }
+        }
+        inner.map.insert(key, Entry { epoch, response, used: clock });
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ResultCacheStats {
+        let inner = self.inner.lock().unwrap();
+        ResultCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evicts: inner.evicts,
+            entries: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(q: &str) -> ResultKey {
+        ResultKey { query: q.trim().to_string(), k: 10, mode: 2, shards: 0 }
+    }
+
+    fn response(n: usize) -> QueryResponse {
+        QueryResponse {
+            hits: (0..n)
+                .map(|i| crate::engine::RankedResult {
+                    doc: poir_inquery::DocId(i as u32),
+                    name: format!("D{i}"),
+                    score: 1.0 / (i + 1) as f64,
+                })
+                .collect(),
+            shards: Vec::new(),
+            trace: Default::default(),
+            queue_micros: 0,
+            mode: crate::engine::ExecMode::Serial,
+            breakdown: Default::default(),
+            degraded: None,
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_response_marked_cached() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(&key("alpha"), 7).is_none());
+        cache.insert(key("alpha"), 7, response(3));
+        let hit = cache.get(&key("alpha"), 7).expect("hit");
+        assert!(hit.cached);
+        assert_eq!(hit.hits.len(), 3);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_everything() {
+        let cache = ResultCache::new(4);
+        cache.insert(key("a"), 1, response(1));
+        cache.insert(key("b"), 1, response(2));
+        assert!(cache.get(&key("a"), 1).is_some());
+        assert!(cache.get(&key("a"), 2).is_none(), "new epoch must miss");
+        assert!(cache.get(&key("b"), 2).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "stale entries are dropped on lookup");
+        assert_eq!(stats.evicts, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_bound() {
+        let cache = ResultCache::new(2);
+        cache.insert(key("a"), 1, response(1));
+        cache.insert(key("b"), 1, response(1));
+        assert!(cache.get(&key("a"), 1).is_some(), "touch a");
+        cache.insert(key("c"), 1, response(1));
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(&key("b"), 1).is_none(), "b was least recently used");
+        assert!(cache.get(&key("a"), 1).is_some());
+        assert!(cache.get(&key("c"), 1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = ResultCache::new(0);
+        cache.insert(key("a"), 1, response(1));
+        assert!(cache.get(&key("a"), 1).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = ResultCache::new(8);
+        cache.insert(key("a"), 1, response(1));
+        let mut other_k = key("a");
+        other_k.k = 20;
+        let mut other_mode = key("a");
+        other_mode.mode = 1;
+        let mut other_shards = key("a");
+        other_shards.shards = 4;
+        assert!(cache.get(&other_k, 1).is_none());
+        assert!(cache.get(&other_mode, 1).is_none());
+        assert!(cache.get(&other_shards, 1).is_none());
+    }
+}

@@ -45,7 +45,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use poir_inquery::query::daat;
-use poir_inquery::{BeliefParams, Dictionary, DocTable, Evaluator, ScoredDoc, StopWords};
+use poir_inquery::{
+    BeliefParams, BlockCacheStats, Dictionary, DocTable, Evaluator, InvertedFileStore, ScoredDoc,
+    StopWords,
+};
 use poir_telemetry::trace::tag_query;
 use poir_telemetry::{
     Attribution, BreakdownRing, Counter, Event, FlightRecorder, Gauge, Histogram, LatencyBreakdown,
@@ -56,6 +59,7 @@ use poir_telemetry::{
 use crate::engine::{Degraded, ExecMode, QueryRequest, QueryResponse, RankedResult, ShardTiming};
 use crate::error::{CoreError, Result};
 use crate::mneme_store::MnemeInvertedFile;
+use crate::result_cache::{ResultCache, ResultCacheStats, ResultKey};
 use crate::shard::{ShardSpec, ShardedEngine};
 
 /// Bounded-retry policy for transient storage faults during shard
@@ -96,6 +100,10 @@ pub struct ServiceConfig {
     pub stats_out: Option<PathBuf>,
     /// Sampling interval for `stats_out`.
     pub stats_interval: Duration,
+    /// Entry capacity of the query-result cache (tier 3 of the cache
+    /// hierarchy): repeated requests under an unchanged store epoch are
+    /// answered without touching any shard. 0 (the default) disables it.
+    pub result_cache_entries: usize,
 }
 
 impl Default for ServiceConfig {
@@ -108,6 +116,7 @@ impl Default for ServiceConfig {
             breakdown_window: 4096,
             stats_out: None,
             stats_interval: Duration::from_secs(1),
+            result_cache_entries: 0,
         }
     }
 }
@@ -126,6 +135,8 @@ struct ServiceMetrics {
     degraded: Counter,
     shard_retries: Counter,
     worker_panics: Counter,
+    result_cache_hits: Counter,
+    result_cache_misses: Counter,
     queue_wait: Histogram,
     eval: Vec<Histogram>,
     merge: Histogram,
@@ -149,6 +160,8 @@ impl ServiceMetrics {
             degraded: registry.counter("degraded"),
             shard_retries: registry.counter("shard_retries"),
             worker_panics: registry.counter("worker_panics"),
+            result_cache_hits: registry.counter("result_cache_hits"),
+            result_cache_misses: registry.counter("result_cache_misses"),
             queue_wait: registry.histogram("queue_wait_micros"),
             eval: (0..shards)
                 .map(|i| registry.histogram(&format!("shard{i}_eval_micros")))
@@ -217,6 +230,8 @@ struct ServiceShared {
     depth: AtomicUsize,
     /// Per-shard failure accounting, index-aligned with `shards`.
     health: Vec<ShardHealthState>,
+    /// Tier-3 query-result cache (None when disabled by configuration).
+    result_cache: Option<ResultCache>,
     metrics: ServiceMetrics,
     config: ServiceConfig,
     started: Instant,
@@ -302,6 +317,8 @@ impl QueryService {
         let (stop, params) = stop_params.expect("a sharded engine has at least one shard");
         let metrics = ServiceMetrics::new(shards.len(), &config);
         let health = (0..shards.len()).map(|_| ShardHealthState::default()).collect();
+        let result_cache = (config.result_cache_entries > 0)
+            .then(|| ResultCache::new(config.result_cache_entries));
         let shared = Arc::new(ServiceShared {
             shards,
             stop,
@@ -310,6 +327,7 @@ impl QueryService {
             capacity,
             depth: AtomicUsize::new(0),
             health,
+            result_cache,
             metrics,
             config,
             started: Instant::now(),
@@ -400,6 +418,27 @@ impl QueryService {
     /// window, p99 attribution, and slow-query flight-recorder state.
     pub fn stats(&self) -> ServiceStats {
         stats_of(&self.shared, self.spec)
+    }
+
+    /// Counters from the query-result cache (`None` when
+    /// [`ServiceConfig::result_cache_entries`] is 0).
+    pub fn result_cache_stats(&self) -> Option<ResultCacheStats> {
+        self.shared.result_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Counters from the decoded-block cache, when the shard stores carry
+    /// one (a single instance shared across shards by the builder).
+    pub fn block_cache_stats(&self) -> Option<BlockCacheStats> {
+        self.shared.shards.iter().find_map(|s| s.store.block_cache().map(|c| c.stats()))
+    }
+
+    /// Invalidates the epoch-keyed serving caches (query results and
+    /// decoded blocks) by bumping every shard store's mutation epoch —
+    /// the operational hook for out-of-band index updates.
+    pub fn invalidate_caches(&self) {
+        for s in &self.shared.shards {
+            s.store.bump_epoch();
+        }
     }
 
     /// The flight recorder's retained slow queries, slowest first.
@@ -505,6 +544,45 @@ impl QueryService {
                     continue;
                 }
             }
+            // Tier-3 lookup: a repeated request under an unchanged store
+            // epoch is answered from the result cache without touching a
+            // single shard. The epoch is read once, before evaluation, so
+            // a concurrent invalidation can only make the entry we store
+            // unreachable — never serve a stale one.
+            let epoch = store_epoch(shared);
+            let cache_key = shared.result_cache.as_ref().and_then(|_| {
+                Self::resolved_mode(shared, &job.request).map(|mode| ResultKey {
+                    query: job.request.text.trim().to_string(),
+                    k: job.request.k,
+                    mode: mode as u8,
+                    shards: shared.shards.len(),
+                })
+            });
+            if let (Some(cache), Some(key)) = (shared.result_cache.as_ref(), cache_key.as_ref()) {
+                if let Some(mut resp) = cache.get(key, epoch) {
+                    // The ranking is the stored evaluation's, bit for bit;
+                    // the timing fields describe *this* request.
+                    resp.queue_micros = queue_micros;
+                    resp.breakdown = LatencyBreakdown::from_parts(
+                        qid,
+                        queue_micros,
+                        0,
+                        0,
+                        job.submitted.elapsed().as_micros() as u64,
+                    );
+                    shared.metrics.result_cache_hits.inc();
+                    shared.metrics.completed.inc();
+                    shared.metrics.request.record(resp.breakdown.total_micros());
+                    shared.metrics.breakdowns.push(resp.breakdown);
+                    shared.recorder.incr(Event::ResultCacheHit);
+                    shared.recorder.trace(TraceOp::ResultCache, 1, None, 0, Duration::ZERO);
+                    let _ = job.reply.send(Ok(resp));
+                    continue;
+                }
+                shared.metrics.result_cache_misses.inc();
+                shared.recorder.incr(Event::ResultCacheMiss);
+                shared.recorder.trace(TraceOp::ResultCache, 0, None, 1, Duration::ZERO);
+            }
             shared.metrics.in_flight.inc();
             // A panicking evaluation must not take the worker (and with
             // it a slice of pool capacity) down: catch it, surface a
@@ -524,7 +602,18 @@ impl QueryService {
                     });
             shared.metrics.in_flight.dec();
             match &result {
-                Ok(resp) => Self::record_completion(shared, &job, resp),
+                Ok(resp) => {
+                    Self::record_completion(shared, &job, resp);
+                    // Only clean, complete answers are cacheable: a
+                    // degraded response would pin its missing shards into
+                    // every future hit.
+                    if resp.degraded.is_none() {
+                        if let (Some(cache), Some(key)) = (shared.result_cache.as_ref(), cache_key)
+                        {
+                            cache.insert(key, epoch, resp.clone());
+                        }
+                    }
+                }
                 Err(CoreError::DeadlineExceeded { .. }) => shared.metrics.expired.inc(),
                 Err(_) => {
                     shared.metrics.failed.inc();
@@ -595,22 +684,29 @@ impl QueryService {
         }
     }
 
+    /// The execution mode [`QueryService::evaluate`] will resolve for this
+    /// request, or `None` when resolution is rejected (term-at-a-time on a
+    /// sharded service). Sharded evaluation must be document-at-a-time:
+    /// term-at-a-time beliefs read shard-local record statistics and would
+    /// silently diverge from the unsharded ranking (see [`ShardedEngine`]).
+    fn resolved_mode(shared: &ServiceShared, req: &QueryRequest) -> Option<ExecMode> {
+        let sharded = shared.shards.len() > 1;
+        match (req.mode, sharded) {
+            (None, _) => Some(ExecMode::DaatPruned),
+            (Some(m @ (ExecMode::Daat | ExecMode::DaatPruned)), _) => Some(m),
+            (Some(m), false) => Some(m),
+            (Some(_), true) => None,
+        }
+    }
+
     /// Evaluates one request across the shards — the worker-pool analogue
     /// of [`ShardedEngine::execute`], fetching through shared views.
     fn evaluate(shared: &ServiceShared, job: &Job, queue_micros: u64) -> Result<QueryResponse> {
         let req = &job.request;
         let qid = req.id.unwrap_or(job.seq);
         let sharded = shared.shards.len() > 1;
-        // Sharded evaluation must be document-at-a-time: term-at-a-time
-        // beliefs read shard-local record statistics and would silently
-        // diverge from the unsharded ranking (see `ShardedEngine`).
-        let mode = match (req.mode, sharded) {
-            (None, _) => ExecMode::DaatPruned,
-            (Some(m @ (ExecMode::Daat | ExecMode::DaatPruned)), _) => m,
-            (Some(m), false) => m,
-            (Some(_), true) => {
-                return Err(CoreError::Unsupported("term-at-a-time execution on a sharded engine"))
-            }
+        let Some(mode) = Self::resolved_mode(shared, req) else {
+            return Err(CoreError::Unsupported("term-at-a-time execution on a sharded engine"));
         };
         let mut phase_micros = [0u64; Phase::COUNT];
         let t = Instant::now();
@@ -744,7 +840,16 @@ impl QueryService {
         } else {
             Some(Degraded { missing_shards, retries: retries_total })
         };
-        Ok(QueryResponse { hits, shards: timings, trace, queue_micros, mode, breakdown, degraded })
+        Ok(QueryResponse {
+            hits,
+            shards: timings,
+            trace,
+            queue_micros,
+            mode,
+            breakdown,
+            degraded,
+            cached: false,
+        })
     }
 }
 
@@ -752,6 +857,13 @@ impl Drop for QueryService {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Sum of the shard stores' combined epochs — changes whenever any shard
+/// store mutates (each combined epoch only grows, so the sum is monotone
+/// and never revisits a value).
+fn store_epoch(shared: &ServiceShared) -> u64 {
+    shared.shards.iter().map(|s| InvertedFileStore::store_epoch(&s.store)).sum()
 }
 
 /// Names every scored document from the (collection-wide) document table.
@@ -810,6 +922,10 @@ pub struct ServiceStats {
     pub slow_retained: usize,
     /// Slow queries ever observed past the threshold.
     pub slow_observed: u64,
+    /// Query-result cache counters (`None` when the cache is disabled).
+    pub result_cache: Option<ResultCacheStats>,
+    /// Decoded-block cache counters (`None` when no cache is attached).
+    pub block_cache: Option<BlockCacheStats>,
     /// The shared telemetry recorder's epoch (0 when telemetry is off).
     pub epoch: u64,
     /// Every windowed metric, in registration order.
@@ -857,6 +973,34 @@ impl ServiceStats {
             ", \"slow\": {{\"threshold_micros\": {}, \"retained\": {}, \"observed\": {}}}",
             self.slow_threshold_micros, self.slow_retained, self.slow_observed
         ));
+        s.push_str(&format!(
+            ", \"result_cache\": {}",
+            self.result_cache.as_ref().map_or("null".to_string(), |c| format!(
+                "{{\"hits\": {}, \"misses\": {}, \"evicts\": {}, \"entries\": {}, \
+                 \"capacity\": {}, \"hit_rate\": {:.4}}}",
+                c.hits,
+                c.misses,
+                c.evicts,
+                c.entries,
+                c.capacity,
+                c.hit_rate()
+            ))
+        ));
+        s.push_str(&format!(
+            ", \"block_cache\": {}",
+            self.block_cache.as_ref().map_or("null".to_string(), |c| format!(
+                "{{\"hits\": {}, \"misses\": {}, \"admits\": {}, \"evicts\": {}, \
+                 \"bytes\": {}, \"entries\": {}, \"capacity\": {}, \"hit_rate\": {:.4}}}",
+                c.hits,
+                c.misses,
+                c.admits,
+                c.evicts,
+                c.bytes,
+                c.entries,
+                c.capacity,
+                c.hit_rate()
+            ))
+        ));
         s.push_str(&format!(", \"epoch\": {}", self.epoch));
         s.push_str(&format!(", \"metrics\": {}}}", self.registry.to_json()));
         s
@@ -870,6 +1014,19 @@ impl ServiceStats {
             "# TYPE poir_service_uptime_seconds gauge\npoir_service_uptime_seconds {:.3}\n",
             self.uptime_secs
         ));
+        // The result-cache counters already live in the registry; the
+        // block cache is shared store state, exported here by value.
+        if let Some(c) = &self.block_cache {
+            s.push_str(&format!(
+                "# TYPE poir_service_block_cache_hits counter\n\
+                 poir_service_block_cache_hits {}\n\
+                 # TYPE poir_service_block_cache_misses counter\n\
+                 poir_service_block_cache_misses {}\n\
+                 # TYPE poir_service_block_cache_bytes gauge\n\
+                 poir_service_block_cache_bytes {}\n",
+                c.hits, c.misses, c.bytes
+            ));
+        }
         s
     }
 }
@@ -915,6 +1072,8 @@ fn stats_of(shared: &ServiceShared, spec: ShardSpec) -> ServiceStats {
         slow_threshold_micros: m.flight.threshold_micros(),
         slow_retained: m.flight.len(),
         slow_observed: m.flight.observed(),
+        result_cache: shared.result_cache.as_ref().map(|c| c.stats()),
+        block_cache: shared.shards.iter().find_map(|s| s.store.block_cache().map(|c| c.stats())),
         epoch: shared.recorder.epoch(),
         registry: m.registry.snapshot(),
     }

@@ -286,6 +286,7 @@ impl ShardedEngine {
             mode,
             breakdown,
             degraded,
+            cached: false,
         })
     }
 

@@ -1,0 +1,355 @@
+//! Decoded-block cache: tier 2 of the serving-path cache hierarchy.
+//!
+//! The v2 record layout stores postings as bit-packed blocks of
+//! [`crate::BLOCK_SIZE`] `(doc, tf)` pairs. Decoding a block means
+//! word-unpacking two arrays, prefix-summing the doc gaps, and bumping the
+//! tf−1 values — work that repeats wholesale when a popular term shows up
+//! in query after query. This cache retains the *decoded* arrays, keyed by
+//! `(store epoch, object id, block index)`, so a re-referenced block skips
+//! [`crate::codec::unpack_bits`] entirely and is served as two `memcpy`s
+//! into the cursor's scratch buffers.
+//!
+//! Design points:
+//!
+//! * **Byte-capacity bound.** The cache is sized in bytes of decoded
+//!   payload, not entries; a full block costs ~1 KiB decoded. The bound is
+//!   split evenly across the shards and never exceeded per shard.
+//! * **Sharded, lock-light.** Keys hash onto a small fixed set of
+//!   mutex-protected shards, so concurrent shard workers rarely contend.
+//! * **Frequency-aware admission.** A block's first decode only records a
+//!   *ghost* (key-only) entry; payload is admitted on the second decode.
+//!   One-shot scans therefore pass through without displacing re-referenced
+//!   blocks — the same scan resistance the S3-FIFO segment buffer provides
+//!   one tier below, applied to decoded payloads.
+//! * **FIFO eviction.** Within a shard, admitted blocks evict in insertion
+//!   order; the admission filter is what provides retention quality, which
+//!   keeps eviction itself trivially cheap.
+//! * **Epoch invalidation.** The key embeds the owning store's epoch;
+//!   mutating a record bumps the epoch, so stale entries become
+//!   unreachable and age out through the byte bound rather than requiring
+//!   a synchronous sweep.
+//!
+//! Cached blocks hold exactly what [`crate::BlockCursor`] materialises:
+//! absolute doc ids (prefix-summed) and real tf values (+1 applied), fully
+//! validated against the skip directory before insertion — a hit is
+//! bit-identical to a fresh decode by construction, which the property
+//! tests pin.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards. A small power of two: enough to
+/// keep shard workers from colliding, few enough that the per-shard byte
+/// bound stays meaningful at small capacities.
+const NUM_SHARDS: usize = 8;
+
+/// Fixed accounting overhead charged per resident entry (key, map slot,
+/// queue slot, `Arc` header) on top of the decoded payload bytes.
+const ENTRY_OVERHEAD: usize = 96;
+
+/// Cache key: which decoded block, in which version of which object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// The owning store's epoch (bumped on any record mutation) combined
+    /// with a store-unique id in the high bits, so caches shared across
+    /// shard workers never alias blocks from different physical stores.
+    pub epoch: u64,
+    /// Backend object id (the dictionary's `store_ref`).
+    pub object: u64,
+    /// Block index within the record's skip directory.
+    pub block: u32,
+}
+
+/// One decoded posting block: absolute doc ids and real tf values, exactly
+/// as [`crate::BlockCursor`] holds them in its scratch buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedBlock {
+    /// Absolute (prefix-summed) document ids, ascending.
+    pub docs: Vec<u32>,
+    /// Term frequencies (the stored tf−1 values, re-bumped).
+    pub tfs: Vec<u32>,
+}
+
+impl DecodedBlock {
+    /// Bytes this entry charges against the cache's capacity.
+    pub fn cost(&self) -> usize {
+        (self.docs.len() + self.tfs.len()) * std::mem::size_of::<u32>() + ENTRY_OVERHEAD
+    }
+}
+
+/// Point-in-time counters for telemetry and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that had to decode.
+    pub misses: u64,
+    /// Blocks admitted past the ghost filter.
+    pub admits: u64,
+    /// Admitted blocks evicted by the byte bound.
+    pub evicts: u64,
+    /// Decoded payload bytes currently resident (including per-entry
+    /// overhead).
+    pub bytes: usize,
+    /// Admitted entries currently resident.
+    pub entries: usize,
+    /// Configured byte capacity.
+    pub capacity: usize,
+}
+
+impl BlockCacheStats {
+    /// Hit fraction over all lookups so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    map: HashMap<BlockKey, Arc<DecodedBlock>>,
+    /// Admitted keys in insertion order — the FIFO eviction queue.
+    queue: VecDeque<BlockKey>,
+    /// Resident payload bytes (sum of entry costs).
+    bytes: usize,
+    /// Key-only history of blocks seen exactly once, in insertion order.
+    ghosts: VecDeque<BlockKey>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard { map: HashMap::new(), queue: VecDeque::new(), bytes: 0, ghosts: VecDeque::new() }
+    }
+}
+
+/// The sharded, byte-bounded decoded-block cache. Shared `Arc`-style
+/// between the store that owns it and every cursor it serves.
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Byte capacity per shard (total divided evenly).
+    shard_capacity: usize,
+    /// Ghost-history length per shard, in keys.
+    ghost_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    admits: AtomicU64,
+    evicts: AtomicU64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache").field("stats", &self.stats()).finish()
+    }
+}
+
+impl BlockCache {
+    /// Creates a cache bounded to roughly `capacity_bytes` of decoded
+    /// payload (split evenly across shards; each shard holds at least one
+    /// block so a tiny bound still functions).
+    pub fn new(capacity_bytes: usize) -> Self {
+        let shard_capacity = (capacity_bytes / NUM_SHARDS).max(2048);
+        // Remember ~2× as many ghost keys as blocks fit resident: long
+        // enough to catch re-references across adjacent queries, short
+        // enough that the history itself stays a few KiB.
+        let ghost_capacity = (2 * shard_capacity / 1024).clamp(64, 65_536);
+        BlockCache {
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_capacity,
+            ghost_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            admits: AtomicU64::new(0),
+            evicts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &BlockKey) -> &Mutex<Shard> {
+        // Cheap key mix; the epoch's store-id half and the object id carry
+        // most of the entropy.
+        let h = key
+            .object
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.epoch)
+            .wrapping_add(key.block as u64);
+        &self.shards[(h >> 56) as usize % NUM_SHARDS]
+    }
+
+    /// Looks up a decoded block, counting the outcome.
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<DecodedBlock>> {
+        let shard = self.shard_of(key).lock().unwrap();
+        match shard.map.get(key) {
+            Some(block) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(block))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Offers a freshly decoded block. The first offer of a key only
+    /// records it in the ghost history; a repeat offer (the block was
+    /// decoded again after a miss) admits the payload `make` builds, then
+    /// evicts FIFO-oldest entries until the shard is back under its byte
+    /// bound. Returns whether the payload was admitted.
+    pub fn offer_with<F: FnOnce() -> Arc<DecodedBlock>>(&self, key: BlockKey, make: F) -> bool {
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        if shard.map.contains_key(&key) {
+            return false; // raced with another worker's admit
+        }
+        if let Some(pos) = shard.ghosts.iter().position(|g| g == &key) {
+            shard.ghosts.remove(pos);
+            let block = make();
+            shard.bytes += block.cost();
+            shard.map.insert(key, block);
+            shard.queue.push_back(key);
+            self.admits.fetch_add(1, Ordering::Relaxed);
+            let mut evicted = 0u64;
+            while shard.bytes > self.shard_capacity && shard.queue.len() > 1 {
+                // Never evict the entry just admitted (it is the queue
+                // tail); oversized singletons stay resident rather than
+                // thrash.
+                let victim = shard.queue.pop_front().expect("len > 1");
+                if let Some(old) = shard.map.remove(&victim) {
+                    shard.bytes -= old.cost();
+                    evicted += 1;
+                }
+            }
+            if evicted > 0 {
+                self.evicts.fetch_add(evicted, Ordering::Relaxed);
+            }
+            true
+        } else {
+            shard.ghosts.push_back(key);
+            if shard.ghosts.len() > self.ghost_capacity {
+                shard.ghosts.pop_front();
+            }
+            false
+        }
+    }
+
+    /// Point-in-time counters summed over all shards.
+    pub fn stats(&self) -> BlockCacheStats {
+        let mut bytes = 0usize;
+        let mut entries = 0usize;
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            bytes += s.bytes;
+            entries += s.map.len();
+        }
+        BlockCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            admits: self.admits.load(Ordering::Relaxed),
+            evicts: self.evicts.load(Ordering::Relaxed),
+            bytes,
+            entries,
+            capacity: self.shard_capacity * NUM_SHARDS,
+        }
+    }
+
+    /// Total byte capacity the cache enforces.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * NUM_SHARDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(object: u64, block: u32) -> BlockKey {
+        BlockKey { epoch: 1, object, block }
+    }
+
+    fn block(n: usize) -> Arc<DecodedBlock> {
+        Arc::new(DecodedBlock { docs: (0..n as u32).collect(), tfs: vec![1; n] })
+    }
+
+    #[test]
+    fn first_offer_is_ghost_second_admits() {
+        let cache = BlockCache::new(1 << 20);
+        assert!(cache.get(&key(7, 0)).is_none());
+        assert!(!cache.offer_with(key(7, 0), || block(128)), "first offer stays ghost");
+        assert!(cache.get(&key(7, 0)).is_none(), "ghost has no payload");
+        assert!(cache.offer_with(key(7, 0), || block(128)), "second offer admits");
+        let hit = cache.get(&key(7, 0)).expect("admitted");
+        assert_eq!(hit.docs.len(), 128);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.admits, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn byte_bound_is_never_exceeded() {
+        let cache = BlockCache::new(64 * 1024);
+        for i in 0..500u64 {
+            let k = key(i, 0);
+            cache.offer_with(k, || block(128));
+            cache.offer_with(k, || block(128));
+            let stats = cache.stats();
+            for shard in &cache.shards {
+                let s = shard.lock().unwrap();
+                assert!(
+                    s.bytes <= cache.shard_capacity || s.map.len() == 1,
+                    "shard over bound with {} entries",
+                    s.map.len()
+                );
+            }
+            assert_eq!(
+                stats.bytes,
+                cache
+                    .shards
+                    .iter()
+                    .map(|s| s.lock().unwrap().map.values().map(|b| b.cost()).sum::<usize>())
+                    .sum::<usize>(),
+                "byte accounting drifted"
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.evicts > 0, "a 64 KiB bound cannot hold 500 blocks");
+        assert!(stats.entries < 500);
+    }
+
+    #[test]
+    fn epoch_change_makes_entries_unreachable() {
+        let cache = BlockCache::new(1 << 20);
+        let old = BlockKey { epoch: 1, object: 3, block: 0 };
+        cache.offer_with(old, || block(16));
+        cache.offer_with(old, || block(16));
+        assert!(cache.get(&old).is_some());
+        let new = BlockKey { epoch: 2, object: 3, block: 0 };
+        assert!(cache.get(&new).is_none(), "bumped epoch misses");
+    }
+
+    #[test]
+    fn resident_keys_are_not_reoffered() {
+        let cache = BlockCache::new(1 << 20);
+        let k = key(1, 4);
+        cache.offer_with(k, || block(8));
+        assert!(cache.offer_with(k, || block(8)));
+        assert!(!cache.offer_with(k, || panic!("must not build for a resident key")));
+        assert_eq!(cache.stats().admits, 1);
+    }
+
+    #[test]
+    fn ghost_history_is_bounded() {
+        let cache = BlockCache::new(16 * 1024);
+        for i in 0..200_000u64 {
+            cache.offer_with(key(i, 0), || block(1));
+        }
+        for shard in &cache.shards {
+            let s = shard.lock().unwrap();
+            assert!(s.ghosts.len() <= cache.ghost_capacity);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! * [`trec`] — TREC qrels / run-file interchange.
 
 pub mod belief;
+pub mod block_cache;
 pub mod codec;
 pub mod dict;
 pub mod documents;
@@ -34,6 +35,7 @@ pub mod text;
 pub mod trec;
 
 pub use belief::{BeliefParams, CollectionStats};
+pub use block_cache::{BlockCache, BlockCacheStats, BlockKey, DecodedBlock};
 pub use dict::{Dictionary, TermEntry, TermId};
 pub use documents::{DocInfo, DocTable};
 pub use error::{InqueryError, Result};

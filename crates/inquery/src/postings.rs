@@ -47,6 +47,9 @@
 //! Document ids and within-document positions are delta-coded, which gives
 //! the ~60% compression the paper reports on posting-heavy records.
 
+use std::sync::Arc;
+
+use crate::block_cache::{BlockCache, BlockKey, DecodedBlock};
 use crate::codec::{bit_width, decode_vbyte, encode_vbyte, pack_bits, packed_len, unpack_bits};
 
 /// Postings per skip block in the blocked record layout.
@@ -502,6 +505,21 @@ pub struct BlockCursor {
     pos_read: usize,
     bytes_decoded: u64,
     blocks_bitpacked: u64,
+    /// Attached decoded-block cache, when the owning store maintains one.
+    cache: Option<CacheHandle>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// A cursor's attachment to a shared decoded-block cache: the cache itself
+/// plus the key prefix identifying this cursor's record in it.
+#[derive(Debug, Clone)]
+struct CacheHandle {
+    cache: Arc<BlockCache>,
+    /// The owning store's epoch at attach time (see [`BlockKey::epoch`]).
+    epoch: u64,
+    /// Backend object id of the record this cursor walks.
+    object: u64,
 }
 
 impl BlockCursor {
@@ -533,8 +551,28 @@ impl BlockCursor {
             pos_read: 0,
             bytes_decoded: 0,
             blocks_bitpacked: 0,
+            cache: None,
+            cache_hits: 0,
+            cache_misses: 0,
         };
         Some((cursor, df, cf, max_tf))
+    }
+
+    /// Attaches a decoded-block cache. `epoch` and `object` form the cache
+    /// key's record half; the caller (the store that owns the cache) must
+    /// bump `epoch` whenever the record's bytes can have changed.
+    pub fn attach_cache(&mut self, cache: Arc<BlockCache>, epoch: u64, object: u64) {
+        self.cache = Some(CacheHandle { cache, epoch, object });
+    }
+
+    /// Packed blocks this cursor served from the attached cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Packed blocks this cursor decoded despite an attached cache.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 
     /// Encoded bytes this cursor has decoded so far (packed arrays, vbyte
@@ -740,6 +778,31 @@ impl BlockCursor {
         if docs_bytes.checked_add(tfs_bytes)? > blk.len {
             return None;
         }
+        if let Some(handle) = &self.cache {
+            let key = BlockKey { epoch: handle.epoch, object: handle.object, block: b as u32 };
+            if let Some(cached) = handle.cache.get(&key) {
+                // Cross-check against the directory before trusting the
+                // entry; a mismatch (impossible short of a key collision)
+                // falls through to a fresh decode.
+                if cached.docs.len() == n
+                    && cached.tfs.len() == n
+                    && cached.docs.last().copied() == Some(blk.last_doc)
+                {
+                    self.docs.clear();
+                    self.docs.extend_from_slice(&cached.docs);
+                    self.tfs.clear();
+                    self.tfs.extend_from_slice(&cached.tfs);
+                    self.pos_ptr = blk.offset + docs_bytes + tfs_bytes;
+                    self.pos_end = end;
+                    self.pos_read = 0;
+                    self.loaded = b;
+                    self.cache_hits += 1;
+                    // No bytes_decoded / blocks_bitpacked bump: nothing
+                    // was decoded — that asymmetry is what the cache buys.
+                    return Some(());
+                }
+            }
+        }
         let region = &bytes[blk.offset..end];
         unpack_bits(&region[..docs_bytes], n, blk.doc_width, &mut self.docs)?;
         unpack_bits(&region[docs_bytes..docs_bytes + tfs_bytes], n, blk.tf_width, &mut self.tfs)?;
@@ -761,6 +824,14 @@ impl BlockCursor {
         self.loaded = b;
         self.bytes_decoded += (docs_bytes + tfs_bytes) as u64;
         self.blocks_bitpacked += 1;
+        if let Some(handle) = &self.cache {
+            self.cache_misses += 1;
+            let key = BlockKey { epoch: handle.epoch, object: handle.object, block: b as u32 };
+            let (docs, tfs) = (&self.docs, &self.tfs);
+            handle.cache.offer_with(key, || {
+                Arc::new(DecodedBlock { docs: docs.clone(), tfs: tfs.clone() })
+            });
+        }
         Some(())
     }
 
@@ -822,6 +893,21 @@ impl<'a> PostingsCursor<'a> {
     /// Decodes the next posting's doc and tf without allocating.
     pub fn next_doc_tf(&mut self) -> Option<(DocId, u32)> {
         self.inner.next_doc_tf(self.bytes)
+    }
+
+    /// Attaches a decoded-block cache; see [`BlockCursor::attach_cache`].
+    pub fn attach_cache(&mut self, cache: Arc<BlockCache>, epoch: u64, object: u64) {
+        self.inner.attach_cache(cache, epoch, object);
+    }
+
+    /// Packed blocks served from the attached cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.cache_hits()
+    }
+
+    /// Packed blocks decoded despite an attached cache.
+    pub fn cache_misses(&self) -> u64 {
+        self.inner.cache_misses()
     }
 }
 

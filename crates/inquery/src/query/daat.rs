@@ -14,6 +14,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::belief::{BeliefParams, CollectionStats};
 use crate::dict::Dictionary;
@@ -58,6 +59,10 @@ pub struct DaatStats {
     pub bytes_decoded: u64,
     /// Posting blocks decoded from the v2 bit-packed representation.
     pub blocks_bitpacked: u64,
+    /// Packed blocks served from the store's decoded-block cache.
+    pub block_cache_hits: u64,
+    /// Packed blocks decoded despite an attached decoded-block cache.
+    pub block_cache_misses: u64,
 }
 
 /// Flattens a query into `(weight, term)` pairs if it is a bag-of-words
@@ -103,8 +108,11 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
     // the two are identical, and on a shard (whose records hold only a
     // document-id slice) the dictionary keeps the collection-wide df the
     // belief function needs for globally consistent scores.
+    let block_cache = store.decoded_block_cache();
+    let store_epoch = store.store_epoch();
     let mut weights = Vec::new();
     let mut buffers = Vec::new();
+    let mut refs = Vec::new();
     let mut dfs = Vec::new();
     let mut unknown_weight = 0.0f64;
     for (w, term) in terms {
@@ -112,9 +120,11 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
             unknown_weight += *w;
             continue;
         };
-        let bytes = store.fetch(dict.entry(id).store_ref)?;
+        let store_ref = dict.entry(id).store_ref;
+        let bytes = store.fetch(store_ref)?;
         weights.push(*w);
         dfs.push(dict.entry(id).df);
+        refs.push(store_ref);
         buffers.push(bytes);
     }
     let mut cursors = Vec::with_capacity(buffers.len());
@@ -123,6 +133,9 @@ pub fn rank_daat<S: InvertedFileStore + ?Sized>(
     for (i, bytes) in buffers.iter().enumerate() {
         let (mut cursor, _df, _cf, _max_tf) = PostingsCursor::open(bytes)
             .ok_or_else(|| InqueryError::BadRecord("cursor open failed".into()))?;
+        if let Some(cache) = &block_cache {
+            cursor.attach_cache(Arc::clone(cache), store_epoch, refs[i]);
+        }
         let head = cursor.next();
         if let Some(p) = &head {
             heap.push(Reverse((p.doc.0, i)));
@@ -368,12 +381,22 @@ pub fn rank_daat_pruned<S: InvertedFileStore + ?Sized>(
     let mut dfs: Vec<u32> = Vec::new();
     let mut max_tfs: Vec<u32> = Vec::new();
     let mut unknown_weight = 0.0f64;
+    let block_cache = store.decoded_block_cache();
+    let store_epoch = store.store_epoch();
     for (w, term) in terms {
         let Some(id) = dict.lookup(term) else {
             unknown_weight += *w;
             continue;
         };
-        let (list, cursor, _df, max_tf) = LazyList::fetch_open(store, dict.entry(id).store_ref)?;
+        let store_ref = dict.entry(id).store_ref;
+        let (list, mut cursor, _df, max_tf) = LazyList::fetch_open(store, store_ref)?;
+        if let Some(cache) = &block_cache {
+            // Cache hits only short-circuit the doc/tf unpack; position
+            // bytes and lazy range reads behave exactly as uncached
+            // (advance_list still ensures block bytes first), so I/O
+            // accounting stays deterministic.
+            cursor.attach_cache(Arc::clone(cache), store_epoch, store_ref);
+        }
         weights.push(*w);
         lists.push(list);
         cursors.push(cursor);
@@ -595,6 +618,8 @@ pub fn rank_daat_pruned<S: InvertedFileStore + ?Sized>(
     for cursor in &cursors {
         stats.bytes_decoded += cursor.bytes_decoded();
         stats.blocks_bitpacked += cursor.blocks_bitpacked();
+        stats.block_cache_hits += cursor.cache_hits();
+        stats.block_cache_misses += cursor.cache_misses();
     }
 
     let mut results: Vec<ScoredDoc> =

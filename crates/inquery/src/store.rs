@@ -237,6 +237,23 @@ pub trait InvertedFileStore {
     /// Releases reservations placed by [`InvertedFileStore::reserve`].
     fn release_reservations(&mut self) {}
 
+    /// The decoded-block cache this backend maintains, if any. Evaluators
+    /// attach it to every packed cursor they open so re-referenced blocks
+    /// skip bit-unpacking. `None` (the default) disables tier 2 entirely.
+    fn decoded_block_cache(&self) -> Option<Arc<crate::block_cache::BlockCache>> {
+        None
+    }
+
+    /// The cache-invalidation epoch for this backend's records: any
+    /// mutation that can change record bytes must move it to a value never
+    /// used before. Backends sharing one [`crate::BlockCache`] must also
+    /// disambiguate themselves within it (the Mneme store folds a
+    /// process-unique store id into the high bits). Meaningless unless
+    /// [`InvertedFileStore::decoded_block_cache`] returns `Some`.
+    fn store_epoch(&self) -> u64 {
+        0
+    }
+
     /// Number of record fetches served so far (the denominator of the
     /// paper's "A" statistic).
     fn record_lookups(&self) -> u64;

@@ -1,11 +1,13 @@
 //! Property tests for the IR engine: codec round-trips, parser robustness,
 //! belief-combination invariants, and ranking determinism.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use poir_inquery::{
-    codec, parse_query, porter, BeliefParams, BlockCursor, DocId, Evaluator, IndexBuilder,
-    InvertedRecord, MemoryStore, Posting, QueryNode, StopWords, BLOCK_SIZE,
+    codec, parse_query, porter, BeliefParams, BlockCache, BlockCursor, DocId, Evaluator,
+    IndexBuilder, InvertedRecord, MemoryStore, Posting, QueryNode, StopWords, BLOCK_SIZE,
 };
 
 fn posting_strategy() -> impl Strategy<Value = Vec<Posting>> {
@@ -149,6 +151,86 @@ proptest! {
         }
         prop_assert_eq!(streamed, postings);
         prop_assert!(cur.blocks_bitpacked() > 0, "long records must use packed blocks");
+    }
+
+    #[test]
+    fn block_cache_hits_are_bit_identical_to_fresh_decodes(
+        pairs in proptest::collection::vec(
+            (1u32..16_000_000, 1u32..40),
+            BLOCK_SIZE as usize + 1..3 * BLOCK_SIZE as usize,
+        ),
+    ) {
+        // Arbitrary gap/tf distributions sweep the packed widths; the
+        // cached decode must reproduce the uncached stream bit for bit.
+        let mut doc = 0u32;
+        let postings: Vec<Posting> = pairs
+            .into_iter()
+            .map(|(gap, tf)| {
+                doc += gap;
+                Posting { doc: DocId(doc), tf, positions: (0..tf).collect() }
+            })
+            .collect();
+        let bytes = InvertedRecord::from_postings(postings).encode();
+        let stream = |cur: &mut BlockCursor| {
+            let mut out = Vec::new();
+            while let Some((d, tf)) = cur.next_doc_tf(&bytes) {
+                out.push((d.0, tf));
+            }
+            out
+        };
+        let (mut plain, ..) = BlockCursor::open(&bytes).unwrap();
+        let fresh = stream(&mut plain);
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        // Pass 1 records ghosts, pass 2 admits, pass 3 is served from
+        // cache — every pass must agree with the uncached decode.
+        for pass in 0..3 {
+            let (mut cur, ..) = BlockCursor::open(&bytes).unwrap();
+            cur.attach_cache(Arc::clone(&cache), 7, 42);
+            prop_assert_eq!(stream(&mut cur), fresh.clone(), "pass {}", pass);
+            if pass == 2 {
+                prop_assert!(cur.cache_hits() > 0, "third pass must hit");
+                prop_assert_eq!(cur.cache_hits() + cur.cache_misses(), plain.blocks_bitpacked());
+            }
+        }
+        prop_assert!(cache.stats().hits > 0);
+        // Full-posting decode (positions included) also agrees on a hit.
+        let (mut via_cache, ..) = BlockCursor::open(&bytes).unwrap();
+        via_cache.attach_cache(Arc::clone(&cache), 7, 42);
+        let (mut uncached, ..) = BlockCursor::open(&bytes).unwrap();
+        while let Some(p) = uncached.next(&bytes) {
+            prop_assert_eq!(via_cache.next(&bytes), Some(p));
+        }
+        prop_assert_eq!(via_cache.next(&bytes), None);
+    }
+
+    #[test]
+    fn block_cache_byte_bound_is_never_exceeded(
+        offers in proptest::collection::vec((0u64..40, 0u32..6, 1usize..=128), 50..400),
+        capacity_kib in 8usize..64,
+    ) {
+        let capacity = capacity_kib * 1024;
+        let cache = Arc::new(BlockCache::new(capacity));
+        for (object, block, n) in offers {
+            let key = poir_inquery::BlockKey { epoch: 1, object, block };
+            let make = || {
+                Arc::new(poir_inquery::DecodedBlock {
+                    docs: (0..n as u32).collect(),
+                    tfs: vec![1; n],
+                })
+            };
+            cache.offer_with(key, make);
+            cache.offer_with(key, make); // force past the ghost filter
+            let stats = cache.stats();
+            prop_assert!(
+                stats.bytes <= cache.capacity(),
+                "{} resident bytes exceed the {} bound",
+                stats.bytes,
+                cache.capacity()
+            );
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.admits > 0);
+        prop_assert_eq!(stats.capacity, cache.capacity());
     }
 
     #[test]

@@ -46,8 +46,21 @@ pub trait Buffer: Send {
     fn capacity(&self) -> usize;
 
     /// Returns the resident segment at `addr`, promoting it in the
-    /// replacement order.
+    /// replacement order. Needed only by mutating paths — read paths use
+    /// [`Buffer::touch`] + [`Buffer::probe`] so the promotion bookkeeping
+    /// and the (potentially long) read of the image are decoupled.
     fn lookup(&mut self, addr: SegmentAddr) -> Option<&mut SegmentImage>;
+
+    /// Promotion bookkeeping only: marks `addr` as just-referenced in the
+    /// replacement order and reports whether it is resident. Splitting this
+    /// from [`Buffer::probe`] lets read paths finish the exclusive part of
+    /// the access in O(1) instead of holding a `&mut` borrow across the
+    /// whole segment read.
+    fn touch(&mut self, addr: SegmentAddr) -> bool;
+
+    /// Shared, non-promoting access to the resident segment at `addr` — the
+    /// read-path counterpart of [`Buffer::lookup`].
+    fn probe(&self, addr: SegmentAddr) -> Option<&SegmentImage>;
 
     /// Whether `addr` is resident (no promotion, no stats).
     fn is_resident(&self, addr: SegmentAddr) -> bool;
@@ -91,6 +104,56 @@ pub trait Buffer: Send {
 
     /// Bytes of segment data currently resident.
     fn resident_bytes(&self) -> usize;
+}
+
+/// Which replacement policy a pool's buffer should use.
+///
+/// The paper's extensible buffering mechanism exists so "other store and
+/// buffer organizations" can be investigated; this enum names the three
+/// organizations the repo ships and lets callers select one per pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BufferPolicy {
+    /// The paper's policy: strict LRU ([`LruBuffer`]).
+    #[default]
+    Lru,
+    /// Clock / second-chance approximation ([`crate::ClockBuffer`]).
+    Clock,
+    /// Scan-resistant S3-FIFO ([`crate::S3FifoBuffer`]).
+    S3Fifo,
+}
+
+impl BufferPolicy {
+    /// Builds a buffer of `capacity` bytes implementing this policy.
+    pub fn build(self, capacity: usize) -> Box<dyn Buffer> {
+        match self {
+            BufferPolicy::Lru => Box::new(LruBuffer::new(capacity)),
+            BufferPolicy::Clock => Box::new(crate::ClockBuffer::new(capacity)),
+            BufferPolicy::S3Fifo => Box::new(crate::S3FifoBuffer::new(capacity)),
+        }
+    }
+}
+
+impl std::fmt::Display for BufferPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BufferPolicy::Lru => "lru",
+            BufferPolicy::Clock => "clock",
+            BufferPolicy::S3Fifo => "s3fifo",
+        })
+    }
+}
+
+impl std::str::FromStr for BufferPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lru" => Ok(BufferPolicy::Lru),
+            "clock" => Ok(BufferPolicy::Clock),
+            "s3fifo" | "s3-fifo" => Ok(BufferPolicy::S3Fifo),
+            other => Err(format!("unknown buffer policy: {other} (expected lru|clock|s3fifo)")),
+        }
+    }
 }
 
 const NIL: usize = usize::MAX;
@@ -216,6 +279,22 @@ impl Buffer for LruBuffer {
             self.push_front(idx);
         }
         self.nodes[idx].image.as_mut()
+    }
+
+    fn touch(&mut self, addr: SegmentAddr) -> bool {
+        let Some(idx) = self.map.get(&addr).copied() else {
+            return false;
+        };
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        true
+    }
+
+    fn probe(&self, addr: SegmentAddr) -> Option<&SegmentImage> {
+        let idx = self.map.get(&addr).copied()?;
+        self.nodes[idx].image.as_ref()
     }
 
     fn is_resident(&self, addr: SegmentAddr) -> bool {

@@ -121,6 +121,21 @@ impl Buffer for ClockBuffer {
         Some(&mut self.frames[idx].image)
     }
 
+    fn touch(&mut self, addr: SegmentAddr) -> bool {
+        match self.map.get(&addr) {
+            Some(&idx) => {
+                self.frames[idx].referenced = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn probe(&self, addr: SegmentAddr) -> Option<&SegmentImage> {
+        let idx = *self.map.get(&addr)?;
+        Some(&self.frames[idx].image)
+    }
+
     fn is_resident(&self, addr: SegmentAddr) -> bool {
         self.map.contains_key(&addr)
     }

@@ -275,6 +275,43 @@ fn with_segment_in<R>(
     Ok(result)
 }
 
+/// Read-only variant of [`with_segment_in`]. On a buffer hit the promotion
+/// bookkeeping happens in one O(1) [`Buffer::touch`] call, after which the
+/// image is borrowed *shared* via [`Buffer::probe`] for the duration of
+/// `f` — the exclusive part of the access no longer extends across the
+/// whole segment read, and the buffer's replacement state is not mutably
+/// borrowed while the caller extracts bytes.
+fn with_segment_read<R>(
+    handle: &FileHandle,
+    recorder: &Recorder,
+    ps: &mut PoolState,
+    addr: SegmentAddr,
+    f: impl FnOnce(&dyn Pool, &SegmentImage) -> R,
+) -> Result<R> {
+    let pool_id = ps.pool.id();
+    if let Some((baddr, image)) = ps.building.as_ref() {
+        if *baddr == addr {
+            ps.buffer.record_ref(true);
+            note_ref(recorder, pool_id, addr, true);
+            return Ok(f(ps.pool.as_ref(), image));
+        }
+    }
+    if ps.buffer.touch(addr) {
+        ps.buffer.record_ref(true);
+        note_ref(recorder, pool_id, addr, true);
+        let image = ps.buffer.probe(addr).expect("resident segment");
+        return Ok(f(ps.pool.as_ref(), image));
+    }
+    ps.buffer.record_ref(false);
+    note_ref(recorder, pool_id, addr, false);
+    let image = SegmentImage::from_disk(handle.read(addr.offset, addr.len as usize)?);
+    let result = f(ps.pool.as_ref(), &image);
+    let evicted = ps.buffer.insert(addr, image);
+    note_evictions(recorder, pool_id, &evicted);
+    save_evicted(handle, evicted)?;
+    Ok(result)
+}
+
 /// Extracts `id`'s payload from a located segment image as a zero-copy
 /// shared slice of the image's buffer.
 fn extract_object(pool: &dyn Pool, seg: &SegmentImage, id: ObjectId) -> Result<ObjectBytes> {
@@ -632,7 +669,7 @@ impl MnemeFile {
         let (pool_idx, addr) = self.resolve(id)?;
         let mut ps = self.lock_pool(pool_idx);
         let payload =
-            with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
+            with_segment_read(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
                 extract_object(pool, seg, id)
             })??;
         drop(ps);
@@ -691,10 +728,10 @@ impl MnemeFile {
             ps.buffer.record_ref(true);
             note_ref(&self.recorder, pool_id, addr, true);
             slice_image(ps.pool.as_ref(), image)?
-        } else if ps.buffer.is_resident(addr) {
+        } else if ps.buffer.touch(addr) {
             ps.buffer.record_ref(true);
             note_ref(&self.recorder, pool_id, addr, true);
-            let image = ps.buffer.lookup(addr).expect("resident segment");
+            let image = ps.buffer.probe(addr).expect("resident segment");
             slice_image(ps.pool.as_ref(), image)?
         } else {
             ps.buffer.record_ref(false);
@@ -833,14 +870,14 @@ impl MnemeFile {
                     ps.buffer.record_ref(hit);
                     note_ref(&self.recorder, pool_id, addr, hit);
                     extract_object(ps.pool.as_ref(), image, id)
-                } else if ps.buffer.is_resident(addr) {
+                } else if ps.buffer.touch(addr) {
                     ps.buffer.record_ref(true);
                     note_ref(&self.recorder, pool_id, addr, true);
-                    let image = ps.buffer.lookup(addr).expect("resident segment");
+                    let image = ps.buffer.probe(addr).expect("resident segment");
                     extract_object(ps.pool.as_ref(), image, id)
                 } else {
                     // Run read failed (or raced an eviction): serial path.
-                    with_segment_in(&self.handle, &self.recorder, ps, addr, |pool, seg| {
+                    with_segment_read(&self.handle, &self.recorder, ps, addr, |pool, seg| {
                         extract_object(pool, seg, id)
                     })
                     .and_then(|r| r)
@@ -928,7 +965,7 @@ impl MnemeFile {
     pub fn object_len(&self, id: ObjectId) -> Result<usize> {
         let (pool_idx, addr) = self.resolve(id)?;
         let mut ps = self.lock_pool(pool_idx);
-        with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
+        with_segment_read(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
             match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => Ok(r.len()),
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
@@ -1169,7 +1206,7 @@ impl MnemeFile {
     pub fn references_of(&self, id: ObjectId) -> Result<Vec<u64>> {
         let (pool_idx, addr) = self.resolve(id)?;
         let mut ps = self.lock_pool(pool_idx);
-        with_segment_in(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
+        with_segment_read(&self.handle, &self.recorder, &mut ps, addr, |pool, seg| {
             match pool.locate(seg.bytes(), id) {
                 LocateResult::Found(r) => Ok(pool.references(&seg.bytes()[r])),
                 LocateResult::Deleted => Err(MnemeError::ObjectDeleted(id)),
@@ -1186,9 +1223,10 @@ impl MnemeFile {
         for (pool_id, addr) in segments {
             let pool_idx = self.pool_index(pool_id)?;
             let ps = self.pools[pool_idx].get_mut();
-            let mut ids = with_segment_in(&self.handle, &self.recorder, ps, addr, |pool, seg| {
-                pool.live_objects(seg.bytes()).into_iter().map(|(id, _)| id).collect::<Vec<_>>()
-            })?;
+            let mut ids =
+                with_segment_read(&self.handle, &self.recorder, ps, addr, |pool, seg| {
+                    pool.live_objects(seg.bytes()).into_iter().map(|(id, _)| id).collect::<Vec<_>>()
+                })?;
             // An object relocated by update() is live in its new segment and
             // tombstoned in the old, so no dedup is needed — but an object
             // whose exception points elsewhere must not be double-counted if
@@ -1244,7 +1282,7 @@ impl MnemeFile {
     ) -> Result<Vec<(ObjectId, std::ops::Range<usize>)>> {
         let pool_idx = self.pool_index(pool)?;
         let ps = self.pools[pool_idx].get_mut();
-        with_segment_in(&self.handle, &self.recorder, ps, addr, |p, seg| {
+        with_segment_read(&self.handle, &self.recorder, ps, addr, |p, seg| {
             p.live_objects(seg.bytes())
         })
     }
@@ -1265,7 +1303,9 @@ impl MnemeFile {
     ) -> Result<LocateResult> {
         let pool_idx = self.pool_index(pool)?;
         let ps = self.pools[pool_idx].get_mut();
-        with_segment_in(&self.handle, &self.recorder, ps, addr, |p, seg| p.locate(seg.bytes(), id))
+        with_segment_read(&self.handle, &self.recorder, ps, addr, |p, seg| {
+            p.locate(seg.bytes(), id)
+        })
     }
 
     /// The head object of every run and every exception across all loaded

@@ -19,7 +19,9 @@
 //!   [`SmallPool`], [`PackedPool`], [`HugePool`].
 //! * [`segment`] — physical segments, the unit of disk transfer.
 //! * [`buffer`] — the extensible buffering mechanism; [`LruBuffer`]
-//!   implements LRU with the paper's reservation optimization.
+//!   implements LRU with the paper's reservation optimization, and
+//!   [`ClockBuffer`] / [`S3FifoBuffer`] are the alternative organizations
+//!   the paper invites (clock and scan-resistant S3-FIFO).
 //! * [`table`] — compact multi-level hash location tables, permanently
 //!   cached after first access.
 //! * [`mod@file`] — a Mneme file combining all of the above.
@@ -46,13 +48,14 @@ pub mod packed_pool;
 pub mod pool;
 pub mod recovery;
 pub mod refs;
+pub mod s3fifo;
 pub mod segment;
 pub mod small_pool;
 pub mod store;
 pub mod table;
 pub mod validate;
 
-pub use buffer::{Buffer, BufferStats, LruBuffer};
+pub use buffer::{Buffer, BufferPolicy, BufferStats, LruBuffer};
 pub use bytes::ObjectBytes;
 pub use clock_buffer::ClockBuffer;
 pub use error::{MnemeError, Result};
@@ -61,6 +64,7 @@ pub use huge_pool::HugePool;
 pub use id::{FileSlot, GlobalId, LogicalSegment, ObjectId, PoolId, SLOTS_PER_SEGMENT};
 pub use packed_pool::PackedPool;
 pub use pool::{AppendOutcome, LocateResult, Pool, PoolConfig, PoolKindConfig};
+pub use s3fifo::S3FifoBuffer;
 pub use segment::{SegmentAddr, SegmentImage, SegmentKind};
 pub use small_pool::SmallPool;
 pub use store::Store;

@@ -101,11 +101,25 @@ pub enum Event {
     ShardRetry,
     /// Responses served degraded (one or more shards missing).
     DegradedResponse,
+    /// Posting blocks served from the decoded-block cache (no unpack).
+    BlockCacheHit,
+    /// Decoded-block cache consultations that had to decode.
+    BlockCacheMiss,
+    /// Decoded blocks admitted into the block cache.
+    BlockCacheAdmit,
+    /// Decoded blocks evicted from the block cache.
+    BlockCacheEvict,
+    /// Queries answered from the result cache (no shard evaluation).
+    ResultCacheHit,
+    /// Result-cache consultations that had to evaluate.
+    ResultCacheMiss,
+    /// Responses evicted from the result cache.
+    ResultCacheEvict,
 }
 
 impl Event {
     /// Number of event kinds (array dimension).
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 34;
 
     /// All events, in declaration order.
     pub const ALL: [Event; Event::COUNT] = [
@@ -136,6 +150,13 @@ impl Event {
         Event::FaultInjected,
         Event::ShardRetry,
         Event::DegradedResponse,
+        Event::BlockCacheHit,
+        Event::BlockCacheMiss,
+        Event::BlockCacheAdmit,
+        Event::BlockCacheEvict,
+        Event::ResultCacheHit,
+        Event::ResultCacheMiss,
+        Event::ResultCacheEvict,
     ];
 
     /// Stable snake_case name used in JSON export.
@@ -168,6 +189,13 @@ impl Event {
             Event::FaultInjected => "faults_injected",
             Event::ShardRetry => "shard_retries",
             Event::DegradedResponse => "degraded_responses",
+            Event::BlockCacheHit => "block_cache_hits",
+            Event::BlockCacheMiss => "block_cache_misses",
+            Event::BlockCacheAdmit => "block_cache_admits",
+            Event::BlockCacheEvict => "block_cache_evicts",
+            Event::ResultCacheHit => "result_cache_hits",
+            Event::ResultCacheMiss => "result_cache_misses",
+            Event::ResultCacheEvict => "result_cache_evicts",
         }
     }
 }
@@ -349,12 +377,22 @@ impl HistogramSnapshot {
 // working).
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
-#[derive(Default)]
 struct Inner {
     epoch: u64,
     events: [AtomicU64; Event::COUNT],
     pools: [[AtomicU64; PoolEvent::COUNT]; MAX_POOLS],
     phases: [AtomicHistogram; Phase::COUNT],
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            epoch: 0,
+            events: std::array::from_fn(|_| AtomicU64::new(0)),
+            pools: Default::default(),
+            phases: Default::default(),
+        }
+    }
 }
 
 /// Cheap-to-clone telemetry handle. Disabled by default; every record
@@ -540,7 +578,7 @@ impl Drop for PhaseSpan {
 }
 
 /// Point-in-time copy of every recorder counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TelemetrySnapshot {
     /// Epoch of the recorder the snapshot was taken from (0 = disabled
     /// recorder or a hand-built baseline; compatible with everything).
@@ -551,6 +589,17 @@ pub struct TelemetrySnapshot {
     pub pools: [[u64; PoolEvent::COUNT]; MAX_POOLS],
     /// Phase latency histograms, indexed by [`Phase`].
     pub phases: [HistogramSnapshot; Phase::COUNT],
+}
+
+impl Default for TelemetrySnapshot {
+    fn default() -> Self {
+        TelemetrySnapshot {
+            epoch: 0,
+            events: [0; Event::COUNT],
+            pools: [[0; PoolEvent::COUNT]; MAX_POOLS],
+            phases: [HistogramSnapshot::default(); Phase::COUNT],
+        }
+    }
 }
 
 /// Two snapshots being diffed came from different recorders, so the
@@ -685,7 +734,7 @@ impl TelemetryOptions {
 }
 
 /// Telemetry captured for a single query.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryTrace {
     /// Index of the query within its set.
     pub query: usize,
@@ -695,6 +744,17 @@ pub struct QueryTrace {
     pub phase_micros: [u64; Phase::COUNT],
     /// Counter deltas attributable to this query, indexed by [`Event`].
     pub events: [u64; Event::COUNT],
+}
+
+impl Default for QueryTrace {
+    fn default() -> Self {
+        QueryTrace {
+            query: 0,
+            results: 0,
+            phase_micros: [0; Phase::COUNT],
+            events: [0; Event::COUNT],
+        }
+    }
 }
 
 impl QueryTrace {

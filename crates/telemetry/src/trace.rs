@@ -81,6 +81,11 @@ pub enum TraceOp {
     /// A storage fault fired by an installed fault plan (`object` = file
     /// id, `bytes` = bytes the faulted operation requested).
     FaultInjected,
+    /// Per-query aggregate of decoded-block cache consultations
+    /// (`object` = hits, `bytes` = misses).
+    BlockCache,
+    /// One result-cache consultation (`object` = 1 on a hit, 0 on a miss).
+    ResultCache,
 }
 
 /// `object` value for a [`TraceOp::LockWait`] on the Mneme meta `RwLock`
@@ -95,7 +100,7 @@ pub const LOCK_POOL: u64 = 2;
 
 impl TraceOp {
     /// Number of operation kinds.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// All operation kinds, in declaration order.
     pub const ALL: [TraceOp; TraceOp::COUNT] = [
@@ -115,6 +120,8 @@ impl TraceOp {
         TraceOp::BlockDecode,
         TraceOp::QueueWait,
         TraceOp::FaultInjected,
+        TraceOp::BlockCache,
+        TraceOp::ResultCache,
     ];
 
     /// Stable snake_case name used by both exporters.
@@ -136,6 +143,8 @@ impl TraceOp {
             TraceOp::BlockDecode => "block_decode",
             TraceOp::QueueWait => "queue_wait",
             TraceOp::FaultInjected => "fault_injected",
+            TraceOp::BlockCache => "block_cache",
+            TraceOp::ResultCache => "result_cache",
         }
     }
 
@@ -156,7 +165,9 @@ impl TraceOp {
             | TraceOp::QueryPhase
             | TraceOp::CursorSeek
             | TraceOp::BlockDecode
-            | TraceOp::QueueWait => "query",
+            | TraceOp::QueueWait
+            | TraceOp::BlockCache
+            | TraceOp::ResultCache => "query",
         }
     }
 }
